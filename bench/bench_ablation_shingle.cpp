@@ -1,0 +1,78 @@
+// Ablation: the Shingle (s, c) parameter space.
+//
+// §IV-D: larger s lowers the probability two vertices share a shingle
+// (stricter, denser subgraphs); larger c counteracts it (better coverage,
+// more work). This bench sweeps both on a fixed set of component graphs
+// and reports subgraph counts, coverage, density, and run time.
+#include <cstdio>
+
+#include "common.hpp"
+#include "pclust/bigraph/builders.hpp"
+#include "pclust/shingle/shingle.hpp"
+#include "pclust/util/strings.hpp"
+#include "pclust/util/table.hpp"
+#include "pclust/util/timer.hpp"
+
+int main() {
+  using namespace pclust;
+  using namespace pclust::bench;
+
+  const synth::Dataset data = synth::generate(synth::paper_160k(kScale));
+  const auto params = bench_pace_params();
+  const auto rr = pace::remove_redundant_serial(data.sequences, params);
+  const auto ccd = pace::detect_components_serial(data.sequences,
+                                                  rr.survivors(), params);
+  std::vector<bigraph::ComponentGraph> graphs;
+  bigraph::BdParams bd;
+  bd.pace = params;
+  for (const auto& component : ccd.components) {
+    if (component.size() >= 5) {
+      graphs.push_back(bigraph::build_bd(data.sequences, component, bd));
+    }
+  }
+  std::fprintf(stderr, "  [%zu component graphs built]\n", graphs.size());
+
+  util::Table table({"(s, c)", "#DS", "#seq in DS", "mean density",
+                     "DSD time (s)"});
+  table.set_title("Ablation: Shingle (s, c) sweep on the 160K-analog "
+                  "components (B_d reduction)");
+  for (std::uint32_t s : {3u, 5u, 7u}) {
+    for (std::uint32_t c : {50u, 150u, 300u}) {
+      shingle::ShingleParams sp = bench_shingle_params();
+      sp.s1 = s;
+      sp.c1 = c;
+      util::Timer timer;
+      std::size_t subgraphs = 0, covered = 0;
+      double density_sum = 0.0;
+      for (const auto& graph : graphs) {
+        for (const auto& family : shingle::report_families(graph, sp)) {
+          ++subgraphs;
+          covered += family.size();
+          std::vector<std::uint32_t> nodes;
+          for (seq::SeqId id : family) {
+            for (std::uint32_t v = 0; v < graph.members.size(); ++v) {
+              if (graph.members[v] == id) {
+                nodes.push_back(v);
+                break;
+              }
+            }
+          }
+          density_sum += bigraph::subgraph_density(graph.graph, nodes);
+        }
+      }
+      table.add_row({util::format("(%u, %u)", s, c),
+                     std::to_string(subgraphs), std::to_string(covered),
+                     subgraphs ? util::format("%.0f%%", 100.0 * density_sum /
+                                                            static_cast<double>(
+                                                                subgraphs))
+                               : "-",
+                     util::format("%.3f", timer.elapsed_seconds())});
+    }
+    std::fprintf(stderr, "  [s=%u done]\n", s);
+  }
+  table.add_footnote("paper's tuned choice for the ORF data: (5, 300); "
+                     "smaller s finds sparser subgraphs, larger c costs "
+                     "time.");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 5 — distribution of dense subgraphs as a function of their size
+// (22K data set). The paper's histogram uses width-5 buckets starting at 5
+// ("5-9", "10-14", ...), is strongly right-skewed, and the largest dense
+// subgraph (>7K sequences) falls off the plot.
+//
+// Shape targets: monotone-ish decay from the smallest bucket, a long sparse
+// tail, and one dominant subgraph far beyond the plotted range.
+#include <cstdio>
+
+#include "common.hpp"
+#include "pclust/util/histogram.hpp"
+#include "pclust/util/strings.hpp"
+
+int main() {
+  using namespace pclust;
+  using namespace pclust::bench;
+
+  const synth::Dataset data = synth::generate(synth::paper_22k(kScale));
+  pipeline::PipelineConfig config;
+  config.pace = bench_pace_params();
+  config.shingle = bench_shingle_params();
+  const auto result = pipeline::run(data.sequences, config);
+
+  util::Histogram histogram(5, 5, 300);
+  std::size_t largest = 0;
+  for (const auto& family : result.families) {
+    histogram.add(static_cast<std::int64_t>(family.members.size()));
+    largest = std::max(largest, family.members.size());
+  }
+
+  std::printf("Figure 5 analog — dense subgraph size distribution "
+              "(22K analog, %zu sequences, %zu dense subgraphs)\n\n",
+              data.sequences.size(), result.families.size());
+  std::printf("size-bucket\tcount\n%s\n",
+              histogram.to_string().c_str());
+  std::printf("largest dense subgraph: %zu sequences%s\n", largest,
+              largest >= 300 ? " (beyond the plotted range, as in the paper)"
+                             : "");
+  std::printf("paper: buckets 5-9 .. 285-289 with counts decaying from ~45; "
+              "largest DS ~6.8K (not plotted)\n");
+  return 0;
+}

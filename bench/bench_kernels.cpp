@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of pclust's computational kernels:
+// pairwise alignment, suffix-array + LCP construction, maximal-match
+// enumeration, min-wise shingling, and union-find.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common.hpp"
+#include "pclust/align/pairwise.hpp"
+#include "pclust/dsu/union_find.hpp"
+#include "pclust/shingle/minwise.hpp"
+#include "pclust/suffix/lcp.hpp"
+#include "pclust/suffix/maximal_match.hpp"
+#include "pclust/suffix/suffix_array.hpp"
+#include "pclust/util/rng.hpp"
+
+namespace {
+
+using namespace pclust;
+
+seq::SequenceSet bench_sequences(std::size_t n, std::uint32_t mean_length) {
+  synth::DatasetSpec spec;
+  spec.seed = 99;
+  spec.num_sequences = static_cast<std::uint32_t>(n);
+  spec.num_families = 4;
+  spec.mean_length = mean_length;
+  return synth::generate(spec).sequences;
+}
+
+void BM_LocalAlign(benchmark::State& state) {
+  const auto set = bench_sequences(64, static_cast<std::uint32_t>(state.range(0)));
+  const auto& scheme = align::blosum62();
+  std::uint64_t cells = 0;
+  seq::SeqId i = 0;
+  for (auto _ : state) {
+    const auto r = align::local_align(set.residues(i % set.size()),
+                                      set.residues((i + 1) % set.size()),
+                                      scheme);
+    benchmark::DoNotOptimize(r.score);
+    cells += r.cells;
+    ++i;
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LocalAlign)->Arg(80)->Arg(160)->Arg(320);
+
+void BM_BandedLocalAlign(benchmark::State& state) {
+  const auto set = bench_sequences(64, 160);
+  const auto& scheme = align::blosum62();
+  std::uint64_t cells = 0;
+  seq::SeqId i = 0;
+  for (auto _ : state) {
+    const auto r = align::banded_local_align(
+        set.residues(i % set.size()), set.residues((i + 1) % set.size()),
+        scheme, 0, static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(r.score);
+    cells += r.cells;
+    ++i;
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BandedLocalAlign)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SuffixArray(benchmark::State& state) {
+  const auto set = bench_sequences(static_cast<std::size_t>(state.range(0)), 160);
+  const suffix::ConcatText text(set);
+  for (auto _ : state) {
+    auto sa = suffix::build_suffix_array(text.text(), seq::kIndexAlphabetSize);
+    benchmark::DoNotOptimize(sa.data());
+  }
+  state.counters["chars/s"] = benchmark::Counter(
+      static_cast<double>(text.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SuffixArray)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_LcpArray(benchmark::State& state) {
+  const auto set = bench_sequences(1000, 160);
+  const suffix::ConcatText text(set);
+  const auto sa =
+      suffix::build_suffix_array(text.text(), seq::kIndexAlphabetSize);
+  for (auto _ : state) {
+    auto lcp = suffix::build_lcp(text, sa);
+    benchmark::DoNotOptimize(lcp.data());
+  }
+  state.counters["chars/s"] = benchmark::Counter(
+      static_cast<double>(text.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LcpArray);
+
+void BM_MaximalMatchEnumeration(benchmark::State& state) {
+  const auto set = bench_sequences(static_cast<std::size_t>(state.range(0)), 160);
+  const suffix::ConcatText text(set);
+  const auto sa =
+      suffix::build_suffix_array(text.text(), seq::kIndexAlphabetSize);
+  const auto lcp = suffix::build_lcp(text, sa);
+  suffix::MaximalMatchParams mp;
+  mp.min_length = 10;
+  const suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    enumerator.enumerate(0, static_cast<std::int32_t>(sa.size()) - 1,
+                         [&pairs](const suffix::MaximalMatch&) {
+                           ++pairs;
+                           return true;
+                         });
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MaximalMatchEnumeration)->Arg(500)->Arg(2000);
+
+void BM_ShingleSet(benchmark::State& state) {
+  std::vector<std::uint32_t> links(static_cast<std::size_t>(state.range(0)));
+  std::iota(links.begin(), links.end(), 0u);
+  std::uint64_t shingles = 0;
+  for (auto _ : state) {
+    const auto set = shingle::shingle_set(links, 5, 300, 42);
+    shingles += set.size();
+    benchmark::DoNotOptimize(shingles);
+  }
+  state.counters["shingles/s"] = benchmark::Counter(
+      static_cast<double>(shingles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShingleSet)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(7);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ops(n * 4);
+  for (auto& [a, b] : ops) {
+    a = static_cast<std::uint32_t>(rng.below(n));
+    b = static_cast<std::uint32_t>(rng.below(n));
+  }
+  for (auto _ : state) {
+    dsu::UnionFind uf(n);
+    for (const auto& [a, b] : ops) uf.merge(a, b);
+    benchmark::DoNotOptimize(uf.set_count());
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UnionFind)->Arg(10'000)->Arg(100'000);
+
+}  // namespace

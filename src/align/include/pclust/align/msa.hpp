@@ -1,0 +1,47 @@
+// Center-star multiple sequence alignment and family consensus.
+//
+// Used to render and annotate reported families (the paper's Figure 1 shows
+// a domain family as a stacked alignment). The classic center-star method:
+// pick the member with the greatest summed pairwise score to all others,
+// align every member to it globally, and merge the pairwise alignments
+// column-wise ("once a gap, always a gap"). 2-approximation of the optimal
+// SP-score MSA (Gusfield 1993) — exactly right for displaying and
+// consensus-calling family alignments, not for phylogenetics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pclust/align/scoring.hpp"
+#include "pclust/seq/sequence_set.hpp"
+
+namespace pclust::align {
+
+struct Msa {
+  /// Ids of the aligned sequences, in input order.
+  std::vector<seq::SeqId> members;
+  /// Index into members of the chosen center sequence.
+  std::size_t center = 0;
+  /// Aligned rows (ASCII residues and '-' gaps), all the same length.
+  std::vector<std::string> rows;
+
+  [[nodiscard]] std::size_t columns() const {
+    return rows.empty() ? 0 : rows[0].size();
+  }
+
+  /// Majority-residue consensus; columns where gaps dominate yield '-',
+  /// ties break toward the lexicographically smaller residue.
+  [[nodiscard]] std::string consensus() const;
+
+  /// Fraction of non-gap residues matching the consensus, per column.
+  [[nodiscard]] std::vector<double> column_conservation() const;
+};
+
+/// Align @p members of @p set by the center-star method. Throws
+/// std::invalid_argument on an empty member list.
+[[nodiscard]] Msa center_star_msa(const seq::SequenceSet& set,
+                                  const std::vector<seq::SeqId>& members,
+                                  const ScoringScheme& scheme);
+
+}  // namespace pclust::align

@@ -1,0 +1,67 @@
+// The two alignment predicates the paper's pipeline cuts on.
+//
+// Definition 1 (containment, used by redundancy removal): sequence s_i is
+// "contained" in s_j if an optimal alignment has (i) >= 95 % similarity over
+// the overlapping (aligned) region and (ii) >= 95 % of s_i included in the
+// overlapping region.
+//
+// Definition 2 (overlap, used by connected-component detection): two
+// sequences "overlap" if they share a local alignment with >= 30 %
+// similarity that includes >= 80 % of the LONGER sequence.
+//
+// All cutoffs are user-tunable software parameters (paper, footnote 3); the
+// defaults below are the paper's defaults.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "pclust/align/pairwise.hpp"
+
+namespace pclust::align {
+
+struct ContainmentParams {
+  double min_similarity = 0.95;  // identity over the aligned region
+  double min_coverage = 0.95;    // fraction of the contained sequence aligned
+  /// Use the semiglobal ("glocal") formulation instead of local alignment:
+  /// the inner sequence is consumed end-to-end (coverage is 1 by
+  /// construction) and only the similarity cutoff decides. Stricter on
+  /// inner sequences with noisy flanks; never accepts what local rejects
+  /// on similarity.
+  bool semiglobal = false;
+};
+
+struct OverlapParams {
+  double min_similarity = 0.30;     // identity over the aligned region
+  double min_long_coverage = 0.80;  // fraction of the longer sequence aligned
+};
+
+struct PredicateOutcome {
+  bool accepted = false;
+  AlignmentResult alignment;  // the alignment the decision was based on
+};
+
+/// Is @p inner contained in @p outer per Definition 1?
+[[nodiscard]] PredicateOutcome test_containment(
+    std::string_view inner, std::string_view outer,
+    const ScoringScheme& scheme, const ContainmentParams& params = {});
+
+/// Do @p a and @p b overlap per Definition 2?
+[[nodiscard]] PredicateOutcome test_overlap(std::string_view a,
+                                            std::string_view b,
+                                            const ScoringScheme& scheme,
+                                            const OverlapParams& params = {});
+
+/// Banded variants seeded on the diagonal of a shared maximal match
+/// (diagonal = position-in-first - position-in-second).
+[[nodiscard]] PredicateOutcome test_containment_banded(
+    std::string_view inner, std::string_view outer,
+    const ScoringScheme& scheme, std::int64_t diagonal,
+    std::uint32_t band_halfwidth, const ContainmentParams& params = {});
+
+[[nodiscard]] PredicateOutcome test_overlap_banded(
+    std::string_view a, std::string_view b, const ScoringScheme& scheme,
+    std::int64_t diagonal, std::uint32_t band_halfwidth,
+    const OverlapParams& params = {});
+
+}  // namespace pclust::align

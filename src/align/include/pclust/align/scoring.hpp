@@ -1,0 +1,41 @@
+// Scoring schemes for pairwise peptide alignment.
+//
+// The paper relies on Smith–Waterman [27] / Needleman–Wunsch [23] style
+// alignment with similarity cutoffs; we provide BLOSUM62 (the de-facto
+// default for protein search, and what BLASTP uses) plus a simple identity
+// matrix for unit tests and exact reasoning.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "pclust/seq/alphabet.hpp"
+
+namespace pclust::align {
+
+/// Substitution matrix over the 21-symbol rank alphabet plus affine gap
+/// penalties (penalties are non-negative magnitudes).
+struct ScoringScheme {
+  std::array<std::array<std::int16_t, seq::kAlphabetSize>,
+             seq::kAlphabetSize>
+      substitution{};
+  std::int16_t gap_open = 10;    // cost of opening a gap
+  std::int16_t gap_extend = 1;   // cost per gap column (including the first)
+
+  [[nodiscard]] std::int16_t score(std::uint8_t a, std::uint8_t b) const {
+    return substitution[a][b];
+  }
+};
+
+/// The standard BLOSUM62 matrix (Henikoff & Henikoff 1992), with 'X'
+/// scoring as BLAST does (X vs anything = -1, X vs X = -1).
+[[nodiscard]] const ScoringScheme& blosum62();
+
+/// +match / -mismatch matrix, used by tests and by the domain-based w-mer
+/// machinery's verification paths.
+[[nodiscard]] ScoringScheme identity_scoring(std::int16_t match = 2,
+                                             std::int16_t mismatch = -1,
+                                             std::int16_t gap_open = 3,
+                                             std::int16_t gap_extend = 1);
+
+}  // namespace pclust::align

@@ -1,0 +1,173 @@
+#include "pclust/align/msa.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "pclust/align/pairwise.hpp"
+#include "pclust/seq/alphabet.hpp"
+
+namespace pclust::align {
+
+namespace {
+
+/// Pick the center: the member with the greatest summed global score to the
+/// others. For large families each candidate is scored against a fixed
+/// deterministic sample to keep this O(k · sample).
+std::size_t choose_center(const seq::SequenceSet& set,
+                          const std::vector<seq::SeqId>& members,
+                          const ScoringScheme& scheme) {
+  const std::size_t k = members.size();
+  if (k <= 2) return 0;
+  constexpr std::size_t kSampleCap = 12;
+
+  std::size_t best = 0;
+  std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t i = 0; i < k; ++i) {
+    std::int64_t total = 0;
+    std::size_t sampled = 0;
+    // Sample others at a fixed stride so every candidate sees a spread of
+    // the family, deterministically.
+    const std::size_t stride = std::max<std::size_t>(1, k / kSampleCap);
+    for (std::size_t j = i % stride; j < k && sampled < kSampleCap;
+         j += stride) {
+      if (j == i) continue;
+      total += global_align(set.residues(members[i]),
+                            set.residues(members[j]), scheme)
+                   .score;
+      ++sampled;
+    }
+    if (total > best_score) {
+      best_score = total;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string Msa::consensus() const {
+  std::string out(columns(), '-');
+  for (std::size_t col = 0; col < columns(); ++col) {
+    std::map<char, std::size_t> votes;
+    for (const auto& row : rows) ++votes[row[col]];
+    char best = '-';
+    std::size_t best_count = 0;
+    for (const auto& [residue, count] : votes) {
+      if (count > best_count) {
+        best = residue;
+        best_count = count;
+      }
+    }
+    out[col] = best;
+  }
+  return out;
+}
+
+std::vector<double> Msa::column_conservation() const {
+  const std::string cons = consensus();
+  std::vector<double> out(columns(), 0.0);
+  for (std::size_t col = 0; col < columns(); ++col) {
+    std::size_t residues = 0, agree = 0;
+    for (const auto& row : rows) {
+      if (row[col] == '-') continue;
+      ++residues;
+      if (row[col] == cons[col]) ++agree;
+    }
+    out[col] = residues ? static_cast<double>(agree) /
+                              static_cast<double>(residues)
+                        : 0.0;
+  }
+  return out;
+}
+
+Msa center_star_msa(const seq::SequenceSet& set,
+                    const std::vector<seq::SeqId>& members,
+                    const ScoringScheme& scheme) {
+  if (members.empty()) {
+    throw std::invalid_argument("center_star_msa: no members");
+  }
+  Msa msa;
+  msa.members = members;
+  msa.center = choose_center(set, members, scheme);
+  const auto center_res = set.residues(members[msa.center]);
+  const std::size_t center_len = center_res.size();
+
+  // Pairwise paths member <-> center, and the merged gap structure:
+  // gaps[i] = columns inserted before center residue i (i == center_len for
+  // the tail block). "Once a gap, always a gap."
+  std::vector<std::vector<EditOp>> paths(members.size());
+  std::vector<std::size_t> gaps(center_len + 1, 0);
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    if (r == msa.center) continue;
+    (void)global_align_path(center_res, set.residues(members[r]), scheme,
+                            paths[r]);
+    std::size_t i = 0, run = 0;
+    for (const EditOp op : paths[r]) {
+      if (op == EditOp::kGapInA) {  // insertion relative to the center
+        ++run;
+      } else {
+        gaps[i] = std::max(gaps[i], run);
+        run = 0;
+        ++i;
+      }
+    }
+    gaps[center_len] = std::max(gaps[center_len], run);
+  }
+
+  // Column layout: col_of(i) = position of center residue i.
+  std::vector<std::size_t> col_of(center_len + 1);
+  std::size_t col = 0;
+  for (std::size_t i = 0; i <= center_len; ++i) {
+    col += gaps[i];
+    col_of[i] = col;
+    ++col;  // the residue slot itself (the i == center_len slot is virtual)
+  }
+  const std::size_t total_cols = col_of[center_len];
+
+  msa.rows.assign(members.size(), std::string(total_cols, '-'));
+
+  // Center row.
+  auto& center_row = msa.rows[msa.center];
+  for (std::size_t i = 0; i < center_len; ++i) {
+    center_row[col_of[i]] =
+        seq::rank_to_char(static_cast<std::uint8_t>(center_res[i]));
+  }
+
+  // Member rows: walk each path, placing insertions left-aligned in the
+  // gap block before the current center residue.
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    if (r == msa.center) continue;
+    const auto member_res = set.residues(members[r]);
+    auto& row = msa.rows[r];
+    std::size_t i = 0;       // center index
+    std::size_t m_idx = 0;   // member index
+    std::size_t ins = 0;     // insertions placed in the current gap block
+    for (const EditOp op : paths[r]) {
+      switch (op) {
+        case EditOp::kGapInA:
+          row[col_of[i] - gaps[i] + ins] = seq::rank_to_char(
+              static_cast<std::uint8_t>(member_res[m_idx]));
+          ++ins;
+          ++m_idx;
+          break;
+        case EditOp::kSubstitute:
+          row[col_of[i]] = seq::rank_to_char(
+              static_cast<std::uint8_t>(member_res[m_idx]));
+          ++i;
+          ++m_idx;
+          ins = 0;
+          break;
+        case EditOp::kGapInB:
+          ++i;  // center residue vs gap: row keeps '-'
+          ins = 0;
+          break;
+      }
+    }
+  }
+  return msa;
+}
+
+}  // namespace pclust::align

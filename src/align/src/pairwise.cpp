@@ -1,0 +1,285 @@
+#include "pclust/align/pairwise.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace pclust::align {
+
+namespace {
+
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+// Traceback codes. For the M (substitution) state the predecessor is the
+// best of {M, X, Y} at (i-1, j-1), or a fresh local start.
+enum Tb : std::uint8_t { kFromM = 0, kFromX = 1, kFromY = 2, kStart = 3 };
+
+// DP variants sharing one engine.
+enum class Mode {
+  kGlobal,      // end-to-end in both sequences
+  kLocal,       // best positive region (Smith-Waterman)
+  kSemiglobal,  // a end-to-end; b's flanks are free ("glocal")
+};
+
+/// Shared DP engine. When `global` is true, borders are initialized with
+/// affine gap penalties and the answer is the best end state at (m, n);
+/// otherwise the recurrence is clamped at zero (Smith–Waterman) and the
+/// answer is the best M cell anywhere. The band restricts computation to
+/// diagonals |i - j - diagonal| <= band (band >= m + n disables it).
+AlignmentResult align_impl(std::string_view a, std::string_view b,
+                           const ScoringScheme& scheme, Mode mode,
+                           std::int64_t diagonal, std::int64_t band,
+                           std::vector<EditOp>* path = nullptr) {
+  if (path) path->clear();
+  const bool global = mode == Mode::kGlobal;
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::int32_t open =
+      static_cast<std::int32_t>(scheme.gap_open) + scheme.gap_extend;
+  const std::int32_t extend = scheme.gap_extend;
+
+  const std::size_t stride = n + 1;
+  const auto at = [stride](std::size_t i, std::size_t j) {
+    return i * stride + j;
+  };
+
+  std::vector<std::int32_t> M((m + 1) * stride, kNegInf);
+  std::vector<std::int32_t> X((m + 1) * stride, kNegInf);
+  std::vector<std::int32_t> Y((m + 1) * stride, kNegInf);
+  std::vector<std::uint8_t> tbM((m + 1) * stride, kStart);
+  std::vector<std::uint8_t> tbX((m + 1) * stride, kFromM);
+  std::vector<std::uint8_t> tbY((m + 1) * stride, kFromM);
+
+  M[at(0, 0)] = 0;
+  switch (mode) {
+    case Mode::kGlobal:
+      for (std::size_t i = 1; i <= m; ++i) {
+        X[at(i, 0)] = -open - static_cast<std::int32_t>(i - 1) * extend;
+        tbX[at(i, 0)] = (i == 1) ? kFromM : kFromX;
+      }
+      for (std::size_t j = 1; j <= n; ++j) {
+        Y[at(0, j)] = -open - static_cast<std::int32_t>(j - 1) * extend;
+        tbY[at(0, j)] = (j == 1) ? kFromM : kFromY;
+      }
+      break;
+    case Mode::kLocal:
+      // Every cell can start fresh; model by M=0 on the borders (traceback
+      // stops at kStart anyway).
+      for (std::size_t i = 0; i <= m; ++i) M[at(i, 0)] = 0;
+      for (std::size_t j = 0; j <= n; ++j) M[at(0, j)] = 0;
+      break;
+    case Mode::kSemiglobal:
+      // a must be consumed entirely (X border charged as global); b may
+      // start anywhere for free.
+      for (std::size_t i = 1; i <= m; ++i) {
+        X[at(i, 0)] = -open - static_cast<std::int32_t>(i - 1) * extend;
+        tbX[at(i, 0)] = (i == 1) ? kFromM : kFromX;
+      }
+      for (std::size_t j = 0; j <= n; ++j) M[at(0, j)] = 0;
+      break;
+  }
+
+  std::uint64_t cells = 0;
+  std::int32_t best = global ? kNegInf : 0;
+  std::size_t best_i = 0, best_j = 0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    // Band limits for this row: j such that |(i - j) - diagonal| <= band.
+    std::size_t j_lo = 1, j_hi = n;
+    if (band < static_cast<std::int64_t>(m + n)) {
+      const std::int64_t center = static_cast<std::int64_t>(i) - diagonal;
+      const std::int64_t lo64 = std::max<std::int64_t>(1, center - band);
+      const std::int64_t hi64 =
+          std::min<std::int64_t>(static_cast<std::int64_t>(n), center + band);
+      if (lo64 > hi64) continue;  // band misses this row entirely
+      j_lo = static_cast<std::size_t>(lo64);
+      j_hi = static_cast<std::size_t>(hi64);
+    }
+    const auto ai = static_cast<std::uint8_t>(a[i - 1]);
+    cells += j_hi - j_lo + 1;
+
+    // Hot loop: raw row pointers, no sentinel guards. kNegInf is
+    // INT32_MIN/4, and every computed value is at most (m+n)*(open+|sub|)
+    // below a neighbor, so "negative infinity" degrades gracefully without
+    // ever wrapping or winning a max against a real score.
+    std::int32_t* m_row = &M[at(i, 0)];
+    std::int32_t* x_row = &X[at(i, 0)];
+    std::int32_t* y_row = &Y[at(i, 0)];
+    const std::int32_t* m_prev = &M[at(i - 1, 0)];
+    const std::int32_t* x_prev = &X[at(i - 1, 0)];
+    const std::int32_t* y_prev = &Y[at(i - 1, 0)];
+    std::uint8_t* tbm_row = &tbM[at(i, 0)];
+    std::uint8_t* tbx_row = &tbX[at(i, 0)];
+    std::uint8_t* tby_row = &tbY[at(i, 0)];
+    const auto& sub_row = scheme.substitution[ai];
+
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      // X: gap in b (consume a[i-1]).
+      const std::int32_t x_from_m = m_prev[j] - open;
+      const std::int32_t x_from_x = x_prev[j] - extend;
+      const bool x_take_m = x_from_m >= x_from_x;
+      x_row[j] = x_take_m ? x_from_m : x_from_x;
+      tbx_row[j] = x_take_m ? kFromM : kFromX;
+
+      // Y: gap in a (consume b[j-1]).
+      const std::int32_t y_from_m = m_row[j - 1] - open;
+      const std::int32_t y_from_y = y_row[j - 1] - extend;
+      const bool y_take_m = y_from_m >= y_from_y;
+      y_row[j] = y_take_m ? y_from_m : y_from_y;
+      tby_row[j] = y_take_m ? kFromM : kFromY;
+
+      // M: substitute a[i-1] with b[j-1].
+      std::int32_t prev = m_prev[j - 1];
+      std::uint8_t tb = kFromM;
+      if (x_prev[j - 1] > prev) {
+        prev = x_prev[j - 1];
+        tb = kFromX;
+      }
+      if (y_prev[j - 1] > prev) {
+        prev = y_prev[j - 1];
+        tb = kFromY;
+      }
+      if (mode == Mode::kLocal && prev < 0) {
+        prev = 0;
+        tb = kStart;
+      }
+      const std::int32_t value =
+          prev + sub_row[static_cast<std::uint8_t>(b[j - 1])];
+      m_row[j] = value;
+      tbm_row[j] = tb;
+      if (mode == Mode::kLocal && value > best) {
+        best = value;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  AlignmentResult result;
+  result.cells = cells;
+
+  std::uint8_t state = kFromM;
+  std::size_t i = m, j = n;
+  if (mode == Mode::kGlobal) {
+    const std::size_t end = at(m, n);
+    best = M[end];
+    state = kFromM;
+    if (X[end] > best) {
+      best = X[end];
+      state = kFromX;
+    }
+    if (Y[end] > best) {
+      best = Y[end];
+      state = kFromY;
+    }
+    result.score = best;
+  } else if (mode == Mode::kSemiglobal) {
+    // a fully consumed; b's trailing flank is free: best M/X over row m.
+    best = kNegInf;
+    for (std::size_t jj = 0; jj <= n; ++jj) {
+      if (M[at(m, jj)] > best) {
+        best = M[at(m, jj)];
+        j = jj;
+        state = kFromM;
+      }
+      if (X[at(m, jj)] > best) {
+        best = X[at(m, jj)];
+        j = jj;
+        state = kFromX;
+      }
+    }
+    result.score = best;
+  } else {
+    if (best <= 0) return result;  // no positive local alignment
+    result.score = best;
+    i = best_i;
+    j = best_j;
+    state = kFromM;
+  }
+
+  result.a_end = static_cast<std::uint32_t>(i);
+  result.b_end = static_cast<std::uint32_t>(j);
+
+  // Traceback. Stops at (0,0) for global; at row 0 for semiglobal (b's
+  // leading flank is free); for local, at the first zero-score M cell
+  // (standard Smith-Waterman semantics) or a fresh-start marker.
+  while (i > 0 || j > 0) {
+    if (mode == Mode::kSemiglobal && i == 0) break;
+    if (mode == Mode::kLocal && state == kFromM && M[at(i, j)] <= 0) break;
+    if (state == kFromM) {
+      const std::uint8_t tb = tbM[at(i, j)];
+      if (i == 0 && j == 0) break;
+      if (path) path->push_back(EditOp::kSubstitute);
+      assert(i > 0 && j > 0);
+      const std::int16_t sub = scheme.score(static_cast<std::uint8_t>(a[i - 1]),
+                                            static_cast<std::uint8_t>(b[j - 1]));
+      ++result.columns;
+      if (a[i - 1] == b[j - 1]) ++result.matches;
+      if (sub > 0) ++result.positives;
+      --i;
+      --j;
+      state = (tb == kStart) ? static_cast<std::uint8_t>(kFromM) : tb;
+      if (i == 0 && j == 0) break;
+      if (mode == Mode::kLocal && tb == kStart) break;
+    } else if (state == kFromX) {
+      assert(i > 0);
+      if (path) path->push_back(EditOp::kGapInB);
+      ++result.columns;
+      ++result.gap_columns;
+      const std::uint8_t tb = tbX[at(i, j)];
+      --i;
+      state = tb;
+    } else {  // kFromY
+      assert(j > 0);
+      if (path) path->push_back(EditOp::kGapInA);
+      ++result.columns;
+      ++result.gap_columns;
+      const std::uint8_t tb = tbY[at(i, j)];
+      --j;
+      state = tb;
+    }
+  }
+
+  result.a_begin = static_cast<std::uint32_t>(i);
+  result.b_begin = static_cast<std::uint32_t>(j);
+  if (path) std::reverse(path->begin(), path->end());
+  return result;
+}
+
+}  // namespace
+
+AlignmentResult global_align(std::string_view a, std::string_view b,
+                             const ScoringScheme& scheme) {
+  return align_impl(a, b, scheme, Mode::kGlobal, 0,
+                    static_cast<std::int64_t>(a.size() + b.size()));
+}
+
+AlignmentResult global_align_path(std::string_view a, std::string_view b,
+                                  const ScoringScheme& scheme,
+                                  std::vector<EditOp>& path) {
+  return align_impl(a, b, scheme, Mode::kGlobal, 0,
+                    static_cast<std::int64_t>(a.size() + b.size()), &path);
+}
+
+AlignmentResult semiglobal_align(std::string_view a, std::string_view b,
+                                 const ScoringScheme& scheme) {
+  return align_impl(a, b, scheme, Mode::kSemiglobal, 0,
+                    static_cast<std::int64_t>(a.size() + b.size()));
+}
+
+AlignmentResult local_align(std::string_view a, std::string_view b,
+                            const ScoringScheme& scheme) {
+  return align_impl(a, b, scheme, Mode::kLocal, 0,
+                    static_cast<std::int64_t>(a.size() + b.size()));
+}
+
+AlignmentResult banded_local_align(std::string_view a, std::string_view b,
+                                   const ScoringScheme& scheme,
+                                   std::int64_t diagonal,
+                                   std::uint32_t band_halfwidth) {
+  return align_impl(a, b, scheme, Mode::kLocal, diagonal,
+                    static_cast<std::int64_t>(band_halfwidth));
+}
+
+}  // namespace pclust::align

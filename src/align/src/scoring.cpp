@@ -1,0 +1,72 @@
+#include "pclust/align/scoring.hpp"
+
+namespace pclust::align {
+
+namespace {
+
+// BLOSUM62 in its conventional publication order; remapped to pclust rank
+// order at initialization so a transcription slip cannot silently reorder
+// rows.
+constexpr const char* kBlosumOrder = "ARNDCQEGHILKMFPSTWYV";
+constexpr std::int16_t kBlosum62[20][20] = {
+    /*A*/ {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+    /*R*/ {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+    /*N*/ {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+    /*D*/ {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+    /*C*/ {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+    /*Q*/ {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+    /*E*/ {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+    /*G*/ {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+    /*H*/ {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+    /*I*/ {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+    /*L*/ {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+    /*K*/ {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+    /*M*/ {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+    /*F*/ {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+    /*P*/ {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+    /*S*/ {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+    /*T*/ {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+    /*W*/ {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+    /*Y*/ {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},
+    /*V*/ {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},
+};
+
+ScoringScheme build_blosum62() {
+  ScoringScheme s;
+  // Everything involving X scores -1 (BLAST convention).
+  for (auto& row : s.substitution) row.fill(-1);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint8_t ri = seq::char_to_rank(kBlosumOrder[i]);
+    for (int j = 0; j < 20; ++j) {
+      const std::uint8_t rj = seq::char_to_rank(kBlosumOrder[j]);
+      s.substitution[ri][rj] = kBlosum62[i][j];
+    }
+  }
+  s.gap_open = 11;
+  s.gap_extend = 1;
+  return s;
+}
+
+}  // namespace
+
+const ScoringScheme& blosum62() {
+  static const ScoringScheme kScheme = build_blosum62();
+  return kScheme;
+}
+
+ScoringScheme identity_scoring(std::int16_t match, std::int16_t mismatch,
+                               std::int16_t gap_open,
+                               std::int16_t gap_extend) {
+  ScoringScheme s;
+  for (int i = 0; i < seq::kAlphabetSize; ++i) {
+    for (int j = 0; j < seq::kAlphabetSize; ++j) {
+      s.substitution[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          (i == j) ? match : mismatch;
+    }
+  }
+  s.gap_open = gap_open;
+  s.gap_extend = gap_extend;
+  return s;
+}
+
+}  // namespace pclust::align

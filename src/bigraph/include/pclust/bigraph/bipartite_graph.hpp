@@ -1,0 +1,63 @@
+// Undirected bipartite graph B = (Vl, Vr, E), stored as a left-to-right
+// adjacency CSR — exactly the out-link sets Γ(v) the Shingle algorithm
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pclust::bigraph {
+
+/// An edge from left vertex l to right vertex r.
+struct Edge {
+  std::uint32_t l = 0;
+  std::uint32_t r = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Build from an edge list (duplicates collapsed; neighbor lists sorted).
+  BipartiteGraph(std::uint32_t left_count, std::uint32_t right_count,
+                 std::vector<Edge> edges);
+
+  [[nodiscard]] std::uint32_t left_count() const { return left_count_; }
+  [[nodiscard]] std::uint32_t right_count() const { return right_count_; }
+  [[nodiscard]] std::uint64_t edge_count() const { return adjacency_.size(); }
+
+  /// Out-links Γ(l) of left vertex l, sorted ascending.
+  [[nodiscard]] std::span<const std::uint32_t> out_links(
+      std::uint32_t l) const {
+    return std::span<const std::uint32_t>(adjacency_).subspan(
+        offsets_[l], offsets_[l + 1] - offsets_[l]);
+  }
+
+  [[nodiscard]] std::uint32_t degree(std::uint32_t l) const {
+    return static_cast<std::uint32_t>(offsets_[l + 1] - offsets_[l]);
+  }
+
+  [[nodiscard]] bool has_edge(std::uint32_t l, std::uint32_t r) const;
+
+ private:
+  std::uint32_t left_count_ = 0;
+  std::uint32_t right_count_ = 0;
+  std::vector<std::size_t> offsets_;      // left_count_ + 1
+  std::vector<std::uint32_t> adjacency_;  // right vertices, sorted per left
+};
+
+/// Mean within-subgraph degree of @p nodes in a DUPLICATE-reduction graph
+/// (where left index i and right index i are the same vertex, so out_links
+/// double as an undirected adjacency). This is the paper's Table-I
+/// "mean degree" for a dense subgraph.
+[[nodiscard]] double mean_subgraph_degree(const BipartiteGraph& graph,
+                                          const std::vector<std::uint32_t>& nodes);
+
+/// Observed density of a dense subgraph with m nodes: mean degree / (m-1)
+/// (paper §V, "Qualitative Evaluation"). 0 when m < 2.
+[[nodiscard]] double subgraph_density(const BipartiteGraph& graph,
+                                      const std::vector<std::uint32_t>& nodes);
+
+}  // namespace pclust::bigraph

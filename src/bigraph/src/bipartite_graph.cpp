@@ -1,0 +1,57 @@
+#include "pclust/bigraph/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pclust::bigraph {
+
+BipartiteGraph::BipartiteGraph(std::uint32_t left_count,
+                               std::uint32_t right_count,
+                               std::vector<Edge> edges)
+    : left_count_(left_count), right_count_(right_count) {
+  for (const Edge& e : edges) {
+    if (e.l >= left_count || e.r >= right_count) {
+      throw std::out_of_range("BipartiteGraph: edge endpoint out of range");
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.l != b.l ? a.l < b.l : a.r < b.r;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  offsets_.assign(left_count_ + 1, 0);
+  for (const Edge& e : edges) ++offsets_[e.l + 1];
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  adjacency_.reserve(edges.size());
+  for (const Edge& e : edges) adjacency_.push_back(e.r);
+}
+
+bool BipartiteGraph::has_edge(std::uint32_t l, std::uint32_t r) const {
+  const auto links = out_links(l);
+  return std::binary_search(links.begin(), links.end(), r);
+}
+
+double mean_subgraph_degree(const BipartiteGraph& graph,
+                            const std::vector<std::uint32_t>& nodes) {
+  if (nodes.empty()) return 0.0;
+  const std::unordered_set<std::uint32_t> inside(nodes.begin(), nodes.end());
+  std::uint64_t total = 0;
+  for (std::uint32_t v : nodes) {
+    for (std::uint32_t u : graph.out_links(v)) {
+      if (inside.count(u)) ++total;
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(nodes.size());
+}
+
+double subgraph_density(const BipartiteGraph& graph,
+                        const std::vector<std::uint32_t>& nodes) {
+  if (nodes.size() < 2) return 0.0;
+  return mean_subgraph_degree(graph, nodes) /
+         static_cast<double>(nodes.size() - 1);
+}
+
+}  // namespace pclust::bigraph

@@ -1,0 +1,105 @@
+#include "pclust/bigraph/builders.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pclust/align/predicates.hpp"
+#include "pclust/suffix/kmer_index.hpp"
+#include "pclust/suffix/lcp.hpp"
+#include "pclust/suffix/maximal_match.hpp"
+#include "pclust/suffix/suffix_array.hpp"
+
+namespace pclust::bigraph {
+
+ComponentGraph build_bd(const seq::SequenceSet& set,
+                        const std::vector<seq::SeqId>& members,
+                        const BdParams& params) {
+  ComponentGraph out;
+  out.reduction = Reduction::kDuplicate;
+  out.members = members;
+
+  std::unordered_map<seq::SeqId, std::uint32_t> dense;
+  dense.reserve(members.size());
+  for (std::uint32_t i = 0; i < members.size(); ++i) dense[members[i]] = i;
+
+  const pace::PaceParams& pp = params.pace;
+  const suffix::ConcatText text(set, members);
+  const auto sa =
+      suffix::build_suffix_array(text.text(), seq::kIndexAlphabetSize);
+  const auto lcp = suffix::build_lcp(text, sa);
+  suffix::MaximalMatchParams mp;
+  mp.min_length = pp.psi;
+  mp.max_node_occurrences = pp.max_node_occurrences;
+  const suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
+
+  // One alignment per candidate pair: keep the longest maximal match per
+  // pair as the banded-alignment seed (pairs arrive longest-first).
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  if (!sa.empty()) {
+    enumerator.enumerate(
+        0, static_cast<std::int32_t>(sa.size()) - 1,
+        [&](const suffix::MaximalMatch& m) {
+          ++out.candidate_pairs;
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(m.a) << 32) | m.b;
+          if (!seen.insert(key).second) return true;
+          ++out.aligned_pairs;
+          const auto res_a = set.residues(m.a);
+          const auto res_b = set.residues(m.b);
+          const align::PredicateOutcome res =
+              pp.band > 0 ? align::test_overlap_banded(
+                                res_a, res_b, pp.scheme(), m.diagonal(),
+                                pp.band, pp.overlap)
+                          : align::test_overlap(res_a, res_b, pp.scheme(),
+                                                pp.overlap);
+          out.alignment_cells += res.alignment.cells;
+          if (res.accepted) {
+            const std::uint32_t i = dense.at(m.a);
+            const std::uint32_t j = dense.at(m.b);
+            edges.push_back(Edge{i, j});
+            edges.push_back(Edge{j, i});
+          }
+          return true;
+        });
+  }
+  out.graph = BipartiteGraph(static_cast<std::uint32_t>(members.size()),
+                             static_cast<std::uint32_t>(members.size()),
+                             std::move(edges));
+  return out;
+}
+
+ComponentGraph build_bm(const seq::SequenceSet& set,
+                        const std::vector<seq::SeqId>& members,
+                        const BmParams& params) {
+  ComponentGraph out;
+  out.reduction = Reduction::kMatchBased;
+  out.members = members;
+
+  std::unordered_map<seq::SeqId, std::uint32_t> dense;
+  dense.reserve(members.size());
+  for (std::uint32_t i = 0; i < members.size(); ++i) dense[members[i]] = i;
+
+  suffix::KmerIndex::Params kp;
+  kp.w = params.w;
+  kp.max_sequences_per_word = params.max_sequences_per_word;
+  const suffix::KmerIndex index(set, members, kp);
+
+  std::vector<Edge> edges;
+  out.words.reserve(index.word_count());
+  for (std::size_t w = 0; w < index.word_count(); ++w) {
+    const auto l = static_cast<std::uint32_t>(out.words.size());
+    out.words.push_back(index.packed_word(w));
+    for (seq::SeqId id : index.sequences_of(w)) {
+      edges.push_back(Edge{l, dense.at(id)});
+      ++out.candidate_pairs;
+    }
+  }
+  out.graph = BipartiteGraph(static_cast<std::uint32_t>(out.words.size()),
+                             static_cast<std::uint32_t>(members.size()),
+                             std::move(edges));
+  return out;
+}
+
+}  // namespace pclust::bigraph

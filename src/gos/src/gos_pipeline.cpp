@@ -1,0 +1,152 @@
+#include "pclust/gos/gos_pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pclust/dsu/union_find.hpp"
+
+namespace pclust::gos {
+
+namespace {
+
+/// |a ∩ b| for sorted vectors.
+std::uint32_t shared_count(const std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b) {
+  std::uint32_t n = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+GosResult run_gos(const seq::SequenceSet& set, const GosParams& params) {
+  GosResult out;
+  SeededAligner aligner(set, params.aligner, align::blosum62());
+
+  // ---- Step 1: redundancy removal (all-versus-all containment) ---------
+  out.removed.assign(set.size(), 0);
+  for (seq::SeqId a = 0; a < set.size(); ++a) {
+    for (seq::SeqId b = a + 1; b < set.size(); ++b) {
+      if (out.removed[a] && out.removed[b]) continue;
+      const auto r = aligner.align(a, b);
+      ++out.alignments;
+      if (!r) continue;
+      const bool sim_ok =
+          r->identity() >= params.containment_similarity;
+      if (!sim_ok) continue;
+      if (!out.removed[a] && !out.removed[b] &&
+          r->a_coverage(set.length(a)) >= params.containment_coverage) {
+        out.removed[a] = 1;
+        continue;
+      }
+      if (!out.removed[a] && !out.removed[b] &&
+          r->b_coverage(set.length(b)) >= params.containment_coverage) {
+        out.removed[b] = 1;
+      }
+    }
+  }
+  for (seq::SeqId id = 0; id < set.size(); ++id) {
+    if (!out.removed[id]) out.non_redundant.push_back(id);
+  }
+
+  // ---- Step 2: similarity graph over the non-redundant set -------------
+  const auto m = static_cast<std::uint32_t>(out.non_redundant.size());
+  std::vector<std::vector<std::uint32_t>> adj(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = i + 1; j < m; ++j) {
+      const seq::SeqId a = out.non_redundant[i];
+      const seq::SeqId b = out.non_redundant[j];
+      const auto r = aligner.align(a, b);
+      ++out.alignments;
+      if (!r) continue;
+      const double long_cov = set.length(a) >= set.length(b)
+                                  ? r->a_coverage(set.length(a))
+                                  : r->b_coverage(set.length(b));
+      if (r->identity() >= params.edge_similarity &&
+          long_cov >= params.edge_coverage) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+        ++out.graph_edges;
+      }
+    }
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+
+  // ---- Step 3: core sets, expansion, merge ------------------------------
+  // Deterministic order: descending degree, then ascending index.
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    if (adj[x].size() != adj[y].size()) return adj[x].size() > adj[y].size();
+    return x < y;
+  });
+
+  dsu::UnionFind uf(m);
+  std::vector<std::uint8_t> in_core(m, 0);
+  for (std::uint32_t v : order) {
+    if (in_core[v]) continue;
+    in_core[v] = 1;
+    std::uint32_t core_size = 1;
+    // Absorb neighbors sharing >= k neighbors with the seed, largest
+    // degree first, while the core stays under the cap.
+    std::vector<std::uint32_t> candidates = adj[v];
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                if (adj[x].size() != adj[y].size()) {
+                  return adj[x].size() > adj[y].size();
+                }
+                return x < y;
+              });
+    for (std::uint32_t u : candidates) {
+      if (core_size >= params.core_size_cap) break;
+      if (in_core[u]) continue;
+      if (shared_count(adj[u], adj[v]) >= params.shared_neighbors_k) {
+        in_core[u] = 1;
+        uf.merge(u, v);
+        ++core_size;
+      }
+    }
+  }
+  // Expansion with the same relaxed shared-neighbor rule: any vertex
+  // sharing >= k neighbors with an already-grouped neighbor joins its set;
+  // expanded sets that intersect merge transitively through union-find.
+  for (std::uint32_t u = 0; u < m; ++u) {
+    for (std::uint32_t w : adj[u]) {
+      if (uf.same(u, w)) continue;
+      if (shared_count(adj[u], adj[w]) >= params.shared_neighbors_k) {
+        uf.merge(u, w);
+      }
+    }
+  }
+
+  for (auto& members : uf.extract_sets(params.min_cluster)) {
+    std::vector<seq::SeqId> cluster;
+    cluster.reserve(members.size());
+    for (std::uint32_t dense : members) {
+      cluster.push_back(out.non_redundant[dense]);
+    }
+    std::sort(cluster.begin(), cluster.end());
+    out.clusters.push_back(std::move(cluster));
+  }
+  std::sort(out.clusters.begin(), out.clusters.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();
+            });
+
+  out.cells = aligner.total_cells();
+  return out;
+}
+
+}  // namespace pclust::gos

@@ -1,0 +1,134 @@
+// Communicator: the per-rank handle of the message-passing simulator.
+//
+// Semantics follow a small MPI subset — blocking tagged point-to-point
+// send/recv (FIFO per (src, dst, tag)), barrier, broadcast, gather — with a
+// virtual clock per rank:
+//   - compute is charged explicitly via charge_*() (analytic op counts);
+//   - send() stamps the payload with the sender's current virtual time;
+//   - recv() advances the receiver to max(own, stamp + latency + bytes/bw).
+// Ranks execute on real threads, so the wall-clock interleaving is
+// arbitrary, but the VIRTUAL times are a function of the communication
+// pattern alone, which is what the scalability benches measure.
+//
+// Payloads move through std::any in-process; `bytes` is the size the
+// payload WOULD have on the wire and only affects the clock.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pclust/mpsim/machine_model.hpp"
+
+namespace pclust::mpsim {
+
+class Transport;  // internal shared state (runtime.cpp)
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::any payload;
+  std::uint64_t bytes = 0;
+  double send_time = 0.0;
+
+  template <typename T>
+  [[nodiscard]] T take() {
+    return std::any_cast<T>(std::move(payload));
+  }
+};
+
+/// Per-rank virtual clock (seconds since phase start).
+class VirtualClock {
+ public:
+  void advance(double seconds) { now_ += seconds; }
+  void advance_to(double t) {
+    if (t > now_) now_ = t;
+  }
+  [[nodiscard]] double now() const { return now_; }
+
+ private:
+  double now_ = 0.0;
+};
+
+class Communicator {
+ public:
+  Communicator(Transport& transport, int rank, const MachineModel& model);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] const MachineModel& model() const { return model_; }
+  [[nodiscard]] VirtualClock& clock() { return clock_; }
+  [[nodiscard]] const VirtualClock& clock() const { return clock_; }
+
+  // -- compute cost charging ------------------------------------------------
+  void charge_cells(std::uint64_t n) {
+    clock_.advance(static_cast<double>(n) * model_.cell_cost);
+  }
+  void charge_index_chars(std::uint64_t n) {
+    clock_.advance(static_cast<double>(n) * model_.index_char_cost);
+  }
+  void charge_pairs(std::uint64_t n) {
+    clock_.advance(static_cast<double>(n) * model_.pair_cost);
+  }
+  void charge_finds(std::uint64_t n) {
+    clock_.advance(static_cast<double>(n) * model_.find_cost);
+  }
+
+  // -- point-to-point -------------------------------------------------------
+  /// Blocking-buffered send (never waits). @p bytes is the wire size used
+  /// for the receiver's clock; pass an honest estimate.
+  void send(int dst, int tag, std::any payload, std::uint64_t bytes);
+
+  /// Blocking receive of the next message from @p src with tag @p tag
+  /// (FIFO per src/tag). Advances this rank's clock to the arrival time.
+  Message recv(int src, int tag);
+
+  /// True if a matching message is already queued (does not block or
+  /// advance the clock).
+  [[nodiscard]] bool poll(int src, int tag) const;
+
+  // -- collectives ----------------------------------------------------------
+  /// All ranks synchronize; every clock advances to the global max plus a
+  /// log2(p) latency term.
+  void barrier();
+
+  /// Root's payload is delivered to every rank (binomial-tree time model).
+  std::any broadcast(int root, std::any payload, std::uint64_t bytes);
+
+  /// Every rank contributes a double; all ranks receive the max.
+  double allreduce_max(double value);
+
+  /// Every rank contributes a double; all ranks receive the sum.
+  double allreduce_sum(double value);
+
+  /// Every rank contributes a payload; the root receives them ordered by
+  /// rank (others get an empty vector). Linear message count, tree-shaped
+  /// completion time at the root.
+  std::vector<std::any> gather(int root, std::any payload,
+                               std::uint64_t bytes);
+
+  /// The root distributes one payload per rank; each rank receives its own.
+  std::any scatter(int root, std::vector<std::any> payloads,
+                   std::uint64_t bytes_each);
+
+  // -- counters -------------------------------------------------------------
+  /// Free-form per-rank statistics, aggregated into RunResult.
+  void count(const std::string& key, std::uint64_t delta = 1);
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+ private:
+  Transport& transport_;
+  int rank_;
+  const MachineModel& model_;
+  VirtualClock clock_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace pclust::mpsim

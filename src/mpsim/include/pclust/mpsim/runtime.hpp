@@ -1,0 +1,35 @@
+// Runtime entry point: run a rank function on p simulated processors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pclust/mpsim/communicator.hpp"
+
+namespace pclust::mpsim {
+
+struct RunResult {
+  /// Final virtual clock of each rank, seconds.
+  std::vector<double> rank_times;
+  /// max(rank_times): the simulated parallel run-time of the phase.
+  double makespan = 0.0;
+  /// Per-rank counters summed over all ranks.
+  std::map<std::string, std::uint64_t> counters;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& key) const {
+    const auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+/// Execute @p fn on @p p ranks (each a real thread) against @p model.
+/// Returns once every rank function has returned. Exceptions thrown by any
+/// rank are rethrown here (the first one, by rank order) after all threads
+/// have been joined.
+RunResult run(int p, const MachineModel& model,
+              const std::function<void(Communicator&)>& fn);
+
+}  // namespace pclust::mpsim

@@ -1,0 +1,204 @@
+#include "pclust/mpsim/communicator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "transport.hpp"
+
+namespace pclust::mpsim {
+
+namespace {
+
+// Internal collective tags (user tags must be >= 0).
+constexpr int kBcastTag = -2;
+constexpr int kReduceTag = -3;
+constexpr int kGatherTag = -4;
+constexpr int kScatterTag = -5;
+
+int tree_depth(int p) {
+  return p <= 1 ? 0
+               : std::bit_width(static_cast<unsigned>(p - 1));  // ceil(log2 p)
+}
+
+}  // namespace
+
+Communicator::Communicator(Transport& transport, int rank,
+                           const MachineModel& model)
+    : transport_(transport), rank_(rank), model_(model) {}
+
+int Communicator::size() const { return transport_.size(); }
+
+void Communicator::send(int dst, int tag, std::any payload,
+                        std::uint64_t bytes) {
+  // Sender pays the injection overhead; the receiver's clock is advanced at
+  // take time from the stamp.
+  clock_.advance(model_.latency);
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  msg.bytes = bytes;
+  msg.send_time = clock_.now();
+  transport_.deliver(dst, std::move(msg));
+}
+
+Message Communicator::recv(int src, int tag) {
+  Message msg = transport_.take(rank_, src, tag);
+  clock_.advance_to(msg.send_time + model_.latency +
+                    static_cast<double>(msg.bytes) * model_.byte_cost);
+  return msg;
+}
+
+bool Communicator::poll(int src, int tag) const {
+  return transport_.poll(rank_, src, tag);
+}
+
+void Communicator::barrier() {
+  const double released = transport_.barrier_wait(clock_.now());
+  clock_.advance_to(released +
+                    2.0 * model_.latency * tree_depth(size()));
+}
+
+std::any Communicator::broadcast(int root, std::any payload,
+                                 std::uint64_t bytes) {
+  const int depth = tree_depth(size());
+  if (rank_ == root) {
+    // Binomial-tree time model: every rank has the payload after `depth`
+    // rounds of (latency + transfer).
+    const double per_round =
+        model_.latency + static_cast<double>(bytes) * model_.byte_cost;
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == root) continue;
+      Message msg;
+      msg.src = root;
+      msg.tag = kBcastTag;
+      msg.payload = payload;  // copy to each rank
+      msg.bytes = 0;          // timing handled via the stamp below
+      msg.send_time = clock_.now() + depth * per_round;
+      transport_.deliver(dst, std::move(msg));
+    }
+    clock_.advance(depth * per_round);
+    return payload;
+  }
+  Message msg = transport_.take(rank_, root, kBcastTag);
+  clock_.advance_to(msg.send_time);
+  return std::move(msg.payload);
+}
+
+double Communicator::allreduce_max(double value) {
+  // Gather to rank 0, then broadcast; O(p) messages but tree-shaped time.
+  const int depth = tree_depth(size());
+  const double per_round = model_.latency + 8.0 * model_.byte_cost;
+  if (rank_ == 0) {
+    double best = value;
+    double latest = clock_.now();
+    for (int src = 1; src < size(); ++src) {
+      Message msg = transport_.take(rank_, src, kReduceTag);
+      best = std::max(best, std::any_cast<double>(msg.payload));
+      latest = std::max(latest, msg.send_time);
+    }
+    clock_.advance_to(latest + depth * per_round);
+    std::any out = broadcast(0, std::any(best), 8);
+    return std::any_cast<double>(out);
+  }
+  Message msg;
+  msg.src = rank_;
+  msg.tag = kReduceTag;
+  msg.payload = std::any(value);
+  msg.bytes = 8;
+  msg.send_time = clock_.now() + depth * per_round;
+  transport_.deliver(0, std::move(msg));
+  std::any out = broadcast(0, {}, 8);
+  return std::any_cast<double>(out);
+}
+
+double Communicator::allreduce_sum(double value) {
+  // Same topology as allreduce_max; only the combiner differs.
+  const int depth = tree_depth(size());
+  const double per_round = model_.latency + 8.0 * model_.byte_cost;
+  if (rank_ == 0) {
+    double total = value;
+    double latest = clock_.now();
+    for (int src = 1; src < size(); ++src) {
+      Message msg = transport_.take(rank_, src, kReduceTag);
+      total += std::any_cast<double>(msg.payload);
+      latest = std::max(latest, msg.send_time);
+    }
+    clock_.advance_to(latest + depth * per_round);
+    std::any out = broadcast(0, std::any(total), 8);
+    return std::any_cast<double>(out);
+  }
+  Message msg;
+  msg.src = rank_;
+  msg.tag = kReduceTag;
+  msg.payload = std::any(value);
+  msg.bytes = 8;
+  msg.send_time = clock_.now() + depth * per_round;
+  transport_.deliver(0, std::move(msg));
+  std::any out = broadcast(0, {}, 8);
+  return std::any_cast<double>(out);
+}
+
+std::vector<std::any> Communicator::gather(int root, std::any payload,
+                                           std::uint64_t bytes) {
+  const int depth = tree_depth(size());
+  if (rank_ == root) {
+    std::vector<std::any> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = std::move(payload);
+    double latest = clock_.now();
+    for (int src = 0; src < size(); ++src) {
+      if (src == root) continue;
+      Message msg = transport_.take(rank_, src, kGatherTag);
+      latest = std::max(
+          latest, msg.send_time +
+                      static_cast<double>(msg.bytes) * model_.byte_cost);
+      out[static_cast<std::size_t>(src)] = std::move(msg.payload);
+    }
+    clock_.advance_to(latest + depth * model_.latency);
+    return out;
+  }
+  Message msg;
+  msg.src = rank_;
+  msg.tag = kGatherTag;
+  msg.payload = std::move(payload);
+  msg.bytes = bytes;
+  msg.send_time = clock_.now() + model_.latency;
+  transport_.deliver(root, std::move(msg));
+  clock_.advance(model_.latency);
+  return {};
+}
+
+std::any Communicator::scatter(int root, std::vector<std::any> payloads,
+                               std::uint64_t bytes_each) {
+  if (rank_ == root) {
+    if (payloads.size() != static_cast<std::size_t>(size())) {
+      throw std::invalid_argument(
+          "mpsim::scatter: need exactly one payload per rank");
+    }
+    const double per_item =
+        model_.latency + static_cast<double>(bytes_each) * model_.byte_cost;
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == root) continue;
+      Message msg;
+      msg.src = root;
+      msg.tag = kScatterTag;
+      msg.payload = std::move(payloads[static_cast<std::size_t>(dst)]);
+      msg.bytes = 0;  // timing carried in the stamp
+      msg.send_time = clock_.now() + per_item;
+      transport_.deliver(dst, std::move(msg));
+      clock_.advance(per_item);  // root serializes the sends
+    }
+    return std::move(payloads[static_cast<std::size_t>(root)]);
+  }
+  Message msg = transport_.take(rank_, root, kScatterTag);
+  clock_.advance_to(msg.send_time);
+  return std::move(msg.payload);
+}
+
+void Communicator::count(const std::string& key, std::uint64_t delta) {
+  counters_[key] += delta;
+}
+
+}  // namespace pclust::mpsim

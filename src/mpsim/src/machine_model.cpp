@@ -1,0 +1,44 @@
+#include "pclust/mpsim/machine_model.hpp"
+
+namespace pclust::mpsim {
+
+MachineModel MachineModel::bluegene_l() {
+  MachineModel m;
+  m.name = "BlueGene/L (700 MHz PPC440, co-processor mode)";
+  m.cell_cost = 5e-8;        // ~20 Mcells/s Smith–Waterman
+  m.index_char_cost = 2e-6;  // suffix-structure build, cache-unfriendly
+  m.pair_cost = 2e-6;        // generate + serialize one promising pair
+  m.find_cost = 3e-6;        // master-side per-pair handling (recv+hash+find)
+  m.hash_cost = 1.2e-7;      // shingle hash+select on the 700 MHz PPC
+  m.latency = 4e-6;          // MPI eager latency on the torus
+  m.byte_cost = 1.0 / 150e6;
+  return m;
+}
+
+MachineModel MachineModel::xeon_cluster() {
+  MachineModel m;
+  m.name = "Linux cluster (2.33 GHz Xeon, gigabit ethernet)";
+  m.cell_cost = 1e-8;
+  m.index_char_cost = 3e-7;
+  m.pair_cost = 3e-7;
+  m.find_cost = 1e-7;
+  m.hash_cost = 2e-8;
+  m.latency = 5e-5;  // gigabit ethernet / TCP
+  m.byte_cost = 1.0 / 110e6;
+  return m;
+}
+
+MachineModel MachineModel::free() {
+  MachineModel m;
+  m.name = "free (functional testing)";
+  m.cell_cost = 0;
+  m.index_char_cost = 0;
+  m.pair_cost = 0;
+  m.find_cost = 0;
+  m.hash_cost = 0;
+  m.latency = 0;
+  m.byte_cost = 0;
+  return m;
+}
+
+}  // namespace pclust::mpsim

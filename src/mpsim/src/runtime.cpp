@@ -1,0 +1,65 @@
+#include "pclust/mpsim/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "transport.hpp"
+
+namespace pclust::mpsim {
+
+RunResult run(int p, const MachineModel& model,
+              const std::function<void(Communicator&)>& fn) {
+  if (p < 1) throw std::invalid_argument("mpsim::run: p must be >= 1");
+
+  Transport transport(p);
+  std::vector<std::unique_ptr<Communicator>> comms;
+  comms.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    comms.push_back(std::make_unique<Communicator>(transport, r, model));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(*comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        transport.abort();  // release peers blocked in recv/barrier
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Prefer the original failure over secondary Aborted unwinds.
+  std::exception_ptr aborted;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const Aborted&) {
+      if (!aborted) aborted = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (aborted) std::rethrow_exception(aborted);
+
+  RunResult result;
+  result.rank_times.reserve(static_cast<std::size_t>(p));
+  for (const auto& comm : comms) {
+    result.rank_times.push_back(comm->clock().now());
+    result.makespan = std::max(result.makespan, comm->clock().now());
+    for (const auto& [key, value] : comm->counters()) {
+      result.counters[key] += value;
+    }
+  }
+  return result;
+}
+
+}  // namespace pclust::mpsim

@@ -1,0 +1,115 @@
+// Internal shared state of the simulator: mailboxes, barrier, abort flag.
+// Not installed; Communicator and runtime share it.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "pclust/mpsim/communicator.hpp"
+
+namespace pclust::mpsim {
+
+/// Thrown into ranks blocked on recv/barrier when another rank failed.
+class Aborted : public std::runtime_error {
+ public:
+  Aborted() : std::runtime_error("mpsim: run aborted by a peer failure") {}
+};
+
+class Transport {
+ public:
+  explicit Transport(int p) : size_(p), mailboxes_(static_cast<std::size_t>(p)) {}
+
+  [[nodiscard]] int size() const { return size_; }
+
+  void deliver(int dst, Message msg) {
+    auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  Message take(int dst, int src, int tag) {
+    auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    while (true) {
+      if (aborted_.load(std::memory_order_acquire)) throw Aborted();
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          Message msg = std::move(*it);
+          box.queue.erase(it);
+          return msg;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  [[nodiscard]] bool poll(int dst, int src, int tag) const {
+    auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    for (const auto& m : box.queue) {
+      if (m.src == src && m.tag == tag) return true;
+    }
+    return false;
+  }
+
+  /// Generation barrier; returns the released virtual time (max over
+  /// participants' arrival times).
+  double barrier_wait(double arrival_time) {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    const std::uint64_t my_generation = barrier_generation_;
+    barrier_max_ = std::max(barrier_max_, arrival_time);
+    if (++barrier_count_ == size_) {
+      barrier_count_ = 0;
+      barrier_release_ = barrier_max_;
+      barrier_max_ = 0.0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] {
+        return barrier_generation_ != my_generation ||
+               aborted_.load(std::memory_order_acquire);
+      });
+      if (barrier_generation_ == my_generation) throw Aborted();
+    }
+    return barrier_release_;
+  }
+
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    for (auto& box : mailboxes_) box.cv.notify_all();
+    barrier_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool is_aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::list<Message> queue;
+  };
+
+  int size_;
+  mutable std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  double barrier_max_ = 0.0;
+  double barrier_release_ = 0.0;
+
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace pclust::mpsim

@@ -1,0 +1,45 @@
+// Phase 2: connected-component detection (paper §IV-B, Definition 2 /
+// Problem 2) — the PaCE clustering adapted to peptides.
+//
+// The master holds a union–find over the non-redundant sequences; workers
+// stream promising pairs (decreasing maximal-match length) and compute
+// overlap alignments on demand. Pairs whose endpoints already share a
+// cluster are filtered without alignment — the transitive-closure merging
+// that removes the overwhelming majority (> 99.9 % in the paper) of pairs,
+// drastically cutting work but starving workers at high processor counts
+// (the Table-II scaling loss).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pclust/mpsim/runtime.hpp"
+#include "pclust/pace/engine.hpp"
+#include "pclust/pace/params.hpp"
+#include "pclust/seq/sequence_set.hpp"
+
+namespace pclust::pace {
+
+struct ComponentsResult {
+  /// Connected components over the input ids, descending size, each sorted
+  /// ascending. Singletons included (filter by size at the call site).
+  std::vector<std::vector<seq::SeqId>> components;
+  EngineCounters counters;
+  mpsim::RunResult run;
+
+  [[nodiscard]] std::size_t count_with_min_size(std::size_t min_size) const;
+  [[nodiscard]] std::size_t sequences_in_min_size(std::size_t min_size) const;
+};
+
+/// Parallel (simulated, p >= 2) component detection over @p ids.
+ComponentsResult detect_components(const seq::SequenceSet& set,
+                                   const std::vector<seq::SeqId>& ids, int p,
+                                   const mpsim::MachineModel& model,
+                                   const PaceParams& params = {});
+
+/// Serial driver with identical semantics.
+ComponentsResult detect_components_serial(const seq::SequenceSet& set,
+                                          const std::vector<seq::SeqId>& ids,
+                                          const PaceParams& params = {});
+
+}  // namespace pclust::pace

@@ -1,0 +1,67 @@
+// Shared parameters of the PaCE-style phases (redundancy removal and
+// connected-component detection).
+#pragma once
+
+#include <cstdint>
+
+#include "pclust/align/predicates.hpp"
+#include "pclust/align/scoring.hpp"
+
+namespace pclust::pace {
+
+struct PaceParams {
+  /// Minimum maximal-match length ψ that makes a sequence pair "promising".
+  /// The paper derives ψ from the similarity model (§IV-A) and reports
+  /// 10-residue matches for the 40 K experiment.
+  std::uint32_t psi = 10;
+
+  /// Suffix prefix length used to partition the (conceptual) GST across
+  /// workers; must be <= psi so no qualifying node spans two buckets.
+  std::uint32_t bucket_prefix = 3;
+
+  /// Pairs per worker->master submission and per master->worker work chunk.
+  std::uint32_t batch_size = 256;
+
+  /// Generation aggressiveness: how many batches a worker submits per
+  /// protocol round. 1 reproduces the paper's behaviour; larger values
+  /// implement its §V suggestion that "a more aggressive work generation
+  /// scheme is required to compensate for work loss" when the master's
+  /// filtering starves workers at high processor counts.
+  std::uint32_t generation_batches = 1;
+
+  /// Skip suffix-tree nodes with more occurrences than this
+  /// (low-complexity guard; 0 = unlimited).
+  std::uint32_t max_node_occurrences = 50'000;
+
+  /// Banded-alignment half width seeded on the maximal-match diagonal;
+  /// 0 = full (exact) dynamic programming.
+  std::uint32_t band = 0;
+
+  /// Definition 1 cutoffs (similarity and contained-sequence coverage).
+  align::ContainmentParams containment{};
+  /// Definition 2 cutoffs (similarity and longer-sequence coverage).
+  align::OverlapParams overlap{};
+
+  /// Scoring scheme for verification alignments (defaults to BLOSUM62 when
+  /// null).
+  const align::ScoringScheme* scoring = nullptr;
+
+  [[nodiscard]] const align::ScoringScheme& scheme() const {
+    return scoring ? *scoring : align::blosum62();
+  }
+};
+
+/// The paper's ψ derivation (§IV-A): if two sequences must align over
+/// @p align_length residues at @p min_similarity, they can differ in at
+/// most k = floor((1 - min_similarity) * align_length) positions, so by
+/// pigeonhole at least one exact segment of length
+/// floor(align_length / (k + 1)) exists. E.g. derive_psi(0.98, 100) == 33.
+/// A necessary-but-not-sufficient filter length.
+[[nodiscard]] constexpr std::uint32_t derive_psi(double min_similarity,
+                                                 std::uint32_t align_length) {
+  const auto errors = static_cast<std::uint32_t>(
+      (1.0 - min_similarity) * align_length);
+  return align_length / (errors + 1);
+}
+
+}  // namespace pclust::pace

@@ -1,0 +1,120 @@
+#include "pclust/pace/components.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "pclust/align/predicates.hpp"
+#include "pclust/dsu/union_find.hpp"
+
+namespace pclust::pace {
+
+namespace {
+
+class CcdMaster final : public MasterPolicy {
+ public:
+  explicit CcdMaster(const std::vector<seq::SeqId>& ids) : ids_(ids) {
+    dense_.reserve(ids.size());
+    for (std::uint32_t i = 0; i < ids.size(); ++i) dense_[ids[i]] = i;
+    uf_.reset(ids.size());
+  }
+
+  bool needs_alignment(const PairTask& task) override {
+    return !uf_.same(dense_.at(task.a), dense_.at(task.b));
+  }
+
+  void apply(const Verdict& v) override {
+    if (v.code == 1) uf_.merge(dense_.at(v.a), dense_.at(v.b));
+  }
+
+  [[nodiscard]] std::vector<std::vector<seq::SeqId>> components() const {
+    auto sets = uf_.extract_sets();
+    std::vector<std::vector<seq::SeqId>> out;
+    out.reserve(sets.size());
+    for (auto& s : sets) {
+      std::vector<seq::SeqId> members;
+      members.reserve(s.size());
+      for (auto dense : s) members.push_back(ids_[dense]);
+      std::sort(members.begin(), members.end());
+      out.push_back(std::move(members));
+    }
+    std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+      if (x.size() != y.size()) return x.size() > y.size();
+      return x.front() < y.front();
+    });
+    return out;
+  }
+
+ private:
+  const std::vector<seq::SeqId>& ids_;
+  std::unordered_map<seq::SeqId, std::uint32_t> dense_;
+  dsu::UnionFind uf_;
+};
+
+class CcdWorker final : public WorkerPolicy {
+ public:
+  CcdWorker(const seq::SequenceSet& set, const PaceParams& params)
+      : set_(set), params_(params) {}
+
+  Verdict evaluate(const PairTask& task, mpsim::Communicator* comm) override {
+    const auto a = set_.residues(task.a);
+    const auto b = set_.residues(task.b);
+    const align::PredicateOutcome out =
+        params_.band > 0
+            ? align::test_overlap_banded(a, b, params_.scheme(),
+                                         task.diagonal(), params_.band,
+                                         params_.overlap)
+            : align::test_overlap(a, b, params_.scheme(), params_.overlap);
+    if (comm) comm->charge_cells(out.alignment.cells);
+    return Verdict{task.a, task.b,
+                   static_cast<std::uint8_t>(out.accepted ? 1 : 0)};
+  }
+
+ private:
+  const seq::SequenceSet& set_;
+  const PaceParams& params_;
+};
+
+}  // namespace
+
+std::size_t ComponentsResult::count_with_min_size(std::size_t min_size) const {
+  std::size_t n = 0;
+  for (const auto& c : components) n += c.size() >= min_size ? 1 : 0;
+  return n;
+}
+
+std::size_t ComponentsResult::sequences_in_min_size(
+    std::size_t min_size) const {
+  std::size_t n = 0;
+  for (const auto& c : components) {
+    if (c.size() >= min_size) n += c.size();
+  }
+  return n;
+}
+
+ComponentsResult detect_components(const seq::SequenceSet& set,
+                                   const std::vector<seq::SeqId>& ids, int p,
+                                   const mpsim::MachineModel& model,
+                                   const PaceParams& params) {
+  ComponentsResult result;
+  CcdMaster master(ids);
+  result.run = run_parallel(
+      set, ids, p, model, params, master,
+      [&set, &params] { return std::make_unique<CcdWorker>(set, params); },
+      &result.counters);
+  result.components = master.components();
+  return result;
+}
+
+ComponentsResult detect_components_serial(const seq::SequenceSet& set,
+                                          const std::vector<seq::SeqId>& ids,
+                                          const PaceParams& params) {
+  ComponentsResult result;
+  CcdMaster master(ids);
+  CcdWorker worker(set, params);
+  result.counters = run_serial(set, ids, params, master, worker);
+  result.components = master.components();
+  return result;
+}
+
+}  // namespace pclust::pace

@@ -1,0 +1,274 @@
+#include "pclust/pace/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "pclust/suffix/lcp.hpp"
+#include "pclust/suffix/suffix_array.hpp"
+
+namespace pclust::pace {
+
+namespace {
+
+constexpr int kTagRound = 1;
+constexpr int kTagWork = 2;
+
+// Wire-size estimates for the virtual clock (bytes per element).
+constexpr std::uint64_t kPairBytes = 20;
+constexpr std::uint64_t kVerdictBytes = 9;
+
+struct RoundMsg {
+  std::vector<PairTask> pairs;
+  std::vector<Verdict> verdicts;
+  bool exhausted = false;
+};
+
+struct WorkMsg {
+  std::vector<PairTask> tasks;
+  bool done = false;
+};
+
+/// Index structures shared (read-only) by all ranks.
+struct SharedIndex {
+  suffix::ConcatText text;
+  std::vector<std::int32_t> sa;
+  std::vector<std::int32_t> lcp;
+  std::vector<suffix::MaximalMatchEnumerator::Bucket> buckets;
+  std::vector<int> bucket_owner;  // worker rank (1..p-1) per bucket
+
+  SharedIndex(const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
+              const PaceParams& params, int workers)
+      : text(set, ids), mp(match_params(params)) {
+    if (params.bucket_prefix > params.psi) {
+      throw std::invalid_argument(
+          "PaceParams: bucket_prefix must be <= psi (nodes may not span "
+          "buckets)");
+    }
+    sa = suffix::build_suffix_array(text.text(), seq::kIndexAlphabetSize);
+    lcp = suffix::build_lcp(text, sa);
+    suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
+    buckets = enumerator.prefix_buckets(params.bucket_prefix);
+
+    // Longest-processing-time assignment of buckets to workers.
+    bucket_owner.assign(buckets.size(), 1);
+    if (workers > 1) {
+      std::vector<std::size_t> order(buckets.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        if (buckets[x].weight != buckets[y].weight) {
+          return buckets[x].weight > buckets[y].weight;
+        }
+        return x < y;
+      });
+      std::vector<std::uint64_t> load(static_cast<std::size_t>(workers), 0);
+      for (std::size_t i : order) {
+        const auto w = static_cast<std::size_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        bucket_owner[i] = static_cast<int>(w) + 1;
+        load[w] += buckets[i].weight;
+      }
+    }
+  }
+
+  static suffix::MaximalMatchParams match_params(const PaceParams& params) {
+    suffix::MaximalMatchParams mp;
+    mp.min_length = params.psi;
+    mp.max_node_occurrences = params.max_node_occurrences;
+    return mp;
+  }
+
+  /// All promising pairs owned by @p worker_rank, decreasing match length.
+  [[nodiscard]] std::vector<PairTask> worker_pairs(int worker_rank) const {
+    suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
+    std::vector<PairTask> out;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (bucket_owner[i] != worker_rank) continue;
+      enumerator.enumerate(buckets[i].lb, buckets[i].rb,
+                           [&out](const suffix::MaximalMatch& m) {
+                             out.push_back(PairTask{m.a, m.b, m.a_pos,
+                                                    m.b_pos, m.length});
+                             return true;
+                           });
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const PairTask& x, const PairTask& y) {
+                       return x.length > y.length;
+                     });
+    return out;
+  }
+
+  /// Total suffix characters owned by @p worker_rank (index-build cost).
+  [[nodiscard]] std::uint64_t worker_chars(int worker_rank) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (bucket_owner[i] == worker_rank) total += buckets[i].weight;
+    }
+    return total;
+  }
+
+  suffix::MaximalMatchParams mp;
+};
+
+void master_loop(mpsim::Communicator& comm, const PaceParams& params,
+                 MasterPolicy& policy) {
+  const int workers = comm.size() - 1;
+  std::unordered_set<std::uint64_t> seen;
+  std::deque<PairTask> pending;
+  std::vector<bool> exhausted(static_cast<std::size_t>(workers) + 1, false);
+  std::uint64_t in_flight = 0;
+
+  EngineCounters c;
+  bool done = false;
+  while (!done) {
+    // Receive and fold in this round's submissions.
+    for (int w = 1; w <= workers; ++w) {
+      mpsim::Message msg = comm.recv(w, kTagRound);
+      RoundMsg round = msg.take<RoundMsg>();
+      exhausted[static_cast<std::size_t>(w)] = round.exhausted;
+      in_flight -= round.verdicts.size();
+      for (const Verdict& v : round.verdicts) {
+        comm.charge_finds(1);
+        policy.apply(v);
+      }
+      for (const PairTask& task : round.pairs) {
+        ++c.promising_pairs;
+        comm.charge_finds(1);
+        if (!seen.insert(task.pair_key()).second) {
+          ++c.duplicate_pairs;
+          continue;
+        }
+        if (!policy.needs_alignment(task)) {
+          ++c.filtered_pairs;
+          continue;
+        }
+        pending.push_back(task);
+      }
+    }
+
+    done = pending.empty() && in_flight == 0 &&
+           std::all_of(exhausted.begin() + 1, exhausted.end(),
+                       [](bool e) { return e; });
+
+    // Hand out the next chunks (empty + done on the final round).
+    for (int w = 1; w <= workers; ++w) {
+      WorkMsg work;
+      work.done = done;
+      while (!done && !pending.empty() &&
+             work.tasks.size() < params.batch_size) {
+        work.tasks.push_back(pending.front());
+        pending.pop_front();
+      }
+      in_flight += work.tasks.size();
+      c.aligned_pairs += work.tasks.size();
+      comm.send(w, kTagWork, std::any(std::move(work)),
+                work.tasks.size() * kPairBytes + 1);
+    }
+  }
+
+  comm.count("promising_pairs", c.promising_pairs);
+  comm.count("duplicate_pairs", c.duplicate_pairs);
+  comm.count("filtered_pairs", c.filtered_pairs);
+  comm.count("aligned_pairs", c.aligned_pairs);
+}
+
+void worker_loop(mpsim::Communicator& comm, const SharedIndex& index,
+                 const PaceParams& params, WorkerPolicy& policy) {
+  // "Build" this worker's share of the generalized suffix tree.
+  comm.charge_index_chars(index.worker_chars(comm.rank()));
+  const std::vector<PairTask> pairs = index.worker_pairs(comm.rank());
+  comm.charge_pairs(pairs.size());
+  comm.count("worker_pairs_generated", pairs.size());
+
+  std::size_t next = 0;
+  std::vector<Verdict> verdicts;
+  const std::size_t submit_cap =
+      static_cast<std::size_t>(params.batch_size) *
+      std::max<std::uint32_t>(1, params.generation_batches);
+  while (true) {
+    RoundMsg round;
+    const std::size_t take =
+        std::min<std::size_t>(submit_cap, pairs.size() - next);
+    round.pairs.assign(pairs.begin() + static_cast<std::ptrdiff_t>(next),
+                       pairs.begin() + static_cast<std::ptrdiff_t>(next + take));
+    next += take;
+    round.exhausted = next == pairs.size();
+    round.verdicts = std::move(verdicts);
+    verdicts.clear();
+    const std::uint64_t bytes =
+        round.pairs.size() * kPairBytes +
+        round.verdicts.size() * kVerdictBytes + 1;
+    comm.send(0, kTagRound, std::any(std::move(round)), bytes);
+
+    WorkMsg work = comm.recv(0, kTagWork).take<WorkMsg>();
+    if (work.done) break;
+    verdicts.reserve(work.tasks.size());
+    for (const PairTask& task : work.tasks) {
+      verdicts.push_back(policy.evaluate(task, &comm));
+      comm.count("alignments_computed");
+    }
+  }
+}
+
+}  // namespace
+
+mpsim::RunResult run_parallel(
+    const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids, int p,
+    const mpsim::MachineModel& model, const PaceParams& params,
+    MasterPolicy& master_policy,
+    const std::function<std::unique_ptr<WorkerPolicy>()>& make_worker_policy,
+    EngineCounters* counters) {
+  if (p < 2) {
+    throw std::invalid_argument(
+        "pace::run_parallel needs p >= 2 (master + worker); use run_serial");
+  }
+  SharedIndex index(set, ids, params, p - 1);
+
+  mpsim::RunResult result =
+      mpsim::run(p, model, [&](mpsim::Communicator& comm) {
+        if (comm.rank() == 0) {
+          master_loop(comm, params, master_policy);
+        } else {
+          const auto policy = make_worker_policy();
+          worker_loop(comm, index, params, *policy);
+        }
+      });
+
+  if (counters) {
+    counters->promising_pairs = result.counter("promising_pairs");
+    counters->duplicate_pairs = result.counter("duplicate_pairs");
+    counters->filtered_pairs = result.counter("filtered_pairs");
+    counters->aligned_pairs = result.counter("aligned_pairs");
+  }
+  return result;
+}
+
+EngineCounters run_serial(const seq::SequenceSet& set,
+                          const std::vector<seq::SeqId>& ids,
+                          const PaceParams& params,
+                          MasterPolicy& master_policy,
+                          WorkerPolicy& worker_policy) {
+  SharedIndex index(set, ids, params, /*workers=*/1);
+  const std::vector<PairTask> pairs = index.worker_pairs(1);
+
+  EngineCounters c;
+  std::unordered_set<std::uint64_t> seen;
+  for (const PairTask& task : pairs) {
+    ++c.promising_pairs;
+    if (!seen.insert(task.pair_key()).second) {
+      ++c.duplicate_pairs;
+      continue;
+    }
+    if (!master_policy.needs_alignment(task)) {
+      ++c.filtered_pairs;
+      continue;
+    }
+    ++c.aligned_pairs;
+    master_policy.apply(worker_policy.evaluate(task, nullptr));
+  }
+  return c;
+}
+
+}  // namespace pclust::pace

@@ -1,0 +1,157 @@
+#include "pclust/pace/redundancy.hpp"
+
+#include <memory>
+#include <numeric>
+
+#include "pclust/align/predicates.hpp"
+
+namespace pclust::pace {
+
+namespace {
+
+/// RR verdict codes.
+constexpr std::uint8_t kNone = 0;
+constexpr std::uint8_t kAInB = 1;
+constexpr std::uint8_t kBInA = 2;
+constexpr std::uint8_t kMutual = 3;
+
+class RrMaster final : public MasterPolicy {
+ public:
+  explicit RrMaster(std::size_t n, RedundancyResult& result)
+      : result_(result), dependents_(n, 0) {
+    result_.removed.assign(n, 0);
+    result_.container.assign(n, seq::kInvalidSeqId);
+  }
+
+  bool needs_alignment(const PairTask& task) override {
+    return !result_.removed[task.a] && !result_.removed[task.b];
+  }
+
+  void apply(const Verdict& v) override {
+    // Remove a sequence only when its container survives, and never remove
+    // a sequence that is itself the recorded container of others — chains
+    // like a ⊂ b ⊂ c would otherwise silently degrade the 95 % guarantee
+    // (a is only ~90 % similar to c).
+    const auto remove = [&](seq::SeqId victim, seq::SeqId keeper) {
+      if (result_.removed[keeper] || result_.removed[victim]) return;
+      if (dependents_[victim] > 0) return;  // victim anchors removed seqs
+      result_.removed[victim] = 1;
+      result_.container[victim] = keeper;
+      ++dependents_[keeper];
+    };
+    switch (v.code) {
+      case kAInB: remove(v.a, v.b); break;
+      case kBInA: remove(v.b, v.a); break;
+      case kMutual:
+        // Either direction is valid; prefer the one whose victim anchors
+        // nothing (otherwise the dependents rule would veto the removal).
+        if (dependents_[v.b] > 0 && dependents_[v.a] == 0) {
+          remove(v.a, v.b);
+        } else {
+          remove(v.b, v.a);  // default: keep the smaller id
+        }
+        break;
+      default: break;
+    }
+  }
+
+ private:
+  RedundancyResult& result_;
+  std::vector<std::uint32_t> dependents_;  // removed sequences anchored here
+};
+
+class RrWorker final : public WorkerPolicy {
+ public:
+  RrWorker(const seq::SequenceSet& set, const PaceParams& params)
+      : set_(set), params_(params) {}
+
+  Verdict evaluate(const PairTask& task, mpsim::Communicator* comm) override {
+    const auto res_a = set_.residues(task.a);
+    const auto res_b = set_.residues(task.b);
+    const double min_cov = params_.containment.min_coverage;
+
+    Verdict v{task.a, task.b, kNone};
+    bool a_in_b = false, b_in_a = false;
+    // a can only reach the coverage cutoff against b if it is not much
+    // longer than b, and vice versa.
+    if (static_cast<double>(res_a.size()) * min_cov <=
+        static_cast<double>(res_b.size())) {
+      a_in_b = test(res_a, res_b, task.diagonal(), comm);
+    }
+    if (static_cast<double>(res_b.size()) * min_cov <=
+        static_cast<double>(res_a.size())) {
+      b_in_a = test(res_b, res_a, -task.diagonal(), comm);
+    }
+    if (a_in_b && b_in_a) {
+      v.code = kMutual;
+    } else if (a_in_b) {
+      v.code = kAInB;
+    } else if (b_in_a) {
+      v.code = kBInA;
+    }
+    return v;
+  }
+
+ private:
+  bool test(std::string_view inner, std::string_view outer,
+            std::int64_t diagonal, mpsim::Communicator* comm) const {
+    const align::PredicateOutcome out =
+        params_.band > 0
+            ? align::test_containment_banded(inner, outer, params_.scheme(),
+                                             diagonal, params_.band,
+                                             params_.containment)
+            : align::test_containment(inner, outer, params_.scheme(),
+                                      params_.containment);
+    if (comm) comm->charge_cells(out.alignment.cells);
+    return out.accepted;
+  }
+
+  const seq::SequenceSet& set_;
+  const PaceParams& params_;
+};
+
+std::vector<seq::SeqId> all_ids(const seq::SequenceSet& set) {
+  std::vector<seq::SeqId> ids(set.size());
+  std::iota(ids.begin(), ids.end(), seq::SeqId{0});
+  return ids;
+}
+
+}  // namespace
+
+std::vector<seq::SeqId> RedundancyResult::survivors() const {
+  std::vector<seq::SeqId> out;
+  out.reserve(removed.size());
+  for (seq::SeqId id = 0; id < removed.size(); ++id) {
+    if (!removed[id]) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t RedundancyResult::removed_count() const {
+  std::size_t n = 0;
+  for (auto r : removed) n += r;
+  return n;
+}
+
+RedundancyResult remove_redundant(const seq::SequenceSet& set, int p,
+                                  const mpsim::MachineModel& model,
+                                  const PaceParams& params) {
+  RedundancyResult result;
+  RrMaster master(set.size(), result);
+  result.run = run_parallel(
+      set, all_ids(set), p, model, params, master,
+      [&set, &params] { return std::make_unique<RrWorker>(set, params); },
+      &result.counters);
+  return result;
+}
+
+RedundancyResult remove_redundant_serial(const seq::SequenceSet& set,
+                                         const PaceParams& params) {
+  RedundancyResult result;
+  RrMaster master(set.size(), result);
+  RrWorker worker(set, params);
+  result.counters = run_serial(set, all_ids(set), params, master, worker);
+  return result;
+}
+
+}  // namespace pclust::pace

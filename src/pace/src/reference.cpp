@@ -1,0 +1,78 @@
+#include "pclust/pace/reference.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pclust/align/predicates.hpp"
+#include "pclust/dsu/union_find.hpp"
+
+namespace pclust::pace {
+
+std::vector<std::uint8_t> remove_redundant_bruteforce(
+    const seq::SequenceSet& set, const PaceParams& params,
+    BruteForceStats* stats) {
+  const auto& scheme = params.scheme();
+  std::vector<std::uint8_t> removed(set.size(), 0);
+  for (seq::SeqId a = 0; a < set.size(); ++a) {
+    for (seq::SeqId b = a + 1; b < set.size(); ++b) {
+      if (stats) ++stats->alignments;  // the all-vs-all baseline visits all
+      if (removed[a] && removed[b]) continue;
+      const auto res_a = set.residues(a);
+      const auto res_b = set.residues(b);
+      if (!removed[a] && !removed[b] &&
+          static_cast<double>(res_a.size()) * params.containment.min_coverage <=
+              static_cast<double>(res_b.size())) {
+        const auto out =
+            align::test_containment(res_a, res_b, scheme, params.containment);
+        if (stats) stats->cells += out.alignment.cells;
+        if (out.accepted) {
+          removed[a] = 1;
+          continue;
+        }
+      }
+      if (!removed[a] && !removed[b] &&
+          static_cast<double>(res_b.size()) * params.containment.min_coverage <=
+              static_cast<double>(res_a.size())) {
+        const auto out =
+            align::test_containment(res_b, res_a, scheme, params.containment);
+        if (stats) stats->cells += out.alignment.cells;
+        if (out.accepted) removed[b] = 1;
+      }
+    }
+  }
+  return removed;
+}
+
+std::vector<std::vector<seq::SeqId>> detect_components_bruteforce(
+    const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
+    const PaceParams& params, BruteForceStats* stats) {
+  const auto& scheme = params.scheme();
+  dsu::UnionFind uf(ids.size());
+  for (std::uint32_t i = 0; i < ids.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < ids.size(); ++j) {
+      if (stats) ++stats->alignments;
+      const auto out = align::test_overlap(set.residues(ids[i]),
+                                           set.residues(ids[j]), scheme,
+                                           params.overlap);
+      if (stats) stats->cells += out.alignment.cells;
+      if (out.accepted) uf.merge(i, j);
+    }
+  }
+  auto sets = uf.extract_sets();
+  std::vector<std::vector<seq::SeqId>> out;
+  out.reserve(sets.size());
+  for (auto& s : sets) {
+    std::vector<seq::SeqId> members;
+    members.reserve(s.size());
+    for (auto dense : s) members.push_back(ids[dense]);
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a.front() < b.front();
+  });
+  return out;
+}
+
+}  // namespace pclust::pace

@@ -1,0 +1,101 @@
+// The end-to-end pclust pipeline (paper Figure 2):
+//
+//   input -> redundancy removal -> connected-component detection ->
+//   bipartite graph generation -> dense subgraph detection -> families
+//
+// This is the library's top-level entry point. RR and CCD can run either
+// serially or on a simulated distributed-memory machine (mpsim); BGG + DSD
+// run per component, mirroring the paper's batching of components across
+// cluster nodes (§V: components grouped into roughly equal batches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pclust/bigraph/builders.hpp"
+#include "pclust/mpsim/machine_model.hpp"
+#include "pclust/pace/components.hpp"
+#include "pclust/pace/params.hpp"
+#include "pclust/pace/redundancy.hpp"
+#include "pclust/seq/complexity.hpp"
+#include "pclust/seq/sequence_set.hpp"
+#include "pclust/shingle/shingle.hpp"
+
+namespace pclust::pipeline {
+
+struct PipelineConfig {
+  /// ψ, cutoffs, scoring for RR and CCD.
+  pace::PaceParams pace;
+  /// Band for the RR containment alignments; 0 = full dynamic programming
+  /// (the default: the 95 % similarity cutoff merits exactness, and RR is
+  /// the phase the paper spends > 90 % of its time in). CCD and BGG use
+  /// pace.band.
+  std::uint32_t rr_band = 0;
+  /// Which bipartite reduction drives dense-subgraph detection.
+  bigraph::Reduction reduction = bigraph::Reduction::kDuplicate;
+  bigraph::BmParams bm;
+  /// Shingle parameters; min_size is also the dense-subgraph size cutoff.
+  shingle::ShingleParams shingle;
+  /// Components smaller than this skip the DSD stage (paper: 5).
+  std::uint32_t min_component = 5;
+
+  /// SEG-style low-complexity masking of the input before any phase
+  /// (masked residues become 'X': they never seed exact matches and score
+  /// -1 in alignments). Off by default — the synthetic workloads carry no
+  /// low-complexity sequence; real metagenomic data does.
+  bool mask_low_complexity = false;
+  seq::ComplexityParams complexity;
+
+  /// 0 = serial; >= 2 = simulated ranks for the RR and CCD phases.
+  int processors = 0;
+  mpsim::MachineModel model = mpsim::MachineModel::bluegene_l();
+
+  /// Parallel Shingle stage (the paper's §VI future work, and the batched
+  /// component distribution its experiments used on the Xeon cluster):
+  /// 0/1 = serial DSD; >= 2 = components are LPT-batched across this many
+  /// simulated Xeon-cluster ranks.
+  int dsd_processors = 0;
+  mpsim::MachineModel dsd_model = mpsim::MachineModel::xeon_cluster();
+};
+
+/// One reported dense subgraph with its quality measurements.
+struct Family {
+  std::vector<seq::SeqId> members;  // sorted
+  double mean_degree = 0.0;  // within-subgraph, duplicate reduction only
+  double density = 0.0;      // mean_degree / (|members| - 1)
+};
+
+struct PipelineResult {
+  pace::RedundancyResult rr;
+  pace::ComponentsResult ccd;
+  std::vector<Family> families;  // descending size
+
+  /// Simulated (parallel mode) or measured (serial mode) phase times, s.
+  double rr_seconds = 0.0;
+  double ccd_seconds = 0.0;
+  double bgg_dsd_seconds = 0.0;
+  /// Simulated DSD makespan when dsd_processors >= 2 (else 0).
+  double dsd_simulated_seconds = 0.0;
+
+  // -- Table-I quantities ---------------------------------------------------
+  std::size_t input_sequences = 0;
+  std::size_t non_redundant_sequences = 0;
+  std::size_t components_min_size = 0;   // #CC with >= min_component members
+  std::size_t dense_subgraph_count = 0;  // #DS
+  std::size_t sequences_in_subgraphs = 0;
+  double mean_degree = 0.0;   // over all DS members
+  double mean_density = 0.0;  // over all DS
+  std::size_t largest_subgraph = 0;
+
+  [[nodiscard]] std::vector<std::vector<seq::SeqId>> family_clustering() const;
+};
+
+/// Run the full pipeline.
+[[nodiscard]] PipelineResult run(const seq::SequenceSet& set,
+                                 const PipelineConfig& config = {});
+
+/// Render the Table-I row for a result ("TABLE I" in the paper).
+[[nodiscard]] std::string table1_row(const PipelineResult& result);
+
+}  // namespace pclust::pipeline

@@ -1,0 +1,36 @@
+// Clustering serialization: the on-disk exchange format for family
+// assignments (what the CAMERA portal's cluster membership dumps look
+// like, reduced to essentials).
+//
+// Format: one line per sequence, "<cluster-label>\t<sequence-name>".
+// Lines starting with '#' and blank lines are ignored. Cluster labels are
+// arbitrary strings; sequence names must match SequenceSet names.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pclust/quality/metrics.hpp"
+#include "pclust/seq/sequence_set.hpp"
+
+namespace pclust::quality {
+
+/// Write a clustering; cluster c is labeled "F<c>" unless @p labels
+/// provides custom names.
+void write_clustering(std::ostream& out, const Clustering& clustering,
+                      const seq::SequenceSet& set);
+
+void write_clustering_file(const std::string& path,
+                           const Clustering& clustering,
+                           const seq::SequenceSet& set);
+
+/// Read a clustering, mapping sequence names through @p set. Unknown names
+/// throw std::runtime_error (mismatched inputs should not fail silently);
+/// clusters come back sorted by descending size.
+[[nodiscard]] Clustering read_clustering(std::istream& in,
+                                         const seq::SequenceSet& set);
+
+[[nodiscard]] Clustering read_clustering_file(const std::string& path,
+                                              const seq::SequenceSet& set);
+
+}  // namespace pclust::quality

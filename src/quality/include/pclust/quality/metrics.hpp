@@ -1,0 +1,51 @@
+// Pair-counting clustering comparison (paper §V, equations 1-4).
+//
+// A sequence pair is a True Positive when clustered together in both the
+// Test and Benchmark clusterings, a True Negative when separated in both,
+// False Positive when together only in Test, False Negative when together
+// only in Benchmark. As in the paper, the measures are computed over the
+// sequences included in BOTH clusterings.
+//
+//   Precision  PR = TP / (TP + FP)
+//   Sensitivity SE = TP / (TP + FN)
+//   Overlap Quality OQ = TP / (TP + FP + FN)
+//   Correlation Coefficient
+//      CC = (TP·TN − FP·FN) / sqrt((TP+FP)(TN+FN)(TP+FN)(TN+FP))
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pclust/seq/sequence_set.hpp"
+
+namespace pclust::quality {
+
+/// A clustering: disjoint groups of sequence ids (ids may cover only part
+/// of the input; uncovered ids are excluded from comparison).
+using Clustering = std::vector<std::vector<seq::SeqId>>;
+
+struct PairCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t fn = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return tp + tn + fp + fn; }
+};
+
+struct Metrics {
+  PairCounts counts;
+  double precision = 0.0;
+  double sensitivity = 0.0;
+  double overlap_quality = 0.0;
+  double correlation = 0.0;
+  /// Number of sequences included in both clusterings.
+  std::size_t common_sequences = 0;
+};
+
+/// Count pairs via the contingency table (no quadratic pair loop). Throws
+/// std::invalid_argument if either clustering repeats a sequence id.
+[[nodiscard]] Metrics compare_clusterings(const Clustering& test,
+                                          const Clustering& benchmark);
+
+}  // namespace pclust::quality

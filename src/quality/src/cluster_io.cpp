@@ -1,0 +1,84 @@
+#include "pclust/quality/cluster_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "pclust/util/strings.hpp"
+
+namespace pclust::quality {
+
+void write_clustering(std::ostream& out, const Clustering& clustering,
+                      const seq::SequenceSet& set) {
+  out << "# cluster\tsequence\n";
+  for (std::size_t c = 0; c < clustering.size(); ++c) {
+    for (seq::SeqId id : clustering[c]) {
+      out << 'F' << c << '\t' << set.name(id) << '\n';
+    }
+  }
+}
+
+void write_clustering_file(const std::string& path,
+                           const Clustering& clustering,
+                           const seq::SequenceSet& set) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_clustering(out, clustering, set);
+}
+
+Clustering read_clustering(std::istream& in, const seq::SequenceSet& set) {
+  std::unordered_map<std::string, seq::SeqId> by_name;
+  by_name.reserve(set.size());
+  for (seq::SeqId id = 0; id < set.size(); ++id) {
+    by_name.emplace(set.name(id), id);
+  }
+
+  std::map<std::string, std::vector<seq::SeqId>> groups;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view text = util::trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto tab = text.find('\t');
+    if (tab == std::string_view::npos) {
+      throw std::runtime_error(
+          util::format("clustering line %zu: expected <label>\\t<name>",
+                       line_no));
+    }
+    const std::string label(util::trim(text.substr(0, tab)));
+    const std::string name(util::trim(text.substr(tab + 1)));
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error(
+          util::format("clustering line %zu: unknown sequence '%s'", line_no,
+                       name.c_str()));
+    }
+    groups[label].push_back(it->second);
+  }
+
+  Clustering out;
+  out.reserve(groups.size());
+  for (auto& [label, members] : groups) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a.front() < b.front();
+  });
+  return out;
+}
+
+Clustering read_clustering_file(const std::string& path,
+                                const seq::SequenceSet& set) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open clustering file: " + path);
+  return read_clustering(in, set);
+}
+
+}  // namespace pclust::quality

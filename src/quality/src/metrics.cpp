@@ -1,0 +1,87 @@
+#include "pclust/quality/metrics.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pclust::quality {
+
+namespace {
+
+constexpr std::uint64_t choose2(std::uint64_t n) {
+  return n * (n - 1) / 2;
+}
+
+/// Map each id to its cluster label, rejecting duplicates.
+std::unordered_map<seq::SeqId, std::uint32_t> label_map(
+    const Clustering& clustering, const char* which) {
+  std::unordered_map<seq::SeqId, std::uint32_t> labels;
+  for (std::uint32_t c = 0; c < clustering.size(); ++c) {
+    for (seq::SeqId id : clustering[c]) {
+      if (!labels.emplace(id, c).second) {
+        throw std::invalid_argument(
+            std::string("compare_clusterings: sequence repeated in ") + which);
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+Metrics compare_clusterings(const Clustering& test,
+                            const Clustering& benchmark) {
+  const auto test_labels = label_map(test, "test");
+  const auto bench_labels = label_map(benchmark, "benchmark");
+
+  // Contingency counts restricted to the common sequences.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> joint;
+  std::unordered_map<std::uint32_t, std::uint64_t> test_sizes;
+  std::unordered_map<std::uint32_t, std::uint64_t> bench_sizes;
+  std::uint64_t common = 0;
+  for (const auto& [id, t] : test_labels) {
+    const auto it = bench_labels.find(id);
+    if (it == bench_labels.end()) continue;
+    ++common;
+    ++joint[{t, it->second}];
+    ++test_sizes[t];
+    ++bench_sizes[it->second];
+  }
+
+  Metrics m;
+  m.common_sequences = common;
+  std::uint64_t tp = 0;
+  for (const auto& [cell, n] : joint) tp += choose2(n);
+  std::uint64_t together_test = 0;
+  for (const auto& [c, n] : test_sizes) together_test += choose2(n);
+  std::uint64_t together_bench = 0;
+  for (const auto& [c, n] : bench_sizes) together_bench += choose2(n);
+
+  m.counts.tp = tp;
+  m.counts.fp = together_test - tp;
+  m.counts.fn = together_bench - tp;
+  m.counts.tn = choose2(common) - tp - m.counts.fp - m.counts.fn;
+
+  const auto& c = m.counts;
+  const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  m.precision = ratio(c.tp, c.tp + c.fp);
+  m.sensitivity = ratio(c.tp, c.tp + c.fn);
+  m.overlap_quality = ratio(c.tp, c.tp + c.fp + c.fn);
+  const double denom = std::sqrt(static_cast<double>(c.tp + c.fp)) *
+                       std::sqrt(static_cast<double>(c.tn + c.fn)) *
+                       std::sqrt(static_cast<double>(c.tp + c.fn)) *
+                       std::sqrt(static_cast<double>(c.tn + c.fp));
+  m.correlation =
+      denom == 0.0
+          ? 0.0
+          : (static_cast<double>(c.tp) * static_cast<double>(c.tn) -
+             static_cast<double>(c.fp) * static_cast<double>(c.fn)) /
+                denom;
+  return m;
+}
+
+}  // namespace pclust::quality

@@ -1,0 +1,54 @@
+// Amino-acid alphabet handling.
+//
+// pclust stores peptide sequences as packed ranks in [0, 20): the 20
+// standard residues in a fixed order, plus the ambiguity code 'X' mapped to
+// rank 20. Ranks keep the suffix-tree children arrays small and make w-mer
+// packing trivial (5 bits/residue).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pclust::seq {
+
+/// Number of standard amino acids.
+inline constexpr int kNumResidues = 20;
+/// Rank of the ambiguity residue 'X' (matches anything in biology, but is
+/// treated as an ordinary 21st symbol by the exact-match machinery so that
+/// 'X' runs do not create spurious exact matches of unrelated sequences).
+inline constexpr std::uint8_t kRankX = 20;
+/// Total number of sequence symbol ranks (20 residues + X).
+inline constexpr int kAlphabetSize = 21;
+/// Rank used internally as a sequence separator in concatenated text.
+/// Never appears inside a sequence.
+inline constexpr std::uint8_t kRankSeparator = 21;
+/// Rank used as the global text terminator.
+inline constexpr std::uint8_t kRankTerminator = 22;
+/// Number of distinct symbols the indexing structures must handle.
+inline constexpr int kIndexAlphabetSize = 23;
+
+/// The canonical residue order: "ACDEFGHIKLMNPQRSTVWY".
+[[nodiscard]] char rank_to_char(std::uint8_t rank);
+
+/// Map an ASCII character to a rank. Lower case accepted. Non-standard
+/// residue codes (B, Z, J, U, O) and anything unknown map to kRankX.
+/// Returns 0xFF for characters that cannot appear in a peptide at all
+/// (digits, punctuation other than '*', whitespace).
+[[nodiscard]] std::uint8_t char_to_rank(char c);
+
+[[nodiscard]] bool is_valid_residue_char(char c);
+
+/// Encode an ASCII peptide string to ranks. Throws std::invalid_argument on
+/// characters rejected by char_to_rank.
+[[nodiscard]] std::string encode(std::string_view ascii);
+
+/// Decode ranks back to upper-case ASCII.
+[[nodiscard]] std::string decode(std::string_view ranks);
+
+/// Background (Robinson–Robinson) amino-acid frequencies used by the
+/// synthetic workload generator; indexed by rank, sums to 1.
+[[nodiscard]] const std::array<double, kNumResidues>& background_frequencies();
+
+}  // namespace pclust::seq

@@ -1,0 +1,42 @@
+// Low-complexity masking (SEG-style entropy filter, Wootton & Federhen).
+//
+// Low-complexity peptide regions (acid runs, short repeats) create spurious
+// exact matches that flood the maximal-match filter — the same pathology
+// the suffix machinery's max_node_occurrences guard caps. Masking replaces
+// residues inside low-entropy windows with 'X', which never seeds exact
+// matches (the w-mer index and shingle words skip it) and scores -1 in
+// BLOSUM62, exactly how BLAST treats SEG-masked queries.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pclust/seq/sequence_set.hpp"
+
+namespace pclust::seq {
+
+struct ComplexityParams {
+  /// Sliding-window width in residues.
+  std::uint32_t window = 12;
+  /// Windows with Shannon entropy (bits) strictly below this are masked
+  /// entirely. log2(20) ≈ 4.32 is the maximum; SEG's default trigger is
+  /// ~2.2 bits.
+  double min_entropy = 2.2;
+};
+
+/// Shannon entropy (bits) of the residue distribution of @p ranks.
+[[nodiscard]] double shannon_entropy(std::string_view ranks);
+
+/// Mask low-complexity windows of a rank-encoded sequence with kRankX.
+[[nodiscard]] std::string mask_low_complexity(std::string_view ranks,
+                                              const ComplexityParams& params = {});
+
+/// Apply masking to every sequence; names are preserved.
+[[nodiscard]] SequenceSet mask_low_complexity(const SequenceSet& set,
+                                              const ComplexityParams& params = {});
+
+/// Fraction of residues that masking would replace (diagnostics).
+[[nodiscard]] double masked_fraction(const SequenceSet& set,
+                                     const ComplexityParams& params = {});
+
+}  // namespace pclust::seq

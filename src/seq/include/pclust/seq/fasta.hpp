@@ -1,0 +1,28 @@
+// FASTA reading/writing for peptide sequences.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pclust/seq/sequence_set.hpp"
+
+namespace pclust::seq {
+
+/// Parse FASTA records from a stream into @p out. Header text up to the
+/// first whitespace becomes the sequence name. Residue lines are
+/// concatenated; blank lines are ignored. Throws std::runtime_error on a
+/// record with no residues or residues before the first header.
+/// Returns the number of sequences appended.
+std::size_t read_fasta(std::istream& in, SequenceSet& out);
+
+/// Convenience: read a FASTA file from disk. Throws on I/O failure.
+std::size_t read_fasta_file(const std::string& path, SequenceSet& out);
+
+/// Write all sequences as FASTA with the given line width.
+void write_fasta(std::ostream& out, const SequenceSet& set,
+                 std::size_t line_width = 70);
+
+void write_fasta_file(const std::string& path, const SequenceSet& set,
+                      std::size_t line_width = 70);
+
+}  // namespace pclust::seq

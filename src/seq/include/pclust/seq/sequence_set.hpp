@@ -1,0 +1,60 @@
+// SequenceSet: the shared, immutable-after-load store of input peptides.
+//
+// All residues live in one contiguous rank-encoded buffer; per-sequence
+// metadata (name, offset, length) is stored separately. Every downstream
+// phase refers to sequences by SeqId (dense index), which keeps union-find,
+// graph, and message payloads compact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pclust::seq {
+
+using SeqId = std::uint32_t;
+inline constexpr SeqId kInvalidSeqId = 0xFFFFFFFFu;
+
+class SequenceSet {
+ public:
+  SequenceSet() = default;
+
+  /// Append a sequence given in ASCII; returns its id. Throws on invalid
+  /// characters or an empty sequence.
+  SeqId add(std::string name, std::string_view ascii);
+
+  /// Append a sequence already rank-encoded.
+  SeqId add_encoded(std::string name, std::string ranks);
+
+  [[nodiscard]] std::size_t size() const { return lengths_.size(); }
+  [[nodiscard]] bool empty() const { return lengths_.empty(); }
+
+  /// Rank-encoded residues of sequence id.
+  [[nodiscard]] std::string_view residues(SeqId id) const;
+  [[nodiscard]] std::uint32_t length(SeqId id) const { return lengths_[id]; }
+  [[nodiscard]] const std::string& name(SeqId id) const { return names_[id]; }
+
+  /// ASCII form (decoded) — for display and FASTA output.
+  [[nodiscard]] std::string ascii(SeqId id) const;
+
+  /// Total residues across all sequences.
+  [[nodiscard]] std::uint64_t total_residues() const { return buffer_.size(); }
+
+  /// Mean sequence length (0 if empty).
+  [[nodiscard]] double mean_length() const;
+
+  /// Build a subset containing the given ids (in the given order); names and
+  /// residues are copied. Useful after redundancy removal.
+  [[nodiscard]] SequenceSet subset(const std::vector<SeqId>& ids) const;
+
+  void reserve(std::size_t sequences, std::uint64_t residues);
+
+ private:
+  std::string buffer_;                 // rank-encoded residues, concatenated
+  std::vector<std::uint64_t> offsets_; // start of each sequence in buffer_
+  std::vector<std::uint32_t> lengths_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pclust::seq

@@ -1,0 +1,80 @@
+#include "pclust/seq/alphabet.hpp"
+
+#include <stdexcept>
+
+namespace pclust::seq {
+
+namespace {
+
+constexpr std::string_view kResidueOrder = "ACDEFGHIKLMNPQRSTVWY";
+
+constexpr std::array<std::uint8_t, 256> build_char_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (auto& v : table) v = 0xFF;
+  for (std::uint8_t r = 0; r < kNumResidues; ++r) {
+    const char c = kResidueOrder[r];
+    table[static_cast<unsigned char>(c)] = r;
+    table[static_cast<unsigned char>(c - 'A' + 'a')] = r;
+  }
+  // Ambiguity / rare codes collapse to X.
+  for (char c : {'X', 'B', 'Z', 'J', 'U', 'O', '*'}) {
+    table[static_cast<unsigned char>(c)] = kRankX;
+    if (c != '*') {
+      table[static_cast<unsigned char>(c - 'A' + 'a')] = kRankX;
+    }
+  }
+  return table;
+}
+
+constexpr auto kCharTable = build_char_table();
+
+}  // namespace
+
+char rank_to_char(std::uint8_t rank) {
+  if (rank < kNumResidues) return kResidueOrder[rank];
+  if (rank == kRankX) return 'X';
+  if (rank == kRankSeparator) return '$';
+  if (rank == kRankTerminator) return '#';
+  return '?';
+}
+
+std::uint8_t char_to_rank(char c) {
+  return kCharTable[static_cast<unsigned char>(c)];
+}
+
+bool is_valid_residue_char(char c) { return char_to_rank(c) != 0xFF; }
+
+std::string encode(std::string_view ascii) {
+  std::string out;
+  out.reserve(ascii.size());
+  for (char c : ascii) {
+    const std::uint8_t r = char_to_rank(c);
+    if (r == 0xFF) {
+      throw std::invalid_argument(std::string("invalid peptide character '") +
+                                  c + "'");
+    }
+    out.push_back(static_cast<char>(r));
+  }
+  return out;
+}
+
+std::string decode(std::string_view ranks) {
+  std::string out;
+  out.reserve(ranks.size());
+  for (char r : ranks) {
+    out.push_back(rank_to_char(static_cast<std::uint8_t>(r)));
+  }
+  return out;
+}
+
+const std::array<double, kNumResidues>& background_frequencies() {
+  // Robinson & Robinson (1991) frequencies, reordered to kResidueOrder
+  // (A C D E F G H I K L M N P Q R S T V W Y).
+  static const std::array<double, kNumResidues> kFreq = {
+      0.07805, 0.01925, 0.05364, 0.06295, 0.03856, 0.07377, 0.02199,
+      0.05142, 0.05744, 0.09019, 0.02243, 0.04487, 0.05203, 0.04264,
+      0.05129, 0.07120, 0.05841, 0.06441, 0.01330, 0.03216};
+  return kFreq;
+}
+
+}  // namespace pclust::seq

@@ -1,0 +1,86 @@
+#include "pclust/seq/complexity.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "pclust/seq/alphabet.hpp"
+
+namespace pclust::seq {
+
+namespace {
+
+double entropy_of_counts(const std::array<std::uint32_t, kAlphabetSize>& counts,
+                         std::uint32_t total) {
+  double h = 0.0;
+  for (std::uint32_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double shannon_entropy(std::string_view ranks) {
+  if (ranks.empty()) return 0.0;
+  std::array<std::uint32_t, kAlphabetSize> counts{};
+  for (char r : ranks) ++counts[static_cast<std::uint8_t>(r)];
+  return entropy_of_counts(counts, static_cast<std::uint32_t>(ranks.size()));
+}
+
+std::string mask_low_complexity(std::string_view ranks,
+                                const ComplexityParams& params) {
+  std::string out(ranks);
+  const std::size_t w = params.window;
+  if (ranks.size() < w || w == 0) return out;
+
+  // Sliding window with incremental counts; mark every position covered by
+  // a low-entropy window.
+  std::array<std::uint32_t, kAlphabetSize> counts{};
+  std::vector<bool> mask(ranks.size(), false);
+  for (std::size_t i = 0; i < w; ++i) {
+    ++counts[static_cast<std::uint8_t>(ranks[i])];
+  }
+  for (std::size_t start = 0;; ++start) {
+    if (entropy_of_counts(counts, static_cast<std::uint32_t>(w)) <
+        params.min_entropy) {
+      for (std::size_t k = start; k < start + w; ++k) mask[k] = true;
+    }
+    if (start + w >= ranks.size()) break;
+    --counts[static_cast<std::uint8_t>(ranks[start])];
+    ++counts[static_cast<std::uint8_t>(ranks[start + w])];
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (mask[i]) out[i] = static_cast<char>(kRankX);
+  }
+  return out;
+}
+
+SequenceSet mask_low_complexity(const SequenceSet& set,
+                                const ComplexityParams& params) {
+  SequenceSet out;
+  out.reserve(set.size(), set.total_residues());
+  for (SeqId id = 0; id < set.size(); ++id) {
+    out.add_encoded(set.name(id),
+                    mask_low_complexity(set.residues(id), params));
+  }
+  return out;
+}
+
+double masked_fraction(const SequenceSet& set,
+                       const ComplexityParams& params) {
+  if (set.total_residues() == 0) return 0.0;
+  std::uint64_t masked = 0;
+  for (SeqId id = 0; id < set.size(); ++id) {
+    const auto original = set.residues(id);
+    const std::string after = mask_low_complexity(original, params);
+    for (std::size_t i = 0; i < after.size(); ++i) {
+      if (after[i] != original[i]) ++masked;
+    }
+  }
+  return static_cast<double>(masked) /
+         static_cast<double>(set.total_residues());
+}
+
+}  // namespace pclust::seq

@@ -1,0 +1,89 @@
+#include "pclust/seq/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "pclust/util/strings.hpp"
+
+namespace pclust::seq {
+
+namespace {
+
+std::string header_to_name(std::string_view header) {
+  header.remove_prefix(1);  // '>'
+  header = util::trim(header);
+  const auto ws = header.find_first_of(" \t");
+  if (ws != std::string_view::npos) header = header.substr(0, ws);
+  return std::string(header);
+}
+
+}  // namespace
+
+std::size_t read_fasta(std::istream& in, SequenceSet& out) {
+  std::string line;
+  std::string name;
+  std::string residues;
+  bool have_record = false;
+  std::size_t added = 0;
+  std::size_t line_no = 0;
+
+  const auto flush = [&] {
+    if (!have_record) return;
+    if (residues.empty()) {
+      throw std::runtime_error("FASTA: record '" + name + "' has no residues");
+    }
+    out.add(std::move(name), residues);
+    ++added;
+    name.clear();
+    residues.clear();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view text = util::trim(line);
+    if (text.empty()) continue;
+    if (text.front() == '>') {
+      flush();
+      name = header_to_name(text);
+      if (name.empty()) name = "seq" + std::to_string(line_no);
+      have_record = true;
+    } else {
+      if (!have_record) {
+        throw std::runtime_error(
+            "FASTA: residues before first header at line " +
+            std::to_string(line_no));
+      }
+      residues.append(text);
+    }
+  }
+  flush();
+  return added;
+}
+
+std::size_t read_fasta_file(const std::string& path, SequenceSet& out) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  return read_fasta(in, out);
+}
+
+void write_fasta(std::ostream& out, const SequenceSet& set,
+                 std::size_t line_width) {
+  for (SeqId id = 0; id < set.size(); ++id) {
+    out << '>' << set.name(id) << '\n';
+    const std::string ascii = set.ascii(id);
+    for (std::size_t pos = 0; pos < ascii.size(); pos += line_width) {
+      out << std::string_view(ascii).substr(pos, line_width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const SequenceSet& set,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_fasta(out, set, line_width);
+}
+
+}  // namespace pclust::seq

@@ -1,0 +1,61 @@
+#include "pclust/seq/sequence_set.hpp"
+
+#include <stdexcept>
+
+#include "pclust/seq/alphabet.hpp"
+
+namespace pclust::seq {
+
+SeqId SequenceSet::add(std::string name, std::string_view ascii) {
+  return add_encoded(std::move(name), encode(ascii));
+}
+
+SeqId SequenceSet::add_encoded(std::string name, std::string ranks) {
+  if (ranks.empty()) {
+    throw std::invalid_argument("SequenceSet::add: empty sequence '" + name +
+                                "'");
+  }
+  for (char r : ranks) {
+    if (static_cast<std::uint8_t>(r) >= kAlphabetSize) {
+      throw std::invalid_argument("SequenceSet::add: bad rank in '" + name +
+                                  "'");
+    }
+  }
+  const auto id = static_cast<SeqId>(lengths_.size());
+  offsets_.push_back(buffer_.size());
+  lengths_.push_back(static_cast<std::uint32_t>(ranks.size()));
+  names_.push_back(std::move(name));
+  buffer_ += ranks;
+  return id;
+}
+
+std::string_view SequenceSet::residues(SeqId id) const {
+  return std::string_view(buffer_).substr(offsets_[id], lengths_[id]);
+}
+
+std::string SequenceSet::ascii(SeqId id) const { return decode(residues(id)); }
+
+double SequenceSet::mean_length() const {
+  if (empty()) return 0.0;
+  return static_cast<double>(buffer_.size()) / static_cast<double>(size());
+}
+
+SequenceSet SequenceSet::subset(const std::vector<SeqId>& ids) const {
+  SequenceSet out;
+  std::uint64_t residues_total = 0;
+  for (SeqId id : ids) residues_total += lengths_[id];
+  out.reserve(ids.size(), residues_total);
+  for (SeqId id : ids) {
+    out.add_encoded(names_[id], std::string(residues(id)));
+  }
+  return out;
+}
+
+void SequenceSet::reserve(std::size_t sequences, std::uint64_t residues_hint) {
+  offsets_.reserve(sequences);
+  lengths_.reserve(sequences);
+  names_.reserve(sequences);
+  buffer_.reserve(residues_hint);
+}
+
+}  // namespace pclust::seq

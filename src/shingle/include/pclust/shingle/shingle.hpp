@@ -1,0 +1,76 @@
+// The two-pass Shingle algorithm for dense bipartite subgraph detection
+// (Gibson, Kumar & Tomkins, VLDB 2005 [12]; paper §IV-D), with the
+// modifications the paper describes:
+//
+//   Pass I  — an (s1, c1)-shingle set is generated for every left vertex;
+//             the <shingle, vertex> tuples are sorted to group vertices
+//             sharing a shingle.
+//   Pass II — the algorithm reverses direction: an (s2, c2)-shingle set is
+//             generated for every first-level shingle over the vertices
+//             that produced it, yielding second-level shingles.
+//   Report  — connected components of the S2-to-S1 shingle graph (via
+//             union–find [29]) are enumerated; each component yields A
+//             (the Vl vertices that produced its first-level shingles) and
+//             B (the Vr vertices its first-level shingles are made of).
+//
+// Because the pipeline needs a DISJOINT set of dense subgraphs (proteins
+// map many-to-one to families), candidates are post-processed greedily,
+// largest first, dropping already-claimed vertices.
+//
+// Reporting rules per reduction (§III): for B_d a component is emitted as
+// A ∪ B when |A ∩ B| / |A ∪ B| >= τ; for B_m the emitted subgraph is B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pclust/bigraph/bipartite_graph.hpp"
+#include "pclust/bigraph/builders.hpp"
+
+namespace pclust::shingle {
+
+struct ShingleParams {
+  /// First-level (s, c): the paper's tuned value for the ORF data is
+  /// (5, 300).
+  std::uint32_t s1 = 5;
+  std::uint32_t c1 = 300;
+  /// Second-level (s, c): grouping of first-level shingles.
+  std::uint32_t s2 = 2;
+  std::uint32_t c2 = 100;
+  std::uint64_t seed = 0x5EEDBA5Eu;
+  /// Minimum reported dense-subgraph size (paper: 5).
+  std::uint32_t min_size = 5;
+  /// Jaccard cutoff for the duplicate reduction's A ≈ B test
+  /// ("0 << τ <= 1").
+  double tau = 0.5;
+};
+
+/// A candidate dense subgraph before reduction-specific reporting.
+struct DenseSubgraph {
+  std::vector<std::uint32_t> left;   // A: subset of Vl, sorted
+  std::vector<std::uint32_t> right;  // B: subset of Vr, sorted
+};
+
+struct DsdStats {
+  std::uint64_t tuples = 0;                 // <shingle, vertex> pairs (pass I)
+  std::uint64_t first_level_shingles = 0;   // distinct
+  std::uint64_t second_level_shingles = 0;  // distinct
+  std::uint64_t raw_components = 0;         // before disjointness/min-size
+  double elapsed_seconds = 0.0;             // measured wall time (Fig. 7b)
+};
+
+/// Run the two-pass algorithm on a bipartite graph. Returns RAW candidates
+/// (possibly overlapping), largest (|A|+|B|) first; disjointness and the
+/// min-size / τ rules are applied by report_families. Deterministic in
+/// params.seed.
+[[nodiscard]] std::vector<DenseSubgraph> dense_subgraphs(
+    const bigraph::BipartiteGraph& graph, const ShingleParams& params,
+    DsdStats* stats = nullptr);
+
+/// Apply the reduction-specific reporting rule and map vertices back to
+/// sequence ids: each returned vector is one protein family (sorted SeqIds).
+[[nodiscard]] std::vector<std::vector<seq::SeqId>> report_families(
+    const bigraph::ComponentGraph& component, const ShingleParams& params,
+    DsdStats* stats = nullptr);
+
+}  // namespace pclust::shingle

@@ -1,0 +1,153 @@
+#include "pclust/shingle/shingle.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pclust/dsu/union_find.hpp"
+#include "pclust/shingle/minwise.hpp"
+#include "pclust/util/timer.hpp"
+
+namespace pclust::shingle {
+
+namespace {
+
+/// Sorted-unique in place.
+void canonicalize(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
+                                           const ShingleParams& params,
+                                           DsdStats* stats) {
+  util::Timer timer;
+  DsdStats local;
+
+  // ---- Pass I: (s1, c1)-shingles of every left vertex -----------------
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> tuples;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> elements_of;
+  for (std::uint32_t l = 0; l < graph.left_count(); ++l) {
+    for (Shingle& sh :
+         shingle_set(graph.out_links(l), params.s1, params.c1, params.seed)) {
+      tuples.emplace_back(sh.value, l);
+      elements_of.try_emplace(sh.value, std::move(sh.elements));
+    }
+  }
+  local.tuples = tuples.size();
+  std::sort(tuples.begin(), tuples.end());
+
+  // Group tuples by shingle value -> first-level shingle nodes.
+  struct S1Node {
+    std::uint64_t value;
+    std::vector<std::uint32_t> producers;  // left vertices, sorted unique
+  };
+  std::vector<S1Node> s1;
+  for (std::size_t i = 0; i < tuples.size();) {
+    std::size_t j = i;
+    S1Node node;
+    node.value = tuples[i].first;
+    while (j < tuples.size() && tuples[j].first == node.value) {
+      node.producers.push_back(tuples[j].second);
+      ++j;
+    }
+    canonicalize(node.producers);
+    s1.push_back(std::move(node));
+    i = j;
+  }
+  local.first_level_shingles = s1.size();
+
+  // ---- Pass II: (s2, c2)-shingles of each first-level shingle ----------
+  // First-level shingles sharing a second-level shingle are linked; the
+  // S2->S1 connected components are extracted with union-find.
+  dsu::UnionFind uf(s1.size());
+  std::unordered_map<std::uint64_t, std::uint32_t> s2_first_owner;
+  const std::uint64_t seed2 = params.seed ^ 0xD5DEADBEEF00ULL;
+  for (std::uint32_t i = 0; i < s1.size(); ++i) {
+    for (std::uint64_t value :
+         shingle_values(s1[i].producers, params.s2, params.c2, seed2)) {
+      const auto [it, inserted] = s2_first_owner.try_emplace(value, i);
+      if (!inserted) uf.merge(i, it->second);
+    }
+  }
+  local.second_level_shingles = s2_first_owner.size();
+
+  // ---- Report: components -> (A, B) ------------------------------------
+  std::vector<DenseSubgraph> out;
+  for (auto& members : uf.extract_sets()) {
+    DenseSubgraph ds;
+    for (std::uint32_t node : members) {
+      const S1Node& n = s1[node];
+      ds.left.insert(ds.left.end(), n.producers.begin(), n.producers.end());
+      const auto& elems = elements_of.at(n.value);
+      ds.right.insert(ds.right.end(), elems.begin(), elems.end());
+    }
+    canonicalize(ds.left);
+    canonicalize(ds.right);
+    out.push_back(std::move(ds));
+  }
+  local.raw_components = out.size();
+  std::sort(out.begin(), out.end(),
+            [](const DenseSubgraph& a, const DenseSubgraph& b) {
+              const std::size_t sa = a.left.size() + a.right.size();
+              const std::size_t sb = b.left.size() + b.right.size();
+              if (sa != sb) return sa > sb;
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+
+  local.elapsed_seconds = timer.elapsed_seconds();
+  if (stats) *stats = local;
+  return out;
+}
+
+std::vector<std::vector<seq::SeqId>> report_families(
+    const bigraph::ComponentGraph& component, const ShingleParams& params,
+    DsdStats* stats) {
+  const auto candidates = dense_subgraphs(component.graph, params, stats);
+
+  std::vector<std::vector<seq::SeqId>> families;
+  std::unordered_set<std::uint32_t> claimed;  // right-vertex universe
+  for (const DenseSubgraph& ds : candidates) {
+    std::vector<std::uint32_t> nodes;
+    if (component.reduction == bigraph::Reduction::kDuplicate) {
+      // A and B live in the same (duplicated) vertex universe: report
+      // A ∪ B iff |A ∩ B| / |A ∪ B| >= τ.
+      std::vector<std::uint32_t> uni, inter;
+      std::set_union(ds.left.begin(), ds.left.end(), ds.right.begin(),
+                     ds.right.end(), std::back_inserter(uni));
+      std::set_intersection(ds.left.begin(), ds.left.end(), ds.right.begin(),
+                            ds.right.end(), std::back_inserter(inter));
+      if (uni.empty() ||
+          static_cast<double>(inter.size()) / static_cast<double>(uni.size()) <
+              params.tau) {
+        continue;
+      }
+      nodes = std::move(uni);
+    } else {
+      // Domain-based reduction: the family is B.
+      nodes = ds.right;
+    }
+
+    // Disjointness: families are claimed largest-first; vertices already
+    // assigned to an earlier (larger) family drop out.
+    std::vector<seq::SeqId> family;
+    for (std::uint32_t v : nodes) {
+      if (claimed.insert(v).second) family.push_back(component.members[v]);
+    }
+    if (family.size() >= params.min_size) {
+      std::sort(family.begin(), family.end());
+      families.push_back(std::move(family));
+    }
+  }
+  std::sort(families.begin(), families.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();
+            });
+  return families;
+}
+
+}  // namespace pclust::shingle

@@ -1,0 +1,28 @@
+// Suffix array construction via SA-IS (Nong, Zhang & Chan 2009): linear
+// time, linear extra space, induced sorting.
+//
+// pclust's generalized suffix tree (suffix_tree.hpp) is materialized from
+// the suffix array plus the separator-truncated LCP array — the LCP-interval
+// tree of a suffix array is exactly the suffix tree topology (Abouelhoda,
+// Kurtz & Ohlebusch 2004), and building it this way sidesteps the classic
+// single-separator ambiguity of online constructions over concatenated
+// multi-sequence text.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pclust::suffix {
+
+/// Suffix array of @p text (values in [0, alphabet)). An implicit sentinel
+/// smaller than every symbol is appended internally; the returned array has
+/// exactly text.size() entries (the sentinel's suffix is dropped).
+[[nodiscard]] std::vector<std::int32_t> build_suffix_array(
+    std::string_view text, int alphabet);
+
+/// Inverse permutation: rank_of[sa[i]] = i.
+[[nodiscard]] std::vector<std::int32_t> invert_suffix_array(
+    const std::vector<std::int32_t>& sa);
+
+}  // namespace pclust::suffix

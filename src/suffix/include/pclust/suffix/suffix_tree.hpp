@@ -1,0 +1,81 @@
+// Generalized suffix tree over a ConcatText, materialized from the suffix
+// array + separator-truncated LCP array.
+//
+// Internal nodes are exactly the LCP intervals (Abouelhoda et al. 2004);
+// leaves are the suffix-array positions. The topology is identical to what
+// McCreight/Ukkonen would build for the generalized input (with matches
+// never crossing sequence boundaries), which is how the paper's GST [21] is
+// used: as a string index for maximal-match detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pclust/suffix/concat_text.hpp"
+
+namespace pclust::suffix {
+
+class SuffixTree {
+ public:
+  using NodeId = std::int32_t;
+  static constexpr NodeId kNoNode = -1;
+
+  struct Node {
+    std::int32_t depth = 0;  // string depth (residues from the root)
+    std::int32_t lb = 0;     // inclusive suffix-array range
+    std::int32_t rb = 0;
+    NodeId parent = kNoNode;
+  };
+
+  /// Build from a text, its suffix array, and its LCP array. All three must
+  /// outlive the tree (sa/lcp are referenced, not copied).
+  SuffixTree(const ConcatText& text, const std::vector<std::int32_t>& sa,
+             const std::vector<std::int32_t>& lcp);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  /// Child internal nodes of @p id (deterministic order: ascending lb).
+  [[nodiscard]] std::vector<NodeId> children(NodeId id) const;
+
+  /// Number of leaves (suffixes) under @p id.
+  [[nodiscard]] std::int32_t leaf_count(NodeId id) const {
+    const Node& n = node(id);
+    return n.rb - n.lb + 1;
+  }
+
+  /// Suffix (text position) of the i-th leaf under @p id.
+  [[nodiscard]] std::int32_t leaf_suffix(NodeId id, std::int32_t i) const {
+    return (*sa_)[static_cast<std::size_t>(node(id).lb + i)];
+  }
+
+  /// Deepest internal node containing SA index @p sa_index as a leaf whose
+  /// depth is >= 1, or the root.
+  [[nodiscard]] NodeId leaf_parent(std::int32_t sa_index) const {
+    return leaf_parent_[static_cast<std::size_t>(sa_index)];
+  }
+
+  /// Internal nodes with string depth >= min_depth, deepest first (ties by
+  /// lb ascending) — the order promising pairs are generated in.
+  [[nodiscard]] std::vector<NodeId> nodes_by_depth(
+      std::int32_t min_depth) const;
+
+  /// Total characters on root-to-node edges summed over all nodes — a proxy
+  /// for construction work used by the mpsim cost model.
+  [[nodiscard]] std::uint64_t total_edge_chars() const;
+
+ private:
+  const ConcatText* text_;
+  const std::vector<std::int32_t>* sa_;
+  std::vector<Node> nodes_;
+  NodeId root_ = kNoNode;
+  // CSR of internal-node children.
+  std::vector<std::int32_t> child_offsets_;
+  std::vector<NodeId> child_list_;
+  std::vector<NodeId> leaf_parent_;
+};
+
+}  // namespace pclust::suffix

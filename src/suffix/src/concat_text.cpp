@@ -1,0 +1,60 @@
+#include "pclust/suffix/concat_text.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pclust/seq/alphabet.hpp"
+
+namespace pclust::suffix {
+
+ConcatText::ConcatText(const seq::SequenceSet& set) {
+  std::vector<seq::SeqId> ids(set.size());
+  std::iota(ids.begin(), ids.end(), seq::SeqId{0});
+  build(set, ids);
+}
+
+ConcatText::ConcatText(const seq::SequenceSet& set,
+                       const std::vector<seq::SeqId>& ids) {
+  build(set, ids);
+}
+
+void ConcatText::build(const seq::SequenceSet& set,
+                       const std::vector<seq::SeqId>& ids) {
+  std::size_t total = 0;
+  for (seq::SeqId id : ids) total += set.length(id) + 1;
+  text_.reserve(total);
+  starts_.reserve(ids.size());
+  original_ = ids;
+  for (seq::SeqId id : ids) {
+    starts_.push_back(text_.size());
+    text_.append(set.residues(id));
+    text_.push_back(static_cast<char>(seq::kRankSeparator));
+  }
+}
+
+seq::SeqId ConcatText::sequence_at(std::size_t pos) const {
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(starts_.begin(), it) - 1);
+  return original_[idx];
+}
+
+std::uint32_t ConcatText::offset_at(std::size_t pos) const {
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(starts_.begin(), it) - 1);
+  return static_cast<std::uint32_t>(pos - starts_[idx]);
+}
+
+std::uint32_t ConcatText::run_length(std::size_t pos) const {
+  std::uint32_t len = 0;
+  while (pos + len < text_.size() && !is_separator(pos + len)) ++len;
+  return len;
+}
+
+std::uint8_t ConcatText::left_char(std::size_t pos) const {
+  if (pos == 0) return seq::kRankSeparator;
+  return at(pos - 1);  // a separator if pos starts a sequence
+}
+
+}  // namespace pclust::suffix

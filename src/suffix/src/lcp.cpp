@@ -1,0 +1,38 @@
+#include "pclust/suffix/lcp.hpp"
+
+#include <algorithm>
+
+#include "pclust/suffix/suffix_array.hpp"
+
+namespace pclust::suffix {
+
+std::vector<std::int32_t> build_lcp(const ConcatText& text,
+                                    const std::vector<std::int32_t>& sa) {
+  const std::size_t n = text.size();
+  std::vector<std::int32_t> lcp(n, 0);
+  if (n == 0) return lcp;
+
+  const auto rank = invert_suffix_array(sa);
+  // Kasai et al. 2001, with the comparison itself stopping at separators so
+  // no post-truncation pass is needed: separators are compared as ordinary
+  // symbols, but a separator matching a separator terminates the scan.
+  std::int32_t h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t r = rank[i];
+    if (r == 0) {
+      h = 0;
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(sa[static_cast<std::size_t>(r - 1)]);
+    auto k = static_cast<std::size_t>(h > 0 ? h - 1 : 0);
+    while (i + k < n && j + k < n && text.at(i + k) == text.at(j + k) &&
+           !text.is_separator(i + k)) {
+      ++k;
+    }
+    lcp[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(k);
+    h = static_cast<std::int32_t>(k);
+  }
+  return lcp;
+}
+
+}  // namespace pclust::suffix

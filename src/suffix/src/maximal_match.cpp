@@ -1,0 +1,247 @@
+#include "pclust/suffix/maximal_match.hpp"
+
+#include <algorithm>
+
+#include "pclust/seq/alphabet.hpp"
+#include "pclust/suffix/suffix_tree.hpp"
+
+namespace pclust::suffix {
+
+namespace {
+
+struct Candidate {
+  std::int32_t depth;
+  std::int32_t lb;
+  std::int32_t rb;
+};
+
+struct Leaf {
+  seq::SeqId sequence;
+  std::uint32_t offset;
+  std::uint8_t left;
+};
+
+}  // namespace
+
+MaximalMatchEnumerator::MaximalMatchEnumerator(
+    const ConcatText& text, const std::vector<std::int32_t>& sa,
+    const std::vector<std::int32_t>& lcp, MaximalMatchParams params)
+    : text_(&text), sa_(&sa), lcp_(&lcp), params_(params) {}
+
+EnumerationStats MaximalMatchEnumerator::enumerate(
+    std::int32_t range_lo, std::int32_t range_hi,
+    const std::function<bool(const MaximalMatch&)>& visit) const {
+  EnumerationStats stats;
+  if (sa_->empty() || range_hi < range_lo) return stats;
+  const auto& sa = *sa_;
+  const auto& lcp = *lcp_;
+  const auto min_len = static_cast<std::int32_t>(params_.min_length);
+
+  // Phase A: collect LCP-interval nodes of depth >= ψ inside the range.
+  std::vector<Candidate> candidates;
+  {
+    struct Entry {
+      std::int32_t depth;
+      std::int32_t lb;
+    };
+    std::vector<Entry> stack;
+    stack.push_back(Entry{0, range_lo});
+    for (std::int32_t i = range_lo + 1; i <= range_hi + 1; ++i) {
+      const std::int32_t cur =
+          (i <= range_hi) ? lcp[static_cast<std::size_t>(i)] : 0;
+      std::int32_t lb = i - 1;
+      while (stack.back().depth > cur) {
+        const Entry e = stack.back();
+        stack.pop_back();
+        if (e.depth >= min_len) {
+          candidates.push_back(Candidate{e.depth, e.lb, i - 1});
+        }
+        lb = e.lb;
+      }
+      if (stack.back().depth < cur) stack.push_back(Entry{cur, lb});
+    }
+  }
+
+  // Phase B: deepest-first, regenerate child blocks and emit cross-block
+  // left-maximal pairs.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.depth != b.depth) return a.depth > b.depth;
+              return a.lb < b.lb;
+            });
+
+  std::vector<Leaf> prev;
+  std::vector<Leaf> block;
+  for (const Candidate& c : candidates) {
+    ++stats.nodes_visited;
+    const auto occurrences = static_cast<std::uint32_t>(c.rb - c.lb + 1);
+    if (params_.max_node_occurrences != 0 &&
+        occurrences > params_.max_node_occurrences) {
+      ++stats.nodes_skipped_big;
+      continue;
+    }
+
+    prev.clear();
+    block.clear();
+    const auto make_leaf = [&](std::int32_t k) {
+      const auto pos = static_cast<std::size_t>(sa[static_cast<std::size_t>(k)]);
+      return Leaf{text_->sequence_at(pos), text_->offset_at(pos),
+                  text_->left_char(pos)};
+    };
+    const auto flush_block = [&]() -> bool {
+      for (const Leaf& x : block) {
+        for (const Leaf& y : prev) {
+          if (x.sequence == y.sequence) continue;
+          // Left-maximal: different left residues, or either occurrence at
+          // its sequence start (left char is a separator).
+          if (x.left == y.left && x.left < seq::kRankSeparator) continue;
+          MaximalMatch m;
+          if (x.sequence < y.sequence) {
+            m = MaximalMatch{x.sequence, y.sequence, x.offset, y.offset,
+                             static_cast<std::uint32_t>(c.depth)};
+          } else {
+            m = MaximalMatch{y.sequence, x.sequence, y.offset, x.offset,
+                             static_cast<std::uint32_t>(c.depth)};
+          }
+          ++stats.pairs_emitted;
+          if (!visit(m)) return false;
+        }
+      }
+      prev.insert(prev.end(), block.begin(), block.end());
+      block.clear();
+      return true;
+    };
+
+    block.push_back(make_leaf(c.lb));
+    for (std::int32_t k = c.lb + 1; k <= c.rb; ++k) {
+      if (lcp[static_cast<std::size_t>(k)] == c.depth) {
+        if (!flush_block()) return stats;  // child boundary
+      }
+      block.push_back(make_leaf(k));
+    }
+    if (!flush_block()) return stats;
+  }
+  return stats;
+}
+
+std::vector<MaximalMatch> MaximalMatchEnumerator::all() const {
+  std::vector<MaximalMatch> out;
+  if (sa_->empty()) return out;
+  enumerate(0, static_cast<std::int32_t>(sa_->size()) - 1,
+            [&out](const MaximalMatch& m) {
+              out.push_back(m);
+              return true;
+            });
+  return out;
+}
+
+EnumerationStats enumerate_from_tree(
+    const SuffixTree& tree, const ConcatText& text,
+    const std::vector<std::int32_t>& sa, const MaximalMatchParams& params,
+    const std::function<bool(const MaximalMatch&)>& visit) {
+  EnumerationStats stats;
+  const auto min_len = static_cast<std::int32_t>(params.min_length);
+
+  std::vector<Leaf> prev;
+  std::vector<Leaf> block;
+  const auto make_leaf = [&](std::int32_t k) {
+    const auto pos = static_cast<std::size_t>(sa[static_cast<std::size_t>(k)]);
+    return Leaf{text.sequence_at(pos), text.offset_at(pos),
+                text.left_char(pos)};
+  };
+
+  for (const SuffixTree::NodeId v : tree.nodes_by_depth(min_len)) {
+    ++stats.nodes_visited;
+    const auto& node = tree.node(v);
+    const auto occurrences =
+        static_cast<std::uint32_t>(node.rb - node.lb + 1);
+    if (params.max_node_occurrences != 0 &&
+        occurrences > params.max_node_occurrences) {
+      ++stats.nodes_skipped_big;
+      continue;
+    }
+
+    prev.clear();
+    const auto flush_block = [&]() -> bool {
+      for (const Leaf& x : block) {
+        for (const Leaf& y : prev) {
+          if (x.sequence == y.sequence) continue;
+          if (x.left == y.left && x.left < seq::kRankSeparator) continue;
+          MaximalMatch m;
+          if (x.sequence < y.sequence) {
+            m = MaximalMatch{x.sequence, y.sequence, x.offset, y.offset,
+                             static_cast<std::uint32_t>(node.depth)};
+          } else {
+            m = MaximalMatch{y.sequence, x.sequence, y.offset, x.offset,
+                             static_cast<std::uint32_t>(node.depth)};
+          }
+          ++stats.pairs_emitted;
+          if (!visit(m)) return false;
+        }
+      }
+      prev.insert(prev.end(), block.begin(), block.end());
+      block.clear();
+      return true;
+    };
+
+    // Blocks = child subtrees plus singleton leaves in the gaps between
+    // them, in ascending SA order (matching the flat backend exactly).
+    std::int32_t cursor = node.lb;
+    for (const SuffixTree::NodeId child : tree.children(v)) {
+      const auto& c = tree.node(child);
+      for (; cursor < c.lb; ++cursor) {
+        block.push_back(make_leaf(cursor));
+        if (!flush_block()) return stats;
+      }
+      for (; cursor <= c.rb; ++cursor) block.push_back(make_leaf(cursor));
+      if (!flush_block()) return stats;
+    }
+    for (; cursor <= node.rb; ++cursor) {
+      block.push_back(make_leaf(cursor));
+      if (!flush_block()) return stats;
+    }
+  }
+  return stats;
+}
+
+std::vector<MaximalMatchEnumerator::Bucket>
+MaximalMatchEnumerator::prefix_buckets(std::uint32_t prefix_len) const {
+  std::vector<Bucket> out;
+  const auto& sa = *sa_;
+  const auto n = static_cast<std::int32_t>(sa.size());
+
+  const auto key_of = [&](std::int32_t i) {
+    std::uint64_t key = 0;
+    const auto pos = static_cast<std::size_t>(sa[static_cast<std::size_t>(i)]);
+    for (std::uint32_t d = 0; d < prefix_len; ++d) {
+      const std::size_t p = pos + d;
+      const std::uint8_t sym =
+          (p < text_->size()) ? text_->at(p) : seq::kRankTerminator;
+      key = key * (seq::kIndexAlphabetSize + 1) + sym + 1;
+      if (sym >= seq::kRankSeparator) break;  // short suffix: stop the key
+    }
+    return key;
+  };
+
+  std::int32_t i = 0;
+  while (i < n) {
+    const auto pos = static_cast<std::size_t>(sa[static_cast<std::size_t>(i)]);
+    if (text_->is_separator(pos)) {
+      ++i;  // separator-led suffixes carry no matches
+      continue;
+    }
+    const std::uint64_t key = key_of(i);
+    Bucket b{i, i, 0};
+    while (i < n) {
+      const auto p = static_cast<std::size_t>(sa[static_cast<std::size_t>(i)]);
+      if (text_->is_separator(p) || key_of(i) != key) break;
+      b.rb = i;
+      b.weight += text_->run_length(p);
+      ++i;
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace pclust::suffix

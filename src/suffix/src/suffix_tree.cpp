@@ -1,0 +1,143 @@
+#include "pclust/suffix/suffix_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pclust::suffix {
+
+SuffixTree::SuffixTree(const ConcatText& text,
+                       const std::vector<std::int32_t>& sa,
+                       const std::vector<std::int32_t>& lcp)
+    : text_(&text), sa_(&sa) {
+  const auto n = static_cast<std::int32_t>(sa.size());
+  if (n == 0) {
+    nodes_.push_back(Node{0, 0, -1, kNoNode});
+    root_ = 0;
+    child_offsets_ = {0, 0};
+    return;
+  }
+
+  // Stack-based LCP-interval enumeration. Entries carry the child nodes
+  // discovered so far; when an entry closes, it becomes a node and is
+  // adopted by the enclosing entry.
+  struct Entry {
+    std::int32_t depth;
+    std::int32_t lb;
+    std::vector<NodeId> children;
+  };
+  std::vector<Entry> stack;
+  stack.push_back(Entry{0, 0, {}});
+
+  std::vector<std::vector<NodeId>> children_of;  // parallel to nodes_
+
+  const auto create_node = [&](Entry&& e, std::int32_t rb) -> NodeId {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{e.depth, e.lb, rb, kNoNode});
+    for (NodeId c : e.children) {
+      nodes_[static_cast<std::size_t>(c)].parent = id;
+    }
+    children_of.push_back(std::move(e.children));
+    return id;
+  };
+
+  for (std::int32_t i = 1; i <= n; ++i) {
+    const std::int32_t cur_lcp = (i < n) ? lcp[static_cast<std::size_t>(i)] : 0;
+    std::int32_t lb = i - 1;
+    NodeId last_created = kNoNode;
+    while (stack.back().depth > cur_lcp) {
+      Entry e = std::move(stack.back());
+      stack.pop_back();
+      if (last_created != kNoNode) e.children.push_back(last_created);
+      lb = e.lb;
+      last_created = create_node(std::move(e), i - 1);
+    }
+    if (stack.back().depth == cur_lcp) {
+      if (last_created != kNoNode) {
+        stack.back().children.push_back(last_created);
+      }
+    } else {
+      stack.push_back(Entry{cur_lcp, lb, {}});
+      if (last_created != kNoNode) {
+        stack.back().children.push_back(last_created);
+      }
+    }
+  }
+
+  assert(stack.size() == 1 && stack.back().depth == 0);
+  root_ = create_node(std::move(stack.back()), n - 1);
+  stack.clear();
+
+  // Freeze children into CSR form (ascending lb per node).
+  child_offsets_.assign(nodes_.size() + 1, 0);
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    child_offsets_[v + 1] =
+        child_offsets_[v] + static_cast<std::int32_t>(children_of[v].size());
+  }
+  child_list_.resize(static_cast<std::size_t>(child_offsets_.back()));
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    auto& kids = children_of[v];
+    std::sort(kids.begin(), kids.end(), [this](NodeId a, NodeId b) {
+      return node(a).lb < node(b).lb;
+    });
+    std::copy(kids.begin(), kids.end(),
+              child_list_.begin() +
+                  static_cast<std::ptrdiff_t>(child_offsets_[v]));
+  }
+
+  // leaf_parent: deepest internal node whose range covers each SA index.
+  // Nodes were created children-before-parents, so a forward pass that
+  // writes only unset entries assigns the deepest cover first.
+  leaf_parent_.assign(sa.size(), kNoNode);
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    const Node& nd = nodes_[v];
+    for (std::int32_t j = nd.lb; j <= nd.rb; ++j) {
+      if (leaf_parent_[static_cast<std::size_t>(j)] == kNoNode) {
+        leaf_parent_[static_cast<std::size_t>(j)] = static_cast<NodeId>(v);
+      }
+    }
+  }
+}
+
+std::vector<SuffixTree::NodeId> SuffixTree::children(NodeId id) const {
+  const auto v = static_cast<std::size_t>(id);
+  return {child_list_.begin() + static_cast<std::ptrdiff_t>(child_offsets_[v]),
+          child_list_.begin() +
+              static_cast<std::ptrdiff_t>(child_offsets_[v + 1])};
+}
+
+std::vector<SuffixTree::NodeId> SuffixTree::nodes_by_depth(
+    std::int32_t min_depth) const {
+  std::vector<NodeId> out;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].depth >= min_depth) out.push_back(static_cast<NodeId>(v));
+  }
+  std::sort(out.begin(), out.end(), [this](NodeId a, NodeId b) {
+    if (node(a).depth != node(b).depth) return node(a).depth > node(b).depth;
+    return node(a).lb < node(b).lb;
+  });
+  return out;
+}
+
+std::uint64_t SuffixTree::total_edge_chars() const {
+  std::uint64_t total = 0;
+  for (const Node& nd : nodes_) {
+    if (nd.parent != kNoNode) {
+      total += static_cast<std::uint64_t>(nd.depth - node(nd.parent).depth);
+    }
+  }
+  // Leaf edges: each suffix's full remaining length beyond its parent node.
+  for (std::size_t i = 0; i < sa_->size(); ++i) {
+    const NodeId p = leaf_parent_[i];
+    const auto run = text_->run_length(static_cast<std::size_t>(
+        (*sa_)[i]));
+    const auto parent_depth = node(p).depth;
+    if (static_cast<std::int32_t>(run) > parent_depth) {
+      total += static_cast<std::uint64_t>(
+          static_cast<std::int32_t>(run) - parent_depth);
+    }
+  }
+  return total;
+}
+
+}  // namespace pclust::suffix

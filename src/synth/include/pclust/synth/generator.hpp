@@ -1,0 +1,124 @@
+// Synthetic metagenomic ORF workload generator.
+//
+// Substitutes for the CAMERA environmental sequence database used in the
+// paper (160 K ORFs across 221 GOS clusters, and a 22.2 K single-cluster
+// set). The generator controls exactly the statistics the pipeline's
+// behaviour depends on:
+//   - family count and a Zipf-skewed family size distribution (the paper's
+//     Fig. 5 distribution is strongly right-skewed, with one giant family);
+//   - member divergence from the family ancestor (drives the 30 %-identity
+//     overlap graph and the density of the bipartite subgraphs);
+//   - end truncation (fragment/ORF-calling noise, bounded so Definition 2's
+//     80 %-of-the-longer-sequence coverage still holds within a family);
+//   - injected contained duplicates at the paper's observed redundancy rate
+//     (160 K -> 138.6 K after RR, i.e. ~13 %);
+//   - unrelated background "noise" singletons (the 138 K - 95 K sequences
+//     that end up outside components of size >= 5).
+//
+// Ground-truth family labels are retained so quality metrics (PR/SE/OQ/CC)
+// can be computed against a known benchmark clustering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pclust/seq/sequence_set.hpp"
+
+namespace pclust::synth {
+
+struct DatasetSpec {
+  std::uint64_t seed = 42;
+
+  /// Total number of sequences, including redundant copies and noise.
+  std::uint32_t num_sequences = 10'000;
+  std::uint32_t num_families = 20;
+
+  /// Family size skew: family i (0-based, by descending size) receives
+  /// weight 1/(i+1)^zipf_skew. 0 = uniform sizes.
+  double zipf_skew = 1.0;
+  /// No family is generated with fewer members than this.
+  std::uint32_t min_family_size = 5;
+
+  /// Target mean ORF length in residues (paper: 163 for the 160 K set,
+  /// 256 for the 22 K set).
+  std::uint32_t mean_length = 163;
+  /// Ancestor lengths are uniform in mean_length * [1-jitter, 1+jitter].
+  double length_jitter = 0.3;
+
+  /// Per-residue substitution divergence of a member from its family
+  /// ancestor, uniform in [min_divergence, max_divergence]. Two members at
+  /// divergence d1, d2 share ~ (1-d1)(1-d2) identity, so the defaults keep
+  /// within-family identity comfortably above the 30 % overlap cutoff while
+  /// staying below the 95 % containment cutoff.
+  double min_divergence = 0.05;
+  double max_divergence = 0.30;
+  /// Probability of opening an indel at each residue (geometric length,
+  /// mean 1 / indel_continue).
+  double indel_rate = 0.01;
+  double indel_continue = 0.5;
+
+  /// Within-family substructure: each family is split into this many
+  /// subfamilies whose sub-ancestors diverge from the family ancestor by
+  /// subfamily_divergence. Benchmark clusters stay FAMILY level, so
+  /// subfamilies reproduce the paper's fragmentation effect: dense
+  /// subgraphs recover subfamilies, keeping precision high while
+  /// sensitivity drops (paper §V: one 22K GOS cluster -> 134 DS,
+  /// PR = 95.75 % / SE = 56.89 % on the 160 K set). 1 = homogeneous
+  /// families.
+  std::uint32_t subfamilies_per_family = 1;
+  double subfamily_divergence = 0.18;
+
+  /// Each member is truncated at each end by a uniform fraction in
+  /// [0, truncation_max] (shotgun/ORF-calling edge noise).
+  double truncation_max = 0.10;
+
+  /// Fraction of num_sequences emitted as contained duplicates of existing
+  /// members (what redundancy removal must find and drop).
+  double redundant_fraction = 0.13;
+  /// Residue error rate applied to a contained duplicate (must stay below
+  /// 1 - containment similarity cutoff, i.e. < 5 %).
+  double redundant_error = 0.02;
+  /// Contained duplicates cover a uniform fraction in
+  /// [redundant_min_span, 1.0] of their source sequence.
+  double redundant_min_span = 0.35;
+
+  /// Fraction of num_sequences emitted as unrelated background singletons.
+  double noise_fraction = 0.30;
+
+  /// Shuffle the emitted order (true resembles a real database dump; tests
+  /// may disable for readability).
+  bool shuffle = true;
+};
+
+/// Per-sequence provenance, indexed by SeqId.
+struct GroundTruth {
+  /// Family index in [0, num_families), or -1 for background noise.
+  std::vector<std::int32_t> family;
+  /// Global subfamily index (family * subfamilies_per_family + sub), or -1
+  /// for background noise.
+  std::vector<std::int32_t> subfamily;
+  /// True if the sequence was injected as a contained duplicate.
+  std::vector<std::uint8_t> redundant;
+  /// For redundant sequences, the SeqId of the sequence that contains it.
+  std::vector<seq::SeqId> contained_in;
+
+  /// Benchmark clustering: the non-noise, non-redundant members of each
+  /// family, families with fewer than @p min_size such members omitted.
+  [[nodiscard]] std::vector<std::vector<seq::SeqId>> benchmark_clusters(
+      std::size_t min_size = 1) const;
+
+  [[nodiscard]] std::size_t noise_count() const;
+  [[nodiscard]] std::size_t redundant_count() const;
+};
+
+struct Dataset {
+  seq::SequenceSet sequences;
+  GroundTruth truth;
+  DatasetSpec spec;
+};
+
+/// Generate a dataset. Deterministic in spec.seed (independent of platform).
+[[nodiscard]] Dataset generate(const DatasetSpec& spec);
+
+}  // namespace pclust::synth

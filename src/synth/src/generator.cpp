@@ -1,0 +1,355 @@
+#include "pclust/synth/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "pclust/seq/alphabet.hpp"
+#include "pclust/util/log.hpp"
+#include "pclust/util/rng.hpp"
+#include "pclust/util/strings.hpp"
+
+namespace pclust::synth {
+
+namespace {
+
+using util::Xoshiro256;
+
+/// Cumulative background distribution for residue sampling.
+const std::array<double, seq::kNumResidues>& cumulative_background() {
+  static const auto kCum = [] {
+    std::array<double, seq::kNumResidues> cum{};
+    double acc = 0.0;
+    const auto& freq = seq::background_frequencies();
+    for (int i = 0; i < seq::kNumResidues; ++i) {
+      acc += freq[static_cast<std::size_t>(i)];
+      cum[static_cast<std::size_t>(i)] = acc;
+    }
+    cum[seq::kNumResidues - 1] = 1.0;  // guard against rounding
+    return cum;
+  }();
+  return kCum;
+}
+
+std::uint8_t sample_residue(Xoshiro256& rng) {
+  const double u = rng.uniform();
+  const auto& cum = cumulative_background();
+  const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+  return static_cast<std::uint8_t>(std::distance(cum.begin(), it));
+}
+
+std::string random_protein(Xoshiro256& rng, std::size_t length) {
+  std::string out(length, '\0');
+  for (auto& c : out) c = static_cast<char>(sample_residue(rng));
+  return out;
+}
+
+/// Substitute a different residue (never the original, so the requested
+/// divergence is realized exactly in expectation).
+std::uint8_t substitute(Xoshiro256& rng, std::uint8_t original) {
+  std::uint8_t r = original;
+  while (r == original) r = sample_residue(rng);
+  return r;
+}
+
+/// Point-mutate + indel-mutate a rank-encoded sequence.
+std::string mutate(Xoshiro256& rng, std::string_view source, double divergence,
+                   double indel_rate, double indel_continue) {
+  std::string out;
+  out.reserve(source.size() + 8);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (rng.chance(indel_rate)) {
+      if (rng.chance(0.5)) {
+        // Insertion (geometric length).
+        do {
+          out.push_back(static_cast<char>(sample_residue(rng)));
+        } while (rng.chance(indel_continue));
+      } else {
+        // Deletion (geometric length): skip residues.
+        while (i + 1 < source.size() && rng.chance(indel_continue)) ++i;
+        continue;
+      }
+    }
+    const auto orig = static_cast<std::uint8_t>(source[i]);
+    out.push_back(static_cast<char>(
+        rng.chance(divergence) ? substitute(rng, orig) : orig));
+  }
+  if (out.empty()) out.push_back(static_cast<char>(sample_residue(rng)));
+  return out;
+}
+
+/// Zipf-skewed family sizes summing exactly to member_total, each at least
+/// min_size. Sizes are returned in descending order.
+std::vector<std::uint32_t> family_sizes(std::uint32_t member_total,
+                                        std::uint32_t families, double skew,
+                                        std::uint32_t min_size) {
+  if (families == 0) throw std::invalid_argument("num_families must be > 0");
+  if (member_total < families * min_size) {
+    throw std::invalid_argument(util::format(
+        "DatasetSpec infeasible: %u family members cannot fill %u families "
+        "of minimum size %u",
+        member_total, families, min_size));
+  }
+  std::vector<double> weights(families);
+  double total_weight = 0.0;
+  for (std::uint32_t i = 0; i < families; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -skew);
+    total_weight += weights[i];
+  }
+  std::vector<std::uint32_t> sizes(families);
+  std::uint32_t assigned = 0;
+  for (std::uint32_t i = 0; i < families; ++i) {
+    sizes[i] = std::max(
+        min_size, static_cast<std::uint32_t>(
+                      std::floor(static_cast<double>(member_total) *
+                                 weights[i] / total_weight)));
+    assigned += sizes[i];
+  }
+  // Fix the total: trim overshoot from the largest families (never below
+  // min_size), then pour any remainder into the largest family.
+  std::uint32_t idx = 0;
+  while (assigned > member_total) {
+    if (sizes[idx] > min_size) {
+      --sizes[idx];
+      --assigned;
+    } else if (++idx >= families) {
+      idx = 0;  // all at min: cannot happen given the feasibility check
+    }
+  }
+  sizes[0] += member_total - assigned;
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+struct Record {
+  std::string name;
+  std::string residues;  // rank-encoded
+  std::int32_t family = -1;
+  std::int32_t subfamily = -1;
+  bool redundant = false;
+  std::size_t parent = SIZE_MAX;  // pre-shuffle index of containing sequence
+};
+
+}  // namespace
+
+std::vector<std::vector<seq::SeqId>> GroundTruth::benchmark_clusters(
+    std::size_t min_size) const {
+  std::int32_t max_family = -1;
+  for (auto f : family) max_family = std::max(max_family, f);
+  std::vector<std::vector<seq::SeqId>> clusters(
+      static_cast<std::size_t>(max_family + 1));
+  for (seq::SeqId id = 0; id < family.size(); ++id) {
+    if (family[id] >= 0 && !redundant[id]) {
+      clusters[static_cast<std::size_t>(family[id])].push_back(id);
+    }
+  }
+  std::erase_if(clusters,
+                [min_size](const auto& c) { return c.size() < min_size; });
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();
+            });
+  return clusters;
+}
+
+std::size_t GroundTruth::noise_count() const {
+  return static_cast<std::size_t>(
+      std::count(family.begin(), family.end(), -1));
+}
+
+std::size_t GroundTruth::redundant_count() const {
+  return static_cast<std::size_t>(
+      std::count(redundant.begin(), redundant.end(), std::uint8_t{1}));
+}
+
+Dataset generate(const DatasetSpec& spec) {
+  if (spec.num_sequences == 0) {
+    throw std::invalid_argument("num_sequences must be > 0");
+  }
+  if (spec.redundant_fraction + spec.noise_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "redundant_fraction + noise_fraction must be < 1");
+  }
+  if (spec.max_divergence < spec.min_divergence) {
+    throw std::invalid_argument("max_divergence < min_divergence");
+  }
+  if (spec.redundant_error >= 0.05) {
+    PCLUST_WARN << "redundant_error " << spec.redundant_error
+                << " >= 5%: injected duplicates may evade the default "
+                   "containment cutoff";
+  }
+
+  Xoshiro256 root(spec.seed);
+
+  const auto redundant_n = static_cast<std::uint32_t>(
+      std::llround(spec.redundant_fraction * spec.num_sequences));
+  const auto noise_n = static_cast<std::uint32_t>(
+      std::llround(spec.noise_fraction * spec.num_sequences));
+  const std::uint32_t member_n = spec.num_sequences - redundant_n - noise_n;
+
+  const auto sizes = family_sizes(member_n, spec.num_families, spec.zipf_skew,
+                                  spec.min_family_size);
+
+  std::vector<Record> records;
+  records.reserve(spec.num_sequences);
+
+  // Ancestors are longer than the target ORF length so that post-truncation
+  // fragments average mean_length.
+  const double truncation_mean = spec.truncation_max;  // both ends combined
+  const double ancestor_mean =
+      static_cast<double>(spec.mean_length) / (1.0 - truncation_mean);
+
+  for (std::uint32_t f = 0; f < sizes.size(); ++f) {
+    Xoshiro256 rng = root.fork(0x1000 + f);
+    const double jitter = 1.0 + spec.length_jitter * (2.0 * rng.uniform() - 1.0);
+    const auto ancestor_len = static_cast<std::size_t>(
+        std::max(30.0, std::round(ancestor_mean * jitter)));
+    const std::string ancestor = random_protein(rng, ancestor_len);
+
+    // Subfamily sub-ancestors, each a diverged copy of the family ancestor.
+    const std::uint32_t subs = std::max(1u, spec.subfamilies_per_family);
+    std::vector<std::string> sub_ancestors;
+    sub_ancestors.reserve(subs);
+    for (std::uint32_t sub = 0; sub < subs; ++sub) {
+      sub_ancestors.push_back(
+          subs == 1 ? ancestor
+                    : mutate(rng, ancestor, spec.subfamily_divergence,
+                             spec.indel_rate, spec.indel_continue));
+    }
+
+    // Zipf-skewed subfamily assignment (subfamily i has weight 1/(i+1)),
+    // so the dense-subgraph size distribution is right-skewed like the
+    // paper's Figure 5.
+    std::vector<double> sub_cdf(subs);
+    {
+      double acc = 0.0;
+      for (std::uint32_t i = 0; i < subs; ++i) {
+        acc += 1.0 / static_cast<double>(i + 1);
+        sub_cdf[i] = acc;
+      }
+      for (auto& v : sub_cdf) v /= acc;
+    }
+    for (std::uint32_t m = 0; m < sizes[f]; ++m) {
+      const double u = rng.uniform();
+      const auto sub = static_cast<std::uint32_t>(
+          std::lower_bound(sub_cdf.begin(), sub_cdf.end(), u) -
+          sub_cdf.begin());
+      const double divergence =
+          spec.min_divergence +
+          (spec.max_divergence - spec.min_divergence) * rng.uniform();
+      std::string member = mutate(rng, sub_ancestors[sub], divergence,
+                                  spec.indel_rate, spec.indel_continue);
+      const auto cut = [&](double max_frac) {
+        return static_cast<std::size_t>(
+            std::floor(rng.uniform() * max_frac *
+                       static_cast<double>(member.size())));
+      };
+      const std::size_t head = cut(spec.truncation_max);
+      const std::size_t tail = cut(spec.truncation_max);
+      std::string fragment =
+          member.substr(head, member.size() - head - tail);
+      if (fragment.size() < 10) fragment = std::move(member);
+      records.push_back(
+          Record{util::format("F%u_M%u", f, m), std::move(fragment),
+                 static_cast<std::int32_t>(f),
+                 static_cast<std::int32_t>(f * subs + sub), false, SIZE_MAX});
+    }
+  }
+
+  // Contained duplicates of randomly chosen family members.
+  {
+    Xoshiro256 rng = root.fork(0x2000);
+    const std::size_t member_count = records.size();
+    for (std::uint32_t r = 0; r < redundant_n; ++r) {
+      const auto src_idx =
+          static_cast<std::size_t>(rng.below(member_count));
+      const Record& src = records[src_idx];
+      const double span_frac =
+          spec.redundant_min_span +
+          (1.0 - spec.redundant_min_span) * rng.uniform();
+      auto span = static_cast<std::size_t>(
+          std::max(10.0, std::floor(span_frac *
+                                    static_cast<double>(src.residues.size()))));
+      span = std::min(span, src.residues.size());
+      const auto start = static_cast<std::size_t>(
+          rng.below(src.residues.size() - span + 1));
+      std::string dup = src.residues.substr(start, span);
+      // Mutate only the interior (a substitution on the outermost residues
+      // would be trimmed by the optimal local alignment, shrinking coverage
+      // below Definition 1's 95 % for short duplicates), and cap the
+      // realized error count at 4.5 % of the span so an unlucky binomial
+      // draw cannot push identity below the 95 % containment cutoff.
+      const auto max_errors = static_cast<std::size_t>(
+          0.045 * static_cast<double>(dup.size()));
+      std::size_t errors = 0;
+      for (std::size_t k = 3; k + 3 < dup.size() && errors < max_errors;
+           ++k) {
+        if (rng.chance(spec.redundant_error)) {
+          dup[k] = static_cast<char>(
+              substitute(rng, static_cast<std::uint8_t>(dup[k])));
+          ++errors;
+        }
+      }
+      records.push_back(Record{util::format("R%u_of_%s", r, src.name.c_str()),
+                               std::move(dup), src.family, src.subfamily,
+                               true, src_idx});
+    }
+  }
+
+  // Unrelated background singletons.
+  {
+    Xoshiro256 rng = root.fork(0x3000);
+    for (std::uint32_t i = 0; i < noise_n; ++i) {
+      const double jitter =
+          1.0 + spec.length_jitter * (2.0 * rng.uniform() - 1.0);
+      const auto len = static_cast<std::size_t>(std::max(
+          20.0, std::round(static_cast<double>(spec.mean_length) * jitter)));
+      records.push_back(Record{util::format("N%u", i),
+                               random_protein(rng, len), -1, -1, false,
+                               SIZE_MAX});
+    }
+  }
+
+  // Emit, optionally shuffled. `position[old] = new id` remaps parents.
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (spec.shuffle) {
+    Xoshiro256 rng = root.fork(0x4000);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(rng.below(i))]);
+    }
+  }
+  std::vector<seq::SeqId> position(records.size());
+  for (std::size_t new_id = 0; new_id < order.size(); ++new_id) {
+    position[order[new_id]] = static_cast<seq::SeqId>(new_id);
+  }
+
+  Dataset out;
+  out.spec = spec;
+  out.sequences.reserve(records.size(), 0);
+  out.truth.family.resize(records.size());
+  out.truth.subfamily.resize(records.size());
+  out.truth.redundant.resize(records.size());
+  out.truth.contained_in.resize(records.size());
+  for (std::size_t new_id = 0; new_id < order.size(); ++new_id) {
+    Record& rec = records[order[new_id]];
+    out.sequences.add_encoded(std::move(rec.name), std::move(rec.residues));
+    out.truth.family[new_id] = rec.family;
+    out.truth.subfamily[new_id] = rec.subfamily;
+    out.truth.redundant[new_id] = rec.redundant ? 1 : 0;
+    out.truth.contained_in[new_id] =
+        rec.parent == SIZE_MAX ? seq::kInvalidSeqId : position[rec.parent];
+  }
+
+  PCLUST_INFO << "synth: " << out.sequences.size() << " sequences, "
+              << sizes.size() << " families, " << redundant_n
+              << " redundant, " << noise_n << " noise, mean length "
+              << out.sequences.mean_length();
+  return out;
+}
+
+}  // namespace pclust::synth

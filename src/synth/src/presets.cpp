@@ -1,0 +1,61 @@
+#include "pclust/synth/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pclust::synth {
+
+DatasetSpec paper_160k(double scale, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = std::max<std::uint32_t>(
+      200, static_cast<std::uint32_t>(std::llround(160'000.0 * scale)));
+  spec.num_families = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::llround(221.0 * std::sqrt(scale))));
+  spec.zipf_skew = 1.0;
+  spec.min_family_size = 5;
+  spec.mean_length = 163;
+  spec.min_divergence = 0.05;
+  spec.max_divergence = 0.30;
+  spec.subfamilies_per_family = 4;
+  spec.subfamily_divergence = 0.21;
+  spec.redundant_fraction = 0.13;
+  spec.noise_fraction = 0.30;
+  return spec;
+}
+
+DatasetSpec paper_22k(double scale, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = std::max<std::uint32_t>(
+      100, static_cast<std::uint32_t>(std::llround(22'186.0 * scale)));
+  // A couple of giant clusters that CCD keeps connected but whose
+  // subfamily structure the dense-subgraph stage fragments into many DS —
+  // the paper saw one 21K-sequence component split into 134 dense
+  // subgraphs.
+  spec.num_families = 2;
+  spec.zipf_skew = 0.5;
+  spec.min_family_size = 5;
+  spec.mean_length = 256;
+  spec.min_divergence = 0.05;
+  spec.max_divergence = 0.25;
+  spec.subfamilies_per_family = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::llround(67.0 * std::sqrt(scale))));
+  spec.subfamily_divergence = 0.30;
+  spec.redundant_fraction = 0.038;
+  spec.noise_fraction = 0.0;
+  return spec;
+}
+
+DatasetSpec tiny(std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = 300;
+  spec.num_families = 6;
+  spec.mean_length = 120;
+  spec.redundant_fraction = 0.10;
+  spec.noise_fraction = 0.20;
+  return spec;
+}
+
+}  // namespace pclust::synth

@@ -1,0 +1,45 @@
+// Fixed-width bucket histogram, used for the Figure-5 dense-subgraph size
+// distribution and assorted diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pclust::util {
+
+/// Histogram over non-negative integer values with fixed bucket width.
+/// Bucket i covers [lo + i*width, lo + (i+1)*width). Values outside
+/// [lo, cap) are counted in underflow/overflow.
+class Histogram {
+ public:
+  /// @param lo     inclusive lower bound of the first bucket
+  /// @param width  bucket width (> 0)
+  /// @param cap    exclusive upper bound; values >= cap go to overflow
+  Histogram(std::int64_t lo, std::int64_t width, std::int64_t cap);
+
+  void add(std::int64_t value, std::int64_t count = 1);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::int64_t bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::int64_t bucket_hi(std::size_t i) const;  // inclusive
+  [[nodiscard]] std::int64_t count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::int64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::int64_t total() const;
+
+  /// Label like "5-9" for bucket i (matches the paper's Fig. 5 x-axis).
+  [[nodiscard]] std::string bucket_label(std::size_t i) const;
+
+  /// Render non-empty buckets as "label: count" lines with a bar chart.
+  [[nodiscard]] std::string to_string(int bar_width = 40) const;
+
+ private:
+  std::int64_t lo_;
+  std::int64_t width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+};
+
+}  // namespace pclust::util

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// pclust is a library first; logging defaults to WARN so that embedding
+// applications stay quiet, while the CLI tools and benches raise it to INFO.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pclust::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe; one atomic write per line).
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace detail
+
+}  // namespace pclust::util
+
+#define PCLUST_LOG(level)                                  \
+  if (static_cast<int>(level) <                            \
+      static_cast<int>(::pclust::util::log_level())) {     \
+  } else                                                   \
+    ::pclust::util::detail::LogStream(level)
+
+#define PCLUST_DEBUG PCLUST_LOG(::pclust::util::LogLevel::kDebug)
+#define PCLUST_INFO PCLUST_LOG(::pclust::util::LogLevel::kInfo)
+#define PCLUST_WARN PCLUST_LOG(::pclust::util::LogLevel::kWarn)
+#define PCLUST_ERROR PCLUST_LOG(::pclust::util::LogLevel::kError)

@@ -1,0 +1,48 @@
+// A tiny GNU-style command-line option parser for the example applications
+// and benches. Supports --name value, --name=value, --flag, and positionals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pclust::util {
+
+class Options {
+ public:
+  /// Declare an option with a default value (also defines its type for help).
+  Options& define(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  Options& define_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Throws std::invalid_argument on unknown options or a
+  /// missing value. "--" terminates option parsing.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  [[nodiscard]] std::string usage(const std::string& program,
+                                  const std::string& summary) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace pclust::util

@@ -1,0 +1,126 @@
+// Deterministic pseudo-random number generation for pclust.
+//
+// Everything in the pipeline that consumes randomness (workload synthesis,
+// min-wise permutation seeds, tie-breaking) goes through these generators so
+// that a (seed, config) pair reproduces a run bit-for-bit, at any simulated
+// processor count.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pclust::util {
+
+/// SplitMix64: used to expand a single user seed into independent streams.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions if ever needed, though pclust uses the helper
+/// methods below for cross-platform determinism.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; unbiased and faster than modulo.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(operator()()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(operator()()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child stream; the derivation depends only on
+  /// (this stream's seed material, key), not on how many draws were made.
+  Xoshiro256 fork(std::uint64_t key) const noexcept {
+    SplitMix64 sm(s_[0] ^ (key * 0x9e3779b97f4a7c15ULL) ^ s_[3]);
+    Xoshiro256 child(sm.next());
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Stateless 64-bit mix; used as the hash in min-wise independent
+/// permutation families (Broder et al.): h_seed(x) = mix(x ^ seed).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine two 64-bit values into one (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t h,
+                                     std::uint64_t v) noexcept {
+  return h ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+}  // namespace pclust::util

@@ -1,0 +1,40 @@
+// Small descriptive-statistics helpers used in quality and bench reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pclust::util {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// One-pass + sort summary of a sample. Empty input returns all zeros.
+Summary summarize(const std::vector<double>& values);
+
+/// Streaming mean/variance (Welford). Suitable for very long streams.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pclust::util

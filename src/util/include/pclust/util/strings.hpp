@@ -1,0 +1,26 @@
+// Tiny string helpers (no locale, ASCII-only, deterministic).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pclust::util {
+
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Format n with thousands separators ("1,234,567") for report tables.
+std::string with_commas(long long n);
+
+/// Format seconds as "1h 23m 45s" / "12m 3s" / "4.56s" like the paper's prose.
+std::string format_duration(double seconds);
+
+/// Printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pclust::util

@@ -1,0 +1,29 @@
+// Plain-text table rendering for bench output — every bench prints the
+// same rows/columns as the paper's table or figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pclust::util {
+
+/// Column-aligned ASCII table with a header row and optional title/footnotes.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_row(std::vector<std::string> row);
+  void add_footnote(std::string note) { footnotes_.push_back(std::move(note)); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footnotes_;
+};
+
+}  // namespace pclust::util

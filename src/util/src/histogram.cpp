@@ -1,0 +1,64 @@
+#include "pclust/util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pclust::util {
+
+Histogram::Histogram(std::int64_t lo, std::int64_t width, std::int64_t cap)
+    : lo_(lo), width_(width) {
+  if (width <= 0) throw std::invalid_argument("Histogram: width must be > 0");
+  if (cap <= lo) throw std::invalid_argument("Histogram: cap must be > lo");
+  const auto buckets = (cap - lo + width - 1) / width;
+  counts_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void Histogram::add(std::int64_t value, std::int64_t count) {
+  if (value < lo_) {
+    underflow_ += count;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  if (idx >= counts_.size()) {
+    overflow_ += count;
+    return;
+  }
+  counts_[idx] += count;
+}
+
+std::int64_t Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + static_cast<std::int64_t>(i) * width_;
+}
+
+std::int64_t Histogram::bucket_hi(std::size_t i) const {
+  return bucket_lo(i) + width_ - 1;
+}
+
+std::int64_t Histogram::total() const {
+  std::int64_t t = underflow_ + overflow_;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+std::string Histogram::bucket_label(std::size_t i) const {
+  std::ostringstream ss;
+  ss << bucket_lo(i) << "-" << bucket_hi(i);
+  return ss.str();
+}
+
+std::string Histogram::to_string(int bar_width) const {
+  std::int64_t max_count = 1;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<int>(counts_[i] * bar_width / max_count);
+    ss << bucket_label(i) << "\t" << counts_[i] << "\t"
+       << std::string(static_cast<std::size_t>(std::max(bar, 1)), '#') << "\n";
+  }
+  if (overflow_ > 0) ss << ">=cap\t" << overflow_ << "\n";
+  return ss.str();
+}
+
+}  // namespace pclust::util

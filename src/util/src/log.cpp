@@ -1,0 +1,38 @@
+#include "pclust/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pclust::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[pclust %s] %.*s\n", level_tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace pclust::util

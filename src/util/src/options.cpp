@@ -1,0 +1,112 @@
+#include "pclust/util/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pclust::util {
+
+Options& Options::define(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  specs_[name] = Spec{default_value, help, /*is_flag=*/false};
+  return *this;
+}
+
+Options& Options::define_flag(const std::string& name,
+                              const std::string& help) {
+  specs_[name] = Spec{"false", help, /*is_flag=*/true};
+  return *this;
+}
+
+void Options::parse(int argc, const char* const* argv) {
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (options_done || arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (name == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw std::invalid_argument("unknown option --" + name);
+    }
+    if (it->second.is_flag) {
+      values_[name] = has_value ? value : "true";
+    } else if (has_value) {
+      values_[name] = value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("option --" + name + " expects a value");
+      }
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+std::string Options::get(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = specs_.find(name); it != specs_.end()) {
+    return it->second.default_value;
+  }
+  throw std::invalid_argument("undeclared option --" + name);
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("option --" + name + ": bad integer '" + v +
+                                "'");
+  }
+  return out;
+}
+
+double Options::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("option --" + name + ": bad number '" + v +
+                                "'");
+  }
+  return out;
+}
+
+bool Options::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string Options::usage(const std::string& program,
+                           const std::string& summary) const {
+  std::ostringstream ss;
+  ss << summary << "\n\nUsage: " << program << " [options]\n\nOptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    ss << "  --" << name;
+    if (!spec.is_flag) ss << " <value>";
+    ss << "\n      " << spec.help;
+    if (!spec.is_flag) ss << " (default: " << spec.default_value << ")";
+    ss << "\n";
+  }
+  ss << "  --help\n      Show this message.\n";
+  return ss.str();
+}
+
+}  // namespace pclust::util

@@ -1,0 +1,44 @@
+#include "pclust/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pclust::util {
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](std::ostringstream& ss,
+                            const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      ss << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    ss << "|\n";
+  };
+
+  std::ostringstream ss;
+  if (!title_.empty()) ss << title_ << "\n";
+  emit_row(ss, header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    ss << "|" << std::string(widths[c] + 2, '-');
+  }
+  ss << "|\n";
+  for (const auto& row : rows_) emit_row(ss, row);
+  for (const auto& note : footnotes_) ss << "  " << note << "\n";
+  return ss.str();
+}
+
+}  // namespace pclust::util

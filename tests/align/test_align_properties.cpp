@@ -1,0 +1,117 @@
+// Property sweeps over random sequence pairs (TEST_P): invariants that must
+// hold for ANY input, not just curated cases.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pclust/align/pairwise.hpp"
+#include "pclust/align/predicates.hpp"
+#include "pclust/seq/alphabet.hpp"
+#include "pclust/util/rng.hpp"
+
+namespace pclust::align {
+namespace {
+
+std::string random_peptide(util::Xoshiro256& rng, std::size_t len) {
+  std::string out(len, '\0');
+  for (auto& c : out) {
+    c = static_cast<char>(rng.below(seq::kNumResidues));
+  }
+  return out;
+}
+
+struct PairCase {
+  std::uint64_t seed;
+  std::size_t len_a;
+  std::size_t len_b;
+};
+
+class AlignProperties : public ::testing::TestWithParam<PairCase> {
+ protected:
+  void SetUp() override {
+    util::Xoshiro256 rng(GetParam().seed);
+    a_ = random_peptide(rng, GetParam().len_a);
+    b_ = random_peptide(rng, GetParam().len_b);
+  }
+  std::string a_, b_;
+};
+
+TEST_P(AlignProperties, LocalScoreSymmetric) {
+  const auto& s = blosum62();
+  EXPECT_EQ(local_align(a_, b_, s).score, local_align(b_, a_, s).score);
+}
+
+TEST_P(AlignProperties, GlobalScoreSymmetric) {
+  const auto& s = blosum62();
+  EXPECT_EQ(global_align(a_, b_, s).score, global_align(b_, a_, s).score);
+}
+
+TEST_P(AlignProperties, StatisticsInternallyConsistent) {
+  for (const AlignmentResult& r :
+       {local_align(a_, b_, blosum62()), global_align(a_, b_, blosum62())}) {
+    EXPECT_LE(r.matches, r.columns);
+    EXPECT_LE(r.positives + r.gap_columns, r.columns);
+    EXPECT_GE(r.identity(), 0.0);
+    EXPECT_LE(r.identity(), 1.0);
+    EXPECT_LE(r.a_end - r.a_begin, a_.size());
+    EXPECT_LE(r.b_end - r.b_begin, b_.size());
+    EXPECT_LE(r.a_begin, r.a_end);
+    EXPECT_LE(r.b_begin, r.b_end);
+    // Columns account for every consumed residue.
+    EXPECT_EQ(r.columns + /*double-counted pairs*/ 0u,
+              (r.a_end - r.a_begin) + (r.b_end - r.b_begin) -
+                  (r.columns - r.gap_columns));
+  }
+}
+
+TEST_P(AlignProperties, SelfAlignmentIsPerfect) {
+  const auto r = global_align(a_, a_, blosum62());
+  EXPECT_DOUBLE_EQ(r.identity(), 1.0);
+  EXPECT_EQ(r.gap_columns, 0u);
+  EXPECT_EQ(r.columns, a_.size());
+}
+
+TEST_P(AlignProperties, BandedNeverBeatsFull) {
+  const auto& s = blosum62();
+  const auto full = local_align(a_, b_, s);
+  for (std::uint32_t band : {1u, 4u, 16u}) {
+    for (std::int64_t diagonal : {-5, 0, 5}) {
+      const auto banded = banded_local_align(a_, b_, s, diagonal, band);
+      EXPECT_LE(banded.score, full.score);
+      EXPECT_LE(banded.cells, full.cells);
+    }
+  }
+}
+
+TEST_P(AlignProperties, HugeBandEqualsFull) {
+  const auto& s = blosum62();
+  const auto full = local_align(a_, b_, s);
+  const auto banded = banded_local_align(
+      a_, b_, s, 0, static_cast<std::uint32_t>(a_.size() + b_.size()));
+  EXPECT_EQ(banded.score, full.score);
+  EXPECT_EQ(banded.matches, full.matches);
+}
+
+TEST_P(AlignProperties, ContainmentReflexive) {
+  EXPECT_TRUE(test_containment(a_, a_, blosum62()).accepted);
+}
+
+TEST_P(AlignProperties, OverlapSymmetricDecision) {
+  const auto ab = test_overlap(a_, b_, blosum62());
+  const auto ba = test_overlap(b_, a_, blosum62());
+  EXPECT_EQ(ab.accepted, ba.accepted);
+}
+
+TEST_P(AlignProperties, LocalScoreNonNegative) {
+  EXPECT_GE(local_align(a_, b_, blosum62()).score, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlignProperties,
+    ::testing::Values(PairCase{1, 40, 40}, PairCase{2, 80, 80},
+                      PairCase{3, 160, 90}, PairCase{4, 33, 201},
+                      PairCase{5, 1, 1}, PairCase{6, 1, 100},
+                      PairCase{7, 250, 250}, PairCase{8, 64, 63}));
+
+}  // namespace
+}  // namespace pclust::align

@@ -1,0 +1,150 @@
+#include "pclust/align/msa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pclust/align/pairwise.hpp"
+#include "pclust/seq/alphabet.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::align {
+namespace {
+
+seq::SequenceSet make_set(std::initializer_list<const char*> seqs) {
+  seq::SequenceSet set;
+  int i = 0;
+  for (const char* s : seqs) set.add("s" + std::to_string(i++), s);
+  return set;
+}
+
+std::string degap(const std::string& row) {
+  std::string out;
+  for (char c : row) {
+    if (c != '-') out.push_back(c);
+  }
+  return out;
+}
+
+TEST(GlobalAlignPath, PathMatchesStatistics) {
+  const auto a = seq::encode("ACDEFGHIKL");
+  const auto b = seq::encode("ACDFGHKL");
+  std::vector<EditOp> path;
+  const auto r = global_align_path(a, b, blosum62(), path);
+  EXPECT_EQ(path.size(), r.columns);
+  std::size_t subs = 0, gaps = 0;
+  std::size_t a_used = 0, b_used = 0;
+  for (EditOp op : path) {
+    switch (op) {
+      case EditOp::kSubstitute: ++subs; ++a_used; ++b_used; break;
+      case EditOp::kGapInB: ++gaps; ++a_used; break;
+      case EditOp::kGapInA: ++gaps; ++b_used; break;
+    }
+  }
+  EXPECT_EQ(subs, r.columns - r.gap_columns);
+  EXPECT_EQ(gaps, r.gap_columns);
+  EXPECT_EQ(a_used, a.size());  // global: everything consumed
+  EXPECT_EQ(b_used, b.size());
+}
+
+TEST(Msa, SingleMemberTrivial) {
+  const auto set = make_set({"ACDEFG"});
+  const Msa msa = center_star_msa(set, {0}, blosum62());
+  ASSERT_EQ(msa.rows.size(), 1u);
+  EXPECT_EQ(msa.rows[0], "ACDEFG");
+  EXPECT_EQ(msa.consensus(), "ACDEFG");
+}
+
+TEST(Msa, EmptyThrows) {
+  const auto set = make_set({"ACDEFG"});
+  EXPECT_THROW(
+      { [[maybe_unused]] auto m = center_star_msa(set, {}, blosum62()); },
+      std::invalid_argument);
+}
+
+TEST(Msa, IdenticalSequencesAlignWithoutGaps) {
+  const auto set = make_set(
+      {"MKTAYIAKQR", "MKTAYIAKQR", "MKTAYIAKQR"});
+  const Msa msa = center_star_msa(set, {0, 1, 2}, blosum62());
+  for (const auto& row : msa.rows) EXPECT_EQ(row, "MKTAYIAKQR");
+  EXPECT_EQ(msa.consensus(), "MKTAYIAKQR");
+  for (double c : msa.column_conservation()) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Msa, RowsDegapToOriginals) {
+  const auto set = make_set({"MKTAYIAKQRDEFW", "MKTAYIKQRDEFW",
+                             "MKTAYIAKQRDEF", "KTAYIAKQRDEFWW"});
+  const std::vector<seq::SeqId> members{0, 1, 2, 3};
+  const Msa msa = center_star_msa(set, members, blosum62());
+  ASSERT_EQ(msa.rows.size(), 4u);
+  const std::size_t cols = msa.columns();
+  for (std::size_t r = 0; r < msa.rows.size(); ++r) {
+    EXPECT_EQ(msa.rows[r].size(), cols);
+    EXPECT_EQ(degap(msa.rows[r]), set.ascii(members[r]))
+        << "row " << r << " corrupted";
+  }
+}
+
+TEST(Msa, InsertionOpensGapInAllRows) {
+  // Second member has an insertion; everyone else must show a gap there.
+  const auto set = make_set({"MKTAYIAKQR", "MKTAYWWIAKQR", "MKTAYIAKQR"});
+  const Msa msa = center_star_msa(set, {0, 1, 2}, blosum62());
+  const std::size_t cols = msa.columns();
+  EXPECT_GE(cols, 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(degap(msa.rows[r]), set.ascii(static_cast<seq::SeqId>(r)));
+  }
+}
+
+TEST(Msa, ConsensusRecoversFamilyAncestor) {
+  // Members are light mutations of one ancestor; the column consensus
+  // should recover (nearly) the ancestor.
+  synth::DatasetSpec spec;
+  spec.seed = 31;
+  spec.num_sequences = 24;
+  spec.num_families = 1;
+  spec.min_family_size = 5;
+  spec.mean_length = 60;
+  spec.noise_fraction = 0;
+  spec.redundant_fraction = 0;
+  spec.min_divergence = 0.03;
+  spec.max_divergence = 0.10;
+  spec.truncation_max = 0.0;
+  spec.indel_rate = 0.002;
+  const auto d = synth::generate(spec);
+  std::vector<seq::SeqId> members(d.sequences.size());
+  for (seq::SeqId i = 0; i < d.sequences.size(); ++i) members[i] = i;
+  const Msa msa = center_star_msa(d.sequences, members, blosum62());
+
+  // Consensus agreement with each member should exceed each member's
+  // agreement with any single other member on average.
+  const std::string cons = msa.consensus();
+  double agree = 0.0;
+  std::size_t compared = 0;
+  for (const auto& row : msa.rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c] == '-' || cons[c] == '-') continue;
+      agree += row[c] == cons[c] ? 1.0 : 0.0;
+      ++compared;
+    }
+  }
+  EXPECT_GT(agree / static_cast<double>(compared), 0.9);
+}
+
+TEST(Msa, ConservationInUnitInterval) {
+  const auto set = make_set({"MKTAYIAKQR", "MKTAYWAKQR", "MKTAYIAKQR"});
+  const Msa msa = center_star_msa(set, {0, 1, 2}, blosum62());
+  for (double c : msa.column_conservation()) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(Msa, CenterIsAMember) {
+  const auto set = make_set({"MKTAYIAKQR", "MKTAYIAKQA", "MKTAYIAKQC"});
+  const Msa msa = center_star_msa(set, {0, 1, 2}, blosum62());
+  EXPECT_LT(msa.center, msa.members.size());
+}
+
+}  // namespace
+}  // namespace pclust::align

@@ -1,0 +1,67 @@
+#include "pclust/align/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::align {
+namespace {
+
+std::int16_t blosum(char a, char b) {
+  return blosum62().score(seq::char_to_rank(a), seq::char_to_rank(b));
+}
+
+TEST(Blosum62, KnownDiagonalValues) {
+  EXPECT_EQ(blosum('A', 'A'), 4);
+  EXPECT_EQ(blosum('W', 'W'), 11);
+  EXPECT_EQ(blosum('C', 'C'), 9);
+  EXPECT_EQ(blosum('P', 'P'), 7);
+  EXPECT_EQ(blosum('V', 'V'), 4);
+}
+
+TEST(Blosum62, KnownOffDiagonalValues) {
+  EXPECT_EQ(blosum('A', 'R'), -1);
+  EXPECT_EQ(blosum('W', 'C'), -2);
+  EXPECT_EQ(blosum('I', 'L'), 2);
+  EXPECT_EQ(blosum('D', 'E'), 2);
+  EXPECT_EQ(blosum('H', 'Y'), 2);
+  EXPECT_EQ(blosum('G', 'I'), -4);
+}
+
+TEST(Blosum62, Symmetric) {
+  const auto& s = blosum62();
+  for (int i = 0; i < seq::kAlphabetSize; ++i) {
+    for (int j = 0; j < seq::kAlphabetSize; ++j) {
+      EXPECT_EQ(s.score(static_cast<std::uint8_t>(i),
+                        static_cast<std::uint8_t>(j)),
+                s.score(static_cast<std::uint8_t>(j),
+                        static_cast<std::uint8_t>(i)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Blosum62, DiagonalDominatesRow) {
+  // Every residue matches itself at least as well as anything else.
+  const auto& s = blosum62();
+  for (std::uint8_t i = 0; i < seq::kNumResidues; ++i) {
+    for (std::uint8_t j = 0; j < seq::kNumResidues; ++j) {
+      EXPECT_GE(s.score(i, i), s.score(i, j));
+    }
+  }
+}
+
+TEST(Blosum62, XScoresMinusOne) {
+  EXPECT_EQ(blosum('X', 'A'), -1);
+  EXPECT_EQ(blosum('X', 'X'), -1);
+  EXPECT_EQ(blosum('W', 'X'), -1);
+}
+
+TEST(IdentityScoring, MatchMismatch) {
+  const ScoringScheme s = identity_scoring(2, -1);
+  EXPECT_EQ(s.score(0, 0), 2);
+  EXPECT_EQ(s.score(0, 1), -1);
+  EXPECT_EQ(s.gap_open, 3);
+  EXPECT_EQ(s.gap_extend, 1);
+}
+
+}  // namespace
+}  // namespace pclust::align

@@ -1,0 +1,95 @@
+#include "pclust/bigraph/bipartite_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::bigraph {
+namespace {
+
+TEST(BipartiteGraph, EmptyGraph) {
+  const BipartiteGraph g(0, 0, {});
+  EXPECT_EQ(g.left_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(BipartiteGraph, AdjacencySortedAndQueryable) {
+  const BipartiteGraph g(3, 4, {{0, 3}, {0, 1}, {2, 0}, {0, 2}});
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.degree(2), 1u);
+  const auto links = g.out_links(0);
+  EXPECT_EQ(std::vector<std::uint32_t>(links.begin(), links.end()),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(BipartiteGraph, DuplicateEdgesCollapse) {
+  const BipartiteGraph g(2, 2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(BipartiteGraph, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(BipartiteGraph(2, 2, {{2, 0}}), std::out_of_range);
+  EXPECT_THROW(BipartiteGraph(2, 2, {{0, 2}}), std::out_of_range);
+}
+
+BipartiteGraph clique(std::uint32_t m) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      if (i != j) edges.push_back({i, j});
+    }
+  }
+  return {m, m, std::move(edges)};
+}
+
+TEST(SubgraphDensity, CliqueIsFullyDense) {
+  const auto g = clique(6);
+  const std::vector<std::uint32_t> nodes{0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean_subgraph_degree(g, nodes), 5.0);
+  EXPECT_DOUBLE_EQ(subgraph_density(g, nodes), 1.0);
+}
+
+TEST(SubgraphDensity, SubsetOfCliqueStillDense) {
+  const auto g = clique(6);
+  EXPECT_DOUBLE_EQ(subgraph_density(g, {0, 2, 4}), 1.0);
+}
+
+TEST(SubgraphDensity, EdgesOutsideSubgraphIgnored) {
+  // Path 0-1-2: density of {0,2} is 0 (their edges go to 1, outside).
+  const BipartiteGraph g(3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+  EXPECT_DOUBLE_EQ(subgraph_density(g, {0, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(subgraph_density(g, {0, 1}), 1.0);
+}
+
+TEST(SubgraphDensity, DegenerateSizes) {
+  const auto g = clique(3);
+  EXPECT_DOUBLE_EQ(subgraph_density(g, {}), 0.0);
+  EXPECT_DOUBLE_EQ(subgraph_density(g, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_subgraph_degree(g, {}), 0.0);
+}
+
+TEST(SubgraphDensity, PaperFormula) {
+  // 75 % dense subgraph on 5 nodes: mean degree 3 -> density 3/4.
+  std::vector<Edge> edges;
+  // Cycle 0-1-2-3-4 plus chords 0-2, 1-3, 2-4, 3-0, 4-1 => degree 4 each...
+  // build instead: complete graph minus a perfect matching impossible on 5;
+  // use explicit: each vertex connected to 3 others.
+  const std::uint32_t m = 5;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t d = 1; d <= 3; ++d) {
+      edges.push_back({i, (i + d) % m});
+    }
+  }
+  const BipartiteGraph g(m, m, std::move(edges));
+  const std::vector<std::uint32_t> nodes{0, 1, 2, 3, 4};
+  // Each vertex has out-degree 3 but in-union with reverse edges the
+  // adjacency is what it is; verify via the formula directly.
+  const double density = subgraph_density(g, nodes);
+  EXPECT_NEAR(density, mean_subgraph_degree(g, nodes) / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pclust::bigraph

@@ -1,0 +1,161 @@
+#include "pclust/bigraph/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pclust/align/predicates.hpp"
+#include "pclust/pace/components.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::bigraph {
+namespace {
+
+synth::Dataset family_data(std::uint64_t seed, std::uint32_t n = 60) {
+  synth::DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = n;
+  spec.num_families = 2;
+  spec.mean_length = 90;
+  spec.redundant_fraction = 0;
+  spec.noise_fraction = 0;
+  spec.max_divergence = 0.20;
+  return synth::generate(spec);
+}
+
+std::vector<seq::SeqId> all_ids(const seq::SequenceSet& set) {
+  std::vector<seq::SeqId> ids(set.size());
+  std::iota(ids.begin(), ids.end(), seq::SeqId{0});
+  return ids;
+}
+
+TEST(BuildBd, SymmetricDuplicatedEdges) {
+  const auto d = family_data(51);
+  const auto cg = build_bd(d.sequences, all_ids(d.sequences));
+  EXPECT_EQ(cg.reduction, Reduction::kDuplicate);
+  EXPECT_EQ(cg.graph.left_count(), d.sequences.size());
+  EXPECT_EQ(cg.graph.right_count(), d.sequences.size());
+  EXPECT_GT(cg.graph.edge_count(), 0u);
+  // E' = {(i,j),(j,i)}: adjacency is symmetric and loop-free.
+  for (std::uint32_t i = 0; i < cg.graph.left_count(); ++i) {
+    for (std::uint32_t j : cg.graph.out_links(i)) {
+      EXPECT_NE(i, j);
+      EXPECT_TRUE(cg.graph.has_edge(j, i)) << i << "->" << j;
+    }
+  }
+}
+
+TEST(BuildBd, EdgesAreTrueOverlaps) {
+  const auto d = family_data(52, 40);
+  const auto cg = build_bd(d.sequences, all_ids(d.sequences));
+  for (std::uint32_t i = 0; i < cg.graph.left_count(); ++i) {
+    for (std::uint32_t j : cg.graph.out_links(i)) {
+      if (j < i) continue;
+      const auto out = align::test_overlap(
+          d.sequences.residues(cg.members[i]),
+          d.sequences.residues(cg.members[j]), align::blosum62());
+      EXPECT_TRUE(out.accepted) << cg.members[i] << " vs " << cg.members[j];
+    }
+  }
+}
+
+TEST(BuildBd, WithinFamilyEdgesDominant) {
+  const auto d = family_data(53);
+  const auto cg = build_bd(d.sequences, all_ids(d.sequences));
+  std::uint64_t within = 0, across = 0;
+  for (std::uint32_t i = 0; i < cg.graph.left_count(); ++i) {
+    for (std::uint32_t j : cg.graph.out_links(i)) {
+      if (d.truth.family[cg.members[i]] == d.truth.family[cg.members[j]]) {
+        ++within;
+      } else {
+        ++across;
+      }
+    }
+  }
+  EXPECT_GT(within, 10 * (across + 1));
+}
+
+TEST(BuildBd, MemberSubsetOnly) {
+  const auto d = family_data(54, 40);
+  std::vector<seq::SeqId> members;
+  for (seq::SeqId id = 0; id < d.sequences.size(); ++id) {
+    if (d.truth.family[id] == 0) members.push_back(id);
+  }
+  const auto cg = build_bd(d.sequences, members);
+  EXPECT_EQ(cg.members.size(), members.size());
+  EXPECT_EQ(cg.graph.left_count(), members.size());
+}
+
+TEST(BuildBd, StatsAccumulated) {
+  const auto d = family_data(55, 40);
+  const auto cg = build_bd(d.sequences, all_ids(d.sequences));
+  EXPECT_GT(cg.candidate_pairs, 0u);
+  EXPECT_GT(cg.aligned_pairs, 0u);
+  EXPECT_GE(cg.candidate_pairs, cg.aligned_pairs);  // dedup only shrinks
+  EXPECT_GT(cg.alignment_cells, 0u);
+}
+
+TEST(BuildBd, NoFilterSkipsEdges) {
+  // Unlike CCD, BGG aligns every deduplicated candidate pair: aligned_pairs
+  // equals the number of distinct candidate pairs.
+  const auto d = family_data(56, 30);
+  const auto cg = build_bd(d.sequences, all_ids(d.sequences));
+  // Aligned == distinct candidates (candidates include duplicates).
+  EXPECT_LE(cg.aligned_pairs, cg.candidate_pairs);
+  EXPECT_GT(cg.aligned_pairs,
+            cg.candidate_pairs / 50);  // sanity: dedup is not everything
+}
+
+TEST(BuildBm, WordsConnectContainingSequences) {
+  seq::SequenceSet set;
+  set.add("a", "WWWDEFGHIKLMNPWWW");
+  set.add("b", "YYDEFGHIKLMNPYY");
+  set.add("c", "MMMMMMMMMMMMMM");
+  std::vector<seq::SeqId> members{0, 1, 2};
+  const auto cg = build_bm(set, members, BmParams{.w = 10});
+  EXPECT_EQ(cg.reduction, Reduction::kMatchBased);
+  // Shared 10-mers of "DEFGHIKLMNP" (11 long): 2 words, each linking a & b.
+  EXPECT_EQ(cg.graph.left_count(), 2u);
+  EXPECT_EQ(cg.words.size(), 2u);
+  for (std::uint32_t w = 0; w < cg.graph.left_count(); ++w) {
+    const auto links = cg.graph.out_links(w);
+    EXPECT_EQ(std::vector<std::uint32_t>(links.begin(), links.end()),
+              (std::vector<std::uint32_t>{0, 1}));
+  }
+}
+
+TEST(BuildBm, FamilyMembersShareWords) {
+  const auto d = family_data(57, 30);
+  const auto cg = build_bm(d.sequences, all_ids(d.sequences), BmParams{});
+  EXPECT_GT(cg.graph.left_count(), 0u);
+  EXPECT_EQ(cg.graph.right_count(), d.sequences.size());
+  // Every word vertex has degree >= 2 by construction.
+  for (std::uint32_t w = 0; w < cg.graph.left_count(); ++w) {
+    EXPECT_GE(cg.graph.degree(w), 2u);
+  }
+}
+
+TEST(BuildBm, EmptyComponentSafe) {
+  seq::SequenceSet set;
+  set.add("a", "ACDEFGHIKL");
+  const auto cg = build_bm(set, {0}, BmParams{});
+  EXPECT_EQ(cg.graph.left_count(), 0u);
+  EXPECT_EQ(cg.graph.edge_count(), 0u);
+}
+
+TEST(Builders, IntegrationWithComponentDetection) {
+  // Components from CCD feed straight into the builders.
+  const auto d = family_data(58, 50);
+  const auto ccd =
+      pace::detect_components_serial(d.sequences, all_ids(d.sequences));
+  ASSERT_FALSE(ccd.components.empty());
+  const auto& comp = ccd.components.front();
+  ASSERT_GE(comp.size(), 5u);
+  const auto bd = build_bd(d.sequences, comp);
+  const auto bm = build_bm(d.sequences, comp, BmParams{});
+  EXPECT_GT(bd.graph.edge_count(), 0u);
+  EXPECT_GT(bm.graph.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pclust::bigraph

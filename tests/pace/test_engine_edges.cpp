@@ -1,0 +1,153 @@
+// Degenerate-input and failure-injection tests of the PaCE engine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pclust/pace/components.hpp"
+#include "pclust/pace/redundancy.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::pace {
+namespace {
+
+std::vector<seq::SeqId> all_ids(const seq::SequenceSet& set) {
+  std::vector<seq::SeqId> ids(set.size());
+  std::iota(ids.begin(), ids.end(), seq::SeqId{0});
+  return ids;
+}
+
+TEST(EngineEdges, EmptyInputSerial) {
+  seq::SequenceSet empty;
+  const auto rr = remove_redundant_serial(empty);
+  EXPECT_TRUE(rr.removed.empty());
+  const auto ccd = detect_components_serial(empty, {});
+  EXPECT_TRUE(ccd.components.empty());
+}
+
+TEST(EngineEdges, EmptyInputParallel) {
+  seq::SequenceSet empty;
+  const auto rr =
+      remove_redundant(empty, 3, mpsim::MachineModel::free());
+  EXPECT_TRUE(rr.removed.empty());
+  EXPECT_EQ(rr.counters.promising_pairs, 0u);
+}
+
+TEST(EngineEdges, SingleSequence) {
+  seq::SequenceSet set;
+  set.add("only", "MKTAYIAKQRQISFVKSHFSRQL");
+  const auto rr = remove_redundant_serial(set);
+  EXPECT_EQ(rr.removed_count(), 0u);
+  const auto ccd = detect_components_serial(set, rr.survivors());
+  ASSERT_EQ(ccd.components.size(), 1u);
+  EXPECT_EQ(ccd.components[0], (std::vector<seq::SeqId>{0}));
+}
+
+TEST(EngineEdges, AllIdenticalSequencesCollapse) {
+  seq::SequenceSet set;
+  for (int i = 0; i < 12; ++i) {
+    set.add("dup" + std::to_string(i), "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ");
+  }
+  const auto rr = remove_redundant_serial(set);
+  // Mutual containment everywhere. Interleaved removal chains can leave a
+  // few mutually-contained container-survivors (a survivor that anchors
+  // removed sequences is never removed itself), but the collapse must be
+  // substantial and every removed sequence must point at a survivor.
+  EXPECT_LE(rr.survivors().size(), 4u);
+  EXPECT_GE(rr.removed_count(), 8u);
+  for (seq::SeqId id = 0; id < set.size(); ++id) {
+    if (rr.removed[id]) {
+      EXPECT_FALSE(rr.removed[rr.container[id]]);
+    }
+  }
+}
+
+TEST(EngineEdges, PsiLargerThanSequencesMeansNoPairs) {
+  synth::DatasetSpec spec;
+  spec.num_sequences = 40;
+  spec.num_families = 2;
+  spec.mean_length = 30;
+  spec.noise_fraction = 0;
+  spec.redundant_fraction = 0;
+  const auto d = synth::generate(spec);
+  PaceParams params;
+  params.psi = 100;  // longer than any sequence
+  params.bucket_prefix = 3;
+  const auto ccd = detect_components_serial(d.sequences,
+                                            all_ids(d.sequences), params);
+  EXPECT_EQ(ccd.counters.promising_pairs, 0u);
+  // Everything stays a singleton.
+  EXPECT_EQ(ccd.components.size(), d.sequences.size());
+}
+
+TEST(EngineEdges, BucketPrefixLargerThanPsiRejected) {
+  seq::SequenceSet set;
+  set.add("a", "ACDEFGHIKL");
+  set.add("b", "ACDEFGHIKL");
+  PaceParams params;
+  params.psi = 2;
+  params.bucket_prefix = 3;  // nodes of depth 2 could span buckets
+  EXPECT_THROW(
+      { [[maybe_unused]] auto r = remove_redundant_serial(set, params); },
+      std::invalid_argument);
+}
+
+TEST(EngineEdges, TwoRanksMinimumEnforced) {
+  seq::SequenceSet set;
+  set.add("a", "ACDEFGHIKL");
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] auto r =
+            detect_components(set, {0}, 1, mpsim::MachineModel::free());
+      },
+      std::invalid_argument);
+}
+
+TEST(EngineEdges, ManyWorkersFewSequences) {
+  // More workers than buckets/pairs: protocol must still terminate.
+  seq::SequenceSet set;
+  set.add("a", "MKTAYIAKQRQISFVKSHFSRQL");
+  set.add("b", "MKTAYIAKQRQISFVKSHFSRQL");
+  set.add("c", "WWWWWWWWYYYYYYYYWWWWWWW");
+  const auto ccd = detect_components(set, {0, 1, 2}, 16,
+                                     mpsim::MachineModel::free());
+  std::size_t total = 0;
+  for (const auto& c : ccd.components) total += c.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(EngineEdges, RedundancyIdempotent) {
+  // Running RR on RR survivors removes nothing further (no containment
+  // pair survives the first pass).
+  synth::DatasetSpec spec;
+  spec.seed = 5;
+  spec.num_sequences = 150;
+  spec.num_families = 3;
+  spec.mean_length = 80;
+  spec.redundant_fraction = 0.2;
+  const auto d = synth::generate(spec);
+  const auto first = remove_redundant_serial(d.sequences);
+  const auto survivors = d.sequences.subset(first.survivors());
+  const auto second = remove_redundant_serial(survivors);
+  EXPECT_EQ(second.removed_count(), 0u);
+}
+
+TEST(EngineEdges, SequencesShorterThanPsiAreSingletons) {
+  seq::SequenceSet set;
+  set.add("short1", "ACDEF");
+  set.add("short2", "ACDEF");
+  set.add("long1", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ");
+  set.add("long2", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ");
+  PaceParams params;
+  params.psi = 10;
+  const auto ccd =
+      detect_components_serial(set, all_ids(set), params);
+  // The short identical pair shares only a 5-mer: invisible at psi=10.
+  bool shorts_merged = false;
+  for (const auto& c : ccd.components) {
+    if (c.size() == 2 && c[0] == 0 && c[1] == 1) shorts_merged = true;
+  }
+  EXPECT_FALSE(shorts_merged);
+}
+
+}  // namespace
+}  // namespace pclust::pace

@@ -1,0 +1,92 @@
+// Tests of the batched parallel Shingle stage (paper §VI future work).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pclust/pipeline/pipeline.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::pipeline {
+namespace {
+
+synth::Dataset dsd_data(std::uint64_t seed) {
+  synth::DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = 400;
+  spec.num_families = 8;
+  spec.mean_length = 90;
+  spec.redundant_fraction = 0.1;
+  spec.noise_fraction = 0.15;
+  spec.max_divergence = 0.18;
+  return synth::generate(spec);
+}
+
+PipelineConfig dsd_config(int dsd_processors) {
+  PipelineConfig config;
+  config.shingle.s1 = 3;
+  config.shingle.c1 = 80;
+  config.shingle.s2 = 2;
+  config.shingle.tau = 0.4;
+  config.dsd_processors = dsd_processors;
+  return config;
+}
+
+using FamilySet = std::set<std::vector<seq::SeqId>>;
+
+FamilySet family_set(const PipelineResult& r) {
+  FamilySet out;
+  for (const auto& f : r.families) out.insert(f.members);
+  return out;
+}
+
+TEST(ParallelDsd, SameFamiliesAsSerial) {
+  const auto d = dsd_data(101);
+  const auto serial = run(d.sequences, dsd_config(0));
+  for (int p : {2, 3, 6}) {
+    const auto parallel = run(d.sequences, dsd_config(p));
+    EXPECT_EQ(family_set(parallel), family_set(serial)) << "p=" << p;
+  }
+}
+
+TEST(ParallelDsd, ReportsSimulatedMakespan) {
+  const auto d = dsd_data(102);
+  const auto serial = run(d.sequences, dsd_config(0));
+  EXPECT_DOUBLE_EQ(serial.dsd_simulated_seconds, 0.0);
+  const auto parallel = run(d.sequences, dsd_config(4));
+  EXPECT_GT(parallel.dsd_simulated_seconds, 0.0);
+}
+
+TEST(ParallelDsd, MoreRanksNoSlowerMakespan) {
+  const auto d = dsd_data(103);
+  const auto p2 = run(d.sequences, dsd_config(2));
+  const auto p8 = run(d.sequences, dsd_config(8));
+  // LPT batching: more ranks can only reduce (or equal, when one giant
+  // component dominates) the simulated makespan.
+  EXPECT_LE(p8.dsd_simulated_seconds, p2.dsd_simulated_seconds + 1e-9);
+}
+
+TEST(ParallelDsd, DensityStatsUnaffected) {
+  const auto d = dsd_data(104);
+  const auto serial = run(d.sequences, dsd_config(0));
+  const auto parallel = run(d.sequences, dsd_config(4));
+  EXPECT_DOUBLE_EQ(serial.mean_density, parallel.mean_density);
+  EXPECT_EQ(serial.largest_subgraph, parallel.largest_subgraph);
+}
+
+TEST(ParallelDsd, WorksWithMatchBasedReduction) {
+  const auto d = dsd_data(105);
+  PipelineConfig config = dsd_config(3);
+  config.reduction = bigraph::Reduction::kMatchBased;
+  config.bm.w = 8;
+  const auto r = run(d.sequences, config);
+  EXPECT_GT(r.dense_subgraph_count, 0u);
+}
+
+TEST(ParallelDsd, MoreRanksThanComponentsIsSafe) {
+  const auto d = dsd_data(106);
+  const auto r = run(d.sequences, dsd_config(64));
+  EXPECT_GT(r.dense_subgraph_count, 0u);
+}
+
+}  // namespace
+}  // namespace pclust::pipeline

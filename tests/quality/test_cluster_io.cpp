@@ -1,0 +1,100 @@
+#include "pclust/quality/cluster_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pclust::quality {
+namespace {
+
+seq::SequenceSet make_set() {
+  seq::SequenceSet set;
+  for (const char* name : {"alpha", "beta", "gamma", "delta"}) {
+    set.add(name, "ACDEFGHIKL");
+  }
+  return set;
+}
+
+TEST(ClusterIo, RoundTrip) {
+  const auto set = make_set();
+  const Clustering clusters = {{0, 2}, {1}, {3}};
+  std::ostringstream out;
+  write_clustering(out, clusters, set);
+
+  std::istringstream in(out.str());
+  const Clustering back = read_clustering(in, set);
+  // Sorted by descending size; singletons ordered by first member.
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], (std::vector<seq::SeqId>{0, 2}));
+  EXPECT_EQ(back[1], (std::vector<seq::SeqId>{1}));
+  EXPECT_EQ(back[2], (std::vector<seq::SeqId>{3}));
+}
+
+TEST(ClusterIo, CommentsAndBlanksIgnored) {
+  const auto set = make_set();
+  std::istringstream in("# header\n\nfamA\talpha\n\n# more\nfamA\tbeta\n");
+  const Clustering c = read_clustering(in, set);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (std::vector<seq::SeqId>{0, 1}));
+}
+
+TEST(ClusterIo, ArbitraryLabelsGroup) {
+  const auto set = make_set();
+  std::istringstream in(
+      "CRAL/TRIO\tgamma\nother\tbeta\nCRAL/TRIO\talpha\n");
+  const Clustering c = read_clustering(in, set);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], (std::vector<seq::SeqId>{0, 2}));
+}
+
+TEST(ClusterIo, UnknownSequenceThrows) {
+  const auto set = make_set();
+  std::istringstream in("f\tnonexistent\n");
+  EXPECT_THROW(
+      { [[maybe_unused]] auto c = read_clustering(in, set); },
+      std::runtime_error);
+}
+
+TEST(ClusterIo, MissingTabThrows) {
+  const auto set = make_set();
+  std::istringstream in("just-one-field\n");
+  EXPECT_THROW(
+      { [[maybe_unused]] auto c = read_clustering(in, set); },
+      std::runtime_error);
+}
+
+TEST(ClusterIo, EmptyInputEmptyClustering) {
+  const auto set = make_set();
+  std::istringstream in("# nothing here\n");
+  EXPECT_TRUE(read_clustering(in, set).empty());
+}
+
+TEST(ClusterIo, MissingFileThrows) {
+  const auto set = make_set();
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] auto c =
+            read_clustering_file("/nonexistent/x.tsv", set);
+      },
+      std::runtime_error);
+}
+
+TEST(ClusterIo, MetricsSurviveRoundTrip) {
+  const auto set = make_set();
+  const Clustering test = {{0, 1}, {2, 3}};
+  const Clustering benchmark = {{0, 1, 2}, {3}};
+  std::ostringstream t_out, b_out;
+  write_clustering(t_out, test, set);
+  write_clustering(b_out, benchmark, set);
+  std::istringstream t_in(t_out.str()), b_in(b_out.str());
+  const Metrics direct = compare_clusterings(test, benchmark);
+  const Metrics via_io = compare_clusterings(read_clustering(t_in, set),
+                                             read_clustering(b_in, set));
+  EXPECT_EQ(direct.counts.tp, via_io.counts.tp);
+  EXPECT_EQ(direct.counts.fp, via_io.counts.fp);
+  EXPECT_EQ(direct.counts.fn, via_io.counts.fn);
+  EXPECT_EQ(direct.counts.tn, via_io.counts.tn);
+}
+
+}  // namespace
+}  // namespace pclust::quality

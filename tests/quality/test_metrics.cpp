@@ -1,0 +1,124 @@
+#include "pclust/quality/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::quality {
+namespace {
+
+TEST(Metrics, IdenticalClusteringsPerfect) {
+  const Clustering c = {{0, 1, 2}, {3, 4}, {5}};
+  const Metrics m = compare_clusterings(c, c);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(m.overlap_quality, 1.0);
+  EXPECT_DOUBLE_EQ(m.correlation, 1.0);
+  EXPECT_EQ(m.counts.fp, 0u);
+  EXPECT_EQ(m.counts.fn, 0u);
+  EXPECT_EQ(m.common_sequences, 6u);
+}
+
+TEST(Metrics, HandComputedCounts) {
+  // Test: {0,1},{2,3}; Benchmark: {0,1,2},{3}.
+  // Pairs (of 6): (0,1): together/together=TP. (0,2),(1,2): sep/together=FN.
+  // (2,3): together/sep=FP. (0,3),(1,3): sep/sep=TN.
+  const Metrics m =
+      compare_clusterings({{0, 1}, {2, 3}}, {{0, 1, 2}, {3}});
+  EXPECT_EQ(m.counts.tp, 1u);
+  EXPECT_EQ(m.counts.fn, 2u);
+  EXPECT_EQ(m.counts.fp, 1u);
+  EXPECT_EQ(m.counts.tn, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.overlap_quality, 0.25);
+}
+
+TEST(Metrics, FragmentationLowersSensitivityNotPrecision) {
+  // Test splits the benchmark cluster in two — exactly the paper's expected
+  // behaviour (850 DS vs 221 GOS clusters): PR stays 1, SE drops.
+  const Metrics m = compare_clusterings({{0, 1, 2}, {3, 4, 5}},
+                                        {{0, 1, 2, 3, 4, 5}});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_LT(m.sensitivity, 0.5);
+  EXPECT_EQ(m.counts.fp, 0u);
+  EXPECT_GT(m.counts.fn, 0u);
+}
+
+TEST(Metrics, OverMergingLowersPrecision) {
+  const Metrics m = compare_clusterings({{0, 1, 2, 3, 4, 5}},
+                                        {{0, 1, 2}, {3, 4, 5}});
+  EXPECT_LT(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 1.0);
+}
+
+TEST(Metrics, RestrictedToCommonSequences) {
+  // Sequences 7, 8 appear only in one clustering: excluded entirely.
+  const Metrics m =
+      compare_clusterings({{0, 1}, {7}}, {{0, 1, 8}});
+  EXPECT_EQ(m.common_sequences, 2u);
+  EXPECT_EQ(m.counts.total(), 1u);  // C(2,2) = 1 pair
+  EXPECT_EQ(m.counts.tp, 1u);
+}
+
+TEST(Metrics, DisjointCoverageGivesZeroCommon) {
+  const Metrics m = compare_clusterings({{0, 1}}, {{2, 3}});
+  EXPECT_EQ(m.common_sequences, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.correlation, 0.0);
+}
+
+TEST(Metrics, DuplicateIdThrows) {
+  EXPECT_THROW(
+      { [[maybe_unused]] auto m = compare_clusterings({{0, 1}, {1, 2}},
+                                                      {{0, 1, 2}}); },
+      std::invalid_argument);
+  EXPECT_THROW(
+      { [[maybe_unused]] auto m = compare_clusterings({{0, 1}}, {{2, 2}}); },
+      std::invalid_argument);
+}
+
+TEST(Metrics, CorrelationSignedForAntiCorrelation) {
+  // Test groups exactly the pairs the benchmark separates.
+  const Metrics m = compare_clusterings({{0, 1}, {2, 3}}, {{0, 2}, {1, 3}});
+  EXPECT_LT(m.correlation, 0.0);
+}
+
+TEST(Metrics, LabelPermutationInvariant) {
+  const Clustering a = {{0, 1, 2}, {3, 4}};
+  const Clustering a_shuffled = {{4, 3}, {2, 0, 1}};
+  const Metrics m1 = compare_clusterings(a, {{0, 1}, {2, 3, 4}});
+  const Metrics m2 = compare_clusterings(a_shuffled, {{0, 1}, {2, 3, 4}});
+  EXPECT_EQ(m1.counts.tp, m2.counts.tp);
+  EXPECT_EQ(m1.counts.fp, m2.counts.fp);
+  EXPECT_EQ(m1.counts.fn, m2.counts.fn);
+  EXPECT_EQ(m1.counts.tn, m2.counts.tn);
+}
+
+TEST(Metrics, LargeClusterCountsUseContingency) {
+  // Two 1000-element clusters: ~C(2000,2) pairs without quadratic blowup.
+  Clustering big(2);
+  for (seq::SeqId i = 0; i < 1000; ++i) big[0].push_back(i);
+  for (seq::SeqId i = 1000; i < 2000; ++i) big[1].push_back(i);
+  const Metrics m = compare_clusterings(big, big);
+  EXPECT_EQ(m.counts.tp, 2 * (1000ull * 999 / 2));
+  EXPECT_EQ(m.counts.tn, 1000ull * 1000);
+  EXPECT_DOUBLE_EQ(m.correlation, 1.0);
+}
+
+TEST(Metrics, DegenerateSingleClusterCorrelationIsZero) {
+  // All pairs positive in both: TN+FP and TN+FN are 0, the CC denominator
+  // vanishes, and the convention is to report 0.
+  const Metrics m = compare_clusterings({{0, 1, 2}}, {{0, 1, 2}});
+  EXPECT_DOUBLE_EQ(m.correlation, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(Metrics, SingletonsContributeOnlyNegatives) {
+  const Metrics m = compare_clusterings({{0}, {1}, {2}}, {{0}, {1}, {2}});
+  EXPECT_EQ(m.counts.tp, 0u);
+  EXPECT_EQ(m.counts.tn, 3u);
+  // No positives anywhere: PR/SE undefined -> reported as 0.
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+}  // namespace
+}  // namespace pclust::quality

@@ -1,0 +1,76 @@
+#include "pclust/seq/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace pclust::seq {
+namespace {
+
+TEST(Alphabet, RoundTripAllResidues) {
+  for (std::uint8_t r = 0; r < kNumResidues; ++r) {
+    EXPECT_EQ(char_to_rank(rank_to_char(r)), r);
+  }
+}
+
+TEST(Alphabet, ResidueCharsDistinct) {
+  std::set<char> chars;
+  for (std::uint8_t r = 0; r < kNumResidues; ++r) {
+    chars.insert(rank_to_char(r));
+  }
+  EXPECT_EQ(chars.size(), static_cast<std::size_t>(kNumResidues));
+}
+
+TEST(Alphabet, LowerCaseAccepted) {
+  EXPECT_EQ(char_to_rank('a'), char_to_rank('A'));
+  EXPECT_EQ(char_to_rank('w'), char_to_rank('W'));
+}
+
+TEST(Alphabet, AmbiguityCodesMapToX) {
+  for (char c : {'X', 'B', 'Z', 'J', 'U', 'O', '*', 'x', 'b'}) {
+    EXPECT_EQ(char_to_rank(c), kRankX) << c;
+  }
+}
+
+TEST(Alphabet, InvalidCharactersRejected) {
+  for (char c : {'1', ' ', '-', '\n', '@'}) {
+    EXPECT_EQ(char_to_rank(c), 0xFF) << c;
+    EXPECT_FALSE(is_valid_residue_char(c)) << c;
+  }
+}
+
+TEST(Alphabet, EncodeDecodeRoundTrip) {
+  const std::string ascii = "ACDEFGHIKLMNPQRSTVWYX";
+  EXPECT_EQ(decode(encode(ascii)), ascii);
+}
+
+TEST(Alphabet, EncodeThrowsOnInvalid) {
+  EXPECT_THROW(encode("AC GT"), std::invalid_argument);
+  EXPECT_THROW(encode("AB1"), std::invalid_argument);
+}
+
+TEST(Alphabet, SpecialRanksRenderDistinctly) {
+  EXPECT_EQ(rank_to_char(kRankSeparator), '$');
+  EXPECT_EQ(rank_to_char(kRankTerminator), '#');
+  EXPECT_EQ(rank_to_char(kRankX), 'X');
+}
+
+TEST(Alphabet, SeparatorAboveAllResidues) {
+  // The suffix machinery relies on residues < X < separator < terminator.
+  EXPECT_LT(kNumResidues, static_cast<int>(kRankSeparator));
+  EXPECT_LT(kRankX, kRankSeparator);
+  EXPECT_LT(kRankSeparator, kRankTerminator);
+  EXPECT_LT(static_cast<int>(kRankTerminator), kIndexAlphabetSize);
+}
+
+TEST(Alphabet, BackgroundFrequenciesSumToOne) {
+  const auto& f = background_frequencies();
+  const double sum = std::accumulate(f.begin(), f.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+  for (double v : f) EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace pclust::seq

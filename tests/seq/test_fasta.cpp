@@ -1,0 +1,84 @@
+#include "pclust/seq/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pclust::seq {
+namespace {
+
+TEST(Fasta, ParseBasic) {
+  std::istringstream in(">s1 description text\nACDE\nFGH\n>s2\nMMM\n");
+  SequenceSet set;
+  EXPECT_EQ(read_fasta(in, set), 2u);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.name(0), "s1");  // description dropped
+  EXPECT_EQ(set.ascii(0), "ACDEFGH");
+  EXPECT_EQ(set.ascii(1), "MMM");
+}
+
+TEST(Fasta, BlankLinesIgnored) {
+  std::istringstream in("\n>s\n\nAC\n\nDE\n\n");
+  SequenceSet set;
+  read_fasta(in, set);
+  EXPECT_EQ(set.ascii(0), "ACDE");
+}
+
+TEST(Fasta, WindowsLineEndings) {
+  std::istringstream in(">s\r\nACDE\r\n");
+  SequenceSet set;
+  read_fasta(in, set);
+  EXPECT_EQ(set.ascii(0), "ACDE");
+}
+
+TEST(Fasta, ResiduesBeforeHeaderThrow) {
+  std::istringstream in("ACDE\n>s\nAC\n");
+  SequenceSet set;
+  EXPECT_THROW(read_fasta(in, set), std::runtime_error);
+}
+
+TEST(Fasta, EmptyRecordThrows) {
+  std::istringstream in(">s1\n>s2\nAC\n");
+  SequenceSet set;
+  EXPECT_THROW(read_fasta(in, set), std::runtime_error);
+}
+
+TEST(Fasta, EmptyStreamAddsNothing) {
+  std::istringstream in("");
+  SequenceSet set;
+  EXPECT_EQ(read_fasta(in, set), 0u);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(Fasta, RoundTripThroughWrite) {
+  SequenceSet set;
+  set.add("alpha", "ACDEFGHIKLMNPQRSTVWY");
+  set.add("beta", std::string(150, 'W'));
+  std::ostringstream out;
+  write_fasta(out, set, 60);
+
+  std::istringstream in(out.str());
+  SequenceSet round;
+  read_fasta(in, round);
+  ASSERT_EQ(round.size(), 2u);
+  EXPECT_EQ(round.name(0), "alpha");
+  EXPECT_EQ(round.ascii(0), set.ascii(0));
+  EXPECT_EQ(round.ascii(1), set.ascii(1));
+}
+
+TEST(Fasta, LineWidthRespected) {
+  SequenceSet set;
+  set.add("s", std::string(25, 'A'));
+  std::ostringstream out;
+  write_fasta(out, set, 10);
+  EXPECT_EQ(out.str(), ">s\nAAAAAAAAAA\nAAAAAAAAAA\nAAAAA\n");
+}
+
+TEST(Fasta, MissingFileThrows) {
+  SequenceSet set;
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa", set),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pclust::seq

@@ -1,0 +1,82 @@
+#include "pclust/seq/sequence_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pclust/seq/alphabet.hpp"
+
+namespace pclust::seq {
+namespace {
+
+TEST(SequenceSet, AddAndRetrieve) {
+  SequenceSet set;
+  const SeqId a = set.add("s1", "ACDEF");
+  const SeqId b = set.add("s2", "GHIK");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.ascii(a), "ACDEF");
+  EXPECT_EQ(set.ascii(b), "GHIK");
+  EXPECT_EQ(set.length(a), 5u);
+  EXPECT_EQ(set.name(b), "s2");
+}
+
+TEST(SequenceSet, ResiduesAreRankEncoded) {
+  SequenceSet set;
+  const SeqId id = set.add("s", "AC");
+  const auto r = set.residues(id);
+  EXPECT_EQ(static_cast<int>(r[0]), 0);  // A is rank 0
+  EXPECT_EQ(static_cast<int>(r[1]), 1);  // C is rank 1
+}
+
+TEST(SequenceSet, EmptySequenceRejected) {
+  SequenceSet set;
+  EXPECT_THROW(set.add("e", ""), std::invalid_argument);
+}
+
+TEST(SequenceSet, BadRankRejected) {
+  SequenceSet set;
+  std::string bad(3, static_cast<char>(kRankSeparator));
+  EXPECT_THROW(set.add_encoded("b", bad), std::invalid_argument);
+}
+
+TEST(SequenceSet, TotalAndMeanLength) {
+  SequenceSet set;
+  set.add("a", "ACDE");
+  set.add("b", "AC");
+  EXPECT_EQ(set.total_residues(), 6u);
+  EXPECT_DOUBLE_EQ(set.mean_length(), 3.0);
+}
+
+TEST(SequenceSet, EmptySetMeanZero) {
+  SequenceSet set;
+  EXPECT_DOUBLE_EQ(set.mean_length(), 0.0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(SequenceSet, SubsetPreservesOrderAndContent) {
+  SequenceSet set;
+  set.add("a", "AAAA");
+  set.add("b", "CCCC");
+  set.add("c", "DDDD");
+  const SequenceSet sub = set.subset({2, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.name(0), "c");
+  EXPECT_EQ(sub.ascii(0), "DDDD");
+  EXPECT_EQ(sub.name(1), "a");
+  EXPECT_EQ(sub.ascii(1), "AAAA");
+}
+
+TEST(SequenceSet, ManySequencesContiguousBuffer) {
+  SequenceSet set;
+  for (int i = 0; i < 100; ++i) {
+    set.add("s" + std::to_string(i), std::string(7, 'M'));
+  }
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_EQ(set.total_residues(), 700u);
+  for (SeqId id = 0; id < 100; ++id) {
+    EXPECT_EQ(set.ascii(id), "MMMMMMM");
+  }
+}
+
+}  // namespace
+}  // namespace pclust::seq

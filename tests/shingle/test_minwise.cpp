@@ -1,0 +1,133 @@
+#include "pclust/shingle/minwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace pclust::shingle {
+namespace {
+
+std::vector<std::uint32_t> iota_links(std::uint32_t n, std::uint32_t start = 0) {
+  std::vector<std::uint32_t> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(MinWise, TooFewLinksGivesNothing) {
+  const auto links = iota_links(3);
+  EXPECT_TRUE(shingle_set(links, 5, 10, 1).empty());
+  EXPECT_TRUE(shingle_set({}, 1, 10, 1).empty());
+}
+
+TEST(MinWise, ExactSizeGivesSingleShingle) {
+  const auto links = iota_links(5);
+  const auto set = shingle_set(links, 5, 300, 7);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].elements, links);
+}
+
+TEST(MinWise, ElementsAreSubsetOfLinksAndSorted) {
+  const auto links = iota_links(40, 100);
+  for (const auto& sh : shingle_set(links, 5, 50, 3)) {
+    EXPECT_EQ(sh.elements.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(sh.elements.begin(), sh.elements.end()));
+    for (auto e : sh.elements) {
+      EXPECT_GE(e, 100u);
+      EXPECT_LT(e, 140u);
+    }
+  }
+}
+
+TEST(MinWise, DeterministicInSeed) {
+  const auto links = iota_links(30);
+  const auto a = shingle_set(links, 4, 20, 99);
+  const auto b = shingle_set(links, 4, 20, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].elements, b[i].elements);
+  }
+}
+
+TEST(MinWise, DifferentSeedsDiffer) {
+  const auto links = iota_links(30);
+  const auto a = shingle_values(links, 4, 20, 1);
+  const auto b = shingle_values(links, 4, 20, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(MinWise, OrderOfLinksIrrelevant) {
+  auto links = iota_links(20);
+  const auto a = shingle_values(links, 3, 10, 5);
+  std::reverse(links.begin(), links.end());
+  const auto b = shingle_values(links, 3, 10, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MinWise, IdenticalLinkSetsShareAllShingles) {
+  const auto links = iota_links(25);
+  const auto a = shingle_values(links, 5, 30, 11);
+  const auto b = shingle_values(links, 5, 30, 11);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MinWise, HighOverlapSharesAtLeastOneShingle) {
+  // Two vertices sharing 18 of 20 out-links should share a shingle with
+  // overwhelming probability at c = 100.
+  auto a_links = iota_links(20);
+  auto b_links = a_links;
+  b_links[0] = 1000;
+  b_links[1] = 1001;
+  const auto a = shingle_values(a_links, 5, 100, 13);
+  const auto b = shingle_values(b_links, 5, 100, 13);
+  std::set<std::uint64_t> sa(a.begin(), a.end());
+  int shared = 0;
+  for (auto v : b) shared += sa.count(v) ? 1 : 0;
+  EXPECT_GT(shared, 0);
+}
+
+TEST(MinWise, DisjointSetsShareNothing) {
+  const auto a = shingle_values(iota_links(20, 0), 5, 100, 13);
+  const auto b = shingle_values(iota_links(20, 1000), 5, 100, 13);
+  std::set<std::uint64_t> sa(a.begin(), a.end());
+  for (auto v : b) EXPECT_EQ(sa.count(v), 0u);
+}
+
+TEST(MinWise, LargerSLowersSharingProbability) {
+  // Fixed 50 % overlap: larger s => fewer shared shingles (paper §IV-D).
+  auto a_links = iota_links(20, 0);
+  auto b_links = iota_links(20, 10);  // overlap = 10 elements
+  int shared_s2 = 0, shared_s8 = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (std::uint32_t s : {2u, 8u}) {
+      const auto a = shingle_values(a_links, s, 50, seed);
+      const auto b = shingle_values(b_links, s, 50, seed);
+      std::set<std::uint64_t> sa(a.begin(), a.end());
+      int shared = 0;
+      for (auto v : b) shared += sa.count(v) ? 1 : 0;
+      (s == 2 ? shared_s2 : shared_s8) += shared;
+    }
+  }
+  EXPECT_GT(shared_s2, shared_s8);
+}
+
+TEST(MinWise, ShinglesDeduplicated) {
+  const auto set = shingle_set(iota_links(6), 5, 300, 21);
+  std::set<std::uint64_t> values;
+  for (const auto& sh : set) {
+    EXPECT_TRUE(values.insert(sh.value).second);
+  }
+  // Only C(6,5) = 6 possible distinct shingles exist.
+  EXPECT_LE(set.size(), 6u);
+}
+
+TEST(MinWise, CIncreasesCoverage) {
+  const auto links = iota_links(30);
+  const auto small = shingle_set(links, 5, 5, 31);
+  const auto large = shingle_set(links, 5, 200, 31);
+  EXPECT_LT(small.size(), large.size());
+}
+
+}  // namespace
+}  // namespace pclust::shingle

@@ -1,0 +1,120 @@
+// Property sweeps of the Shingle algorithm over its (s, c) parameter grid.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pclust/shingle/shingle.hpp"
+#include "pclust/util/rng.hpp"
+
+namespace pclust::shingle {
+namespace {
+
+using bigraph::BipartiteGraph;
+using bigraph::Edge;
+
+/// Random graph: k cliques of random sizes plus sparse noise.
+BipartiteGraph random_graph(std::uint64_t seed, std::uint32_t n,
+                            std::uint32_t cliques, double noise) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> owner(n);
+  for (auto& o : owner) {
+    o = static_cast<std::uint32_t>(rng.below(cliques));
+  }
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (owner[i] == owner[j] || rng.chance(noise)) {
+        edges.push_back({i, j});
+      }
+    }
+  }
+  return {n, n, std::move(edges)};
+}
+
+struct GridCase {
+  std::uint32_t s;
+  std::uint32_t c;
+  std::uint64_t seed;
+};
+
+class ShingleGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ShingleGrid, CandidatesWellFormed) {
+  const auto [s, c, seed] = GetParam();
+  const auto graph = random_graph(seed, 60, 4, 0.01);
+  ShingleParams params;
+  params.s1 = s;
+  params.c1 = c;
+  params.s2 = 2;
+  params.c2 = 30;
+  const auto candidates = dense_subgraphs(graph, params);
+  for (const auto& ds : candidates) {
+    EXPECT_FALSE(ds.left.empty());
+    EXPECT_FALSE(ds.right.empty());
+    EXPECT_TRUE(std::is_sorted(ds.left.begin(), ds.left.end()));
+    EXPECT_TRUE(std::is_sorted(ds.right.begin(), ds.right.end()));
+    for (auto v : ds.left) EXPECT_LT(v, graph.left_count());
+    for (auto v : ds.right) EXPECT_LT(v, graph.right_count());
+    // Each member of A shares at least s out-links with the subgraph's B
+    // (its shingle is an s-subset of its out-links inside B... weaker
+    // check: degree >= s, since only vertices with >= s links can shingle).
+    for (auto v : ds.left) EXPECT_GE(graph.degree(v), s);
+  }
+  // Largest-first ordering.
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].left.size() + candidates[i - 1].right.size(),
+              candidates[i].left.size() + candidates[i].right.size());
+  }
+}
+
+TEST_P(ShingleGrid, ReportedFamiliesDisjointAndMapped) {
+  const auto [s, c, seed] = GetParam();
+  bigraph::ComponentGraph cg;
+  cg.reduction = bigraph::Reduction::kDuplicate;
+  cg.graph = random_graph(seed, 60, 4, 0.01);
+  cg.members.resize(60);
+  for (std::uint32_t i = 0; i < 60; ++i) cg.members[i] = 1000 + i;
+
+  ShingleParams params;
+  params.s1 = s;
+  params.c1 = c;
+  params.s2 = 2;
+  params.c2 = 30;
+  params.min_size = 4;
+  params.tau = 0.3;
+  std::set<seq::SeqId> seen;
+  for (const auto& family : report_families(cg, params)) {
+    EXPECT_GE(family.size(), params.min_size);
+    for (seq::SeqId id : family) {
+      EXPECT_GE(id, 1000u);  // mapped through members
+      EXPECT_LT(id, 1060u);
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+}
+
+TEST_P(ShingleGrid, DeterministicAcrossRuns) {
+  const auto [s, c, seed] = GetParam();
+  const auto graph = random_graph(seed, 50, 3, 0.02);
+  ShingleParams params;
+  params.s1 = s;
+  params.c1 = c;
+  const auto x = dense_subgraphs(graph, params);
+  const auto y = dense_subgraphs(graph, params);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].left, y[i].left);
+    EXPECT_EQ(x[i].right, y[i].right);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShingleGrid,
+    ::testing::Values(GridCase{2, 20, 11}, GridCase{3, 50, 12},
+                      GridCase{3, 150, 13}, GridCase{5, 50, 14},
+                      GridCase{5, 300, 15}, GridCase{7, 100, 16},
+                      GridCase{4, 80, 17}, GridCase{6, 200, 18}));
+
+}  // namespace
+}  // namespace pclust::shingle

@@ -1,0 +1,122 @@
+#include "pclust/suffix/suffix_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "pclust/util/rng.hpp"
+
+namespace pclust::suffix {
+namespace {
+
+/// O(n^2 log n) reference: sort suffix indices by suffix comparison.
+std::vector<std::int32_t> brute_force_sa(std::string_view text) {
+  std::vector<std::int32_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](std::int32_t a, std::int32_t b) {
+    return text.substr(static_cast<std::size_t>(a)) <
+           text.substr(static_cast<std::size_t>(b));
+  });
+  return sa;
+}
+
+std::string random_text(std::uint64_t seed, std::size_t len, int alphabet) {
+  util::Xoshiro256 rng(seed);
+  std::string s(len, '\0');
+  for (auto& c : s) {
+    c = static_cast<char>(rng.below(static_cast<std::uint64_t>(alphabet)));
+  }
+  return s;
+}
+
+TEST(SuffixArray, EmptyText) {
+  EXPECT_TRUE(build_suffix_array("", 4).empty());
+}
+
+TEST(SuffixArray, SingleCharacter) {
+  const std::string t(1, '\2');
+  const auto sa = build_suffix_array(t, 4);
+  EXPECT_EQ(sa, (std::vector<std::int32_t>{0}));
+}
+
+TEST(SuffixArray, KnownSmallCase) {
+  // "banana" over mapped alphabet {a=0, b=1, n=2}.
+  std::string t = "banana";
+  for (auto& c : t) c = (c == 'a') ? 0 : (c == 'b' ? 1 : 2);
+  const auto sa = build_suffix_array(t, 3);
+  EXPECT_EQ(sa, (std::vector<std::int32_t>{5, 3, 1, 0, 4, 2}));
+}
+
+TEST(SuffixArray, AllEqualSymbols) {
+  const std::string t(50, '\3');
+  const auto sa = build_suffix_array(t, 8);
+  // Suffixes of a^n sort longest-last... shortest suffix is smallest.
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sa[i], static_cast<std::int32_t>(49 - i));
+  }
+}
+
+struct SaCase {
+  std::uint64_t seed;
+  std::size_t length;
+  int alphabet;
+};
+
+class SuffixArrayRandom : public ::testing::TestWithParam<SaCase> {};
+
+TEST_P(SuffixArrayRandom, MatchesBruteForce) {
+  const auto [seed, length, alphabet] = GetParam();
+  const std::string t = random_text(seed, length, alphabet);
+  EXPECT_EQ(build_suffix_array(t, alphabet), brute_force_sa(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SuffixArrayRandom,
+    ::testing::Values(SaCase{1, 10, 2}, SaCase{2, 100, 2}, SaCase{3, 100, 4},
+                      SaCase{4, 500, 3}, SaCase{5, 500, 23},
+                      SaCase{6, 1000, 5}, SaCase{7, 2000, 23},
+                      SaCase{8, 777, 2}, SaCase{9, 64, 23},
+                      SaCase{10, 1500, 4}));
+
+TEST(SuffixArray, IsAPermutation) {
+  const std::string t = random_text(42, 3000, 23);
+  const auto sa = build_suffix_array(t, 23);
+  std::vector<bool> seen(t.size(), false);
+  for (auto v : sa) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(static_cast<std::size_t>(v), t.size());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(SuffixArray, SortedProperty) {
+  const std::string t = random_text(43, 2000, 3);
+  const auto sa = build_suffix_array(t, 3);
+  const std::string_view sv(t);
+  for (std::size_t i = 1; i < sa.size(); ++i) {
+    ASSERT_LT(sv.substr(static_cast<std::size_t>(sa[i - 1])),
+              sv.substr(static_cast<std::size_t>(sa[i])))
+        << "disorder at " << i;
+  }
+}
+
+TEST(SuffixArray, SymbolOutOfRangeThrows) {
+  const std::string t(3, '\7');
+  EXPECT_THROW(build_suffix_array(t, 4), std::invalid_argument);
+}
+
+TEST(SuffixArray, InvertIsInverse) {
+  const std::string t = random_text(44, 500, 4);
+  const auto sa = build_suffix_array(t, 4);
+  const auto rank = invert_suffix_array(sa);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(rank[static_cast<std::size_t>(sa[i])],
+              static_cast<std::int32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace pclust::suffix

@@ -1,0 +1,182 @@
+#include "pclust/suffix/suffix_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "pclust/suffix/lcp.hpp"
+#include "pclust/suffix/suffix_array.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::suffix {
+namespace {
+
+struct Fixture {
+  seq::SequenceSet set;
+  std::unique_ptr<ConcatText> text;
+  std::vector<std::int32_t> sa;
+  std::vector<std::int32_t> lcp;
+  std::unique_ptr<SuffixTree> tree;
+
+  explicit Fixture(std::initializer_list<const char*> seqs) {
+    int i = 0;
+    for (const char* s : seqs) set.add("s" + std::to_string(i++), s);
+    text = std::make_unique<ConcatText>(set);
+    sa = build_suffix_array(text->text(), seq::kIndexAlphabetSize);
+    lcp = build_lcp(*text, sa);
+    tree = std::make_unique<SuffixTree>(*text, sa, lcp);
+  }
+};
+
+/// Brute-force truncated LCP of two suffixes.
+std::int32_t ref_lcp(const ConcatText& t, std::size_t a, std::size_t b) {
+  std::int32_t k = 0;
+  while (a + static_cast<std::size_t>(k) < t.size() &&
+         b + static_cast<std::size_t>(k) < t.size() &&
+         t.at(a + static_cast<std::size_t>(k)) ==
+             t.at(b + static_cast<std::size_t>(k)) &&
+         !t.is_separator(a + static_cast<std::size_t>(k))) {
+    ++k;
+  }
+  return k;
+}
+
+TEST(Lcp, MatchesBruteForceOnRandomData) {
+  synth::DatasetSpec spec;
+  spec.num_sequences = 60;
+  spec.num_families = 4;
+  spec.mean_length = 50;
+  spec.noise_fraction = 0.2;
+  spec.redundant_fraction = 0.1;
+  const auto d = synth::generate(spec);
+  const ConcatText text(d.sequences);
+  const auto sa = build_suffix_array(text.text(), seq::kIndexAlphabetSize);
+  const auto lcp = build_lcp(text, sa);
+  ASSERT_EQ(lcp.size(), sa.size());
+  EXPECT_EQ(lcp[0], 0);
+  for (std::size_t i = 1; i < sa.size(); ++i) {
+    ASSERT_EQ(lcp[i],
+              ref_lcp(text, static_cast<std::size_t>(sa[i - 1]),
+                      static_cast<std::size_t>(sa[i])))
+        << "at SA index " << i;
+  }
+}
+
+TEST(Lcp, NeverCrossesSeparators) {
+  Fixture f({"ACDE", "ACDE"});  // identical sequences
+  // Max LCP is 4 (the sequence length), never 5+ across the separator.
+  for (auto v : f.lcp) EXPECT_LE(v, 4);
+  EXPECT_NE(std::count(f.lcp.begin(), f.lcp.end(), 4), 0);
+}
+
+TEST(SuffixTree, RootCoversEverything) {
+  Fixture f({"ACDE", "FGH"});
+  const auto& root = f.tree->node(f.tree->root());
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_EQ(root.lb, 0);
+  EXPECT_EQ(root.rb, static_cast<std::int32_t>(f.sa.size()) - 1);
+  EXPECT_EQ(root.parent, SuffixTree::kNoNode);
+}
+
+TEST(SuffixTree, ParentChildInvariants) {
+  Fixture f({"ACDEACDE", "CDEACD", "ACAC"});
+  const auto& tree = *f.tree;
+  for (SuffixTree::NodeId v = 0;
+       v < static_cast<SuffixTree::NodeId>(tree.node_count()); ++v) {
+    const auto& node = tree.node(v);
+    EXPECT_LE(node.lb, node.rb);
+    if (node.parent != SuffixTree::kNoNode) {
+      const auto& parent = tree.node(node.parent);
+      EXPECT_LT(parent.depth, node.depth);
+      EXPECT_LE(parent.lb, node.lb);
+      EXPECT_GE(parent.rb, node.rb);
+    } else {
+      EXPECT_EQ(v, tree.root());
+    }
+  }
+}
+
+TEST(SuffixTree, ChildrenAreDisjointAndOrdered) {
+  Fixture f({"ACDEACDE", "CDEACD", "ACAC"});
+  const auto& tree = *f.tree;
+  for (SuffixTree::NodeId v = 0;
+       v < static_cast<SuffixTree::NodeId>(tree.node_count()); ++v) {
+    const auto kids = tree.children(v);
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      EXPECT_EQ(tree.node(kids[i]).parent, v);
+      if (i > 0) {
+        EXPECT_GT(tree.node(kids[i]).lb, tree.node(kids[i - 1]).rb);
+      }
+    }
+  }
+}
+
+TEST(SuffixTree, EveryNodeDepthIsIntervalMinimum) {
+  Fixture f({"MKTAYIAKQR", "MKTAYIAKQA", "TAYIAK"});
+  const auto& tree = *f.tree;
+  for (SuffixTree::NodeId v = 0;
+       v < static_cast<SuffixTree::NodeId>(tree.node_count()); ++v) {
+    const auto& node = tree.node(v);
+    if (node.lb == node.rb) continue;
+    std::int32_t min_lcp = INT32_MAX;
+    for (std::int32_t i = node.lb + 1; i <= node.rb; ++i) {
+      min_lcp = std::min(min_lcp, f.lcp[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(node.depth, min_lcp) << "node " << v;
+  }
+}
+
+TEST(SuffixTree, LeafParentIsDeepestCover) {
+  Fixture f({"ACDEACDE", "CDEACD"});
+  const auto& tree = *f.tree;
+  for (std::size_t i = 0; i < f.sa.size(); ++i) {
+    const auto p = tree.leaf_parent(static_cast<std::int32_t>(i));
+    const auto& node = tree.node(p);
+    EXPECT_LE(node.lb, static_cast<std::int32_t>(i));
+    EXPECT_GE(node.rb, static_cast<std::int32_t>(i));
+    // No child of p covers i (p is deepest).
+    for (auto c : tree.children(p)) {
+      const auto& child = tree.node(c);
+      EXPECT_TRUE(static_cast<std::int32_t>(i) < child.lb ||
+                  static_cast<std::int32_t>(i) > child.rb);
+    }
+  }
+}
+
+TEST(SuffixTree, NodesByDepthSortedAndFiltered) {
+  Fixture f({"ACDEACDEACDE", "DEACDEAC"});
+  const auto nodes = f.tree->nodes_by_depth(2);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_GE(f.tree->node(nodes[i]).depth, 2);
+    if (i > 0) {
+      EXPECT_GE(f.tree->node(nodes[i - 1]).depth,
+                f.tree->node(nodes[i]).depth);
+    }
+  }
+}
+
+TEST(SuffixTree, IdenticalSequencesShareDeepNode) {
+  Fixture f({"MKTAYIAKQR", "MKTAYIAKQR"});
+  const auto nodes = f.tree->nodes_by_depth(10);
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_EQ(f.tree->node(nodes[0]).depth, 10);
+  EXPECT_EQ(f.tree->leaf_count(nodes[0]), 2);
+}
+
+TEST(SuffixTree, TotalEdgeCharsPositive) {
+  Fixture f({"ACDE", "ACDF"});
+  EXPECT_GT(f.tree->total_edge_chars(), 0u);
+}
+
+TEST(SuffixTree, EmptyTextSafe) {
+  seq::SequenceSet set;
+  const ConcatText text(set);
+  const std::vector<std::int32_t> sa, lcp;
+  const SuffixTree tree(text, sa, lcp);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pclust::suffix

@@ -1,0 +1,221 @@
+#include "pclust/synth/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pclust/align/predicates.hpp"
+#include "pclust/seq/alphabet.hpp"
+
+namespace pclust::synth {
+namespace {
+
+DatasetSpec small_spec() {
+  DatasetSpec spec;
+  spec.seed = 7;
+  spec.num_sequences = 400;
+  spec.num_families = 8;
+  spec.mean_length = 100;
+  spec.redundant_fraction = 0.10;
+  spec.noise_fraction = 0.20;
+  return spec;
+}
+
+TEST(Generator, ProducesRequestedCount) {
+  const Dataset d = generate(small_spec());
+  EXPECT_EQ(d.sequences.size(), 400u);
+  EXPECT_EQ(d.truth.family.size(), 400u);
+  EXPECT_EQ(d.truth.redundant.size(), 400u);
+  EXPECT_EQ(d.truth.contained_in.size(), 400u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const Dataset a = generate(small_spec());
+  const Dataset b = generate(small_spec());
+  ASSERT_EQ(a.sequences.size(), b.sequences.size());
+  for (seq::SeqId i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences.ascii(i), b.sequences.ascii(i));
+    EXPECT_EQ(a.sequences.name(i), b.sequences.name(i));
+    EXPECT_EQ(a.truth.family[i], b.truth.family[i]);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  DatasetSpec s2 = small_spec();
+  s2.seed = 8;
+  const Dataset a = generate(small_spec());
+  const Dataset b = generate(s2);
+  int same = 0;
+  for (seq::SeqId i = 0; i < a.sequences.size(); ++i) {
+    if (a.sequences.ascii(i) == b.sequences.ascii(i)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Generator, FractionsRespected) {
+  const Dataset d = generate(small_spec());
+  EXPECT_EQ(d.truth.redundant_count(), 40u);   // 10 % of 400
+  EXPECT_EQ(d.truth.noise_count(), 80u);       // 20 % of 400
+}
+
+TEST(Generator, NoiseHasNoFamilyAndNoParent) {
+  const Dataset d = generate(small_spec());
+  for (seq::SeqId i = 0; i < d.sequences.size(); ++i) {
+    if (d.truth.family[i] == -1) {
+      EXPECT_FALSE(d.truth.redundant[i]);
+      EXPECT_EQ(d.truth.contained_in[i], seq::kInvalidSeqId);
+    }
+  }
+}
+
+TEST(Generator, RedundantSequencesAreActuallyContained) {
+  // The central guarantee: every injected duplicate passes the paper's
+  // Definition-1 containment test against its recorded parent.
+  const Dataset d = generate(small_spec());
+  const auto& scheme = align::blosum62();
+  std::size_t checked = 0;
+  for (seq::SeqId i = 0; i < d.sequences.size(); ++i) {
+    if (!d.truth.redundant[i]) continue;
+    const seq::SeqId parent = d.truth.contained_in[i];
+    ASSERT_NE(parent, seq::kInvalidSeqId);
+    const auto out = align::test_containment(d.sequences.residues(i),
+                                             d.sequences.residues(parent),
+                                             scheme);
+    EXPECT_TRUE(out.accepted)
+        << d.sequences.name(i) << " not contained in "
+        << d.sequences.name(parent);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 40u);
+}
+
+TEST(Generator, RedundantParentSharesFamily) {
+  const Dataset d = generate(small_spec());
+  for (seq::SeqId i = 0; i < d.sequences.size(); ++i) {
+    if (d.truth.redundant[i]) {
+      EXPECT_EQ(d.truth.family[i],
+                d.truth.family[d.truth.contained_in[i]]);
+    }
+  }
+}
+
+TEST(Generator, FamilyMembersOverlapPerDefinition2) {
+  // Members of the same family should usually pass the 30 %-identity /
+  // 80 %-coverage overlap test; sample a few pairs.
+  DatasetSpec spec = small_spec();
+  spec.noise_fraction = 0;
+  spec.redundant_fraction = 0;
+  spec.num_sequences = 60;
+  spec.num_families = 3;
+  const Dataset d = generate(spec);
+  const auto clusters = d.truth.benchmark_clusters();
+  ASSERT_GE(clusters.size(), 3u);
+  int accepted = 0, tested = 0;
+  for (const auto& c : clusters) {
+    for (std::size_t i = 0; i + 1 < c.size() && i < 6; ++i) {
+      ++tested;
+      if (align::test_overlap(d.sequences.residues(c[i]),
+                              d.sequences.residues(c[i + 1]),
+                              align::blosum62())
+              .accepted) {
+        ++accepted;
+      }
+    }
+  }
+  EXPECT_GT(accepted, tested * 7 / 10);
+}
+
+TEST(Generator, NoiseDoesNotOverlapFamilies) {
+  const Dataset d = generate(small_spec());
+  seq::SeqId noise = seq::kInvalidSeqId, member = seq::kInvalidSeqId;
+  for (seq::SeqId i = 0; i < d.sequences.size(); ++i) {
+    if (d.truth.family[i] == -1 && noise == seq::kInvalidSeqId) noise = i;
+    if (d.truth.family[i] >= 0 && member == seq::kInvalidSeqId) member = i;
+  }
+  ASSERT_NE(noise, seq::kInvalidSeqId);
+  ASSERT_NE(member, seq::kInvalidSeqId);
+  EXPECT_FALSE(align::test_overlap(d.sequences.residues(noise),
+                                   d.sequences.residues(member),
+                                   align::blosum62())
+                   .accepted);
+}
+
+TEST(Generator, BenchmarkClustersPartitionMembers) {
+  const Dataset d = generate(small_spec());
+  const auto clusters = d.truth.benchmark_clusters();
+  std::set<seq::SeqId> seen;
+  std::size_t total = 0;
+  for (const auto& c : clusters) {
+    for (seq::SeqId id : c) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate member";
+      EXPECT_GE(d.truth.family[id], 0);
+      EXPECT_FALSE(d.truth.redundant[id]);
+    }
+    total += c.size();
+  }
+  EXPECT_EQ(total, 400u - 40u - 80u);
+}
+
+TEST(Generator, MinSizeFilterApplies) {
+  const Dataset d = generate(small_spec());
+  for (const auto& c : d.truth.benchmark_clusters(10)) {
+    EXPECT_GE(c.size(), 10u);
+  }
+}
+
+TEST(Generator, MeanLengthApproximatelyTarget) {
+  const Dataset d = generate(small_spec());
+  EXPECT_NEAR(d.sequences.mean_length(), 100.0, 25.0);
+}
+
+TEST(Generator, InfeasibleSpecThrows) {
+  DatasetSpec spec = small_spec();
+  spec.num_sequences = 20;
+  spec.num_families = 10;  // 20*(1-0.3)=14 members < 10 families * 5 min
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(Generator, InvalidFractionsThrow) {
+  DatasetSpec spec = small_spec();
+  spec.redundant_fraction = 0.6;
+  spec.noise_fraction = 0.5;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(Generator, ZeroSequencesThrows) {
+  DatasetSpec spec = small_spec();
+  spec.num_sequences = 0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(Generator, UnshuffledGroupsFamiliesTogether) {
+  DatasetSpec spec = small_spec();
+  spec.shuffle = false;
+  const Dataset d = generate(spec);
+  // Without shuffling, family labels are non-interleaved (monotone until
+  // redundant/noise blocks).
+  std::int32_t prev = -2;
+  bool in_member_block = true;
+  for (seq::SeqId i = 0; i < d.sequences.size() && in_member_block; ++i) {
+    if (d.truth.redundant[i] || d.truth.family[i] == -1) {
+      in_member_block = false;
+      break;
+    }
+    EXPECT_GE(d.truth.family[i], prev);
+    prev = d.truth.family[i];
+  }
+}
+
+TEST(Generator, FamilySizesSkewed) {
+  DatasetSpec spec = small_spec();
+  spec.num_sequences = 2000;
+  spec.num_families = 10;
+  spec.zipf_skew = 1.0;
+  const Dataset d = generate(spec);
+  const auto clusters = d.truth.benchmark_clusters();
+  ASSERT_EQ(clusters.size(), 10u);
+  EXPECT_GT(clusters.front().size(), 3 * clusters.back().size());
+}
+
+}  // namespace
+}  // namespace pclust::synth

@@ -1,0 +1,54 @@
+#include "pclust/synth/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::synth {
+namespace {
+
+TEST(Presets, Paper160kFullScaleNumbers) {
+  const DatasetSpec spec = paper_160k(1.0);
+  EXPECT_EQ(spec.num_sequences, 160'000u);
+  EXPECT_EQ(spec.num_families, 221u);
+  EXPECT_EQ(spec.mean_length, 163u);
+}
+
+TEST(Presets, Paper160kScalesDown) {
+  const DatasetSpec spec = paper_160k(0.05);
+  EXPECT_EQ(spec.num_sequences, 8'000u);
+  EXPECT_GT(spec.num_families, 10u);
+  EXPECT_LT(spec.num_families, 221u);
+  // Must stay feasible: members >= families * min size.
+  const double members =
+      spec.num_sequences *
+      (1.0 - spec.redundant_fraction - spec.noise_fraction);
+  EXPECT_GE(members, spec.num_families * spec.min_family_size);
+}
+
+TEST(Presets, Paper22kNumbers) {
+  const DatasetSpec spec = paper_22k(1.0);
+  EXPECT_EQ(spec.num_sequences, 22'186u);
+  EXPECT_EQ(spec.mean_length, 256u);
+  EXPECT_DOUBLE_EQ(spec.noise_fraction, 0.0);
+}
+
+TEST(Presets, TinyGenerates) {
+  const Dataset d = generate(tiny());
+  EXPECT_EQ(d.sequences.size(), 300u);
+}
+
+TEST(Presets, ScaledPresetsGenerate) {
+  const Dataset d = generate(paper_160k(0.005));
+  EXPECT_EQ(d.sequences.size(), 800u);
+  const Dataset e = generate(paper_22k(0.02));
+  EXPECT_GE(e.sequences.size(), 400u);
+}
+
+TEST(Presets, FloorsPreventDegenerateSpecs) {
+  const DatasetSpec spec = paper_160k(0.0001);
+  EXPECT_GE(spec.num_sequences, 200u);
+  EXPECT_GE(spec.num_families, 2u);
+  EXPECT_NO_THROW(generate(spec));
+}
+
+}  // namespace
+}  // namespace pclust::synth

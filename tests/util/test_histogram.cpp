@@ -1,0 +1,62 @@
+#include "pclust/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::util {
+namespace {
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(5, 5, 30);  // buckets: 5-9, 10-14, 15-19, 20-24, 25-29
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_EQ(h.bucket_lo(0), 5);
+  EXPECT_EQ(h.bucket_hi(0), 9);
+  EXPECT_EQ(h.bucket_label(0), "5-9");
+  EXPECT_EQ(h.bucket_label(4), "25-29");
+}
+
+TEST(Histogram, AddRoutesToCorrectBucket) {
+  Histogram h(5, 5, 30);
+  h.add(5);
+  h.add(9);
+  h.add(10);
+  h.add(29);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(5, 5, 30);
+  h.add(4);
+  h.add(0);
+  h.add(30);
+  h.add(7000);  // the paper's 7K-sequence giant subgraph is "off the plot"
+  EXPECT_EQ(h.underflow(), 2);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0, 10, 100);
+  h.add(15, 7);
+  EXPECT_EQ(h.count(1), 7);
+  EXPECT_EQ(h.total(), 7);
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  EXPECT_THROW(Histogram(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 5, 10), std::invalid_argument);
+}
+
+TEST(Histogram, ToStringListsNonEmptyBuckets) {
+  Histogram h(0, 5, 20);
+  h.add(2);
+  h.add(17);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("0-4"), std::string::npos);
+  EXPECT_NE(s.find("15-19"), std::string::npos);
+  EXPECT_EQ(s.find("5-9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pclust::util

@@ -1,0 +1,97 @@
+#include "pclust/util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::util {
+namespace {
+
+Options make_opts() {
+  Options o;
+  o.define("n", "100", "sequence count");
+  o.define("scale", "0.5", "scale factor");
+  o.define_flag("verbose", "chatty output");
+  return o;
+}
+
+void parse(Options& o, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  o.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, DefaultsApply) {
+  Options o = make_opts();
+  parse(o, {});
+  EXPECT_EQ(o.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(o.get_double("scale"), 0.5);
+  EXPECT_FALSE(o.get_flag("verbose"));
+}
+
+TEST(Options, SpaceSeparatedValue) {
+  Options o = make_opts();
+  parse(o, {"--n", "42"});
+  EXPECT_EQ(o.get_int("n"), 42);
+}
+
+TEST(Options, EqualsValue) {
+  Options o = make_opts();
+  parse(o, {"--scale=2.25"});
+  EXPECT_DOUBLE_EQ(o.get_double("scale"), 2.25);
+}
+
+TEST(Options, FlagSetsTrue) {
+  Options o = make_opts();
+  parse(o, {"--verbose"});
+  EXPECT_TRUE(o.get_flag("verbose"));
+}
+
+TEST(Options, Positionals) {
+  Options o = make_opts();
+  parse(o, {"input.fa", "--n", "7", "output.fa"});
+  ASSERT_EQ(o.positionals().size(), 2u);
+  EXPECT_EQ(o.positionals()[0], "input.fa");
+  EXPECT_EQ(o.positionals()[1], "output.fa");
+}
+
+TEST(Options, DoubleDashStopsOptionParsing) {
+  Options o = make_opts();
+  parse(o, {"--", "--n"});
+  ASSERT_EQ(o.positionals().size(), 1u);
+  EXPECT_EQ(o.positionals()[0], "--n");
+}
+
+TEST(Options, UnknownOptionThrows) {
+  Options o = make_opts();
+  EXPECT_THROW(parse(o, {"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Options, MissingValueThrows) {
+  Options o = make_opts();
+  EXPECT_THROW(parse(o, {"--n"}), std::invalid_argument);
+}
+
+TEST(Options, BadIntegerThrows) {
+  Options o = make_opts();
+  parse(o, {"--n", "12x"});
+  EXPECT_THROW({ [[maybe_unused]] auto v = o.get_int("n"); },
+               std::invalid_argument);
+}
+
+TEST(Options, HelpRequested) {
+  Options o = make_opts();
+  parse(o, {"--help"});
+  EXPECT_TRUE(o.help_requested());
+  const std::string u = o.usage("prog", "Test program");
+  EXPECT_NE(u.find("--n"), std::string::npos);
+  EXPECT_NE(u.find("sequence count"), std::string::npos);
+}
+
+TEST(Options, UndeclaredGetThrows) {
+  Options o = make_opts();
+  parse(o, {});
+  EXPECT_THROW({ [[maybe_unused]] auto v = o.get("nope"); },
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pclust::util

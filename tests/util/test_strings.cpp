@@ -1,0 +1,51 @@
+#include "pclust/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::util {
+namespace {
+
+TEST(Split, BasicAndEdgeCases) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Trim, RemovesEdgesOnly) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(WithCommas, Grouping) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(FormatDuration, PaperStyleRendering) {
+  EXPECT_EQ(format_duration(4.56), "4.56s");
+  EXPECT_EQ(format_duration(123), "2m 3s");
+  // 3h 20m is how the paper reports the 160K/512-processor run.
+  EXPECT_EQ(format_duration(3 * 3600 + 20 * 60), "3h 20m 0s");
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace pclust::util

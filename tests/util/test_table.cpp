@@ -1,0 +1,34 @@
+#include "pclust/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, TitleAndFootnotes) {
+  Table t({"c"});
+  t.set_title("TABLE I");
+  t.add_footnote("a NR stands for non-redundant.");
+  t.add_row({"x"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.rfind("TABLE I", 0), 0u);
+  EXPECT_NE(s.find("non-redundant"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("| 1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pclust::util

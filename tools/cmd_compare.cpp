@@ -1,0 +1,49 @@
+#include <cstdio>
+
+#include "commands.hpp"
+#include "pclust/quality/cluster_io.hpp"
+#include "pclust/quality/metrics.hpp"
+#include "pclust/seq/fasta.hpp"
+#include "pclust/util/options.hpp"
+#include "pclust/util/strings.hpp"
+
+namespace pclust::cli {
+
+int cmd_compare(int argc, const char* const* argv) {
+  util::Options options;
+  options.parse(argc, argv);
+  if (options.help_requested() || options.positionals().size() != 3) {
+    std::fputs(options
+                   .usage("pclust compare <sequences.fa> <test.tsv> "
+                          "<benchmark.tsv>",
+                          "Pair-counting comparison of two clusterings "
+                          "(paper §V, eqs. 1-4). Only sequences present in "
+                          "both clusterings are scored.")
+                   .c_str(),
+               stdout);
+    return options.help_requested() ? 0 : 2;
+  }
+
+  seq::SequenceSet sequences;
+  seq::read_fasta_file(options.positionals()[0], sequences);
+  const auto test =
+      quality::read_clustering_file(options.positionals()[1], sequences);
+  const auto benchmark =
+      quality::read_clustering_file(options.positionals()[2], sequences);
+  const quality::Metrics m = quality::compare_clusterings(test, benchmark);
+
+  std::printf("test: %zu clusters   benchmark: %zu clusters   common "
+              "sequences: %zu\n",
+              test.size(), benchmark.size(), m.common_sequences);
+  std::printf("TP=%s TN=%s FP=%s FN=%s\n",
+              util::with_commas(static_cast<long long>(m.counts.tp)).c_str(),
+              util::with_commas(static_cast<long long>(m.counts.tn)).c_str(),
+              util::with_commas(static_cast<long long>(m.counts.fp)).c_str(),
+              util::with_commas(static_cast<long long>(m.counts.fn)).c_str());
+  std::printf("PR=%.2f%%  SE=%.2f%%  OQ=%.2f%%  CC=%.2f%%\n",
+              m.precision * 100.0, m.sensitivity * 100.0,
+              m.overlap_quality * 100.0, m.correlation * 100.0);
+  return 0;
+}
+
+}  // namespace pclust::cli

@@ -1,0 +1,122 @@
+#include <cstdio>
+
+#include <algorithm>
+
+#include "commands.hpp"
+#include "pclust/align/msa.hpp"
+#include "pclust/pipeline/pipeline.hpp"
+#include "pclust/quality/cluster_io.hpp"
+#include "pclust/seq/fasta.hpp"
+#include "pclust/util/options.hpp"
+#include "pclust/util/strings.hpp"
+
+namespace pclust::cli {
+
+int cmd_families(int argc, const char* const* argv) {
+  util::Options options;
+  options.define("psi", "10", "min exact-match length for candidate pairs");
+  options.define("min-family", "5", "dense-subgraph size cutoff");
+  options.define("reduction", "bd",
+                 "bipartite reduction: bd (global similarity) or bm "
+                 "(domain based)");
+  options.define("w", "10", "word length for the bm reduction");
+  options.define("s", "5", "shingle size s");
+  options.define("c", "300", "shingles per vertex c");
+  options.define("tau", "0.5", "A~B Jaccard cutoff for bd");
+  options.define("band", "32", "CCD alignment band (0 = full DP)");
+  options.define("processors", "0",
+                 "simulated BG/L ranks for RR+CCD (0 = serial)");
+  options.define("dsd-processors", "0",
+                 "simulated Xeon ranks for batched DSD (0 = serial)");
+  options.define("out", "", "write families as a clustering file");
+  options.define_flag("mask", "SEG-style low-complexity masking of input");
+  options.define("show-alignments", "0",
+                 "print a consensus alignment for the N largest families");
+  options.parse(argc, argv);
+  if (options.help_requested() || options.positionals().empty()) {
+    std::fputs(options
+                   .usage("pclust families <input.fa>",
+                          "Identify protein families in a peptide FASTA "
+                          "file (four-phase pclust pipeline).")
+                   .c_str(),
+               stdout);
+    return options.help_requested() ? 0 : 2;
+  }
+
+  seq::SequenceSet sequences;
+  seq::read_fasta_file(options.positionals()[0], sequences);
+  std::printf("loaded %zu sequences from %s\n", sequences.size(),
+              options.positionals()[0].c_str());
+
+  pipeline::PipelineConfig config;
+  config.pace.psi = static_cast<std::uint32_t>(options.get_int("psi"));
+  config.pace.band = static_cast<std::uint32_t>(options.get_int("band"));
+  config.shingle.s1 = static_cast<std::uint32_t>(options.get_int("s"));
+  config.shingle.c1 = static_cast<std::uint32_t>(options.get_int("c"));
+  config.shingle.tau = options.get_double("tau");
+  config.shingle.min_size =
+      static_cast<std::uint32_t>(options.get_int("min-family"));
+  config.min_component = config.shingle.min_size;
+  config.processors = static_cast<int>(options.get_int("processors"));
+  config.mask_low_complexity = options.get_flag("mask");
+  config.dsd_processors =
+      static_cast<int>(options.get_int("dsd-processors"));
+  const std::string reduction = options.get("reduction");
+  if (reduction == "bm") {
+    config.reduction = bigraph::Reduction::kMatchBased;
+    config.bm.w = static_cast<std::uint32_t>(options.get_int("w"));
+  } else if (reduction != "bd") {
+    std::fprintf(stderr, "unknown reduction '%s' (use bd or bm)\n",
+                 reduction.c_str());
+    return 2;
+  }
+
+  const pipeline::PipelineResult result = pipeline::run(sequences, config);
+  std::printf(
+      "%zu input -> %zu non-redundant -> %zu components (>=%u) -> %zu "
+      "families covering %zu sequences (largest %zu, mean density %.0f%%)\n",
+      result.input_sequences, result.non_redundant_sequences,
+      result.components_min_size, config.min_component,
+      result.families.size(), result.sequences_in_subgraphs,
+      result.largest_subgraph, result.mean_density * 100.0);
+  std::printf("phase times: RR %s, CCD %s, BGG+DSD %s\n",
+              util::format_duration(result.rr_seconds).c_str(),
+              util::format_duration(result.ccd_seconds).c_str(),
+              util::format_duration(result.bgg_dsd_seconds).c_str());
+  if (result.dsd_simulated_seconds > 0.0) {
+    std::printf("simulated batched-DSD makespan: %s on %d ranks\n",
+                util::format_duration(result.dsd_simulated_seconds).c_str(),
+                config.dsd_processors);
+  }
+
+  if (const std::string out = options.get("out"); !out.empty()) {
+    quality::write_clustering_file(out, result.family_clustering(),
+                                   sequences);
+    std::printf("wrote clustering to %s\n", out.c_str());
+  }
+
+  const auto show =
+      static_cast<std::size_t>(options.get_int("show-alignments"));
+  for (std::size_t f = 0; f < std::min(show, result.families.size()); ++f) {
+    const auto& family = result.families[f];
+    std::vector<seq::SeqId> members(
+        family.members.begin(),
+        family.members.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min<std::size_t>(family.members.size(), 8)));
+    const align::Msa msa =
+        align::center_star_msa(sequences, members, align::blosum62());
+    std::printf("\nfamily %zu (%zu members, density %.0f%%):\n", f + 1,
+                family.members.size(), family.density * 100.0);
+    const std::size_t width = std::min<std::size_t>(msa.columns(), 100);
+    for (std::size_t r = 0; r < msa.rows.size(); ++r) {
+      std::printf("  %-14s %s\n", sequences.name(msa.members[r]).c_str(),
+                  msa.rows[r].substr(0, width).c_str());
+    }
+    std::printf("  %-14s %s\n", "consensus",
+                msa.consensus().substr(0, width).c_str());
+  }
+  return 0;
+}
+
+}  // namespace pclust::cli

@@ -1,0 +1,80 @@
+#include <cstdio>
+
+#include "commands.hpp"
+#include "pclust/mpsim/machine_model.hpp"
+#include "pclust/pace/components.hpp"
+#include "pclust/pace/redundancy.hpp"
+#include "pclust/seq/fasta.hpp"
+#include "pclust/synth/presets.hpp"
+#include "pclust/util/options.hpp"
+#include "pclust/util/strings.hpp"
+#include "pclust/util/table.hpp"
+
+namespace pclust::cli {
+
+int cmd_simulate(int argc, const char* const* argv) {
+  util::Options options;
+  options.define("n", "2000", "synthetic input size (ignored with a FASTA)");
+  options.define("processors", "32,64,128,512",
+                 "comma-separated simulated rank counts");
+  options.define("machine", "bluegene",
+                 "machine model: bluegene or xeon");
+  options.define("psi", "10", "min exact-match length");
+  options.define("band", "32", "CCD band (RR always runs full DP)");
+  options.define("seed", "42", "workload seed");
+  options.parse(argc, argv);
+  if (options.help_requested()) {
+    std::fputs(options
+                   .usage("pclust simulate [input.fa]",
+                          "Replay the RR and CCD phases on the simulated "
+                          "distributed-memory machine and report virtual "
+                          "run-times per processor count.")
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  seq::SequenceSet sequences;
+  if (!options.positionals().empty()) {
+    seq::read_fasta_file(options.positionals()[0], sequences);
+  } else {
+    const auto spec = synth::paper_160k(
+        options.get_double("n") / 160'000.0,
+        static_cast<std::uint64_t>(options.get_int("seed")));
+    sequences = synth::generate(spec).sequences;
+  }
+
+  const std::string machine = options.get("machine");
+  const auto model = machine == "xeon" ? mpsim::MachineModel::xeon_cluster()
+                                       : mpsim::MachineModel::bluegene_l();
+
+  pace::PaceParams ccd_params;
+  ccd_params.psi = static_cast<std::uint32_t>(options.get_int("psi"));
+  ccd_params.band = static_cast<std::uint32_t>(options.get_int("band"));
+  pace::PaceParams rr_params = ccd_params;
+  rr_params.band = 0;
+
+  util::Table table({"p", "RR (s)", "CCD (s)", "total (s)", "RR share",
+                     "aligned pairs"});
+  table.set_title(util::format("Simulated %s, n = %zu", model.name.c_str(),
+                               sequences.size()));
+  for (const std::string& token :
+       util::split(options.get("processors"), ',')) {
+    const int p = static_cast<int>(std::stol(std::string(util::trim(token))));
+    const auto rr = pace::remove_redundant(sequences, p, model, rr_params);
+    const auto ccd = pace::detect_components(sequences, rr.survivors(), p,
+                                             model, ccd_params);
+    const double total = rr.run.makespan + ccd.run.makespan;
+    table.add_row(
+        {std::to_string(p), util::format("%.2f", rr.run.makespan),
+         util::format("%.2f", ccd.run.makespan), util::format("%.2f", total),
+         util::format("%.0f%%", 100.0 * rr.run.makespan / total),
+         util::with_commas(static_cast<long long>(
+             rr.counters.aligned_pairs + ccd.counters.aligned_pairs))});
+    std::fprintf(stderr, "  [p=%d done]\n", p);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace pclust::cli

@@ -1,0 +1,18 @@
+// Subcommand entry points of the `pclust` command-line tool.
+#pragma once
+
+namespace pclust::cli {
+
+/// `pclust generate` — synthesize a metagenomic sample (FASTA + truth).
+int cmd_generate(int argc, const char* const* argv);
+
+/// `pclust families` — run the pipeline on a FASTA file, emit families.
+int cmd_families(int argc, const char* const* argv);
+
+/// `pclust compare` — pair-counting metrics between two clusterings.
+int cmd_compare(int argc, const char* const* argv);
+
+/// `pclust simulate` — RR/CCD scalability sweep on the simulated machine.
+int cmd_simulate(int argc, const char* const* argv);
+
+}  // namespace pclust::cli

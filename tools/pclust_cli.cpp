@@ -1,0 +1,69 @@
+// pclust — command-line front end for the pipeline.
+//
+//   pclust generate  --n 2000 --families 20 --out sample.fa --truth truth.tsv
+//   pclust families  sample.fa --out families.tsv
+//   pclust compare   sample.fa families.tsv truth.tsv
+//   pclust simulate  --paper-k 80 --processors 32,64,128,512
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "commands.hpp"
+#include "pclust/util/log.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fputs(
+      "pclust — parallel protein family identification (Wu & Kalyanaraman, "
+      "SC'08)\n\n"
+      "Usage: pclust <command> [options]\n\n"
+      "Commands:\n"
+      "  generate   Synthesize a metagenomic peptide sample with ground "
+      "truth.\n"
+      "  families   Identify protein families in a FASTA file.\n"
+      "  compare    Compare two clustering files (PR/SE/OQ/CC).\n"
+      "  simulate   Replay the RR/CCD phases on the simulated BlueGene/L.\n"
+      "\nRun 'pclust <command> --help' for command options.\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pclust;
+  util::set_log_level(util::LogLevel::kInfo);
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const char* command = argv[1];
+  // Subcommands parse argv[1:] so their positionals start after the verb.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (std::strcmp(command, "generate") == 0) {
+      return cli::cmd_generate(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "families") == 0) {
+      return cli::cmd_families(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "compare") == 0) {
+      return cli::cmd_compare(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "simulate") == 0) {
+      return cli::cmd_simulate(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "--help") == 0 ||
+        std::strcmp(command, "-h") == 0) {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "pclust: unknown command '%s'\n\n", command);
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    return 1;
+  }
+}
