@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_reduction.cpp" "bench/CMakeFiles/bench_ablation_reduction.dir/bench_ablation_reduction.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_reduction.dir/bench_ablation_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/pclust_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/shingle/CMakeFiles/pclust_shingle.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigraph/CMakeFiles/pclust_bigraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/pclust_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffix/CMakeFiles/pclust_suffix.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pclust_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gos/CMakeFiles/pclust_gos.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pclust_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsu/CMakeFiles/pclust_dsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/pclust_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pclust_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shingle.dir/bench_ablation_shingle.cpp.o"
+  "CMakeFiles/bench_ablation_shingle.dir/bench_ablation_shingle.cpp.o.d"
+  "bench_ablation_shingle"
+  "bench_ablation_shingle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shingle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_families.dir/domain_families.cpp.o"
+  "CMakeFiles/domain_families.dir/domain_families.cpp.o.d"
+  "domain_families"
+  "domain_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gos_comparison.dir/gos_comparison.cpp.o"
+  "CMakeFiles/gos_comparison.dir/gos_comparison.cpp.o.d"
+  "gos_comparison"
+  "gos_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gos_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome_survey.dir/metagenome_survey.cpp.o"
+  "CMakeFiles/metagenome_survey.dir/metagenome_survey.cpp.o.d"
+  "metagenome_survey"
+  "metagenome_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

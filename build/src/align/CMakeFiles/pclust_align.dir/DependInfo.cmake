@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/src/msa.cpp" "src/align/CMakeFiles/pclust_align.dir/src/msa.cpp.o" "gcc" "src/align/CMakeFiles/pclust_align.dir/src/msa.cpp.o.d"
+  "/root/repo/src/align/src/pairwise.cpp" "src/align/CMakeFiles/pclust_align.dir/src/pairwise.cpp.o" "gcc" "src/align/CMakeFiles/pclust_align.dir/src/pairwise.cpp.o.d"
+  "/root/repo/src/align/src/predicates.cpp" "src/align/CMakeFiles/pclust_align.dir/src/predicates.cpp.o" "gcc" "src/align/CMakeFiles/pclust_align.dir/src/predicates.cpp.o.d"
+  "/root/repo/src/align/src/scoring.cpp" "src/align/CMakeFiles/pclust_align.dir/src/scoring.cpp.o" "gcc" "src/align/CMakeFiles/pclust_align.dir/src/scoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

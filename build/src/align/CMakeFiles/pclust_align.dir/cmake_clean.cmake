@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_align.dir/src/msa.cpp.o"
+  "CMakeFiles/pclust_align.dir/src/msa.cpp.o.d"
+  "CMakeFiles/pclust_align.dir/src/pairwise.cpp.o"
+  "CMakeFiles/pclust_align.dir/src/pairwise.cpp.o.d"
+  "CMakeFiles/pclust_align.dir/src/predicates.cpp.o"
+  "CMakeFiles/pclust_align.dir/src/predicates.cpp.o.d"
+  "CMakeFiles/pclust_align.dir/src/scoring.cpp.o"
+  "CMakeFiles/pclust_align.dir/src/scoring.cpp.o.d"
+  "libpclust_align.a"
+  "libpclust_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

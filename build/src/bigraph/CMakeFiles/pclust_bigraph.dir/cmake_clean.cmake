@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_bigraph.dir/src/bipartite_graph.cpp.o"
+  "CMakeFiles/pclust_bigraph.dir/src/bipartite_graph.cpp.o.d"
+  "CMakeFiles/pclust_bigraph.dir/src/builders.cpp.o"
+  "CMakeFiles/pclust_bigraph.dir/src/builders.cpp.o.d"
+  "libpclust_bigraph.a"
+  "libpclust_bigraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_bigraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pclust_bigraph.
+# This may be replaced when dependencies are built.

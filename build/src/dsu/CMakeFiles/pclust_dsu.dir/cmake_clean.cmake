@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_dsu.dir/src/union_find.cpp.o"
+  "CMakeFiles/pclust_dsu.dir/src/union_find.cpp.o.d"
+  "libpclust_dsu.a"
+  "libpclust_dsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_dsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gos/src/gos_pipeline.cpp" "src/gos/CMakeFiles/pclust_gos.dir/src/gos_pipeline.cpp.o" "gcc" "src/gos/CMakeFiles/pclust_gos.dir/src/gos_pipeline.cpp.o.d"
+  "/root/repo/src/gos/src/seeded_aligner.cpp" "src/gos/CMakeFiles/pclust_gos.dir/src/seeded_aligner.cpp.o" "gcc" "src/gos/CMakeFiles/pclust_gos.dir/src/seeded_aligner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pclust_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsu/CMakeFiles/pclust_dsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

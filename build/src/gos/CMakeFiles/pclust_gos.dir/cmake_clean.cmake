@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_gos.dir/src/gos_pipeline.cpp.o"
+  "CMakeFiles/pclust_gos.dir/src/gos_pipeline.cpp.o.d"
+  "CMakeFiles/pclust_gos.dir/src/seeded_aligner.cpp.o"
+  "CMakeFiles/pclust_gos.dir/src/seeded_aligner.cpp.o.d"
+  "libpclust_gos.a"
+  "libpclust_gos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_gos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpsim/src/communicator.cpp" "src/mpsim/CMakeFiles/pclust_mpsim.dir/src/communicator.cpp.o" "gcc" "src/mpsim/CMakeFiles/pclust_mpsim.dir/src/communicator.cpp.o.d"
+  "/root/repo/src/mpsim/src/machine_model.cpp" "src/mpsim/CMakeFiles/pclust_mpsim.dir/src/machine_model.cpp.o" "gcc" "src/mpsim/CMakeFiles/pclust_mpsim.dir/src/machine_model.cpp.o.d"
+  "/root/repo/src/mpsim/src/runtime.cpp" "src/mpsim/CMakeFiles/pclust_mpsim.dir/src/runtime.cpp.o" "gcc" "src/mpsim/CMakeFiles/pclust_mpsim.dir/src/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_mpsim.dir/src/communicator.cpp.o"
+  "CMakeFiles/pclust_mpsim.dir/src/communicator.cpp.o.d"
+  "CMakeFiles/pclust_mpsim.dir/src/machine_model.cpp.o"
+  "CMakeFiles/pclust_mpsim.dir/src/machine_model.cpp.o.d"
+  "CMakeFiles/pclust_mpsim.dir/src/runtime.cpp.o"
+  "CMakeFiles/pclust_mpsim.dir/src/runtime.cpp.o.d"
+  "libpclust_mpsim.a"
+  "libpclust_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

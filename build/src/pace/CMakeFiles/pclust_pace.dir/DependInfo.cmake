@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pace/src/components.cpp" "src/pace/CMakeFiles/pclust_pace.dir/src/components.cpp.o" "gcc" "src/pace/CMakeFiles/pclust_pace.dir/src/components.cpp.o.d"
+  "/root/repo/src/pace/src/engine.cpp" "src/pace/CMakeFiles/pclust_pace.dir/src/engine.cpp.o" "gcc" "src/pace/CMakeFiles/pclust_pace.dir/src/engine.cpp.o.d"
+  "/root/repo/src/pace/src/redundancy.cpp" "src/pace/CMakeFiles/pclust_pace.dir/src/redundancy.cpp.o" "gcc" "src/pace/CMakeFiles/pclust_pace.dir/src/redundancy.cpp.o.d"
+  "/root/repo/src/pace/src/reference.cpp" "src/pace/CMakeFiles/pclust_pace.dir/src/reference.cpp.o" "gcc" "src/pace/CMakeFiles/pclust_pace.dir/src/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pclust_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffix/CMakeFiles/pclust_suffix.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsu/CMakeFiles/pclust_dsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pclust_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

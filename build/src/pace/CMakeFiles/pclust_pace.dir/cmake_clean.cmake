@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_pace.dir/src/components.cpp.o"
+  "CMakeFiles/pclust_pace.dir/src/components.cpp.o.d"
+  "CMakeFiles/pclust_pace.dir/src/engine.cpp.o"
+  "CMakeFiles/pclust_pace.dir/src/engine.cpp.o.d"
+  "CMakeFiles/pclust_pace.dir/src/redundancy.cpp.o"
+  "CMakeFiles/pclust_pace.dir/src/redundancy.cpp.o.d"
+  "CMakeFiles/pclust_pace.dir/src/reference.cpp.o"
+  "CMakeFiles/pclust_pace.dir/src/reference.cpp.o.d"
+  "libpclust_pace.a"
+  "libpclust_pace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_pace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

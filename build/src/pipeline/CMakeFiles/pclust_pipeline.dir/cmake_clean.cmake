@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_pipeline.dir/src/pipeline.cpp.o"
+  "CMakeFiles/pclust_pipeline.dir/src/pipeline.cpp.o.d"
+  "libpclust_pipeline.a"
+  "libpclust_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

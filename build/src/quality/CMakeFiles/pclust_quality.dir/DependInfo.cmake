@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/src/cluster_io.cpp" "src/quality/CMakeFiles/pclust_quality.dir/src/cluster_io.cpp.o" "gcc" "src/quality/CMakeFiles/pclust_quality.dir/src/cluster_io.cpp.o.d"
+  "/root/repo/src/quality/src/metrics.cpp" "src/quality/CMakeFiles/pclust_quality.dir/src/metrics.cpp.o" "gcc" "src/quality/CMakeFiles/pclust_quality.dir/src/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

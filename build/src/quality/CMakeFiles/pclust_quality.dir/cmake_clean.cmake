@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_quality.dir/src/cluster_io.cpp.o"
+  "CMakeFiles/pclust_quality.dir/src/cluster_io.cpp.o.d"
+  "CMakeFiles/pclust_quality.dir/src/metrics.cpp.o"
+  "CMakeFiles/pclust_quality.dir/src/metrics.cpp.o.d"
+  "libpclust_quality.a"
+  "libpclust_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

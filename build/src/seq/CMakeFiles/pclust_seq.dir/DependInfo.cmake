@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/src/alphabet.cpp" "src/seq/CMakeFiles/pclust_seq.dir/src/alphabet.cpp.o" "gcc" "src/seq/CMakeFiles/pclust_seq.dir/src/alphabet.cpp.o.d"
+  "/root/repo/src/seq/src/complexity.cpp" "src/seq/CMakeFiles/pclust_seq.dir/src/complexity.cpp.o" "gcc" "src/seq/CMakeFiles/pclust_seq.dir/src/complexity.cpp.o.d"
+  "/root/repo/src/seq/src/fasta.cpp" "src/seq/CMakeFiles/pclust_seq.dir/src/fasta.cpp.o" "gcc" "src/seq/CMakeFiles/pclust_seq.dir/src/fasta.cpp.o.d"
+  "/root/repo/src/seq/src/sequence_set.cpp" "src/seq/CMakeFiles/pclust_seq.dir/src/sequence_set.cpp.o" "gcc" "src/seq/CMakeFiles/pclust_seq.dir/src/sequence_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

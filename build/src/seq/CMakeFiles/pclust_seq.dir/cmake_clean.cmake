@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_seq.dir/src/alphabet.cpp.o"
+  "CMakeFiles/pclust_seq.dir/src/alphabet.cpp.o.d"
+  "CMakeFiles/pclust_seq.dir/src/complexity.cpp.o"
+  "CMakeFiles/pclust_seq.dir/src/complexity.cpp.o.d"
+  "CMakeFiles/pclust_seq.dir/src/fasta.cpp.o"
+  "CMakeFiles/pclust_seq.dir/src/fasta.cpp.o.d"
+  "CMakeFiles/pclust_seq.dir/src/sequence_set.cpp.o"
+  "CMakeFiles/pclust_seq.dir/src/sequence_set.cpp.o.d"
+  "libpclust_seq.a"
+  "libpclust_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

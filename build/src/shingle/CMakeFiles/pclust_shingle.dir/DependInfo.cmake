@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shingle/src/minwise.cpp" "src/shingle/CMakeFiles/pclust_shingle.dir/src/minwise.cpp.o" "gcc" "src/shingle/CMakeFiles/pclust_shingle.dir/src/minwise.cpp.o.d"
+  "/root/repo/src/shingle/src/shingle.cpp" "src/shingle/CMakeFiles/pclust_shingle.dir/src/shingle.cpp.o" "gcc" "src/shingle/CMakeFiles/pclust_shingle.dir/src/shingle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigraph/CMakeFiles/pclust_bigraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsu/CMakeFiles/pclust_dsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/pclust_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pclust_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffix/CMakeFiles/pclust_suffix.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/pclust_mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_shingle.dir/src/minwise.cpp.o"
+  "CMakeFiles/pclust_shingle.dir/src/minwise.cpp.o.d"
+  "CMakeFiles/pclust_shingle.dir/src/shingle.cpp.o"
+  "CMakeFiles/pclust_shingle.dir/src/shingle.cpp.o.d"
+  "libpclust_shingle.a"
+  "libpclust_shingle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_shingle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suffix/src/concat_text.cpp" "src/suffix/CMakeFiles/pclust_suffix.dir/src/concat_text.cpp.o" "gcc" "src/suffix/CMakeFiles/pclust_suffix.dir/src/concat_text.cpp.o.d"
+  "/root/repo/src/suffix/src/kmer_index.cpp" "src/suffix/CMakeFiles/pclust_suffix.dir/src/kmer_index.cpp.o" "gcc" "src/suffix/CMakeFiles/pclust_suffix.dir/src/kmer_index.cpp.o.d"
+  "/root/repo/src/suffix/src/lcp.cpp" "src/suffix/CMakeFiles/pclust_suffix.dir/src/lcp.cpp.o" "gcc" "src/suffix/CMakeFiles/pclust_suffix.dir/src/lcp.cpp.o.d"
+  "/root/repo/src/suffix/src/maximal_match.cpp" "src/suffix/CMakeFiles/pclust_suffix.dir/src/maximal_match.cpp.o" "gcc" "src/suffix/CMakeFiles/pclust_suffix.dir/src/maximal_match.cpp.o.d"
+  "/root/repo/src/suffix/src/suffix_array.cpp" "src/suffix/CMakeFiles/pclust_suffix.dir/src/suffix_array.cpp.o" "gcc" "src/suffix/CMakeFiles/pclust_suffix.dir/src/suffix_array.cpp.o.d"
+  "/root/repo/src/suffix/src/suffix_tree.cpp" "src/suffix/CMakeFiles/pclust_suffix.dir/src/suffix_tree.cpp.o" "gcc" "src/suffix/CMakeFiles/pclust_suffix.dir/src/suffix_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

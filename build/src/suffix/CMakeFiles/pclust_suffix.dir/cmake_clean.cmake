@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_suffix.dir/src/concat_text.cpp.o"
+  "CMakeFiles/pclust_suffix.dir/src/concat_text.cpp.o.d"
+  "CMakeFiles/pclust_suffix.dir/src/kmer_index.cpp.o"
+  "CMakeFiles/pclust_suffix.dir/src/kmer_index.cpp.o.d"
+  "CMakeFiles/pclust_suffix.dir/src/lcp.cpp.o"
+  "CMakeFiles/pclust_suffix.dir/src/lcp.cpp.o.d"
+  "CMakeFiles/pclust_suffix.dir/src/maximal_match.cpp.o"
+  "CMakeFiles/pclust_suffix.dir/src/maximal_match.cpp.o.d"
+  "CMakeFiles/pclust_suffix.dir/src/suffix_array.cpp.o"
+  "CMakeFiles/pclust_suffix.dir/src/suffix_array.cpp.o.d"
+  "CMakeFiles/pclust_suffix.dir/src/suffix_tree.cpp.o"
+  "CMakeFiles/pclust_suffix.dir/src/suffix_tree.cpp.o.d"
+  "libpclust_suffix.a"
+  "libpclust_suffix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_suffix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

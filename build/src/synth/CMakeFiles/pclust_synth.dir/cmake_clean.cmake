@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_synth.dir/src/generator.cpp.o"
+  "CMakeFiles/pclust_synth.dir/src/generator.cpp.o.d"
+  "CMakeFiles/pclust_synth.dir/src/presets.cpp.o"
+  "CMakeFiles/pclust_synth.dir/src/presets.cpp.o.d"
+  "libpclust_synth.a"
+  "libpclust_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_util.dir/src/histogram.cpp.o"
+  "CMakeFiles/pclust_util.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/pclust_util.dir/src/log.cpp.o"
+  "CMakeFiles/pclust_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/pclust_util.dir/src/options.cpp.o"
+  "CMakeFiles/pclust_util.dir/src/options.cpp.o.d"
+  "CMakeFiles/pclust_util.dir/src/stats.cpp.o"
+  "CMakeFiles/pclust_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/pclust_util.dir/src/strings.cpp.o"
+  "CMakeFiles/pclust_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/pclust_util.dir/src/table.cpp.o"
+  "CMakeFiles/pclust_util.dir/src/table.cpp.o.d"
+  "libpclust_util.a"
+  "libpclust_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/test_align_properties.cpp" "tests/CMakeFiles/test_align.dir/align/test_align_properties.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_align_properties.cpp.o.d"
+  "/root/repo/tests/align/test_msa.cpp" "tests/CMakeFiles/test_align.dir/align/test_msa.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_msa.cpp.o.d"
+  "/root/repo/tests/align/test_pairwise.cpp" "tests/CMakeFiles/test_align.dir/align/test_pairwise.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_pairwise.cpp.o.d"
+  "/root/repo/tests/align/test_predicates.cpp" "tests/CMakeFiles/test_align.dir/align/test_predicates.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_predicates.cpp.o.d"
+  "/root/repo/tests/align/test_scoring.cpp" "tests/CMakeFiles/test_align.dir/align/test_scoring.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/test_scoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/pclust_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pclust_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigraph.dir/bigraph/test_bipartite_graph.cpp.o"
+  "CMakeFiles/test_bigraph.dir/bigraph/test_bipartite_graph.cpp.o.d"
+  "CMakeFiles/test_bigraph.dir/bigraph/test_builders.cpp.o"
+  "CMakeFiles/test_bigraph.dir/bigraph/test_builders.cpp.o.d"
+  "test_bigraph"
+  "test_bigraph.pdb"
+  "test_bigraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gos.dir/gos/test_gos.cpp.o"
+  "CMakeFiles/test_gos.dir/gos/test_gos.cpp.o.d"
+  "test_gos"
+  "test_gos.pdb"
+  "test_gos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

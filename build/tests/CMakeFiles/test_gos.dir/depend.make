@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gos.
+# This may be replaced when dependencies are built.

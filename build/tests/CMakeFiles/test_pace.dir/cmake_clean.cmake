@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pace.dir/pace/test_components.cpp.o"
+  "CMakeFiles/test_pace.dir/pace/test_components.cpp.o.d"
+  "CMakeFiles/test_pace.dir/pace/test_engine_edges.cpp.o"
+  "CMakeFiles/test_pace.dir/pace/test_engine_edges.cpp.o.d"
+  "CMakeFiles/test_pace.dir/pace/test_redundancy.cpp.o"
+  "CMakeFiles/test_pace.dir/pace/test_redundancy.cpp.o.d"
+  "test_pace"
+  "test_pace.pdb"
+  "test_pace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

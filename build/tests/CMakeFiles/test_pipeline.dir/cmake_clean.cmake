@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/pipeline/test_end_to_end.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_parallel_dsd.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_parallel_dsd.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_pipeline.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_pipeline.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

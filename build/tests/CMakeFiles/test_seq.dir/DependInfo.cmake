@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/seq/test_alphabet.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_alphabet.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_alphabet.cpp.o.d"
+  "/root/repo/tests/seq/test_complexity.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_complexity.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_complexity.cpp.o.d"
+  "/root/repo/tests/seq/test_fasta.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_fasta.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_fasta.cpp.o.d"
+  "/root/repo/tests/seq/test_sequence_set.cpp" "tests/CMakeFiles/test_seq.dir/seq/test_sequence_set.cpp.o" "gcc" "tests/CMakeFiles/test_seq.dir/seq/test_sequence_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq.dir/seq/test_alphabet.cpp.o"
+  "CMakeFiles/test_seq.dir/seq/test_alphabet.cpp.o.d"
+  "CMakeFiles/test_seq.dir/seq/test_complexity.cpp.o"
+  "CMakeFiles/test_seq.dir/seq/test_complexity.cpp.o.d"
+  "CMakeFiles/test_seq.dir/seq/test_fasta.cpp.o"
+  "CMakeFiles/test_seq.dir/seq/test_fasta.cpp.o.d"
+  "CMakeFiles/test_seq.dir/seq/test_sequence_set.cpp.o"
+  "CMakeFiles/test_seq.dir/seq/test_sequence_set.cpp.o.d"
+  "test_seq"
+  "test_seq.pdb"
+  "test_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shingle.dir/shingle/test_minwise.cpp.o"
+  "CMakeFiles/test_shingle.dir/shingle/test_minwise.cpp.o.d"
+  "CMakeFiles/test_shingle.dir/shingle/test_shingle.cpp.o"
+  "CMakeFiles/test_shingle.dir/shingle/test_shingle.cpp.o.d"
+  "CMakeFiles/test_shingle.dir/shingle/test_shingle_properties.cpp.o"
+  "CMakeFiles/test_shingle.dir/shingle/test_shingle_properties.cpp.o.d"
+  "test_shingle"
+  "test_shingle.pdb"
+  "test_shingle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shingle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

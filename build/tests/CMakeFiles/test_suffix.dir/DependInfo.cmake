@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/suffix/test_concat_text.cpp" "tests/CMakeFiles/test_suffix.dir/suffix/test_concat_text.cpp.o" "gcc" "tests/CMakeFiles/test_suffix.dir/suffix/test_concat_text.cpp.o.d"
+  "/root/repo/tests/suffix/test_kmer_index.cpp" "tests/CMakeFiles/test_suffix.dir/suffix/test_kmer_index.cpp.o" "gcc" "tests/CMakeFiles/test_suffix.dir/suffix/test_kmer_index.cpp.o.d"
+  "/root/repo/tests/suffix/test_maximal_match.cpp" "tests/CMakeFiles/test_suffix.dir/suffix/test_maximal_match.cpp.o" "gcc" "tests/CMakeFiles/test_suffix.dir/suffix/test_maximal_match.cpp.o.d"
+  "/root/repo/tests/suffix/test_suffix_array.cpp" "tests/CMakeFiles/test_suffix.dir/suffix/test_suffix_array.cpp.o" "gcc" "tests/CMakeFiles/test_suffix.dir/suffix/test_suffix_array.cpp.o.d"
+  "/root/repo/tests/suffix/test_suffix_tree.cpp" "tests/CMakeFiles/test_suffix.dir/suffix/test_suffix_tree.cpp.o" "gcc" "tests/CMakeFiles/test_suffix.dir/suffix/test_suffix_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suffix/CMakeFiles/pclust_suffix.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pclust_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/pclust_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

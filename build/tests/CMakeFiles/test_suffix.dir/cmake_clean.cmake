@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suffix.dir/suffix/test_concat_text.cpp.o"
+  "CMakeFiles/test_suffix.dir/suffix/test_concat_text.cpp.o.d"
+  "CMakeFiles/test_suffix.dir/suffix/test_kmer_index.cpp.o"
+  "CMakeFiles/test_suffix.dir/suffix/test_kmer_index.cpp.o.d"
+  "CMakeFiles/test_suffix.dir/suffix/test_maximal_match.cpp.o"
+  "CMakeFiles/test_suffix.dir/suffix/test_maximal_match.cpp.o.d"
+  "CMakeFiles/test_suffix.dir/suffix/test_suffix_array.cpp.o"
+  "CMakeFiles/test_suffix.dir/suffix/test_suffix_array.cpp.o.d"
+  "CMakeFiles/test_suffix.dir/suffix/test_suffix_tree.cpp.o"
+  "CMakeFiles/test_suffix.dir/suffix/test_suffix_tree.cpp.o.d"
+  "test_suffix"
+  "test_suffix.pdb"
+  "test_suffix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suffix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

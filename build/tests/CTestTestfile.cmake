@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_dsu[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_mpsim[1]_include.cmake")
+include("/root/repo/build/tests/test_pace[1]_include.cmake")
+include("/root/repo/build/tests/test_bigraph[1]_include.cmake")
+include("/root/repo/build/tests/test_shingle[1]_include.cmake")
+include("/root/repo/build/tests/test_quality[1]_include.cmake")
+include("/root/repo/build/tests/test_gos[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_suffix[1]_include.cmake")

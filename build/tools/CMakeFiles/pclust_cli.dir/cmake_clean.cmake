@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclust_cli.dir/cmd_compare.cpp.o"
+  "CMakeFiles/pclust_cli.dir/cmd_compare.cpp.o.d"
+  "CMakeFiles/pclust_cli.dir/cmd_families.cpp.o"
+  "CMakeFiles/pclust_cli.dir/cmd_families.cpp.o.d"
+  "CMakeFiles/pclust_cli.dir/cmd_generate.cpp.o"
+  "CMakeFiles/pclust_cli.dir/cmd_generate.cpp.o.d"
+  "CMakeFiles/pclust_cli.dir/cmd_simulate.cpp.o"
+  "CMakeFiles/pclust_cli.dir/cmd_simulate.cpp.o.d"
+  "CMakeFiles/pclust_cli.dir/pclust_cli.cpp.o"
+  "CMakeFiles/pclust_cli.dir/pclust_cli.cpp.o.d"
+  "pclust"
+  "pclust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclust_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
