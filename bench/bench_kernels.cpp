@@ -1,13 +1,25 @@
 // google-benchmark microbenchmarks of pclust's computational kernels:
-// pairwise alignment, suffix-array + LCP construction, maximal-match
-// enumeration, min-wise shingling, and union-find.
+// pairwise alignment (full-matrix and score-only), suffix-array + LCP
+// construction, maximal-match enumeration, min-wise shingling, and
+// union-find.
+//
+// Before the google-benchmark suite runs, a hand-timed comparison section
+// writes BENCH_kernels.json (machine readable: ns/cell, pairs/sec, serial
+// vs pooled speedups) so CI and the roadmap scripts can track the two
+// acceptance numbers of the execution layer — score-only vs full-matrix,
+// and pooled vs serial batched verdicts — without scraping console output.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <numeric>
+#include <thread>
 
 #include "common.hpp"
 #include "pclust/align/pairwise.hpp"
 #include "pclust/dsu/union_find.hpp"
+#include "pclust/exec/pool.hpp"
+#include "pclust/pace/reference.hpp"
 #include "pclust/shingle/minwise.hpp"
 #include "pclust/suffix/lcp.hpp"
 #include "pclust/suffix/maximal_match.hpp"
@@ -27,6 +39,10 @@ seq::SequenceSet bench_sequences(std::size_t n, std::uint32_t mean_length) {
   return synth::generate(spec).sequences;
 }
 
+// ---------------------------------------------------------------------------
+// google-benchmark registrations
+// ---------------------------------------------------------------------------
+
 void BM_LocalAlign(benchmark::State& state) {
   const auto set = bench_sequences(64, static_cast<std::uint32_t>(state.range(0)));
   const auto& scheme = align::blosum62();
@@ -44,6 +60,24 @@ void BM_LocalAlign(benchmark::State& state) {
       static_cast<double>(cells), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_LocalAlign)->Arg(80)->Arg(160)->Arg(320);
+
+void BM_LocalAlignScoreOnly(benchmark::State& state) {
+  const auto set = bench_sequences(64, static_cast<std::uint32_t>(state.range(0)));
+  const auto& scheme = align::blosum62();
+  std::uint64_t cells = 0;
+  seq::SeqId i = 0;
+  for (auto _ : state) {
+    const auto r = align::local_align_score(set.residues(i % set.size()),
+                                            set.residues((i + 1) % set.size()),
+                                            scheme);
+    benchmark::DoNotOptimize(r.score);
+    cells += r.cells;
+    ++i;
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LocalAlignScoreOnly)->Arg(80)->Arg(160)->Arg(320);
 
 void BM_BandedLocalAlign(benchmark::State& state) {
   const auto set = bench_sequences(64, 160);
@@ -63,6 +97,24 @@ void BM_BandedLocalAlign(benchmark::State& state) {
 }
 BENCHMARK(BM_BandedLocalAlign)->Arg(16)->Arg(32)->Arg(64);
 
+void BM_BandedLocalAlignScoreOnly(benchmark::State& state) {
+  const auto set = bench_sequences(64, 160);
+  const auto& scheme = align::blosum62();
+  std::uint64_t cells = 0;
+  seq::SeqId i = 0;
+  for (auto _ : state) {
+    const auto r = align::banded_local_align_score(
+        set.residues(i % set.size()), set.residues((i + 1) % set.size()),
+        scheme, 0, static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(r.score);
+    cells += r.cells;
+    ++i;
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BandedLocalAlignScoreOnly)->Arg(16)->Arg(32)->Arg(64);
+
 void BM_SuffixArray(benchmark::State& state) {
   const auto set = bench_sequences(static_cast<std::size_t>(state.range(0)), 160);
   const suffix::ConcatText text(set);
@@ -74,6 +126,19 @@ void BM_SuffixArray(benchmark::State& state) {
       static_cast<double>(text.size()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SuffixArray)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_SuffixArrayPooled(benchmark::State& state) {
+  const auto set = bench_sequences(1000, 160);
+  const suffix::ConcatText text(set);
+  exec::Pool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto sa = suffix::build_suffix_array_parallel(text, pool);
+    benchmark::DoNotOptimize(sa.data());
+  }
+  state.counters["chars/s"] = benchmark::Counter(
+      static_cast<double>(text.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SuffixArrayPooled)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_LcpArray(benchmark::State& state) {
   const auto set = bench_sequences(1000, 160);
@@ -143,4 +208,135 @@ void BM_UnionFind(benchmark::State& state) {
 }
 BENCHMARK(BM_UnionFind)->Arg(10'000)->Arg(100'000);
 
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json: the execution layer's acceptance comparisons
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct AlignTiming {
+  double seconds = 0.0;
+  std::uint64_t cells = 0;
+  std::uint64_t pairs = 0;
+  [[nodiscard]] double ns_per_cell() const {
+    return cells ? seconds * 1e9 / static_cast<double>(cells) : 0.0;
+  }
+  [[nodiscard]] double pairs_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0;
+  }
+};
+
+template <typename F>
+AlignTiming time_pairs(const seq::SequenceSet& set, int rounds, F&& one_pair) {
+  AlignTiming t;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (seq::SeqId i = 0; i + 1 < set.size(); ++i) {
+      t.cells += one_pair(set.residues(i), set.residues(i + 1));
+      ++t.pairs;
+    }
+  }
+  t.seconds = seconds_since(t0);
+  return t;
+}
+
+void write_json(std::FILE* f) {
+  const auto& scheme = align::blosum62();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"kernels\": [\n",
+               hw);
+
+  // -- score-only vs full-matrix, unbanded local ---------------------------
+  const auto set = bench_sequences(64, 200);
+  const int rounds = 6;
+  const auto full = time_pairs(set, rounds, [&](auto a, auto b) {
+    return align::local_align(a, b, scheme).cells;
+  });
+  const auto score = time_pairs(set, rounds, [&](auto a, auto b) {
+    return align::local_align_score(a, b, scheme).cells;
+  });
+  std::fprintf(f,
+               "    {\"name\": \"local_align_full\", \"ns_per_cell\": %.3f, "
+               "\"pairs_per_sec\": %.1f},\n",
+               full.ns_per_cell(), full.pairs_per_sec());
+  std::fprintf(f,
+               "    {\"name\": \"local_align_score_only\", \"ns_per_cell\": "
+               "%.3f, \"pairs_per_sec\": %.1f, \"speedup_vs_full\": %.2f},\n",
+               score.ns_per_cell(), score.pairs_per_sec(),
+               full.seconds / score.seconds);
+
+  // -- score-only vs full-matrix, banded (the CCD inner loop) --------------
+  const auto banded_full = time_pairs(set, rounds, [&](auto a, auto b) {
+    return align::banded_local_align(a, b, scheme, 0, 32).cells;
+  });
+  const auto banded_score = time_pairs(set, rounds, [&](auto a, auto b) {
+    return align::banded_local_align_score(a, b, scheme, 0, 32).cells;
+  });
+  std::fprintf(f,
+               "    {\"name\": \"banded_local_align_full\", \"ns_per_cell\": "
+               "%.3f, \"pairs_per_sec\": %.1f},\n",
+               banded_full.ns_per_cell(), banded_full.pairs_per_sec());
+  // speedup_vs_full_matrix is the acceptance headline: the score-only
+  // banded fast path against the six-full-matrix path the predicates used
+  // to run (same pairs, same rounds, so wall-clock ratios compare).
+  std::fprintf(
+      f,
+      "    {\"name\": \"banded_local_align_score_only\", \"ns_per_cell\": "
+      "%.3f, \"pairs_per_sec\": %.1f, \"speedup_vs_banded_full\": %.2f, "
+      "\"speedup_vs_full_matrix\": %.2f},\n",
+      banded_score.ns_per_cell(), banded_score.pairs_per_sec(),
+      banded_full.seconds / banded_score.seconds,
+      full.seconds / banded_score.seconds);
+
+  // -- serial vs pooled batched CCD verdicts -------------------------------
+  const auto ccd_set = bench_sequences(220, 120);
+  std::vector<seq::SeqId> ids(ccd_set.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  const auto pairs = static_cast<double>(ids.size() * (ids.size() - 1) / 2);
+
+  const auto t_serial0 = std::chrono::steady_clock::now();
+  auto serial_cc = pace::detect_components_bruteforce(ccd_set, ids);
+  const double serial_s = seconds_since(t_serial0);
+  benchmark::DoNotOptimize(serial_cc.data());
+  std::fprintf(f,
+               "    {\"name\": \"ccd_bruteforce_serial\", \"threads\": 1, "
+               "\"seconds\": %.3f, \"pairs_per_sec\": %.1f},\n",
+               serial_s, pairs / serial_s);
+
+  std::vector<unsigned> pool_sizes = {2u};
+  if (hw > 2) pool_sizes.push_back(hw);
+  for (std::size_t k = 0; k < pool_sizes.size(); ++k) {
+    const unsigned threads = pool_sizes[k];
+    exec::Pool pool(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto cc = pace::detect_components_bruteforce(ccd_set, ids, {}, nullptr,
+                                                 &pool);
+    const double s = seconds_since(t0);
+    benchmark::DoNotOptimize(cc.data());
+    std::fprintf(f,
+                 "    {\"name\": \"ccd_bruteforce_pooled\", \"threads\": %u, "
+                 "\"seconds\": %.3f, \"pairs_per_sec\": %.1f, "
+                 "\"speedup_vs_serial\": %.2f}%s\n",
+                 threads, s, pairs / s, serial_s / s,
+                 k + 1 == pool_sizes.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (std::FILE* f = std::fopen("BENCH_kernels.json", "w")) {
+    write_json(f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote BENCH_kernels.json\n");
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

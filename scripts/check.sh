@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, then the real-thread execution
+# layer (exec pool, pooled pace drivers) under ThreadSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# Data-race check. Only the thread-touching suites are worth the TSan
+# slowdown: the pool itself, and the batched/pooled PaCE paths.
+cmake --preset tsan
+cmake --build build-tsan -j --target test_exec test_pace
+(cd build-tsan
+ ./tests/test_exec
+ ./tests/test_pace --gtest_filter='Determinism*')

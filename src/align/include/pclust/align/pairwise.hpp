@@ -88,4 +88,34 @@ enum class EditOp : std::uint8_t {
                                                  std::int64_t diagonal,
                                                  std::uint32_t band_halfwidth);
 
+// --- Score-only fast path -------------------------------------------------
+//
+// Same results as the aligners above — score, region coordinates, and all
+// column statistics are bit-identical — but computed with two rolling DP
+// rows per state instead of full matrices and a traceback pass. Alignment
+// statistics are propagated forward along the argmax predecessor of each
+// cell using the same tie-breaking rules the traceback replays. Use these
+// wherever the column-by-column path is not needed (all of the paper's
+// containment/overlap predicates): DP memory drops from O(m*n) to O(band)
+// and the traceback pass disappears.
+
+/// Score-only global alignment; equals global_align(a, b, scheme).
+[[nodiscard]] AlignmentResult global_align_score(std::string_view a,
+                                                 std::string_view b,
+                                                 const ScoringScheme& scheme);
+
+/// Score-only semiglobal alignment; equals semiglobal_align(a, b, scheme).
+[[nodiscard]] AlignmentResult semiglobal_align_score(
+    std::string_view a, std::string_view b, const ScoringScheme& scheme);
+
+/// Score-only local alignment; equals local_align(a, b, scheme).
+[[nodiscard]] AlignmentResult local_align_score(std::string_view a,
+                                                std::string_view b,
+                                                const ScoringScheme& scheme);
+
+/// Score-only banded local alignment; equals banded_local_align(...).
+[[nodiscard]] AlignmentResult banded_local_align_score(
+    std::string_view a, std::string_view b, const ScoringScheme& scheme,
+    std::int64_t diagonal, std::uint32_t band_halfwidth);
+
 }  // namespace pclust::align

@@ -22,11 +22,72 @@ enum class Mode {
   kSemiglobal,  // a end-to-end; b's flanks are free ("glocal")
 };
 
+/// Banded matrix geometry. When the band is narrower than the full row,
+/// each row i stores only a window of W = 2*band+3 columns around the band
+/// center (i - diagonal); the extra slots beyond 2*band+1 absorb the j and
+/// j-1 reads into the previous row, whose window is shifted by one. Reads
+/// outside a row's window must go through the defaulting accessors — those
+/// cells were never computed and behave like the untouched (kNegInf/kStart)
+/// cells of a full matrix.
+struct BandLayout {
+  std::size_t m, n, W;
+  std::int64_t diagonal, band;
+  bool banded;
+
+  BandLayout(std::size_t m_, std::size_t n_, std::int64_t diagonal_,
+             std::int64_t band_)
+      : m(m_), n(n_), diagonal(diagonal_), band(band_) {
+    assert(band >= 0 && "band half-width must be non-negative");
+    banded = band < static_cast<std::int64_t>(m + n) &&
+             static_cast<std::size_t>(2 * band + 3) < n + 1;
+    W = banded ? static_cast<std::size_t>(2 * band + 3) : n + 1;
+  }
+
+  /// First column physically stored for row i.
+  [[nodiscard]] std::size_t base(std::size_t i) const {
+    if (!banded) return 0;
+    const std::int64_t lo =
+        static_cast<std::int64_t>(i) - diagonal - band - 1;
+    const auto max_base = static_cast<std::int64_t>(n + 1 - W);
+    return static_cast<std::size_t>(std::clamp<std::int64_t>(lo, 0, max_base));
+  }
+
+  [[nodiscard]] bool in_window(std::size_t i, std::size_t j) const {
+    const std::size_t b = base(i);
+    return j >= b && j < b + W;
+  }
+
+  /// Flat index of (i, j); caller must ensure in_window(i, j).
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
+    return i * W + (j - base(i));
+  }
+
+  /// Band limits for row i: [j_lo, j_hi], or empty (j_lo > j_hi).
+  void row_limits(std::size_t i, std::size_t& j_lo, std::size_t& j_hi) const {
+    j_lo = 1;
+    j_hi = n;
+    if (band < static_cast<std::int64_t>(m + n)) {
+      const std::int64_t center = static_cast<std::int64_t>(i) - diagonal;
+      const std::int64_t lo64 = std::max<std::int64_t>(1, center - band);
+      const std::int64_t hi64 =
+          std::min<std::int64_t>(static_cast<std::int64_t>(n), center + band);
+      if (lo64 > hi64) {
+        j_lo = 1;
+        j_hi = 0;  // band misses this row entirely
+        return;
+      }
+      j_lo = static_cast<std::size_t>(lo64);
+      j_hi = static_cast<std::size_t>(hi64);
+    }
+  }
+};
+
 /// Shared DP engine. When `global` is true, borders are initialized with
 /// affine gap penalties and the answer is the best end state at (m, n);
 /// otherwise the recurrence is clamped at zero (Smith–Waterman) and the
 /// answer is the best M cell anywhere. The band restricts computation to
-/// diagonals |i - j - diagonal| <= band (band >= m + n disables it).
+/// diagonals |i - j - diagonal| <= band (band >= m + n disables it); only
+/// the banded window of each row is allocated.
 AlignmentResult align_impl(std::string_view a, std::string_view b,
                            const ScoringScheme& scheme, Mode mode,
                            std::int64_t diagonal, std::int64_t band,
@@ -39,44 +100,50 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
       static_cast<std::int32_t>(scheme.gap_open) + scheme.gap_extend;
   const std::int32_t extend = scheme.gap_extend;
 
-  const std::size_t stride = n + 1;
-  const auto at = [stride](std::size_t i, std::size_t j) {
-    return i * stride + j;
-  };
+  const BandLayout lay(m, n, diagonal, band);
+  const std::size_t W = lay.W;
 
-  std::vector<std::int32_t> M((m + 1) * stride, kNegInf);
-  std::vector<std::int32_t> X((m + 1) * stride, kNegInf);
-  std::vector<std::int32_t> Y((m + 1) * stride, kNegInf);
-  std::vector<std::uint8_t> tbM((m + 1) * stride, kStart);
-  std::vector<std::uint8_t> tbX((m + 1) * stride, kFromM);
-  std::vector<std::uint8_t> tbY((m + 1) * stride, kFromM);
+  std::vector<std::int32_t> M((m + 1) * W, kNegInf);
+  std::vector<std::int32_t> X((m + 1) * W, kNegInf);
+  std::vector<std::int32_t> Y((m + 1) * W, kNegInf);
+  std::vector<std::uint8_t> tbM((m + 1) * W, kStart);
+  std::vector<std::uint8_t> tbX((m + 1) * W, kFromM);
+  std::vector<std::uint8_t> tbY((m + 1) * W, kFromM);
 
-  M[at(0, 0)] = 0;
+  if (lay.in_window(0, 0)) M[lay.idx(0, 0)] = 0;
   switch (mode) {
     case Mode::kGlobal:
       for (std::size_t i = 1; i <= m; ++i) {
-        X[at(i, 0)] = -open - static_cast<std::int32_t>(i - 1) * extend;
-        tbX[at(i, 0)] = (i == 1) ? kFromM : kFromX;
+        if (!lay.in_window(i, 0)) continue;
+        X[lay.idx(i, 0)] = -open - static_cast<std::int32_t>(i - 1) * extend;
+        tbX[lay.idx(i, 0)] = (i == 1) ? kFromM : kFromX;
       }
-      for (std::size_t j = 1; j <= n; ++j) {
-        Y[at(0, j)] = -open - static_cast<std::int32_t>(j - 1) * extend;
-        tbY[at(0, j)] = (j == 1) ? kFromM : kFromY;
+      for (std::size_t j = 1; j <= n && lay.in_window(0, j); ++j) {
+        Y[lay.idx(0, j)] = -open - static_cast<std::int32_t>(j - 1) * extend;
+        tbY[lay.idx(0, j)] = (j == 1) ? kFromM : kFromY;
       }
       break;
     case Mode::kLocal:
       // Every cell can start fresh; model by M=0 on the borders (traceback
       // stops at kStart anyway).
-      for (std::size_t i = 0; i <= m; ++i) M[at(i, 0)] = 0;
-      for (std::size_t j = 0; j <= n; ++j) M[at(0, j)] = 0;
+      for (std::size_t i = 0; i <= m; ++i) {
+        if (lay.in_window(i, 0)) M[lay.idx(i, 0)] = 0;
+      }
+      for (std::size_t j = 0; j <= n && lay.in_window(0, j); ++j) {
+        M[lay.idx(0, j)] = 0;
+      }
       break;
     case Mode::kSemiglobal:
       // a must be consumed entirely (X border charged as global); b may
       // start anywhere for free.
       for (std::size_t i = 1; i <= m; ++i) {
-        X[at(i, 0)] = -open - static_cast<std::int32_t>(i - 1) * extend;
-        tbX[at(i, 0)] = (i == 1) ? kFromM : kFromX;
+        if (!lay.in_window(i, 0)) continue;
+        X[lay.idx(i, 0)] = -open - static_cast<std::int32_t>(i - 1) * extend;
+        tbX[lay.idx(i, 0)] = (i == 1) ? kFromM : kFromX;
       }
-      for (std::size_t j = 0; j <= n; ++j) M[at(0, j)] = 0;
+      for (std::size_t j = 0; j <= n && lay.in_window(0, j); ++j) {
+        M[lay.idx(0, j)] = 0;
+      }
       break;
   }
 
@@ -85,59 +152,55 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
   std::size_t best_i = 0, best_j = 0;
 
   for (std::size_t i = 1; i <= m; ++i) {
-    // Band limits for this row: j such that |(i - j) - diagonal| <= band.
-    std::size_t j_lo = 1, j_hi = n;
-    if (band < static_cast<std::int64_t>(m + n)) {
-      const std::int64_t center = static_cast<std::int64_t>(i) - diagonal;
-      const std::int64_t lo64 = std::max<std::int64_t>(1, center - band);
-      const std::int64_t hi64 =
-          std::min<std::int64_t>(static_cast<std::int64_t>(n), center + band);
-      if (lo64 > hi64) continue;  // band misses this row entirely
-      j_lo = static_cast<std::size_t>(lo64);
-      j_hi = static_cast<std::size_t>(hi64);
-    }
+    std::size_t j_lo, j_hi;
+    lay.row_limits(i, j_lo, j_hi);
+    if (j_lo > j_hi) continue;  // band misses this row entirely
     const auto ai = static_cast<std::uint8_t>(a[i - 1]);
     cells += j_hi - j_lo + 1;
 
-    // Hot loop: raw row pointers, no sentinel guards. kNegInf is
-    // INT32_MIN/4, and every computed value is at most (m+n)*(open+|sub|)
-    // below a neighbor, so "negative infinity" degrades gracefully without
-    // ever wrapping or winning a max against a real score.
-    std::int32_t* m_row = &M[at(i, 0)];
-    std::int32_t* x_row = &X[at(i, 0)];
-    std::int32_t* y_row = &Y[at(i, 0)];
-    const std::int32_t* m_prev = &M[at(i - 1, 0)];
-    const std::int32_t* x_prev = &X[at(i - 1, 0)];
-    const std::int32_t* y_prev = &Y[at(i - 1, 0)];
-    std::uint8_t* tbm_row = &tbM[at(i, 0)];
-    std::uint8_t* tbx_row = &tbX[at(i, 0)];
-    std::uint8_t* tby_row = &tbY[at(i, 0)];
+    // Hot loop: raw row pointers indexed with per-row window offsets, no
+    // sentinel guards. kNegInf is INT32_MIN/4, and every computed value is
+    // at most (m+n)*(open+|sub|) below a neighbor, so "negative infinity"
+    // degrades gracefully without ever wrapping or winning a max against a
+    // real score. Window slots outside the band keep their kNegInf default
+    // and behave exactly like the untouched cells of a full matrix.
+    const std::size_t bi = lay.base(i);
+    const std::size_t bp = lay.base(i - 1);
+    std::int32_t* m_row = &M[i * W];
+    std::int32_t* x_row = &X[i * W];
+    std::int32_t* y_row = &Y[i * W];
+    const std::int32_t* m_prev = &M[(i - 1) * W];
+    const std::int32_t* x_prev = &X[(i - 1) * W];
+    const std::int32_t* y_prev = &Y[(i - 1) * W];
+    std::uint8_t* tbm_row = &tbM[i * W];
+    std::uint8_t* tbx_row = &tbX[i * W];
+    std::uint8_t* tby_row = &tbY[i * W];
     const auto& sub_row = scheme.substitution[ai];
 
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       // X: gap in b (consume a[i-1]).
-      const std::int32_t x_from_m = m_prev[j] - open;
-      const std::int32_t x_from_x = x_prev[j] - extend;
+      const std::int32_t x_from_m = m_prev[j - bp] - open;
+      const std::int32_t x_from_x = x_prev[j - bp] - extend;
       const bool x_take_m = x_from_m >= x_from_x;
-      x_row[j] = x_take_m ? x_from_m : x_from_x;
-      tbx_row[j] = x_take_m ? kFromM : kFromX;
+      x_row[j - bi] = x_take_m ? x_from_m : x_from_x;
+      tbx_row[j - bi] = x_take_m ? kFromM : kFromX;
 
       // Y: gap in a (consume b[j-1]).
-      const std::int32_t y_from_m = m_row[j - 1] - open;
-      const std::int32_t y_from_y = y_row[j - 1] - extend;
+      const std::int32_t y_from_m = m_row[j - 1 - bi] - open;
+      const std::int32_t y_from_y = y_row[j - 1 - bi] - extend;
       const bool y_take_m = y_from_m >= y_from_y;
-      y_row[j] = y_take_m ? y_from_m : y_from_y;
-      tby_row[j] = y_take_m ? kFromM : kFromY;
+      y_row[j - bi] = y_take_m ? y_from_m : y_from_y;
+      tby_row[j - bi] = y_take_m ? kFromM : kFromY;
 
       // M: substitute a[i-1] with b[j-1].
-      std::int32_t prev = m_prev[j - 1];
+      std::int32_t prev = m_prev[j - 1 - bp];
       std::uint8_t tb = kFromM;
-      if (x_prev[j - 1] > prev) {
-        prev = x_prev[j - 1];
+      if (x_prev[j - 1 - bp] > prev) {
+        prev = x_prev[j - 1 - bp];
         tb = kFromX;
       }
-      if (y_prev[j - 1] > prev) {
-        prev = y_prev[j - 1];
+      if (y_prev[j - 1 - bp] > prev) {
+        prev = y_prev[j - 1 - bp];
         tb = kFromY;
       }
       if (mode == Mode::kLocal && prev < 0) {
@@ -146,8 +209,8 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
       }
       const std::int32_t value =
           prev + sub_row[static_cast<std::uint8_t>(b[j - 1])];
-      m_row[j] = value;
-      tbm_row[j] = tb;
+      m_row[j - bi] = value;
+      tbm_row[j - bi] = tb;
       if (mode == Mode::kLocal && value > best) {
         best = value;
         best_i = i;
@@ -159,18 +222,41 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
   AlignmentResult result;
   result.cells = cells;
 
+  // Defaulting accessors for the traceback (and the semiglobal end scan):
+  // out-of-window cells read as the untouched full-matrix defaults.
+  const auto m_at = [&](std::size_t i, std::size_t j) {
+    return lay.in_window(i, j) ? M[lay.idx(i, j)] : kNegInf;
+  };
+  const auto x_at = [&](std::size_t i, std::size_t j) {
+    return lay.in_window(i, j) ? X[lay.idx(i, j)] : kNegInf;
+  };
+  const auto y_at = [&](std::size_t i, std::size_t j) {
+    return lay.in_window(i, j) ? Y[lay.idx(i, j)] : kNegInf;
+  };
+  const auto tbm_at = [&](std::size_t i, std::size_t j) {
+    return lay.in_window(i, j) ? tbM[lay.idx(i, j)]
+                               : static_cast<std::uint8_t>(kStart);
+  };
+  const auto tbx_at = [&](std::size_t i, std::size_t j) {
+    return lay.in_window(i, j) ? tbX[lay.idx(i, j)]
+                               : static_cast<std::uint8_t>(kFromM);
+  };
+  const auto tby_at = [&](std::size_t i, std::size_t j) {
+    return lay.in_window(i, j) ? tbY[lay.idx(i, j)]
+                               : static_cast<std::uint8_t>(kFromM);
+  };
+
   std::uint8_t state = kFromM;
   std::size_t i = m, j = n;
   if (mode == Mode::kGlobal) {
-    const std::size_t end = at(m, n);
-    best = M[end];
+    best = m_at(m, n);
     state = kFromM;
-    if (X[end] > best) {
-      best = X[end];
+    if (x_at(m, n) > best) {
+      best = x_at(m, n);
       state = kFromX;
     }
-    if (Y[end] > best) {
-      best = Y[end];
+    if (y_at(m, n) > best) {
+      best = y_at(m, n);
       state = kFromY;
     }
     result.score = best;
@@ -178,13 +264,13 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
     // a fully consumed; b's trailing flank is free: best M/X over row m.
     best = kNegInf;
     for (std::size_t jj = 0; jj <= n; ++jj) {
-      if (M[at(m, jj)] > best) {
-        best = M[at(m, jj)];
+      if (m_at(m, jj) > best) {
+        best = m_at(m, jj);
         j = jj;
         state = kFromM;
       }
-      if (X[at(m, jj)] > best) {
-        best = X[at(m, jj)];
+      if (x_at(m, jj) > best) {
+        best = x_at(m, jj);
         j = jj;
         state = kFromX;
       }
@@ -206,9 +292,9 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
   // (standard Smith-Waterman semantics) or a fresh-start marker.
   while (i > 0 || j > 0) {
     if (mode == Mode::kSemiglobal && i == 0) break;
-    if (mode == Mode::kLocal && state == kFromM && M[at(i, j)] <= 0) break;
+    if (mode == Mode::kLocal && state == kFromM && m_at(i, j) <= 0) break;
     if (state == kFromM) {
-      const std::uint8_t tb = tbM[at(i, j)];
+      const std::uint8_t tb = tbm_at(i, j);
       if (i == 0 && j == 0) break;
       if (path) path->push_back(EditOp::kSubstitute);
       assert(i > 0 && j > 0);
@@ -227,7 +313,7 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
       if (path) path->push_back(EditOp::kGapInB);
       ++result.columns;
       ++result.gap_columns;
-      const std::uint8_t tb = tbX[at(i, j)];
+      const std::uint8_t tb = tbx_at(i, j);
       --i;
       state = tb;
     } else {  // kFromY
@@ -235,7 +321,7 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
       if (path) path->push_back(EditOp::kGapInA);
       ++result.columns;
       ++result.gap_columns;
-      const std::uint8_t tb = tbY[at(i, j)];
+      const std::uint8_t tb = tby_at(i, j);
       --j;
       state = tb;
     }
@@ -244,6 +330,252 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
   result.a_begin = static_cast<std::uint32_t>(i);
   result.b_begin = static_cast<std::uint32_t>(j);
   if (path) std::reverse(path->begin(), path->end());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Score-only fast path: two rolling rows per state, no traceback storage.
+//
+// Alignment statistics (region begin, columns, matches, positives, gap
+// columns) are propagated FORWARD along the argmax predecessor of each
+// cell, using exactly the tie-breaking rules align_impl encodes in its
+// traceback pointers. Because the traceback merely replays those argmax
+// choices, the propagated bundle of the winning end cell is bit-identical
+// to what align_impl reconstructs — including Smith-Waterman's stop at the
+// first non-positive M cell on the path, modeled here as a "barrier" that
+// resets the bundle. DP memory drops from O(m*n) to O(band) (O(n) when
+// unbanded) and the traceback pass disappears entirely.
+// ---------------------------------------------------------------------------
+
+// 16 bytes so the three per-cell bundle copies stay cheap. The u16 stats
+// bound both sequences at kScoreCellMax residues (columns <= m + n must fit);
+// longer inputs take the full-matrix path instead — far beyond any peptide.
+struct Cell {
+  std::int32_t score = kNegInf;
+  std::uint16_t a_begin = 0, b_begin = 0;
+  std::uint16_t columns = 0, matches = 0, positives = 0, gap_columns = 0;
+};
+constexpr std::size_t kScoreCellMax = 32'767;
+
+AlignmentResult score_impl(std::string_view a, std::string_view b,
+                           const ScoringScheme& scheme, Mode mode,
+                           std::int64_t diagonal, std::int64_t band) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  if (m > kScoreCellMax || n > kScoreCellMax) {
+    return align_impl(a, b, scheme, mode, diagonal, band);
+  }
+  const std::int32_t open =
+      static_cast<std::int32_t>(scheme.gap_open) + scheme.gap_extend;
+  const std::int32_t extend = scheme.gap_extend;
+
+  const BandLayout lay(m, n, diagonal, band);
+  const std::size_t W = lay.W;
+
+  const Cell def;  // kNegInf, empty bundle
+  const auto start_at = [](std::size_t i, std::size_t j, std::int32_t score) {
+    Cell c;
+    c.score = score;
+    c.a_begin = static_cast<std::uint16_t>(i);
+    c.b_begin = static_cast<std::uint16_t>(j);
+    return c;
+  };
+
+  std::vector<Cell> m_prev(W, def), m_cur(W, def);
+  std::vector<Cell> x_prev(W, def), x_cur(W, def);
+  std::vector<Cell> y_prev(W, def), y_cur(W, def);
+
+  // Row 0 borders (into the prev buffers).
+  {
+    const std::size_t b0 = lay.base(0);
+    if (lay.in_window(0, 0)) {
+      if (mode != Mode::kLocal) m_prev[0 - b0] = start_at(0, 0, 0);
+    }
+    switch (mode) {
+      case Mode::kGlobal:
+        for (std::size_t j = std::max<std::size_t>(1, b0);
+             j <= n && lay.in_window(0, j); ++j) {
+          Cell c = start_at(0, 0,
+                            -open - static_cast<std::int32_t>(j - 1) * extend);
+          c.columns = c.gap_columns = static_cast<std::uint16_t>(j);
+          y_prev[j - b0] = c;
+        }
+        break;
+      case Mode::kLocal:
+      case Mode::kSemiglobal:
+        for (std::size_t j = b0; j <= n && lay.in_window(0, j); ++j) {
+          m_prev[j - b0] = start_at(0, j, 0);
+        }
+        break;
+    }
+  }
+
+  std::uint64_t cells = 0;
+  std::int32_t best_score = 0;
+  Cell best_cell;
+  std::size_t best_i = 0, best_j = 0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::size_t bi = lay.base(i);
+    const std::size_t bp = lay.base(i - 1);
+    std::size_t j_lo, j_hi;
+    lay.row_limits(i, j_lo, j_hi);
+
+    // Clear only the slots the loop below leaves untouched: the loop writes
+    // the contiguous slots [j_lo - bi, j_hi - bi], so defaulting the head
+    // and tail margins (instead of the whole row) restores the "everything
+    // outside the computed band is def" invariant at a fraction of the
+    // memory traffic. The column-0 border lands inside the head margin
+    // (j_lo - bi >= 1 whenever the window holds column 0).
+    {
+      const std::size_t head = (j_lo <= j_hi) ? j_lo - bi : W;
+      for (auto* row : {&m_cur, &x_cur, &y_cur}) {
+        std::fill(row->begin(), row->begin() + static_cast<std::ptrdiff_t>(head),
+                  def);
+        if (head < W) {
+          std::fill(
+              row->begin() + static_cast<std::ptrdiff_t>(j_hi - bi) + 1,
+              row->end(), def);
+        }
+      }
+    }
+
+    // Column-0 borders for this row.
+    if (lay.in_window(i, 0)) {
+      if (mode == Mode::kLocal) {
+        m_cur[0 - bi] = start_at(i, 0, 0);
+      } else {
+        Cell c = start_at(0, 0,
+                          -open - static_cast<std::int32_t>(i - 1) * extend);
+        c.columns = c.gap_columns = static_cast<std::uint16_t>(i);
+        x_cur[0 - bi] = c;
+      }
+    }
+
+    if (j_lo <= j_hi) {
+      const auto ai = static_cast<std::uint8_t>(a[i - 1]);
+      cells += j_hi - j_lo + 1;
+      const auto& sub_row = scheme.substitution[ai];
+
+      for (std::size_t j = j_lo; j <= j_hi; ++j) {
+        // X: gap in b (consume a[i-1]); ties prefer M, as in align_impl.
+        {
+          const Cell& from_m = m_prev[j - bp];
+          const Cell& from_x = x_prev[j - bp];
+          const std::int32_t vm = from_m.score - open;
+          const std::int32_t vx = from_x.score - extend;
+          Cell& out = x_cur[j - bi];
+          out = (vm >= vx) ? from_m : from_x;
+          out.score = (vm >= vx) ? vm : vx;
+          ++out.columns;
+          ++out.gap_columns;
+        }
+
+        // Y: gap in a (consume b[j-1]).
+        {
+          const Cell& from_m = m_cur[j - 1 - bi];
+          const Cell& from_y = y_cur[j - 1 - bi];
+          const std::int32_t vm = from_m.score - open;
+          const std::int32_t vy = from_y.score - extend;
+          Cell& out = y_cur[j - bi];
+          out = (vm >= vy) ? from_m : from_y;
+          out.score = (vm >= vy) ? vm : vy;
+          ++out.columns;
+          ++out.gap_columns;
+        }
+
+        // M: substitute a[i-1] with b[j-1]; predecessor ties prefer M,
+        // then X, then Y (strict > to switch), as in align_impl.
+        {
+          const Cell* pred = &m_prev[j - 1 - bp];
+          if (x_prev[j - 1 - bp].score > pred->score) {
+            pred = &x_prev[j - 1 - bp];
+          }
+          if (y_prev[j - 1 - bp].score > pred->score) {
+            pred = &y_prev[j - 1 - bp];
+          }
+          Cell start;  // fresh local start at (i-1, j-1)
+          if (mode == Mode::kLocal && pred->score < 0) {
+            start = start_at(i - 1, j - 1, 0);
+            pred = &start;
+          }
+          const std::int32_t value =
+              pred->score + sub_row[static_cast<std::uint8_t>(b[j - 1])];
+          Cell& out = m_cur[j - bi];
+          if (mode == Mode::kLocal && value <= 0) {
+            // A traceback reaching this cell in state M stops here: the
+            // bundle restarts empty at (i, j).
+            out = start_at(i, j, value);
+          } else {
+            out = *pred;
+            out.score = value;
+            ++out.columns;
+            if (a[i - 1] == b[j - 1]) ++out.matches;
+            if (sub_row[static_cast<std::uint8_t>(b[j - 1])] > 0) {
+              ++out.positives;
+            }
+          }
+          if (mode == Mode::kLocal && value > best_score) {
+            best_score = value;
+            best_cell = out;
+            best_i = i;
+            best_j = j;
+          }
+        }
+      }
+    }
+
+    m_prev.swap(m_cur);
+    x_prev.swap(x_cur);
+    y_prev.swap(y_cur);
+  }
+
+  AlignmentResult result;
+  result.cells = cells;
+
+  const std::size_t bm = lay.base(m);
+  const auto row_cell = [&](const std::vector<Cell>& row,
+                            std::size_t j) -> const Cell& {
+    static const Cell fallback;
+    return lay.in_window(m, j) ? row[j - bm] : fallback;
+  };
+
+  const Cell* end = nullptr;
+  std::size_t end_i = m, end_j = n;
+  if (mode == Mode::kGlobal) {
+    end = &row_cell(m_prev, n);
+    if (row_cell(x_prev, n).score > end->score) end = &row_cell(x_prev, n);
+    if (row_cell(y_prev, n).score > end->score) end = &row_cell(y_prev, n);
+  } else if (mode == Mode::kSemiglobal) {
+    std::int32_t best = kNegInf;
+    for (std::size_t jj = 0; jj <= n; ++jj) {
+      if (row_cell(m_prev, jj).score > best) {
+        best = row_cell(m_prev, jj).score;
+        end = &row_cell(m_prev, jj);
+        end_j = jj;
+      }
+      if (row_cell(x_prev, jj).score > best) {
+        best = row_cell(x_prev, jj).score;
+        end = &row_cell(x_prev, jj);
+        end_j = jj;
+      }
+    }
+  } else {
+    if (best_score <= 0) return result;  // no positive local alignment
+    end = &best_cell;
+    end_i = best_i;
+    end_j = best_j;
+  }
+
+  result.score = end->score;
+  result.a_end = static_cast<std::uint32_t>(end_i);
+  result.b_end = static_cast<std::uint32_t>(end_j);
+  result.a_begin = end->a_begin;
+  result.b_begin = end->b_begin;
+  result.columns = end->columns;
+  result.matches = end->matches;
+  result.positives = end->positives;
+  result.gap_columns = end->gap_columns;
   return result;
 }
 
@@ -279,6 +611,33 @@ AlignmentResult banded_local_align(std::string_view a, std::string_view b,
                                    std::int64_t diagonal,
                                    std::uint32_t band_halfwidth) {
   return align_impl(a, b, scheme, Mode::kLocal, diagonal,
+                    static_cast<std::int64_t>(band_halfwidth));
+}
+
+AlignmentResult global_align_score(std::string_view a, std::string_view b,
+                                   const ScoringScheme& scheme) {
+  return score_impl(a, b, scheme, Mode::kGlobal, 0,
+                    static_cast<std::int64_t>(a.size() + b.size()));
+}
+
+AlignmentResult semiglobal_align_score(std::string_view a, std::string_view b,
+                                       const ScoringScheme& scheme) {
+  return score_impl(a, b, scheme, Mode::kSemiglobal, 0,
+                    static_cast<std::int64_t>(a.size() + b.size()));
+}
+
+AlignmentResult local_align_score(std::string_view a, std::string_view b,
+                                  const ScoringScheme& scheme) {
+  return score_impl(a, b, scheme, Mode::kLocal, 0,
+                    static_cast<std::int64_t>(a.size() + b.size()));
+}
+
+AlignmentResult banded_local_align_score(std::string_view a,
+                                         std::string_view b,
+                                         const ScoringScheme& scheme,
+                                         std::int64_t diagonal,
+                                         std::uint32_t band_halfwidth) {
+  return score_impl(a, b, scheme, Mode::kLocal, diagonal,
                     static_cast<std::int64_t>(band_halfwidth));
 }
 

@@ -34,16 +34,19 @@ PredicateOutcome test_containment(std::string_view inner,
                                   std::string_view outer,
                                   const ScoringScheme& scheme,
                                   const ContainmentParams& params) {
+  // Predicates only cut on scores and region statistics, never on the
+  // column path, so they always take the score-only fast path.
   const AlignmentResult r = params.semiglobal
-                                ? semiglobal_align(inner, outer, scheme)
-                                : local_align(inner, outer, scheme);
+                                ? semiglobal_align_score(inner, outer, scheme)
+                                : local_align_score(inner, outer, scheme);
   return containment_from(r, inner.size(), params);
 }
 
 PredicateOutcome test_overlap(std::string_view a, std::string_view b,
                               const ScoringScheme& scheme,
                               const OverlapParams& params) {
-  return overlap_from(local_align(a, b, scheme), a.size(), b.size(), params);
+  return overlap_from(local_align_score(a, b, scheme), a.size(), b.size(),
+                      params);
 }
 
 PredicateOutcome test_containment_banded(std::string_view inner,
@@ -53,7 +56,7 @@ PredicateOutcome test_containment_banded(std::string_view inner,
                                          std::uint32_t band_halfwidth,
                                          const ContainmentParams& params) {
   return containment_from(
-      banded_local_align(inner, outer, scheme, diagonal, band_halfwidth),
+      banded_local_align_score(inner, outer, scheme, diagonal, band_halfwidth),
       inner.size(), params);
 }
 
@@ -63,8 +66,8 @@ PredicateOutcome test_overlap_banded(std::string_view a, std::string_view b,
                                      std::uint32_t band_halfwidth,
                                      const OverlapParams& params) {
   return overlap_from(
-      banded_local_align(a, b, scheme, diagonal, band_halfwidth), a.size(),
-      b.size(), params);
+      banded_local_align_score(a, b, scheme, diagonal, band_halfwidth),
+      a.size(), b.size(), params);
 }
 
 }  // namespace pclust::align

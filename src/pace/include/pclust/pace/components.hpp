@@ -32,14 +32,20 @@ struct ComponentsResult {
 };
 
 /// Parallel (simulated, p >= 2) component detection over @p ids.
+/// @p pool (optional) runs index construction and verdict batches on real
+/// threads; the result is identical to pool = nullptr (see engine.hpp).
 ComponentsResult detect_components(const seq::SequenceSet& set,
                                    const std::vector<seq::SeqId>& ids, int p,
                                    const mpsim::MachineModel& model,
-                                   const PaceParams& params = {});
+                                   const PaceParams& params = {},
+                                   exec::Pool* pool = nullptr);
 
-/// Serial driver with identical semantics.
+/// Serial driver with identical semantics. With a pool, verdicts are
+/// batched onto real threads; the final component partition is identical to
+/// the pure serial run.
 ComponentsResult detect_components_serial(const seq::SequenceSet& set,
                                           const std::vector<seq::SeqId>& ids,
-                                          const PaceParams& params = {});
+                                          const PaceParams& params = {},
+                                          exec::Pool* pool = nullptr);
 
 }  // namespace pclust::pace

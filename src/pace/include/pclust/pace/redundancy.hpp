@@ -32,12 +32,18 @@ struct RedundancyResult {
 };
 
 /// Parallel (simulated, p >= 2) redundancy removal over all of @p set.
+/// @p pool (optional) runs index construction and verdict batches on real
+/// threads; the result is identical to pool = nullptr (see engine.hpp).
 RedundancyResult remove_redundant(const seq::SequenceSet& set, int p,
                                   const mpsim::MachineModel& model,
-                                  const PaceParams& params = {});
+                                  const PaceParams& params = {},
+                                  exec::Pool* pool = nullptr);
 
-/// Serial driver: same filter and verdict semantics, no simulation.
+/// Serial driver: same filter and verdict semantics, no simulation. With a
+/// pool, verdicts are batched onto real threads; the final removed/container
+/// state is identical to the pure serial run.
 RedundancyResult remove_redundant_serial(const seq::SequenceSet& set,
-                                         const PaceParams& params = {});
+                                         const PaceParams& params = {},
+                                         exec::Pool* pool = nullptr);
 
 }  // namespace pclust::pace

@@ -12,6 +12,10 @@
 #include "pclust/pace/params.hpp"
 #include "pclust/seq/sequence_set.hpp"
 
+namespace pclust::exec {
+class Pool;
+}
+
 namespace pclust::pace {
 
 struct BruteForceStats {
@@ -26,9 +30,14 @@ std::vector<std::uint8_t> remove_redundant_bruteforce(
     BruteForceStats* stats = nullptr);
 
 /// All-pairs Definition-2 overlap graph, connected components via
-/// union–find. Components descending by size, members ascending.
+/// union–find. Components descending by size, members ascending. The pair
+/// tests are independent, so with a pool they are evaluated in parallel
+/// batches and merged in pair order — output and stats are identical to the
+/// serial sweep. (The Definition-1 sweep has a sequential dependence — the
+/// removal state feeds the skip conditions — and stays serial.)
 std::vector<std::vector<seq::SeqId>> detect_components_bruteforce(
     const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
-    const PaceParams& params = {}, BruteForceStats* stats = nullptr);
+    const PaceParams& params = {}, BruteForceStats* stats = nullptr,
+    exec::Pool* pool = nullptr);
 
 }  // namespace pclust::pace

@@ -56,7 +56,7 @@ class CcdWorker final : public WorkerPolicy {
   CcdWorker(const seq::SequenceSet& set, const PaceParams& params)
       : set_(set), params_(params) {}
 
-  Verdict evaluate(const PairTask& task, mpsim::Communicator* comm) override {
+  Verdict evaluate(const PairTask& task, std::uint64_t* cells) override {
     const auto a = set_.residues(task.a);
     const auto b = set_.residues(task.b);
     const align::PredicateOutcome out =
@@ -65,7 +65,7 @@ class CcdWorker final : public WorkerPolicy {
                                          task.diagonal(), params_.band,
                                          params_.overlap)
             : align::test_overlap(a, b, params_.scheme(), params_.overlap);
-    if (comm) comm->charge_cells(out.alignment.cells);
+    if (cells) *cells += out.alignment.cells;
     return Verdict{task.a, task.b,
                    static_cast<std::uint8_t>(out.accepted ? 1 : 0)};
   }
@@ -95,24 +95,26 @@ std::size_t ComponentsResult::sequences_in_min_size(
 ComponentsResult detect_components(const seq::SequenceSet& set,
                                    const std::vector<seq::SeqId>& ids, int p,
                                    const mpsim::MachineModel& model,
-                                   const PaceParams& params) {
+                                   const PaceParams& params,
+                                   exec::Pool* pool) {
   ComponentsResult result;
   CcdMaster master(ids);
   result.run = run_parallel(
       set, ids, p, model, params, master,
       [&set, &params] { return std::make_unique<CcdWorker>(set, params); },
-      &result.counters);
+      &result.counters, pool);
   result.components = master.components();
   return result;
 }
 
 ComponentsResult detect_components_serial(const seq::SequenceSet& set,
                                           const std::vector<seq::SeqId>& ids,
-                                          const PaceParams& params) {
+                                          const PaceParams& params,
+                                          exec::Pool* pool) {
   ComponentsResult result;
   CcdMaster master(ids);
   CcdWorker worker(set, params);
-  result.counters = run_serial(set, ids, params, master, worker);
+  result.counters = run_serial(set, ids, params, master, worker, pool);
   result.components = master.components();
   return result;
 }

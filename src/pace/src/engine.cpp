@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "pclust/exec/pool.hpp"
 #include "pclust/suffix/lcp.hpp"
 #include "pclust/suffix/suffix_array.hpp"
 
@@ -40,17 +41,25 @@ struct SharedIndex {
   std::vector<int> bucket_owner;  // worker rank (1..p-1) per bucket
 
   SharedIndex(const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
-              const PaceParams& params, int workers)
-      : text(set, ids), mp(match_params(params)) {
+              const PaceParams& params, int workers,
+              exec::Pool* pool = nullptr)
+      : text(set, ids), mp(match_params(params)), pool_(pool) {
     if (params.bucket_prefix > params.psi) {
       throw std::invalid_argument(
           "PaceParams: bucket_prefix must be <= psi (nodes may not span "
           "buckets)");
     }
-    sa = suffix::build_suffix_array(text.text(), seq::kIndexAlphabetSize);
-    lcp = suffix::build_lcp(text, sa);
-    suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
-    buckets = enumerator.prefix_buckets(params.bucket_prefix);
+    if (pool && pool->size() > 1) {
+      sa = suffix::build_suffix_array_parallel(text, *pool);
+      lcp = suffix::build_lcp_parallel(text, sa, *pool);
+      suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
+      buckets = enumerator.prefix_buckets(params.bucket_prefix, *pool);
+    } else {
+      sa = suffix::build_suffix_array(text.text(), seq::kIndexAlphabetSize);
+      lcp = suffix::build_lcp(text, sa);
+      suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
+      buckets = enumerator.prefix_buckets(params.bucket_prefix);
+    }
 
     // Longest-processing-time assignment of buckets to workers.
     bucket_owner.assign(buckets.size(), 1);
@@ -81,17 +90,41 @@ struct SharedIndex {
   }
 
   /// All promising pairs owned by @p worker_rank, decreasing match length.
+  /// With a shared pool, owned buckets are enumerated concurrently and the
+  /// per-bucket lists concatenated in bucket order, which reproduces the
+  /// serial append order exactly (the stable sort then ties on it).
   [[nodiscard]] std::vector<PairTask> worker_pairs(int worker_rank) const {
     suffix::MaximalMatchEnumerator enumerator(text, sa, lcp, mp);
-    std::vector<PairTask> out;
+    std::vector<std::size_t> owned;
     for (std::size_t i = 0; i < buckets.size(); ++i) {
-      if (bucket_owner[i] != worker_rank) continue;
-      enumerator.enumerate(buckets[i].lb, buckets[i].rb,
-                           [&out](const suffix::MaximalMatch& m) {
-                             out.push_back(PairTask{m.a, m.b, m.a_pos,
-                                                    m.b_pos, m.length});
-                             return true;
-                           });
+      if (bucket_owner[i] == worker_rank) owned.push_back(i);
+    }
+
+    std::vector<PairTask> out;
+    if (pool_ && pool_->size() > 1 && owned.size() > 1) {
+      const auto per_bucket = exec::parallel_map<std::vector<PairTask>>(
+          *pool_, owned.size(), 1, [&](std::size_t k) {
+            std::vector<PairTask> pairs;
+            enumerator.enumerate(buckets[owned[k]].lb, buckets[owned[k]].rb,
+                                 [&pairs](const suffix::MaximalMatch& m) {
+                                   pairs.push_back(PairTask{m.a, m.b, m.a_pos,
+                                                            m.b_pos, m.length});
+                                   return true;
+                                 });
+            return pairs;
+          });
+      for (const auto& pairs : per_bucket) {
+        out.insert(out.end(), pairs.begin(), pairs.end());
+      }
+    } else {
+      for (const std::size_t i : owned) {
+        enumerator.enumerate(buckets[i].lb, buckets[i].rb,
+                             [&out](const suffix::MaximalMatch& m) {
+                               out.push_back(PairTask{m.a, m.b, m.a_pos,
+                                                      m.b_pos, m.length});
+                               return true;
+                             });
+      }
     }
     std::stable_sort(out.begin(), out.end(),
                      [](const PairTask& x, const PairTask& y) {
@@ -110,7 +143,40 @@ struct SharedIndex {
   }
 
   suffix::MaximalMatchParams mp;
+  exec::Pool* pool_ = nullptr;
 };
+
+/// Evaluate one chunk of tasks, pooled when possible. Verdicts come back in
+/// task order and cell charges are folded into @p comm serially (also in
+/// task order), so both the results and the virtual clock are independent
+/// of pool scheduling. Policies are invoked concurrently (see WorkerPolicy).
+void evaluate_tasks(const std::vector<PairTask>& tasks, WorkerPolicy& policy,
+                    mpsim::Communicator* comm, exec::Pool* pool,
+                    std::vector<Verdict>& verdicts) {
+  verdicts.reserve(verdicts.size() + tasks.size());
+  if (pool && pool->size() > 1 && tasks.size() > 1) {
+    std::vector<std::uint64_t> cells(tasks.size(), 0);
+    auto batch = exec::parallel_map<Verdict>(
+        *pool, tasks.size(), 1,
+        [&](std::size_t k) { return policy.evaluate(tasks[k], &cells[k]); });
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      verdicts.push_back(batch[k]);
+      if (comm) {
+        comm->charge_cells(cells[k]);
+        comm->count("alignments_computed");
+      }
+    }
+  } else {
+    for (const PairTask& task : tasks) {
+      std::uint64_t cells = 0;
+      verdicts.push_back(policy.evaluate(task, &cells));
+      if (comm) {
+        comm->charge_cells(cells);
+        comm->count("alignments_computed");
+      }
+    }
+  }
+}
 
 void master_loop(mpsim::Communicator& comm, const PaceParams& params,
                  MasterPolicy& policy) {
@@ -175,7 +241,8 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
 }
 
 void worker_loop(mpsim::Communicator& comm, const SharedIndex& index,
-                 const PaceParams& params, WorkerPolicy& policy) {
+                 const PaceParams& params, WorkerPolicy& policy,
+                 exec::Pool* pool) {
   // "Build" this worker's share of the generalized suffix tree.
   comm.charge_index_chars(index.worker_chars(comm.rank()));
   const std::vector<PairTask> pairs = index.worker_pairs(comm.rank());
@@ -204,11 +271,7 @@ void worker_loop(mpsim::Communicator& comm, const SharedIndex& index,
 
     WorkMsg work = comm.recv(0, kTagWork).take<WorkMsg>();
     if (work.done) break;
-    verdicts.reserve(work.tasks.size());
-    for (const PairTask& task : work.tasks) {
-      verdicts.push_back(policy.evaluate(task, &comm));
-      comm.count("alignments_computed");
-    }
+    evaluate_tasks(work.tasks, policy, &comm, pool, verdicts);
   }
 }
 
@@ -219,12 +282,12 @@ mpsim::RunResult run_parallel(
     const mpsim::MachineModel& model, const PaceParams& params,
     MasterPolicy& master_policy,
     const std::function<std::unique_ptr<WorkerPolicy>()>& make_worker_policy,
-    EngineCounters* counters) {
+    EngineCounters* counters, exec::Pool* pool) {
   if (p < 2) {
     throw std::invalid_argument(
         "pace::run_parallel needs p >= 2 (master + worker); use run_serial");
   }
-  SharedIndex index(set, ids, params, p - 1);
+  SharedIndex index(set, ids, params, p - 1, pool);
 
   mpsim::RunResult result =
       mpsim::run(p, model, [&](mpsim::Communicator& comm) {
@@ -232,7 +295,7 @@ mpsim::RunResult run_parallel(
           master_loop(comm, params, master_policy);
         } else {
           const auto policy = make_worker_policy();
-          worker_loop(comm, index, params, *policy);
+          worker_loop(comm, index, params, *policy, pool);
         }
       });
 
@@ -249,12 +312,46 @@ EngineCounters run_serial(const seq::SequenceSet& set,
                           const std::vector<seq::SeqId>& ids,
                           const PaceParams& params,
                           MasterPolicy& master_policy,
-                          WorkerPolicy& worker_policy) {
-  SharedIndex index(set, ids, params, /*workers=*/1);
+                          WorkerPolicy& worker_policy, exec::Pool* pool) {
+  SharedIndex index(set, ids, params, /*workers=*/1, pool);
   const std::vector<PairTask> pairs = index.worker_pairs(1);
 
   EngineCounters c;
   std::unordered_set<std::uint64_t> seen;
+
+  if (pool && pool->size() > 1) {
+    // Batched mode: collect up to batch_size filter-surviving pairs, align
+    // them on the pool, apply verdicts in task order. Like the round-based
+    // engine, the filter sees state that lags the batch by construction;
+    // the extra verdicts this admits are no-ops under apply (RR's
+    // removed/dependents guards, CCD's idempotent merges), so the final
+    // state matches the unbatched run bit for bit.
+    std::vector<PairTask> batch;
+    std::vector<Verdict> verdicts;
+    const auto flush = [&] {
+      verdicts.clear();
+      evaluate_tasks(batch, worker_policy, nullptr, pool, verdicts);
+      for (const Verdict& v : verdicts) master_policy.apply(v);
+      batch.clear();
+    };
+    for (const PairTask& task : pairs) {
+      ++c.promising_pairs;
+      if (!seen.insert(task.pair_key()).second) {
+        ++c.duplicate_pairs;
+        continue;
+      }
+      if (!master_policy.needs_alignment(task)) {
+        ++c.filtered_pairs;
+        continue;
+      }
+      ++c.aligned_pairs;
+      batch.push_back(task);
+      if (batch.size() >= params.batch_size) flush();
+    }
+    flush();
+    return c;
+  }
+
   for (const PairTask& task : pairs) {
     ++c.promising_pairs;
     if (!seen.insert(task.pair_key()).second) {
@@ -266,7 +363,8 @@ EngineCounters run_serial(const seq::SequenceSet& set,
       continue;
     }
     ++c.aligned_pairs;
-    master_policy.apply(worker_policy.evaluate(task, nullptr));
+    std::uint64_t cells = 0;
+    master_policy.apply(worker_policy.evaluate(task, &cells));
   }
   return c;
 }

@@ -65,7 +65,7 @@ class RrWorker final : public WorkerPolicy {
   RrWorker(const seq::SequenceSet& set, const PaceParams& params)
       : set_(set), params_(params) {}
 
-  Verdict evaluate(const PairTask& task, mpsim::Communicator* comm) override {
+  Verdict evaluate(const PairTask& task, std::uint64_t* cells) override {
     const auto res_a = set_.residues(task.a);
     const auto res_b = set_.residues(task.b);
     const double min_cov = params_.containment.min_coverage;
@@ -76,11 +76,11 @@ class RrWorker final : public WorkerPolicy {
     // longer than b, and vice versa.
     if (static_cast<double>(res_a.size()) * min_cov <=
         static_cast<double>(res_b.size())) {
-      a_in_b = test(res_a, res_b, task.diagonal(), comm);
+      a_in_b = test(res_a, res_b, task.diagonal(), cells);
     }
     if (static_cast<double>(res_b.size()) * min_cov <=
         static_cast<double>(res_a.size())) {
-      b_in_a = test(res_b, res_a, -task.diagonal(), comm);
+      b_in_a = test(res_b, res_a, -task.diagonal(), cells);
     }
     if (a_in_b && b_in_a) {
       v.code = kMutual;
@@ -94,7 +94,7 @@ class RrWorker final : public WorkerPolicy {
 
  private:
   bool test(std::string_view inner, std::string_view outer,
-            std::int64_t diagonal, mpsim::Communicator* comm) const {
+            std::int64_t diagonal, std::uint64_t* cells) const {
     const align::PredicateOutcome out =
         params_.band > 0
             ? align::test_containment_banded(inner, outer, params_.scheme(),
@@ -102,7 +102,7 @@ class RrWorker final : public WorkerPolicy {
                                              params_.containment)
             : align::test_containment(inner, outer, params_.scheme(),
                                       params_.containment);
-    if (comm) comm->charge_cells(out.alignment.cells);
+    if (cells) *cells += out.alignment.cells;
     return out.accepted;
   }
 
@@ -135,22 +135,24 @@ std::size_t RedundancyResult::removed_count() const {
 
 RedundancyResult remove_redundant(const seq::SequenceSet& set, int p,
                                   const mpsim::MachineModel& model,
-                                  const PaceParams& params) {
+                                  const PaceParams& params, exec::Pool* pool) {
   RedundancyResult result;
   RrMaster master(set.size(), result);
   result.run = run_parallel(
       set, all_ids(set), p, model, params, master,
       [&set, &params] { return std::make_unique<RrWorker>(set, params); },
-      &result.counters);
+      &result.counters, pool);
   return result;
 }
 
 RedundancyResult remove_redundant_serial(const seq::SequenceSet& set,
-                                         const PaceParams& params) {
+                                         const PaceParams& params,
+                                         exec::Pool* pool) {
   RedundancyResult result;
   RrMaster master(set.size(), result);
   RrWorker worker(set, params);
-  result.counters = run_serial(set, all_ids(set), params, master, worker);
+  result.counters =
+      run_serial(set, all_ids(set), params, master, worker, pool);
   return result;
 }
 

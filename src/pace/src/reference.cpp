@@ -5,6 +5,7 @@
 
 #include "pclust/align/predicates.hpp"
 #include "pclust/dsu/union_find.hpp"
+#include "pclust/exec/pool.hpp"
 
 namespace pclust::pace {
 
@@ -45,17 +46,50 @@ std::vector<std::uint8_t> remove_redundant_bruteforce(
 
 std::vector<std::vector<seq::SeqId>> detect_components_bruteforce(
     const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
-    const PaceParams& params, BruteForceStats* stats) {
+    const PaceParams& params, BruteForceStats* stats, exec::Pool* pool) {
   const auto& scheme = params.scheme();
   dsu::UnionFind uf(ids.size());
-  for (std::uint32_t i = 0; i < ids.size(); ++i) {
-    for (std::uint32_t j = i + 1; j < ids.size(); ++j) {
-      if (stats) ++stats->alignments;
-      const auto out = align::test_overlap(set.residues(ids[i]),
-                                           set.residues(ids[j]), scheme,
-                                           params.overlap);
-      if (stats) stats->cells += out.alignment.cells;
-      if (out.accepted) uf.merge(i, j);
+  if (pool && pool->size() > 1 && ids.size() > 2) {
+    // Flatten the upper triangle and evaluate rows in parallel; merges and
+    // stats fold serially in (i, j) order, matching the serial sweep.
+    struct RowOutcome {
+      std::vector<std::uint8_t> accepted;
+      std::uint64_t cells = 0;
+    };
+    const std::size_t rows = ids.size() - 1;
+    const auto outcomes = exec::parallel_map<RowOutcome>(
+        *pool, rows, 1, [&](std::size_t i) {
+          RowOutcome row;
+          row.accepted.resize(ids.size() - i - 1);
+          for (std::uint32_t j = static_cast<std::uint32_t>(i) + 1;
+               j < ids.size(); ++j) {
+            const auto out = align::test_overlap(set.residues(ids[i]),
+                                                 set.residues(ids[j]), scheme,
+                                                 params.overlap);
+            row.cells += out.alignment.cells;
+            row.accepted[j - i - 1] = out.accepted ? 1 : 0;
+          }
+          return row;
+        });
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      if (stats) {
+        stats->alignments += ids.size() - i - 1;
+        stats->cells += outcomes[i].cells;
+      }
+      for (std::uint32_t j = i + 1; j < ids.size(); ++j) {
+        if (outcomes[i].accepted[j - i - 1]) uf.merge(i, j);
+      }
+    }
+  } else {
+    for (std::uint32_t i = 0; i < ids.size(); ++i) {
+      for (std::uint32_t j = i + 1; j < ids.size(); ++j) {
+        if (stats) ++stats->alignments;
+        const auto out = align::test_overlap(set.residues(ids[i]),
+                                             set.residues(ids[j]), scheme,
+                                             params.overlap);
+        if (stats) stats->cells += out.alignment.cells;
+        if (out.accepted) uf.merge(i, j);
+      }
     }
   }
   auto sets = uf.extract_sets();

@@ -51,6 +51,13 @@ struct PipelineConfig {
   int processors = 0;
   mpsim::MachineModel model = mpsim::MachineModel::bluegene_l();
 
+  /// REAL shared-memory threads (exec::Pool) used inside every phase:
+  /// suffix-array/LCP/bucket construction, batched RR/CCD verdicts, and the
+  /// Shingle passes. 1 = fully serial (the golden reference path);
+  /// 0 = hardware_concurrency. Composes with `processors`: mpsim ranks
+  /// share the one pool. All outputs are thread-count independent.
+  unsigned threads = 1;
+
   /// Parallel Shingle stage (the paper's §VI future work, and the batched
   /// component distribution its experiments used on the Xeon cluster):
   /// 0/1 = serial DSD; >= 2 = components are LPT-batched across this many

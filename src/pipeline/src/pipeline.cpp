@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "pclust/exec/pool.hpp"
 #include "pclust/util/log.hpp"
 #include "pclust/util/strings.hpp"
 #include "pclust/util/timer.hpp"
@@ -23,6 +24,15 @@ PipelineResult run(const seq::SequenceSet& input,
   result.input_sequences = input.size();
   const bool parallel = config.processors >= 2;
 
+  // One pool for the whole run; every phase borrows it. threads == 1 never
+  // spawns a thread and is the exact serial path.
+  exec::Pool pool(config.threads);
+  exec::Pool* pool_arg = pool.size() > 1 ? &pool : nullptr;
+  if (pool.size() > 1) {
+    PCLUST_INFO << "pipeline: execution pool with " << pool.size()
+                << " threads";
+  }
+
   // Optional SEG-style masking; all phases then see the masked residues.
   seq::SequenceSet masked;
   if (config.mask_low_complexity) {
@@ -38,9 +48,10 @@ PipelineResult run(const seq::SequenceSet& input,
     util::Timer timer;
     pace::PaceParams rr_params = config.pace;
     rr_params.band = config.rr_band;
-    result.rr = parallel ? pace::remove_redundant(set, config.processors,
-                                                  config.model, rr_params)
-                         : pace::remove_redundant_serial(set, rr_params);
+    result.rr = parallel
+                    ? pace::remove_redundant(set, config.processors,
+                                             config.model, rr_params, pool_arg)
+                    : pace::remove_redundant_serial(set, rr_params, pool_arg);
     result.rr_seconds =
         parallel ? result.rr.run.makespan : timer.elapsed_seconds();
   }
@@ -56,9 +67,9 @@ PipelineResult run(const seq::SequenceSet& input,
     result.ccd = parallel
                      ? pace::detect_components(set, survivors,
                                                config.processors, config.model,
-                                               config.pace)
+                                               config.pace, pool_arg)
                      : pace::detect_components_serial(set, survivors,
-                                                      config.pace);
+                                                      config.pace, pool_arg);
     result.ccd_seconds =
         parallel ? result.ccd.run.makespan : timer.elapsed_seconds();
   }
@@ -119,8 +130,8 @@ PipelineResult run(const seq::SequenceSet& input,
             comm.clock().advance(
                 static_cast<double>(graphs[g].graph.edge_count()) *
                 config.shingle.c1 * comm.model().hash_cost);
-            for (auto& members :
-                 shingle::report_families(graphs[g], config.shingle)) {
+            for (auto& members : shingle::report_families(
+                     graphs[g], config.shingle, nullptr, pool_arg)) {
               mine.push_back(RawFamily{g, std::move(members)});
             }
             comm.count("components_processed");
@@ -132,8 +143,8 @@ PipelineResult run(const seq::SequenceSet& input,
     }
   } else {
     for (std::size_t g = 0; g < graphs.size(); ++g) {
-      for (auto& members : shingle::report_families(graphs[g],
-                                                    config.shingle)) {
+      for (auto& members : shingle::report_families(graphs[g], config.shingle,
+                                                    nullptr, pool_arg)) {
         raw.push_back(RawFamily{g, std::move(members)});
       }
     }

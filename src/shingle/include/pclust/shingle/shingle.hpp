@@ -27,6 +27,10 @@
 #include "pclust/bigraph/bipartite_graph.hpp"
 #include "pclust/bigraph/builders.hpp"
 
+namespace pclust::exec {
+class Pool;
+}
+
 namespace pclust::shingle {
 
 struct ShingleParams {
@@ -62,15 +66,17 @@ struct DsdStats {
 /// Run the two-pass algorithm on a bipartite graph. Returns RAW candidates
 /// (possibly overlapping), largest (|A|+|B|) first; disjointness and the
 /// min-size / τ rules are applied by report_families. Deterministic in
-/// params.seed.
+/// params.seed. With a pool, Pass I shingles vertices and Pass II hashes
+/// first-level shingles on pool threads; both folds happen serially in
+/// index order, so the output is identical for every pool size.
 [[nodiscard]] std::vector<DenseSubgraph> dense_subgraphs(
     const bigraph::BipartiteGraph& graph, const ShingleParams& params,
-    DsdStats* stats = nullptr);
+    DsdStats* stats = nullptr, exec::Pool* pool = nullptr);
 
 /// Apply the reduction-specific reporting rule and map vertices back to
 /// sequence ids: each returned vector is one protein family (sorted SeqIds).
 [[nodiscard]] std::vector<std::vector<seq::SeqId>> report_families(
     const bigraph::ComponentGraph& component, const ShingleParams& params,
-    DsdStats* stats = nullptr);
+    DsdStats* stats = nullptr, exec::Pool* pool = nullptr);
 
 }  // namespace pclust::shingle

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "pclust/dsu/union_find.hpp"
+#include "pclust/exec/pool.hpp"
 #include "pclust/shingle/minwise.hpp"
 #include "pclust/util/timer.hpp"
 
@@ -22,18 +23,37 @@ void canonicalize(std::vector<std::uint32_t>& v) {
 
 std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
                                            const ShingleParams& params,
-                                           DsdStats* stats) {
+                                           DsdStats* stats, exec::Pool* pool) {
   util::Timer timer;
   DsdStats local;
+  const bool pooled = pool && pool->size() > 1;
 
   // ---- Pass I: (s1, c1)-shingles of every left vertex -----------------
+  // Pooled: vertices are shingled concurrently (each vertex's shingle set
+  // depends only on its own links), then folded in vertex order — the exact
+  // append order of the serial loop.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> tuples;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> elements_of;
-  for (std::uint32_t l = 0; l < graph.left_count(); ++l) {
-    for (Shingle& sh :
-         shingle_set(graph.out_links(l), params.s1, params.c1, params.seed)) {
-      tuples.emplace_back(sh.value, l);
-      elements_of.try_emplace(sh.value, std::move(sh.elements));
+  if (pooled && graph.left_count() > 1) {
+    auto per_vertex = exec::parallel_map<std::vector<Shingle>>(
+        *pool, graph.left_count(), 16, [&](std::size_t l) {
+          return shingle_set(graph.out_links(static_cast<std::uint32_t>(l)),
+                             params.s1, params.c1, params.seed);
+        });
+    for (std::uint32_t l = 0; l < graph.left_count(); ++l) {
+      for (Shingle& sh : per_vertex[l]) {
+        tuples.emplace_back(sh.value, l);
+        elements_of.try_emplace(sh.value, std::move(sh.elements));
+      }
+    }
+  } else {
+    for (std::uint32_t l = 0; l < graph.left_count(); ++l) {
+      for (Shingle& sh :
+           shingle_set(graph.out_links(l), params.s1, params.c1,
+                       params.seed)) {
+        tuples.emplace_back(sh.value, l);
+        elements_of.try_emplace(sh.value, std::move(sh.elements));
+      }
     }
   }
   local.tuples = tuples.size();
@@ -65,11 +85,26 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
   dsu::UnionFind uf(s1.size());
   std::unordered_map<std::uint64_t, std::uint32_t> s2_first_owner;
   const std::uint64_t seed2 = params.seed ^ 0xD5DEADBEEF00ULL;
-  for (std::uint32_t i = 0; i < s1.size(); ++i) {
-    for (std::uint64_t value :
-         shingle_values(s1[i].producers, params.s2, params.c2, seed2)) {
-      const auto [it, inserted] = s2_first_owner.try_emplace(value, i);
-      if (!inserted) uf.merge(i, it->second);
+  if (pooled && s1.size() > 1) {
+    // Hash concurrently, merge serially in node order: union-find state
+    // evolves exactly as in the serial loop.
+    auto per_node = exec::parallel_map<std::vector<std::uint64_t>>(
+        *pool, s1.size(), 16, [&](std::size_t i) {
+          return shingle_values(s1[i].producers, params.s2, params.c2, seed2);
+        });
+    for (std::uint32_t i = 0; i < s1.size(); ++i) {
+      for (std::uint64_t value : per_node[i]) {
+        const auto [it, inserted] = s2_first_owner.try_emplace(value, i);
+        if (!inserted) uf.merge(i, it->second);
+      }
+    }
+  } else {
+    for (std::uint32_t i = 0; i < s1.size(); ++i) {
+      for (std::uint64_t value :
+           shingle_values(s1[i].producers, params.s2, params.c2, seed2)) {
+        const auto [it, inserted] = s2_first_owner.try_emplace(value, i);
+        if (!inserted) uf.merge(i, it->second);
+      }
     }
   }
   local.second_level_shingles = s2_first_owner.size();
@@ -105,8 +140,8 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
 
 std::vector<std::vector<seq::SeqId>> report_families(
     const bigraph::ComponentGraph& component, const ShingleParams& params,
-    DsdStats* stats) {
-  const auto candidates = dense_subgraphs(component.graph, params, stats);
+    DsdStats* stats, exec::Pool* pool) {
+  const auto candidates = dense_subgraphs(component.graph, params, stats, pool);
 
   std::vector<std::vector<seq::SeqId>> families;
   std::unordered_set<std::uint32_t> claimed;  // right-vertex universe

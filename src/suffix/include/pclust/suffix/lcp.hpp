@@ -14,9 +14,21 @@
 
 #include "pclust/suffix/concat_text.hpp"
 
+namespace pclust::exec {
+class Pool;
+}
+
 namespace pclust::suffix {
 
 [[nodiscard]] std::vector<std::int32_t> build_lcp(
     const ConcatText& text, const std::vector<std::int32_t>& sa);
+
+/// Parallel Kasai: text positions are chunked across the pool; each chunk
+/// restarts the h counter at 0 (h is only a lower-bound optimization, so
+/// every lcp[rank[i]] write is independently correct). Bit-identical to
+/// build_lcp; pool size 1 falls back to the serial scan.
+[[nodiscard]] std::vector<std::int32_t> build_lcp_parallel(
+    const ConcatText& text, const std::vector<std::int32_t>& sa,
+    exec::Pool& pool);
 
 }  // namespace pclust::suffix

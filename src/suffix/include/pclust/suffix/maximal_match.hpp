@@ -89,6 +89,12 @@ class MaximalMatchEnumerator {
   [[nodiscard]] std::vector<Bucket> prefix_buckets(
       std::uint32_t prefix_len) const;
 
+  /// Parallel bucket scan: SA chunks are scanned concurrently, then buckets
+  /// split by a chunk boundary are stitched back together (contiguous ranges
+  /// with equal prefix keys). Identical output to the serial overload.
+  [[nodiscard]] std::vector<Bucket> prefix_buckets(std::uint32_t prefix_len,
+                                                   exec::Pool& pool) const;
+
  private:
   const ConcatText* text_;
   const std::vector<std::int32_t>* sa_;

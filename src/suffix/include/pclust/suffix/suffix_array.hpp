@@ -13,13 +13,27 @@
 #include <string_view>
 #include <vector>
 
+namespace pclust::exec {
+class Pool;
+}
+
 namespace pclust::suffix {
+
+class ConcatText;
 
 /// Suffix array of @p text (values in [0, alphabet)). An implicit sentinel
 /// smaller than every symbol is appended internally; the returned array has
 /// exactly text.size() entries (the sentinel's suffix is dropped).
 [[nodiscard]] std::vector<std::int32_t> build_suffix_array(
     std::string_view text, int alphabet);
+
+/// Parallel construction over a concatenated multi-sequence text. Returns
+/// EXACTLY build_suffix_array(text.text(), seq::kIndexAlphabetSize): text
+/// blocks are suffix-sorted concurrently with a global-text comparator
+/// (block-local SA-IS would mis-order suffixes whose tie extends past the
+/// block), then merged. Pool size 1 falls back to serial SA-IS.
+[[nodiscard]] std::vector<std::int32_t> build_suffix_array_parallel(
+    const ConcatText& text, exec::Pool& pool);
 
 /// Inverse permutation: rank_of[sa[i]] = i.
 [[nodiscard]] std::vector<std::int32_t> invert_suffix_array(

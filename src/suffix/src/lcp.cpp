@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pclust/exec/pool.hpp"
 #include "pclust/suffix/suffix_array.hpp"
 
 namespace pclust::suffix {
@@ -32,6 +33,41 @@ std::vector<std::int32_t> build_lcp(const ConcatText& text,
     lcp[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(k);
     h = static_cast<std::int32_t>(k);
   }
+  return lcp;
+}
+
+std::vector<std::int32_t> build_lcp_parallel(const ConcatText& text,
+                                             const std::vector<std::int32_t>& sa,
+                                             exec::Pool& pool) {
+  const std::size_t n = text.size();
+  if (pool.size() <= 1 || n < 2 * pool.size()) return build_lcp(text, sa);
+
+  std::vector<std::int32_t> lcp(n, 0);
+  const auto rank = invert_suffix_array(sa);
+  // Each chunk runs Kasai with h restarted at 0. h only ever LOWERS the
+  // comparison start (a proven lower bound carried from position i-1), so
+  // losing it at a chunk boundary costs a longer scan, never a wrong value;
+  // each lcp[rank[i]] slot is written by exactly one chunk.
+  const std::size_t grain = (n + 4 * pool.size() - 1) / (4 * pool.size());
+  pool.for_range(n, grain, [&](std::size_t lo, std::size_t hi) {
+    std::int32_t h = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::int32_t r = rank[i];
+      if (r == 0) {
+        h = 0;
+        continue;
+      }
+      const auto j =
+          static_cast<std::size_t>(sa[static_cast<std::size_t>(r - 1)]);
+      auto k = static_cast<std::size_t>(h > 0 ? h - 1 : 0);
+      while (i + k < n && j + k < n && text.at(i + k) == text.at(j + k) &&
+             !text.is_separator(i + k)) {
+        ++k;
+      }
+      lcp[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(k);
+      h = static_cast<std::int32_t>(k);
+    }
+  });
   return lcp;
 }
 

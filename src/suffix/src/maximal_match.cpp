@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pclust/exec/pool.hpp"
 #include "pclust/seq/alphabet.hpp"
 #include "pclust/suffix/suffix_tree.hpp"
 
@@ -20,6 +21,23 @@ struct Leaf {
   std::uint32_t offset;
   std::uint8_t left;
 };
+
+/// Bucket key of the suffix at SA position i: its first prefix_len symbols,
+/// stopped early at a separator (short suffixes form their own buckets).
+std::uint64_t bucket_key(const ConcatText& text,
+                         const std::vector<std::int32_t>& sa, std::int32_t i,
+                         std::uint32_t prefix_len) {
+  std::uint64_t key = 0;
+  const auto pos = static_cast<std::size_t>(sa[static_cast<std::size_t>(i)]);
+  for (std::uint32_t d = 0; d < prefix_len; ++d) {
+    const std::size_t p = pos + d;
+    const std::uint8_t sym =
+        (p < text.size()) ? text.at(p) : seq::kRankTerminator;
+    key = key * (seq::kIndexAlphabetSize + 1) + sym + 1;
+    if (sym >= seq::kRankSeparator) break;  // short suffix: stop the key
+  }
+  return key;
+}
 
 }  // namespace
 
@@ -211,16 +229,7 @@ MaximalMatchEnumerator::prefix_buckets(std::uint32_t prefix_len) const {
   const auto n = static_cast<std::int32_t>(sa.size());
 
   const auto key_of = [&](std::int32_t i) {
-    std::uint64_t key = 0;
-    const auto pos = static_cast<std::size_t>(sa[static_cast<std::size_t>(i)]);
-    for (std::uint32_t d = 0; d < prefix_len; ++d) {
-      const std::size_t p = pos + d;
-      const std::uint8_t sym =
-          (p < text_->size()) ? text_->at(p) : seq::kRankTerminator;
-      key = key * (seq::kIndexAlphabetSize + 1) + sym + 1;
-      if (sym >= seq::kRankSeparator) break;  // short suffix: stop the key
-    }
-    return key;
+    return bucket_key(*text_, sa, i, prefix_len);
   };
 
   std::int32_t i = 0;
@@ -240,6 +249,70 @@ MaximalMatchEnumerator::prefix_buckets(std::uint32_t prefix_len) const {
       ++i;
     }
     out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<MaximalMatchEnumerator::Bucket>
+MaximalMatchEnumerator::prefix_buckets(std::uint32_t prefix_len,
+                                       exec::Pool& pool) const {
+  const auto& sa = *sa_;
+  const auto n = static_cast<std::int32_t>(sa.size());
+  if (pool.size() <= 1 || static_cast<std::size_t>(n) < 2 * pool.size()) {
+    return prefix_buckets(prefix_len);
+  }
+
+  const auto key_of = [&](std::int32_t i) {
+    return bucket_key(*text_, sa, i, prefix_len);
+  };
+
+  // Scan SA chunks independently; a bucket crossing a chunk boundary comes
+  // out split into contiguous parts with the same key.
+  const std::size_t chunk_count = 4 * pool.size();
+  const std::size_t per_chunk =
+      (static_cast<std::size_t>(n) + chunk_count - 1) / chunk_count;
+  std::vector<std::vector<Bucket>> parts(chunk_count);
+  exec::parallel_for(pool, chunk_count, 1, [&](std::size_t chunk) {
+    const auto lo = static_cast<std::int32_t>(chunk * per_chunk);
+    const auto hi = std::min(n, static_cast<std::int32_t>((chunk + 1) *
+                                                          per_chunk));
+    auto& out = parts[chunk];
+    std::int32_t i = lo;
+    while (i < hi) {
+      const auto pos =
+          static_cast<std::size_t>(sa[static_cast<std::size_t>(i)]);
+      if (text_->is_separator(pos)) {
+        ++i;  // separator-led suffixes carry no matches
+        continue;
+      }
+      const std::uint64_t key = key_of(i);
+      Bucket b{i, i, 0};
+      while (i < hi) {
+        const auto p = static_cast<std::size_t>(sa[static_cast<std::size_t>(i)]);
+        if (text_->is_separator(p) || key_of(i) != key) break;
+        b.rb = i;
+        b.weight += text_->run_length(p);
+        ++i;
+      }
+      out.push_back(b);
+    }
+  });
+
+  // Stitch: merge a chunk-leading bucket into the previous one only when
+  // the SA ranges are contiguous AND the keys match. The serial scan never
+  // produces adjacent same-key buckets without a separator-led gap between
+  // them, so this undoes exactly the chunk-boundary splits.
+  std::vector<Bucket> out;
+  for (const auto& part : parts) {
+    for (const Bucket& b : part) {
+      if (!out.empty() && out.back().rb + 1 == b.lb &&
+          key_of(out.back().lb) == key_of(b.lb)) {
+        out.back().rb = b.rb;
+        out.back().weight += b.weight;
+      } else {
+        out.push_back(b);
+      }
+    }
   }
   return out;
 }

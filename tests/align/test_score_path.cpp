@@ -1,0 +1,131 @@
+// The score-only rolling-row fast path must be bit-identical to the
+// full-matrix traceback aligners: same score, same region coordinates,
+// same column statistics — on random sequences, related (mutated)
+// sequences, and across banded/unbanded and all modes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pclust/align/pairwise.hpp"
+#include "pclust/seq/alphabet.hpp"
+#include "pclust/util/rng.hpp"
+
+namespace pclust::align {
+namespace {
+
+std::string random_peptide(util::Xoshiro256& rng, std::size_t len) {
+  std::string out(len, '\0');
+  for (auto& c : out) {
+    c = static_cast<char>(rng.below(seq::kNumResidues));
+  }
+  return out;
+}
+
+/// Copy of `a` with roughly `rate` of positions substituted and a few
+/// indels, so local/semiglobal optima are non-trivial regions.
+std::string mutate(util::Xoshiro256& rng, const std::string& a, double rate) {
+  std::string out;
+  out.reserve(a.size() + 8);
+  for (const char c : a) {
+    const double roll = rng.uniform();
+    if (roll < rate * 0.2) continue;  // deletion
+    if (roll < rate * 0.4) {          // insertion
+      out.push_back(static_cast<char>(rng.below(seq::kNumResidues)));
+    }
+    out.push_back(roll < rate ? static_cast<char>(rng.below(seq::kNumResidues))
+                              : c);
+  }
+  return out;
+}
+
+void expect_identical(const AlignmentResult& full, const AlignmentResult& fast,
+                      const char* what) {
+  EXPECT_EQ(full.score, fast.score) << what;
+  EXPECT_EQ(full.a_begin, fast.a_begin) << what;
+  EXPECT_EQ(full.a_end, fast.a_end) << what;
+  EXPECT_EQ(full.b_begin, fast.b_begin) << what;
+  EXPECT_EQ(full.b_end, fast.b_end) << what;
+  EXPECT_EQ(full.columns, fast.columns) << what;
+  EXPECT_EQ(full.matches, fast.matches) << what;
+  EXPECT_EQ(full.positives, fast.positives) << what;
+  EXPECT_EQ(full.gap_columns, fast.gap_columns) << what;
+  EXPECT_EQ(full.cells, fast.cells) << what;
+}
+
+void check_all_modes(const std::string& a, const std::string& b) {
+  const ScoringScheme& s = blosum62();
+  expect_identical(local_align(a, b, s), local_align_score(a, b, s), "local");
+  expect_identical(semiglobal_align(a, b, s), semiglobal_align_score(a, b, s),
+                   "semiglobal");
+  expect_identical(global_align(a, b, s), global_align_score(a, b, s),
+                   "global");
+  const std::int64_t max_d = static_cast<std::int64_t>(a.size());
+  for (const std::int64_t diagonal : {-max_d / 2, std::int64_t{0}, max_d / 3}) {
+    for (const std::uint32_t band : {0u, 1u, 3u, 8u, 40u}) {
+      expect_identical(banded_local_align(a, b, s, diagonal, band),
+                       banded_local_align_score(a, b, s, diagonal, band),
+                       "banded local");
+    }
+  }
+}
+
+TEST(ScorePath, EmptyAndTinySequences) {
+  check_all_modes("", "");
+  check_all_modes("A", "");
+  check_all_modes("", "A");
+  check_all_modes("A", "A");
+  check_all_modes("AC", "CA");
+}
+
+TEST(ScorePath, MatchesFullMatrixOnRandomPairs) {
+  util::Xoshiro256 rng(20260806);
+  for (int it = 0; it < 40; ++it) {
+    const std::size_t la = 1 + rng.below(120);
+    const std::size_t lb = 1 + rng.below(120);
+    check_all_modes(random_peptide(rng, la), random_peptide(rng, lb));
+  }
+}
+
+TEST(ScorePath, MatchesFullMatrixOnRelatedPairs) {
+  util::Xoshiro256 rng(777);
+  for (int it = 0; it < 30; ++it) {
+    const std::string a = random_peptide(rng, 40 + rng.below(120));
+    const std::string b = mutate(rng, a, 0.05 + 0.3 * rng.uniform());
+    check_all_modes(a, b);
+    // Contained fragment: the shape the RR predicate actually sees.
+    const std::size_t frag_len = a.size() / 2;
+    const std::size_t at = rng.below(a.size() - frag_len + 1);
+    check_all_modes(a.substr(at, frag_len), b);
+  }
+}
+
+TEST(ScorePath, BandMissingEverythingStillAgrees) {
+  util::Xoshiro256 rng(99);
+  const std::string a = random_peptide(rng, 50);
+  const std::string b = random_peptide(rng, 50);
+  const ScoringScheme& s = blosum62();
+  // Diagonal far outside the matrix: band covers no cell.
+  expect_identical(banded_local_align(a, b, s, 500, 4),
+                   banded_local_align_score(a, b, s, 500, 4), "empty band");
+  expect_identical(banded_local_align(a, b, s, -500, 4),
+                   banded_local_align_score(a, b, s, -500, 4), "empty band");
+}
+
+TEST(ScorePath, BandedRegionAllocationMatchesFullWhenBandCovers) {
+  // A band wide enough to cover the whole matrix must reproduce the
+  // unbanded result exactly (both engines).
+  util::Xoshiro256 rng(4242);
+  const std::string a = random_peptide(rng, 70);
+  const std::string b = random_peptide(rng, 55);
+  const ScoringScheme& s = blosum62();
+  const auto full = local_align(a, b, s);
+  const auto wide_band = static_cast<std::uint32_t>(a.size() + b.size());
+  expect_identical(full, banded_local_align(a, b, s, 0, wide_band),
+                   "wide band full engine");
+  expect_identical(full, banded_local_align_score(a, b, s, 0, wide_band),
+                   "wide band score engine");
+}
+
+}  // namespace
+}  // namespace pclust::align

@@ -1,0 +1,100 @@
+// Thread-count independence of the PaCE phases: the final cluster STATE
+// (removed/container for RR, the component partition for CCD) must be
+// bit-identical for every pool size. Counters are deliberately excluded —
+// batched filters may admit extra no-op verdicts (see engine.hpp).
+#include <gtest/gtest.h>
+
+#include "pclust/exec/pool.hpp"
+#include "pclust/pace/components.hpp"
+#include "pclust/pace/redundancy.hpp"
+#include "pclust/pace/reference.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::pace {
+namespace {
+
+synth::Dataset make_data(std::uint64_t seed, std::uint32_t n = 160) {
+  synth::DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = n;
+  spec.num_families = 5;
+  spec.mean_length = 70;
+  spec.redundant_fraction = 0.15;
+  spec.noise_fraction = 0.15;
+  return synth::generate(spec);
+}
+
+TEST(Determinism, SerialRrStateIndependentOfThreads) {
+  const auto d = make_data(31);
+  const auto golden = remove_redundant_serial(d.sequences);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    exec::Pool pool(threads);
+    const auto r = remove_redundant_serial(d.sequences, {}, &pool);
+    EXPECT_EQ(r.removed, golden.removed) << "threads=" << threads;
+    EXPECT_EQ(r.container, golden.container) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, SerialCcdStateIndependentOfThreads) {
+  const auto d = make_data(32);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto golden = detect_components_serial(d.sequences, survivors);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    exec::Pool pool(threads);
+    const auto r = detect_components_serial(d.sequences, survivors, {}, &pool);
+    EXPECT_EQ(r.components, golden.components) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, SimulatedRrStateIndependentOfThreads) {
+  const auto d = make_data(33);
+  const auto golden =
+      remove_redundant(d.sequences, 4, mpsim::MachineModel::free());
+  for (unsigned threads : {2u, 8u}) {
+    exec::Pool pool(threads);
+    const auto r =
+        remove_redundant(d.sequences, 4, mpsim::MachineModel::free(), {},
+                         &pool);
+    EXPECT_EQ(r.removed, golden.removed) << "threads=" << threads;
+    EXPECT_EQ(r.container, golden.container) << "threads=" << threads;
+    // The virtual clock is charged serially in task order, so even the
+    // simulated makespan must not depend on the real thread count.
+    EXPECT_EQ(r.run.makespan, golden.run.makespan) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, SimulatedCcdStateIndependentOfThreads) {
+  const auto d = make_data(34);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto golden = detect_components(d.sequences, survivors, 3,
+                                        mpsim::MachineModel::free());
+  for (unsigned threads : {2u, 8u}) {
+    exec::Pool pool(threads);
+    const auto r = detect_components(d.sequences, survivors, 3,
+                                     mpsim::MachineModel::free(), {}, &pool);
+    EXPECT_EQ(r.components, golden.components) << "threads=" << threads;
+    EXPECT_EQ(r.run.makespan, golden.run.makespan) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, BruteForceCcdMatchesSerialIncludingStats) {
+  const auto d = make_data(35, 60);
+  std::vector<seq::SeqId> ids(d.sequences.size());
+  for (seq::SeqId i = 0; i < d.sequences.size(); ++i) ids[i] = i;
+  BruteForceStats golden_stats;
+  const auto golden =
+      detect_components_bruteforce(d.sequences, ids, {}, &golden_stats);
+  for (unsigned threads : {2u, 8u}) {
+    exec::Pool pool(threads);
+    BruteForceStats stats;
+    const auto r =
+        detect_components_bruteforce(d.sequences, ids, {}, &stats, &pool);
+    EXPECT_EQ(r, golden) << "threads=" << threads;
+    // Brute force has no order-dependent filter: stats match exactly too.
+    EXPECT_EQ(stats.alignments, golden_stats.alignments);
+    EXPECT_EQ(stats.cells, golden_stats.cells);
+  }
+}
+
+}  // namespace
+}  // namespace pclust::pace

@@ -1,6 +1,7 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "commands.hpp"
 #include "pclust/align/msa.hpp"
@@ -28,6 +29,8 @@ int cmd_families(int argc, const char* const* argv) {
                  "simulated BG/L ranks for RR+CCD (0 = serial)");
   options.define("dsd-processors", "0",
                  "simulated Xeon ranks for batched DSD (0 = serial)");
+  options.define("threads", "1",
+                 "real worker threads for every phase (0 = all cores)");
   options.define("out", "", "write families as a clustering file");
   options.define_flag("mask", "SEG-style low-complexity masking of input");
   options.define("show-alignments", "0",
@@ -61,6 +64,9 @@ int cmd_families(int argc, const char* const* argv) {
   config.mask_low_complexity = options.get_flag("mask");
   config.dsd_processors =
       static_cast<int>(options.get_int("dsd-processors"));
+  const long long threads = options.get_int("threads");
+  if (threads < 0) throw std::runtime_error("--threads must be >= 0");
+  config.threads = static_cast<unsigned>(threads);
   const std::string reduction = options.get("reduction");
   if (reduction == "bm") {
     config.reduction = bigraph::Reduction::kMatchBased;

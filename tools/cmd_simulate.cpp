@@ -1,6 +1,9 @@
 #include <cstdio>
 
+#include <stdexcept>
+
 #include "commands.hpp"
+#include "pclust/exec/pool.hpp"
 #include "pclust/mpsim/machine_model.hpp"
 #include "pclust/pace/components.hpp"
 #include "pclust/pace/redundancy.hpp"
@@ -22,6 +25,8 @@ int cmd_simulate(int argc, const char* const* argv) {
   options.define("psi", "10", "min exact-match length");
   options.define("band", "32", "CCD band (RR always runs full DP)");
   options.define("seed", "42", "workload seed");
+  options.define("threads", "1",
+                 "real worker threads per simulation (0 = all cores)");
   options.parse(argc, argv);
   if (options.help_requested()) {
     std::fputs(options
@@ -54,6 +59,11 @@ int cmd_simulate(int argc, const char* const* argv) {
   pace::PaceParams rr_params = ccd_params;
   rr_params.band = 0;
 
+  const long long threads = options.get_int("threads");
+  if (threads < 0) throw std::runtime_error("--threads must be >= 0");
+  exec::Pool pool(static_cast<unsigned>(threads));
+  exec::Pool* pool_arg = pool.size() > 1 ? &pool : nullptr;
+
   util::Table table({"p", "RR (s)", "CCD (s)", "total (s)", "RR share",
                      "aligned pairs"});
   table.set_title(util::format("Simulated %s, n = %zu", model.name.c_str(),
@@ -61,9 +71,10 @@ int cmd_simulate(int argc, const char* const* argv) {
   for (const std::string& token :
        util::split(options.get("processors"), ',')) {
     const int p = static_cast<int>(std::stol(std::string(util::trim(token))));
-    const auto rr = pace::remove_redundant(sequences, p, model, rr_params);
+    const auto rr =
+        pace::remove_redundant(sequences, p, model, rr_params, pool_arg);
     const auto ccd = pace::detect_components(sequences, rr.survivors(), p,
-                                             model, ccd_params);
+                                             model, ccd_params, pool_arg);
     const double total = rr.run.makespan + ccd.run.makespan;
     table.add_row(
         {std::to_string(p), util::format("%.2f", rr.run.makespan),
