@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + ctest, then the real-thread execution
-# layer (exec pool, pooled pace drivers) under ThreadSanitizer.
+# layer (exec pool, pooled pace drivers, fault-injected runtime) under
+# ThreadSanitizer, the memory-facing suites under ASan+UBSan, and a CLI
+# fault/checkpoint smoke matrix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,9 +11,50 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 # Data-race check. Only the thread-touching suites are worth the TSan
-# slowdown: the pool itself, and the batched/pooled PaCE paths.
+# slowdown: the pool itself, the batched/pooled PaCE paths, and the
+# fault-injected simulator runtime (failure marks cross threads).
 cmake --preset tsan
-cmake --build build-tsan -j --target test_exec test_pace
+cmake --build build-tsan -j --target test_exec test_pace test_mpsim
 (cd build-tsan
  ./tests/test_exec
- ./tests/test_pace --gtest_filter='Determinism*')
+ ./tests/test_pace --gtest_filter='Determinism*:FaultTolerance*'
+ ./tests/test_mpsim)
+
+# Memory-error check. The suites that parse untrusted bytes (FASTA,
+# checkpoints) and the self-healing engine run under ASan+UBSan.
+cmake --preset asan
+cmake --build build-asan -j --target test_util test_seq test_mpsim test_pace \
+  test_pipeline
+(cd build-asan
+ ./tests/test_util
+ ./tests/test_seq
+ ./tests/test_mpsim
+ ./tests/test_pace --gtest_filter='FaultTolerance*'
+ ./tests/test_pipeline --gtest_filter='CheckpointResumeTest*')
+
+# CLI fault/checkpoint smoke matrix: crash healing, kill-and-resume, and
+# the documented exit codes.
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+pclust=build/tools/pclust
+
+"$pclust" generate --n 300 --families 5 --seed 7 --out "$smoke/in.fa" \
+  --truth "$smoke/truth.tsv" >/dev/null
+"$pclust" simulate "$smoke/in.fa" --processors 4 --crash 1@0.01 \
+  --drop 0.2 --dup 0.2 --straggle 2@3 >/dev/null
+"$pclust" families "$smoke/in.fa" --checkpoint-dir "$smoke/ckpt" \
+  --out "$smoke/a.tsv" >/dev/null
+"$pclust" families "$smoke/in.fa" --checkpoint-dir "$smoke/ckpt" --resume \
+  --out "$smoke/b.tsv" >/dev/null
+cmp "$smoke/a.tsv" "$smoke/b.tsv"
+
+rc=0; "$pclust" families "$smoke/missing.fa" 2>/dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 for missing input, got $rc"; exit 1; }
+rc=0; "$pclust" families --psi 0 "$smoke/in.fa" 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for --psi 0, got $rc"; exit 1; }
+rc=0; "$pclust" generate --n 300 --families 5 --seed 8 --out "$smoke/other.fa" >/dev/null \
+  && "$pclust" families "$smoke/other.fa" --checkpoint-dir "$smoke/ckpt" \
+     --resume 2>/dev/null || rc=$?
+[ "$rc" -eq 4 ] || { echo "expected exit 4 for fingerprint mismatch, got $rc"; exit 1; }
+
+echo "check.sh: all green"

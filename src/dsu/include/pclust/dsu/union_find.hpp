@@ -45,6 +45,17 @@ class UnionFind {
   [[nodiscard]] std::vector<std::vector<std::uint32_t>> extract_sets(
       std::size_t min_size = 1) const;
 
+  /// Snapshot the parent forest for serialization. The exact pointers
+  /// depend on merge/find history, but the encoded PARTITION does not.
+  [[nodiscard]] const std::vector<std::uint32_t>& parents() const {
+    return parent_;
+  }
+
+  /// Rebuild from a parents() snapshot: recomputes set sizes and the set
+  /// count from the forest. Throws std::invalid_argument if any parent
+  /// index is out of range or the pointers contain a cycle.
+  void restore(std::vector<std::uint32_t> parents);
+
  private:
   mutable std::vector<std::uint32_t> parent_;
   std::vector<std::uint32_t> size_;

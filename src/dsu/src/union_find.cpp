@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 namespace pclust::dsu {
 
@@ -31,6 +32,36 @@ bool UnionFind::merge(std::uint32_t a, std::uint32_t b) {
   size_[ra] += size_[rb];
   --set_count_;
   return true;
+}
+
+void UnionFind::restore(std::vector<std::uint32_t> parents) {
+  const std::size_t n = parents.size();
+  for (const std::uint32_t parent : parents) {
+    if (parent >= n) {
+      throw std::invalid_argument(
+          "UnionFind::restore: parent index out of range");
+    }
+  }
+  // A valid forest reaches a self-parent root from every node within n
+  // steps; anything longer means the snapshot encodes a cycle.
+  for (std::uint32_t x = 0; x < n; ++x) {
+    std::uint32_t cur = x;
+    std::size_t steps = 0;
+    while (parents[cur] != cur) {
+      cur = parents[cur];
+      if (++steps > n) {
+        throw std::invalid_argument(
+            "UnionFind::restore: parent pointers contain a cycle");
+      }
+    }
+  }
+  parent_ = std::move(parents);
+  size_.assign(n, 0u);
+  set_count_ = 0;
+  for (std::uint32_t x = 0; x < n; ++x) {
+    const std::uint32_t root = find(x);
+    if (size_[root]++ == 0) ++set_count_;
+  }
 }
 
 std::vector<std::vector<std::uint32_t>> UnionFind::extract_sets(

@@ -16,6 +16,7 @@
 
 #include <any>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -25,6 +26,13 @@
 namespace pclust::mpsim {
 
 class Transport;  // internal shared state (runtime.cpp)
+
+/// Outcome of a status-reporting receive (see Communicator::recv_status).
+enum class RecvStatus {
+  kOk = 0,        ///< a matching message was received
+  kRankFailed,    ///< the awaited peer failed and left no matching message
+  kTimeout,       ///< the wall-clock timeout expired first
+};
 
 struct Message {
   int src = -1;
@@ -54,7 +62,13 @@ class VirtualClock {
 
 class Communicator {
  public:
-  Communicator(Transport& transport, int rank, const MachineModel& model);
+  /// @p crash_at / @p compute_factor implement the fault plan: the rank
+  /// throws RankCrashed the first time its virtual clock reaches
+  /// @p crash_at, and every compute charge is scaled by @p compute_factor
+  /// (straggler model). The defaults are fault-free.
+  Communicator(Transport& transport, int rank, const MachineModel& model,
+               double crash_at = std::numeric_limits<double>::infinity(),
+               double compute_factor = 1.0);
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
@@ -65,18 +79,29 @@ class Communicator {
   [[nodiscard]] VirtualClock& clock() { return clock_; }
   [[nodiscard]] const VirtualClock& clock() const { return clock_; }
 
+  /// True while @p rank has neither crashed nor errored out.
+  [[nodiscard]] bool peer_alive(int rank) const;
+
   // -- compute cost charging ------------------------------------------------
   void charge_cells(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.cell_cost);
+    clock_.advance(static_cast<double>(n) * model_.cell_cost *
+                   compute_factor_);
+    check_crash();
   }
   void charge_index_chars(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.index_char_cost);
+    clock_.advance(static_cast<double>(n) * model_.index_char_cost *
+                   compute_factor_);
+    check_crash();
   }
   void charge_pairs(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.pair_cost);
+    clock_.advance(static_cast<double>(n) * model_.pair_cost *
+                   compute_factor_);
+    check_crash();
   }
   void charge_finds(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.find_cost);
+    clock_.advance(static_cast<double>(n) * model_.find_cost *
+                   compute_factor_);
+    check_crash();
   }
 
   // -- point-to-point -------------------------------------------------------
@@ -86,7 +111,20 @@ class Communicator {
 
   /// Blocking receive of the next message from @p src with tag @p tag
   /// (FIFO per src/tag). Advances this rank's clock to the arrival time.
+  /// Throws RankFailedError if @p src fails while nothing matching remains
+  /// queued — so a blocked survivor observes the failure instead of
+  /// deadlocking. Fault-aware protocols should prefer recv_status.
   Message recv(int src, int tag);
+
+  /// Failure-aware receive: blocks until a matching message arrives (kOk,
+  /// message stored in @p out, clock advanced), the awaited peer is marked
+  /// failed with no matching message left (kRankFailed), or
+  /// @p timeout_seconds of WALL-clock time pass (kTimeout; < 0 waits
+  /// forever). The timeout is a liveness backstop for hung ranks: virtual
+  /// time is not advanced on kRankFailed/kTimeout, so timeouts left unused
+  /// preserve bit-identical virtual timing.
+  RecvStatus recv_status(int src, int tag, Message& out,
+                         double timeout_seconds = -1.0);
 
   /// True if a matching message is already queued (does not block or
   /// advance the clock).
@@ -124,10 +162,18 @@ class Communicator {
   }
 
  private:
+  /// Dies (throws RankCrashed, marks the rank failed in the transport) once
+  /// the virtual clock has reached the planned crash time. Called on every
+  /// charge and at the top of every communication operation.
+  void check_crash();
+
   Transport& transport_;
   int rank_;
   const MachineModel& model_;
   VirtualClock clock_;
+  double crash_at_;
+  double compute_factor_;
+  bool crashed_ = false;
   std::map<std::string, std::uint64_t> counters_;
 };
 

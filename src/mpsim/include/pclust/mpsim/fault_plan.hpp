@@ -1,0 +1,132 @@
+// Deterministic fault injection for the message-passing simulator.
+//
+// A FaultPlan describes, ahead of a run, every fault the simulated machine
+// will experience. All injection is a pure function of (plan, virtual time,
+// per-link message ordinal), never of wall-clock thread interleaving, so a
+// given (plan, workload) pair reproduces the same faulted execution — and
+// the same RunResult — on every replay.
+//
+// Fault model (documented in DESIGN.md "Fault model & checkpoint format"):
+//   - Rank crash: the rank's thread dies (throws RankCrashed, recorded in
+//     RunResult::crashed_ranks) the first time its VIRTUAL clock reaches
+//     `at_virtual_time`. Messages it sent before dying stay deliverable;
+//     peers blocked on it observe RecvStatus::kRankFailed instead of
+//     deadlocking.
+//   - Message drop: the link layer is modelled as reliable-with-retransmit
+//     (the paper's MPI runs on a reliable torus): a "dropped" copy costs a
+//     retransmission delay added to the arrival stamp rather than silent
+//     loss, so timing degrades but payloads are never destroyed. Only
+//     application messages (tag >= 0) are perturbed; internal collective
+//     tags ride the reliable layer untouched.
+//   - Message duplication: the message is delivered twice (the classic
+//     at-least-once failure); protocols on top must deduplicate (the PaCE
+//     engine carries sequence numbers and applies verdicts idempotently).
+//   - Straggler: a per-rank multiplier on every compute charge — the rank
+//     is slow, not dead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pclust::mpsim {
+
+struct FaultPlan {
+  /// Seeds the per-message drop/duplication decisions.
+  std::uint64_t seed = 0;
+
+  struct Crash {
+    int rank = -1;
+    /// The rank dies the first time its virtual clock is >= this.
+    double at_virtual_time = 0.0;
+  };
+  std::vector<Crash> crashes;
+
+  /// Per-message probability that a copy is dropped in flight; each dropped
+  /// copy adds `retransmit_delay` to the arrival stamp (reliable link with
+  /// retransmission, see header comment). In [0, 1).
+  double drop_probability = 0.0;
+  /// Virtual seconds added per dropped copy.
+  double retransmit_delay = 1e-3;
+
+  /// Per-message probability of a duplicate delivery. In [0, 1).
+  double duplicate_probability = 0.0;
+
+  /// Per-rank compute slowdown multipliers; ranks beyond the vector (or
+  /// with values <= 0) run at factor 1.
+  std::vector<double> straggler_factor;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && drop_probability <= 0.0 &&
+           duplicate_probability <= 0.0 && straggler_factor.empty();
+  }
+
+  /// Earliest planned crash time for @p rank; +inf when it never crashes.
+  [[nodiscard]] double crash_time(int rank) const {
+    double at = std::numeric_limits<double>::infinity();
+    for (const Crash& c : crashes) {
+      if (c.rank == rank && c.at_virtual_time < at) at = c.at_virtual_time;
+    }
+    return at;
+  }
+
+  [[nodiscard]] double slowdown(int rank) const {
+    const auto i = static_cast<std::size_t>(rank);
+    if (rank < 0 || i >= straggler_factor.size()) return 1.0;
+    return straggler_factor[i] > 0.0 ? straggler_factor[i] : 1.0;
+  }
+
+  /// Throws std::invalid_argument if the plan is malformed for @p p ranks.
+  void validate(int p) const {
+    for (const Crash& c : crashes) {
+      if (c.rank < 0 || c.rank >= p) {
+        throw std::invalid_argument(
+            "FaultPlan: crash rank " + std::to_string(c.rank) +
+            " out of range for p=" + std::to_string(p));
+      }
+    }
+    if (drop_probability < 0.0 || drop_probability >= 1.0 ||
+        duplicate_probability < 0.0 || duplicate_probability >= 1.0) {
+      throw std::invalid_argument(
+          "FaultPlan: probabilities must lie in [0, 1)");
+    }
+    if (retransmit_delay < 0.0) {
+      throw std::invalid_argument("FaultPlan: retransmit_delay must be >= 0");
+    }
+  }
+};
+
+/// Thrown inside a rank when its planned crash time is reached. Interception
+/// is internal: mpsim::run records the rank in RunResult::crashed_ranks and
+/// does NOT propagate this to the caller.
+class RankCrashed : public std::runtime_error {
+ public:
+  explicit RankCrashed(int rank)
+      : std::runtime_error("mpsim: rank " + std::to_string(rank) +
+                           " crashed (fault plan)"),
+        rank_(rank) {}
+  [[nodiscard]] int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Thrown by the plain (non-status) recv when the awaited peer has failed
+/// and no matching message remains — the legacy blocking API's way of
+/// observing a failure instead of deadlocking. Fault-aware protocols use
+/// Communicator::recv_status and get RecvStatus::kRankFailed instead.
+class RankFailedError : public std::runtime_error {
+ public:
+  explicit RankFailedError(int rank)
+      : std::runtime_error("mpsim: peer rank " + std::to_string(rank) +
+                           " failed while a message from it was awaited"),
+        rank_(rank) {}
+  [[nodiscard]] int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+}  // namespace pclust::mpsim

@@ -4,20 +4,42 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "pclust/mpsim/communicator.hpp"
+#include "pclust/mpsim/fault_plan.hpp"
 
 namespace pclust::mpsim {
 
+/// A rank function terminated with an exception. Carries the failing rank's
+/// id; the original exception is nested (std::rethrow_if_nested recovers
+/// it). When several ranks throw concurrently, the lowest-numbered
+/// non-secondary failure wins — all threads are joined either way.
+class RankError : public std::runtime_error {
+ public:
+  RankError(int rank, const std::string& what)
+      : std::runtime_error("mpsim: rank " + std::to_string(rank) +
+                           " failed: " + what),
+        rank_(rank) {}
+  [[nodiscard]] int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
 struct RunResult {
-  /// Final virtual clock of each rank, seconds.
+  /// Final virtual clock of each rank, seconds (crashed ranks report the
+  /// clock at their death).
   std::vector<double> rank_times;
   /// max(rank_times): the simulated parallel run-time of the phase.
   double makespan = 0.0;
   /// Per-rank counters summed over all ranks.
   std::map<std::string, std::uint64_t> counters;
+  /// Ranks that died to a planned FaultPlan crash (ascending). Always empty
+  /// for fault-free runs.
+  std::vector<int> crashed_ranks;
 
   [[nodiscard]] std::uint64_t counter(const std::string& key) const {
     const auto it = counters.find(key);
@@ -26,10 +48,20 @@ struct RunResult {
 };
 
 /// Execute @p fn on @p p ranks (each a real thread) against @p model.
-/// Returns once every rank function has returned. Exceptions thrown by any
-/// rank are rethrown here (the first one, by rank order) after all threads
-/// have been joined.
+/// Returns once every rank function has returned. An exception thrown by a
+/// rank is rethrown here wrapped in RankError{rank, what} (the original
+/// nested inside) after ALL threads have been joined; with several
+/// concurrent failures the lowest-ranked original error wins over
+/// secondary Aborted unwinds.
 RunResult run(int p, const MachineModel& model,
+              const std::function<void(Communicator&)>& fn);
+
+/// Fault-injected variant: runs @p fn under @p plan (seeded crashes,
+/// message drop/duplication, stragglers — see fault_plan.hpp). Planned
+/// crashes are recorded in RunResult::crashed_ranks, NOT rethrown; real
+/// errors still surface as RankError. Throws std::invalid_argument on a
+/// malformed plan.
+RunResult run(int p, const MachineModel& model, const FaultPlan& plan,
               const std::function<void(Communicator&)>& fn);
 
 }  // namespace pclust::mpsim

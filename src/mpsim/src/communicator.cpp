@@ -25,13 +25,30 @@ int tree_depth(int p) {
 }  // namespace
 
 Communicator::Communicator(Transport& transport, int rank,
-                           const MachineModel& model)
-    : transport_(transport), rank_(rank), model_(model) {}
+                           const MachineModel& model, double crash_at,
+                           double compute_factor)
+    : transport_(transport),
+      rank_(rank),
+      model_(model),
+      crash_at_(crash_at),
+      compute_factor_(compute_factor) {}
 
 int Communicator::size() const { return transport_.size(); }
 
+bool Communicator::peer_alive(int rank) const {
+  return transport_.alive(rank);
+}
+
+void Communicator::check_crash() {
+  if (crashed_ || clock_.now() < crash_at_) return;
+  crashed_ = true;
+  transport_.mark_failed(rank_);
+  throw RankCrashed(rank_);
+}
+
 void Communicator::send(int dst, int tag, std::any payload,
                         std::uint64_t bytes) {
+  check_crash();
   // Sender pays the injection overhead; the receiver's clock is advanced at
   // take time from the stamp.
   clock_.advance(model_.latency);
@@ -45,10 +62,23 @@ void Communicator::send(int dst, int tag, std::any payload,
 }
 
 Message Communicator::recv(int src, int tag) {
+  check_crash();
   Message msg = transport_.take(rank_, src, tag);
   clock_.advance_to(msg.send_time + model_.latency +
                     static_cast<double>(msg.bytes) * model_.byte_cost);
   return msg;
+}
+
+RecvStatus Communicator::recv_status(int src, int tag, Message& out,
+                                     double timeout_seconds) {
+  check_crash();
+  const RecvStatus status =
+      transport_.take_status(rank_, src, tag, out, timeout_seconds);
+  if (status == RecvStatus::kOk) {
+    clock_.advance_to(out.send_time + model_.latency +
+                      static_cast<double>(out.bytes) * model_.byte_cost);
+  }
+  return status;
 }
 
 bool Communicator::poll(int src, int tag) const {
@@ -56,6 +86,7 @@ bool Communicator::poll(int src, int tag) const {
 }
 
 void Communicator::barrier() {
+  check_crash();
   const double released = transport_.barrier_wait(clock_.now());
   clock_.advance_to(released +
                     2.0 * model_.latency * tree_depth(size()));
@@ -63,6 +94,7 @@ void Communicator::barrier() {
 
 std::any Communicator::broadcast(int root, std::any payload,
                                  std::uint64_t bytes) {
+  check_crash();
   const int depth = tree_depth(size());
   if (rank_ == root) {
     // Binomial-tree time model: every rank has the payload after `depth`
@@ -88,6 +120,7 @@ std::any Communicator::broadcast(int root, std::any payload,
 }
 
 double Communicator::allreduce_max(double value) {
+  check_crash();
   // Gather to rank 0, then broadcast; O(p) messages but tree-shaped time.
   const int depth = tree_depth(size());
   const double per_round = model_.latency + 8.0 * model_.byte_cost;
@@ -115,6 +148,7 @@ double Communicator::allreduce_max(double value) {
 }
 
 double Communicator::allreduce_sum(double value) {
+  check_crash();
   // Same topology as allreduce_max; only the combiner differs.
   const int depth = tree_depth(size());
   const double per_round = model_.latency + 8.0 * model_.byte_cost;
@@ -143,6 +177,7 @@ double Communicator::allreduce_sum(double value) {
 
 std::vector<std::any> Communicator::gather(int root, std::any payload,
                                            std::uint64_t bytes) {
+  check_crash();
   const int depth = tree_depth(size());
   if (rank_ == root) {
     std::vector<std::any> out(static_cast<std::size_t>(size()));
@@ -172,6 +207,7 @@ std::vector<std::any> Communicator::gather(int root, std::any payload,
 
 std::any Communicator::scatter(int root, std::vector<std::any> payloads,
                                std::uint64_t bytes_each) {
+  check_crash();
   if (rank_ == root) {
     if (payloads.size() != static_cast<std::size_t>(size())) {
       throw std::invalid_argument(

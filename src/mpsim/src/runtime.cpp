@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -10,47 +12,75 @@
 
 namespace pclust::mpsim {
 
-RunResult run(int p, const MachineModel& model,
-              const std::function<void(Communicator&)>& fn) {
-  if (p < 1) throw std::invalid_argument("mpsim::run: p must be >= 1");
+namespace {
 
-  Transport transport(p);
+RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
+                   const std::function<void(Communicator&)>& fn) {
+  if (p < 1) throw std::invalid_argument("mpsim::run: p must be >= 1");
+  if (plan) plan->validate(p);
+
+  Transport transport(p, plan);
   std::vector<std::unique_ptr<Communicator>> comms;
   comms.reserve(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
-    comms.push_back(std::make_unique<Communicator>(transport, r, model));
+    const double crash_at =
+        plan ? plan->crash_time(r) : std::numeric_limits<double>::infinity();
+    const double factor = plan ? plan->slowdown(r) : 1.0;
+    comms.push_back(
+        std::make_unique<Communicator>(transport, r, model, crash_at, factor));
   }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  std::vector<int> crashed;
+  std::mutex crashed_mutex;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
       try {
         fn(*comms[static_cast<std::size_t>(r)]);
+      } catch (const RankCrashed&) {
+        // Planned fault: the Communicator already marked the rank failed in
+        // the transport; survivors keep running.
+        std::lock_guard<std::mutex> lock(crashed_mutex);
+        crashed.push_back(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         transport.abort();  // release peers blocked in recv/barrier
       }
     });
   }
+  // Join every thread before touching errors — even when several ranks
+  // throw concurrently.
   for (auto& t : threads) t.join();
 
-  // Prefer the original failure over secondary Aborted unwinds.
-  std::exception_ptr aborted;
-  for (const auto& e : errors) {
+  // Prefer the lowest-ranked original failure over secondary Aborted
+  // unwinds, and attach the failing rank's id to what escapes.
+  int aborted_rank = -1;
+  for (int r = 0; r < p; ++r) {
+    const auto& e = errors[static_cast<std::size_t>(r)];
     if (!e) continue;
     try {
       std::rethrow_exception(e);
     } catch (const Aborted&) {
-      if (!aborted) aborted = e;
+      if (aborted_rank < 0) aborted_rank = r;
+    } catch (const std::exception& ex) {
+      std::throw_with_nested(RankError(r, ex.what()));
     } catch (...) {
-      std::rethrow_exception(e);
+      std::throw_with_nested(RankError(r, "unknown exception"));
     }
   }
-  if (aborted) std::rethrow_exception(aborted);
+  if (aborted_rank >= 0) {
+    try {
+      std::rethrow_exception(errors[static_cast<std::size_t>(aborted_rank)]);
+    } catch (const std::exception& ex) {
+      std::throw_with_nested(RankError(aborted_rank, ex.what()));
+    }
+  }
 
   RunResult result;
+  std::sort(crashed.begin(), crashed.end());
+  result.crashed_ranks = std::move(crashed);
   result.rank_times.reserve(static_cast<std::size_t>(p));
   for (const auto& comm : comms) {
     result.rank_times.push_back(comm->clock().now());
@@ -60,6 +90,18 @@ RunResult run(int p, const MachineModel& model,
     }
   }
   return result;
+}
+
+}  // namespace
+
+RunResult run(int p, const MachineModel& model,
+              const std::function<void(Communicator&)>& fn) {
+  return run_impl(p, model, nullptr, fn);
+}
+
+RunResult run(int p, const MachineModel& model, const FaultPlan& plan,
+              const std::function<void(Communicator&)>& fn) {
+  return run_impl(p, model, &plan, fn);
 }
 
 }  // namespace pclust::mpsim

@@ -1,9 +1,11 @@
-// Internal shared state of the simulator: mailboxes, barrier, abort flag.
+// Internal shared state of the simulator: mailboxes, barrier, abort flag,
+// per-rank failure flags, and the fault-injection hooks.
 // Not installed; Communicator and runtime share it.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <list>
 #include <mutex>
@@ -11,10 +13,13 @@
 #include <vector>
 
 #include "pclust/mpsim/communicator.hpp"
+#include "pclust/mpsim/fault_plan.hpp"
+#include "pclust/util/rng.hpp"
 
 namespace pclust::mpsim {
 
-/// Thrown into ranks blocked on recv/barrier when another rank failed.
+/// Thrown into ranks blocked on recv/barrier when another rank failed with a
+/// real (unplanned) error and the whole run is being torn down.
 class Aborted : public std::runtime_error {
  public:
   Aborted() : std::runtime_error("mpsim: run aborted by a peer failure") {}
@@ -22,32 +27,109 @@ class Aborted : public std::runtime_error {
 
 class Transport {
  public:
-  explicit Transport(int p) : size_(p), mailboxes_(static_cast<std::size_t>(p)) {}
+  explicit Transport(int p, const FaultPlan* plan = nullptr)
+      : size_(p),
+        alive_(static_cast<std::size_t>(p)),
+        mailboxes_(static_cast<std::size_t>(p)),
+        links_(static_cast<std::size_t>(p) * static_cast<std::size_t>(p)) {
+    for (auto& a : alive_) a.store(true, std::memory_order_relaxed);
+    alive_count_ = p;
+    if (plan) plan_ = *plan;
+  }
 
   [[nodiscard]] int size() const { return size_; }
 
+  [[nodiscard]] bool alive(int rank) const {
+    return alive_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+
   void deliver(int dst, Message msg) {
+    // Fault injection applies only to application messages (tag >= 0);
+    // internal collective tags ride the reliable layer untouched. Decisions
+    // hash (seed, src, dst, per-link ordinal) so they are independent of
+    // wall-clock thread interleaving: each link's stream is produced by one
+    // sender thread in program order.
+    bool duplicate = false;
+    if (msg.tag >= 0 &&
+        (plan_.drop_probability > 0.0 || plan_.duplicate_probability > 0.0)) {
+      auto& box = mailboxes_[static_cast<std::size_t>(dst)];
+      std::uint64_t ordinal;
+      {
+        std::lock_guard<std::mutex> lock(box.mutex);
+        ordinal = links_[static_cast<std::size_t>(msg.src) *
+                             static_cast<std::size_t>(size_) +
+                         static_cast<std::size_t>(dst)]++;
+      }
+      util::SplitMix64 rng(plan_.seed ^
+                           (static_cast<std::uint64_t>(msg.src) << 40) ^
+                           (static_cast<std::uint64_t>(dst) << 20) ^ ordinal);
+      const auto unit = [&rng] {
+        return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+      };
+      // Reliable-with-retransmit link: every dropped copy delays arrival by
+      // one retransmission round trip; the payload is never destroyed.
+      while (plan_.drop_probability > 0.0 && unit() < plan_.drop_probability) {
+        msg.send_time += plan_.retransmit_delay;
+      }
+      duplicate = plan_.duplicate_probability > 0.0 &&
+                  unit() < plan_.duplicate_probability;
+    }
+
     auto& box = mailboxes_[static_cast<std::size_t>(dst)];
     {
       std::lock_guard<std::mutex> lock(box.mutex);
-      box.queue.push_back(std::move(msg));
+      box.queue.push_back(msg);
+      if (duplicate) box.queue.push_back(std::move(msg));
     }
     box.cv.notify_all();
   }
 
   Message take(int dst, int src, int tag) {
+    Message msg;
+    switch (take_status(dst, src, tag, msg, -1.0)) {
+      case RecvStatus::kOk:
+        return msg;
+      case RecvStatus::kRankFailed:
+        throw RankFailedError(src);
+      case RecvStatus::kTimeout:
+      default:
+        throw std::logic_error("mpsim: untimed take timed out");
+    }
+  }
+
+  /// Wait for a message from (src, tag). Returns kOk with the message,
+  /// kRankFailed once src is marked failed and no matching message remains,
+  /// or kTimeout after @p timeout_seconds of WALL-clock waiting (< 0 waits
+  /// forever). Queued messages always win over a concurrent failure mark:
+  /// everything a rank sent before dying stays deliverable.
+  RecvStatus take_status(int dst, int src, int tag, Message& out,
+                         double timeout_seconds) {
     auto& box = mailboxes_[static_cast<std::size_t>(dst)];
     std::unique_lock<std::mutex> lock(box.mutex);
+    const auto deadline =
+        timeout_seconds >= 0.0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(timeout_seconds))
+            : std::chrono::steady_clock::time_point::max();
     while (true) {
       if (aborted_.load(std::memory_order_acquire)) throw Aborted();
       for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
         if (it->src == src && it->tag == tag) {
-          Message msg = std::move(*it);
+          out = std::move(*it);
           box.queue.erase(it);
-          return msg;
+          return RecvStatus::kOk;
         }
       }
-      box.cv.wait(lock);
+      if (!alive(src)) return RecvStatus::kRankFailed;
+      if (timeout_seconds >= 0.0) {
+        if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+          return RecvStatus::kTimeout;
+        }
+      } else {
+        box.cv.wait(lock);
+      }
     }
   }
 
@@ -60,18 +142,15 @@ class Transport {
     return false;
   }
 
-  /// Generation barrier; returns the released virtual time (max over
-  /// participants' arrival times).
+  /// Generation barrier over the ranks still alive; returns the released
+  /// virtual time (max over participants' arrival times). A rank dying
+  /// while peers wait releases the generation (see mark_failed).
   double barrier_wait(double arrival_time) {
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     const std::uint64_t my_generation = barrier_generation_;
     barrier_max_ = std::max(barrier_max_, arrival_time);
-    if (++barrier_count_ == size_) {
-      barrier_count_ = 0;
-      barrier_release_ = barrier_max_;
-      barrier_max_ = 0.0;
-      ++barrier_generation_;
-      barrier_cv_.notify_all();
+    if (++barrier_count_ >= alive_count_) {
+      release_barrier_locked();
     } else {
       barrier_cv_.wait(lock, [&] {
         return barrier_generation_ != my_generation ||
@@ -82,9 +161,32 @@ class Transport {
     return barrier_release_;
   }
 
+  /// Mark @p rank dead (planned crash): wake every blocked receiver so it
+  /// can re-evaluate, and release a barrier generation the dead rank will
+  /// never join. Survivors keep running — this is NOT abort().
+  void mark_failed(int rank) {
+    alive_[static_cast<std::size_t>(rank)].store(false,
+                                                 std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(barrier_mutex_);
+      --alive_count_;
+      if (barrier_count_ > 0 && barrier_count_ >= alive_count_) {
+        release_barrier_locked();
+      }
+    }
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.cv.notify_all();
+    }
+    barrier_cv_.notify_all();
+  }
+
   void abort() {
     aborted_.store(true, std::memory_order_release);
-    for (auto& box : mailboxes_) box.cv.notify_all();
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.cv.notify_all();
+    }
     barrier_cv_.notify_all();
   }
 
@@ -92,7 +194,17 @@ class Transport {
     return aborted_.load(std::memory_order_acquire);
   }
 
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
  private:
+  void release_barrier_locked() {
+    barrier_count_ = 0;
+    barrier_release_ = barrier_max_;
+    barrier_max_ = 0.0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  }
+
   struct Mailbox {
     mutable std::mutex mutex;
     std::condition_variable cv;
@@ -100,11 +212,17 @@ class Transport {
   };
 
   int size_;
+  std::vector<std::atomic<bool>> alive_;
   mutable std::vector<Mailbox> mailboxes_;
+  /// Per-(src, dst) message ordinals for deterministic fault decisions;
+  /// guarded by the destination mailbox mutex.
+  std::vector<std::uint64_t> links_;
+  FaultPlan plan_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
+  int alive_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
   double barrier_max_ = 0.0;
   double barrier_release_ = 0.0;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "pclust/mpsim/runtime.hpp"
@@ -34,18 +35,36 @@ struct ComponentsResult {
 /// Parallel (simulated, p >= 2) component detection over @p ids.
 /// @p pool (optional) runs index construction and verdict batches on real
 /// threads; the result is identical to pool = nullptr (see engine.hpp).
+/// @p plan (optional) injects faults; the engine heals worker crashes and
+/// the component partition stays BIT-IDENTICAL to the fault-free run —
+/// the partition is the transitive closure of accepted overlaps, which is
+/// schedule and fault invariant as long as every pair reaches the master.
 ComponentsResult detect_components(const seq::SequenceSet& set,
                                    const std::vector<seq::SeqId>& ids, int p,
                                    const mpsim::MachineModel& model,
                                    const PaceParams& params = {},
-                                   exec::Pool* pool = nullptr);
+                                   exec::Pool* pool = nullptr,
+                                   const mpsim::FaultPlan* plan = nullptr);
+
+/// Mid-stream CCD progress: the master's union–find forest plus the pair
+/// stream watermark. Pairs [0, next_pair) are folded into @p parents.
+struct CcdProgress {
+  std::vector<std::uint32_t> parents;
+  std::uint64_t next_pair = 0;
+};
 
 /// Serial driver with identical semantics. With a pool, verdicts are
 /// batched onto real threads; the final component partition is identical to
 /// the pure serial run.
-ComponentsResult detect_components_serial(const seq::SequenceSet& set,
-                                          const std::vector<seq::SeqId>& ids,
-                                          const PaceParams& params = {},
-                                          exec::Pool* pool = nullptr);
+/// @p resume (optional) restores union–find state from a CcdProgress
+/// snapshot and skips the already-folded prefix of the pair stream;
+/// @p checkpoint_stride > 0 invokes @p on_checkpoint with a fresh snapshot
+/// roughly every that many pairs. The resumed partition is bit-identical
+/// to an uninterrupted run.
+ComponentsResult detect_components_serial(
+    const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
+    const PaceParams& params = {}, exec::Pool* pool = nullptr,
+    const CcdProgress* resume = nullptr, std::uint64_t checkpoint_stride = 0,
+    const std::function<void(const CcdProgress&)>& on_checkpoint = nullptr);
 
 }  // namespace pclust::pace

@@ -33,6 +33,13 @@ struct PaceParams {
   /// (low-complexity guard; 0 = unlimited).
   std::uint32_t max_node_occurrences = 50'000;
 
+  /// Master-side liveness backstop, WALL-clock seconds: a worker that stays
+  /// silent this long is declared failed and its work is reassigned exactly
+  /// as for a crash (it is also sent a final done message in case it is
+  /// merely hung). 0 waits forever — the default, since in the simulator a
+  /// slow-but-healthy thread is indistinguishable from a hung one.
+  double heartbeat_timeout = 0.0;
+
   /// Banded-alignment half width seeded on the maximal-match diagonal;
   /// 0 = full (exact) dynamic programming.
   std::uint32_t band = 0;

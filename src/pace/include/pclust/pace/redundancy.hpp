@@ -34,10 +34,15 @@ struct RedundancyResult {
 /// Parallel (simulated, p >= 2) redundancy removal over all of @p set.
 /// @p pool (optional) runs index construction and verdict batches on real
 /// threads; the result is identical to pool = nullptr (see engine.hpp).
+/// @p plan (optional) injects faults; worker crashes are healed by the
+/// engine. NOTE: unlike CCD, the RR verdict application is order
+/// dependent (removal chains), so the healed result is a VALID redundancy
+/// removal but not necessarily bit-identical to the fault-free one.
 RedundancyResult remove_redundant(const seq::SequenceSet& set, int p,
                                   const mpsim::MachineModel& model,
                                   const PaceParams& params = {},
-                                  exec::Pool* pool = nullptr);
+                                  exec::Pool* pool = nullptr,
+                                  const mpsim::FaultPlan* plan = nullptr);
 
 /// Serial driver: same filter and verdict semantics, no simulation. With a
 /// pool, verdicts are batched onto real threads; the final removed/container

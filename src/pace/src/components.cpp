@@ -27,6 +27,22 @@ class CcdMaster final : public MasterPolicy {
     if (v.code == 1) uf_.merge(dense_.at(v.a), dense_.at(v.b));
   }
 
+  /// Snapshot the union–find forest for checkpointing.
+  [[nodiscard]] const std::vector<std::uint32_t>& parents() const {
+    return uf_.parents();
+  }
+
+  /// Restore a parents() snapshot (resume). Throws std::invalid_argument
+  /// if the snapshot does not match this run's id universe.
+  void restore(const std::vector<std::uint32_t>& parents) {
+    if (parents.size() != ids_.size()) {
+      throw std::invalid_argument(
+          "CCD resume: union–find snapshot size does not match the input "
+          "id set");
+    }
+    uf_.restore(parents);
+  }
+
   [[nodiscard]] std::vector<std::vector<seq::SeqId>> components() const {
     auto sets = uf_.extract_sets();
     std::vector<std::vector<seq::SeqId>> out;
@@ -95,26 +111,42 @@ std::size_t ComponentsResult::sequences_in_min_size(
 ComponentsResult detect_components(const seq::SequenceSet& set,
                                    const std::vector<seq::SeqId>& ids, int p,
                                    const mpsim::MachineModel& model,
-                                   const PaceParams& params,
-                                   exec::Pool* pool) {
+                                   const PaceParams& params, exec::Pool* pool,
+                                   const mpsim::FaultPlan* plan) {
   ComponentsResult result;
   CcdMaster master(ids);
   result.run = run_parallel(
       set, ids, p, model, params, master,
       [&set, &params] { return std::make_unique<CcdWorker>(set, params); },
-      &result.counters, pool);
+      &result.counters, pool, plan);
   result.components = master.components();
   return result;
 }
 
-ComponentsResult detect_components_serial(const seq::SequenceSet& set,
-                                          const std::vector<seq::SeqId>& ids,
-                                          const PaceParams& params,
-                                          exec::Pool* pool) {
+ComponentsResult detect_components_serial(
+    const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
+    const PaceParams& params, exec::Pool* pool, const CcdProgress* resume,
+    std::uint64_t checkpoint_stride,
+    const std::function<void(const CcdProgress&)>& on_checkpoint) {
   ComponentsResult result;
   CcdMaster master(ids);
   CcdWorker worker(set, params);
-  result.counters = run_serial(set, ids, params, master, worker, pool);
+
+  SerialHooks hooks;
+  if (resume) {
+    master.restore(resume->parents);
+    hooks.start_pair = resume->next_pair;
+  }
+  if (checkpoint_stride > 0 && on_checkpoint) {
+    hooks.checkpoint_stride = checkpoint_stride;
+    hooks.checkpoint = [&](std::uint64_t next_pair) {
+      on_checkpoint(CcdProgress{master.parents(), next_pair});
+    };
+  }
+  const bool use_hooks = resume || hooks.checkpoint;
+
+  result.counters = run_serial(set, ids, params, master, worker, pool,
+                               use_hooks ? &hooks : nullptr);
   result.components = master.components();
   return result;
 }

@@ -20,15 +20,30 @@ constexpr int kTagWork = 2;
 // Wire-size estimates for the virtual clock (bytes per element).
 constexpr std::uint64_t kPairBytes = 20;
 constexpr std::uint64_t kVerdictBytes = 9;
+constexpr std::uint64_t kHeaderBytes = 25;  // seq + stream ids + flags
+
+/// A generation stream a worker must (re)play after its original owner
+/// died: the promising pairs of @p origin's bucket share, starting at pair
+/// index @p from (the master's received watermark).
+struct StreamAssign {
+  int origin = -1;
+  std::uint64_t from = 0;
+};
 
 struct RoundMsg {
+  std::uint64_t seq = 0;  // per-worker submission number, 1-based
+  int stream = -1;        // origin rank of `pairs` (-1: none this round)
+  std::uint64_t start = 0;  // index of pairs.front() within that stream
   std::vector<PairTask> pairs;
-  std::vector<Verdict> verdicts;
-  bool exhausted = false;
+  std::vector<Verdict> verdicts;  // answer the work chunk with seq ack_seq
+  std::uint64_t ack_seq = 0;      // 0 = no chunk answered this round
+  bool exhausted = false;         // all assigned streams fully submitted
 };
 
 struct WorkMsg {
+  std::uint64_t seq = 0;  // per-worker order number, 1-based
   std::vector<PairTask> tasks;
+  std::vector<StreamAssign> adopt;  // dead workers' streams to replay
   bool done = false;
 };
 
@@ -90,6 +105,8 @@ struct SharedIndex {
   }
 
   /// All promising pairs owned by @p worker_rank, decreasing match length.
+  /// A pure function of the shared index — any rank can regenerate any
+  /// other rank's stream, which is what makes stream adoption possible.
   /// With a shared pool, owned buckets are enumerated concurrently and the
   /// per-bucket lists concatenated in bucket order, which reproduces the
   /// serial append order exactly (the stable sort then ties on it).
@@ -180,24 +197,122 @@ void evaluate_tasks(const std::vector<PairTask>& tasks, WorkerPolicy& policy,
 
 void master_loop(mpsim::Communicator& comm, const PaceParams& params,
                  MasterPolicy& policy) {
-  const int workers = comm.size() - 1;
+  const int p = comm.size();
+
+  struct WorkerState {
+    bool alive = true;
+    bool exhausted = false;
+    std::uint64_t last_round_seq = 0;  // highest RoundMsg seq consumed
+    std::uint64_t work_seq = 0;        // seq of the last WorkMsg sent
+    std::uint64_t outstanding_seq = 0;  // unacked chunk's seq (0 = none)
+    std::vector<PairTask> outstanding;  // its tasks, requeued on death
+    std::vector<int> streams;           // generation streams assigned here
+    std::vector<StreamAssign> adopt;    // to ship with the next WorkMsg
+  };
+  std::vector<WorkerState> ws(static_cast<std::size_t>(p));
+  // received[origin]: pairs [0, received) of origin's stream have reached
+  // the master; a post-crash replay starts here.
+  std::vector<std::uint64_t> received(static_cast<std::size_t>(p), 0);
+  for (int w = 1; w < p; ++w) ws[static_cast<std::size_t>(w)].streams = {w};
+  int alive_workers = p - 1;
+
   std::unordered_set<std::uint64_t> seen;
   std::deque<PairTask> pending;
-  std::vector<bool> exhausted(static_cast<std::size_t>(workers) + 1, false);
-  std::uint64_t in_flight = 0;
-
   EngineCounters c;
+
+  // Self-healing: requeue the dead worker's unacked chunk ahead of the
+  // FIFO and hand each of its generation streams to the least-loaded
+  // survivor, which replays it from the received watermark. The seen-set
+  // and idempotent verdict application swallow any replay overlap.
+  const auto reassign = [&](int dead) {
+    WorkerState& d = ws[static_cast<std::size_t>(dead)];
+    comm.count("pairs_requeued", d.outstanding.size());
+    for (auto it = d.outstanding.rbegin(); it != d.outstanding.rend(); ++it) {
+      pending.push_front(*it);
+    }
+    d.outstanding.clear();
+    d.outstanding_seq = 0;
+    for (const int origin : d.streams) {
+      int target = -1;
+      for (int w = 1; w < p; ++w) {
+        WorkerState& cand = ws[static_cast<std::size_t>(w)];
+        if (!cand.alive) continue;
+        if (target < 0 ||
+            cand.streams.size() <
+                ws[static_cast<std::size_t>(target)].streams.size()) {
+          target = w;
+        }
+      }
+      if (target < 0) {
+        throw std::runtime_error(
+            "pace: all workers failed; cannot complete the phase");
+      }
+      WorkerState& t = ws[static_cast<std::size_t>(target)];
+      t.streams.push_back(origin);
+      t.adopt.push_back(StreamAssign{
+          origin, received[static_cast<std::size_t>(origin)]});
+      t.exhausted = false;  // new pairs are (potentially) coming
+      comm.count("streams_adopted");
+    }
+    d.streams.clear();
+    d.exhausted = true;  // nothing more expected from it
+  };
+
+  const double timeout =
+      params.heartbeat_timeout > 0 ? params.heartbeat_timeout : -1.0;
+
   bool done = false;
   while (!done) {
-    // Receive and fold in this round's submissions.
-    for (int w = 1; w <= workers; ++w) {
-      mpsim::Message msg = comm.recv(w, kTagRound);
-      RoundMsg round = msg.take<RoundMsg>();
-      exhausted[static_cast<std::size_t>(w)] = round.exhausted;
-      in_flight -= round.verdicts.size();
+    // Receive and fold in this round's submissions from live workers.
+    for (int w = 1; w < p; ++w) {
+      WorkerState& state = ws[static_cast<std::size_t>(w)];
+      if (!state.alive) continue;
+
+      RoundMsg round;
+      bool have_round = false;
+      for (;;) {
+        mpsim::Message msg;
+        const mpsim::RecvStatus st =
+            comm.recv_status(w, kTagRound, msg, timeout);
+        if (st == mpsim::RecvStatus::kOk) {
+          round = msg.take<RoundMsg>();
+          // A duplicated delivery replays an old seq: skip it. The fresh
+          // copy (or the rank-failed mark) is guaranteed to follow.
+          if (round.seq <= state.last_round_seq) continue;
+          state.last_round_seq = round.seq;
+          have_round = true;
+        } else {
+          state.alive = false;
+          --alive_workers;
+          if (st == mpsim::RecvStatus::kTimeout) {
+            // The rank may merely be hung; a final done message releases
+            // it if it ever wakes, so the run can still terminate.
+            WorkMsg bye;
+            bye.seq = ++state.work_seq;
+            bye.done = true;
+            comm.send(w, kTagWork, std::any(std::move(bye)), kHeaderBytes);
+            comm.count("workers_timed_out");
+          } else {
+            comm.count("workers_failed");
+          }
+          reassign(w);
+        }
+        break;
+      }
+      if (!have_round) continue;
+
+      state.exhausted = round.exhausted;
+      if (round.ack_seq != 0 && round.ack_seq == state.outstanding_seq) {
+        state.outstanding.clear();
+        state.outstanding_seq = 0;
+      }
       for (const Verdict& v : round.verdicts) {
         comm.charge_finds(1);
         policy.apply(v);
+      }
+      if (round.stream >= 0) {
+        std::uint64_t& mark = received[static_cast<std::size_t>(round.stream)];
+        mark = std::max(mark, round.start + round.pairs.size());
       }
       for (const PairTask& task : round.pairs) {
         ++c.promising_pairs;
@@ -214,23 +329,42 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
       }
     }
 
-    done = pending.empty() && in_flight == 0 &&
-           std::all_of(exhausted.begin() + 1, exhausted.end(),
-                       [](bool e) { return e; });
+    if (alive_workers == 0) {
+      throw std::runtime_error(
+          "pace: all workers failed; cannot complete the phase");
+    }
+
+    done = pending.empty();
+    for (int w = 1; done && w < p; ++w) {
+      const WorkerState& state = ws[static_cast<std::size_t>(w)];
+      if (!state.alive) continue;
+      done = state.exhausted && state.outstanding_seq == 0 &&
+             state.adopt.empty();
+    }
 
     // Hand out the next chunks (empty + done on the final round).
-    for (int w = 1; w <= workers; ++w) {
+    for (int w = 1; w < p; ++w) {
+      WorkerState& state = ws[static_cast<std::size_t>(w)];
+      if (!state.alive) continue;
       WorkMsg work;
+      work.seq = ++state.work_seq;
       work.done = done;
-      while (!done && !pending.empty() &&
-             work.tasks.size() < params.batch_size) {
-        work.tasks.push_back(pending.front());
-        pending.pop_front();
+      work.adopt = std::move(state.adopt);
+      state.adopt.clear();
+      if (!done && state.outstanding_seq == 0) {
+        while (!pending.empty() && work.tasks.size() < params.batch_size) {
+          work.tasks.push_back(pending.front());
+          pending.pop_front();
+        }
       }
-      in_flight += work.tasks.size();
+      if (!work.tasks.empty()) {
+        state.outstanding = work.tasks;
+        state.outstanding_seq = work.seq;
+      }
       c.aligned_pairs += work.tasks.size();
-      comm.send(w, kTagWork, std::any(std::move(work)),
-                work.tasks.size() * kPairBytes + 1);
+      const std::uint64_t bytes =
+          work.tasks.size() * kPairBytes + kHeaderBytes;
+      comm.send(w, kTagWork, std::any(std::move(work)), bytes);
     }
   }
 
@@ -243,34 +377,70 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
 void worker_loop(mpsim::Communicator& comm, const SharedIndex& index,
                  const PaceParams& params, WorkerPolicy& policy,
                  exec::Pool* pool) {
-  // "Build" this worker's share of the generalized suffix tree.
-  comm.charge_index_chars(index.worker_chars(comm.rank()));
-  const std::vector<PairTask> pairs = index.worker_pairs(comm.rank());
-  comm.charge_pairs(pairs.size());
-  comm.count("worker_pairs_generated", pairs.size());
+  struct Stream {
+    int origin;
+    std::size_t next;
+    std::vector<PairTask> pairs;
+  };
+  std::vector<Stream> streams;
+  // "Build" a rank's share of the generalized suffix tree and enumerate
+  // its pairs; adoption replays a dead rank's share from @p from, paying
+  // the regeneration cost on THIS rank's clock.
+  const auto add_stream = [&](int origin, std::uint64_t from) {
+    comm.charge_index_chars(index.worker_chars(origin));
+    Stream s{origin, static_cast<std::size_t>(from),
+             index.worker_pairs(origin)};
+    comm.charge_pairs(s.pairs.size());
+    comm.count("worker_pairs_generated",
+               s.pairs.size() - std::min<std::size_t>(s.next, s.pairs.size()));
+    streams.push_back(std::move(s));
+  };
+  add_stream(comm.rank(), 0);
 
-  std::size_t next = 0;
-  std::vector<Verdict> verdicts;
   const std::size_t submit_cap =
       static_cast<std::size_t>(params.batch_size) *
       std::max<std::uint32_t>(1, params.generation_batches);
+
+  std::uint64_t seq_out = 0;
+  std::uint64_t last_work_seq = 0;
+  std::uint64_t ack = 0;
+  std::vector<Verdict> verdicts;
   while (true) {
     RoundMsg round;
-    const std::size_t take =
-        std::min<std::size_t>(submit_cap, pairs.size() - next);
-    round.pairs.assign(pairs.begin() + static_cast<std::ptrdiff_t>(next),
-                       pairs.begin() + static_cast<std::ptrdiff_t>(next + take));
-    next += take;
-    round.exhausted = next == pairs.size();
+    round.seq = ++seq_out;
+    for (Stream& s : streams) {
+      if (s.next >= s.pairs.size()) continue;
+      const std::size_t take =
+          std::min<std::size_t>(submit_cap, s.pairs.size() - s.next);
+      round.stream = s.origin;
+      round.start = s.next;
+      round.pairs.assign(
+          s.pairs.begin() + static_cast<std::ptrdiff_t>(s.next),
+          s.pairs.begin() + static_cast<std::ptrdiff_t>(s.next + take));
+      s.next += take;
+      break;
+    }
+    round.exhausted =
+        std::all_of(streams.begin(), streams.end(), [](const Stream& s) {
+          return s.next >= s.pairs.size();
+        });
     round.verdicts = std::move(verdicts);
     verdicts.clear();
-    const std::uint64_t bytes =
-        round.pairs.size() * kPairBytes +
-        round.verdicts.size() * kVerdictBytes + 1;
+    round.ack_seq = ack;
+    ack = 0;
+    const std::uint64_t bytes = round.pairs.size() * kPairBytes +
+                                round.verdicts.size() * kVerdictBytes +
+                                kHeaderBytes;
     comm.send(0, kTagRound, std::any(std::move(round)), bytes);
 
-    WorkMsg work = comm.recv(0, kTagWork).take<WorkMsg>();
+    WorkMsg work;
+    do {  // skip duplicated deliveries (stale seq)
+      work = comm.recv(0, kTagWork).take<WorkMsg>();
+    } while (work.seq <= last_work_seq);
+    last_work_seq = work.seq;
+    for (const StreamAssign& a : work.adopt) add_stream(a.origin, a.from);
     if (work.done) break;
+    if (!work.tasks.empty()) ack = work.seq;
     evaluate_tasks(work.tasks, policy, &comm, pool, verdicts);
   }
 }
@@ -282,22 +452,33 @@ mpsim::RunResult run_parallel(
     const mpsim::MachineModel& model, const PaceParams& params,
     MasterPolicy& master_policy,
     const std::function<std::unique_ptr<WorkerPolicy>()>& make_worker_policy,
-    EngineCounters* counters, exec::Pool* pool) {
+    EngineCounters* counters, exec::Pool* pool, const mpsim::FaultPlan* plan) {
   if (p < 2) {
     throw std::invalid_argument(
         "pace::run_parallel needs p >= 2 (master + worker); use run_serial");
   }
+  if (plan) {
+    for (const auto& crash : plan->crashes) {
+      if (crash.rank == 0) {
+        throw std::invalid_argument(
+            "pace::run_parallel: the master (rank 0) must not crash — only "
+            "worker ranks 1..p-1 can appear in FaultPlan::crashes");
+      }
+    }
+  }
+
   SharedIndex index(set, ids, params, p - 1, pool);
 
-  mpsim::RunResult result =
-      mpsim::run(p, model, [&](mpsim::Communicator& comm) {
-        if (comm.rank() == 0) {
-          master_loop(comm, params, master_policy);
-        } else {
-          const auto policy = make_worker_policy();
-          worker_loop(comm, index, params, *policy, pool);
-        }
-      });
+  const auto rank_fn = [&](mpsim::Communicator& comm) {
+    if (comm.rank() == 0) {
+      master_loop(comm, params, master_policy);
+    } else {
+      const auto policy = make_worker_policy();
+      worker_loop(comm, index, params, *policy, pool);
+    }
+  };
+  mpsim::RunResult result = plan ? mpsim::run(p, model, *plan, rank_fn)
+                                 : mpsim::run(p, model, rank_fn);
 
   if (counters) {
     counters->promising_pairs = result.counter("promising_pairs");
@@ -312,9 +493,20 @@ EngineCounters run_serial(const seq::SequenceSet& set,
                           const std::vector<seq::SeqId>& ids,
                           const PaceParams& params,
                           MasterPolicy& master_policy,
-                          WorkerPolicy& worker_policy, exec::Pool* pool) {
+                          WorkerPolicy& worker_policy, exec::Pool* pool,
+                          const SerialHooks* hooks) {
   SharedIndex index(set, ids, params, /*workers=*/1, pool);
   const std::vector<PairTask> pairs = index.worker_pairs(1);
+
+  const std::uint64_t start = hooks ? hooks->start_pair : 0;
+  const std::uint64_t stride =
+      hooks && hooks->checkpoint ? hooks->checkpoint_stride : 0;
+  std::uint64_t last_ckpt = start;
+  const auto maybe_checkpoint = [&](std::uint64_t next_pair) {
+    if (stride == 0 || next_pair - last_ckpt < stride) return;
+    hooks->checkpoint(next_pair);
+    last_ckpt = next_pair;
+  };
 
   EngineCounters c;
   std::unordered_set<std::uint64_t> seen;
@@ -325,7 +517,8 @@ EngineCounters run_serial(const seq::SequenceSet& set,
     // engine, the filter sees state that lags the batch by construction;
     // the extra verdicts this admits are no-ops under apply (RR's
     // removed/dependents guards, CCD's idempotent merges), so the final
-    // state matches the unbatched run bit for bit.
+    // state matches the unbatched run bit for bit. Checkpoints land on
+    // flush boundaries, where every inspected pair is fully resolved.
     std::vector<PairTask> batch;
     std::vector<Verdict> verdicts;
     const auto flush = [&] {
@@ -334,7 +527,9 @@ EngineCounters run_serial(const seq::SequenceSet& set,
       for (const Verdict& v : verdicts) master_policy.apply(v);
       batch.clear();
     };
-    for (const PairTask& task : pairs) {
+    for (std::uint64_t i = 0; i < pairs.size(); ++i) {
+      if (i < start) continue;  // already folded into the resumed state
+      const PairTask& task = pairs[static_cast<std::size_t>(i)];
       ++c.promising_pairs;
       if (!seen.insert(task.pair_key()).second) {
         ++c.duplicate_pairs;
@@ -346,13 +541,18 @@ EngineCounters run_serial(const seq::SequenceSet& set,
       }
       ++c.aligned_pairs;
       batch.push_back(task);
-      if (batch.size() >= params.batch_size) flush();
+      if (batch.size() >= params.batch_size) {
+        flush();
+        maybe_checkpoint(i + 1);
+      }
     }
     flush();
     return c;
   }
 
-  for (const PairTask& task : pairs) {
+  for (std::uint64_t i = 0; i < pairs.size(); ++i) {
+    if (i < start) continue;  // already folded into the resumed state
+    const PairTask& task = pairs[static_cast<std::size_t>(i)];
     ++c.promising_pairs;
     if (!seen.insert(task.pair_key()).second) {
       ++c.duplicate_pairs;
@@ -365,6 +565,7 @@ EngineCounters run_serial(const seq::SequenceSet& set,
     ++c.aligned_pairs;
     std::uint64_t cells = 0;
     master_policy.apply(worker_policy.evaluate(task, &cells));
+    maybe_checkpoint(i + 1);
   }
   return c;
 }

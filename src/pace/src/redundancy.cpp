@@ -135,13 +135,14 @@ std::size_t RedundancyResult::removed_count() const {
 
 RedundancyResult remove_redundant(const seq::SequenceSet& set, int p,
                                   const mpsim::MachineModel& model,
-                                  const PaceParams& params, exec::Pool* pool) {
+                                  const PaceParams& params, exec::Pool* pool,
+                                  const mpsim::FaultPlan* plan) {
   RedundancyResult result;
   RrMaster master(set.size(), result);
   result.run = run_parallel(
       set, all_ids(set), p, model, params, master,
       [&set, &params] { return std::make_unique<RrWorker>(set, params); },
-      &result.counters, pool);
+      &result.counters, pool, plan);
   return result;
 }
 

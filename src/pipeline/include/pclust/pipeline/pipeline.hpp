@@ -64,6 +64,28 @@ struct PipelineConfig {
   /// simulated Xeon-cluster ranks.
   int dsd_processors = 0;
   mpsim::MachineModel dsd_model = mpsim::MachineModel::xeon_cluster();
+
+  /// Directory for phase-level checkpoints (created if missing); empty
+  /// disables checkpointing. Files: rr.ckpt, ccd_partial.ckpt, ccd.ckpt,
+  /// families.ckpt — versioned, CRC-checked (util/checkpoint.hpp), each
+  /// carrying a fingerprint of the input and the result-relevant
+  /// configuration.
+  std::string checkpoint_dir;
+  /// Resume from @p checkpoint_dir: completed phases load their checkpoint
+  /// and are skipped; a partial CCD checkpoint re-enters the pair stream
+  /// at its watermark (serial CCD only). Requires checkpoint_dir. Throws
+  /// util::CheckpointError if a checkpoint's fingerprint does not match
+  /// the current input/configuration. The resumed output is bit-identical
+  /// to an uninterrupted run.
+  bool resume = false;
+  /// Pairs between mid-CCD partial checkpoints (serial CCD path only;
+  /// 0 disables partials, leaving only whole-phase checkpoints).
+  std::uint64_t ccd_checkpoint_stride = 100'000;
+
+  /// Fault injection for the simulated RR and CCD phases (ignored when
+  /// processors < 2). The engine self-heals worker crashes; see
+  /// pace/engine.hpp for the guarantees per phase.
+  const mpsim::FaultPlan* fault_plan = nullptr;
 };
 
 /// One reported dense subgraph with its quality measurements.
@@ -94,6 +116,11 @@ struct PipelineResult {
   double mean_degree = 0.0;   // over all DS members
   double mean_density = 0.0;  // over all DS
   std::size_t largest_subgraph = 0;
+
+  /// Phase provenance when checkpointing is enabled: one entry per phase,
+  /// e.g. "rr:computed", "rr:resumed", "ccd:resumed-partial",
+  /// "families:resumed". Empty when checkpoint_dir is unset.
+  std::vector<std::string> phase_log;
 
   [[nodiscard]] std::vector<std::vector<seq::SeqId>> family_clustering() const;
 };

@@ -1,14 +1,158 @@
 #include "pclust/pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <optional>
 #include <unordered_map>
 
 #include "pclust/exec/pool.hpp"
+#include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
 #include "pclust/util/strings.hpp"
 #include "pclust/util/timer.hpp"
 
 namespace pclust::pipeline {
+
+namespace {
+
+// Checkpoint phase tags (util/checkpoint.hpp header field).
+constexpr std::uint32_t kTagRr = 1;
+constexpr std::uint32_t kTagCcdPartial = 2;
+constexpr std::uint32_t kTagCcd = 3;
+constexpr std::uint32_t kTagFamilies = 4;
+constexpr std::uint32_t kPayloadV1 = 1;
+
+/// Fingerprint of the input set plus every configuration field that can
+/// change phase RESULTS (simulation/threading knobs are excluded — they
+/// are output invariant by design). Stored in every checkpoint payload;
+/// resume refuses a checkpoint whose fingerprint differs.
+std::uint64_t fingerprint(const seq::SequenceSet& set,
+                          const PipelineConfig& cfg) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over 64-bit words
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_f = [&](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(set.size());
+  for (seq::SeqId id = 0; id < set.size(); ++id) {
+    const auto residues = set.residues(id);
+    mix(residues.size());
+    mix(util::crc32(residues.data(), residues.size()));
+  }
+  mix(cfg.pace.psi);
+  mix(cfg.pace.bucket_prefix);
+  mix(cfg.pace.max_node_occurrences);
+  mix(cfg.pace.band);
+  mix(cfg.rr_band);
+  mix_f(cfg.pace.containment.min_similarity);
+  mix_f(cfg.pace.containment.min_coverage);
+  mix(cfg.pace.containment.semiglobal ? 1 : 0);
+  mix_f(cfg.pace.overlap.min_similarity);
+  mix_f(cfg.pace.overlap.min_long_coverage);
+  mix(static_cast<std::uint64_t>(cfg.reduction));
+  mix(cfg.bm.w);
+  mix(cfg.bm.max_sequences_per_word);
+  mix(cfg.shingle.s1);
+  mix(cfg.shingle.c1);
+  mix(cfg.shingle.s2);
+  mix(cfg.shingle.c2);
+  mix(cfg.shingle.seed);
+  mix(cfg.shingle.min_size);
+  mix_f(cfg.shingle.tau);
+  mix(cfg.min_component);
+  mix(cfg.mask_low_complexity ? 1 : 0);
+  mix(cfg.complexity.window);
+  mix_f(cfg.complexity.min_entropy);
+  return h;
+}
+
+/// Per-run handle over the checkpoint directory; no-op when disabled.
+class Checkpoints {
+ public:
+  Checkpoints(const PipelineConfig& cfg, std::uint64_t fp)
+      : dir_(cfg.checkpoint_dir), resume_(cfg.resume), fp_(fp) {
+    if (!dir_.empty()) std::filesystem::create_directories(dir_);
+  }
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  [[nodiscard]] bool resuming() const { return enabled() && resume_; }
+  [[nodiscard]] std::filesystem::path path(const char* name) const {
+    return std::filesystem::path(dir_) / name;
+  }
+
+  void write(const char* name, std::uint32_t tag,
+             const util::CheckpointWriter& payload) const {
+    if (enabled()) write_checkpoint(path(name), tag, kPayloadV1, payload);
+  }
+
+  /// Open @p name for resume. Returns nullopt if resume is off or the file
+  /// is absent/invalid (phase recomputes); throws CheckpointError on a
+  /// fingerprint mismatch — silently recomputing would mask operator error.
+  [[nodiscard]] std::optional<util::CheckpointReader> open(
+      const char* name, std::uint32_t tag) const {
+    if (!resuming()) return std::nullopt;
+    const auto file = path(name);
+    std::error_code ec;
+    if (!std::filesystem::exists(file, ec)) return std::nullopt;
+    if (!util::checkpoint_valid(file, tag, kPayloadV1)) return std::nullopt;
+    auto reader = util::read_checkpoint(file, tag, kPayloadV1);
+    if (reader.u64() != fp_) {
+      throw util::CheckpointError(
+          "checkpoint fingerprint mismatch (input or configuration "
+          "changed since the checkpoint was written): " +
+          file.string());
+    }
+    return reader;
+  }
+
+  [[nodiscard]] util::CheckpointWriter payload() const {
+    util::CheckpointWriter w;
+    w.u64(fp_);
+    return w;
+  }
+
+ private:
+  std::string dir_;
+  bool resume_;
+  std::uint64_t fp_;
+};
+
+/// Table-I aggregates over result.families; the shared tail of the compute
+/// and resume paths (families arrive sorted either way).
+PipelineResult finalize(PipelineResult result) {
+  result.dense_subgraph_count = result.families.size();
+  double degree_weighted = 0.0;
+  double density_sum = 0.0;
+  for (const Family& f : result.families) {
+    result.sequences_in_subgraphs += f.members.size();
+    result.largest_subgraph =
+        std::max(result.largest_subgraph, f.members.size());
+    degree_weighted += f.mean_degree * static_cast<double>(f.members.size());
+    density_sum += f.density;
+  }
+  if (result.sequences_in_subgraphs > 0) {
+    result.mean_degree =
+        degree_weighted / static_cast<double>(result.sequences_in_subgraphs);
+  }
+  if (!result.families.empty()) {
+    result.mean_density =
+        density_sum / static_cast<double>(result.families.size());
+  }
+  PCLUST_INFO << "pipeline: " << result.dense_subgraph_count
+              << " dense subgraphs covering "
+              << result.sequences_in_subgraphs << " sequences ("
+              << util::format_duration(result.bgg_dsd_seconds) << ")";
+  return result;
+}
+
+}  // namespace
 
 std::vector<std::vector<seq::SeqId>> PipelineResult::family_clustering()
     const {
@@ -43,17 +187,45 @@ PipelineResult run(const seq::SequenceSet& input,
   }
   const seq::SequenceSet& set = config.mask_low_complexity ? masked : input;
 
+  const Checkpoints ckpt(config, config.checkpoint_dir.empty()
+                                     ? 0
+                                     : fingerprint(set, config));
+  const auto log_phase = [&](const char* phase, const char* how) {
+    if (!ckpt.enabled()) return;
+    result.phase_log.push_back(std::string(phase) + ":" + how);
+    PCLUST_INFO << "pipeline: phase " << phase << " " << how;
+  };
+
   // ---- Phase 1: redundancy removal --------------------------------------
-  {
+  if (auto reader = ckpt.open("rr.ckpt", kTagRr)) {
+    result.rr.removed = reader->u8_vec();
+    const std::vector<std::uint32_t> containers = reader->u32_vec();
+    result.rr.container.assign(containers.begin(), containers.end());
+    if (result.rr.removed.size() != set.size() ||
+        result.rr.container.size() != set.size()) {
+      throw util::CheckpointError(
+          "rr.ckpt does not cover the current input set");
+    }
+    log_phase("rr", "resumed");
+  } else {
     util::Timer timer;
     pace::PaceParams rr_params = config.pace;
     rr_params.band = config.rr_band;
     result.rr = parallel
                     ? pace::remove_redundant(set, config.processors,
-                                             config.model, rr_params, pool_arg)
+                                             config.model, rr_params, pool_arg,
+                                             config.fault_plan)
                     : pace::remove_redundant_serial(set, rr_params, pool_arg);
     result.rr_seconds =
         parallel ? result.rr.run.makespan : timer.elapsed_seconds();
+    if (ckpt.enabled()) {
+      util::CheckpointWriter payload = ckpt.payload();
+      payload.u8_vec(result.rr.removed);
+      payload.u32_vec(std::vector<std::uint32_t>(result.rr.container.begin(),
+                                                 result.rr.container.end()));
+      ckpt.write("rr.ckpt", kTagRr, payload);
+    }
+    log_phase("rr", "computed");
   }
   const std::vector<seq::SeqId> survivors = result.rr.survivors();
   result.non_redundant_sequences = survivors.size();
@@ -62,22 +234,81 @@ PipelineResult run(const seq::SequenceSet& input,
               << ")";
 
   // ---- Phase 2: connected components -------------------------------------
-  {
+  if (auto reader = ckpt.open("ccd.ckpt", kTagCcd)) {
+    const std::uint64_t count = reader->u64();
+    result.ccd.components.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::vector<std::uint32_t> members = reader->u32_vec();
+      result.ccd.components.emplace_back(members.begin(), members.end());
+    }
+    log_phase("ccd", "resumed");
+  } else {
     util::Timer timer;
-    result.ccd = parallel
-                     ? pace::detect_components(set, survivors,
-                                               config.processors, config.model,
-                                               config.pace, pool_arg)
-                     : pace::detect_components_serial(set, survivors,
-                                                      config.pace, pool_arg);
+    // Mid-stream progress snapshots (serial path only: the pair stream
+    // index is only a meaningful watermark there).
+    pace::CcdProgress partial;
+    bool have_partial = false;
+    if (!parallel) {
+      if (auto part = ckpt.open("ccd_partial.ckpt", kTagCcdPartial)) {
+        partial.parents = part->u32_vec();
+        partial.next_pair = part->u64();
+        have_partial = partial.parents.size() == survivors.size();
+      }
+    }
+    const auto on_checkpoint = [&](const pace::CcdProgress& progress) {
+      util::CheckpointWriter payload = ckpt.payload();
+      payload.u32_vec(progress.parents);
+      payload.u64(progress.next_pair);
+      ckpt.write("ccd_partial.ckpt", kTagCcdPartial, payload);
+    };
+    const std::uint64_t stride =
+        ckpt.enabled() && !parallel ? config.ccd_checkpoint_stride : 0;
+    result.ccd =
+        parallel
+            ? pace::detect_components(set, survivors, config.processors,
+                                      config.model, config.pace, pool_arg,
+                                      config.fault_plan)
+            : pace::detect_components_serial(
+                  set, survivors, config.pace, pool_arg,
+                  have_partial ? &partial : nullptr, stride,
+                  stride > 0 ? on_checkpoint
+                             : std::function<void(const pace::CcdProgress&)>());
     result.ccd_seconds =
         parallel ? result.ccd.run.makespan : timer.elapsed_seconds();
+    if (ckpt.enabled()) {
+      util::CheckpointWriter payload = ckpt.payload();
+      payload.u64(result.ccd.components.size());
+      for (const auto& component : result.ccd.components) {
+        payload.u32_vec(std::vector<std::uint32_t>(component.begin(),
+                                                   component.end()));
+      }
+      ckpt.write("ccd.ckpt", kTagCcd, payload);
+      std::error_code ec;
+      std::filesystem::remove(ckpt.path("ccd_partial.ckpt"), ec);
+    }
+    log_phase("ccd", have_partial ? "resumed-partial" : "computed");
   }
   result.components_min_size =
       result.ccd.count_with_min_size(config.min_component);
   PCLUST_INFO << "pipeline: CCD found " << result.components_min_size
               << " components of size >= " << config.min_component << " ("
               << util::format_duration(result.ccd_seconds) << ")";
+
+  // ---- Phases 3 + 4: bipartite graphs + dense subgraphs -------------------
+  if (auto reader = ckpt.open("families.ckpt", kTagFamilies)) {
+    const std::uint64_t count = reader->u64();
+    result.families.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Family family;
+      const std::vector<std::uint32_t> members = reader->u32_vec();
+      family.members.assign(members.begin(), members.end());
+      family.mean_degree = reader->f64();
+      family.density = reader->f64();
+      result.families.push_back(std::move(family));
+    }
+    log_phase("families", "resumed");
+    return finalize(std::move(result));
+  }
 
   // ---- Phase 3: bipartite graph generation --------------------------------
   util::Timer dsd_timer;
@@ -179,30 +410,19 @@ PipelineResult run(const seq::SequenceSet& input,
               return a.members.front() < b.members.front();
             });
 
-  // ---- Table-I aggregates -------------------------------------------------
-  result.dense_subgraph_count = result.families.size();
-  double degree_weighted = 0.0;
-  double density_sum = 0.0;
-  for (const Family& f : result.families) {
-    result.sequences_in_subgraphs += f.members.size();
-    result.largest_subgraph =
-        std::max(result.largest_subgraph, f.members.size());
-    degree_weighted += f.mean_degree * static_cast<double>(f.members.size());
-    density_sum += f.density;
+  if (ckpt.enabled()) {
+    util::CheckpointWriter payload = ckpt.payload();
+    payload.u64(result.families.size());
+    for (const Family& f : result.families) {
+      payload.u32_vec(
+          std::vector<std::uint32_t>(f.members.begin(), f.members.end()));
+      payload.f64(f.mean_degree);
+      payload.f64(f.density);
+    }
+    ckpt.write("families.ckpt", kTagFamilies, payload);
   }
-  if (result.sequences_in_subgraphs > 0) {
-    result.mean_degree =
-        degree_weighted / static_cast<double>(result.sequences_in_subgraphs);
-  }
-  if (!result.families.empty()) {
-    result.mean_density =
-        density_sum / static_cast<double>(result.families.size());
-  }
-  PCLUST_INFO << "pipeline: " << result.dense_subgraph_count
-              << " dense subgraphs covering "
-              << result.sequences_in_subgraphs << " sequences ("
-              << util::format_duration(result.bgg_dsd_seconds) << ")";
-  return result;
+  log_phase("families", "computed");
+  return finalize(std::move(result));
 }
 
 std::string table1_row(const PipelineResult& r) {

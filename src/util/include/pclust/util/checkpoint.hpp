@@ -1,0 +1,102 @@
+// Versioned, CRC-checked binary checkpoints for phase-level resume.
+//
+// On-disk layout (little-endian):
+//
+//   [magic 'PCKP'][u32 format_version][u32 phase_tag][u32 payload_version]
+//   [u64 payload_size][u32 payload_crc32][payload bytes]
+//
+// The phase tag identifies WHAT was checkpointed (caller-chosen constant),
+// the payload version lets a phase evolve its encoding, and the CRC covers
+// the payload so truncated or corrupted files are rejected instead of
+// silently resumed from. Writes go to a sibling ".tmp" file first and are
+// renamed into place, so a crash mid-write never clobbers the previous
+// good checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pclust::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of @p data.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+/// A checkpoint file that cannot be read back: missing, short, bad magic,
+/// unsupported version, wrong phase tag, or CRC mismatch.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only payload encoder with fixed-width little-endian primitives.
+class CheckpointWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// Length-prefixed byte string.
+  void str(std::string_view s);
+  void u8_vec(const std::vector<std::uint8_t>& v);
+  void u32_vec(const std::vector<std::uint32_t>& v);
+  void u64_vec(const std::vector<std::uint64_t>& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential payload decoder; throws CheckpointError on any overrun.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint8_t> u8_vec();
+  [[nodiscard]] std::vector<std::uint32_t> u32_vec();
+  [[nodiscard]] std::vector<std::uint64_t> u64_vec();
+
+  /// True once every payload byte has been consumed.
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Atomically write @p payload as a checkpoint file (tmp file + rename).
+/// Throws CheckpointError on I/O failure.
+void write_checkpoint(const std::filesystem::path& path,
+                      std::uint32_t phase_tag, std::uint32_t payload_version,
+                      const CheckpointWriter& payload);
+
+/// Read and validate a checkpoint. Throws CheckpointError if the file is
+/// missing/short/corrupted, carries the wrong magic, format version, or
+/// phase tag, or if payload_version exceeds @p max_payload_version.
+/// On success returns a reader over the payload; @p payload_version_out
+/// (optional) receives the stored payload version.
+[[nodiscard]] CheckpointReader read_checkpoint(
+    const std::filesystem::path& path, std::uint32_t phase_tag,
+    std::uint32_t max_payload_version,
+    std::uint32_t* payload_version_out = nullptr);
+
+/// True if @p path exists and read_checkpoint would accept it.
+[[nodiscard]] bool checkpoint_valid(const std::filesystem::path& path,
+                                    std::uint32_t phase_tag,
+                                    std::uint32_t max_payload_version);
+
+}  // namespace pclust::util

@@ -1,0 +1,280 @@
+#include "pclust/util/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace pclust::util {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'P', 'C', 'K', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void CheckpointWriter::u32(std::uint32_t v) { put_u32(bytes_, v); }
+void CheckpointWriter::u64(std::uint64_t v) { put_u64(bytes_, v); }
+
+void CheckpointWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bytes_, bits);
+}
+
+void CheckpointWriter::str(std::string_view s) {
+  put_u64(bytes_, s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void CheckpointWriter::u8_vec(const std::vector<std::uint8_t>& v) {
+  put_u64(bytes_, v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void CheckpointWriter::u32_vec(const std::vector<std::uint32_t>& v) {
+  put_u64(bytes_, v.size());
+  for (const std::uint32_t x : v) put_u32(bytes_, x);
+}
+
+void CheckpointWriter::u64_vec(const std::vector<std::uint64_t>& v) {
+  put_u64(bytes_, v.size());
+  for (const std::uint64_t x : v) put_u64(bytes_, x);
+}
+
+void CheckpointReader::need(std::size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    throw CheckpointError("checkpoint payload truncated");
+  }
+}
+
+std::uint8_t CheckpointReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t CheckpointReader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t CheckpointReader::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(bytes_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double CheckpointReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string CheckpointReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+std::vector<std::uint8_t> CheckpointReader::u8_vec() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+std::vector<std::uint32_t> CheckpointReader::u32_vec() {
+  const std::uint64_t n = u64();
+  // Divide instead of multiplying: n * 4 could wrap for a hostile count.
+  if (n > (bytes_.size() - pos_) / 4) {
+    throw CheckpointError("checkpoint payload truncated");
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(u32());
+  return out;
+}
+
+std::vector<std::uint64_t> CheckpointReader::u64_vec() {
+  const std::uint64_t n = u64();
+  if (n > (bytes_.size() - pos_) / 8) {
+    throw CheckpointError("checkpoint payload truncated");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(u64());
+  return out;
+}
+
+void write_checkpoint(const std::filesystem::path& path,
+                      std::uint32_t phase_tag, std::uint32_t payload_version,
+                      const CheckpointWriter& payload) {
+  const std::vector<std::uint8_t>& body = payload.bytes();
+  std::vector<std::uint8_t> header;
+  header.insert(header.end(), kMagic.begin(), kMagic.end());
+  put_u32(header, kFormatVersion);
+  put_u32(header, phase_tag);
+  put_u32(header, payload_version);
+  put_u64(header, body.size());
+  put_u32(header, crc32(body.data(), body.size()));
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError("cannot open checkpoint for writing: " +
+                            tmp.string());
+    }
+    out.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) {
+      throw CheckpointError("short write to checkpoint: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw CheckpointError("cannot move checkpoint into place: " +
+                          path.string() + ": " + ec.message());
+  }
+}
+
+CheckpointReader read_checkpoint(const std::filesystem::path& path,
+                                 std::uint32_t phase_tag,
+                                 std::uint32_t max_payload_version,
+                                 std::uint32_t* payload_version_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("cannot open checkpoint: " + path.string());
+  }
+  std::array<std::uint8_t, 28> header{};  // magic..crc32, fixed layout
+  in.read(reinterpret_cast<char*>(header.data()),
+          static_cast<std::streamsize>(header.size()));
+  if (in.gcount() != static_cast<std::streamsize>(header.size())) {
+    throw CheckpointError("checkpoint header truncated: " + path.string());
+  }
+  if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0) {
+    throw CheckpointError("not a checkpoint file (bad magic): " +
+                          path.string());
+  }
+  const std::uint32_t format = get_u32(header.data() + 4);
+  if (format != kFormatVersion) {
+    throw CheckpointError("unsupported checkpoint format version " +
+                          std::to_string(format) + ": " + path.string());
+  }
+  const std::uint32_t tag = get_u32(header.data() + 8);
+  if (tag != phase_tag) {
+    throw CheckpointError("checkpoint phase tag mismatch (have " +
+                          std::to_string(tag) + ", want " +
+                          std::to_string(phase_tag) + "): " + path.string());
+  }
+  const std::uint32_t payload_version = get_u32(header.data() + 12);
+  if (payload_version > max_payload_version) {
+    throw CheckpointError("checkpoint payload version " +
+                          std::to_string(payload_version) +
+                          " is newer than supported: " + path.string());
+  }
+  const std::uint64_t size = get_u64(header.data() + 16);
+  const std::uint32_t crc = get_u32(header.data() + 24);
+
+  // Validate the declared size against the actual file BEFORE allocating:
+  // a corrupted size field must yield CheckpointError, not bad_alloc.
+  std::error_code ec;
+  const std::uintmax_t on_disk = std::filesystem::file_size(path, ec);
+  if (ec || on_disk != header.size() + size) {
+    throw CheckpointError("checkpoint payload size mismatch: " +
+                          path.string());
+  }
+
+  std::vector<std::uint8_t> body(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(body.data()),
+          static_cast<std::streamsize>(body.size()));
+  if (in.gcount() != static_cast<std::streamsize>(body.size())) {
+    throw CheckpointError("checkpoint payload truncated: " + path.string());
+  }
+  if (crc32(body.data(), body.size()) != crc) {
+    throw CheckpointError("checkpoint CRC mismatch (corrupted file): " +
+                          path.string());
+  }
+  if (payload_version_out) *payload_version_out = payload_version;
+  return CheckpointReader(std::move(body));
+}
+
+bool checkpoint_valid(const std::filesystem::path& path,
+                      std::uint32_t phase_tag,
+                      std::uint32_t max_payload_version) {
+  try {
+    (void)read_checkpoint(path, phase_tag, max_payload_version);
+    return true;
+  } catch (const CheckpointError&) {
+    return false;
+  }
+}
+
+}  // namespace pclust::util

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <numeric>
 #include <random>
+#include <stdexcept>
 
 namespace pclust::dsu {
 namespace {
@@ -113,6 +114,35 @@ TEST(UnionFind, EmptyExtract) {
   UnionFind uf(0);
   EXPECT_TRUE(uf.extract_sets().empty());
   EXPECT_EQ(uf.set_count(), 0u);
+}
+
+TEST(UnionFind, RestoreRoundTripsThePartition) {
+  UnionFind original(8);
+  original.merge(0, 3);
+  original.merge(3, 5);
+  original.merge(1, 7);
+
+  UnionFind restored;
+  restored.restore(original.parents());
+  EXPECT_EQ(restored.size(), 8u);
+  EXPECT_EQ(restored.set_count(), original.set_count());
+  EXPECT_EQ(restored.set_size(0), 3u);
+  EXPECT_EQ(restored.extract_sets(), original.extract_sets());
+
+  // The restored forest keeps merging correctly.
+  restored.merge(5, 7);
+  EXPECT_TRUE(restored.same(0, 1));
+  EXPECT_EQ(restored.set_size(0), 5u);
+}
+
+TEST(UnionFind, RestoreRejectsCorruptForests) {
+  UnionFind uf;
+  EXPECT_THROW(uf.restore({0, 9}), std::invalid_argument);  // out of range
+  EXPECT_THROW(uf.restore({1, 0}), std::invalid_argument);  // 2-cycle
+  EXPECT_THROW(uf.restore({1, 2, 0}), std::invalid_argument);  // 3-cycle
+  uf.restore({0, 0, 1});  // a valid chain still works
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.set_count(), 1u);
 }
 
 }  // namespace

@@ -36,22 +36,58 @@ TEST(Runtime, InvalidProcessorCountThrows) {
                std::invalid_argument);
 }
 
-TEST(Runtime, ExceptionPropagates) {
-  EXPECT_THROW(run(4, MachineModel::free(),
-                   [](Communicator& comm) {
-                     if (comm.rank() == 2) throw std::runtime_error("boom");
-                     comm.barrier();  // others block; must be released
-                   }),
-               std::runtime_error);
+TEST(Runtime, ExceptionPropagatesAsRankError) {
+  try {
+    run(4, MachineModel::free(), [](Communicator& comm) {
+      if (comm.rank() == 2) throw std::runtime_error("boom");
+      comm.barrier();  // others block; must be released
+    });
+    FAIL() << "expected RankError";
+  } catch (const RankError& e) {
+    EXPECT_EQ(e.rank(), 2);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    // The original exception is nested for callers that need its type.
+    try {
+      std::rethrow_if_nested(e);
+      FAIL() << "expected a nested exception";
+    } catch (const std::runtime_error& nested) {
+      EXPECT_STREQ(nested.what(), "boom");
+    }
+  }
 }
 
 TEST(Runtime, ExceptionWhilePeersBlockedInRecv) {
-  EXPECT_THROW(run(3, MachineModel::free(),
-                   [](Communicator& comm) {
-                     if (comm.rank() == 0) throw std::logic_error("fail");
-                     (void)comm.recv(0, 1);  // would deadlock without abort
-                   }),
-               std::logic_error);
+  try {
+    run(3, MachineModel::free(), [](Communicator& comm) {
+      if (comm.rank() == 0) throw std::logic_error("fail");
+      (void)comm.recv(0, 1);  // would deadlock without abort
+    });
+    FAIL() << "expected RankError";
+  } catch (const RankError& e) {
+    EXPECT_EQ(e.rank(), 0);
+    try {
+      std::rethrow_if_nested(e);
+      FAIL() << "expected a nested exception";
+    } catch (const std::logic_error&) {
+    }
+  }
+}
+
+TEST(Runtime, ConcurrentFailuresAllJoinedLowestRankWins) {
+  try {
+    run(6, MachineModel::free(), [](Communicator& comm) {
+      // Ranks 1, 3, 5 all throw concurrently; the rest block in a recv
+      // that abort must release. Every thread must be joined regardless.
+      if (comm.rank() % 2 == 1) {
+        throw std::runtime_error("fail-" + std::to_string(comm.rank()));
+      }
+      (void)comm.recv(comm.rank() + 1, 0);
+    });
+    FAIL() << "expected RankError";
+  } catch (const RankError& e) {
+    EXPECT_EQ(e.rank(), 1);  // lowest-ranked original failure
+    EXPECT_NE(std::string(e.what()).find("fail-1"), std::string::npos);
+  }
 }
 
 TEST(PointToPoint, PayloadAndMetadataDelivered) {
@@ -304,13 +340,20 @@ TEST(Scatter, EachRankGetsItsPayload) {
 }
 
 TEST(Scatter, WrongPayloadCountThrows) {
-  EXPECT_THROW(
-      run(3, MachineModel::free(),
-          [](Communicator& comm) {
-            std::vector<std::any> payloads(2);  // needs 3
-            (void)comm.scatter(0, std::move(payloads), 1);
-          }),
-      std::invalid_argument);
+  try {
+    run(3, MachineModel::free(), [](Communicator& comm) {
+      std::vector<std::any> payloads(2);  // needs 3
+      (void)comm.scatter(0, std::move(payloads), 1);
+    });
+    FAIL() << "expected RankError";
+  } catch (const RankError& err) {
+    EXPECT_EQ(err.rank(), 0);
+    try {
+      std::rethrow_if_nested(err);
+      FAIL() << "expected nested invalid_argument";
+    } catch (const std::invalid_argument&) {
+    }
+  }
 }
 
 TEST(Collectives, ComposeAcrossPhases) {

@@ -1,0 +1,188 @@
+// Self-healing master–worker engine under injected faults: worker crashes,
+// message duplication, drops, and stragglers must never change the CCD
+// component partition (it is the transitive closure of accepted overlaps,
+// schedule invariant), and RR must still produce a valid redundancy removal.
+// The bluegene model is required — under MachineModel::free() virtual clocks
+// never advance past 0, so crash thresholds > 0 would never fire.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pclust/pace/components.hpp"
+#include "pclust/pace/redundancy.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::pace {
+namespace {
+
+synth::Dataset make_data(std::uint64_t seed, std::uint32_t n = 140) {
+  synth::DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = n;
+  spec.num_families = 5;
+  spec.mean_length = 70;
+  spec.redundant_fraction = 0.15;
+  spec.noise_fraction = 0.15;
+  return synth::generate(spec);
+}
+
+mpsim::FaultPlan worker_crash(int rank, double at) {
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({rank, at});
+  return plan;
+}
+
+TEST(FaultTolerance, CcdSurvivesOneWorkerCrashBitIdentical) {
+  const auto d = make_data(41);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto golden = detect_components(d.sequences, survivors, 4, model);
+  ASSERT_TRUE(golden.run.crashed_ranks.empty());
+
+  // Kill worker 2 at several points in its life: almost immediately,
+  // mid-stream, and near the end. Anchoring the crash times to the worker's
+  // own fault-free virtual clock guarantees each threshold is actually
+  // reached (its clock follows the golden trajectory until the crash).
+  // (Not too near 1.0: check_crash runs at the TOP of each operation, so a
+  // threshold crossed by the worker's final clock advance never fires.)
+  const double lifetime = golden.run.rank_times[2];
+  ASSERT_GT(lifetime, 0.0);
+  for (const double fraction : {1e-6, 0.3, 0.5, 0.7}) {
+    const auto plan = worker_crash(2, fraction * lifetime);
+    const auto r =
+        detect_components(d.sequences, survivors, 4, model, {}, nullptr, &plan);
+    EXPECT_EQ(r.run.crashed_ranks, (std::vector<int>{2}))
+        << "fraction=" << fraction;
+    EXPECT_EQ(r.components, golden.components) << "fraction=" << fraction;
+  }
+}
+
+TEST(FaultTolerance, CcdSurvivesCascadingCrashes) {
+  const auto d = make_data(42);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto golden = detect_components(d.sequences, survivors, 5, model);
+
+  // Three of four workers die, staggered; the lone survivor (and adopter of
+  // everyone's streams) must still complete the exact partition. Crash
+  // times sit inside each worker's fault-free lifetime so every one fires
+  // (a worker's clock only grows once it inherits extra streams).
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({1, 0.05 * golden.run.rank_times[1]});
+  plan.crashes.push_back({2, 0.40 * golden.run.rank_times[2]});
+  plan.crashes.push_back({4, 0.80 * golden.run.rank_times[4]});
+  const auto r =
+      detect_components(d.sequences, survivors, 5, model, {}, nullptr, &plan);
+  EXPECT_EQ(r.run.crashed_ranks, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(r.components, golden.components);
+  EXPECT_GE(r.run.counter("streams_adopted"), 3u);
+}
+
+TEST(FaultTolerance, CcdSurvivesDropsDuplicatesAndStragglers) {
+  const auto d = make_data(43);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto golden = detect_components(d.sequences, survivors, 4, model);
+
+  mpsim::FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_probability = 0.3;
+  plan.duplicate_probability = 0.3;
+  plan.straggler_factor = {1.0, 3.0, 1.0, 8.0};
+  const auto r =
+      detect_components(d.sequences, survivors, 4, model, {}, nullptr, &plan);
+  EXPECT_TRUE(r.run.crashed_ranks.empty());
+  EXPECT_EQ(r.components, golden.components);
+}
+
+TEST(FaultTolerance, CcdFullFaultMatrixIsDeterministic) {
+  const auto d = make_data(44);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto golden = detect_components(d.sequences, survivors, 4, model);
+
+  mpsim::FaultPlan plan;
+  plan.seed = 21;
+  plan.drop_probability = 0.2;
+  plan.duplicate_probability = 0.2;
+  plan.straggler_factor = {1.0, 1.0, 5.0};
+  plan.crashes.push_back({3, 0.3 * golden.run.rank_times[3]});
+  const auto a =
+      detect_components(d.sequences, survivors, 4, model, {}, nullptr, &plan);
+  const auto b =
+      detect_components(d.sequences, survivors, 4, model, {}, nullptr, &plan);
+  EXPECT_EQ(a.components, golden.components);
+  EXPECT_EQ(a.components, b.components);
+  EXPECT_EQ(a.run.crashed_ranks, b.run.crashed_ranks);
+  EXPECT_DOUBLE_EQ(a.run.makespan, b.run.makespan);
+}
+
+TEST(FaultTolerance, RrHealsWorkerCrashIntoValidRemoval) {
+  const auto d = make_data(45);
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto golden = remove_redundant(d.sequences, 4, model);
+
+  const auto plan = worker_crash(1, 0.4 * golden.run.rank_times[1]);
+  const auto r = remove_redundant(d.sequences, 4, model, {}, nullptr, &plan);
+  EXPECT_EQ(r.run.crashed_ranks, (std::vector<int>{1}));
+  // RR verdict application is order dependent (removal chains), so the
+  // healed run need not be bit-identical — but it must still be a valid
+  // removal: every removed sequence names a container that survived.
+  ASSERT_EQ(r.removed.size(), d.sequences.size());
+  for (seq::SeqId id = 0; id < d.sequences.size(); ++id) {
+    if (!r.removed[id]) continue;
+    const seq::SeqId container = r.container[id];
+    EXPECT_LT(container, d.sequences.size());
+    EXPECT_FALSE(r.removed[container])
+        << "removed " << id << " points at removed container " << container;
+  }
+  // Healing must not silently lose work: the healed run still removes a
+  // comparable amount of redundancy.
+  EXPECT_GT(r.removed_count(), 0u);
+  EXPECT_GE(r.removed_count() + 5, golden.removed_count());
+}
+
+TEST(FaultTolerance, AllWorkersCrashedThrows) {
+  const auto d = make_data(46, 60);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({1, 0.0});
+  plan.crashes.push_back({2, 0.0});
+  EXPECT_THROW(detect_components(d.sequences, survivors, 3,
+                                 mpsim::MachineModel::bluegene_l(), {},
+                                 nullptr, &plan),
+               std::runtime_error);
+}
+
+TEST(FaultTolerance, MasterCrashPlanRejected) {
+  const auto d = make_data(47, 60);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto plan = worker_crash(0, 1.0);
+  EXPECT_THROW(detect_components(d.sequences, survivors, 3,
+                                 mpsim::MachineModel::bluegene_l(), {},
+                                 nullptr, &plan),
+               std::invalid_argument);
+}
+
+TEST(FaultTolerance, GenerousHeartbeatLeavesResultUntouched) {
+  // The heartbeat is a wall-clock liveness backstop (stragglers only slow
+  // VIRTUAL time, so they never trip it). A generous timeout must change
+  // nothing — crashes are still observed as failures, not timeouts, and
+  // the partition stays bit-identical.
+  const auto d = make_data(48, 100);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto golden = detect_components(d.sequences, survivors, 4, model);
+
+  PaceParams params;
+  params.heartbeat_timeout = 30.0;  // wall seconds; never fires in-test
+  const auto plan = worker_crash(2, 0.5 * golden.run.rank_times[2]);
+  const auto r = detect_components(d.sequences, survivors, 4, model, params,
+                                   nullptr, &plan);
+  EXPECT_EQ(r.components, golden.components);
+  EXPECT_EQ(r.run.counter("workers_failed"), 1u);
+  EXPECT_EQ(r.run.counter("workers_timed_out"), 0u);
+}
+
+}  // namespace
+}  // namespace pclust::pace

@@ -80,5 +80,97 @@ TEST(Fasta, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(Fasta, InvalidResidueThrowsWithSourceLineAndColumn) {
+  std::istringstream in(">ok\nACDE\n>broken\nAC1E\n");
+  SequenceSet set;
+  FastaOptions options;
+  options.source = "input.fa";
+  try {
+    read_fasta(in, set, options);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("input.fa:4"), std::string::npos) << what;
+    EXPECT_NE(what.find("'1'"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("broken"), std::string::npos) << what;
+  }
+}
+
+TEST(Fasta, MaskPolicyReplacesBadResiduesWithX) {
+  std::istringstream in(">s1\nAC1E\n>s2\nMM#M\n");
+  SequenceSet set;
+  FastaOptions options;
+  options.on_bad_residue = BadResiduePolicy::kMask;
+  FastaStats stats;
+  EXPECT_EQ(read_fasta(in, set, options, &stats), 2u);
+  EXPECT_EQ(set.ascii(0), "ACXE");
+  EXPECT_EQ(set.ascii(1), "MMXM");
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.masked_residues, 2u);
+  EXPECT_EQ(stats.skipped_records, 0u);
+}
+
+TEST(Fasta, SkipPolicyDropsOnlyTheBadRecord) {
+  std::istringstream in(">good1\nACDE\n>bad\nAC?E\nMORE\n>good2\nMMM\n");
+  SequenceSet set;
+  FastaOptions options;
+  options.on_bad_residue = BadResiduePolicy::kSkipRecord;
+  FastaStats stats;
+  EXPECT_EQ(read_fasta(in, set, options, &stats), 2u);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.name(0), "good1");
+  EXPECT_EQ(set.name(1), "good2");
+  EXPECT_EQ(stats.skipped_records, 1u);
+  EXPECT_EQ(stats.records, 2u);
+}
+
+TEST(Fasta, AmbiguityCodesAreValidNotMasked) {
+  // B, Z, J, U, O map to the X rank in every policy — they are legitimate
+  // (if ambiguous) residue codes, not errors.
+  std::istringstream in(">s\nBZJUO\n");
+  SequenceSet set;
+  FastaStats stats;
+  read_fasta(in, set, {}, &stats);  // default kThrow must not throw
+  EXPECT_EQ(set.ascii(0), "XXXXX");
+  EXPECT_EQ(stats.masked_residues, 0u);
+}
+
+TEST(Fasta, ErrorMessagesCarrySourceForStructuralProblems) {
+  FastaOptions options;
+  options.source = "weird.fa";
+  {
+    std::istringstream in("ACDE\n");
+    SequenceSet set;
+    try {
+      read_fasta(in, set, options);
+      FAIL() << "expected a parse error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("weird.fa:1"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in(">empty\n>next\nAC\n");
+    SequenceSet set;
+    try {
+      read_fasta(in, set, options);
+      FAIL() << "expected a parse error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("weird.fa:1"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos);
+    }
+  }
+}
+
+TEST(Fasta, SkippedRecordAtEndOfFileIsCounted) {
+  std::istringstream in(">good\nACDE\n>bad\nA@C\n");
+  SequenceSet set;
+  FastaOptions options;
+  options.on_bad_residue = BadResiduePolicy::kSkipRecord;
+  FastaStats stats;
+  EXPECT_EQ(read_fasta(in, set, options, &stats), 1u);
+  EXPECT_EQ(stats.skipped_records, 1u);
+}
+
 }  // namespace
 }  // namespace pclust::seq

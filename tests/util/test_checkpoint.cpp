@@ -1,0 +1,156 @@
+#include "pclust/util/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pclust::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pclust_ckpt_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path file(const char* name) const { return dir_ / name; }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, Crc32MatchesKnownVector) {
+  // The classic IEEE check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST_F(CheckpointTest, RoundTripsEveryFieldType) {
+  CheckpointWriter w;
+  w.u8(7);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-2.5e300);
+  w.str("protein families");
+  w.u8_vec({0, 1, 255});
+  w.u32_vec({42, 0, 0xFFFFFFFFu});
+  w.u64_vec({});
+  write_checkpoint(file("t.ckpt"), 9, 3, w);
+
+  std::uint32_t version = 0;
+  CheckpointReader r = read_checkpoint(file("t.ckpt"), 9, 3, &version);
+  EXPECT_EQ(version, 3u);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), -2.5e300);
+  EXPECT_EQ(r.str(), "protein families");
+  EXPECT_EQ(r.u8_vec(), (std::vector<std::uint8_t>{0, 1, 255}));
+  EXPECT_EQ(r.u32_vec(), (std::vector<std::uint32_t>{42, 0, 0xFFFFFFFFu}));
+  EXPECT_TRUE(r.u64_vec().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST_F(CheckpointTest, EveryCorruptByteIsDetected) {
+  CheckpointWriter w;
+  w.u64(123456789);
+  w.str("payload under test");
+  write_checkpoint(file("c.ckpt"), 2, 1, w);
+
+  std::ifstream in(file("c.ckpt"), std::ios::binary);
+  std::vector<char> original((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    std::vector<char> bytes = original;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x5A);
+    std::ofstream out(file("c.ckpt"), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    EXPECT_THROW((void)read_checkpoint(file("c.ckpt"), 2, 1), CheckpointError)
+        << "flipped byte " << i << " was accepted";
+    EXPECT_FALSE(checkpoint_valid(file("c.ckpt"), 2, 1));
+  }
+}
+
+TEST_F(CheckpointTest, TruncationIsDetected) {
+  CheckpointWriter w;
+  w.u32_vec({1, 2, 3, 4, 5});
+  write_checkpoint(file("t.ckpt"), 1, 1, w);
+  const auto full_size = fs::file_size(file("t.ckpt"));
+  for (const std::uintmax_t keep : {std::uintmax_t{0}, std::uintmax_t{10},
+                                    full_size - 1}) {
+    fs::resize_file(file("t.ckpt"), keep);
+    EXPECT_THROW((void)read_checkpoint(file("t.ckpt"), 1, 1), CheckpointError)
+        << "kept " << keep << " bytes";
+    // restore for the next iteration
+    CheckpointWriter again;
+    again.u32_vec({1, 2, 3, 4, 5});
+    write_checkpoint(file("t.ckpt"), 1, 1, again);
+  }
+}
+
+TEST_F(CheckpointTest, WrongPhaseTagRejected) {
+  CheckpointWriter w;
+  w.u8(1);
+  write_checkpoint(file("p.ckpt"), 3, 1, w);
+  EXPECT_THROW((void)read_checkpoint(file("p.ckpt"), 4, 1), CheckpointError);
+  EXPECT_TRUE(checkpoint_valid(file("p.ckpt"), 3, 1));
+  EXPECT_FALSE(checkpoint_valid(file("p.ckpt"), 4, 1));
+}
+
+TEST_F(CheckpointTest, NewerPayloadVersionRejected) {
+  CheckpointWriter w;
+  w.u8(1);
+  write_checkpoint(file("v.ckpt"), 3, 2, w);
+  EXPECT_THROW((void)read_checkpoint(file("v.ckpt"), 3, 1), CheckpointError);
+  EXPECT_NO_THROW((void)read_checkpoint(file("v.ckpt"), 3, 5));
+}
+
+TEST_F(CheckpointTest, MissingFileRejected) {
+  EXPECT_THROW((void)read_checkpoint(file("absent.ckpt"), 1, 1),
+               CheckpointError);
+  EXPECT_FALSE(checkpoint_valid(file("absent.ckpt"), 1, 1));
+}
+
+TEST_F(CheckpointTest, ReaderOverrunThrows) {
+  CheckpointWriter w;
+  w.u32(1);
+  write_checkpoint(file("o.ckpt"), 1, 1, w);
+  CheckpointReader r = read_checkpoint(file("o.ckpt"), 1, 1);
+  (void)r.u32();
+  EXPECT_THROW((void)r.u32(), CheckpointError);
+}
+
+TEST_F(CheckpointTest, RewriteIsAtomicNoTmpResidue) {
+  CheckpointWriter w1;
+  w1.str("generation one");
+  write_checkpoint(file("a.ckpt"), 1, 1, w1);
+  CheckpointWriter w2;
+  w2.str("generation two");
+  write_checkpoint(file("a.ckpt"), 1, 1, w2);
+
+  CheckpointReader r = read_checkpoint(file("a.ckpt"), 1, 1);
+  EXPECT_EQ(r.str(), "generation two");
+  // The tmp staging file must not be left behind.
+  EXPECT_FALSE(fs::exists(file("a.ckpt.tmp")));
+}
+
+}  // namespace
+}  // namespace pclust::util

@@ -1,0 +1,62 @@
+#include "cli_common.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "pclust/util/strings.hpp"
+
+namespace pclust::cli {
+
+void require_readable(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot read '" + path + "': no such file or not readable");
+  }
+}
+
+void require_writable(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  const fs::path parent =
+      target.has_parent_path() ? target.parent_path() : fs::path(".");
+  std::error_code ec;
+  if (!fs::exists(parent, ec)) {
+    throw IoError("cannot write '" + path + "': directory '" +
+                  parent.string() + "' does not exist");
+  }
+  // Probe with append mode: creates the file if absent but never truncates
+  // an existing one.
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw IoError("cannot write '" + path + "': permission denied");
+  }
+  probe.close();
+  if (fs::exists(target, ec) && fs::file_size(target, ec) == 0) {
+    fs::remove(target, ec);  // drop the empty probe artifact
+  }
+}
+
+long long get_int_in(const util::Options& options, const std::string& name,
+                     long long min, long long max) {
+  const long long value = options.get_int(name);
+  if (value < min || value > max) {
+    throw UsageError("--" + name + " must be in [" + std::to_string(min) +
+                     ", " + std::to_string(max) + "], got " +
+                     std::to_string(value));
+  }
+  return value;
+}
+
+double get_double_in(const util::Options& options, const std::string& name,
+                     double min, double max) {
+  const double value = options.get_double(name);
+  if (!(value >= min && value <= max)) {
+    throw UsageError("--" + name + " must be in [" +
+                     util::format("%g", min) + ", " +
+                     util::format("%g", max) + "], got " +
+                     util::format("%g", value));
+  }
+  return value;
+}
+
+}  // namespace pclust::cli

@@ -1,0 +1,49 @@
+// Shared validation helpers and exit-code conventions for the pclust CLI.
+//
+// Exit codes:
+//   0  success
+//   1  unexpected runtime failure
+//   2  usage error (bad flag value, missing argument)
+//   3  I/O error (missing input, unwritable output)
+//   4  checkpoint mismatch (fingerprint/corruption on --resume)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "pclust/util/options.hpp"
+
+namespace pclust::cli {
+
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitIo = 3;
+inline constexpr int kExitCheckpoint = 4;
+
+/// A command-line value failed validation; main() maps this to exit 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A required path is missing or not writable; main() maps this to exit 3.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws IoError unless @p path exists and is readable.
+void require_readable(const std::string& path);
+
+/// Throws IoError unless @p path can be created/overwritten (its parent
+/// directory exists and is writable — probed by opening for append).
+void require_writable(const std::string& path);
+
+/// --name as an integer in [min, max]; throws UsageError otherwise.
+long long get_int_in(const util::Options& options, const std::string& name,
+                     long long min, long long max);
+
+/// --name as a double in [min, max]; throws UsageError otherwise.
+double get_double_in(const util::Options& options, const std::string& name,
+                     double min, double max);
+
+}  // namespace pclust::cli

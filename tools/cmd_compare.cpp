@@ -1,5 +1,6 @@
 #include <cstdio>
 
+#include "cli_common.hpp"
 #include "commands.hpp"
 #include "pclust/quality/cluster_io.hpp"
 #include "pclust/quality/metrics.hpp"
@@ -22,6 +23,10 @@ int cmd_compare(int argc, const char* const* argv) {
                    .c_str(),
                stdout);
     return options.help_requested() ? 0 : 2;
+  }
+
+  for (const std::string& path : options.positionals()) {
+    require_readable(path);
   }
 
   seq::SequenceSet sequences;

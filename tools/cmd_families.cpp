@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cli_common.hpp"
 #include "commands.hpp"
 #include "pclust/align/msa.hpp"
 #include "pclust/pipeline/pipeline.hpp"
@@ -35,6 +36,14 @@ int cmd_families(int argc, const char* const* argv) {
   options.define_flag("mask", "SEG-style low-complexity masking of input");
   options.define("show-alignments", "0",
                  "print a consensus alignment for the N largest families");
+  options.define("on-bad-residue", "throw",
+                 "invalid FASTA residue handling: throw, mask (replace "
+                 "with X), or skip (drop the record)");
+  options.define("checkpoint-dir", "",
+                 "write phase-level checkpoints to this directory");
+  options.define_flag("resume",
+                      "resume from --checkpoint-dir, skipping completed "
+                      "phases (exit 4 on input/config mismatch)");
   options.parse(argc, argv);
   if (options.help_requested() || options.positionals().empty()) {
     std::fputs(options
@@ -46,36 +55,69 @@ int cmd_families(int argc, const char* const* argv) {
     return options.help_requested() ? 0 : 2;
   }
 
-  seq::SequenceSet sequences;
-  seq::read_fasta_file(options.positionals()[0], sequences);
-  std::printf("loaded %zu sequences from %s\n", sequences.size(),
-              options.positionals()[0].c_str());
-
+  // Validate before touching any input: bad values exit 2, bad paths 3.
   pipeline::PipelineConfig config;
-  config.pace.psi = static_cast<std::uint32_t>(options.get_int("psi"));
-  config.pace.band = static_cast<std::uint32_t>(options.get_int("band"));
-  config.shingle.s1 = static_cast<std::uint32_t>(options.get_int("s"));
-  config.shingle.c1 = static_cast<std::uint32_t>(options.get_int("c"));
-  config.shingle.tau = options.get_double("tau");
-  config.shingle.min_size =
-      static_cast<std::uint32_t>(options.get_int("min-family"));
+  config.pace.psi = static_cast<std::uint32_t>(
+      get_int_in(options, "psi", 1, 10'000));
+  config.pace.band =
+      static_cast<std::uint32_t>(get_int_in(options, "band", 0, 1 << 20));
+  config.shingle.s1 =
+      static_cast<std::uint32_t>(get_int_in(options, "s", 1, 1 << 16));
+  config.shingle.c1 =
+      static_cast<std::uint32_t>(get_int_in(options, "c", 1, 1 << 20));
+  config.shingle.tau = get_double_in(options, "tau", 0.0, 1.0);
+  config.shingle.min_size = static_cast<std::uint32_t>(
+      get_int_in(options, "min-family", 1, 1 << 20));
   config.min_component = config.shingle.min_size;
-  config.processors = static_cast<int>(options.get_int("processors"));
+  config.processors = static_cast<int>(
+      get_int_in(options, "processors", 0, 1 << 16));
+  if (config.processors == 1) {
+    throw UsageError(
+        "--processors 1 is not a valid simulation (master + no workers); "
+        "use 0 for the serial path or >= 2 for simulated ranks");
+  }
   config.mask_low_complexity = options.get_flag("mask");
-  config.dsd_processors =
-      static_cast<int>(options.get_int("dsd-processors"));
-  const long long threads = options.get_int("threads");
-  if (threads < 0) throw std::runtime_error("--threads must be >= 0");
-  config.threads = static_cast<unsigned>(threads);
+  config.dsd_processors = static_cast<int>(
+      get_int_in(options, "dsd-processors", 0, 1 << 16));
+  config.threads = static_cast<unsigned>(
+      get_int_in(options, "threads", 0, 1 << 16));
   const std::string reduction = options.get("reduction");
   if (reduction == "bm") {
     config.reduction = bigraph::Reduction::kMatchBased;
-    config.bm.w = static_cast<std::uint32_t>(options.get_int("w"));
+    config.bm.w =
+        static_cast<std::uint32_t>(get_int_in(options, "w", 1, 1 << 16));
   } else if (reduction != "bd") {
-    std::fprintf(stderr, "unknown reduction '%s' (use bd or bm)\n",
-                 reduction.c_str());
-    return 2;
+    throw UsageError("unknown reduction '" + reduction +
+                     "' (use bd or bm)");
   }
+
+  seq::FastaOptions fasta;
+  const std::string bad_residue = options.get("on-bad-residue");
+  if (bad_residue == "mask") {
+    fasta.on_bad_residue = seq::BadResiduePolicy::kMask;
+  } else if (bad_residue == "skip") {
+    fasta.on_bad_residue = seq::BadResiduePolicy::kSkipRecord;
+  } else if (bad_residue != "throw") {
+    throw UsageError("unknown --on-bad-residue '" + bad_residue +
+                     "' (use throw, mask, or skip)");
+  }
+  fasta.log_summary = true;
+
+  config.checkpoint_dir = options.get("checkpoint-dir");
+  config.resume = options.get_flag("resume");
+  if (config.resume && config.checkpoint_dir.empty()) {
+    throw UsageError("--resume requires --checkpoint-dir");
+  }
+
+  require_readable(options.positionals()[0]);
+  if (const std::string out = options.get("out"); !out.empty()) {
+    require_writable(out);
+  }
+
+  seq::SequenceSet sequences;
+  seq::read_fasta_file(options.positionals()[0], sequences, fasta);
+  std::printf("loaded %zu sequences from %s\n", sequences.size(),
+              options.positionals()[0].c_str());
 
   const pipeline::PipelineResult result = pipeline::run(sequences, config);
   std::printf(

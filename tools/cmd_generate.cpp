@@ -1,5 +1,8 @@
 #include <cstdio>
 
+#include <limits>
+
+#include "cli_common.hpp"
 #include "commands.hpp"
 #include "pclust/quality/cluster_io.hpp"
 #include "pclust/seq/fasta.hpp"
@@ -35,8 +38,10 @@ int cmd_generate(int argc, const char* const* argv) {
 
   synth::DatasetSpec spec;
   const std::string preset = options.get("preset");
-  const auto n = static_cast<std::uint32_t>(options.get_int("n"));
-  const auto seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  const auto n =
+      static_cast<std::uint32_t>(get_int_in(options, "n", 1, 100'000'000));
+  const auto seed = static_cast<std::uint64_t>(
+      get_int_in(options, "seed", 0, std::numeric_limits<int>::max()));
   if (preset == "160k") {
     spec = synth::paper_160k(static_cast<double>(n) / 160'000.0, seed);
   } else if (preset == "22k") {
@@ -45,17 +50,21 @@ int cmd_generate(int argc, const char* const* argv) {
     spec.seed = seed;
     spec.num_sequences = n;
     spec.num_families =
-        static_cast<std::uint32_t>(options.get_int("families"));
-    spec.subfamilies_per_family =
-        static_cast<std::uint32_t>(options.get_int("subfamilies"));
-    spec.mean_length =
-        static_cast<std::uint32_t>(options.get_int("mean-length"));
-    spec.redundant_fraction = options.get_double("redundant");
-    spec.noise_fraction = options.get_double("noise");
+        static_cast<std::uint32_t>(get_int_in(options, "families", 1, 1 << 24));
+    spec.subfamilies_per_family = static_cast<std::uint32_t>(
+        get_int_in(options, "subfamilies", 1, 1 << 16));
+    spec.mean_length = static_cast<std::uint32_t>(
+        get_int_in(options, "mean-length", 1, 1 << 20));
+    spec.redundant_fraction = get_double_in(options, "redundant", 0.0, 1.0);
+    spec.noise_fraction = get_double_in(options, "noise", 0.0, 1.0);
   } else {
-    std::fprintf(stderr, "unknown preset '%s' (use 160k or 22k)\n",
-                 preset.c_str());
-    return 2;
+    throw UsageError("unknown preset '" + preset + "' (use 160k or 22k)");
+  }
+
+  require_writable(options.get("out"));
+  if (const std::string truth_path = options.get("truth");
+      !truth_path.empty()) {
+    require_writable(truth_path);
   }
 
   const synth::Dataset data = synth::generate(spec);

@@ -1,9 +1,15 @@
 #include <cstdio>
 
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "cli_common.hpp"
 #include "commands.hpp"
 #include "pclust/exec/pool.hpp"
+#include "pclust/mpsim/fault_plan.hpp"
 #include "pclust/mpsim/machine_model.hpp"
 #include "pclust/pace/components.hpp"
 #include "pclust/pace/redundancy.hpp"
@@ -14,6 +20,39 @@
 #include "pclust/util/table.hpp"
 
 namespace pclust::cli {
+
+namespace {
+
+/// Parses "rank@value" pairs from a comma-separated list, e.g.
+/// "1@5.0,3@12" -> {(1, 5.0), (3, 12.0)}. Empty input -> empty list.
+std::vector<std::pair<int, double>> parse_rank_at(const std::string& text,
+                                                  const char* flag) {
+  std::vector<std::pair<int, double>> out;
+  if (text.empty()) return out;
+  for (const std::string& token : util::split(text, ',')) {
+    const std::string entry(util::trim(token));
+    const auto at = entry.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 == entry.size()) {
+      throw UsageError(std::string("--") + flag + ": expected rank@value, got '" +
+                       entry + "'");
+    }
+    try {
+      std::size_t used = 0;
+      const int rank = std::stoi(entry.substr(0, at), &used);
+      if (used != at) throw std::invalid_argument(entry);
+      const std::string value_text = entry.substr(at + 1);
+      const double value = std::stod(value_text, &used);
+      if (used != value_text.size()) throw std::invalid_argument(entry);
+      out.emplace_back(rank, value);
+    } catch (const std::exception&) {
+      throw UsageError(std::string("--") + flag + ": expected rank@value, got '" +
+                       entry + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 int cmd_simulate(int argc, const char* const* argv) {
   util::Options options;
@@ -27,6 +66,22 @@ int cmd_simulate(int argc, const char* const* argv) {
   options.define("seed", "42", "workload seed");
   options.define("threads", "1",
                  "real worker threads per simulation (0 = all cores)");
+  options.define("crash", "",
+                 "fault injection: comma-separated rank@virtual-seconds "
+                 "crash schedule, e.g. 1@5,3@20");
+  options.define("drop", "0",
+                 "fault injection: per-message drop probability in [0, 1) "
+                 "(dropped copies are retransmitted with a delay)");
+  options.define("dup", "0",
+                 "fault injection: per-message duplicate-delivery "
+                 "probability in [0, 1)");
+  options.define("straggle", "",
+                 "fault injection: comma-separated rank@slowdown compute "
+                 "multipliers, e.g. 2@4");
+  options.define("heartbeat", "0",
+                 "master declares a silent worker dead after this many wall "
+                 "seconds (0 = wait forever)");
+  options.define("fault-seed", "1", "seed for per-message fault decisions");
   options.parse(argc, argv);
   if (options.help_requested()) {
     std::fputs(options
@@ -39,42 +94,89 @@ int cmd_simulate(int argc, const char* const* argv) {
     return 0;
   }
 
+  pace::PaceParams ccd_params;
+  ccd_params.psi =
+      static_cast<std::uint32_t>(get_int_in(options, "psi", 1, 10'000));
+  ccd_params.band =
+      static_cast<std::uint32_t>(get_int_in(options, "band", 0, 1 << 20));
+  ccd_params.heartbeat_timeout =
+      get_double_in(options, "heartbeat", 0.0, 86'400.0);
+  pace::PaceParams rr_params = ccd_params;
+  rr_params.band = 0;
+
+  mpsim::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(
+      get_int_in(options, "fault-seed", 0, std::numeric_limits<int>::max()));
+  plan.drop_probability = get_double_in(options, "drop", 0.0, 0.999);
+  plan.duplicate_probability = get_double_in(options, "dup", 0.0, 0.999);
+  for (const auto& [rank, at] : parse_rank_at(options.get("crash"), "crash")) {
+    if (rank == 0) {
+      throw UsageError(
+          "--crash: rank 0 is the master; crashing it is unrecoverable "
+          "(use --checkpoint-dir / --resume for master failures)");
+    }
+    if (at < 0.0) throw UsageError("--crash: time must be >= 0");
+    plan.crashes.push_back({rank, at});
+  }
+  for (const auto& [rank, factor] :
+       parse_rank_at(options.get("straggle"), "straggle")) {
+    if (rank < 0) throw UsageError("--straggle: rank must be >= 0");
+    if (factor < 1.0) throw UsageError("--straggle: factor must be >= 1");
+    if (plan.straggler_factor.size() <= static_cast<std::size_t>(rank)) {
+      plan.straggler_factor.resize(static_cast<std::size_t>(rank) + 1, 1.0);
+    }
+    plan.straggler_factor[static_cast<std::size_t>(rank)] = factor;
+  }
+  const mpsim::FaultPlan* plan_arg = plan.empty() ? nullptr : &plan;
+
   seq::SequenceSet sequences;
   if (!options.positionals().empty()) {
+    require_readable(options.positionals()[0]);
     seq::read_fasta_file(options.positionals()[0], sequences);
   } else {
     const auto spec = synth::paper_160k(
-        options.get_double("n") / 160'000.0,
-        static_cast<std::uint64_t>(options.get_int("seed")));
+        get_double_in(options, "n", 1.0, 10'000'000.0) / 160'000.0,
+        static_cast<std::uint64_t>(
+            get_int_in(options, "seed", 0, std::numeric_limits<int>::max())));
     sequences = synth::generate(spec).sequences;
   }
 
   const std::string machine = options.get("machine");
+  if (machine != "bluegene" && machine != "xeon") {
+    throw UsageError("unknown --machine '" + machine +
+                     "' (use bluegene or xeon)");
+  }
   const auto model = machine == "xeon" ? mpsim::MachineModel::xeon_cluster()
                                        : mpsim::MachineModel::bluegene_l();
 
-  pace::PaceParams ccd_params;
-  ccd_params.psi = static_cast<std::uint32_t>(options.get_int("psi"));
-  ccd_params.band = static_cast<std::uint32_t>(options.get_int("band"));
-  pace::PaceParams rr_params = ccd_params;
-  rr_params.band = 0;
-
-  const long long threads = options.get_int("threads");
-  if (threads < 0) throw std::runtime_error("--threads must be >= 0");
-  exec::Pool pool(static_cast<unsigned>(threads));
+  exec::Pool pool(
+      static_cast<unsigned>(get_int_in(options, "threads", 0, 1 << 16)));
   exec::Pool* pool_arg = pool.size() > 1 ? &pool : nullptr;
 
   util::Table table({"p", "RR (s)", "CCD (s)", "total (s)", "RR share",
                      "aligned pairs"});
-  table.set_title(util::format("Simulated %s, n = %zu", model.name.c_str(),
-                               sequences.size()));
+  table.set_title(util::format("Simulated %s, n = %zu%s", model.name.c_str(),
+                               sequences.size(),
+                               plan_arg ? " (fault plan active)" : ""));
   for (const std::string& token :
        util::split(options.get("processors"), ',')) {
-    const int p = static_cast<int>(std::stol(std::string(util::trim(token))));
-    const auto rr =
-        pace::remove_redundant(sequences, p, model, rr_params, pool_arg);
+    int p = 0;
+    try {
+      p = static_cast<int>(std::stol(std::string(util::trim(token))));
+    } catch (const std::exception&) {
+      throw UsageError("--processors: expected an integer, got '" +
+                       std::string(util::trim(token)) + "'");
+    }
+    if (p < 2) {
+      throw UsageError("--processors: each rank count must be >= 2 (master "
+                       "plus at least one worker), got " + std::to_string(p));
+    }
+    if (plan_arg) plan.validate(p);
+    const auto rr = pace::remove_redundant(sequences, p, model, rr_params,
+                                           pool_arg, plan_arg);
     const auto ccd = pace::detect_components(sequences, rr.survivors(), p,
-                                             model, ccd_params, pool_arg);
+                                             model, ccd_params, pool_arg,
+                                             plan_arg);
     const double total = rr.run.makespan + ccd.run.makespan;
     table.add_row(
         {std::to_string(p), util::format("%.2f", rr.run.makespan),
@@ -82,6 +184,26 @@ int cmd_simulate(int argc, const char* const* argv) {
          util::format("%.0f%%", 100.0 * rr.run.makespan / total),
          util::with_commas(static_cast<long long>(
              rr.counters.aligned_pairs + ccd.counters.aligned_pairs))});
+    if (plan_arg) {
+      const auto report = [](const char* phase, const mpsim::RunResult& run) {
+        if (run.crashed_ranks.empty() && run.counter("workers_timed_out") == 0)
+          return;
+        std::string ranks;
+        for (const int r : run.crashed_ranks) {
+          ranks += (ranks.empty() ? "" : ",") + std::to_string(r);
+        }
+        std::fprintf(
+            stderr,
+            "  [%s: crashed ranks {%s}; %llu pairs requeued, %llu streams "
+            "adopted, %llu workers timed out]\n",
+            phase, ranks.c_str(),
+            static_cast<unsigned long long>(run.counter("pairs_requeued")),
+            static_cast<unsigned long long>(run.counter("streams_adopted")),
+            static_cast<unsigned long long>(run.counter("workers_timed_out")));
+      };
+      report("RR", rr.run);
+      report("CCD", ccd.run);
+    }
     std::fprintf(stderr, "  [p=%d done]\n", p);
   }
   std::fputs(table.to_string().c_str(), stdout);

@@ -7,8 +7,11 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 
+#include "cli_common.hpp"
 #include "commands.hpp"
+#include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
 
 namespace {
@@ -62,6 +65,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pclust: unknown command '%s'\n\n", command);
     print_usage();
     return 2;
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    return cli::kExitUsage;
+  } catch (const cli::IoError& e) {
+    std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    return cli::kExitIo;
+  } catch (const util::CheckpointError& e) {
+    std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    return cli::kExitCheckpoint;
+  } catch (const std::invalid_argument& e) {
+    // Parameter validation from the option parser or the library — a usage
+    // problem, not a crash.
+    std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    return cli::kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
     return 1;
