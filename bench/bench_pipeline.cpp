@@ -1,0 +1,35 @@
+// End-to-end pipeline benchmark: run the full four-phase pipeline on the
+// scaled 160K analog and emit the structured run report as
+// BENCH_pipeline.json. The report path is the same one `pclust families
+// --report-out` uses, so the perf trajectory records real phase times
+// (timing.*), the alignment-work identity, and the full metrics-registry
+// snapshot per PR.
+#include <cstdio>
+
+#include "common.hpp"
+#include "pclust/pipeline/report.hpp"
+#include "pclust/util/metrics.hpp"
+
+int main() {
+  using namespace pclust;
+  using namespace pclust::bench;
+
+  const synth::Dataset data = synth::generate(synth::paper_160k(kScale));
+  pipeline::PipelineConfig config;
+  config.pace = bench_pace_params();
+  config.shingle = bench_shingle_params();
+  config.min_component = config.shingle.min_size;
+
+  util::metrics().reset();
+  const pipeline::PipelineResult result = pipeline::run(data.sequences, config);
+
+  pipeline::write_report("BENCH_pipeline.json", result, config,
+                         {"bench_pipeline", "synth:paper_160k-analog"});
+  std::fprintf(stderr, "wrote BENCH_pipeline.json\n");
+  std::printf(
+      "pipeline bench: n=%zu  RR %.3fs  CCD %.3fs  BGG+DSD %.3fs  "
+      "(%zu families, skip ratio see BENCH_pipeline.json)\n",
+      result.input_sequences, result.rr_seconds, result.ccd_seconds,
+      result.bgg_dsd_seconds, result.families.size());
+  return 0;
+}

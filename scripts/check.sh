@@ -57,4 +57,25 @@ rc=0; "$pclust" generate --n 300 --families 5 --seed 8 --out "$smoke/other.fa" >
      --resume 2>/dev/null || rc=$?
 [ "$rc" -eq 4 ] || { echo "expected exit 4 for fingerprint mismatch, got $rc"; exit 1; }
 
+# metrics-smoke: run reports + traces end to end. A serial run on a dense
+# single-family workload must validate against the report schema AND show
+# the paper's cluster-filter effect (CCD skip ratio > 0.99); a faulted,
+# healed, threaded run must still satisfy the alignment-work identity; and
+# the report diff mode must accept both documents.
+"$pclust" generate --n 1400 --families 1 --noise 0.05 --mean-length 60 \
+  --redundant 0.05 --seed 7 --out "$smoke/dense.fa" >/dev/null
+"$pclust" families "$smoke/dense.fa" --rr-band 32 \
+  --report-out "$smoke/serial.json" --trace-out "$smoke/serial.trace.json" \
+  >/dev/null
+"$pclust" report-check "$smoke/serial.json" --min-ccd-skip-ratio 0.99
+grep -q '"traceEvents"' "$smoke/serial.trace.json" \
+  || { echo "trace output is not a trace-event document"; exit 1; }
+"$pclust" families "$smoke/in.fa" --processors 4 --threads 4 \
+  --crash 2@0.01 --straggle 3@2 --report-out "$smoke/faulted.json" >/dev/null
+"$pclust" report-check "$smoke/faulted.json"
+grep -q '"crashed_ranks":\[2' "$smoke/faulted.json" \
+  || { echo "faulted report does not record the crashed rank"; exit 1; }
+"$pclust" compare --reports "$smoke/serial.json" "$smoke/faulted.json" \
+  >/dev/null
+
 echo "check.sh: all green"

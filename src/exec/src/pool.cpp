@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pclust/util/metrics.hpp"
+
 namespace pclust::exec {
 
 Pool::Pool(unsigned threads) {
@@ -76,6 +78,9 @@ void Pool::for_range(
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
+
+  static util::Counter& jobs = util::metrics().counter("exec.parallel_jobs");
+  jobs.add(1);
 
   if (size_ == 1 || n <= grain) {
     // Serial path: same chunking, caller's thread, no synchronization.

@@ -161,6 +161,10 @@ class Communicator {
     return counters_;
   }
 
+  /// Per-link traffic recorded by send(): one entry per destination this
+  /// rank ever sent to (keys "link.SRC->DST.msgs" / ".bytes" in counters()).
+  void record_link_traffic(int dst, std::uint64_t bytes);
+
  private:
   /// Dies (throws RankCrashed, marks the rank failed in the transport) once
   /// the virtual clock has reached the planned crash time. Called on every
@@ -175,6 +179,14 @@ class Communicator {
   double compute_factor_;
   bool crashed_ = false;
   std::map<std::string, std::uint64_t> counters_;
+
+  // Cached "link.SRC->DST.{msgs,bytes}" key strings, indexed by dst, so
+  // record_link_traffic never formats on the hot path after first use.
+  struct LinkKeys {
+    std::string msgs;
+    std::string bytes;
+  };
+  std::vector<LinkKeys> link_keys_;
 };
 
 }  // namespace pclust::mpsim

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pclust/util/metrics.hpp"
 #include "transport.hpp"
 
 namespace pclust::mpsim {
@@ -49,6 +50,7 @@ void Communicator::check_crash() {
 void Communicator::send(int dst, int tag, std::any payload,
                         std::uint64_t bytes) {
   check_crash();
+  record_link_traffic(dst, bytes);
   // Sender pays the injection overhead; the receiver's clock is advanced at
   // take time from the stamp.
   clock_.advance(model_.latency);
@@ -235,6 +237,27 @@ std::any Communicator::scatter(int root, std::vector<std::any> payloads,
 
 void Communicator::count(const std::string& key, std::uint64_t delta) {
   counters_[key] += delta;
+}
+
+void Communicator::record_link_traffic(int dst, std::uint64_t bytes) {
+  if (dst < 0) return;
+  if (static_cast<std::size_t>(dst) >= link_keys_.size()) {
+    link_keys_.resize(static_cast<std::size_t>(dst) + 1);
+  }
+  LinkKeys& keys = link_keys_[static_cast<std::size_t>(dst)];
+  if (keys.msgs.empty()) {
+    const std::string link =
+        "link." + std::to_string(rank_) + "->" + std::to_string(dst);
+    keys.msgs = link + ".msgs";
+    keys.bytes = link + ".bytes";
+  }
+  counters_[keys.msgs] += 1;
+  counters_[keys.bytes] += bytes;
+  // Process-wide totals (all phases, all ranks) for the run report.
+  static util::Counter& msgs = util::metrics().counter("mpsim.messages_sent");
+  static util::Counter& sent = util::metrics().counter("mpsim.bytes_sent");
+  msgs.add(1);
+  sent.add(bytes);
 }
 
 }  // namespace pclust::mpsim

@@ -6,6 +6,7 @@
 
 #include "pclust/align/predicates.hpp"
 #include "pclust/dsu/union_find.hpp"
+#include "pclust/util/metrics.hpp"
 
 namespace pclust::pace {
 
@@ -24,7 +25,9 @@ class CcdMaster final : public MasterPolicy {
   }
 
   void apply(const Verdict& v) override {
-    if (v.code == 1) uf_.merge(dense_.at(v.a), dense_.at(v.b));
+    if (v.code == 1 && uf_.merge(dense_.at(v.a), dense_.at(v.b))) {
+      util::metrics().counter("ccd.uf_merges").add(1);
+    }
   }
 
   /// Snapshot the union–find forest for checkpointing.

@@ -9,10 +9,32 @@
 #include "pclust/exec/pool.hpp"
 #include "pclust/suffix/lcp.hpp"
 #include "pclust/suffix/suffix_array.hpp"
+#include "pclust/util/metrics.hpp"
+#include "pclust/util/trace.hpp"
 
 namespace pclust::pace {
 
 namespace {
+
+/// Virtual-time trace instant on the current phase timeline (tid = rank).
+void trace_event(const mpsim::Communicator& comm, std::string_view name,
+                 std::string_view cat) {
+  if (!util::trace::enabled()) return;
+  util::trace::instant(util::trace::current_pid(), comm.rank(), name, cat,
+                       comm.clock().now() * 1e6);
+}
+
+/// One phase's EngineCounters folded into the registry. These back the
+/// report's alignment-work identity: promising == aligned + filtered +
+/// duplicate, where `filtered` is the paper's skipped-by-cluster-filter
+/// count.
+void record_engine_counters(const EngineCounters& c) {
+  auto& m = util::metrics();
+  m.counter("pace.promising_pairs").add(c.promising_pairs);
+  m.counter("pace.duplicate_pairs").add(c.duplicate_pairs);
+  m.counter("pace.skipped_by_cluster_filter").add(c.filtered_pairs);
+  m.counter("pace.alignments_attempted").add(c.aligned_pairs);
+}
 
 constexpr int kTagRound = 1;
 constexpr int kTagWork = 2;
@@ -227,6 +249,7 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
   const auto reassign = [&](int dead) {
     WorkerState& d = ws[static_cast<std::size_t>(dead)];
     comm.count("pairs_requeued", d.outstanding.size());
+    util::metrics().counter("pace.pairs_requeued").add(d.outstanding.size());
     for (auto it = d.outstanding.rbegin(); it != d.outstanding.rend(); ++it) {
       pending.push_front(*it);
     }
@@ -253,6 +276,8 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
           origin, received[static_cast<std::size_t>(origin)]});
       t.exhausted = false;  // new pairs are (potentially) coming
       comm.count("streams_adopted");
+      util::metrics().counter("pace.streams_adopted").add(1);
+      trace_event(comm, "stream_adopted", "heal");
     }
     d.streams.clear();
     d.exhausted = true;  // nothing more expected from it
@@ -292,8 +317,12 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
             bye.done = true;
             comm.send(w, kTagWork, std::any(std::move(bye)), kHeaderBytes);
             comm.count("workers_timed_out");
+            util::metrics().counter("pace.workers_timed_out").add(1);
+            trace_event(comm, "worker_timed_out", "heal");
           } else {
             comm.count("workers_failed");
+            util::metrics().counter("pace.workers_failed").add(1);
+            trace_event(comm, "worker_failed", "heal");
           }
           reassign(w);
         }
@@ -334,6 +363,10 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
           "pace: all workers failed; cannot complete the phase");
     }
 
+    static util::Gauge& depth =
+        util::metrics().gauge("pace.master.queue_depth");
+    depth.set(pending.size());
+
     done = pending.empty();
     for (int w = 1; done && w < p; ++w) {
       const WorkerState& state = ws[static_cast<std::size_t>(w)];
@@ -360,6 +393,9 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
       if (!work.tasks.empty()) {
         state.outstanding = work.tasks;
         state.outstanding_seq = work.seq;
+        static util::SizeHistogram& batches =
+            util::metrics().histogram("pace.work_batch_size");
+        batches.add(work.tasks.size());
       }
       c.aligned_pairs += work.tasks.size();
       const std::uint64_t bytes =
@@ -372,6 +408,7 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
   comm.count("duplicate_pairs", c.duplicate_pairs);
   comm.count("filtered_pairs", c.filtered_pairs);
   comm.count("aligned_pairs", c.aligned_pairs);
+  record_engine_counters(c);
 }
 
 void worker_loop(mpsim::Communicator& comm, const SharedIndex& index,
@@ -387,12 +424,23 @@ void worker_loop(mpsim::Communicator& comm, const SharedIndex& index,
   // its pairs; adoption replays a dead rank's share from @p from, paying
   // the regeneration cost on THIS rank's clock.
   const auto add_stream = [&](int origin, std::uint64_t from) {
+    const double t0 = comm.clock().now();
     comm.charge_index_chars(index.worker_chars(origin));
     Stream s{origin, static_cast<std::size_t>(from),
              index.worker_pairs(origin)};
     comm.charge_pairs(s.pairs.size());
     comm.count("worker_pairs_generated",
                s.pairs.size() - std::min<std::size_t>(s.next, s.pairs.size()));
+    util::metrics().counter("pace.generation_streams").add(1);
+    if (util::trace::enabled()) {
+      const std::string name = origin == comm.rank()
+                                   ? "generate"
+                                   : "generate(adopted:" +
+                                         std::to_string(origin) + ")";
+      util::trace::complete(util::trace::current_pid(), comm.rank(), name,
+                            "generation", t0 * 1e6,
+                            (comm.clock().now() - t0) * 1e6);
+    }
     streams.push_back(std::move(s));
   };
   add_stream(comm.rank(), 0);
@@ -547,6 +595,7 @@ EngineCounters run_serial(const seq::SequenceSet& set,
       }
     }
     flush();
+    record_engine_counters(c);
     return c;
   }
 
@@ -567,6 +616,7 @@ EngineCounters run_serial(const seq::SequenceSet& set,
     master_policy.apply(worker_policy.evaluate(task, &cells));
     maybe_checkpoint(i + 1);
   }
+  record_engine_counters(c);
   return c;
 }
 

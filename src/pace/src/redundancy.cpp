@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "pclust/align/predicates.hpp"
+#include "pclust/util/metrics.hpp"
 
 namespace pclust::pace {
 
@@ -28,6 +29,12 @@ class RrMaster final : public MasterPolicy {
   }
 
   void apply(const Verdict& v) override {
+    if (v.code != kNone) {
+      util::metrics().counter("rr.containment_hits").add(1);
+      if (v.code == kMutual) {
+        util::metrics().counter("rr.containment_mutual").add(1);
+      }
+    }
     // Remove a sequence only when its container survives, and never remove
     // a sequence that is itself the recorded container of others — chains
     // like a ⊂ b ⊂ c would otherwise silently degrade the 95 % guarantee
@@ -38,6 +45,7 @@ class RrMaster final : public MasterPolicy {
       result_.removed[victim] = 1;
       result_.container[victim] = keeper;
       ++dependents_[keeper];
+      util::metrics().counter("rr.sequences_removed").add(1);
     };
     switch (v.code) {
       case kAInB: remove(v.a, v.b); break;

@@ -1,0 +1,53 @@
+// Structured run reports: one JSON document per pipeline run capturing
+// phase times and provenance, the engine's alignment-work identity
+// (candidate_pairs == attempted + skipped_by_cluster_filter per phase — the
+// paper's ">99.9 % of pairs never aligned" claim made checkable), fault and
+// healing activity, Table-I quantities, and a full metrics-registry
+// snapshot.
+//
+// Schema (stable; validated by validate_report and `pclust report-check`):
+//   { "schema": "pclust-run-report", "version": 1,
+//     "command": str, "input": {...}, "config": {...},
+//     "phases": [ {name, seconds, source, ...engine counters} ],
+//     "alignment": {candidate_pairs, attempted, skipped_by_cluster_filter,
+//                   duplicate_pairs, skip_ratio},
+//     "faults": {...}, "resume": {...}, "table1": {...},
+//     "metrics": {counters, gauges, histograms} }
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "pclust/pipeline/pipeline.hpp"
+
+namespace pclust::util {
+class JsonValue;
+}
+
+namespace pclust::pipeline {
+
+/// Run context the library cannot know by itself.
+struct ReportInfo {
+  std::string command;  // CLI subcommand, e.g. "families"
+  std::string input;    // input path (or description)
+};
+
+/// Render the report document for a finished run. Reads the process-wide
+/// metrics registry — call after run() returns, before the next run resets
+/// the registry.
+[[nodiscard]] std::string render_report(const PipelineResult& result,
+                                        const PipelineConfig& config,
+                                        const ReportInfo& info);
+
+/// Render and write to @p path. Throws std::runtime_error on I/O failure.
+void write_report(const std::filesystem::path& path,
+                  const PipelineResult& result, const PipelineConfig& config,
+                  const ReportInfo& info);
+
+/// Validate a parsed report against the schema above, including the
+/// per-phase and total alignment-work identities. Returns true when valid;
+/// otherwise false with a diagnostic in @p error (if given).
+[[nodiscard]] bool validate_report(const util::JsonValue& report,
+                                   std::string* error = nullptr);
+
+}  // namespace pclust::pipeline

@@ -9,8 +9,10 @@
 #include "pclust/exec/pool.hpp"
 #include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
+#include "pclust/util/metrics.hpp"
 #include "pclust/util/strings.hpp"
 #include "pclust/util/timer.hpp"
+#include "pclust/util/trace.hpp"
 
 namespace pclust::pipeline {
 
@@ -21,7 +23,11 @@ constexpr std::uint32_t kTagRr = 1;
 constexpr std::uint32_t kTagCcdPartial = 2;
 constexpr std::uint32_t kTagCcd = 3;
 constexpr std::uint32_t kTagFamilies = 4;
-constexpr std::uint32_t kPayloadV1 = 1;
+// Payload V2 = fingerprint u64, phase duration f64 (seconds the phase cost
+// when it was computed; running total for partial checkpoints), then the
+// phase data. V1 lacked the duration; V1 files are treated as absent so the
+// phase recomputes rather than resuming with an unknown cost.
+constexpr std::uint32_t kPayloadV2 = 2;
 
 /// Fingerprint of the input set plus every configuration field that can
 /// change phase RESULTS (simulation/threading knobs are excluded — they
@@ -89,32 +95,41 @@ class Checkpoints {
 
   void write(const char* name, std::uint32_t tag,
              const util::CheckpointWriter& payload) const {
-    if (enabled()) write_checkpoint(path(name), tag, kPayloadV1, payload);
+    if (enabled()) write_checkpoint(path(name), tag, kPayloadV2, payload);
   }
 
   /// Open @p name for resume. Returns nullopt if resume is off or the file
-  /// is absent/invalid (phase recomputes); throws CheckpointError on a
-  /// fingerprint mismatch — silently recomputing would mask operator error.
+  /// is absent/invalid/pre-V2 (phase recomputes); throws CheckpointError on
+  /// a fingerprint mismatch — silently recomputing would mask operator
+  /// error. On success @p seconds_out (if given) receives the phase
+  /// duration stored when the checkpoint was written.
   [[nodiscard]] std::optional<util::CheckpointReader> open(
-      const char* name, std::uint32_t tag) const {
+      const char* name, std::uint32_t tag, double* seconds_out = nullptr)
+      const {
     if (!resuming()) return std::nullopt;
     const auto file = path(name);
     std::error_code ec;
     if (!std::filesystem::exists(file, ec)) return std::nullopt;
-    if (!util::checkpoint_valid(file, tag, kPayloadV1)) return std::nullopt;
-    auto reader = util::read_checkpoint(file, tag, kPayloadV1);
+    if (!util::checkpoint_valid(file, tag, kPayloadV2)) return std::nullopt;
+    std::uint32_t version = 0;
+    auto reader = util::read_checkpoint(file, tag, kPayloadV2, &version);
+    if (version != kPayloadV2) return std::nullopt;
     if (reader.u64() != fp_) {
       throw util::CheckpointError(
           "checkpoint fingerprint mismatch (input or configuration "
           "changed since the checkpoint was written): " +
           file.string());
     }
+    const double seconds = reader.f64();
+    if (seconds_out) *seconds_out = seconds;
     return reader;
   }
 
-  [[nodiscard]] util::CheckpointWriter payload() const {
+  /// Payload prefix: fingerprint + the phase duration being recorded.
+  [[nodiscard]] util::CheckpointWriter payload(double seconds) const {
     util::CheckpointWriter w;
     w.u64(fp_);
+    w.f64(seconds);
     return w;
   }
 
@@ -124,13 +139,45 @@ class Checkpoints {
   std::uint64_t fp_;
 };
 
+/// Open a trace timeline for a simulated phase and label its rank lanes;
+/// engine code then emits onto it via trace::current_pid(). No-op when
+/// tracing is off.
+void trace_sim_phase(const char* name, int ranks) {
+  if (!util::trace::enabled()) return;
+  const int pid = util::trace::begin_process(name);
+  for (int r = 0; r < ranks; ++r) {
+    util::trace::name_thread(
+        pid, r, r == 0 ? "master" : "worker-" + std::to_string(r));
+  }
+}
+
+/// After a simulated phase: one virtual-time span per rank (its lifetime on
+/// the simulated machine), then route later events back to the wall-clock
+/// pipeline timeline.
+void trace_sim_result(const mpsim::RunResult& run) {
+  if (!util::trace::enabled()) return;
+  const int pid = util::trace::current_pid();
+  for (std::size_t r = 0; r < run.rank_times.size(); ++r) {
+    const bool crashed =
+        std::find(run.crashed_ranks.begin(), run.crashed_ranks.end(),
+                  static_cast<int>(r)) != run.crashed_ranks.end();
+    util::trace::complete(pid, static_cast<int>(r),
+                          crashed ? "rank(crashed)" : "rank", "sim", 0.0,
+                          run.rank_times[r] * 1e6);
+  }
+  util::trace::set_current_pid(0);
+}
+
 /// Table-I aggregates over result.families; the shared tail of the compute
 /// and resume paths (families arrive sorted either way).
 PipelineResult finalize(PipelineResult result) {
   result.dense_subgraph_count = result.families.size();
   double degree_weighted = 0.0;
   double density_sum = 0.0;
+  static util::SizeHistogram& sizes =
+      util::metrics().histogram("families.family_size");
   for (const Family& f : result.families) {
+    sizes.add(f.members.size());
     result.sequences_in_subgraphs += f.members.size();
     result.largest_subgraph =
         std::max(result.largest_subgraph, f.members.size());
@@ -197,7 +244,7 @@ PipelineResult run(const seq::SequenceSet& input,
   };
 
   // ---- Phase 1: redundancy removal --------------------------------------
-  if (auto reader = ckpt.open("rr.ckpt", kTagRr)) {
+  if (auto reader = ckpt.open("rr.ckpt", kTagRr, &result.rr_seconds)) {
     result.rr.removed = reader->u8_vec();
     const std::vector<std::uint32_t> containers = reader->u32_vec();
     result.rr.container.assign(containers.begin(), containers.end());
@@ -208,6 +255,8 @@ PipelineResult run(const seq::SequenceSet& input,
     }
     log_phase("rr", "resumed");
   } else {
+    const util::trace::WallSpan span("rr");
+    if (parallel) trace_sim_phase("sim:rr", config.processors);
     util::Timer timer;
     pace::PaceParams rr_params = config.pace;
     rr_params.band = config.rr_band;
@@ -218,8 +267,9 @@ PipelineResult run(const seq::SequenceSet& input,
                     : pace::remove_redundant_serial(set, rr_params, pool_arg);
     result.rr_seconds =
         parallel ? result.rr.run.makespan : timer.elapsed_seconds();
+    if (parallel) trace_sim_result(result.rr.run);
     if (ckpt.enabled()) {
-      util::CheckpointWriter payload = ckpt.payload();
+      util::CheckpointWriter payload = ckpt.payload(result.rr_seconds);
       payload.u8_vec(result.rr.removed);
       payload.u32_vec(std::vector<std::uint32_t>(result.rr.container.begin(),
                                                  result.rr.container.end()));
@@ -234,7 +284,7 @@ PipelineResult run(const seq::SequenceSet& input,
               << ")";
 
   // ---- Phase 2: connected components -------------------------------------
-  if (auto reader = ckpt.open("ccd.ckpt", kTagCcd)) {
+  if (auto reader = ckpt.open("ccd.ckpt", kTagCcd, &result.ccd_seconds)) {
     const std::uint64_t count = reader->u64();
     result.ccd.components.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -243,20 +293,28 @@ PipelineResult run(const seq::SequenceSet& input,
     }
     log_phase("ccd", "resumed");
   } else {
+    const util::trace::WallSpan span("ccd");
+    if (parallel) trace_sim_phase("sim:ccd", config.processors);
     util::Timer timer;
     // Mid-stream progress snapshots (serial path only: the pair stream
-    // index is only a meaningful watermark there).
+    // index is only a meaningful watermark there). `prior_seconds` carries
+    // the time the interrupted run(s) already spent, so the recorded phase
+    // duration spans every contributing run.
     pace::CcdProgress partial;
     bool have_partial = false;
+    double prior_seconds = 0.0;
     if (!parallel) {
-      if (auto part = ckpt.open("ccd_partial.ckpt", kTagCcdPartial)) {
+      if (auto part =
+              ckpt.open("ccd_partial.ckpt", kTagCcdPartial, &prior_seconds)) {
         partial.parents = part->u32_vec();
         partial.next_pair = part->u64();
         have_partial = partial.parents.size() == survivors.size();
+        if (!have_partial) prior_seconds = 0.0;
       }
     }
     const auto on_checkpoint = [&](const pace::CcdProgress& progress) {
-      util::CheckpointWriter payload = ckpt.payload();
+      util::CheckpointWriter payload =
+          ckpt.payload(prior_seconds + timer.elapsed_seconds());
       payload.u32_vec(progress.parents);
       payload.u64(progress.next_pair);
       ckpt.write("ccd_partial.ckpt", kTagCcdPartial, payload);
@@ -273,10 +331,11 @@ PipelineResult run(const seq::SequenceSet& input,
                   have_partial ? &partial : nullptr, stride,
                   stride > 0 ? on_checkpoint
                              : std::function<void(const pace::CcdProgress&)>());
-    result.ccd_seconds =
-        parallel ? result.ccd.run.makespan : timer.elapsed_seconds();
+    result.ccd_seconds = parallel ? result.ccd.run.makespan
+                                  : prior_seconds + timer.elapsed_seconds();
+    if (parallel) trace_sim_result(result.ccd.run);
     if (ckpt.enabled()) {
-      util::CheckpointWriter payload = ckpt.payload();
+      util::CheckpointWriter payload = ckpt.payload(result.ccd_seconds);
       payload.u64(result.ccd.components.size());
       for (const auto& component : result.ccd.components) {
         payload.u32_vec(std::vector<std::uint32_t>(component.begin(),
@@ -288,6 +347,13 @@ PipelineResult run(const seq::SequenceSet& input,
     }
     log_phase("ccd", have_partial ? "resumed-partial" : "computed");
   }
+  {
+    static util::SizeHistogram& sizes =
+        util::metrics().histogram("ccd.component_size");
+    for (const auto& component : result.ccd.components) {
+      sizes.add(component.size());
+    }
+  }
   result.components_min_size =
       result.ccd.count_with_min_size(config.min_component);
   PCLUST_INFO << "pipeline: CCD found " << result.components_min_size
@@ -295,7 +361,8 @@ PipelineResult run(const seq::SequenceSet& input,
               << util::format_duration(result.ccd_seconds) << ")";
 
   // ---- Phases 3 + 4: bipartite graphs + dense subgraphs -------------------
-  if (auto reader = ckpt.open("families.ckpt", kTagFamilies)) {
+  if (auto reader =
+          ckpt.open("families.ckpt", kTagFamilies, &result.bgg_dsd_seconds)) {
     const std::uint64_t count = reader->u64();
     result.families.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -311,6 +378,7 @@ PipelineResult run(const seq::SequenceSet& input,
   }
 
   // ---- Phase 3: bipartite graph generation --------------------------------
+  const util::trace::WallSpan bgg_dsd_span("bgg+dsd");
   util::Timer dsd_timer;
   std::vector<bigraph::ComponentGraph> graphs;
   for (const auto& component : result.ccd.components) {
@@ -351,6 +419,7 @@ PipelineResult run(const seq::SequenceSet& input,
         load[rank] += static_cast<double>(graphs[g].graph.edge_count());
       }
     }
+    trace_sim_phase("sim:dsd", p);
     std::vector<std::vector<RawFamily>> per_rank(
         static_cast<std::size_t>(p));
     const auto run = mpsim::run(
@@ -358,6 +427,7 @@ PipelineResult run(const seq::SequenceSet& input,
           auto& mine = per_rank[static_cast<std::size_t>(comm.rank())];
           for (std::size_t g = 0; g < graphs.size(); ++g) {
             if (owner[g] != comm.rank()) continue;
+            const double t0 = comm.clock().now();
             comm.clock().advance(
                 static_cast<double>(graphs[g].graph.edge_count()) *
                 config.shingle.c1 * comm.model().hash_cost);
@@ -366,9 +436,16 @@ PipelineResult run(const seq::SequenceSet& input,
               mine.push_back(RawFamily{g, std::move(members)});
             }
             comm.count("components_processed");
+            if (util::trace::enabled()) {
+              util::trace::complete(util::trace::current_pid(), comm.rank(),
+                                    "shingle:component-" + std::to_string(g),
+                                    "dsd", t0 * 1e6,
+                                    (comm.clock().now() - t0) * 1e6);
+            }
           }
         });
     result.dsd_simulated_seconds = run.makespan;
+    trace_sim_result(run);
     for (auto& rank_families : per_rank) {
       for (auto& f : rank_families) raw.push_back(std::move(f));
     }
@@ -411,7 +488,7 @@ PipelineResult run(const seq::SequenceSet& input,
             });
 
   if (ckpt.enabled()) {
-    util::CheckpointWriter payload = ckpt.payload();
+    util::CheckpointWriter payload = ckpt.payload(result.bgg_dsd_seconds);
     payload.u64(result.families.size());
     for (const Family& f : result.families) {
       payload.u32_vec(

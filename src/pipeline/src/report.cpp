@@ -1,0 +1,271 @@
+#include "pclust/pipeline/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "pclust/util/json.hpp"
+#include "pclust/util/metrics.hpp"
+
+namespace pclust::pipeline {
+
+namespace {
+
+struct PhaseWork {
+  std::uint64_t promising = 0;
+  std::uint64_t duplicate = 0;
+  std::uint64_t filtered = 0;
+  std::uint64_t aligned = 0;
+
+  [[nodiscard]] std::uint64_t candidates() const {
+    return promising - duplicate;
+  }
+  [[nodiscard]] double skip_ratio() const {
+    return candidates() == 0 ? 0.0
+                             : static_cast<double>(filtered) /
+                                   static_cast<double>(candidates());
+  }
+};
+
+PhaseWork work_of(const pace::EngineCounters& c) {
+  return PhaseWork{c.promising_pairs, c.duplicate_pairs, c.filtered_pairs,
+                   c.aligned_pairs};
+}
+
+/// Provenance of @p phase from the phase log ("computed" when checkpoints
+/// were off and the log is empty).
+std::string phase_source(const PipelineResult& result, const char* phase) {
+  const std::string prefix = std::string(phase) + ":";
+  for (const std::string& entry : result.phase_log) {
+    if (entry.compare(0, prefix.size(), prefix) == 0) {
+      return entry.substr(prefix.size());
+    }
+  }
+  return "computed";
+}
+
+void emit_phase(util::JsonWriter& w, const char* name, double seconds,
+                const std::string& source, const PhaseWork* work) {
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("seconds").value(seconds);
+  w.key("source").value(source);
+  if (work) {
+    w.key("promising_pairs").value(work->promising);
+    w.key("duplicate_pairs").value(work->duplicate);
+    w.key("candidate_pairs").value(work->candidates());
+    w.key("attempted").value(work->aligned);
+    w.key("skipped_by_cluster_filter").value(work->filtered);
+    w.key("skip_ratio").value(work->skip_ratio());
+  }
+  w.end_object();
+}
+
+void emit_crashed_ranks(util::JsonWriter& w, const PipelineResult& result) {
+  w.begin_array();
+  for (const int rank : result.rr.run.crashed_ranks) w.value(rank);
+  for (const int rank : result.ccd.run.crashed_ranks) w.value(rank);
+  w.end_array();
+}
+
+// ---------------------------------------------------------------------------
+// Validation helpers
+// ---------------------------------------------------------------------------
+
+bool fail(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+bool check_identity(const util::JsonValue& obj, const std::string& where,
+                    std::string* error) {
+  const std::uint64_t candidates = obj.at("candidate_pairs").as_u64();
+  const std::uint64_t attempted = obj.at("attempted").as_u64();
+  const std::uint64_t skipped =
+      obj.at("skipped_by_cluster_filter").as_u64();
+  if (attempted + skipped != candidates) {
+    return fail(error, where + ": attempted (" + std::to_string(attempted) +
+                           ") + skipped_by_cluster_filter (" +
+                           std::to_string(skipped) +
+                           ") != candidate_pairs (" +
+                           std::to_string(candidates) + ")");
+  }
+  const double ratio = obj.at("skip_ratio").as_number();
+  if (ratio < 0.0 || ratio > 1.0) {
+    return fail(error, where + ": skip_ratio out of [0, 1]");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string render_report(const PipelineResult& result,
+                          const PipelineConfig& config,
+                          const ReportInfo& info) {
+  const util::MetricsSnapshot snapshot = util::metrics().snapshot();
+  const PhaseWork rr = work_of(result.rr.counters);
+  const PhaseWork ccd = work_of(result.ccd.counters);
+  const PhaseWork total{rr.promising + ccd.promising,
+                        rr.duplicate + ccd.duplicate,
+                        rr.filtered + ccd.filtered, rr.aligned + ccd.aligned};
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pclust-run-report");
+  w.key("version").value(1);
+  w.key("command").value(info.command);
+
+  w.key("input").begin_object();
+  w.key("path").value(info.input);
+  w.key("sequences").value(static_cast<std::uint64_t>(
+      result.input_sequences));
+  w.end_object();
+
+  w.key("config").begin_object();
+  w.key("processors").value(config.processors);
+  w.key("threads").value(config.threads);
+  w.key("dsd_processors").value(config.dsd_processors);
+  w.key("psi").value(config.pace.psi);
+  w.key("band").value(config.pace.band);
+  w.key("rr_band").value(config.rr_band);
+  w.key("min_component").value(config.min_component);
+  w.key("checkpoint_dir").value(config.checkpoint_dir);
+  w.key("resume").value(config.resume);
+  w.key("faults_injected")
+      .value(config.fault_plan != nullptr && !config.fault_plan->empty());
+  w.end_object();
+
+  w.key("phases").begin_array();
+  emit_phase(w, "rr", result.rr_seconds, phase_source(result, "rr"), &rr);
+  emit_phase(w, "ccd", result.ccd_seconds, phase_source(result, "ccd"),
+             &ccd);
+  emit_phase(w, "bgg+dsd", result.bgg_dsd_seconds,
+             phase_source(result, "families"), nullptr);
+  w.end_array();
+
+  w.key("alignment").begin_object();
+  w.key("promising_pairs").value(total.promising);
+  w.key("duplicate_pairs").value(total.duplicate);
+  w.key("candidate_pairs").value(total.candidates());
+  w.key("attempted").value(total.aligned);
+  w.key("skipped_by_cluster_filter").value(total.filtered);
+  w.key("skip_ratio").value(total.skip_ratio());
+  w.end_object();
+
+  w.key("faults").begin_object();
+  w.key("crashed_ranks");
+  emit_crashed_ranks(w, result);
+  w.key("workers_failed").value(snapshot.counter("pace.workers_failed"));
+  w.key("workers_timed_out")
+      .value(snapshot.counter("pace.workers_timed_out"));
+  w.key("pairs_requeued").value(snapshot.counter("pace.pairs_requeued"));
+  w.key("streams_adopted").value(snapshot.counter("pace.streams_adopted"));
+  w.end_object();
+
+  w.key("resume").begin_object();
+  w.key("requested").value(config.resume);
+  w.key("phase_log").begin_array();
+  for (const std::string& entry : result.phase_log) w.value(entry);
+  w.end_array();
+  w.end_object();
+
+  w.key("table1").begin_object();
+  w.key("input_sequences")
+      .value(static_cast<std::uint64_t>(result.input_sequences));
+  w.key("non_redundant_sequences")
+      .value(static_cast<std::uint64_t>(result.non_redundant_sequences));
+  w.key("components_min_size")
+      .value(static_cast<std::uint64_t>(result.components_min_size));
+  w.key("dense_subgraph_count")
+      .value(static_cast<std::uint64_t>(result.dense_subgraph_count));
+  w.key("sequences_in_subgraphs")
+      .value(static_cast<std::uint64_t>(result.sequences_in_subgraphs));
+  w.key("mean_degree").value(result.mean_degree);
+  w.key("mean_density").value(result.mean_density);
+  w.key("largest_subgraph")
+      .value(static_cast<std::uint64_t>(result.largest_subgraph));
+  w.end_object();
+
+  w.key("timing").begin_object();
+  w.key("rr_seconds").value(result.rr_seconds);
+  w.key("ccd_seconds").value(result.ccd_seconds);
+  w.key("bgg_dsd_seconds").value(result.bgg_dsd_seconds);
+  w.key("dsd_simulated_seconds").value(result.dsd_simulated_seconds);
+  w.end_object();
+
+  w.key("metrics");
+  snapshot.to_json(w);
+  w.end_object();
+  return w.str();
+}
+
+void write_report(const std::filesystem::path& path,
+                  const PipelineResult& result, const PipelineConfig& config,
+                  const ReportInfo& info) {
+  const std::string doc = render_report(result, config, info);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("report: cannot open " + path.string() +
+                             " for writing");
+  }
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.put('\n');
+  if (!out) throw std::runtime_error("report: write failed: " + path.string());
+}
+
+bool validate_report(const util::JsonValue& report, std::string* error) {
+  try {
+    if (!report.is_object()) return fail(error, "report is not an object");
+    if (report.at("schema").as_string() != "pclust-run-report") {
+      return fail(error, "schema is not pclust-run-report");
+    }
+    if (report.at("version").as_u64() != 1) {
+      return fail(error, "unsupported report version");
+    }
+    (void)report.at("command").as_string();
+    (void)report.at("input").at("path").as_string();
+    (void)report.at("config").at("processors").as_number();
+
+    const util::JsonValue& phases = report.at("phases");
+    if (!phases.is_array() || phases.array.empty()) {
+      return fail(error, "phases must be a non-empty array");
+    }
+    for (const util::JsonValue& phase : phases.array) {
+      const std::string& name = phase.at("name").as_string();
+      if (phase.at("seconds").as_number() < 0.0) {
+        return fail(error, "phase " + name + ": negative seconds");
+      }
+      const std::string& source = phase.at("source").as_string();
+      if (source != "computed" && source != "resumed" &&
+          source != "resumed-partial") {
+        return fail(error, "phase " + name + ": unknown source " + source);
+      }
+      if (phase.find("candidate_pairs") != nullptr &&
+          !check_identity(phase, "phase " + name, error)) {
+        return false;
+      }
+    }
+
+    if (!check_identity(report.at("alignment"), "alignment", error)) {
+      return false;
+    }
+    if (!report.at("faults").at("crashed_ranks").is_array()) {
+      return fail(error, "faults.crashed_ranks must be an array");
+    }
+    if (!report.at("resume").at("phase_log").is_array()) {
+      return fail(error, "resume.phase_log must be an array");
+    }
+    (void)report.at("table1").at("input_sequences").as_u64();
+    const util::JsonValue& metrics = report.at("metrics");
+    if (!metrics.at("counters").is_object() ||
+        !metrics.at("gauges").is_object() ||
+        !metrics.at("histograms").is_object()) {
+      return fail(error, "metrics must hold counters/gauges/histograms");
+    }
+  } catch (const util::JsonError& e) {
+    return fail(error, e.what());
+  }
+  if (error) error->clear();
+  return true;
+}
+
+}  // namespace pclust::pipeline

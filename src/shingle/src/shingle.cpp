@@ -7,6 +7,7 @@
 #include "pclust/dsu/union_find.hpp"
 #include "pclust/exec/pool.hpp"
 #include "pclust/shingle/minwise.hpp"
+#include "pclust/util/metrics.hpp"
 #include "pclust/util/timer.hpp"
 
 namespace pclust::shingle {
@@ -134,6 +135,14 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
             });
 
   local.elapsed_seconds = timer.elapsed_seconds();
+  {
+    auto& m = util::metrics();
+    m.counter("shingle.passes").add(1);
+    m.counter("shingle.tuples").add(local.tuples);
+    m.counter("shingle.first_level_shingles").add(local.first_level_shingles);
+    m.counter("shingle.second_level_shingles").add(local.second_level_shingles);
+    m.counter("shingle.raw_components").add(local.raw_components);
+  }
   if (stats) *stats = local;
   return out;
 }

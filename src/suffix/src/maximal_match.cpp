@@ -5,10 +5,28 @@
 #include "pclust/exec/pool.hpp"
 #include "pclust/seq/alphabet.hpp"
 #include "pclust/suffix/suffix_tree.hpp"
+#include "pclust/util/metrics.hpp"
 
 namespace pclust::suffix {
 
 namespace {
+
+/// Folds the stats of one enumeration into the process-wide registry on
+/// every exit path (including early stops from the visitor).
+struct StatsRecorder {
+  const EnumerationStats& stats;
+  ~StatsRecorder() {
+    static util::Counter& visited =
+        util::metrics().counter("suffix.nodes_visited");
+    static util::Counter& skipped =
+        util::metrics().counter("suffix.nodes_skipped_big");
+    static util::Counter& pairs =
+        util::metrics().counter("suffix.pairs_emitted");
+    visited.add(stats.nodes_visited);
+    skipped.add(stats.nodes_skipped_big);
+    pairs.add(stats.pairs_emitted);
+  }
+};
 
 struct Candidate {
   std::int32_t depth;
@@ -50,6 +68,7 @@ EnumerationStats MaximalMatchEnumerator::enumerate(
     std::int32_t range_lo, std::int32_t range_hi,
     const std::function<bool(const MaximalMatch&)>& visit) const {
   EnumerationStats stats;
+  const StatsRecorder recorder{stats};
   if (sa_->empty() || range_hi < range_lo) return stats;
   const auto& sa = *sa_;
   const auto& lcp = *lcp_;
@@ -158,6 +177,7 @@ EnumerationStats enumerate_from_tree(
     const std::vector<std::int32_t>& sa, const MaximalMatchParams& params,
     const std::function<bool(const MaximalMatch&)>& visit) {
   EnumerationStats stats;
+  const StatsRecorder recorder{stats};
   const auto min_len = static_cast<std::int32_t>(params.min_length);
 
   std::vector<Leaf> prev;

@@ -28,6 +28,13 @@ class Histogram {
   [[nodiscard]] std::int64_t overflow() const { return overflow_; }
   [[nodiscard]] std::int64_t total() const;
 
+  /// Inclusive upper bound of the bucket containing the p-th percentile
+  /// (p in [0, 100], clamped; ceil-rank semantics). Underflowed values
+  /// resolve to lo-1 and overflowed values to the rounded-up cap, so the
+  /// answer stays monotone in p across the whole recorded range. Returns 0
+  /// when the histogram is empty.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
   /// Label like "5-9" for bucket i (matches the paper's Fig. 5 x-axis).
   [[nodiscard]] std::string bucket_label(std::size_t i) const;
 

@@ -1,0 +1,107 @@
+// Minimal JSON support for run reports, trace files, and their tooling.
+//
+// Two halves, both dependency-free and deterministic:
+//   - JsonWriter: an append-only streaming writer (objects, arrays, scalars)
+//     that manages commas and escaping, used by the metrics/report/trace
+//     emitters.
+//   - JsonValue / parse_json(): a small recursive-descent parser used by
+//     `pclust compare --reports`, `pclust report-check`, and the tests that
+//     validate emitted JSON. It accepts strict JSON (RFC 8259) minus
+//     surrogate-pair escapes, which none of our emitters produce.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pclust::util {
+
+/// Malformed JSON handed to parse_json (message includes a byte offset).
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object().key("n").value(3).key("xs").begin_array()
+///    .value(1.5).end_array().end_object();
+///   w.str();  // {"n":3,"xs":[1.5]}
+/// The writer trusts the caller to produce a well-formed nesting; it only
+/// automates commas, quoting, and number formatting.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member name inside an object (written with escaping).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(std::uint64_t n);
+  JsonWriter& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  JsonWriter& value(unsigned n) {
+    return value(static_cast<std::uint64_t>(n));
+  }
+  JsonWriter& null();
+
+  /// Append @p raw verbatim as one value (must itself be valid JSON) —
+  /// lets prerendered sub-documents nest without reparsing.
+  JsonWriter& raw(std::string_view raw_json);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma_for_value();
+
+  std::string out_;
+  std::vector<char> stack_;   // '{' or '[' per open scope
+  std::vector<bool> first_;   // first element pending in that scope?
+};
+
+/// Escape @p s as the BODY of a JSON string (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Parsed JSON document (tree of tagged values).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view name) const;
+  /// Member lookup that throws JsonError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view name) const;
+
+  /// number (throws JsonError unless is_number()).
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+};
+
+/// Parse one JSON document (leading/trailing whitespace allowed). Throws
+/// JsonError on any syntax error or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace pclust::util

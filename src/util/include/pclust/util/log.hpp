@@ -2,6 +2,11 @@
 //
 // pclust is a library first; logging defaults to WARN so that embedding
 // applications stay quiet, while the CLI tools and benches raise it to INFO.
+//
+// Each line carries a UTC ISO-8601 timestamp. If the environment variable
+// PCLUST_LOG_FILE names a writable path at the time of the first log line,
+// lines are appended there as well as to stderr; each sink still receives
+// the line as one atomic write.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,157 @@
+// Process-wide metrics registry: cheap sharded counters, gauges, and
+// power-of-two histograms for the paper's quantitative claims (alignments
+// skipped by the cluster filter, pair-generation volume, healing events,
+// checkpoint bytes, ...).
+//
+// Design:
+//  - Writers touch one cache-line-padded atomic slot selected by a
+//    thread-local shard index (assigned round-robin on first use per
+//    thread, so every exec::Pool lane lands on its own slot at the common
+//    pool sizes). A write is one relaxed fetch_add — near-zero overhead
+//    whether or not anyone ever reads the registry.
+//  - Handles returned by counter()/gauge()/histogram() are stable for the
+//    process lifetime; call sites may cache them (including in function
+//    local statics). Registration takes a mutex, writes never do.
+//  - Reads (value()/snapshot()) aggregate across shards; they are monotone
+//    but not atomic with respect to concurrent writers, which is fine for
+//    reporting.
+//  - reset() zeroes every registered metric in place (handles stay valid);
+//    the CLI calls it before a run so a report covers exactly that run.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace pclust::util {
+
+class JsonWriter;
+
+namespace metrics_detail {
+
+inline constexpr unsigned kShards = 16;  // power of two
+
+struct alignas(64) Slot {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Thread-local shard index in [0, kShards).
+unsigned shard_index() noexcept;
+
+}  // namespace metrics_detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    slots_[metrics_detail::shard_index()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<metrics_detail::Slot, metrics_detail::kShards> slots_;
+};
+
+/// Last-written value plus the high-water mark since reset (e.g. master
+/// queue depth). set() is safe from any thread.
+class Gauge {
+ public:
+  void set(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t last() const noexcept {
+    return last_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> last_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Histogram over non-negative integer sizes with power-of-two buckets:
+/// bucket b counts values whose bit width is b (bucket 0 holds the value 0).
+/// Constant memory, lock-free add, exact count/sum/max.
+class SizeHistogram {
+ public:
+  static constexpr unsigned kBuckets = 65;
+
+  void add(std::uint64_t value) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Upper bound of the bucket containing the p-th percentile (p in
+    /// [0, 100]); 0 when empty. An order-of-magnitude answer by design.
+    [[nodiscard]] std::uint64_t percentile(double p) const;
+    [[nodiscard]] double mean() const {
+      return count ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct GaugeValue {
+    std::uint64_t last = 0;
+    std::uint64_t max = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, SizeHistogram::Snapshot> histograms;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  /// Serialize as {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void to_json(JsonWriter& w) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; the returned reference is stable forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  SizeHistogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric in place (handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<SizeHistogram>, std::less<>>
+      histograms_;
+};
+
+/// The process-wide registry every pclust phase writes into.
+MetricsRegistry& metrics();
+
+}  // namespace pclust::util

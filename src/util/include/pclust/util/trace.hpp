@@ -1,0 +1,83 @@
+// Phase/span tracer emitting Chrome trace-event JSON (the format Perfetto
+// and chrome://tracing load natively).
+//
+// The trace is organised as one "process" per timeline:
+//   - pid 0, "pipeline": wall-clock spans of the serial phases (timestamps
+//     are microseconds since enable()).
+//   - one pid per simulated phase ("sim:rr", "sim:ccd", ...): spans and
+//     instants stamped with mpsim VIRTUAL time (simulated microseconds),
+//     tid = simulated rank. Virtual time is a pure function of the
+//     communication pattern, so these events are DETERMINISTIC across runs
+//     — including fault-injected ones — which the tests rely on.
+//
+// Events are buffered in memory (a run traces thousands of spans, not
+// millions) and sorted on render, so the emitted JSON is deterministic for
+// deterministic timestamps regardless of thread interleaving. All calls are
+// no-ops while tracing is disabled; the enabled() gate is one relaxed
+// atomic load.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace pclust::util::trace {
+
+/// True while a trace is being collected.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Start collecting (clears any previous buffer; wall epoch = now).
+void enable();
+
+/// Stop collecting and drop all buffered events.
+void disable();
+
+/// Microseconds of wall clock since enable() (0 when disabled).
+[[nodiscard]] double now_us() noexcept;
+
+/// Register a process timeline; returns its pid and emits the Perfetto
+/// process_name metadata. Also makes it current (see current_pid) until the
+/// next begin_process/set_current_pid. pid 0 ("pipeline") always exists.
+int begin_process(std::string_view name);
+
+/// The pid instrumented library code (e.g. the PaCE engine) should emit
+/// into; set by the phase driver around each simulated phase.
+[[nodiscard]] int current_pid() noexcept;
+void set_current_pid(int pid) noexcept;
+
+/// Perfetto thread_name metadata for (pid, tid).
+void name_thread(int pid, int tid, std::string_view name);
+
+/// Complete span ("ph":"X"): [ts_us, ts_us + dur_us] on (pid, tid).
+void complete(int pid, int tid, std::string_view name, std::string_view cat,
+              double ts_us, double dur_us);
+
+/// Instant event ("ph":"i", thread scope) at ts_us on (pid, tid).
+void instant(int pid, int tid, std::string_view name, std::string_view cat,
+             double ts_us);
+
+/// Render the buffered events as a Chrome trace-event JSON document.
+/// Deterministic: events are sorted by (pid, tid, ts, name, dur).
+[[nodiscard]] std::string render_json();
+
+/// Render and write to @p path. Throws std::runtime_error on I/O failure.
+void write_file(const std::filesystem::path& path);
+
+/// RAII wall-clock span on the pipeline timeline (pid 0, tid 0). Safe to
+/// construct when tracing is disabled (records nothing).
+class WallSpan {
+ public:
+  explicit WallSpan(std::string name, std::string cat = "phase");
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+  ~WallSpan();
+
+ private:
+  std::string name_;
+  std::string cat_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace pclust::util::trace

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "pclust/util/metrics.hpp"
+
 namespace pclust::util {
 
 namespace {
@@ -203,6 +205,9 @@ void write_checkpoint(const std::filesystem::path& path,
     throw CheckpointError("cannot move checkpoint into place: " +
                           path.string() + ": " + ec.message());
   }
+  metrics().counter("checkpoint.files_written").add(1);
+  metrics().counter("checkpoint.bytes_written").add(header.size() +
+                                                    body.size());
 }
 
 CheckpointReader read_checkpoint(const std::filesystem::path& path,
@@ -263,6 +268,8 @@ CheckpointReader read_checkpoint(const std::filesystem::path& path,
                           path.string());
   }
   if (payload_version_out) *payload_version_out = payload_version;
+  metrics().counter("checkpoint.files_read").add(1);
+  metrics().counter("checkpoint.bytes_read").add(header.size() + body.size());
   return CheckpointReader(std::move(body));
 }
 

@@ -41,6 +41,25 @@ std::int64_t Histogram::total() const {
   return t;
 }
 
+std::int64_t Histogram::percentile(double p) const {
+  const std::int64_t n = total();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // 1-based rank of the target observation, ceil semantics.
+  auto target = static_cast<std::int64_t>(p / 100.0 * static_cast<double>(n) +
+                                          0.5);
+  if (target < 1) target = 1;
+  std::int64_t seen = underflow_;
+  if (seen >= target) return lo_ - 1;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0) return bucket_hi(i);
+  }
+  // Target falls in the overflow mass: report the rounded-up cap.
+  return lo_ + static_cast<std::int64_t>(counts_.size()) * width_;
+}
+
 std::string Histogram::bucket_label(std::size_t i) const {
   std::ostringstream ss;
   ss << bucket_lo(i) << "-" << bucket_hi(i);

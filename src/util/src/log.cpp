@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace pclust::util {
@@ -20,6 +22,29 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+// Optional append sink named by PCLUST_LOG_FILE; resolved once, on the
+// first log line (under g_mutex). nullptr when unset or unopenable.
+std::FILE* log_file() {
+  static std::FILE* file = []() -> std::FILE* {
+    const char* path = std::getenv("PCLUST_LOG_FILE");
+    if (!path || !*path) return nullptr;
+    return std::fopen(path, "a");
+  }();
+  return file;
+}
+
+// UTC ISO-8601 timestamp like 2026-08-06T12:34:56Z into @p buf.
+void format_timestamp(char* buf, std::size_t size) {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  std::strftime(buf, size, "%Y-%m-%dT%H:%M:%SZ", &tm);
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -30,9 +55,16 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  char ts[32];
+  format_timestamp(ts, sizeof(ts));
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[pclust %s] %.*s\n", level_tag(level),
+  std::fprintf(stderr, "[%s pclust %s] %.*s\n", ts, level_tag(level),
                static_cast<int>(msg.size()), msg.data());
+  if (std::FILE* f = log_file()) {
+    std::fprintf(f, "[%s pclust %s] %.*s\n", ts, level_tag(level),
+                 static_cast<int>(msg.size()), msg.data());
+    std::fflush(f);
+  }
 }
 
 }  // namespace pclust::util

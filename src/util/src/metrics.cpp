@@ -1,0 +1,196 @@
+#include "pclust/util/metrics.hpp"
+
+#include <bit>
+
+#include "pclust/util/json.hpp"
+
+namespace pclust::util {
+
+namespace metrics_detail {
+
+unsigned shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return idx;
+}
+
+}  // namespace metrics_detail
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (auto& slot : slots_) slot.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::set(std::uint64_t v) noexcept {
+  last_.store(v, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < v &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() noexcept {
+  last_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// SizeHistogram
+// ---------------------------------------------------------------------------
+
+void SizeHistogram::add(std::uint64_t value) noexcept {
+  const unsigned bucket = value == 0 ? 0u : std::bit_width(value);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value && !max_.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t SizeHistogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target observation, 1-based, ceil semantics.
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count) + 0.5);
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target && buckets[b] > 0) {
+      // Upper bound of bucket b: values with bit width b are < 2^b.
+      const std::uint64_t hi =
+          b == 0 ? 0 : (b >= 64 ? max : (std::uint64_t{1} << b) - 1);
+      return std::min(hi, max);
+    }
+  }
+  return max;
+}
+
+SizeHistogram::Snapshot SizeHistogram::snapshot() const noexcept {
+  Snapshot s;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count += s.buckets[b];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SizeHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+void MetricsSnapshot::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges) {
+    w.key(name).begin_object();
+    w.key("last").value(g.last);
+    w.key("max").value(g.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("max").value(h.max);
+    w.key("mean").value(h.mean());
+    w.key("p50").value(h.percentile(50));
+    w.key("p90").value(h.percentile(90));
+    w.key("p99").value(h.percentile(99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+SizeHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<SizeHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    s.gauges[name] = MetricsSnapshot::GaugeValue{g->last(), g->max()};
+  }
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+}  // namespace pclust::util

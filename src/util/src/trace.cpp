@@ -1,0 +1,217 @@
+#include "pclust/util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "pclust/util/json.hpp"
+
+namespace pclust::util::trace {
+
+namespace {
+
+enum class Phase : char { kComplete = 'X', kInstant = 'i', kMetadata = 'M' };
+
+struct Event {
+  int pid = 0;
+  int tid = 0;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds (complete events only)
+  Phase ph = Phase::kComplete;
+  std::string name;
+  std::string cat;
+  std::string meta_arg;  // metadata events: the process/thread name
+};
+
+struct State {
+  std::mutex mutex;
+  std::vector<Event> events;
+  int next_pid = 1;  // 0 is reserved for "pipeline"
+  std::chrono::steady_clock::time_point epoch;
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<int> g_current_pid{0};
+
+State& state() {
+  static State* s = new State();  // never destroyed: traceable at exit
+  return *s;
+}
+
+void push_metadata(State& s, int pid, int tid, std::string_view name,
+                   std::string_view arg) {
+  Event e;
+  e.pid = pid;
+  e.tid = tid;
+  e.ph = Phase::kMetadata;
+  e.name = std::string(name);
+  e.meta_arg = std::string(arg);
+  s.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void enable() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.clear();
+  s.next_pid = 1;
+  s.epoch = std::chrono::steady_clock::now();
+  push_metadata(s, 0, 0, "process_name", "pipeline");
+  g_current_pid.store(0, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  g_enabled.store(false, std::memory_order_relaxed);
+  s.events.clear();
+}
+
+double now_us() noexcept {
+  if (!enabled()) return 0.0;
+  State& s = state();
+  const auto delta = std::chrono::steady_clock::now() - s.epoch;
+  return std::chrono::duration<double, std::micro>(delta).count();
+}
+
+int begin_process(std::string_view name) {
+  if (!enabled()) return 0;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const int pid = s.next_pid++;
+  push_metadata(s, pid, 0, "process_name", name);
+  g_current_pid.store(pid, std::memory_order_relaxed);
+  return pid;
+}
+
+int current_pid() noexcept {
+  return g_current_pid.load(std::memory_order_relaxed);
+}
+
+void set_current_pid(int pid) noexcept {
+  g_current_pid.store(pid, std::memory_order_relaxed);
+}
+
+void name_thread(int pid, int tid, std::string_view name) {
+  if (!enabled()) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  push_metadata(s, pid, tid, "thread_name", name);
+}
+
+void complete(int pid, int tid, std::string_view name, std::string_view cat,
+              double ts_us, double dur_us) {
+  if (!enabled()) return;
+  Event e;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts_us;
+  e.dur = dur_us;
+  e.ph = Phase::kComplete;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back(std::move(e));
+}
+
+void instant(int pid, int tid, std::string_view name, std::string_view cat,
+             double ts_us) {
+  if (!enabled()) return;
+  Event e;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts_us;
+  e.ph = Phase::kInstant;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.push_back(std::move(e));
+}
+
+std::string render_json() {
+  State& s = state();
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    events = s.events;
+  }
+  // Metadata first, then a total order independent of thread interleaving.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     const int ma = a.ph == Phase::kMetadata ? 0 : 1;
+                     const int mb = b.ph == Phase::kMetadata ? 0 : 1;
+                     return std::tie(ma, a.pid, a.tid, a.ts, a.name, a.dur) <
+                            std::tie(mb, b.pid, b.tid, b.ts, b.name, b.dur);
+                   });
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const Event& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    const char ph = static_cast<char>(e.ph);
+    w.key("ph").value(std::string_view(&ph, 1));
+    w.key("pid").value(e.pid);
+    w.key("tid").value(e.tid);
+    switch (e.ph) {
+      case Phase::kMetadata:
+        w.key("args").begin_object().key("name").value(e.meta_arg).end_object();
+        break;
+      case Phase::kComplete:
+        w.key("cat").value(e.cat);
+        w.key("ts").value(e.ts);
+        w.key("dur").value(e.dur);
+        break;
+      case Phase::kInstant:
+        w.key("cat").value(e.cat);
+        w.key("ts").value(e.ts);
+        w.key("s").value("t");  // thread-scoped instant
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_file(const std::filesystem::path& path) {
+  const std::string doc = render_json();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("trace: cannot open " + path.string() +
+                             " for writing");
+  }
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.put('\n');
+  if (!out) throw std::runtime_error("trace: write failed: " + path.string());
+}
+
+WallSpan::WallSpan(std::string name, std::string cat)
+    : name_(std::move(name)), cat_(std::move(cat)) {
+  if (enabled()) {
+    start_us_ = now_us();
+    active_ = true;
+  }
+}
+
+WallSpan::~WallSpan() {
+  if (active_ && enabled()) {
+    complete(0, 0, name_, cat_, start_us_, now_us() - start_us_);
+  }
+}
+
+}  // namespace pclust::util::trace

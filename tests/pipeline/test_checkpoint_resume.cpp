@@ -91,6 +91,10 @@ TEST_F(CheckpointResumeTest, FullResumeReproducesResultBitIdentically) {
             (std::vector<std::string>{"rr:resumed", "ccd:resumed",
                                       "families:resumed"}));
   expect_same_result(fresh, resumed);
+  // A resumed phase reports the checkpointed original duration, not 0.
+  EXPECT_DOUBLE_EQ(resumed.rr_seconds, fresh.rr_seconds);
+  EXPECT_DOUBLE_EQ(resumed.ccd_seconds, fresh.ccd_seconds);
+  EXPECT_DOUBLE_EQ(resumed.bgg_dsd_seconds, fresh.bgg_dsd_seconds);
 }
 
 TEST_F(CheckpointResumeTest, MissingLaterPhasesAreRecomputed) {
@@ -122,9 +126,10 @@ TEST_F(CheckpointResumeTest, PartialCcdCheckpointResumesMidStream) {
   // so reconstruct one the same way the pipeline writes it — capture an
   // early union–find snapshot from the serial CCD hook and store it under
   // the pipeline's partial tag with the fingerprint rr.ckpt carries.
+  // Payload V2: fingerprint, elapsed-seconds, then the phase data.
   util::CheckpointReader rr_reader =
       util::read_checkpoint(dir_ / "rr.ckpt", /*phase_tag=*/1,
-                            /*max_payload_version=*/1);
+                            /*max_payload_version=*/2);
   const std::uint64_t fingerprint = rr_reader.u64();
 
   pace::CcdProgress snapshot;
@@ -141,10 +146,11 @@ TEST_F(CheckpointResumeTest, PartialCcdCheckpointResumesMidStream) {
 
   util::CheckpointWriter partial;
   partial.u64(fingerprint);
+  partial.f64(0.25);  // elapsed seconds before the simulated crash
   partial.u32_vec(snapshot.parents);
   partial.u64(snapshot.next_pair);
   util::write_checkpoint(dir_ / "ccd_partial.ckpt", /*phase_tag=*/2,
-                         /*payload_version=*/1, partial);
+                         /*payload_version=*/2, partial);
   fs::remove(dir_ / "ccd.ckpt");
   fs::remove(dir_ / "families.ckpt");
 
@@ -156,6 +162,10 @@ TEST_F(CheckpointResumeTest, PartialCcdCheckpointResumesMidStream) {
   expect_same_result(fresh, resumed);
   // The finished phase replaces its partial again.
   EXPECT_FALSE(fs::exists(dir_ / "ccd_partial.ckpt"));
+  // Resumed phase times are populated: RR reports its checkpointed duration
+  // and the partial CCD resume folds the prior 0.25 s into its total.
+  EXPECT_GT(resumed.rr_seconds, 0.0);
+  EXPECT_GE(resumed.ccd_seconds, 0.25);
 }
 
 TEST_F(CheckpointResumeTest, DifferentInputFingerprintRefused) {

@@ -48,6 +48,56 @@ TEST(Histogram, InvalidArgsThrow) {
   EXPECT_THROW(Histogram(10, 5, 10), std::invalid_argument);
 }
 
+TEST(Histogram, PercentileEmptyReturnsZero) {
+  const Histogram h(5, 5, 30);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(50.0), 0);
+  EXPECT_EQ(h.percentile(100.0), 0);
+}
+
+TEST(Histogram, PercentileSingleValue) {
+  Histogram h(0, 10, 100);
+  h.add(42);  // bucket 4 = [40, 49]
+  EXPECT_EQ(h.percentile(0.0), 49);
+  EXPECT_EQ(h.percentile(50.0), 49);
+  EXPECT_EQ(h.percentile(100.0), 49);
+}
+
+TEST(Histogram, PercentileCeilRankAcrossBuckets) {
+  Histogram h(0, 10, 100);
+  h.add(5, 50);   // bucket 0 -> hi 9
+  h.add(95, 50);  // bucket 9 -> hi 99
+  EXPECT_EQ(h.percentile(10.0), 9);
+  EXPECT_EQ(h.percentile(50.0), 9);    // ceil-rank: 50th sample is bucket 0
+  EXPECT_EQ(h.percentile(51.0), 99);
+  EXPECT_EQ(h.percentile(100.0), 99);
+}
+
+TEST(Histogram, PercentileUnderflowResolvesBelowLo) {
+  Histogram h(10, 5, 30);
+  h.add(3);    // underflow
+  h.add(12);   // bucket 0 -> hi 14
+  EXPECT_EQ(h.percentile(25.0), 9);  // lo - 1
+  EXPECT_EQ(h.percentile(100.0), 14);
+}
+
+TEST(Histogram, PercentileOverflowResolvesToRoundedCap) {
+  Histogram h(0, 10, 100);
+  h.add(5);
+  h.add(7000);  // overflow
+  // Overflow resolves to lo + bucket_count*width (the rounded-up cap);
+  // monotone above the last in-range bucket's upper bound.
+  EXPECT_EQ(h.percentile(100.0), 100);
+  EXPECT_GE(h.percentile(100.0), h.percentile(50.0));
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP) {
+  Histogram h(0, 10, 100);
+  h.add(15);
+  EXPECT_EQ(h.percentile(-5.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(250.0), h.percentile(100.0));
+}
+
 TEST(Histogram, ToStringListsNonEmptyBuckets) {
   Histogram h(0, 5, 20);
   h.add(2);

@@ -1,0 +1,104 @@
+#include "pclust/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pclust::util {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndScalars) {
+  JsonWriter w;
+  w.begin_object()
+      .key("n")
+      .value(3)
+      .key("xs")
+      .begin_array()
+      .value(1.5)
+      .value(true)
+      .null()
+      .end_array()
+      .key("s")
+      .value("hi")
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"n":3,"xs":[1.5,true,null],"s":"hi"})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object().key("k\"1").value("a\\b\n\tc").end_object();
+  EXPECT_EQ(w.str(), R"({"k\"1":"a\\b\n\tc"})");
+}
+
+TEST(JsonWriter, IntegersStayExact) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::uint64_t{18446744073709551615ull})
+      .value(std::int64_t{-42})
+      .end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615,-42]");
+}
+
+TEST(JsonWriter, RawNestsPrerenderedDocuments) {
+  JsonWriter inner;
+  inner.begin_object().key("a").value(1).end_object();
+  JsonWriter w;
+  w.begin_object().key("inner");
+  w.raw(inner.str());
+  w.key("b").value(2).end_object();
+  EXPECT_EQ(w.str(), R"({"inner":{"a":1},"b":2})");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name")
+      .value("rr")
+      .key("seconds")
+      .value(1.25)
+      .key("flags")
+      .begin_array()
+      .value(false)
+      .end_array()
+      .end_object();
+  const JsonValue v = parse_json(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").as_string(), "rr");
+  EXPECT_DOUBLE_EQ(v.at("seconds").as_number(), 1.25);
+  ASSERT_TRUE(v.at("flags").is_array());
+  EXPECT_FALSE(v.at("flags").array[0].bool_value);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue v = parse_json(R"({"s":"a\"b\\c\ndA"})");
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\ndA");
+}
+
+TEST(JsonParse, FindReturnsNullptrForMissing) {
+  const JsonValue v = parse_json(R"({"a":1})");
+  EXPECT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_THROW((void)v.at("b"), JsonError);
+}
+
+TEST(JsonParse, AsU64RequiresNumber) {
+  const JsonValue v = parse_json(R"({"n":7,"s":"x"})");
+  EXPECT_EQ(v.at("n").as_u64(), 7u);
+  EXPECT_THROW((void)v.at("s").as_u64(), JsonError);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_json(""), JsonError);
+  EXPECT_THROW((void)parse_json("{"), JsonError);
+  EXPECT_THROW((void)parse_json("[1,]"), JsonError);
+  EXPECT_THROW((void)parse_json("{\"a\":1} extra"), JsonError);
+  EXPECT_THROW((void)parse_json("{'a':1}"), JsonError);
+}
+
+TEST(JsonParse, PreservesObjectInsertionOrder) {
+  const JsonValue v = parse_json(R"({"z":1,"a":2})");
+  ASSERT_EQ(v.object.size(), 2u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+}
+
+}  // namespace
+}  // namespace pclust::util

@@ -1,0 +1,128 @@
+#include "pclust/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "pclust/util/json.hpp"
+
+namespace pclust::util {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, SumsAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Gauge, TracksLastAndHighWater) {
+  Gauge g;
+  g.set(10);
+  g.set(30);
+  g.set(5);
+  EXPECT_EQ(g.last(), 5u);
+  EXPECT_EQ(g.max(), 30u);
+  g.reset();
+  EXPECT_EQ(g.last(), 0u);
+  EXPECT_EQ(g.max(), 0u);
+}
+
+TEST(SizeHistogram, PowerOfTwoBuckets) {
+  SizeHistogram h;
+  h.add(0);   // bucket 0
+  h.add(1);   // bucket 1
+  h.add(2);   // bucket 2
+  h.add(3);   // bucket 2
+  h.add(17);  // bucket 5 (bit width of 17)
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 23u);
+  EXPECT_EQ(snap.max, 17u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[5], 1u);
+}
+
+TEST(SizeHistogram, SnapshotPercentileAndMean) {
+  SizeHistogram h;
+  for (int i = 0; i < 99; ++i) h.add(1);
+  h.add(1024);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.percentile(50.0), 1u);
+  EXPECT_GE(snap.percentile(100.0), 1024u);
+  EXPECT_DOUBLE_EQ(snap.mean(), (99.0 + 1024.0) / 100.0);
+  EXPECT_EQ(SizeHistogram::Snapshot{}.percentile(50.0), 0u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.snapshot().counter("x.count"), 3u);
+  EXPECT_EQ(reg.snapshot().counter("missing"), 0u);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlace) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  SizeHistogram& h = reg.histogram("h");
+  c.add(7);
+  g.set(9);
+  h.add(4);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same handle, zeroed in place
+  EXPECT_EQ(g.max(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(MetricsSnapshot, ToJsonIsParseableAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("pace.alignments_attempted").add(12);
+  reg.gauge("pace.master.queue_depth").set(5);
+  reg.histogram("pace.work_batch_size").add(200);
+  JsonWriter w;
+  reg.snapshot().to_json(w);
+  const JsonValue v = parse_json(w.str());
+  EXPECT_EQ(v.at("counters").at("pace.alignments_attempted").as_u64(), 12u);
+  EXPECT_EQ(v.at("gauges").at("pace.master.queue_depth").at("last").as_u64(),
+            5u);
+  const JsonValue& hist =
+      v.at("histograms").at("pace.work_batch_size");
+  EXPECT_EQ(hist.at("count").as_u64(), 1u);
+  EXPECT_EQ(hist.at("max").as_u64(), 200u);
+}
+
+TEST(Metrics, ProcessRegistryIsASingleton) {
+  Counter& c = metrics().counter("test.singleton_probe");
+  c.reset();
+  c.add(2);
+  EXPECT_EQ(metrics().snapshot().counter("test.singleton_probe"), 2u);
+  c.reset();
+}
+
+}  // namespace
+}  // namespace pclust::util

@@ -1,0 +1,116 @@
+#include "pclust/util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pclust/util/json.hpp"
+
+namespace pclust::util {
+namespace {
+
+/// enable() per test, disable() on exit — the tracer is process-global.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { trace::enable(); }
+  void TearDown() override { trace::disable(); }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  trace::disable();
+  trace::complete(0, 0, "span", "phase", 0.0, 10.0);
+  trace::instant(0, 0, "event", "heal", 5.0);
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_EQ(trace::now_us(), 0.0);
+  trace::enable();
+  const JsonValue v = parse_json(trace::render_json());
+  // Only the pid-0 "pipeline" process metadata from enable() survives.
+  for (const JsonValue& e : v.at("traceEvents").array) {
+    EXPECT_EQ(e.at("ph").as_string(), "M");
+  }
+}
+
+TEST_F(TraceTest, EmitsCompleteAndInstantEvents) {
+  EXPECT_TRUE(trace::enabled());
+  const int pid = trace::begin_process("sim:rr");
+  EXPECT_GT(pid, 0);
+  EXPECT_EQ(trace::current_pid(), pid);
+  trace::name_thread(pid, 1, "worker-1");
+  trace::complete(pid, 1, "generate", "generation", 100.0, 50.0);
+  trace::instant(pid, 0, "worker_failed", "heal", 125.0);
+
+  const JsonValue v = parse_json(trace::render_json());
+  EXPECT_EQ(v.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = v.at("traceEvents").array;
+
+  bool saw_complete = false, saw_instant = false, saw_process_name = false,
+       saw_thread_name = false;
+  for (const JsonValue& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "X" && e.at("name").as_string() == "generate") {
+      saw_complete = true;
+      EXPECT_EQ(e.at("pid").as_u64(), static_cast<std::uint64_t>(pid));
+      EXPECT_EQ(e.at("tid").as_u64(), 1u);
+      EXPECT_DOUBLE_EQ(e.at("ts").as_number(), 100.0);
+      EXPECT_DOUBLE_EQ(e.at("dur").as_number(), 50.0);
+      EXPECT_EQ(e.at("cat").as_string(), "generation");
+    }
+    if (ph == "i" && e.at("name").as_string() == "worker_failed") {
+      saw_instant = true;
+      EXPECT_EQ(e.at("s").as_string(), "t");
+    }
+    if (ph == "M" && e.at("name").as_string() == "process_name" &&
+        e.at("args").at("name").as_string() == "sim:rr") {
+      saw_process_name = true;
+    }
+    if (ph == "M" && e.at("name").as_string() == "thread_name" &&
+        e.at("args").at("name").as_string() == "worker-1") {
+      saw_thread_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST_F(TraceTest, RenderIsDeterministicForFixedTimestamps) {
+  const int pid = trace::begin_process("sim:ccd");
+  // Insertion order scrambled relative to timestamps.
+  trace::complete(pid, 2, "b", "sim", 30.0, 5.0);
+  trace::complete(pid, 1, "a", "sim", 10.0, 5.0);
+  trace::instant(pid, 1, "event", "heal", 12.0);
+  const std::string first = trace::render_json();
+
+  trace::enable();  // clears the buffer; rebuild in a different order
+  const int pid2 = trace::begin_process("sim:ccd");
+  ASSERT_EQ(pid2, pid);  // pids restart from 1 after enable()
+  trace::instant(pid2, 1, "event", "heal", 12.0);
+  trace::complete(pid2, 1, "a", "sim", 10.0, 5.0);
+  trace::complete(pid2, 2, "b", "sim", 30.0, 5.0);
+  EXPECT_EQ(trace::render_json(), first);
+}
+
+TEST_F(TraceTest, WallSpanRecordsOnPipelineTimeline) {
+  { const trace::WallSpan span("rr"); }
+  const JsonValue v = parse_json(trace::render_json());
+  bool found = false;
+  for (const JsonValue& e : v.at("traceEvents").array) {
+    if (e.at("ph").as_string() == "X" && e.at("name").as_string() == "rr") {
+      found = true;
+      EXPECT_EQ(e.at("pid").as_u64(), 0u);
+      EXPECT_EQ(e.at("cat").as_string(), "phase");
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, SetCurrentPidRoundTrips) {
+  const int pid = trace::begin_process("sim:dsd");
+  trace::set_current_pid(0);
+  EXPECT_EQ(trace::current_pid(), 0);
+  trace::set_current_pid(pid);
+  EXPECT_EQ(trace::current_pid(), pid);
+}
+
+}  // namespace
+}  // namespace pclust::util

@@ -10,6 +10,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pclust/util/options.hpp"
 
@@ -45,5 +47,11 @@ long long get_int_in(const util::Options& options, const std::string& name,
 /// --name as a double in [min, max]; throws UsageError otherwise.
 double get_double_in(const util::Options& options, const std::string& name,
                      double min, double max);
+
+/// Parses "rank@value" pairs from a comma-separated list, e.g.
+/// "1@5.0,3@12" -> {(1, 5.0), (3, 12.0)}. Empty input -> empty list.
+/// Throws UsageError (naming --@p flag) on malformed entries.
+std::vector<std::pair<int, double>> parse_rank_at(const std::string& text,
+                                                  const char* flag);
 
 }  // namespace pclust::cli

@@ -6,11 +6,15 @@
 #include "cli_common.hpp"
 #include "commands.hpp"
 #include "pclust/align/msa.hpp"
+#include "pclust/mpsim/fault_plan.hpp"
 #include "pclust/pipeline/pipeline.hpp"
+#include "pclust/pipeline/report.hpp"
 #include "pclust/quality/cluster_io.hpp"
 #include "pclust/seq/fasta.hpp"
+#include "pclust/util/metrics.hpp"
 #include "pclust/util/options.hpp"
 #include "pclust/util/strings.hpp"
+#include "pclust/util/trace.hpp"
 
 namespace pclust::cli {
 
@@ -26,6 +30,9 @@ int cmd_families(int argc, const char* const* argv) {
   options.define("c", "300", "shingles per vertex c");
   options.define("tau", "0.5", "A~B Jaccard cutoff for bd");
   options.define("band", "32", "CCD alignment band (0 = full DP)");
+  options.define("rr-band", "0",
+                 "RR containment-alignment band (0 = full DP, the "
+                 "default; >0 trades exactness for speed)");
   options.define("processors", "0",
                  "simulated BG/L ranks for RR+CCD (0 = serial)");
   options.define("dsd-processors", "0",
@@ -44,6 +51,19 @@ int cmd_families(int argc, const char* const* argv) {
   options.define_flag("resume",
                       "resume from --checkpoint-dir, skipping completed "
                       "phases (exit 4 on input/config mismatch)");
+  options.define("report-out", "",
+                 "write a structured JSON run report (phase times, "
+                 "alignment-work identity, faults, metrics) to this path");
+  options.define("trace-out", "",
+                 "write a Chrome trace-event JSON timeline (load in "
+                 "Perfetto / chrome://tracing) to this path");
+  options.define("crash", "",
+                 "fault injection for simulated RR/CCD: comma-separated "
+                 "rank@virtual-seconds crash schedule, e.g. 1@5,3@20 "
+                 "(requires --processors >= 2)");
+  options.define("straggle", "",
+                 "fault injection: comma-separated rank@slowdown compute "
+                 "multipliers, e.g. 2@4 (requires --processors >= 2)");
   options.parse(argc, argv);
   if (options.help_requested() || options.positionals().empty()) {
     std::fputs(options
@@ -61,6 +81,8 @@ int cmd_families(int argc, const char* const* argv) {
       get_int_in(options, "psi", 1, 10'000));
   config.pace.band =
       static_cast<std::uint32_t>(get_int_in(options, "band", 0, 1 << 20));
+  config.rr_band =
+      static_cast<std::uint32_t>(get_int_in(options, "rr-band", 0, 1 << 20));
   config.shingle.s1 =
       static_cast<std::uint32_t>(get_int_in(options, "s", 1, 1 << 16));
   config.shingle.c1 =
@@ -109,17 +131,66 @@ int cmd_families(int argc, const char* const* argv) {
     throw UsageError("--resume requires --checkpoint-dir");
   }
 
+  mpsim::FaultPlan plan;
+  for (const auto& [rank, at] : parse_rank_at(options.get("crash"), "crash")) {
+    if (rank == 0) {
+      throw UsageError(
+          "--crash: rank 0 is the master; crashing it is unrecoverable "
+          "(use --checkpoint-dir / --resume for master failures)");
+    }
+    if (at < 0.0) throw UsageError("--crash: time must be >= 0");
+    plan.crashes.push_back({rank, at});
+  }
+  for (const auto& [rank, factor] :
+       parse_rank_at(options.get("straggle"), "straggle")) {
+    if (rank < 0) throw UsageError("--straggle: rank must be >= 0");
+    if (factor < 1.0) throw UsageError("--straggle: factor must be >= 1");
+    if (plan.straggler_factor.size() <= static_cast<std::size_t>(rank)) {
+      plan.straggler_factor.resize(static_cast<std::size_t>(rank) + 1, 1.0);
+    }
+    plan.straggler_factor[static_cast<std::size_t>(rank)] = factor;
+  }
+  if (!plan.empty()) {
+    if (config.processors < 2) {
+      throw UsageError(
+          "--crash/--straggle inject faults into the simulated machine; "
+          "they require --processors >= 2");
+    }
+    plan.validate(config.processors);
+    config.fault_plan = &plan;
+  }
+
   require_readable(options.positionals()[0]);
   if (const std::string out = options.get("out"); !out.empty()) {
     require_writable(out);
   }
+  const std::string report_out = options.get("report-out");
+  if (!report_out.empty()) require_writable(report_out);
+  const std::string trace_out = options.get("trace-out");
+  if (!trace_out.empty()) require_writable(trace_out);
 
   seq::SequenceSet sequences;
   seq::read_fasta_file(options.positionals()[0], sequences, fasta);
   std::printf("loaded %zu sequences from %s\n", sequences.size(),
               options.positionals()[0].c_str());
 
+  // Start instrumentation from a clean slate so the report reflects this
+  // run only (the registry is process-wide).
+  util::metrics().reset();
+  if (!trace_out.empty()) util::trace::enable();
+
   const pipeline::PipelineResult result = pipeline::run(sequences, config);
+
+  if (!report_out.empty()) {
+    pipeline::write_report(report_out, result, config,
+                           {"families", options.positionals()[0]});
+    std::printf("wrote run report to %s\n", report_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    util::trace::write_file(trace_out);
+    util::trace::disable();
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
   std::printf(
       "%zu input -> %zu non-redundant -> %zu components (>=%u) -> %zu "
       "families covering %zu sequences (largest %zu, mean density %.0f%%)\n",

@@ -1,0 +1,92 @@
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli_common.hpp"
+#include "commands.hpp"
+#include "pclust/pipeline/report.hpp"
+#include "pclust/util/json.hpp"
+#include "pclust/util/options.hpp"
+
+namespace pclust::cli {
+
+int cmd_report_check(int argc, const char* const* argv) {
+  util::Options options;
+  options.define("min-ccd-skip-ratio", "-1",
+                 "additionally require the CCD phase's skip_ratio to be at "
+                 "least this value (the paper's >99.9 % cluster-filter "
+                 "claim; -1 = no threshold)");
+  options.parse(argc, argv);
+  if (options.help_requested() || options.positionals().size() != 1) {
+    std::fputs(options
+                   .usage("pclust report-check <report.json>",
+                          "Validate a structured run report (from families "
+                          "--report-out): schema, phase provenance, and the "
+                          "alignment-work identity attempted + "
+                          "skipped_by_cluster_filter == candidate_pairs.")
+                   .c_str(),
+               stdout);
+    return options.help_requested() ? 0 : 2;
+  }
+  const double min_skip_ratio =
+      get_double_in(options, "min-ccd-skip-ratio", -1.0, 1.0);
+
+  const std::string& path = options.positionals()[0];
+  require_readable(path);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  util::JsonValue report;
+  try {
+    report = util::parse_json(buffer.str());
+  } catch (const util::JsonError& e) {
+    std::fprintf(stderr, "report-check: %s: %s\n", path.c_str(), e.what());
+    return kExitIo;
+  }
+
+  std::string error;
+  if (!pipeline::validate_report(report, &error)) {
+    std::fprintf(stderr, "report-check: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  if (min_skip_ratio >= 0.0) {
+    const util::JsonValue* ccd = nullptr;
+    for (const util::JsonValue& phase : report.at("phases").array) {
+      if (phase.at("name").as_string() == "ccd") ccd = &phase;
+    }
+    if (!ccd || ccd->find("skip_ratio") == nullptr) {
+      std::fprintf(stderr,
+                   "report-check: %s: no ccd phase with a skip_ratio\n",
+                   path.c_str());
+      return 1;
+    }
+    const double ratio = ccd->at("skip_ratio").as_number();
+    if (ratio < min_skip_ratio) {
+      std::fprintf(stderr,
+                   "report-check: %s: ccd skip_ratio %.6f below required "
+                   "%.6f\n",
+                   path.c_str(), ratio, min_skip_ratio);
+      return 1;
+    }
+  }
+
+  const util::JsonValue& alignment = report.at("alignment");
+  std::printf(
+      "%s: valid run report (candidate_pairs=%llu attempted=%llu "
+      "skipped=%llu skip_ratio=%.6f)\n",
+      path.c_str(),
+      static_cast<unsigned long long>(
+          alignment.at("candidate_pairs").as_u64()),
+      static_cast<unsigned long long>(alignment.at("attempted").as_u64()),
+      static_cast<unsigned long long>(
+          alignment.at("skipped_by_cluster_filter").as_u64()),
+      alignment.at("skip_ratio").as_number());
+  return 0;
+}
+
+}  // namespace pclust::cli

@@ -21,39 +21,6 @@
 
 namespace pclust::cli {
 
-namespace {
-
-/// Parses "rank@value" pairs from a comma-separated list, e.g.
-/// "1@5.0,3@12" -> {(1, 5.0), (3, 12.0)}. Empty input -> empty list.
-std::vector<std::pair<int, double>> parse_rank_at(const std::string& text,
-                                                  const char* flag) {
-  std::vector<std::pair<int, double>> out;
-  if (text.empty()) return out;
-  for (const std::string& token : util::split(text, ',')) {
-    const std::string entry(util::trim(token));
-    const auto at = entry.find('@');
-    if (at == std::string::npos || at == 0 || at + 1 == entry.size()) {
-      throw UsageError(std::string("--") + flag + ": expected rank@value, got '" +
-                       entry + "'");
-    }
-    try {
-      std::size_t used = 0;
-      const int rank = std::stoi(entry.substr(0, at), &used);
-      if (used != at) throw std::invalid_argument(entry);
-      const std::string value_text = entry.substr(at + 1);
-      const double value = std::stod(value_text, &used);
-      if (used != value_text.size()) throw std::invalid_argument(entry);
-      out.emplace_back(rank, value);
-    } catch (const std::exception&) {
-      throw UsageError(std::string("--") + flag + ": expected rank@value, got '" +
-                       entry + "'");
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 int cmd_simulate(int argc, const char* const* argv) {
   util::Options options;
   options.define("n", "2000", "synthetic input size (ignored with a FASTA)");

@@ -15,4 +15,7 @@ int cmd_compare(int argc, const char* const* argv);
 /// `pclust simulate` — RR/CCD scalability sweep on the simulated machine.
 int cmd_simulate(int argc, const char* const* argv);
 
+/// `pclust report-check` — validate a structured run report.
+int cmd_report_check(int argc, const char* const* argv);
+
 }  // namespace pclust::cli

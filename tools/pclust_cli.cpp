@@ -25,8 +25,11 @@ void print_usage() {
       "  generate   Synthesize a metagenomic peptide sample with ground "
       "truth.\n"
       "  families   Identify protein families in a FASTA file.\n"
-      "  compare    Compare two clustering files (PR/SE/OQ/CC).\n"
+      "  compare    Compare two clustering files (PR/SE/OQ/CC) or, with\n"
+      "             --reports, diff two structured run reports.\n"
       "  simulate   Replay the RR/CCD phases on the simulated BlueGene/L.\n"
+      "  report-check  Validate a run report written by families "
+      "--report-out.\n"
       "\nRun 'pclust <command> --help' for command options.\n",
       stdout);
 }
@@ -56,6 +59,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(command, "simulate") == 0) {
       return cli::cmd_simulate(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "report-check") == 0) {
+      return cli::cmd_report_check(sub_argc, sub_argv);
     }
     if (std::strcmp(command, "--help") == 0 ||
         std::strcmp(command, "-h") == 0) {
