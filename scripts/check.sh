@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + ctest, then the real-thread execution
 # layer (exec pool, pooled pace drivers, fault-injected runtime) under
-# ThreadSanitizer, the memory-facing suites under ASan+UBSan, and a CLI
-# fault/checkpoint smoke matrix.
+# ThreadSanitizer, the memory-facing suites under ASan+UBSan, a CLI
+# fault/checkpoint smoke matrix, and the seeded chaos sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +56,13 @@ rc=0; "$pclust" generate --n 300 --families 5 --seed 8 --out "$smoke/other.fa" >
   && "$pclust" families "$smoke/other.fa" --checkpoint-dir "$smoke/ckpt" \
      --resume 2>/dev/null || rc=$?
 [ "$rc" -eq 4 ] || { echo "expected exit 4 for fingerprint mismatch, got $rc"; exit 1; }
+
+# chaos: seeded fault-plan sweep over the whole pipeline — order-preserving
+# links at p=2 must be bit-identical to serial, CCD/DSD crashes must heal
+# bit-identically, RR crashes must heal to a valid clustering, and damaged
+# checkpoints (kill-mid-write truncation, bit flips) must be quarantined
+# and rolled back or recomputed — a --resume abort is a failure.
+"$pclust" chaos --seeds 10 --n 200 --workdir "$smoke/chaos"
 
 # metrics-smoke: run reports + traces end to end. A serial run on a dense
 # single-family workload must validate against the report schema AND show

@@ -103,6 +103,11 @@ class Communicator {
                    compute_factor_);
     check_crash();
   }
+  void charge_hashes(std::uint64_t n) {
+    clock_.advance(static_cast<double>(n) * model_.hash_cost *
+                   compute_factor_);
+    check_crash();
+  }
 
   // -- point-to-point -------------------------------------------------------
   /// Blocking-buffered send (never waits). @p bytes is the wire size used
@@ -165,6 +170,14 @@ class Communicator {
   /// rank ever sent to (keys "link.SRC->DST.msgs" / ".bytes" in counters()).
   void record_link_traffic(int dst, std::uint64_t bytes);
 
+  /// Record a human-readable fault/healing event (worker death, timeout,
+  /// adoption, ...). Events are merged rank-ascending into
+  /// RunResult::fault_events so healed runs stay auditable.
+  void note(std::string event) { notes_.push_back(std::move(event)); }
+  [[nodiscard]] const std::vector<std::string>& notes() const {
+    return notes_;
+  }
+
  private:
   /// Dies (throws RankCrashed, marks the rank failed in the transport) once
   /// the virtual clock has reached the planned crash time. Called on every
@@ -179,6 +192,7 @@ class Communicator {
   double compute_factor_;
   bool crashed_ = false;
   std::map<std::string, std::uint64_t> counters_;
+  std::vector<std::string> notes_;
 
   // Cached "link.SRC->DST.{msgs,bytes}" key strings, indexed by dst, so
   // record_link_traffic never formats on the hot path after first use.

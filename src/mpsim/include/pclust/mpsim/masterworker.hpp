@@ -1,0 +1,493 @@
+// Resilient master–worker protocol over the message-passing simulator.
+//
+// This is the self-healing engine factored out of the PaCE phases (PR 2) so
+// every simulated phase — RR, CCD, and now BGG+DSD — shares one protocol:
+//
+//   - Workers own deterministic GENERATION STREAMS (a pure function of a
+//     shared read-only index), submit tasks in rounds, and evaluate the
+//     chunks the master hands back. Submissions and work chunks carry
+//     per-worker sequence numbers, so duplicated deliveries are recognized
+//     and dropped on both sides (at-least-once links are safe).
+//   - The master admits each task exactly once (the hook deduplicates and
+//     filters), dispatches bounded chunks, and tracks the unacknowledged
+//     chunk per worker. A worker death — planned crash, error, or heartbeat
+//     timeout (with bounded retry + exponential backoff first) — requeues
+//     its outstanding chunk ahead of the FIFO and hands each of its
+//     generation streams to the least-loaded survivor, which replays the
+//     stream from the master's received watermark. The seen-set in the
+//     admit hook and idempotent verdict application absorb replay overlap.
+//   - A wall-clock phase deadline turns a hung phase into an attributed
+//     RankError instead of a silent hang.
+//
+// Verdict APPLICATION order still follows message arrival, so a phase is
+// bit-identical under faults exactly when its apply is confluent (CCD's
+// union-find, DSD's keyed family slots) — see DESIGN.md §11 for the
+// per-phase guarantees.
+#pragma once
+
+#include <algorithm>
+#include <any>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pclust/mpsim/communicator.hpp"
+#include "pclust/util/metrics.hpp"
+#include "pclust/util/trace.hpp"
+
+namespace pclust::mpsim {
+
+/// Master-side triage of one submitted task.
+enum class MwAdmit : std::uint8_t {
+  kQueue = 0,   ///< fresh and useful: dispatch it to a worker
+  kDuplicate,   ///< already seen (stream replay or duplicated delivery)
+  kFiltered,    ///< skipped by the phase's cluster filter
+};
+
+struct MwOptions {
+  /// Phase label for fault events and errors (e.g. "rr", "ccd", "dsd").
+  std::string phase = "mw";
+  /// Process-metrics key prefix (e.g. "pace" keeps the PR-2 metric names).
+  std::string metrics_prefix = "mw";
+  /// Tasks per worker->master submission and per master->worker chunk.
+  std::size_t batch_size = 256;
+  /// Batches a worker submits per protocol round (>= 1).
+  std::uint32_t generation_batches = 1;
+  /// Master-side liveness backstop, WALL-clock seconds; <= 0 waits forever.
+  double heartbeat_timeout = 0.0;
+  /// Extra timed-out receives (exponential backoff on the timeout) before a
+  /// silent worker is declared dead. Transient scheduling stalls heal here.
+  std::uint32_t heartbeat_retries = 2;
+  /// Timeout multiplier per heartbeat retry.
+  double heartbeat_backoff = 2.0;
+  /// Whole-phase WALL-clock watchdog, seconds; 0 disables. On expiry the
+  /// master throws PhaseDeadlineExceeded, which surfaces as a RankError
+  /// attributed to this phase.
+  double deadline_seconds = 0.0;
+  /// Wire-size estimates for the virtual clock (bytes per element).
+  std::uint64_t task_bytes = 16;
+  std::uint64_t verdict_bytes = 8;
+  std::uint64_t header_bytes = 25;  // seq + stream ids + flags
+};
+
+/// Thrown by the master when MwOptions::deadline_seconds expires; the
+/// runtime wraps it in a RankError carrying the phase label.
+class PhaseDeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Master-side protocol statistics, returned by mw_master_loop. The caller
+/// maps them onto its phase counters (they are protocol-level quantities:
+/// every submitted task is exactly one of duplicate/filtered/dispatched).
+struct MwMasterStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t filtered = 0;
+  std::uint64_t dispatched = 0;
+};
+
+/// Master hooks. `admit` triages one submitted task (and owns the phase's
+/// dedup set); `apply` folds one verdict into the result state. Both are
+/// called on the master rank only, in message-arrival order.
+template <typename Task, typename Verdict>
+struct MwMaster {
+  std::function<MwAdmit(const Task&)> admit;
+  std::function<void(const Verdict&)> apply;
+};
+
+/// Worker hooks. `generate(comm, origin)` (re)builds rank @p origin's task
+/// stream — a pure function of the shared index, charging its own virtual
+/// cost — which is what makes stream adoption possible. `evaluate` answers
+/// one work chunk with one verdict per task, charging compute on @p comm.
+template <typename Task, typename Verdict>
+struct MwWorker {
+  std::function<std::vector<Task>(Communicator&, int origin)> generate;
+  std::function<void(Communicator&, const std::vector<Task>&,
+                     std::vector<Verdict>&)>
+      evaluate;
+};
+
+namespace detail {
+
+constexpr int kMwTagRound = 1;
+constexpr int kMwTagWork = 2;
+
+/// A generation stream a worker must (re)play after its original owner
+/// died: origin's stream starting at task index @p from (the master's
+/// received watermark).
+struct MwStreamAssign {
+  int origin = -1;
+  std::uint64_t from = 0;
+};
+
+template <typename Task, typename Verdict>
+struct MwRoundMsg {
+  std::uint64_t seq = 0;  // per-worker submission number, 1-based
+  int stream = -1;        // origin rank of `tasks` (-1: none this round)
+  std::uint64_t start = 0;  // index of tasks.front() within that stream
+  std::vector<Task> tasks;
+  std::vector<Verdict> verdicts;  // answer the work chunk with seq ack_seq
+  std::uint64_t ack_seq = 0;      // 0 = no chunk answered this round
+  bool exhausted = false;         // all assigned streams fully submitted
+};
+
+template <typename Task>
+struct MwWorkMsg {
+  std::uint64_t seq = 0;  // per-worker order number, 1-based
+  std::vector<Task> tasks;
+  std::vector<MwStreamAssign> adopt;  // dead workers' streams to replay
+  bool done = false;
+};
+
+/// Virtual-time trace instant on the current phase timeline (tid = rank).
+inline void mw_trace_event(const Communicator& comm, std::string_view name,
+                           std::string_view cat) {
+  if (!util::trace::enabled()) return;
+  util::trace::instant(util::trace::current_pid(), comm.rank(), name, cat,
+                       comm.clock().now() * 1e6);
+}
+
+}  // namespace detail
+
+/// Run the resilient master loop on rank 0. Returns once every live worker
+/// is exhausted and every dispatched chunk is acknowledged. Throws
+/// std::runtime_error when every worker died, PhaseDeadlineExceeded when
+/// the watchdog fires.
+template <typename Task, typename Verdict>
+MwMasterStats mw_master_loop(Communicator& comm, const MwOptions& opt,
+                             const MwMaster<Task, Verdict>& hooks) {
+  using RoundMsg = detail::MwRoundMsg<Task, Verdict>;
+  using WorkMsg = detail::MwWorkMsg<Task>;
+  const int p = comm.size();
+  const auto all_dead_error = [&] {
+    return std::runtime_error(opt.phase +
+                              ": all workers failed; cannot complete the "
+                              "phase");
+  };
+
+  struct WorkerState {
+    bool alive = true;
+    bool exhausted = false;
+    std::uint64_t last_round_seq = 0;  // highest RoundMsg seq consumed
+    std::uint64_t work_seq = 0;        // seq of the last WorkMsg sent
+    std::uint64_t outstanding_seq = 0;  // unacked chunk's seq (0 = none)
+    std::vector<Task> outstanding;      // its tasks, requeued on death
+    std::vector<int> streams;           // generation streams assigned here
+    std::vector<detail::MwStreamAssign> adopt;  // ship with next WorkMsg
+  };
+  std::vector<WorkerState> ws(static_cast<std::size_t>(p));
+  // received[origin]: tasks [0, received) of origin's stream have reached
+  // the master; a post-crash replay starts here.
+  std::vector<std::uint64_t> received(static_cast<std::size_t>(p), 0);
+  for (int w = 1; w < p; ++w) ws[static_cast<std::size_t>(w)].streams = {w};
+  int alive_workers = p - 1;
+
+  std::deque<Task> pending;
+  MwMasterStats stats;
+  auto& metric_requeued =
+      util::metrics().counter(opt.metrics_prefix + ".pairs_requeued");
+  auto& metric_adopted =
+      util::metrics().counter(opt.metrics_prefix + ".streams_adopted");
+  auto& metric_failed =
+      util::metrics().counter(opt.metrics_prefix + ".workers_failed");
+  auto& metric_timed_out =
+      util::metrics().counter(opt.metrics_prefix + ".workers_timed_out");
+  auto& metric_link_retries =
+      util::metrics().counter(opt.metrics_prefix + ".link_retries");
+  auto& queue_depth =
+      util::metrics().gauge(opt.metrics_prefix + ".master.queue_depth");
+  auto& batch_sizes =
+      util::metrics().histogram(opt.metrics_prefix + ".work_batch_size");
+
+  // Self-healing: requeue the dead worker's unacked chunk ahead of the
+  // FIFO and hand each of its generation streams to the least-loaded
+  // survivor, which replays it from the received watermark. The admit
+  // hook's dedup and idempotent verdict application swallow any replay
+  // overlap.
+  const auto reassign = [&](int dead) {
+    WorkerState& d = ws[static_cast<std::size_t>(dead)];
+    comm.count("pairs_requeued", d.outstanding.size());
+    metric_requeued.add(d.outstanding.size());
+    for (auto it = d.outstanding.rbegin(); it != d.outstanding.rend(); ++it) {
+      pending.push_front(*it);
+    }
+    d.outstanding.clear();
+    d.outstanding_seq = 0;
+    for (const int origin : d.streams) {
+      int target = -1;
+      for (int w = 1; w < p; ++w) {
+        WorkerState& cand = ws[static_cast<std::size_t>(w)];
+        if (!cand.alive) continue;
+        if (target < 0 ||
+            cand.streams.size() <
+                ws[static_cast<std::size_t>(target)].streams.size()) {
+          target = w;
+        }
+      }
+      if (target < 0) throw all_dead_error();
+      WorkerState& t = ws[static_cast<std::size_t>(target)];
+      t.streams.push_back(origin);
+      t.adopt.push_back(detail::MwStreamAssign{
+          origin, received[static_cast<std::size_t>(origin)]});
+      t.exhausted = false;  // new tasks are (potentially) coming
+      comm.count("streams_adopted");
+      metric_adopted.add(1);
+      comm.note(opt.phase + ": stream of rank " + std::to_string(origin) +
+                " adopted by rank " + std::to_string(target) + " at vt=" +
+                std::to_string(comm.clock().now()) + "s");
+      detail::mw_trace_event(comm, "stream_adopted", "heal");
+    }
+    d.streams.clear();
+    d.exhausted = true;  // nothing more expected from it
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto deadline_expired = [&] {
+    if (opt.deadline_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - wall_start;
+    return elapsed.count() > opt.deadline_seconds;
+  };
+
+  bool done = false;
+  while (!done) {
+    if (deadline_expired()) {
+      throw PhaseDeadlineExceeded(
+          opt.phase + ": phase deadline of " +
+          std::to_string(opt.deadline_seconds) +
+          "s exceeded (possible hung rank); master virtual time " +
+          std::to_string(comm.clock().now()) + "s");
+    }
+
+    // Receive and fold in this round's submissions from live workers.
+    for (int w = 1; w < p; ++w) {
+      WorkerState& state = ws[static_cast<std::size_t>(w)];
+      if (!state.alive) continue;
+
+      RoundMsg round;
+      bool have_round = false;
+      for (;;) {
+        mpsim::Message msg;
+        // Bounded retry with exponential backoff before a silent worker is
+        // declared dead: a timeout may be a transient stall, not a death.
+        double timeout =
+            opt.heartbeat_timeout > 0 ? opt.heartbeat_timeout : -1.0;
+        RecvStatus st = comm.recv_status(w, detail::kMwTagRound, msg, timeout);
+        for (std::uint32_t attempt = 0;
+             st == RecvStatus::kTimeout && attempt < opt.heartbeat_retries;
+             ++attempt) {
+          comm.count("link_timeout_retries");
+          metric_link_retries.add(1);
+          comm.note(opt.phase + ": link 0<-" + std::to_string(w) +
+                    " timed out after " + std::to_string(timeout) +
+                    "s (retry " + std::to_string(attempt + 1) + " of " +
+                    std::to_string(opt.heartbeat_retries) + ", vt=" +
+                    std::to_string(comm.clock().now()) + "s)");
+          timeout *= opt.heartbeat_backoff;
+          st = comm.recv_status(w, detail::kMwTagRound, msg, timeout);
+        }
+        if (st == RecvStatus::kOk) {
+          round = msg.take<RoundMsg>();
+          // A duplicated delivery replays an old seq: skip it. The fresh
+          // copy (or the rank-failed mark) is guaranteed to follow.
+          if (round.seq <= state.last_round_seq) continue;
+          state.last_round_seq = round.seq;
+          have_round = true;
+        } else {
+          state.alive = false;
+          --alive_workers;
+          if (st == RecvStatus::kTimeout) {
+            // The rank may merely be hung; a final done message releases
+            // it if it ever wakes, so the run can still terminate.
+            WorkMsg bye;
+            bye.seq = ++state.work_seq;
+            bye.done = true;
+            comm.send(w, detail::kMwTagWork, std::any(std::move(bye)),
+                      opt.header_bytes);
+            comm.count("workers_timed_out");
+            metric_timed_out.add(1);
+            comm.note(opt.phase + ": worker rank " + std::to_string(w) +
+                      " declared dead after heartbeat timeout on link 0<-" +
+                      std::to_string(w) + " (vt=" +
+                      std::to_string(comm.clock().now()) + "s)");
+            detail::mw_trace_event(comm, "worker_timed_out", "heal");
+          } else {
+            comm.count("workers_failed");
+            metric_failed.add(1);
+            comm.note(opt.phase + ": worker rank " + std::to_string(w) +
+                      " failed; requeueing " +
+                      std::to_string(state.outstanding.size()) +
+                      " outstanding tasks (vt=" +
+                      std::to_string(comm.clock().now()) + "s)");
+            detail::mw_trace_event(comm, "worker_failed", "heal");
+          }
+          reassign(w);
+        }
+        break;
+      }
+      if (!have_round) continue;
+
+      state.exhausted = round.exhausted;
+      if (round.ack_seq != 0 && round.ack_seq == state.outstanding_seq) {
+        state.outstanding.clear();
+        state.outstanding_seq = 0;
+      }
+      for (const Verdict& v : round.verdicts) {
+        comm.charge_finds(1);
+        hooks.apply(v);
+      }
+      if (round.stream >= 0) {
+        std::uint64_t& mark = received[static_cast<std::size_t>(round.stream)];
+        mark = std::max(mark, round.start + round.tasks.size());
+      }
+      for (const Task& task : round.tasks) {
+        ++stats.submitted;
+        comm.charge_finds(1);
+        switch (hooks.admit(task)) {
+          case MwAdmit::kDuplicate:
+            ++stats.duplicates;
+            break;
+          case MwAdmit::kFiltered:
+            ++stats.filtered;
+            break;
+          case MwAdmit::kQueue:
+            pending.push_back(task);
+            break;
+        }
+      }
+    }
+
+    if (alive_workers == 0) throw all_dead_error();
+
+    queue_depth.set(pending.size());
+
+    done = pending.empty();
+    for (int w = 1; done && w < p; ++w) {
+      const WorkerState& state = ws[static_cast<std::size_t>(w)];
+      if (!state.alive) continue;
+      done = state.exhausted && state.outstanding_seq == 0 &&
+             state.adopt.empty();
+    }
+
+    // Hand out the next chunks (empty + done on the final round).
+    for (int w = 1; w < p; ++w) {
+      WorkerState& state = ws[static_cast<std::size_t>(w)];
+      if (!state.alive) continue;
+      WorkMsg work;
+      work.seq = ++state.work_seq;
+      work.done = done;
+      work.adopt = std::move(state.adopt);
+      state.adopt.clear();
+      if (!done && state.outstanding_seq == 0) {
+        while (!pending.empty() && work.tasks.size() < opt.batch_size) {
+          work.tasks.push_back(pending.front());
+          pending.pop_front();
+        }
+      }
+      if (!work.tasks.empty()) {
+        state.outstanding = work.tasks;
+        state.outstanding_seq = work.seq;
+        batch_sizes.add(work.tasks.size());
+      }
+      stats.dispatched += work.tasks.size();
+      const std::uint64_t bytes =
+          work.tasks.size() * opt.task_bytes + opt.header_bytes;
+      comm.send(w, detail::kMwTagWork, std::any(std::move(work)), bytes);
+    }
+  }
+  return stats;
+}
+
+/// Run the worker loop on ranks 1..p-1 until the master says done.
+template <typename Task, typename Verdict>
+void mw_worker_loop(Communicator& comm, const MwOptions& opt,
+                    const MwWorker<Task, Verdict>& hooks) {
+  using RoundMsg = detail::MwRoundMsg<Task, Verdict>;
+  using WorkMsg = detail::MwWorkMsg<Task>;
+
+  struct Stream {
+    int origin;
+    std::size_t next;
+    std::vector<Task> tasks;
+  };
+  std::vector<Stream> streams;
+  auto& metric_streams =
+      util::metrics().counter(opt.metrics_prefix + ".generation_streams");
+  // (Re)build a rank's share of the task stream; adoption replays a dead
+  // rank's share from @p from, paying the regeneration cost on THIS rank's
+  // clock (the generate hook charges it).
+  const auto add_stream = [&](int origin, std::uint64_t from) {
+    const double t0 = comm.clock().now();
+    Stream s{origin, static_cast<std::size_t>(from),
+             hooks.generate(comm, origin)};
+    comm.count("worker_pairs_generated",
+               s.tasks.size() - std::min<std::size_t>(s.next, s.tasks.size()));
+    metric_streams.add(1);
+    if (util::trace::enabled()) {
+      const std::string name = origin == comm.rank()
+                                   ? "generate"
+                                   : "generate(adopted:" +
+                                         std::to_string(origin) + ")";
+      util::trace::complete(util::trace::current_pid(), comm.rank(), name,
+                            "generation", t0 * 1e6,
+                            (comm.clock().now() - t0) * 1e6);
+    }
+    streams.push_back(std::move(s));
+  };
+  add_stream(comm.rank(), 0);
+
+  const std::size_t submit_cap =
+      opt.batch_size * std::max<std::uint32_t>(1, opt.generation_batches);
+
+  std::uint64_t seq_out = 0;
+  std::uint64_t last_work_seq = 0;
+  std::uint64_t ack = 0;
+  std::vector<Verdict> verdicts;
+  while (true) {
+    RoundMsg round;
+    round.seq = ++seq_out;
+    for (Stream& s : streams) {
+      if (s.next >= s.tasks.size()) continue;
+      const std::size_t take =
+          std::min<std::size_t>(submit_cap, s.tasks.size() - s.next);
+      round.stream = s.origin;
+      round.start = s.next;
+      round.tasks.assign(
+          s.tasks.begin() + static_cast<std::ptrdiff_t>(s.next),
+          s.tasks.begin() + static_cast<std::ptrdiff_t>(s.next + take));
+      s.next += take;
+      break;
+    }
+    round.exhausted =
+        std::all_of(streams.begin(), streams.end(), [](const Stream& s) {
+          return s.next >= s.tasks.size();
+        });
+    round.verdicts = std::move(verdicts);
+    verdicts.clear();
+    round.ack_seq = ack;
+    ack = 0;
+    const std::uint64_t bytes = round.tasks.size() * opt.task_bytes +
+                                round.verdicts.size() * opt.verdict_bytes +
+                                opt.header_bytes;
+    comm.send(0, detail::kMwTagRound, std::any(std::move(round)), bytes);
+
+    WorkMsg work;
+    do {  // skip duplicated deliveries (stale seq)
+      work = comm.recv(0, detail::kMwTagWork).template take<WorkMsg>();
+    } while (work.seq <= last_work_seq);
+    last_work_seq = work.seq;
+    for (const detail::MwStreamAssign& a : work.adopt) {
+      add_stream(a.origin, a.from);
+    }
+    if (work.done) break;
+    if (!work.tasks.empty()) ack = work.seq;
+    hooks.evaluate(comm, work.tasks, verdicts);
+  }
+}
+
+}  // namespace pclust::mpsim

@@ -14,19 +14,34 @@
 namespace pclust::mpsim {
 
 /// A rank function terminated with an exception. Carries the failing rank's
-/// id; the original exception is nested (std::rethrow_if_nested recovers
-/// it). When several ranks throw concurrently, the lowest-numbered
-/// non-secondary failure wins — all threads are joined either way.
+/// id, the phase label of the run (when one was given), and the rank's
+/// virtual time at death; the original exception is nested
+/// (std::rethrow_if_nested recovers it). When several ranks throw
+/// concurrently, the lowest-numbered non-secondary failure wins — all
+/// threads are joined either way.
 class RankError : public std::runtime_error {
  public:
-  RankError(int rank, const std::string& what)
-      : std::runtime_error("mpsim: rank " + std::to_string(rank) +
-                           " failed: " + what),
-        rank_(rank) {}
+  RankError(int rank, const std::string& what, const std::string& phase = "",
+            double virtual_time = -1.0)
+      : std::runtime_error(
+            "mpsim" + (phase.empty() ? std::string() : "[" + phase + "]") +
+            ": rank " + std::to_string(rank) +
+            (virtual_time >= 0.0
+                 ? " failed at vt=" + std::to_string(virtual_time) + "s: "
+                 : " failed: ") +
+            what),
+        rank_(rank),
+        phase_(phase),
+        virtual_time_(virtual_time) {}
   [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+  /// Virtual seconds since phase start, or -1 when unknown.
+  [[nodiscard]] double virtual_time() const { return virtual_time_; }
 
  private:
   int rank_;
+  std::string phase_;
+  double virtual_time_;
 };
 
 struct RunResult {
@@ -40,6 +55,11 @@ struct RunResult {
   /// Ranks that died to a planned FaultPlan crash (ascending). Always empty
   /// for fault-free runs.
   std::vector<int> crashed_ranks;
+  /// Human-readable fault/healing events (planned crashes plus every
+  /// Communicator::note), ordered rank-ascending. Empty for clean runs.
+  std::vector<std::string> fault_events;
+  /// The phase label this result was produced under ("" when unnamed).
+  std::string phase;
 
   [[nodiscard]] std::uint64_t counter(const std::string& key) const {
     const auto it = counters.find(key);
@@ -63,5 +83,12 @@ RunResult run(int p, const MachineModel& model,
 /// malformed plan.
 RunResult run(int p, const MachineModel& model, const FaultPlan& plan,
               const std::function<void(Communicator&)>& fn);
+
+/// Labelled variant: like run() but tags the result (and any RankError)
+/// with @p phase so failures in multi-phase pipelines stay attributable.
+/// @p plan may be null for a fault-free run.
+RunResult run_phase(const std::string& phase, int p,
+                    const MachineModel& model, const FaultPlan* plan,
+                    const std::function<void(Communicator&)>& fn);
 
 }  // namespace pclust::mpsim

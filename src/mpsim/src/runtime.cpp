@@ -15,7 +15,8 @@ namespace pclust::mpsim {
 namespace {
 
 RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
-                   const std::function<void(Communicator&)>& fn) {
+                   const std::function<void(Communicator&)>& fn,
+                   const std::string& phase = "") {
   if (p < 1) throw std::invalid_argument("mpsim::run: p must be >= 1");
   if (plan) plan->validate(p);
 
@@ -55,7 +56,11 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
   for (auto& t : threads) t.join();
 
   // Prefer the lowest-ranked original failure over secondary Aborted
-  // unwinds, and attach the failing rank's id to what escapes.
+  // unwinds, and attach the failing rank's id, the phase label, and the
+  // rank's virtual time at death to what escapes.
+  const auto rank_vtime = [&](int r) {
+    return comms[static_cast<std::size_t>(r)]->clock().now();
+  };
   int aborted_rank = -1;
   for (int r = 0; r < p; ++r) {
     const auto& e = errors[static_cast<std::size_t>(r)];
@@ -65,20 +70,23 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
     } catch (const Aborted&) {
       if (aborted_rank < 0) aborted_rank = r;
     } catch (const std::exception& ex) {
-      std::throw_with_nested(RankError(r, ex.what()));
+      std::throw_with_nested(RankError(r, ex.what(), phase, rank_vtime(r)));
     } catch (...) {
-      std::throw_with_nested(RankError(r, "unknown exception"));
+      std::throw_with_nested(
+          RankError(r, "unknown exception", phase, rank_vtime(r)));
     }
   }
   if (aborted_rank >= 0) {
     try {
       std::rethrow_exception(errors[static_cast<std::size_t>(aborted_rank)]);
     } catch (const std::exception& ex) {
-      std::throw_with_nested(RankError(aborted_rank, ex.what()));
+      std::throw_with_nested(RankError(aborted_rank, ex.what(), phase,
+                                       rank_vtime(aborted_rank)));
     }
   }
 
   RunResult result;
+  result.phase = phase;
   std::sort(crashed.begin(), crashed.end());
   result.crashed_ranks = std::move(crashed);
   result.rank_times.reserve(static_cast<std::size_t>(p));
@@ -87,6 +95,17 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
     result.makespan = std::max(result.makespan, comm->clock().now());
     for (const auto& [key, value] : comm->counters()) {
       result.counters[key] += value;
+    }
+  }
+  for (const int r : result.crashed_ranks) {
+    result.fault_events.push_back(
+        "rank " + std::to_string(r) + " crashed at vt=" +
+        std::to_string(result.rank_times[static_cast<std::size_t>(r)]) +
+        "s (planned fault)");
+  }
+  for (const auto& comm : comms) {
+    for (const auto& event : comm->notes()) {
+      result.fault_events.push_back(event);
     }
   }
   return result;
@@ -102,6 +121,12 @@ RunResult run(int p, const MachineModel& model,
 RunResult run(int p, const MachineModel& model, const FaultPlan& plan,
               const std::function<void(Communicator&)>& fn) {
   return run_impl(p, model, &plan, fn);
+}
+
+RunResult run_phase(const std::string& phase, int p,
+                    const MachineModel& model, const FaultPlan* plan,
+                    const std::function<void(Communicator&)>& fn) {
+  return run_impl(p, model, plan, fn, phase);
 }
 
 }  // namespace pclust::mpsim

@@ -40,6 +40,21 @@ struct PaceParams {
   /// slow-but-healthy thread is indistinguishable from a hung one.
   double heartbeat_timeout = 0.0;
 
+  /// Extra timed-out receives — each with the timeout multiplied by
+  /// heartbeat_backoff — before a silent worker is declared dead, so a
+  /// transient stall does not trigger a (correct but wasteful) reassignment.
+  std::uint32_t heartbeat_retries = 2;
+  double heartbeat_backoff = 2.0;
+
+  /// Whole-phase WALL-clock watchdog, seconds (0 = off): if the master loop
+  /// runs longer than this, the phase aborts with an attributed RankError
+  /// instead of hanging forever.
+  double phase_deadline = 0.0;
+
+  /// Phase label attached to fault events and RankError diagnostics
+  /// (e.g. "rr", "ccd"); purely observational.
+  const char* phase_label = "pace";
+
   /// Banded-alignment half width seeded on the maximal-match diagonal;
   /// 0 = full (exact) dynamic programming.
   std::uint32_t band = 0;

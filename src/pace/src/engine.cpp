@@ -1,12 +1,12 @@
 #include "pclust/pace/engine.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "pclust/exec/pool.hpp"
+#include "pclust/mpsim/masterworker.hpp"
 #include "pclust/suffix/lcp.hpp"
 #include "pclust/suffix/suffix_array.hpp"
 #include "pclust/util/metrics.hpp"
@@ -15,14 +15,6 @@
 namespace pclust::pace {
 
 namespace {
-
-/// Virtual-time trace instant on the current phase timeline (tid = rank).
-void trace_event(const mpsim::Communicator& comm, std::string_view name,
-                 std::string_view cat) {
-  if (!util::trace::enabled()) return;
-  util::trace::instant(util::trace::current_pid(), comm.rank(), name, cat,
-                       comm.clock().now() * 1e6);
-}
 
 /// One phase's EngineCounters folded into the registry. These back the
 /// report's alignment-work identity: promising == aligned + filtered +
@@ -36,38 +28,29 @@ void record_engine_counters(const EngineCounters& c) {
   m.counter("pace.alignments_attempted").add(c.aligned_pairs);
 }
 
-constexpr int kTagRound = 1;
-constexpr int kTagWork = 2;
-
 // Wire-size estimates for the virtual clock (bytes per element).
 constexpr std::uint64_t kPairBytes = 20;
 constexpr std::uint64_t kVerdictBytes = 9;
 constexpr std::uint64_t kHeaderBytes = 25;  // seq + stream ids + flags
 
-/// A generation stream a worker must (re)play after its original owner
-/// died: the promising pairs of @p origin's bucket share, starting at pair
-/// index @p from (the master's received watermark).
-struct StreamAssign {
-  int origin = -1;
-  std::uint64_t from = 0;
-};
-
-struct RoundMsg {
-  std::uint64_t seq = 0;  // per-worker submission number, 1-based
-  int stream = -1;        // origin rank of `pairs` (-1: none this round)
-  std::uint64_t start = 0;  // index of pairs.front() within that stream
-  std::vector<PairTask> pairs;
-  std::vector<Verdict> verdicts;  // answer the work chunk with seq ack_seq
-  std::uint64_t ack_seq = 0;      // 0 = no chunk answered this round
-  bool exhausted = false;         // all assigned streams fully submitted
-};
-
-struct WorkMsg {
-  std::uint64_t seq = 0;  // per-worker order number, 1-based
-  std::vector<PairTask> tasks;
-  std::vector<StreamAssign> adopt;  // dead workers' streams to replay
-  bool done = false;
-};
+/// The PaCE phases run on the shared resilient master–worker protocol
+/// (mpsim/masterworker.hpp); these options keep the PR-2 wire sizes and
+/// the "pace."-prefixed metric keys.
+mpsim::MwOptions mw_options(const PaceParams& params) {
+  mpsim::MwOptions opt;
+  opt.phase = params.phase_label ? params.phase_label : "pace";
+  opt.metrics_prefix = "pace";
+  opt.batch_size = params.batch_size;
+  opt.generation_batches = params.generation_batches;
+  opt.heartbeat_timeout = params.heartbeat_timeout;
+  opt.heartbeat_retries = params.heartbeat_retries;
+  opt.heartbeat_backoff = params.heartbeat_backoff;
+  opt.deadline_seconds = params.phase_deadline;
+  opt.task_bytes = kPairBytes;
+  opt.verdict_bytes = kVerdictBytes;
+  opt.header_bytes = kHeaderBytes;
+  return opt;
+}
 
 /// Index structures shared (read-only) by all ranks.
 struct SharedIndex {
@@ -217,193 +200,30 @@ void evaluate_tasks(const std::vector<PairTask>& tasks, WorkerPolicy& policy,
   }
 }
 
+/// The pace master on the shared protocol: the admit hook owns the
+/// pair-duplicate seen-set and the policy's cluster filter; protocol stats
+/// map one-to-one onto EngineCounters.
 void master_loop(mpsim::Communicator& comm, const PaceParams& params,
                  MasterPolicy& policy) {
-  const int p = comm.size();
-
-  struct WorkerState {
-    bool alive = true;
-    bool exhausted = false;
-    std::uint64_t last_round_seq = 0;  // highest RoundMsg seq consumed
-    std::uint64_t work_seq = 0;        // seq of the last WorkMsg sent
-    std::uint64_t outstanding_seq = 0;  // unacked chunk's seq (0 = none)
-    std::vector<PairTask> outstanding;  // its tasks, requeued on death
-    std::vector<int> streams;           // generation streams assigned here
-    std::vector<StreamAssign> adopt;    // to ship with the next WorkMsg
-  };
-  std::vector<WorkerState> ws(static_cast<std::size_t>(p));
-  // received[origin]: pairs [0, received) of origin's stream have reached
-  // the master; a post-crash replay starts here.
-  std::vector<std::uint64_t> received(static_cast<std::size_t>(p), 0);
-  for (int w = 1; w < p; ++w) ws[static_cast<std::size_t>(w)].streams = {w};
-  int alive_workers = p - 1;
-
   std::unordered_set<std::uint64_t> seen;
-  std::deque<PairTask> pending;
-  EngineCounters c;
-
-  // Self-healing: requeue the dead worker's unacked chunk ahead of the
-  // FIFO and hand each of its generation streams to the least-loaded
-  // survivor, which replays it from the received watermark. The seen-set
-  // and idempotent verdict application swallow any replay overlap.
-  const auto reassign = [&](int dead) {
-    WorkerState& d = ws[static_cast<std::size_t>(dead)];
-    comm.count("pairs_requeued", d.outstanding.size());
-    util::metrics().counter("pace.pairs_requeued").add(d.outstanding.size());
-    for (auto it = d.outstanding.rbegin(); it != d.outstanding.rend(); ++it) {
-      pending.push_front(*it);
+  mpsim::MwMaster<PairTask, Verdict> hooks;
+  hooks.admit = [&](const PairTask& task) {
+    if (!seen.insert(task.pair_key()).second) {
+      return mpsim::MwAdmit::kDuplicate;
     }
-    d.outstanding.clear();
-    d.outstanding_seq = 0;
-    for (const int origin : d.streams) {
-      int target = -1;
-      for (int w = 1; w < p; ++w) {
-        WorkerState& cand = ws[static_cast<std::size_t>(w)];
-        if (!cand.alive) continue;
-        if (target < 0 ||
-            cand.streams.size() <
-                ws[static_cast<std::size_t>(target)].streams.size()) {
-          target = w;
-        }
-      }
-      if (target < 0) {
-        throw std::runtime_error(
-            "pace: all workers failed; cannot complete the phase");
-      }
-      WorkerState& t = ws[static_cast<std::size_t>(target)];
-      t.streams.push_back(origin);
-      t.adopt.push_back(StreamAssign{
-          origin, received[static_cast<std::size_t>(origin)]});
-      t.exhausted = false;  // new pairs are (potentially) coming
-      comm.count("streams_adopted");
-      util::metrics().counter("pace.streams_adopted").add(1);
-      trace_event(comm, "stream_adopted", "heal");
-    }
-    d.streams.clear();
-    d.exhausted = true;  // nothing more expected from it
+    if (!policy.needs_alignment(task)) return mpsim::MwAdmit::kFiltered;
+    return mpsim::MwAdmit::kQueue;
   };
+  hooks.apply = [&](const Verdict& v) { policy.apply(v); };
 
-  const double timeout =
-      params.heartbeat_timeout > 0 ? params.heartbeat_timeout : -1.0;
+  const mpsim::MwMasterStats stats =
+      mw_master_loop(comm, mw_options(params), hooks);
 
-  bool done = false;
-  while (!done) {
-    // Receive and fold in this round's submissions from live workers.
-    for (int w = 1; w < p; ++w) {
-      WorkerState& state = ws[static_cast<std::size_t>(w)];
-      if (!state.alive) continue;
-
-      RoundMsg round;
-      bool have_round = false;
-      for (;;) {
-        mpsim::Message msg;
-        const mpsim::RecvStatus st =
-            comm.recv_status(w, kTagRound, msg, timeout);
-        if (st == mpsim::RecvStatus::kOk) {
-          round = msg.take<RoundMsg>();
-          // A duplicated delivery replays an old seq: skip it. The fresh
-          // copy (or the rank-failed mark) is guaranteed to follow.
-          if (round.seq <= state.last_round_seq) continue;
-          state.last_round_seq = round.seq;
-          have_round = true;
-        } else {
-          state.alive = false;
-          --alive_workers;
-          if (st == mpsim::RecvStatus::kTimeout) {
-            // The rank may merely be hung; a final done message releases
-            // it if it ever wakes, so the run can still terminate.
-            WorkMsg bye;
-            bye.seq = ++state.work_seq;
-            bye.done = true;
-            comm.send(w, kTagWork, std::any(std::move(bye)), kHeaderBytes);
-            comm.count("workers_timed_out");
-            util::metrics().counter("pace.workers_timed_out").add(1);
-            trace_event(comm, "worker_timed_out", "heal");
-          } else {
-            comm.count("workers_failed");
-            util::metrics().counter("pace.workers_failed").add(1);
-            trace_event(comm, "worker_failed", "heal");
-          }
-          reassign(w);
-        }
-        break;
-      }
-      if (!have_round) continue;
-
-      state.exhausted = round.exhausted;
-      if (round.ack_seq != 0 && round.ack_seq == state.outstanding_seq) {
-        state.outstanding.clear();
-        state.outstanding_seq = 0;
-      }
-      for (const Verdict& v : round.verdicts) {
-        comm.charge_finds(1);
-        policy.apply(v);
-      }
-      if (round.stream >= 0) {
-        std::uint64_t& mark = received[static_cast<std::size_t>(round.stream)];
-        mark = std::max(mark, round.start + round.pairs.size());
-      }
-      for (const PairTask& task : round.pairs) {
-        ++c.promising_pairs;
-        comm.charge_finds(1);
-        if (!seen.insert(task.pair_key()).second) {
-          ++c.duplicate_pairs;
-          continue;
-        }
-        if (!policy.needs_alignment(task)) {
-          ++c.filtered_pairs;
-          continue;
-        }
-        pending.push_back(task);
-      }
-    }
-
-    if (alive_workers == 0) {
-      throw std::runtime_error(
-          "pace: all workers failed; cannot complete the phase");
-    }
-
-    static util::Gauge& depth =
-        util::metrics().gauge("pace.master.queue_depth");
-    depth.set(pending.size());
-
-    done = pending.empty();
-    for (int w = 1; done && w < p; ++w) {
-      const WorkerState& state = ws[static_cast<std::size_t>(w)];
-      if (!state.alive) continue;
-      done = state.exhausted && state.outstanding_seq == 0 &&
-             state.adopt.empty();
-    }
-
-    // Hand out the next chunks (empty + done on the final round).
-    for (int w = 1; w < p; ++w) {
-      WorkerState& state = ws[static_cast<std::size_t>(w)];
-      if (!state.alive) continue;
-      WorkMsg work;
-      work.seq = ++state.work_seq;
-      work.done = done;
-      work.adopt = std::move(state.adopt);
-      state.adopt.clear();
-      if (!done && state.outstanding_seq == 0) {
-        while (!pending.empty() && work.tasks.size() < params.batch_size) {
-          work.tasks.push_back(pending.front());
-          pending.pop_front();
-        }
-      }
-      if (!work.tasks.empty()) {
-        state.outstanding = work.tasks;
-        state.outstanding_seq = work.seq;
-        static util::SizeHistogram& batches =
-            util::metrics().histogram("pace.work_batch_size");
-        batches.add(work.tasks.size());
-      }
-      c.aligned_pairs += work.tasks.size();
-      const std::uint64_t bytes =
-          work.tasks.size() * kPairBytes + kHeaderBytes;
-      comm.send(w, kTagWork, std::any(std::move(work)), bytes);
-    }
-  }
-
+  EngineCounters c;
+  c.promising_pairs = stats.submitted;
+  c.duplicate_pairs = stats.duplicates;
+  c.filtered_pairs = stats.filtered;
+  c.aligned_pairs = stats.dispatched;
   comm.count("promising_pairs", c.promising_pairs);
   comm.count("duplicate_pairs", c.duplicate_pairs);
   comm.count("filtered_pairs", c.filtered_pairs);
@@ -411,86 +231,25 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
   record_engine_counters(c);
 }
 
+/// The pace worker on the shared protocol: generation replays a bucket
+/// share (index-build chars + pair enumeration charged virtually), and
+/// evaluation is the pooled alignment batch.
 void worker_loop(mpsim::Communicator& comm, const SharedIndex& index,
                  const PaceParams& params, WorkerPolicy& policy,
                  exec::Pool* pool) {
-  struct Stream {
-    int origin;
-    std::size_t next;
-    std::vector<PairTask> pairs;
+  mpsim::MwWorker<PairTask, Verdict> hooks;
+  hooks.generate = [&index](mpsim::Communicator& c, int origin) {
+    c.charge_index_chars(index.worker_chars(origin));
+    std::vector<PairTask> pairs = index.worker_pairs(origin);
+    c.charge_pairs(pairs.size());
+    return pairs;
   };
-  std::vector<Stream> streams;
-  // "Build" a rank's share of the generalized suffix tree and enumerate
-  // its pairs; adoption replays a dead rank's share from @p from, paying
-  // the regeneration cost on THIS rank's clock.
-  const auto add_stream = [&](int origin, std::uint64_t from) {
-    const double t0 = comm.clock().now();
-    comm.charge_index_chars(index.worker_chars(origin));
-    Stream s{origin, static_cast<std::size_t>(from),
-             index.worker_pairs(origin)};
-    comm.charge_pairs(s.pairs.size());
-    comm.count("worker_pairs_generated",
-               s.pairs.size() - std::min<std::size_t>(s.next, s.pairs.size()));
-    util::metrics().counter("pace.generation_streams").add(1);
-    if (util::trace::enabled()) {
-      const std::string name = origin == comm.rank()
-                                   ? "generate"
-                                   : "generate(adopted:" +
-                                         std::to_string(origin) + ")";
-      util::trace::complete(util::trace::current_pid(), comm.rank(), name,
-                            "generation", t0 * 1e6,
-                            (comm.clock().now() - t0) * 1e6);
-    }
-    streams.push_back(std::move(s));
+  hooks.evaluate = [&policy, pool](mpsim::Communicator& c,
+                                   const std::vector<PairTask>& tasks,
+                                   std::vector<Verdict>& verdicts) {
+    evaluate_tasks(tasks, policy, &c, pool, verdicts);
   };
-  add_stream(comm.rank(), 0);
-
-  const std::size_t submit_cap =
-      static_cast<std::size_t>(params.batch_size) *
-      std::max<std::uint32_t>(1, params.generation_batches);
-
-  std::uint64_t seq_out = 0;
-  std::uint64_t last_work_seq = 0;
-  std::uint64_t ack = 0;
-  std::vector<Verdict> verdicts;
-  while (true) {
-    RoundMsg round;
-    round.seq = ++seq_out;
-    for (Stream& s : streams) {
-      if (s.next >= s.pairs.size()) continue;
-      const std::size_t take =
-          std::min<std::size_t>(submit_cap, s.pairs.size() - s.next);
-      round.stream = s.origin;
-      round.start = s.next;
-      round.pairs.assign(
-          s.pairs.begin() + static_cast<std::ptrdiff_t>(s.next),
-          s.pairs.begin() + static_cast<std::ptrdiff_t>(s.next + take));
-      s.next += take;
-      break;
-    }
-    round.exhausted =
-        std::all_of(streams.begin(), streams.end(), [](const Stream& s) {
-          return s.next >= s.pairs.size();
-        });
-    round.verdicts = std::move(verdicts);
-    verdicts.clear();
-    round.ack_seq = ack;
-    ack = 0;
-    const std::uint64_t bytes = round.pairs.size() * kPairBytes +
-                                round.verdicts.size() * kVerdictBytes +
-                                kHeaderBytes;
-    comm.send(0, kTagRound, std::any(std::move(round)), bytes);
-
-    WorkMsg work;
-    do {  // skip duplicated deliveries (stale seq)
-      work = comm.recv(0, kTagWork).take<WorkMsg>();
-    } while (work.seq <= last_work_seq);
-    last_work_seq = work.seq;
-    for (const StreamAssign& a : work.adopt) add_stream(a.origin, a.from);
-    if (work.done) break;
-    if (!work.tasks.empty()) ack = work.seq;
-    evaluate_tasks(work.tasks, policy, &comm, pool, verdicts);
-  }
+  mw_worker_loop(comm, mw_options(params), hooks);
 }
 
 }  // namespace
@@ -525,8 +284,9 @@ mpsim::RunResult run_parallel(
       worker_loop(comm, index, params, *policy, pool);
     }
   };
-  mpsim::RunResult result = plan ? mpsim::run(p, model, *plan, rank_fn)
-                                 : mpsim::run(p, model, rank_fn);
+  mpsim::RunResult result = mpsim::run_phase(
+      params.phase_label ? params.phase_label : "pace", p, model, plan,
+      rank_fn);
 
   if (counters) {
     counters->promising_pairs = result.counter("promising_pairs");

@@ -1,0 +1,48 @@
+// Simulated, self-healing BGG + DSD phase (paper §V: components are
+// batched across cluster nodes; §VI suggests parallelizing Shingle).
+//
+// Each component graph is one task on the resilient master–worker protocol
+// (mpsim/masterworker.hpp): workers virtually re-pay the bipartite-graph
+// construction cost of the graphs they own when generating their task
+// stream, then pay the Shingle hashing cost per evaluated graph. A worker
+// death requeues its outstanding graphs and hands its generation stream to
+// a survivor, so the phase completes under any fault plan that leaves the
+// master and at least one worker alive.
+//
+// Family output is keyed by graph id (idempotent verdict slots) and
+// assembled in ascending graph order, so it is BIT-IDENTICAL to the serial
+// path regardless of rank count, healing, duplicated deliveries, or
+// stragglers.
+#pragma once
+
+#include <vector>
+
+#include "pclust/bigraph/builders.hpp"
+#include "pclust/exec/pool.hpp"
+#include "pclust/mpsim/fault_plan.hpp"
+#include "pclust/mpsim/machine_model.hpp"
+#include "pclust/mpsim/runtime.hpp"
+#include "pclust/pace/params.hpp"
+#include "pclust/shingle/shingle.hpp"
+
+namespace pclust::pipeline {
+
+struct DsdParallelResult {
+  /// families_per_graph[g] == shingle::report_families(graphs[g], ...) —
+  /// one slot per component graph, filled exactly once.
+  std::vector<std::vector<std::vector<seq::SeqId>>> families_per_graph;
+  mpsim::RunResult run;
+};
+
+/// Run BGG cost accounting + dense-subgraph detection for @p graphs on
+/// @p p simulated ranks (rank 0 masters; ranks 1..p-1 own LPT-balanced
+/// generation streams). @p engine supplies the resilience knobs
+/// (heartbeat, retries, phase deadline). Throws std::invalid_argument when
+/// @p plan crashes rank 0 (the master is the phase's single coordinator).
+[[nodiscard]] DsdParallelResult run_dsd_parallel(
+    const std::vector<bigraph::ComponentGraph>& graphs,
+    const shingle::ShingleParams& params, int p,
+    const mpsim::MachineModel& model, const pace::PaceParams& engine,
+    exec::Pool* pool, const mpsim::FaultPlan* plan);
+
+}  // namespace pclust::pipeline

@@ -15,6 +15,7 @@
 
 #include "pclust/bigraph/builders.hpp"
 #include "pclust/mpsim/machine_model.hpp"
+#include "pclust/mpsim/runtime.hpp"
 #include "pclust/pace/components.hpp"
 #include "pclust/pace/params.hpp"
 #include "pclust/pace/redundancy.hpp"
@@ -86,6 +87,18 @@ struct PipelineConfig {
   /// processors < 2). The engine self-heals worker crashes; see
   /// pace/engine.hpp for the guarantees per phase.
   const mpsim::FaultPlan* fault_plan = nullptr;
+  /// Per-phase overrides: when set, the named phase uses this plan instead
+  /// of `fault_plan`. Each simulated phase restarts its virtual clock at 0,
+  /// so a shared plan's crash times hit every phase it is applied to —
+  /// per-phase plans are how a single phase is targeted.
+  const mpsim::FaultPlan* rr_fault_plan = nullptr;
+  const mpsim::FaultPlan* ccd_fault_plan = nullptr;
+  /// Fault injection for the simulated BGG+DSD phase (ignored when
+  /// dsd_processors < 2). Unlike RR, the DSD phase's graph-keyed verdicts
+  /// make its family output bit-identical under ANY plan that leaves the
+  /// master alive (see pipeline/dsd.hpp). Not defaulted from `fault_plan`:
+  /// the DSD machine/rank-count differ, so a shared plan rarely validates.
+  const mpsim::FaultPlan* dsd_fault_plan = nullptr;
 };
 
 /// One reported dense subgraph with its quality measurements.
@@ -106,6 +119,9 @@ struct PipelineResult {
   double bgg_dsd_seconds = 0.0;
   /// Simulated DSD makespan when dsd_processors >= 2 (else 0).
   double dsd_simulated_seconds = 0.0;
+  /// Full simulated-run record of the DSD phase (counters, crashed ranks,
+  /// fault/healing events). Default-constructed when DSD ran serially.
+  mpsim::RunResult dsd_run;
 
   // -- Table-I quantities ---------------------------------------------------
   std::size_t input_sequences = 0;
@@ -119,8 +135,13 @@ struct PipelineResult {
 
   /// Phase provenance when checkpointing is enabled: one entry per phase,
   /// e.g. "rr:computed", "rr:resumed", "ccd:resumed-partial",
-  /// "families:resumed". Empty when checkpoint_dir is unset.
+  /// "families:resumed", "rr:resumed-backup" (primary checkpoint damaged,
+  /// rolled back to the last-good generation). Empty when checkpoint_dir
+  /// is unset.
   std::vector<std::string> phase_log;
+  /// Checkpoint-recovery events from this run (quarantined files,
+  /// rollbacks to a backup generation). Empty when nothing was damaged.
+  std::vector<std::string> recovery_log;
 
   [[nodiscard]] std::vector<std::vector<seq::SeqId>> family_clustering() const;
 };

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "pclust/exec/pool.hpp"
+#include "pclust/pipeline/dsd.hpp"
 #include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
 #include "pclust/util/metrics.hpp"
@@ -93,36 +94,51 @@ class Checkpoints {
     return std::filesystem::path(dir_) / name;
   }
 
+  /// Writes rotate the previous generation to "<name>.1" first, so a crash
+  /// mid-write (or later corruption of the primary) still leaves a
+  /// last-good file to roll back to.
   void write(const char* name, std::uint32_t tag,
              const util::CheckpointWriter& payload) const {
-    if (enabled()) write_checkpoint(path(name), tag, kPayloadV2, payload);
+    if (enabled()) {
+      write_checkpoint(path(name), tag, kPayloadV2, payload,
+                       /*keep_previous=*/true);
+    }
   }
 
-  /// Open @p name for resume. Returns nullopt if resume is off or the file
-  /// is absent/invalid/pre-V2 (phase recomputes); throws CheckpointError on
-  /// a fingerprint mismatch — silently recomputing would mask operator
-  /// error. On success @p seconds_out (if given) receives the phase
-  /// duration stored when the checkpoint was written.
+  /// Open @p name for resume. Returns nullopt if resume is off or no usable
+  /// generation exists — a damaged primary is quarantined to "<name>.bad"
+  /// and the last-good backup tried in its place; only when both are gone
+  /// does the phase recompute. Never throws for damaged files; throws
+  /// CheckpointError on a fingerprint mismatch (an intact checkpoint from a
+  /// different input/configuration — silently recomputing would mask
+  /// operator error). On success @p seconds_out (if given) receives the
+  /// stored phase duration and @p from_backup whether the backup
+  /// generation was used.
   [[nodiscard]] std::optional<util::CheckpointReader> open(
-      const char* name, std::uint32_t tag, double* seconds_out = nullptr)
-      const {
+      const char* name, std::uint32_t tag, double* seconds_out = nullptr,
+      bool* from_backup = nullptr) {
     if (!resuming()) return std::nullopt;
-    const auto file = path(name);
-    std::error_code ec;
-    if (!std::filesystem::exists(file, ec)) return std::nullopt;
-    if (!util::checkpoint_valid(file, tag, kPayloadV2)) return std::nullopt;
-    std::uint32_t version = 0;
-    auto reader = util::read_checkpoint(file, tag, kPayloadV2, &version);
-    if (version != kPayloadV2) return std::nullopt;
-    if (reader.u64() != fp_) {
+    util::CheckpointRecovery rec =
+        util::recover_checkpoint(path(name), tag, kPayloadV2);
+    for (const std::string& event : rec.events) {
+      PCLUST_WARN << "pipeline: " << name << ": " << event;
+      recovery_log_.push_back(std::string(name) + ": " + event);
+    }
+    if (!rec.reader || rec.payload_version != kPayloadV2) return std::nullopt;
+    if (rec.reader->u64() != fp_) {
       throw util::CheckpointError(
           "checkpoint fingerprint mismatch (input or configuration "
           "changed since the checkpoint was written): " +
-          file.string());
+          path(name).string());
     }
-    const double seconds = reader.f64();
+    const double seconds = rec.reader->f64();
     if (seconds_out) *seconds_out = seconds;
-    return reader;
+    if (from_backup) *from_backup = rec.from_backup;
+    return std::move(rec.reader);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& recovery_log() const {
+    return recovery_log_;
   }
 
   /// Payload prefix: fingerprint + the phase duration being recorded.
@@ -137,6 +153,7 @@ class Checkpoints {
   std::string dir_;
   bool resume_;
   std::uint64_t fp_;
+  std::vector<std::string> recovery_log_;
 };
 
 /// Open a trace timeline for a simulated phase and label its rank lanes;
@@ -234,9 +251,13 @@ PipelineResult run(const seq::SequenceSet& input,
   }
   const seq::SequenceSet& set = config.mask_low_complexity ? masked : input;
 
-  const Checkpoints ckpt(config, config.checkpoint_dir.empty()
-                                     ? 0
-                                     : fingerprint(set, config));
+  Checkpoints ckpt(config, config.checkpoint_dir.empty()
+                               ? 0
+                               : fingerprint(set, config));
+  const mpsim::FaultPlan* rr_plan =
+      config.rr_fault_plan ? config.rr_fault_plan : config.fault_plan;
+  const mpsim::FaultPlan* ccd_plan =
+      config.ccd_fault_plan ? config.ccd_fault_plan : config.fault_plan;
   const auto log_phase = [&](const char* phase, const char* how) {
     if (!ckpt.enabled()) return;
     result.phase_log.push_back(std::string(phase) + ":" + how);
@@ -244,7 +265,9 @@ PipelineResult run(const seq::SequenceSet& input,
   };
 
   // ---- Phase 1: redundancy removal --------------------------------------
-  if (auto reader = ckpt.open("rr.ckpt", kTagRr, &result.rr_seconds)) {
+  bool from_backup = false;
+  if (auto reader =
+          ckpt.open("rr.ckpt", kTagRr, &result.rr_seconds, &from_backup)) {
     result.rr.removed = reader->u8_vec();
     const std::vector<std::uint32_t> containers = reader->u32_vec();
     result.rr.container.assign(containers.begin(), containers.end());
@@ -253,17 +276,18 @@ PipelineResult run(const seq::SequenceSet& input,
       throw util::CheckpointError(
           "rr.ckpt does not cover the current input set");
     }
-    log_phase("rr", "resumed");
+    log_phase("rr", from_backup ? "resumed-backup" : "resumed");
   } else {
     const util::trace::WallSpan span("rr");
     if (parallel) trace_sim_phase("sim:rr", config.processors);
     util::Timer timer;
     pace::PaceParams rr_params = config.pace;
     rr_params.band = config.rr_band;
+    rr_params.phase_label = "rr";
     result.rr = parallel
                     ? pace::remove_redundant(set, config.processors,
                                              config.model, rr_params, pool_arg,
-                                             config.fault_plan)
+                                             rr_plan)
                     : pace::remove_redundant_serial(set, rr_params, pool_arg);
     result.rr_seconds =
         parallel ? result.rr.run.makespan : timer.elapsed_seconds();
@@ -284,14 +308,17 @@ PipelineResult run(const seq::SequenceSet& input,
               << ")";
 
   // ---- Phase 2: connected components -------------------------------------
-  if (auto reader = ckpt.open("ccd.ckpt", kTagCcd, &result.ccd_seconds)) {
+  pace::PaceParams ccd_params = config.pace;
+  ccd_params.phase_label = "ccd";
+  if (auto reader =
+          ckpt.open("ccd.ckpt", kTagCcd, &result.ccd_seconds, &from_backup)) {
     const std::uint64_t count = reader->u64();
     result.ccd.components.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::vector<std::uint32_t> members = reader->u32_vec();
       result.ccd.components.emplace_back(members.begin(), members.end());
     }
-    log_phase("ccd", "resumed");
+    log_phase("ccd", from_backup ? "resumed-backup" : "resumed");
   } else {
     const util::trace::WallSpan span("ccd");
     if (parallel) trace_sim_phase("sim:ccd", config.processors);
@@ -324,10 +351,10 @@ PipelineResult run(const seq::SequenceSet& input,
     result.ccd =
         parallel
             ? pace::detect_components(set, survivors, config.processors,
-                                      config.model, config.pace, pool_arg,
-                                      config.fault_plan)
+                                      config.model, ccd_params, pool_arg,
+                                      ccd_plan)
             : pace::detect_components_serial(
-                  set, survivors, config.pace, pool_arg,
+                  set, survivors, ccd_params, pool_arg,
                   have_partial ? &partial : nullptr, stride,
                   stride > 0 ? on_checkpoint
                              : std::function<void(const pace::CcdProgress&)>());
@@ -344,6 +371,8 @@ PipelineResult run(const seq::SequenceSet& input,
       ckpt.write("ccd.ckpt", kTagCcd, payload);
       std::error_code ec;
       std::filesystem::remove(ckpt.path("ccd_partial.ckpt"), ec);
+      std::filesystem::remove(
+          util::checkpoint_backup_path(ckpt.path("ccd_partial.ckpt")), ec);
     }
     log_phase("ccd", have_partial ? "resumed-partial" : "computed");
   }
@@ -361,8 +390,8 @@ PipelineResult run(const seq::SequenceSet& input,
               << util::format_duration(result.ccd_seconds) << ")";
 
   // ---- Phases 3 + 4: bipartite graphs + dense subgraphs -------------------
-  if (auto reader =
-          ckpt.open("families.ckpt", kTagFamilies, &result.bgg_dsd_seconds)) {
+  if (auto reader = ckpt.open("families.ckpt", kTagFamilies,
+                              &result.bgg_dsd_seconds, &from_backup)) {
     const std::uint64_t count = reader->u64();
     result.families.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -373,7 +402,8 @@ PipelineResult run(const seq::SequenceSet& input,
       family.density = reader->f64();
       result.families.push_back(std::move(family));
     }
-    log_phase("families", "resumed");
+    log_phase("families", from_backup ? "resumed-backup" : "resumed");
+    result.recovery_log = ckpt.recovery_log();
     return finalize(std::move(result));
   }
 
@@ -400,54 +430,23 @@ PipelineResult run(const seq::SequenceSet& input,
   std::vector<RawFamily> raw;
 
   if (config.dsd_processors >= 2 && !graphs.empty()) {
-    // The paper's batched distribution: components are grouped into
-    // roughly equal batches across cluster nodes (LPT on the estimated
-    // shingle cost, ~ edges x c1 hash-and-select operations).
-    const int p = config.dsd_processors;
-    std::vector<int> owner(graphs.size(), 0);
-    {
-      std::vector<std::size_t> order(graphs.size());
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-        return graphs[x].graph.edge_count() > graphs[y].graph.edge_count();
-      });
-      std::vector<double> load(static_cast<std::size_t>(p), 0.0);
-      for (std::size_t g : order) {
-        const auto rank = static_cast<std::size_t>(
-            std::min_element(load.begin(), load.end()) - load.begin());
-        owner[g] = static_cast<int>(rank);
-        load[rank] += static_cast<double>(graphs[g].graph.edge_count());
+    // The paper's batched distribution (LPT on the estimated shingle cost,
+    // ~ edges x c1 hash-and-select operations) on the resilient
+    // master-worker protocol: a rank death mid-phase requeues its graphs
+    // and replays its generation stream on a survivor, and the graph-keyed
+    // verdict slots keep the family output bit-identical to the serial
+    // path under any fault plan. See pipeline/dsd.hpp.
+    trace_sim_phase("sim:dsd", config.dsd_processors);
+    DsdParallelResult dsd = run_dsd_parallel(
+        graphs, config.shingle, config.dsd_processors, config.dsd_model,
+        config.pace, pool_arg, config.dsd_fault_plan);
+    result.dsd_simulated_seconds = dsd.run.makespan;
+    trace_sim_result(dsd.run);
+    result.dsd_run = std::move(dsd.run);
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      for (auto& members : dsd.families_per_graph[g]) {
+        raw.push_back(RawFamily{g, std::move(members)});
       }
-    }
-    trace_sim_phase("sim:dsd", p);
-    std::vector<std::vector<RawFamily>> per_rank(
-        static_cast<std::size_t>(p));
-    const auto run = mpsim::run(
-        p, config.dsd_model, [&](mpsim::Communicator& comm) {
-          auto& mine = per_rank[static_cast<std::size_t>(comm.rank())];
-          for (std::size_t g = 0; g < graphs.size(); ++g) {
-            if (owner[g] != comm.rank()) continue;
-            const double t0 = comm.clock().now();
-            comm.clock().advance(
-                static_cast<double>(graphs[g].graph.edge_count()) *
-                config.shingle.c1 * comm.model().hash_cost);
-            for (auto& members : shingle::report_families(
-                     graphs[g], config.shingle, nullptr, pool_arg)) {
-              mine.push_back(RawFamily{g, std::move(members)});
-            }
-            comm.count("components_processed");
-            if (util::trace::enabled()) {
-              util::trace::complete(util::trace::current_pid(), comm.rank(),
-                                    "shingle:component-" + std::to_string(g),
-                                    "dsd", t0 * 1e6,
-                                    (comm.clock().now() - t0) * 1e6);
-            }
-          }
-        });
-    result.dsd_simulated_seconds = run.makespan;
-    trace_sim_result(run);
-    for (auto& rank_families : per_rank) {
-      for (auto& f : rank_families) raw.push_back(std::move(f));
     }
   } else {
     for (std::size_t g = 0; g < graphs.size(); ++g) {
@@ -499,6 +498,7 @@ PipelineResult run(const seq::SequenceSet& input,
     ckpt.write("families.ckpt", kTagFamilies, payload);
   }
   log_phase("families", "computed");
+  result.recovery_log = ckpt.recovery_log();
   return finalize(std::move(result));
 }
 

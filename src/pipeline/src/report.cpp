@@ -64,6 +64,31 @@ void emit_crashed_ranks(util::JsonWriter& w, const PipelineResult& result) {
   w.begin_array();
   for (const int rank : result.rr.run.crashed_ranks) w.value(rank);
   for (const int rank : result.ccd.run.crashed_ranks) w.value(rank);
+  for (const int rank : result.dsd_run.crashed_ranks) w.value(rank);
+  w.end_array();
+}
+
+/// Every fault/healing event of the run, each attributed to its phase
+/// (simulated phases prefix their own label; checkpoint recovery events
+/// come from the pipeline's recovery log).
+void emit_fault_events(util::JsonWriter& w, const PipelineResult& result) {
+  w.begin_array();
+  const auto emit_run = [&](const mpsim::RunResult& run) {
+    const std::string prefix = run.phase + ": ";
+    for (const std::string& event : run.fault_events) {
+      // Protocol notes already carry the phase label; runtime-level events
+      // (planned crashes) do not.
+      const bool prefixed =
+          !run.phase.empty() && event.compare(0, prefix.size(), prefix) == 0;
+      w.value(run.phase.empty() || prefixed ? event : prefix + event);
+    }
+  };
+  emit_run(result.rr.run);
+  emit_run(result.ccd.run);
+  emit_run(result.dsd_run);
+  for (const std::string& event : result.recovery_log) {
+    w.value("checkpoint: " + event);
+  }
   w.end_array();
 }
 
@@ -130,8 +155,12 @@ std::string render_report(const PipelineResult& result,
   w.key("min_component").value(config.min_component);
   w.key("checkpoint_dir").value(config.checkpoint_dir);
   w.key("resume").value(config.resume);
+  const auto injects = [](const mpsim::FaultPlan* plan) {
+    return plan != nullptr && !plan->empty();
+  };
   w.key("faults_injected")
-      .value(config.fault_plan != nullptr && !config.fault_plan->empty());
+      .value(injects(config.fault_plan) || injects(config.rr_fault_plan) ||
+             injects(config.ccd_fault_plan) || injects(config.dsd_fault_plan));
   w.end_object();
 
   w.key("phases").begin_array();
@@ -154,11 +183,22 @@ std::string render_report(const PipelineResult& result,
   w.key("faults").begin_object();
   w.key("crashed_ranks");
   emit_crashed_ranks(w, result);
-  w.key("workers_failed").value(snapshot.counter("pace.workers_failed"));
-  w.key("workers_timed_out")
-      .value(snapshot.counter("pace.workers_timed_out"));
-  w.key("pairs_requeued").value(snapshot.counter("pace.pairs_requeued"));
-  w.key("streams_adopted").value(snapshot.counter("pace.streams_adopted"));
+  const auto healing = [&](const char* key) {
+    return snapshot.counter(std::string("pace.") + key) +
+           snapshot.counter(std::string("dsd.") + key);
+  };
+  w.key("workers_failed").value(healing("workers_failed"));
+  w.key("workers_timed_out").value(healing("workers_timed_out"));
+  w.key("pairs_requeued").value(healing("pairs_requeued"));
+  w.key("streams_adopted").value(healing("streams_adopted"));
+  w.key("link_timeout_retries").value(healing("link_retries"));
+  w.key("io_retries").value(snapshot.counter("io.retries"));
+  w.key("checkpoints_quarantined")
+      .value(snapshot.counter("checkpoint.quarantined"));
+  w.key("checkpoint_rollbacks")
+      .value(snapshot.counter("checkpoint.rollbacks"));
+  w.key("events");
+  emit_fault_events(w, result);
   w.end_object();
 
   w.key("resume").begin_object();
@@ -236,7 +276,7 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
       }
       const std::string& source = phase.at("source").as_string();
       if (source != "computed" && source != "resumed" &&
-          source != "resumed-partial") {
+          source != "resumed-partial" && source != "resumed-backup") {
         return fail(error, "phase " + name + ": unknown source " + source);
       }
       if (phase.find("candidate_pairs") != nullptr &&
@@ -250,6 +290,11 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
     }
     if (!report.at("faults").at("crashed_ranks").is_array()) {
       return fail(error, "faults.crashed_ranks must be an array");
+    }
+    if (const util::JsonValue* events = report.at("faults").find("events")) {
+      if (!events->is_array()) {
+        return fail(error, "faults.events must be an array");
+      }
     }
     if (!report.at("resume").at("phase_log").is_array()) {
       return fail(error, "resume.phase_log must be an array");

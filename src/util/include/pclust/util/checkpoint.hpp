@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -79,10 +80,48 @@ class CheckpointReader {
 };
 
 /// Atomically write @p payload as a checkpoint file (tmp file + rename).
-/// Throws CheckpointError on I/O failure.
+/// With @p keep_previous, an existing file at @p path is first rotated to
+/// the backup generation ("<path>.1", the last-good checkpoint) so a later
+/// corruption of the primary can roll back instead of recomputing. The
+/// write + rename is retried with exponential backoff on transient I/O
+/// failure. Throws CheckpointError once retries are exhausted.
 void write_checkpoint(const std::filesystem::path& path,
                       std::uint32_t phase_tag, std::uint32_t payload_version,
-                      const CheckpointWriter& payload);
+                      const CheckpointWriter& payload,
+                      bool keep_previous = false);
+
+/// The backup-generation sibling of @p path ("<path>.1").
+[[nodiscard]] std::filesystem::path checkpoint_backup_path(
+    const std::filesystem::path& path);
+
+/// Where quarantine_checkpoint moves a damaged @p path ("<path>.bad").
+[[nodiscard]] std::filesystem::path checkpoint_quarantine_path(
+    const std::filesystem::path& path);
+
+/// Move an unreadable checkpoint aside to "<path>.bad" (overwriting any
+/// earlier quarantine) so it can be inspected but never resumed from.
+/// Best-effort: returns the quarantine path, or an empty path if the
+/// rename failed (the file is removed instead in that case).
+std::filesystem::path quarantine_checkpoint(const std::filesystem::path& path);
+
+/// Outcome of recover_checkpoint: the payload reader (absent when neither
+/// generation is readable), where it came from, and human-readable notes
+/// describing any quarantine / rollback taken along the way.
+struct CheckpointRecovery {
+  std::optional<CheckpointReader> reader;
+  std::uint32_t payload_version = 0;
+  bool from_backup = false;
+  std::vector<std::string> events;
+};
+
+/// Fault-tolerant checkpoint open: try the primary file; if it is corrupt,
+/// truncated, or otherwise unreadable, quarantine it and roll back to the
+/// last-good backup generation ("<path>.1") when one validates. Unlike
+/// read_checkpoint this never throws for a damaged file — an empty
+/// CheckpointRecovery::reader means "recompute".
+[[nodiscard]] CheckpointRecovery recover_checkpoint(
+    const std::filesystem::path& path, std::uint32_t phase_tag,
+    std::uint32_t max_payload_version);
 
 /// Read and validate a checkpoint. Throws CheckpointError if the file is
 /// missing/short/corrupted, carries the wrong magic, format version, or

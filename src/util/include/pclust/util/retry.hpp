@@ -1,0 +1,52 @@
+// Bounded retry with exponential backoff for transient failures.
+//
+// File I/O (checkpoints, reports, traces) and simulated-link receives can
+// fail transiently; wrapping them in with_retry keeps a single hiccup from
+// killing a multi-hour run while still surfacing persistent failures after
+// a bounded number of attempts. Every retry is counted in the process-wide
+// metrics registry under "io.retries" so healed runs stay auditable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "pclust/util/log.hpp"
+#include "pclust/util/metrics.hpp"
+
+namespace pclust::util {
+
+struct RetryPolicy {
+  /// Total attempts, including the first one. 1 means no retries.
+  std::uint32_t attempts = 3;
+  /// Sleep before the first retry; doubled (times multiplier) per retry.
+  std::chrono::milliseconds initial_backoff{2};
+  double multiplier = 2.0;
+};
+
+/// Run @p fn, retrying on any exception up to policy.attempts times with
+/// exponential backoff between attempts. The last failure is rethrown.
+/// @p what names the operation in the retry log line and is free-form.
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
+    -> decltype(fn()) {
+  auto backoff = policy.initial_backoff;
+  const std::uint32_t attempts = policy.attempts > 0 ? policy.attempts : 1;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const std::exception& ex) {
+      if (attempt >= attempts) throw;
+      metrics().counter("io.retries").add(1);
+      PCLUST_WARN << "retry: " << what << " failed (attempt " << attempt
+                  << " of " << attempts << "): " << ex.what();
+      std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::milliseconds(static_cast<std::int64_t>(
+          static_cast<double>(backoff.count()) * policy.multiplier));
+    }
+  }
+}
+
+}  // namespace pclust::util

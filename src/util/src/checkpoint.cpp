@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "pclust/util/metrics.hpp"
+#include "pclust/util/retry.hpp"
 
 namespace pclust::util {
 
@@ -173,7 +174,7 @@ std::vector<std::uint64_t> CheckpointReader::u64_vec() {
 
 void write_checkpoint(const std::filesystem::path& path,
                       std::uint32_t phase_tag, std::uint32_t payload_version,
-                      const CheckpointWriter& payload) {
+                      const CheckpointWriter& payload, bool keep_previous) {
   const std::vector<std::uint8_t>& body = payload.bytes();
   std::vector<std::uint8_t> header;
   header.insert(header.end(), kMagic.begin(), kMagic.end());
@@ -183,31 +184,105 @@ void write_checkpoint(const std::filesystem::path& path,
   put_u64(header, body.size());
   put_u32(header, crc32(body.data(), body.size()));
 
+  if (keep_previous) {
+    // Rotate the previous generation to "<path>.1" before the new file
+    // replaces it. Best-effort: a failed rotation only costs the rollback
+    // option, not the write.
+    std::error_code rot;
+    if (std::filesystem::exists(path, rot) && !rot) {
+      std::filesystem::rename(path, checkpoint_backup_path(path), rot);
+    }
+  }
+
   const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw CheckpointError("cannot open checkpoint for writing: " +
-                            tmp.string());
+  with_retry(RetryPolicy{}, "write checkpoint " + path.string(), [&] {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw CheckpointError("cannot open checkpoint for writing: " +
+                              tmp.string());
+      }
+      out.write(reinterpret_cast<const char*>(header.data()),
+                static_cast<std::streamsize>(header.size()));
+      out.write(reinterpret_cast<const char*>(body.data()),
+                static_cast<std::streamsize>(body.size()));
+      out.flush();
+      if (!out) {
+        throw CheckpointError("short write to checkpoint: " + tmp.string());
+      }
     }
-    out.write(reinterpret_cast<const char*>(header.data()),
-              static_cast<std::streamsize>(header.size()));
-    out.write(reinterpret_cast<const char*>(body.data()),
-              static_cast<std::streamsize>(body.size()));
-    out.flush();
-    if (!out) {
-      throw CheckpointError("short write to checkpoint: " + tmp.string());
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw CheckpointError("cannot move checkpoint into place: " +
+                            path.string() + ": " + ec.message());
     }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    throw CheckpointError("cannot move checkpoint into place: " +
-                          path.string() + ": " + ec.message());
-  }
+  });
   metrics().counter("checkpoint.files_written").add(1);
   metrics().counter("checkpoint.bytes_written").add(header.size() +
                                                     body.size());
+}
+
+std::filesystem::path checkpoint_backup_path(
+    const std::filesystem::path& path) {
+  return std::filesystem::path(path.string() + ".1");
+}
+
+std::filesystem::path checkpoint_quarantine_path(
+    const std::filesystem::path& path) {
+  return std::filesystem::path(path.string() + ".bad");
+}
+
+std::filesystem::path quarantine_checkpoint(
+    const std::filesystem::path& path) {
+  const std::filesystem::path bad = checkpoint_quarantine_path(path);
+  std::error_code ec;
+  std::filesystem::rename(path, bad, ec);
+  metrics().counter("checkpoint.quarantined").add(1);
+  if (ec) {
+    std::filesystem::remove(path, ec);
+    return {};
+  }
+  return bad;
+}
+
+CheckpointRecovery recover_checkpoint(const std::filesystem::path& path,
+                                      std::uint32_t phase_tag,
+                                      std::uint32_t max_payload_version) {
+  CheckpointRecovery out;
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec) && !ec) {
+    try {
+      out.reader = read_checkpoint(path, phase_tag, max_payload_version,
+                                   &out.payload_version);
+      return out;
+    } catch (const CheckpointError& ex) {
+      const std::filesystem::path bad = quarantine_checkpoint(path);
+      out.events.push_back("quarantined unreadable checkpoint " +
+                           path.filename().string() +
+                           (bad.empty() ? "" : " to " + bad.filename().string()) +
+                           ": " + ex.what());
+    }
+  }
+  const std::filesystem::path backup = checkpoint_backup_path(path);
+  if (std::filesystem::exists(backup, ec) && !ec) {
+    try {
+      out.reader = read_checkpoint(backup, phase_tag, max_payload_version,
+                                   &out.payload_version);
+      out.from_backup = true;
+      out.events.push_back("rolled back to last-good generation " +
+                           backup.filename().string());
+      metrics().counter("checkpoint.rollbacks").add(1);
+      return out;
+    } catch (const CheckpointError& ex) {
+      const std::filesystem::path bad = quarantine_checkpoint(backup);
+      out.events.push_back("quarantined unreadable backup " +
+                           backup.filename().string() +
+                           (bad.empty() ? "" : " to " + bad.filename().string()) +
+                           ": " + ex.what());
+    }
+  }
+  return out;
 }
 
 CheckpointReader read_checkpoint(const std::filesystem::path& path,

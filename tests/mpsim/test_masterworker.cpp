@@ -1,0 +1,240 @@
+// Protocol-level tests for the resilient master–worker layer, on a toy
+// workload: worker rank w owns keys w*1000 .. w*1000+kPerWorker-1 and each
+// verdict is the key squared. Completeness = every key applied with the
+// right value, whatever faults the plan injects.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pclust/mpsim/masterworker.hpp"
+#include "pclust/mpsim/runtime.hpp"
+#include "pclust/util/metrics.hpp"
+
+namespace pclust::mpsim {
+namespace {
+
+struct ToyTask {
+  int key = 0;
+};
+struct ToyVerdict {
+  int key = 0;
+  long long value = 0;
+};
+
+constexpr int kPerWorker = 57;  // not a multiple of batch_size
+
+struct ToyOutcome {
+  std::map<int, long long> values;  // first verdict wins (idempotent apply)
+  std::map<int, int> applications;  // how often each key was applied
+  MwMasterStats stats;
+  RunResult run;
+};
+
+MwOptions toy_options() {
+  MwOptions opt;
+  opt.phase = "toy";
+  opt.metrics_prefix = "toy";
+  opt.batch_size = 8;
+  opt.task_bytes = 4;
+  opt.verdict_bytes = 12;
+  return opt;
+}
+
+/// Run the toy phase on @p p ranks. @p hiccup, when set, is called at the
+/// start of every evaluate with (rank, per-rank call ordinal) — tests use
+/// it to wall-sleep a worker (hung-rank scenarios).
+ToyOutcome run_toy(
+    int p, const FaultPlan* plan, const MwOptions& opt,
+    const std::function<void(int, std::uint64_t)>& hiccup = nullptr,
+    const MachineModel& model = MachineModel::free()) {
+  ToyOutcome out;
+  out.run = run_phase(opt.phase, p, model, plan,
+                      [&](Communicator& comm) {
+                        if (comm.rank() == 0) {
+                          std::set<int> seen;
+                          MwMaster<ToyTask, ToyVerdict> master;
+                          master.admit = [&](const ToyTask& t) {
+                            return seen.insert(t.key).second
+                                       ? MwAdmit::kQueue
+                                       : MwAdmit::kDuplicate;
+                          };
+                          master.apply = [&](const ToyVerdict& v) {
+                            ++out.applications[v.key];
+                            out.values.emplace(v.key, v.value);
+                          };
+                          out.stats = mw_master_loop(comm, opt, master);
+                          return;
+                        }
+                        MwWorker<ToyTask, ToyVerdict> worker;
+                        worker.generate = [](Communicator& c, int origin) {
+                          c.charge_pairs(kPerWorker);
+                          std::vector<ToyTask> tasks(kPerWorker);
+                          for (int i = 0; i < kPerWorker; ++i) {
+                            tasks[static_cast<std::size_t>(i)].key =
+                                origin * 1000 + i;
+                          }
+                          return tasks;
+                        };
+                        std::uint64_t calls = 0;
+                        worker.evaluate = [&](Communicator& c,
+                                              const std::vector<ToyTask>& tasks,
+                                              std::vector<ToyVerdict>& verdicts) {
+                          if (hiccup) hiccup(c.rank(), calls++);
+                          c.charge_finds(tasks.size());
+                          for (const ToyTask& t : tasks) {
+                            verdicts.push_back(ToyVerdict{
+                                t.key, static_cast<long long>(t.key) * t.key});
+                          }
+                        };
+                        mw_worker_loop(comm, opt, worker);
+                      });
+  return out;
+}
+
+/// Every key of every worker 1..p-1 applied with value key^2.
+void expect_complete(const ToyOutcome& out, int p) {
+  ASSERT_EQ(out.values.size(),
+            static_cast<std::size_t>(p - 1) * kPerWorker);
+  for (int w = 1; w < p; ++w) {
+    for (int i = 0; i < kPerWorker; ++i) {
+      const int key = w * 1000 + i;
+      const auto it = out.values.find(key);
+      ASSERT_NE(it, out.values.end()) << "missing key " << key;
+      EXPECT_EQ(it->second, static_cast<long long>(key) * key) << key;
+    }
+  }
+}
+
+TEST(MasterWorker, FaultFreeAppliesEveryTaskExactlyOnce) {
+  const auto out = run_toy(4, nullptr, toy_options());
+  expect_complete(out, 4);
+  EXPECT_EQ(out.stats.submitted, 3u * kPerWorker);
+  EXPECT_EQ(out.stats.dispatched, 3u * kPerWorker);
+  EXPECT_EQ(out.stats.duplicates, 0u);
+  EXPECT_EQ(out.stats.filtered, 0u);
+  for (const auto& [key, n] : out.applications) EXPECT_EQ(n, 1) << key;
+  EXPECT_TRUE(out.run.crashed_ranks.empty());
+  EXPECT_EQ(out.run.counter("workers_failed"), 0u);
+}
+
+TEST(MasterWorker, CrashedWorkerStreamIsAdoptedAndReplayed) {
+  FaultPlan plan;
+  plan.crashes.push_back({2, 0.0});  // dies before submitting anything
+  const auto out = run_toy(4, &plan, toy_options());
+  expect_complete(out, 4);  // keys 2000.. came from the adopter's replay
+  EXPECT_EQ(out.run.crashed_ranks, std::vector<int>{2});
+  EXPECT_EQ(out.run.counter("workers_failed"), 1u);
+  EXPECT_EQ(out.run.counter("streams_adopted"), 1u);
+  EXPECT_FALSE(out.run.fault_events.empty());
+  // Healing events carry the phase label for attribution.
+  bool attributed = false;
+  for (const auto& e : out.run.fault_events) {
+    if (e.rfind("toy:", 0) == 0) attributed = true;
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(MasterWorker, MidPhaseCrashRequeuesOutstandingChunk) {
+  // Crash rank 1 halfway through its fault-free virtual lifetime, so it has
+  // submitted tasks and (usually) holds an unacknowledged chunk; whatever
+  // it left behind must be requeued and completed by rank 2. The free model
+  // never advances the clock, so this test needs a costed one.
+  const auto model = MachineModel::bluegene_l();
+  const auto golden = run_toy(3, nullptr, toy_options(), nullptr, model);
+  expect_complete(golden, 3);
+
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0.5 * golden.run.rank_times[1]});
+  const auto out = run_toy(3, &plan, toy_options(), nullptr, model);
+  expect_complete(out, 3);
+  EXPECT_EQ(out.run.crashed_ranks, std::vector<int>{1});
+  EXPECT_EQ(out.run.counter("workers_failed"), 1u);
+  EXPECT_EQ(out.run.counter("streams_adopted"), 1u);
+}
+
+TEST(MasterWorker, DropDuplicateStragglerLinksStayComplete) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_probability = 0.25;
+  plan.duplicate_probability = 0.25;
+  plan.straggler_factor = {1.0, 1.0, 3.0};
+  const auto out = run_toy(3, &plan, toy_options());
+  expect_complete(out, 3);
+  // Duplicated deliveries are dropped by sequence number before the admit
+  // hook ever sees them, so every key is still applied exactly once.
+  for (const auto& [key, n] : out.applications) EXPECT_EQ(n, 1) << key;
+  EXPECT_TRUE(out.run.crashed_ranks.empty());
+}
+
+TEST(MasterWorker, AllWorkersDeadThrowsAttributedError) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0.0});
+  try {
+    run_toy(2, &plan, toy_options());
+    FAIL() << "expected RankError";
+  } catch (const RankError& e) {
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.phase(), "toy");
+    EXPECT_NE(std::string(e.what()).find("all workers failed"),
+              std::string::npos);
+  }
+}
+
+TEST(MasterWorker, PhaseDeadlineSurfacesAsAttributedRankError) {
+  MwOptions opt = toy_options();
+  opt.deadline_seconds = 0.05;  // wall clock
+  const auto hang = [](int rank, std::uint64_t) {
+    if (rank == 1) std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  };
+  try {
+    run_toy(2, nullptr, opt, hang);
+    FAIL() << "expected RankError from the phase watchdog";
+  } catch (const RankError& e) {
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.phase(), "toy");
+    EXPECT_NE(std::string(e.what()).find("phase deadline"), std::string::npos);
+  }
+}
+
+TEST(MasterWorker, HeartbeatTimeoutDeclaresHungWorkerDeadAndHeals) {
+  MwOptions opt = toy_options();
+  opt.heartbeat_timeout = 0.05;  // wall seconds; retries back off 0.1, 0.2
+  opt.heartbeat_retries = 2;
+  opt.heartbeat_backoff = 2.0;
+  // Rank 1 goes silent for far longer than the full retry budget
+  // (0.05 + 0.1 + 0.2 = 0.35s) on its first chunk; rank 2 stays healthy.
+  const auto hang = [](int rank, std::uint64_t call) {
+    if (rank == 1 && call == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+    }
+  };
+  const auto out = run_toy(3, nullptr, opt, hang);
+  expect_complete(out, 3);  // rank 2 finished rank 1's share
+  EXPECT_EQ(out.run.counter("workers_timed_out"), 1u);
+  EXPECT_EQ(out.run.counter("workers_failed"), 0u);
+  EXPECT_GE(out.run.counter("link_timeout_retries"), 2u);
+  EXPECT_EQ(out.run.counter("streams_adopted"), 1u);
+  EXPECT_TRUE(out.run.crashed_ranks.empty());  // hung, not crashed
+  bool timeout_noted = false;
+  for (const auto& e : out.run.fault_events) {
+    if (e.find("heartbeat timeout") != std::string::npos) timeout_noted = true;
+  }
+  EXPECT_TRUE(timeout_noted);
+}
+
+TEST(MasterWorker, MetricsUseThePhasePrefix) {
+  util::metrics().reset();
+  const auto out = run_toy(4, nullptr, toy_options());
+  expect_complete(out, 4);
+  const auto snap = util::metrics().snapshot();
+  EXPECT_EQ(snap.counter("toy.generation_streams"), 3u);
+  EXPECT_EQ(snap.counter("toy.workers_failed"), 0u);
+  EXPECT_EQ(snap.counter("toy.pairs_requeued"), 0u);
+}
+
+}  // namespace
+}  // namespace pclust::mpsim

@@ -216,6 +216,58 @@ TEST_F(CheckpointResumeTest, CorruptedCheckpointRefusedNotTrusted) {
   expect_same_result(fresh, resumed);
 }
 
+TEST_F(CheckpointResumeTest, DamagedPrimaryRollsBackToLastGoodGeneration) {
+  const auto d = make_data(71);
+  PipelineConfig config;
+  config.checkpoint_dir = dir_.string();
+  const auto fresh = run(d.sequences, config);
+  // A second run rotates the first generation to rr.ckpt.1 (last good).
+  (void)run(d.sequences, config);
+  ASSERT_TRUE(fs::exists(util::checkpoint_backup_path(dir_ / "rr.ckpt")));
+
+  {
+    std::fstream f(dir_ / "rr.ckpt",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  config.resume = true;
+  const auto resumed = run(d.sequences, config);
+  EXPECT_EQ(resumed.phase_log,
+            (std::vector<std::string>{"rr:resumed-backup", "ccd:resumed",
+                                      "families:resumed"}));
+  expect_same_result(fresh, resumed);
+  EXPECT_FALSE(resumed.recovery_log.empty());
+  // The damaged primary is preserved for inspection, never resumed from.
+  EXPECT_TRUE(fs::exists(util::checkpoint_quarantine_path(dir_ / "rr.ckpt")));
+}
+
+TEST_F(CheckpointResumeTest, TruncatedCheckpointIsQuarantinedAndRecomputed) {
+  const auto d = make_data(72);
+  PipelineConfig config;
+  config.checkpoint_dir = dir_.string();
+  const auto fresh = run(d.sequences, config);
+
+  // Kill-mid-write artifact: only one generation exists and it is short.
+  fs::resize_file(dir_ / "ccd.ckpt", 10);
+  config.resume = true;
+  const auto resumed = run(d.sequences, config);
+  EXPECT_EQ(resumed.phase_log,
+            (std::vector<std::string>{"rr:resumed", "ccd:computed",
+                                      "families:resumed"}));
+  expect_same_result(fresh, resumed);
+  EXPECT_FALSE(resumed.recovery_log.empty());
+  EXPECT_TRUE(fs::exists(util::checkpoint_quarantine_path(dir_ / "ccd.ckpt")));
+  // The recomputed phase wrote a fresh, valid checkpoint back.
+  EXPECT_TRUE(util::checkpoint_valid(dir_ / "ccd.ckpt", /*phase_tag=*/3,
+                                     /*max_payload_version=*/2));
+}
+
 TEST_F(CheckpointResumeTest, ResumeWithoutCheckpointsJustComputes) {
   const auto d = make_data(68);
   PipelineConfig config;

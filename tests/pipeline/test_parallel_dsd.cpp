@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <vector>
 
+#include "pclust/mpsim/fault_plan.hpp"
 #include "pclust/pipeline/pipeline.hpp"
 #include "pclust/synth/generator.hpp"
 
@@ -86,6 +89,80 @@ TEST(ParallelDsd, MoreRanksThanComponentsIsSafe) {
   const auto d = dsd_data(106);
   const auto r = run(d.sequences, dsd_config(64));
   EXPECT_GT(r.dense_subgraph_count, 0u);
+}
+
+// ---- fault tolerance --------------------------------------------------
+// DSD verdicts land in graph-keyed slots and families are assembled in
+// ascending graph order, so a healed run is EXACTLY equal to the serial
+// one — ordered members, degree, density — not merely set-equal.
+
+void expect_identical_families(const PipelineResult& a,
+                               const PipelineResult& b) {
+  ASSERT_EQ(a.families.size(), b.families.size());
+  for (std::size_t i = 0; i < a.families.size(); ++i) {
+    EXPECT_EQ(a.families[i].members, b.families[i].members) << "family " << i;
+    EXPECT_DOUBLE_EQ(a.families[i].mean_degree, b.families[i].mean_degree);
+    EXPECT_DOUBLE_EQ(a.families[i].density, b.families[i].density);
+  }
+}
+
+TEST(ParallelDsd, CrashedWorkerHealsBitIdentically) {
+  const auto d = dsd_data(107);
+  const auto serial = run(d.sequences, dsd_config(0));
+
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({1, 0.0});  // worker dies before doing anything
+  PipelineConfig config = dsd_config(4);
+  config.dsd_fault_plan = &plan;
+  const auto healed = run(d.sequences, config);
+
+  expect_identical_families(healed, serial);
+  EXPECT_EQ(healed.dsd_run.crashed_ranks, std::vector<int>{1});
+  EXPECT_EQ(healed.dsd_run.counter("workers_failed"), 1u);
+  EXPECT_GE(healed.dsd_run.counter("streams_adopted"), 1u);
+  EXPECT_FALSE(healed.dsd_run.fault_events.empty());
+}
+
+TEST(ParallelDsd, AllButOneWorkerCrashedStillIdentical) {
+  const auto d = dsd_data(108);
+  const auto serial = run(d.sequences, dsd_config(0));
+
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({1, 0.0});
+  plan.crashes.push_back({3, 0.0});
+  PipelineConfig config = dsd_config(4);  // only worker 2 survives
+  config.dsd_fault_plan = &plan;
+  const auto healed = run(d.sequences, config);
+
+  expect_identical_families(healed, serial);
+  EXPECT_EQ(healed.dsd_run.crashed_ranks, (std::vector<int>{1, 3}));
+  EXPECT_EQ(healed.dsd_run.counter("workers_failed"), 2u);
+}
+
+TEST(ParallelDsd, DropDuplicateStragglerLinksBitIdentical) {
+  const auto d = dsd_data(109);
+  const auto serial = run(d.sequences, dsd_config(0));
+
+  mpsim::FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 0.3;
+  plan.duplicate_probability = 0.3;
+  plan.straggler_factor = {1.0, 1.0, 4.0};
+  PipelineConfig config = dsd_config(3);
+  config.dsd_fault_plan = &plan;
+  const auto faulted = run(d.sequences, config);
+
+  expect_identical_families(faulted, serial);
+  EXPECT_TRUE(faulted.dsd_run.crashed_ranks.empty());
+}
+
+TEST(ParallelDsd, MasterCrashPlanIsRejected) {
+  const auto d = dsd_data(110);
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({0, 1.0});  // rank 0 is the unrecoverable master
+  PipelineConfig config = dsd_config(3);
+  config.dsd_fault_plan = &plan;
+  EXPECT_THROW(run(d.sequences, config), std::invalid_argument);
 }
 
 }  // namespace

@@ -172,5 +172,54 @@ TEST(Fasta, SkippedRecordAtEndOfFileIsCounted) {
   EXPECT_EQ(stats.skipped_records, 1u);
 }
 
+TEST(Fasta, TruncatedAfterHeaderThrowsStructuredError) {
+  // A file killed mid-write right after a header must be rejected loudly
+  // (dangling record), not parsed as an empty sequence.
+  std::istringstream in(">s1\nACDE\n>s2\n");
+  SequenceSet set;
+  FastaOptions options;
+  options.source = "sample.fa";
+  try {
+    (void)read_fasta(in, set, options);
+    FAIL() << "dangling record was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sample.fa"), std::string::npos);
+    EXPECT_NE(what.find("no residues"), std::string::npos);
+    EXPECT_NE(what.find("s2"), std::string::npos);
+  }
+}
+
+TEST(Fasta, TruncationSweepNeverCrashesOrInventsRecords) {
+  // Every byte-prefix of a valid FASTA file either parses (as a prefix of
+  // its records — truncation can shorten the LAST record's residues but
+  // never invent a record or corrupt an earlier one) or throws the
+  // structured parse error. Nothing else: no crash, no silent garbage.
+  const std::string full = ">alpha\nACDEFG\nHIKL\n>beta\nMNPQ\n>gamma\nRSTVWY\n";
+  for (std::size_t keep = 0; keep <= full.size(); ++keep) {
+    std::istringstream in(full.substr(0, keep));
+    SequenceSet set;
+    FastaOptions options;
+    options.source = "trunc.fa";
+    try {
+      const std::size_t added = read_fasta(in, set, options);
+      ASSERT_LE(added, 3u) << "keep=" << keep;
+      ASSERT_EQ(added, set.size()) << "keep=" << keep;
+      // Fully-covered earlier records must be intact.
+      if (set.size() >= 1 && keep >= full.find(">beta")) {
+        EXPECT_EQ(set.name(0), "alpha") << "keep=" << keep;
+        EXPECT_EQ(set.ascii(0), "ACDEFGHIKL") << "keep=" << keep;
+      }
+      if (set.size() >= 2 && keep >= full.find(">gamma")) {
+        EXPECT_EQ(set.ascii(1), "MNPQ") << "keep=" << keep;
+      }
+    } catch (const std::runtime_error& e) {
+      // Acceptable outcome: the structured error, attributed to the file.
+      EXPECT_NE(std::string(e.what()).find("trunc.fa"), std::string::npos)
+          << "keep=" << keep;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pclust::seq

@@ -1,0 +1,402 @@
+// `pclust chaos` — seeded fault-injection sweep over the whole pipeline.
+//
+// Every seed builds one deterministic fault scenario, runs the pipeline
+// under it, and asserts the resilience contract:
+//
+//   class 0  order-preserving faults (drop + duplicate + straggler) on
+//            EVERY simulated phase at p = 2 — family output must be
+//            BIT-IDENTICAL to the fault-free serial run.
+//   class 1  worker crashes in CCD and DSD at the sweep topology — both
+//            phases are confluent, so output must be bit-identical to the
+//            fault-free run at the SAME topology.
+//   class 2  worker crash inside RR — RR heals to a valid (but possibly
+//            different) redundancy removal, so the contract is the
+//            alignment-work identity, well-formed disjoint families, and a
+//            validating run report.
+//   class 3  mid-write kill: a checkpoint is truncated between two runs —
+//            --resume must roll back to the last-good generation (or
+//            recompute), quarantine the damaged file, and still produce
+//            the fault-free serial output.
+//   class 4  checkpoint corruption: a seeded bit flip anywhere in the file
+//            — same contract as class 3, and never an abort.
+//
+// Exits 0 when every seed upholds its contract, 1 otherwise.
+#include <cstdio>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "commands.hpp"
+#include "pclust/mpsim/fault_plan.hpp"
+#include "pclust/pipeline/pipeline.hpp"
+#include "pclust/pipeline/report.hpp"
+#include "pclust/seq/fasta.hpp"
+#include "pclust/synth/generator.hpp"
+#include "pclust/util/checkpoint.hpp"
+#include "pclust/util/json.hpp"
+#include "pclust/util/metrics.hpp"
+#include "pclust/util/options.hpp"
+
+namespace pclust::cli {
+
+namespace {
+
+bool same_families(const std::vector<pipeline::Family>& a,
+                   const std::vector<pipeline::Family>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].members != b[i].members ||
+        a[i].mean_degree != b[i].mean_degree ||
+        a[i].density != b[i].density) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// attempted + skipped == promising - duplicate, per phase. The invariant
+/// must hold under every fault plan: healing may re-align pairs, but every
+/// admitted candidate is resolved exactly once.
+bool work_identity(const pace::EngineCounters& c, std::string* why) {
+  const std::uint64_t candidates = c.promising_pairs - c.duplicate_pairs;
+  if (c.aligned_pairs + c.filtered_pairs != candidates) {
+    *why = "work identity violated: aligned " +
+           std::to_string(c.aligned_pairs) + " + filtered " +
+           std::to_string(c.filtered_pairs) + " != candidates " +
+           std::to_string(candidates);
+    return false;
+  }
+  return true;
+}
+
+bool families_well_formed(const std::vector<pipeline::Family>& families,
+                          std::string* why) {
+  std::vector<char> used;
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const auto& m = families[f].members;
+    if (m.empty()) {
+      *why = "family " + std::to_string(f) + " is empty";
+      return false;
+    }
+    if (f > 0 && families[f - 1].members.size() < m.size()) {
+      *why = "families not sorted by descending size";
+      return false;
+    }
+    for (const seq::SeqId id : m) {
+      if (used.size() <= id) used.resize(id + 1, 0);
+      if (used[id]) {
+        *why = "sequence " + std::to_string(id) + " in two families";
+        return false;
+      }
+      used[id] = 1;
+    }
+  }
+  return true;
+}
+
+bool report_validates(const pipeline::PipelineResult& result,
+                      const pipeline::PipelineConfig& config,
+                      std::string* why) {
+  const std::string doc =
+      pipeline::render_report(result, config, {"chaos", "<synthetic>"});
+  std::string error;
+  if (!pipeline::validate_report(util::parse_json(doc), &error)) {
+    *why = "run report failed validation: " + error;
+    return false;
+  }
+  return true;
+}
+
+void truncate_file(const std::filesystem::path& path, double keep_fraction) {
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(
+      path, static_cast<std::uintmax_t>(static_cast<double>(size) *
+                                        keep_fraction));
+}
+
+void flip_bit(const std::filesystem::path& path, std::uint64_t seed) {
+  const auto size = std::filesystem::file_size(path);
+  const std::uint64_t offset = (seed * 2654435761ull) % size;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.get(byte);
+  byte = static_cast<char>(byte ^ (1 << (seed % 8)));
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(byte);
+}
+
+bool phase_logged(const pipeline::PipelineResult& result,
+                  const std::string& entry) {
+  for (const std::string& e : result.phase_log) {
+    if (e == entry) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int cmd_chaos(int argc, const char* const* argv) {
+  util::Options options;
+  options.define("seeds", "16", "number of fault scenarios to sweep");
+  options.define("n", "300", "synthetic sample size (ignored with --input)");
+  options.define("input", "", "FASTA input (default: synthesize a sample)");
+  options.define("processors", "4",
+                 "simulated ranks for RR+CCD in the crash classes (>= 3)");
+  options.define("dsd-processors", "3",
+                 "simulated ranks for batched DSD (>= 3 enables DSD "
+                 "crashes)");
+  options.define("threads", "1",
+                 "real worker threads for every run (0 = all cores)");
+  options.define("workdir", "",
+                 "scratch directory for checkpoint scenarios (default: a "
+                 "temp dir; removed afterwards unless given explicitly)");
+  options.parse(argc, argv);
+  if (options.help_requested()) {
+    std::fputs(options
+                   .usage("pclust chaos",
+                          "Sweep seeded fault plans (crashes, message "
+                          "drops/duplicates, stragglers, damaged "
+                          "checkpoints) over the pipeline and verify the "
+                          "self-healing guarantees.")
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  const auto seeds = static_cast<std::uint64_t>(
+      get_int_in(options, "seeds", 1, 10'000));
+  const int processors =
+      static_cast<int>(get_int_in(options, "processors", 3, 1 << 10));
+  const int dsd_processors =
+      static_cast<int>(get_int_in(options, "dsd-processors", 2, 1 << 10));
+  const auto threads =
+      static_cast<unsigned>(get_int_in(options, "threads", 0, 1 << 16));
+
+  seq::SequenceSet sequences;
+  if (const std::string input = options.get("input"); !input.empty()) {
+    require_readable(input);
+    seq::read_fasta_file(input, sequences);
+  } else {
+    synth::DatasetSpec spec;
+    spec.num_sequences = static_cast<std::uint32_t>(
+        get_int_in(options, "n", 10, 1'000'000));
+    spec.num_families = std::max<std::uint32_t>(4, spec.num_sequences / 40);
+    spec.redundant_fraction = 0.15;
+    spec.noise_fraction = 0.2;
+    spec.seed = 42;
+    sequences = synth::generate(spec).sequences;
+  }
+  std::printf("chaos: %zu sequences, %llu seeds, rr/ccd p=%d, dsd p=%d\n",
+              sequences.size(), static_cast<unsigned long long>(seeds),
+              processors, dsd_processors);
+
+  const bool own_workdir = options.get("workdir").empty();
+  const std::filesystem::path workdir =
+      own_workdir ? std::filesystem::temp_directory_path() /
+                        "pclust-chaos-scratch"
+                  : std::filesystem::path(options.get("workdir"));
+
+  pipeline::PipelineConfig base;
+  base.threads = threads;
+
+  // Fault-free goldens: the serial reference and the sweep topology.
+  util::metrics().reset();
+  const pipeline::PipelineResult golden_serial = pipeline::run(sequences, base);
+  pipeline::PipelineConfig parallel_config = base;
+  parallel_config.processors = processors;
+  parallel_config.dsd_processors = dsd_processors;
+  util::metrics().reset();
+  const pipeline::PipelineResult golden_parallel =
+      pipeline::run(sequences, parallel_config);
+  std::printf("chaos: goldens computed (serial: %zu families, p=%d: %zu)\n",
+              golden_serial.families.size(), processors,
+              golden_parallel.families.size());
+
+  std::uint64_t failures = 0;
+  const auto report_failure = [&](std::uint64_t seed, const char* label,
+                                  const std::string& why) {
+    ++failures;
+    std::fprintf(stderr, "chaos: seed %llu (%s): FAIL — %s\n",
+                 static_cast<unsigned long long>(seed), label, why.c_str());
+  };
+
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const int klass = static_cast<int>(seed % 5);
+    std::string why;
+    util::metrics().reset();
+
+    if (klass == 0) {
+      // Order-preserving faults on every phase at p = 2: the protocol's
+      // round structure makes drops, duplicates, and stragglers invisible
+      // to the verdict order, so even RR must match the serial run bit
+      // for bit.
+      mpsim::FaultPlan plan;
+      plan.seed = seed;
+      plan.drop_probability = 0.2 + 0.05 * static_cast<double>(seed % 3);
+      plan.duplicate_probability = 0.2;
+      plan.straggler_factor = {1.0, 2.0 + static_cast<double>(seed % 4)};
+      mpsim::FaultPlan dsd_plan = plan;
+      pipeline::PipelineConfig cfg = base;
+      cfg.processors = 2;
+      cfg.dsd_processors = 2;
+      cfg.fault_plan = &plan;
+      cfg.dsd_fault_plan = &dsd_plan;
+      const pipeline::PipelineResult result = pipeline::run(sequences, cfg);
+      if (!same_families(result.families, golden_serial.families)) {
+        report_failure(seed, "order-preserving@p2",
+                       "families differ from the fault-free serial run");
+      } else if (!work_identity(result.rr.counters, &why) ||
+                 !work_identity(result.ccd.counters, &why) ||
+                 !report_validates(result, cfg, &why)) {
+        report_failure(seed, "order-preserving@p2", why);
+      } else {
+        std::printf("chaos: seed %llu (order-preserving@p2): ok, "
+                    "bit-identical to serial\n",
+                    static_cast<unsigned long long>(seed));
+      }
+    } else if (klass == 1) {
+      // CCD + DSD worker crashes (plus a straggler): both phases apply
+      // verdicts confluently, so healing must reproduce the fault-free
+      // output of the same topology exactly.
+      mpsim::FaultPlan ccd_plan;
+      ccd_plan.seed = seed;
+      ccd_plan.crashes.push_back(
+          {1 + static_cast<int>(seed % (processors - 1)),
+           static_cast<double>(seed % 3) * 1e-3});
+      ccd_plan.straggler_factor.resize(processors, 1.0);
+      ccd_plan.straggler_factor[processors - 1] = 3.0;
+      mpsim::FaultPlan dsd_plan;
+      dsd_plan.seed = seed;
+      if (dsd_processors >= 3) {
+        dsd_plan.crashes.push_back(
+            {1 + static_cast<int>(seed % (dsd_processors - 1)), 0.0});
+      } else {
+        dsd_plan.duplicate_probability = 0.3;
+      }
+      pipeline::PipelineConfig cfg = parallel_config;
+      cfg.ccd_fault_plan = &ccd_plan;
+      cfg.dsd_fault_plan = &dsd_plan;
+      const pipeline::PipelineResult result = pipeline::run(sequences, cfg);
+      if (!same_families(result.families, golden_parallel.families)) {
+        report_failure(seed, "ccd+dsd-crash",
+                       "families differ from the fault-free run at p=" +
+                           std::to_string(processors));
+      } else if (!work_identity(result.rr.counters, &why) ||
+                 !work_identity(result.ccd.counters, &why) ||
+                 !report_validates(result, cfg, &why)) {
+        report_failure(seed, "ccd+dsd-crash", why);
+      } else {
+        std::printf("chaos: seed %llu (ccd+dsd-crash): ok, healed "
+                    "bit-identically (%llu streams adopted)\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(
+                        result.ccd.run.counter("streams_adopted") +
+                        result.dsd_run.counter("streams_adopted")));
+      }
+    } else if (klass == 2) {
+      // RR worker crash: RR's verdict application is order-dependent, so
+      // the healed output may legitimately differ — the contract is a
+      // valid, complete, internally consistent run.
+      mpsim::FaultPlan rr_plan;
+      rr_plan.seed = seed;
+      rr_plan.crashes.push_back(
+          {1 + static_cast<int>(seed % (processors - 1)),
+           static_cast<double>(seed % 4) * 5e-4});
+      pipeline::PipelineConfig cfg = parallel_config;
+      cfg.rr_fault_plan = &rr_plan;
+      const pipeline::PipelineResult result = pipeline::run(sequences, cfg);
+      if (result.families.empty() && !golden_parallel.families.empty()) {
+        report_failure(seed, "rr-crash", "run produced no families");
+      } else if (!work_identity(result.rr.counters, &why) ||
+                 !work_identity(result.ccd.counters, &why) ||
+                 !families_well_formed(result.families, &why) ||
+                 !report_validates(result, cfg, &why)) {
+        report_failure(seed, "rr-crash", why);
+      } else {
+        std::printf("chaos: seed %llu (rr-crash): ok, healed to a valid "
+                    "clustering (%zu families)\n",
+                    static_cast<unsigned long long>(seed),
+                    result.families.size());
+      }
+    } else {
+      // Classes 3 + 4: damage a checkpoint between runs, then --resume.
+      // Two fault-free runs first, so a last-good backup generation
+      // exists; the damaged primary must be quarantined and either rolled
+      // back or recomputed — never an abort, always the serial output.
+      const char* label = klass == 3 ? "mid-write-kill" : "corrupt-ckpt";
+      const std::filesystem::path dir =
+          workdir / ("seed-" + std::to_string(seed));
+      std::filesystem::remove_all(dir);
+      pipeline::PipelineConfig cfg = base;
+      cfg.checkpoint_dir = dir.string();
+      (void)pipeline::run(sequences, cfg);
+      util::metrics().reset();
+      (void)pipeline::run(sequences, cfg);  // rotates gen 1 to *.1
+
+      const char* const names[] = {"rr.ckpt", "ccd.ckpt", "families.ckpt"};
+      const std::filesystem::path victim = dir / names[(seed / 5) % 3];
+      if (klass == 3) {
+        // A kill mid-write leaves a short file (tmp+rename makes this
+        // impossible for the primary in real runs, but a torn disk or a
+        // kill during an overwrite on a non-atomic filesystem does not).
+        truncate_file(victim, 0.25 * static_cast<double>(seed % 4));
+      } else {
+        flip_bit(victim, seed);
+      }
+
+      util::metrics().reset();
+      cfg.resume = true;
+      try {
+        const pipeline::PipelineResult result = pipeline::run(sequences, cfg);
+        const std::string stem = victim.stem().string();  // "rr", "ccd", ...
+        const std::string phase = stem == "families" ? "families" : stem;
+        if (!same_families(result.families, golden_serial.families)) {
+          report_failure(seed, label,
+                         "resumed families differ from the serial run");
+        } else if (!std::filesystem::exists(
+                       util::checkpoint_quarantine_path(victim))) {
+          report_failure(seed, label,
+                         "damaged checkpoint was not quarantined to " +
+                             util::checkpoint_quarantine_path(victim)
+                                 .string());
+        } else if (!phase_logged(result, phase + ":resumed-backup")) {
+          report_failure(seed, label,
+                         "expected " + phase +
+                             ":resumed-backup in the phase log");
+        } else if (!report_validates(result, cfg, &why)) {
+          report_failure(seed, label, why);
+        } else {
+          std::printf("chaos: seed %llu (%s): ok, %s quarantined and "
+                      "rolled back\n",
+                      static_cast<unsigned long long>(seed), label,
+                      victim.filename().c_str());
+        }
+      } catch (const util::CheckpointError& e) {
+        report_failure(seed, label,
+                       std::string("resume aborted on damaged checkpoint: ") +
+                           e.what());
+      }
+    }
+  }
+
+  if (own_workdir) {
+    std::error_code ec;
+    std::filesystem::remove_all(workdir, ec);
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "chaos: %llu of %llu seeds FAILED\n",
+                 static_cast<unsigned long long>(failures),
+                 static_cast<unsigned long long>(seeds));
+    return 1;
+  }
+  std::printf("chaos: all %llu seeds upheld the resilience contract\n",
+              static_cast<unsigned long long>(seeds));
+  return 0;
+}
+
+}  // namespace pclust::cli

@@ -64,6 +64,32 @@ int cmd_families(int argc, const char* const* argv) {
   options.define("straggle", "",
                  "fault injection: comma-separated rank@slowdown compute "
                  "multipliers, e.g. 2@4 (requires --processors >= 2)");
+  options.define("drop", "0",
+                 "fault injection: per-message drop probability in [0, 1) "
+                 "for RR/CCD (each drop costs a retransmission delay)");
+  options.define("dup", "0",
+                 "fault injection: per-message duplicate-delivery "
+                 "probability in [0, 1) for RR/CCD");
+  options.define("fault-seed", "0",
+                 "seed of the per-message drop/duplicate decisions");
+  options.define("dsd-crash", "",
+                 "fault injection for the simulated DSD phase: "
+                 "rank@virtual-seconds crash schedule (requires "
+                 "--dsd-processors >= 2; output is unchanged)");
+  options.define("dsd-straggle", "",
+                 "fault injection for DSD: rank@slowdown multipliers");
+  options.define("heartbeat", "0",
+                 "master-side liveness timeout in WALL seconds: a worker "
+                 "silent this long (after --heartbeat-retries retries with "
+                 "exponential backoff) is declared dead and its work "
+                 "reassigned (0 = wait forever)");
+  options.define("heartbeat-retries", "2",
+                 "timed-out receives tolerated before declaring a worker "
+                 "dead");
+  options.define("phase-deadline", "0",
+                 "per-phase WALL-clock watchdog in seconds: abort the "
+                 "phase with an attributed error instead of hanging "
+                 "(0 = off)");
   options.parse(argc, argv);
   if (options.help_requested() || options.positionals().empty()) {
     std::fputs(options
@@ -150,15 +176,57 @@ int cmd_families(int argc, const char* const* argv) {
     }
     plan.straggler_factor[static_cast<std::size_t>(rank)] = factor;
   }
+  plan.drop_probability = get_double_in(options, "drop", 0.0, 0.999);
+  plan.duplicate_probability = get_double_in(options, "dup", 0.0, 0.999);
+  plan.seed = static_cast<std::uint64_t>(
+      get_int_in(options, "fault-seed", 0, 1LL << 62));
   if (!plan.empty()) {
     if (config.processors < 2) {
       throw UsageError(
-          "--crash/--straggle inject faults into the simulated machine; "
-          "they require --processors >= 2");
+          "--crash/--straggle/--drop/--dup inject faults into the "
+          "simulated machine; they require --processors >= 2");
     }
     plan.validate(config.processors);
     config.fault_plan = &plan;
   }
+
+  mpsim::FaultPlan dsd_plan;
+  dsd_plan.seed = plan.seed;
+  for (const auto& [rank, at] :
+       parse_rank_at(options.get("dsd-crash"), "dsd-crash")) {
+    if (rank == 0) {
+      throw UsageError(
+          "--dsd-crash: rank 0 is the DSD master; crashing it is "
+          "unrecoverable");
+    }
+    if (at < 0.0) throw UsageError("--dsd-crash: time must be >= 0");
+    dsd_plan.crashes.push_back({rank, at});
+  }
+  for (const auto& [rank, factor] :
+       parse_rank_at(options.get("dsd-straggle"), "dsd-straggle")) {
+    if (rank < 0) throw UsageError("--dsd-straggle: rank must be >= 0");
+    if (factor < 1.0) throw UsageError("--dsd-straggle: factor must be >= 1");
+    if (dsd_plan.straggler_factor.size() <= static_cast<std::size_t>(rank)) {
+      dsd_plan.straggler_factor.resize(static_cast<std::size_t>(rank) + 1,
+                                       1.0);
+    }
+    dsd_plan.straggler_factor[static_cast<std::size_t>(rank)] = factor;
+  }
+  if (!dsd_plan.empty()) {
+    if (config.dsd_processors < 2) {
+      throw UsageError(
+          "--dsd-crash/--dsd-straggle require --dsd-processors >= 2");
+    }
+    dsd_plan.validate(config.dsd_processors);
+    config.dsd_fault_plan = &dsd_plan;
+  }
+
+  config.pace.heartbeat_timeout =
+      get_double_in(options, "heartbeat", 0.0, 3600.0);
+  config.pace.heartbeat_retries = static_cast<std::uint32_t>(
+      get_int_in(options, "heartbeat-retries", 0, 100));
+  config.pace.phase_deadline =
+      get_double_in(options, "phase-deadline", 0.0, 86'400.0);
 
   require_readable(options.positionals()[0]);
   if (const std::string out = options.get("out"); !out.empty()) {

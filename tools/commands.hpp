@@ -18,4 +18,7 @@ int cmd_simulate(int argc, const char* const* argv);
 /// `pclust report-check` — validate a structured run report.
 int cmd_report_check(int argc, const char* const* argv);
 
+/// `pclust chaos` — seeded fault-injection sweep verifying self-healing.
+int cmd_chaos(int argc, const char* const* argv);
+
 }  // namespace pclust::cli

@@ -30,6 +30,8 @@ void print_usage() {
       "  simulate   Replay the RR/CCD phases on the simulated BlueGene/L.\n"
       "  report-check  Validate a run report written by families "
       "--report-out.\n"
+      "  chaos      Sweep seeded fault plans and verify the pipeline "
+      "self-heals.\n"
       "\nRun 'pclust <command> --help' for command options.\n",
       stdout);
 }
@@ -62,6 +64,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(command, "report-check") == 0) {
       return cli::cmd_report_check(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "chaos") == 0) {
+      return cli::cmd_chaos(sub_argc, sub_argv);
     }
     if (std::strcmp(command, "--help") == 0 ||
         std::strcmp(command, "-h") == 0) {
