@@ -85,4 +85,29 @@ grep -q '"crashed_ranks":\[2' "$smoke/faulted.json" \
 "$pclust" compare --reports "$smoke/serial.json" "$smoke/faulted.json" \
   >/dev/null
 
+# analyze-smoke: the load-imbalance analyzer must accept a simulated
+# report's rank_times and render both text and JSON.
+"$pclust" analyze "$smoke/faulted.json" >/dev/null
+"$pclust" analyze "$smoke/faulted.json" --json >/dev/null
+
+# perf: regression gate against the committed baselines. Timings move with
+# the host, so the default tolerance here is deliberately loose — it exists
+# to catch order-of-magnitude kernel regressions and the score-only fast
+# path falling behind the full-matrix kernel (an absolute, host-independent
+# gate). PCLUST_PERF_TOLERANCE tightens/loosens it; "skip" disables the
+# stage (e.g. on emulated or heavily loaded hosts).
+perf_tolerance="${PCLUST_PERF_TOLERANCE:-0.5}"
+if [ "$perf_tolerance" = "skip" ]; then
+  echo "check.sh: perf stage skipped (PCLUST_PERF_TOLERANCE=skip)"
+else
+  repo="$PWD"
+  (cd "$smoke" && "$repo/build/bench/bench_kernels" \
+     --benchmark_filter=NONE >/dev/null 2>&1)
+  "$pclust" perf-diff --baseline BENCH_kernels.json \
+    --candidate "$smoke/BENCH_kernels.json" --tolerance "$perf_tolerance"
+  (cd "$smoke" && "$repo/build/bench/bench_pipeline" >/dev/null)
+  "$pclust" perf-diff --baseline BENCH_pipeline.json \
+    --candidate "$smoke/BENCH_pipeline.json" --tolerance "$perf_tolerance"
+fi
+
 echo "check.sh: all green"

@@ -345,26 +345,128 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
 // first non-positive M cell on the path, modeled here as a "barrier" that
 // resets the bundle. DP memory drops from O(m*n) to O(band) (O(n) when
 // unbanded) and the traceback pass disappears entirely.
+//
+// Only five fields are actually propagated: the region begin pair and the
+// substitution/match/positive column counts. The gap statistics follow at
+// extraction time from the region geometry — a path from (a0, b0) to
+// (a1, b1) with s substitution columns consumes R = a1 - a0 rows and
+// C = b1 - b0 columns, so columns = R + C - s and gap_columns = R + C - 2s.
+// That makes every gap transition a pure select (no counter updates), and
+// the lone M-state update a single branchless add — the data-dependent
+// matches/positives branches of a naive bundle would mispredict on real
+// sequences and made this path slower than the full-matrix one it is
+// meant to beat.
+//
+// Two storage tiers share one DP body via BundlePolicy:
+//  * PackedBundle — all five fields in 11-bit lanes of ONE u64; covers
+//    sequences up to 2047 residues (every metagenomic peptide), and a
+//    bundle moves through the recurrence as a single register.
+//  * WideBundle — begin pair in a u32 plus 16-bit count lanes in a u64;
+//    covers sequences up to 32767 residues.
+// Lane carries cannot happen in either tier: each count is bounded by
+// min(m, n), which is below the lane capacity by construction.
 // ---------------------------------------------------------------------------
 
-// 16 bytes so the three per-cell bundle copies stay cheap. The u16 stats
-// bound both sequences at kScoreCellMax residues (columns <= m + n must fit);
-// longer inputs take the full-matrix path instead — far beyond any peptide.
-struct Cell {
-  std::int32_t score = kNegInf;
-  std::uint16_t a_begin = 0, b_begin = 0;
-  std::uint16_t columns = 0, matches = 0, positives = 0, gap_columns = 0;
-};
+// Beyond this the u16-based wide lanes could overflow; such inputs take
+// the full-matrix path instead — far beyond any peptide.
 constexpr std::size_t kScoreCellMax = 32'767;
 
-AlignmentResult score_impl(std::string_view a, std::string_view b,
-                           const ScoringScheme& scheme, Mode mode,
-                           std::int64_t diagonal, std::int64_t band) {
+// Unpacked bundle, used only at extraction and never in the hot loop.
+struct BundleFields {
+  std::uint32_t a_begin = 0, b_begin = 0;
+  std::uint32_t subs = 0, matches = 0, positives = 0;
+};
+
+struct PackedBundle {
+  static constexpr std::size_t kMaxLen = 2'047;
+  using Bundle = std::uint64_t;
+  // positives | matches<<11 | subs<<22 | b_begin<<33 | a_begin<<44.
+  static constexpr int kMatchShift = 11;
+  static constexpr int kSubShift = 22;
+  static constexpr int kBBeginShift = 33;
+  static constexpr int kABeginShift = 44;
+  static constexpr std::uint64_t kLaneMask = 0x7FF;
+
+  static Bundle start(std::size_t i, std::size_t j) {
+    return (static_cast<std::uint64_t>(i) << kABeginShift) |
+           (static_cast<std::uint64_t>(j) << kBBeginShift);
+  }
+  static std::uint64_t make_inc(bool match, bool positive) {
+    return (std::uint64_t{1} << kSubShift) |
+           (static_cast<std::uint64_t>(match) << kMatchShift) |
+           static_cast<std::uint64_t>(positive);
+  }
+  static Bundle add_inc(Bundle b, std::uint64_t inc) { return b + inc; }
+  // Mask-arithmetic select: guaranteed branchless regardless of how the
+  // compiler if-converts — a data-dependent branch here would mispredict
+  // on essentially every cell of real sequence pairs.
+  static Bundle select(bool take_first, Bundle first, Bundle second) {
+    const std::uint64_t mask =
+        -static_cast<std::uint64_t>(static_cast<unsigned>(take_first));
+    return (first & mask) | (second & ~mask);
+  }
+  static BundleFields unpack(Bundle b) {
+    BundleFields f;
+    f.positives = static_cast<std::uint32_t>(b & kLaneMask);
+    f.matches = static_cast<std::uint32_t>((b >> kMatchShift) & kLaneMask);
+    f.subs = static_cast<std::uint32_t>((b >> kSubShift) & kLaneMask);
+    f.b_begin = static_cast<std::uint32_t>((b >> kBBeginShift) & kLaneMask);
+    f.a_begin = static_cast<std::uint32_t>(b >> kABeginShift);
+    return f;
+  }
+};
+
+struct WideBundle {
+  static constexpr std::size_t kMaxLen = kScoreCellMax;
+  struct Bundle {
+    std::uint32_t pos = 0;    // a_begin<<16 | b_begin
+    std::uint64_t stats = 0;  // positives | matches<<16 | subs<<32
+  };
+  static constexpr int kMatchShift = 16;
+  static constexpr int kSubShift = 32;
+
+  static Bundle start(std::size_t i, std::size_t j) {
+    Bundle b;
+    b.pos = (static_cast<std::uint32_t>(i) << 16) |
+            static_cast<std::uint32_t>(j);
+    return b;
+  }
+  static std::uint64_t make_inc(bool match, bool positive) {
+    return (std::uint64_t{1} << kSubShift) |
+           (static_cast<std::uint64_t>(match) << kMatchShift) |
+           static_cast<std::uint64_t>(positive);
+  }
+  static Bundle add_inc(Bundle b, std::uint64_t inc) {
+    b.stats += inc;
+    return b;
+  }
+  static Bundle select(bool take_first, Bundle first, Bundle second) {
+    const std::uint64_t mask =
+        -static_cast<std::uint64_t>(static_cast<unsigned>(take_first));
+    Bundle out;
+    out.pos = (first.pos & static_cast<std::uint32_t>(mask)) |
+              (second.pos & static_cast<std::uint32_t>(~mask));
+    out.stats = (first.stats & mask) | (second.stats & ~mask);
+    return out;
+  }
+  static BundleFields unpack(Bundle b) {
+    BundleFields f;
+    f.a_begin = b.pos >> 16;
+    f.b_begin = b.pos & 0xFFFF;
+    f.positives = static_cast<std::uint32_t>(b.stats & 0xFFFF);
+    f.matches = static_cast<std::uint32_t>((b.stats >> kMatchShift) & 0xFFFF);
+    f.subs = static_cast<std::uint32_t>((b.stats >> kSubShift) & 0xFFFF);
+    return f;
+  }
+};
+
+template <typename Policy>
+AlignmentResult score_impl_t(std::string_view a, std::string_view b,
+                             const ScoringScheme& scheme, Mode mode,
+                             std::int64_t diagonal, std::int64_t band) {
+  using Bundle = typename Policy::Bundle;
   const std::size_t m = a.size();
   const std::size_t n = b.size();
-  if (m > kScoreCellMax || n > kScoreCellMax) {
-    return align_impl(a, b, scheme, mode, diagonal, band);
-  }
   const std::int32_t open =
       static_cast<std::int32_t>(scheme.gap_open) + scheme.gap_extend;
   const std::int32_t extend = scheme.gap_extend;
@@ -372,48 +474,85 @@ AlignmentResult score_impl(std::string_view a, std::string_view b,
   const BandLayout lay(m, n, diagonal, band);
   const std::size_t W = lay.W;
 
-  const Cell def;  // kNegInf, empty bundle
-  const auto start_at = [](std::size_t i, std::size_t j, std::int32_t score) {
-    Cell c;
-    c.score = score;
-    c.a_begin = static_cast<std::uint16_t>(i);
-    c.b_begin = static_cast<std::uint16_t>(j);
-    return c;
+  // One DP state's rolling row: parallel score / bundle arrays, so the
+  // score recurrence runs on contiguous int32 and a bundle moves as one
+  // cmov-selected value.
+  struct Rows {
+    std::vector<std::int32_t> score;
+    std::vector<Bundle> bundle;
+    explicit Rows(std::size_t w) : score(w, kNegInf), bundle(w) {}
+  };
+  Rows m_prev(W), m_cur(W);
+  Rows x_prev(W), x_cur(W);
+  Rows y_prev(W), y_cur(W);
+
+  const auto clear_range = [](Rows& row, std::size_t lo, std::size_t hi) {
+    std::fill(row.score.begin() + static_cast<std::ptrdiff_t>(lo),
+              row.score.begin() + static_cast<std::ptrdiff_t>(hi), kNegInf);
+    std::fill(row.bundle.begin() + static_cast<std::ptrdiff_t>(lo),
+              row.bundle.begin() + static_cast<std::ptrdiff_t>(hi), Bundle{});
   };
 
-  std::vector<Cell> m_prev(W, def), m_cur(W, def);
-  std::vector<Cell> x_prev(W, def), x_cur(W, def);
-  std::vector<Cell> y_prev(W, def), y_cur(W, def);
-
-  // Row 0 borders (into the prev buffers).
+  // Row 0 borders (into the prev buffers). The gap borders of the global
+  // and semiglobal modes start at (0, 0) with zero substitution columns,
+  // which is exactly the default bundle — only scores need setting.
   {
     const std::size_t b0 = lay.base(0);
     if (lay.in_window(0, 0)) {
-      if (mode != Mode::kLocal) m_prev[0 - b0] = start_at(0, 0, 0);
+      if (mode != Mode::kLocal) m_prev.score[0 - b0] = 0;
     }
     switch (mode) {
       case Mode::kGlobal:
         for (std::size_t j = std::max<std::size_t>(1, b0);
              j <= n && lay.in_window(0, j); ++j) {
-          Cell c = start_at(0, 0,
-                            -open - static_cast<std::int32_t>(j - 1) * extend);
-          c.columns = c.gap_columns = static_cast<std::uint16_t>(j);
-          y_prev[j - b0] = c;
+          y_prev.score[j - b0] =
+              -open - static_cast<std::int32_t>(j - 1) * extend;
         }
         break;
       case Mode::kLocal:
       case Mode::kSemiglobal:
         for (std::size_t j = b0; j <= n && lay.in_window(0, j); ++j) {
-          m_prev[j - b0] = start_at(0, j, 0);
+          m_prev.score[j - b0] = 0;
+          m_prev.bundle[j - b0] = Policy::start(0, j);
         }
         break;
     }
   }
 
+  // Lazily-built query profiles against b, one per residue symbol of a:
+  // the M pass reads substitution scores and bundle increment words from
+  // two contiguous arrays instead of doing a table lookup and two
+  // data-dependent counter updates per cell. Amortized build cost is
+  // O(alphabet * n) per pair.
+  // Indexed by raw symbol byte, not seq::kAlphabetSize: callers are
+  // expected to pass rank-encoded residues, but the engine has never
+  // enforced that, so the cache mirrors the substitution table's tolerance
+  // of any byte value. Unused entries cost one empty vector each.
+  struct Profile {
+    std::vector<std::int32_t> sub;
+    std::vector<std::uint64_t> inc;
+  };
+  std::array<Profile, 256> profiles;
+  const auto profile_for = [&](std::uint8_t c) -> const Profile& {
+    Profile& p = profiles[c];
+    if (p.sub.empty()) {
+      p.sub.resize(n);
+      p.inc.resize(n);
+      const auto& sub_row = scheme.substitution[c];
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto bc = static_cast<std::uint8_t>(b[j]);
+        p.sub[j] = sub_row[bc];
+        p.inc[j] = Policy::make_inc(c == bc, sub_row[bc] > 0);
+      }
+    }
+    return p;
+  };
+
   std::uint64_t cells = 0;
   std::int32_t best_score = 0;
-  Cell best_cell;
+  Bundle best_bundle{};
   std::size_t best_i = 0, best_j = 0;
+  const bool local = mode == Mode::kLocal;
 
   for (std::size_t i = 1; i <= m; ++i) {
     const std::size_t bi = lay.base(i);
@@ -424,100 +563,120 @@ AlignmentResult score_impl(std::string_view a, std::string_view b,
     // Clear only the slots the loop below leaves untouched: the loop writes
     // the contiguous slots [j_lo - bi, j_hi - bi], so defaulting the head
     // and tail margins (instead of the whole row) restores the "everything
-    // outside the computed band is def" invariant at a fraction of the
+    // outside the computed band is default" invariant at a fraction of the
     // memory traffic. The column-0 border lands inside the head margin
     // (j_lo - bi >= 1 whenever the window holds column 0).
     {
       const std::size_t head = (j_lo <= j_hi) ? j_lo - bi : W;
       for (auto* row : {&m_cur, &x_cur, &y_cur}) {
-        std::fill(row->begin(), row->begin() + static_cast<std::ptrdiff_t>(head),
-                  def);
-        if (head < W) {
-          std::fill(
-              row->begin() + static_cast<std::ptrdiff_t>(j_hi - bi) + 1,
-              row->end(), def);
-        }
+        clear_range(*row, 0, head);
+        if (head < W) clear_range(*row, j_hi - bi + 1, W);
       }
     }
 
     // Column-0 borders for this row.
     if (lay.in_window(i, 0)) {
-      if (mode == Mode::kLocal) {
-        m_cur[0 - bi] = start_at(i, 0, 0);
+      if (local) {
+        m_cur.score[0 - bi] = 0;
+        m_cur.bundle[0 - bi] = Policy::start(i, 0);
       } else {
-        Cell c = start_at(0, 0,
-                          -open - static_cast<std::int32_t>(i - 1) * extend);
-        c.columns = c.gap_columns = static_cast<std::uint16_t>(i);
-        x_cur[0 - bi] = c;
+        x_cur.score[0 - bi] =
+            -open - static_cast<std::int32_t>(i - 1) * extend;
+        x_cur.bundle[0 - bi] = Bundle{};  // begin (0, 0), no substitutions
       }
     }
 
     if (j_lo <= j_hi) {
       const auto ai = static_cast<std::uint8_t>(a[i - 1]);
       cells += j_hi - j_lo + 1;
-      const auto& sub_row = scheme.substitution[ai];
+      const Profile& prof = profile_for(ai);
+      const std::int32_t* prof_sub = prof.sub.data();
+      const std::uint64_t* prof_inc = prof.inc.data();
 
+      const std::int32_t* mp_s = m_prev.score.data();
+      const Bundle* mp_b = m_prev.bundle.data();
+      const std::int32_t* xp_s = x_prev.score.data();
+      const Bundle* xp_b = x_prev.bundle.data();
+      const std::int32_t* yp_s = y_prev.score.data();
+      const Bundle* yp_b = y_prev.bundle.data();
+      std::int32_t* mc_s = m_cur.score.data();
+      Bundle* mc_b = m_cur.bundle.data();
+      std::int32_t* xc_s = x_cur.score.data();
+      Bundle* xc_b = x_cur.bundle.data();
+      std::int32_t* yc_s = y_cur.score.data();
+      Bundle* yc_b = y_cur.bundle.data();
+
+      // The row is computed in per-state passes rather than one interleaved
+      // loop: X and M depend only on the previous row, so each pass is a
+      // chain-free loop of selects the compiler can unroll and vectorize;
+      // only the Y pass carries a serial dependency, and it is kept to the
+      // bare minimum of work. The interleaved form threads every state's
+      // latency through Y's chain and ran slower than the full-matrix DP.
+
+      // X: gap in b (consume a[i-1]); ties prefer M, as in align_impl.
+      // A pure select — gap statistics fall out of the geometry later.
       for (std::size_t j = j_lo; j <= j_hi; ++j) {
-        // X: gap in b (consume a[i-1]); ties prefer M, as in align_impl.
-        {
-          const Cell& from_m = m_prev[j - bp];
-          const Cell& from_x = x_prev[j - bp];
-          const std::int32_t vm = from_m.score - open;
-          const std::int32_t vx = from_x.score - extend;
-          Cell& out = x_cur[j - bi];
-          out = (vm >= vx) ? from_m : from_x;
-          out.score = (vm >= vx) ? vm : vx;
-          ++out.columns;
-          ++out.gap_columns;
-        }
+        const std::size_t jp = j - bp;
+        const std::size_t jc = j - bi;
+        const std::int32_t vm = mp_s[jp] - open;
+        const std::int32_t vx = xp_s[jp] - extend;
+        const bool take_m = vm >= vx;
+        xc_s[jc] = take_m ? vm : vx;
+        xc_b[jc] = Policy::select(take_m, mp_b[jp], xp_b[jp]);
+      }
 
-        // Y: gap in a (consume b[j-1]).
-        {
-          const Cell& from_m = m_cur[j - 1 - bi];
-          const Cell& from_y = y_cur[j - 1 - bi];
-          const std::int32_t vm = from_m.score - open;
-          const std::int32_t vy = from_y.score - extend;
-          Cell& out = y_cur[j - bi];
-          out = (vm >= vy) ? from_m : from_y;
-          out.score = (vm >= vy) ? vm : vy;
-          ++out.columns;
-          ++out.gap_columns;
-        }
+      // M: substitute a[i-1] with b[j-1]; predecessor ties prefer M,
+      // then X, then Y (strict > to switch), as in align_impl.
+      for (std::size_t j = j_lo; j <= j_hi; ++j) {
+        const std::size_t jq = j - 1 - bp;
+        const std::size_t jc = j - bi;
+        std::int32_t ps = mp_s[jq];
+        Bundle pb = mp_b[jq];
+        const bool x_beats = xp_s[jq] > ps;
+        ps = x_beats ? xp_s[jq] : ps;
+        pb = Policy::select(x_beats, xp_b[jq], pb);
+        const bool y_beats = yp_s[jq] > ps;
+        ps = y_beats ? yp_s[jq] : ps;
+        pb = Policy::select(y_beats, yp_b[jq], pb);
+        // Fresh local start at (i-1, j-1).
+        const bool fresh = local & (ps < 0);
+        pb = Policy::select(fresh, Policy::start(i - 1, j - 1), pb);
+        ps = fresh ? 0 : ps;
+        const std::int32_t value = ps + prof_sub[j - 1];
+        // A local traceback reaching a non-positive M cell stops there:
+        // the bundle restarts empty at (i, j).
+        const bool restart = local & (value <= 0);
+        mc_s[jc] = value;
+        mc_b[jc] = Policy::select(restart, Policy::start(i, j),
+                                  Policy::add_inc(pb, prof_inc[j - 1]));
+      }
 
-        // M: substitute a[i-1] with b[j-1]; predecessor ties prefer M,
-        // then X, then Y (strict > to switch), as in align_impl.
-        {
-          const Cell* pred = &m_prev[j - 1 - bp];
-          if (x_prev[j - 1 - bp].score > pred->score) {
-            pred = &x_prev[j - 1 - bp];
-          }
-          if (y_prev[j - 1 - bp].score > pred->score) {
-            pred = &y_prev[j - 1 - bp];
-          }
-          Cell start;  // fresh local start at (i-1, j-1)
-          if (mode == Mode::kLocal && pred->score < 0) {
-            start = start_at(i - 1, j - 1, 0);
-            pred = &start;
-          }
-          const std::int32_t value =
-              pred->score + sub_row[static_cast<std::uint8_t>(b[j - 1])];
-          Cell& out = m_cur[j - bi];
-          if (mode == Mode::kLocal && value <= 0) {
-            // A traceback reaching this cell in state M stops here: the
-            // bundle restarts empty at (i, j).
-            out = start_at(i, j, value);
-          } else {
-            out = *pred;
-            out.score = value;
-            ++out.columns;
-            if (a[i - 1] == b[j - 1]) ++out.matches;
-            if (sub_row[static_cast<std::uint8_t>(b[j - 1])] > 0) {
-              ++out.positives;
-            }
-          }
-          if (mode == Mode::kLocal && value > best_score) {
-            best_score = value;
-            best_cell = out;
+      // Y: gap in a (consume b[j-1]); the serial chain, carried in
+      // registers. Reads M's current row, so it runs after the M pass.
+      {
+        std::int32_t y_s = yc_s[j_lo - 1 - bi];
+        Bundle y_b = yc_b[j_lo - 1 - bi];
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+          const std::size_t jc = j - bi;
+          const std::int32_t vm = mc_s[jc - 1] - open;
+          const std::int32_t vy = y_s - extend;
+          const bool take_m = vm >= vy;
+          y_s = take_m ? vm : vy;
+          y_b = Policy::select(take_m, mc_b[jc - 1], y_b);
+          yc_s[jc] = y_s;
+          yc_b[jc] = y_b;
+        }
+      }
+
+      // Local best tracking: same scan order as the interleaved loop
+      // (i ascending, then j ascending, strict > to switch), so the first
+      // occurrence of the maximum wins exactly as align_impl's does.
+      if (local) {
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+          const std::int32_t v = mc_s[j - bi];
+          if (v > best_score) {
+            best_score = v;
+            best_bundle = mc_b[j - bi];
             best_i = i;
             best_j = j;
           }
@@ -525,58 +684,74 @@ AlignmentResult score_impl(std::string_view a, std::string_view b,
       }
     }
 
-    m_prev.swap(m_cur);
-    x_prev.swap(x_cur);
-    y_prev.swap(y_cur);
+    std::swap(m_prev, m_cur);
+    std::swap(x_prev, x_cur);
+    std::swap(y_prev, y_cur);
   }
 
   AlignmentResult result;
   result.cells = cells;
 
   const std::size_t bm = lay.base(m);
-  const auto row_cell = [&](const std::vector<Cell>& row,
-                            std::size_t j) -> const Cell& {
-    static const Cell fallback;
-    return lay.in_window(m, j) ? row[j - bm] : fallback;
+  const auto row_score = [&](const Rows& row, std::size_t j) {
+    return lay.in_window(m, j) ? row.score[j - bm] : kNegInf;
   };
 
-  const Cell* end = nullptr;
+  std::int32_t end_score = kNegInf;
+  Bundle end_bundle{};
   std::size_t end_i = m, end_j = n;
+  const auto consider = [&](const Rows& row, std::size_t j) {
+    if (row_score(row, j) > end_score) {
+      end_score = row.score[j - bm];
+      end_bundle = row.bundle[j - bm];
+      end_j = j;
+    }
+  };
   if (mode == Mode::kGlobal) {
-    end = &row_cell(m_prev, n);
-    if (row_cell(x_prev, n).score > end->score) end = &row_cell(x_prev, n);
-    if (row_cell(y_prev, n).score > end->score) end = &row_cell(y_prev, n);
+    consider(m_prev, n);
+    consider(x_prev, n);
+    consider(y_prev, n);
+    if (end_score == kNegInf) end_bundle = Bundle{};
   } else if (mode == Mode::kSemiglobal) {
-    std::int32_t best = kNegInf;
     for (std::size_t jj = 0; jj <= n; ++jj) {
-      if (row_cell(m_prev, jj).score > best) {
-        best = row_cell(m_prev, jj).score;
-        end = &row_cell(m_prev, jj);
-        end_j = jj;
-      }
-      if (row_cell(x_prev, jj).score > best) {
-        best = row_cell(x_prev, jj).score;
-        end = &row_cell(x_prev, jj);
-        end_j = jj;
-      }
+      consider(m_prev, jj);
+      consider(x_prev, jj);
     }
   } else {
     if (best_score <= 0) return result;  // no positive local alignment
-    end = &best_cell;
+    end_score = best_score;
+    end_bundle = best_bundle;
     end_i = best_i;
     end_j = best_j;
   }
 
-  result.score = end->score;
+  const BundleFields f = Policy::unpack(end_bundle);
+  const auto rows_used = static_cast<std::uint32_t>(end_i) - f.a_begin;
+  const auto cols_used = static_cast<std::uint32_t>(end_j) - f.b_begin;
+  result.score = end_score;
   result.a_end = static_cast<std::uint32_t>(end_i);
   result.b_end = static_cast<std::uint32_t>(end_j);
-  result.a_begin = end->a_begin;
-  result.b_begin = end->b_begin;
-  result.columns = end->columns;
-  result.matches = end->matches;
-  result.positives = end->positives;
-  result.gap_columns = end->gap_columns;
+  result.a_begin = f.a_begin;
+  result.b_begin = f.b_begin;
+  result.columns = rows_used + cols_used - f.subs;
+  result.matches = f.matches;
+  result.positives = f.positives;
+  result.gap_columns = result.columns - f.subs;
   return result;
+}
+
+AlignmentResult score_impl(std::string_view a, std::string_view b,
+                           const ScoringScheme& scheme, Mode mode,
+                           std::int64_t diagonal, std::int64_t band) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  if (m > kScoreCellMax || n > kScoreCellMax) {
+    return align_impl(a, b, scheme, mode, diagonal, band);
+  }
+  if (m <= PackedBundle::kMaxLen && n <= PackedBundle::kMaxLen) {
+    return score_impl_t<PackedBundle>(a, b, scheme, mode, diagonal, band);
+  }
+  return score_impl_t<WideBundle>(a, b, scheme, mode, diagonal, band);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "pclust/util/memsize.hpp"
+
 namespace pclust::bigraph {
 
 /// An edge from left vertex l to right vertex r.
@@ -40,6 +42,10 @@ class BipartiteGraph {
   }
 
   [[nodiscard]] bool has_edge(std::uint32_t l, std::uint32_t r) const;
+
+  /// Heap footprint: CSR offsets + adjacency — O(V + E), the sub-quadratic
+  /// storage argument of the shingle reduction.
+  [[nodiscard]] util::MemoryBreakdown memory_usage() const;
 
  private:
   std::uint32_t left_count_ = 0;

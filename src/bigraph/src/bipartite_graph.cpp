@@ -47,6 +47,13 @@ double mean_subgraph_degree(const BipartiteGraph& graph,
   return static_cast<double>(total) / static_cast<double>(nodes.size());
 }
 
+util::MemoryBreakdown BipartiteGraph::memory_usage() const {
+  util::MemoryBreakdown b("bigraph");
+  b.add("offsets", util::vector_bytes(offsets_));
+  b.add("adjacency", util::vector_bytes(adjacency_));
+  return b;
+}
+
 double subgraph_density(const BipartiteGraph& graph,
                         const std::vector<std::uint32_t>& nodes) {
   if (nodes.size() < 2) return 0.0;

@@ -9,6 +9,7 @@
 #include "pclust/suffix/lcp.hpp"
 #include "pclust/suffix/maximal_match.hpp"
 #include "pclust/suffix/suffix_array.hpp"
+#include "pclust/util/memsize.hpp"
 
 namespace pclust::bigraph {
 
@@ -67,6 +68,7 @@ ComponentGraph build_bd(const seq::SequenceSet& set,
   out.graph = BipartiteGraph(static_cast<std::uint32_t>(members.size()),
                              static_cast<std::uint32_t>(members.size()),
                              std::move(edges));
+  util::record_memory(out.graph.memory_usage(), "bgg");
   return out;
 }
 
@@ -85,6 +87,7 @@ ComponentGraph build_bm(const seq::SequenceSet& set,
   kp.w = params.w;
   kp.max_sequences_per_word = params.max_sequences_per_word;
   const suffix::KmerIndex index(set, members, kp);
+  util::record_memory(index.memory_usage(), "bgg");
 
   std::vector<Edge> edges;
   out.words.reserve(index.word_count());
@@ -99,6 +102,7 @@ ComponentGraph build_bm(const seq::SequenceSet& set,
   out.graph = BipartiteGraph(static_cast<std::uint32_t>(out.words.size()),
                              static_cast<std::uint32_t>(members.size()),
                              std::move(edges));
+  util::record_memory(out.graph.memory_usage(), "bgg");
   return out;
 }
 

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "pclust/util/memsize.hpp"
+
 namespace pclust::dsu {
 
 class UnionFind {
@@ -55,6 +57,10 @@ class UnionFind {
   /// count from the forest. Throws std::invalid_argument if any parent
   /// index is out of range or the pointers contain a cycle.
   void restore(std::vector<std::uint32_t> parents);
+
+  /// Heap footprint: the parent forest and per-root set sizes — O(n), the
+  /// linear-space argument for transitive-closure clustering.
+  [[nodiscard]] util::MemoryBreakdown memory_usage() const;
 
  private:
   mutable std::vector<std::uint32_t> parent_;

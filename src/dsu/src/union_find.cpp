@@ -84,4 +84,11 @@ std::vector<std::vector<std::uint32_t>> UnionFind::extract_sets(
   return out;
 }
 
+util::MemoryBreakdown UnionFind::memory_usage() const {
+  util::MemoryBreakdown b("union_find");
+  b.add("parents", util::vector_bytes(parent_));
+  b.add("set_sizes", util::vector_bytes(size_));
+  return b;
+}
+
 }  // namespace pclust::dsu

@@ -84,29 +84,42 @@ class Communicator {
 
   // -- compute cost charging ------------------------------------------------
   void charge_cells(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.cell_cost *
-                   compute_factor_);
+    advance_busy(static_cast<double>(n) * model_.cell_cost * compute_factor_);
     check_crash();
   }
   void charge_index_chars(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.index_char_cost *
-                   compute_factor_);
+    advance_busy(static_cast<double>(n) * model_.index_char_cost *
+                 compute_factor_);
     check_crash();
   }
   void charge_pairs(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.pair_cost *
-                   compute_factor_);
+    advance_busy(static_cast<double>(n) * model_.pair_cost * compute_factor_);
     check_crash();
   }
   void charge_finds(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.find_cost *
-                   compute_factor_);
+    advance_busy(static_cast<double>(n) * model_.find_cost * compute_factor_);
     check_crash();
   }
   void charge_hashes(std::uint64_t n) {
-    clock_.advance(static_cast<double>(n) * model_.hash_cost *
-                   compute_factor_);
+    advance_busy(static_cast<double>(n) * model_.hash_cost * compute_factor_);
     check_crash();
+  }
+
+  // -- virtual-time decomposition -------------------------------------------
+  // Every clock advance is attributed to exactly one of three accumulators:
+  //   busy — compute charged via charge_*() (straggler-scaled);
+  //   comm — wire time: explicit latency/transfer advances plus, on a
+  //          waiting advance_to(), at most the wire cost of the awaited
+  //          message (the rest of the jump is time the peer had not sent
+  //          yet, i.e. idle);
+  //   idle — everything else (blocked on a peer or a barrier).
+  // Invariant: busy + comm + idle == clock().now() (up to fp rounding);
+  // the run report's rank_times section is checked against it.
+  [[nodiscard]] double busy_time() const { return busy_; }
+  [[nodiscard]] double comm_time() const { return comm_; }
+  [[nodiscard]] double idle_time() const {
+    const double idle = clock_.now() - busy_ - comm_;
+    return idle > 0.0 ? idle : 0.0;
   }
 
   // -- point-to-point -------------------------------------------------------
@@ -184,10 +197,29 @@ class Communicator {
   /// charge and at the top of every communication operation.
   void check_crash();
 
+  void advance_busy(double seconds) {
+    clock_.advance(seconds);
+    busy_ += seconds;
+  }
+  void advance_comm(double seconds) {
+    clock_.advance(seconds);
+    comm_ += seconds;
+  }
+  /// Advance to @p target attributing at most @p wire_seconds of the jump
+  /// to comm; any remainder is idle (wait for a peer that was not ready).
+  void advance_to_comm(double target, double wire_seconds) {
+    const double jump = target - clock_.now();
+    if (jump <= 0.0) return;
+    comm_ += jump < wire_seconds ? jump : wire_seconds;
+    clock_.advance_to(target);
+  }
+
   Transport& transport_;
   int rank_;
   const MachineModel& model_;
   VirtualClock clock_;
+  double busy_ = 0.0;
+  double comm_ = 0.0;
   double crash_at_;
   double compute_factor_;
   bool crashed_ = false;

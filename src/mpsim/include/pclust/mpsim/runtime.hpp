@@ -44,10 +44,22 @@ class RankError : public std::runtime_error {
   double virtual_time_;
 };
 
+/// Where one rank's virtual time went: busy (compute charges), comm (wire
+/// time), idle (blocked on peers/barriers). busy + comm + idle equals the
+/// rank's entry in RunResult::rank_times up to fp rounding — the analyzer
+/// and report-check rely on that identity.
+struct RankBreakdown {
+  double busy = 0.0;
+  double comm = 0.0;
+  double idle = 0.0;
+};
+
 struct RunResult {
   /// Final virtual clock of each rank, seconds (crashed ranks report the
   /// clock at their death).
   std::vector<double> rank_times;
+  /// Busy/comm/idle decomposition of rank_times, same indexing.
+  std::vector<RankBreakdown> rank_breakdown;
   /// max(rank_times): the simulated parallel run-time of the phase.
   double makespan = 0.0;
   /// Per-rank counters summed over all ranks.

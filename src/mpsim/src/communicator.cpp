@@ -53,7 +53,7 @@ void Communicator::send(int dst, int tag, std::any payload,
   record_link_traffic(dst, bytes);
   // Sender pays the injection overhead; the receiver's clock is advanced at
   // take time from the stamp.
-  clock_.advance(model_.latency);
+  advance_comm(model_.latency);
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
@@ -66,8 +66,9 @@ void Communicator::send(int dst, int tag, std::any payload,
 Message Communicator::recv(int src, int tag) {
   check_crash();
   Message msg = transport_.take(rank_, src, tag);
-  clock_.advance_to(msg.send_time + model_.latency +
-                    static_cast<double>(msg.bytes) * model_.byte_cost);
+  const double wire =
+      model_.latency + static_cast<double>(msg.bytes) * model_.byte_cost;
+  advance_to_comm(msg.send_time + wire, wire);
   return msg;
 }
 
@@ -77,8 +78,9 @@ RecvStatus Communicator::recv_status(int src, int tag, Message& out,
   const RecvStatus status =
       transport_.take_status(rank_, src, tag, out, timeout_seconds);
   if (status == RecvStatus::kOk) {
-    clock_.advance_to(out.send_time + model_.latency +
-                      static_cast<double>(out.bytes) * model_.byte_cost);
+    const double wire =
+        model_.latency + static_cast<double>(out.bytes) * model_.byte_cost;
+    advance_to_comm(out.send_time + wire, wire);
   }
   return status;
 }
@@ -90,8 +92,8 @@ bool Communicator::poll(int src, int tag) const {
 void Communicator::barrier() {
   check_crash();
   const double released = transport_.barrier_wait(clock_.now());
-  clock_.advance_to(released +
-                    2.0 * model_.latency * tree_depth(size()));
+  const double wire = 2.0 * model_.latency * tree_depth(size());
+  advance_to_comm(released + wire, wire);
 }
 
 std::any Communicator::broadcast(int root, std::any payload,
@@ -113,11 +115,15 @@ std::any Communicator::broadcast(int root, std::any payload,
       msg.send_time = clock_.now() + depth * per_round;
       transport_.deliver(dst, std::move(msg));
     }
-    clock_.advance(depth * per_round);
+    advance_comm(depth * per_round);
     return payload;
   }
   Message msg = transport_.take(rank_, root, kBcastTag);
-  clock_.advance_to(msg.send_time);
+  // The stamp is root's send time plus the full tree; at most the tree
+  // rounds themselves are wire time, the rest was waiting for the root.
+  advance_to_comm(msg.send_time,
+                  depth * (model_.latency +
+                           static_cast<double>(bytes) * model_.byte_cost));
   return std::move(msg.payload);
 }
 
@@ -134,7 +140,7 @@ double Communicator::allreduce_max(double value) {
       best = std::max(best, std::any_cast<double>(msg.payload));
       latest = std::max(latest, msg.send_time);
     }
-    clock_.advance_to(latest + depth * per_round);
+    advance_to_comm(latest + depth * per_round, depth * per_round);
     std::any out = broadcast(0, std::any(best), 8);
     return std::any_cast<double>(out);
   }
@@ -162,7 +168,7 @@ double Communicator::allreduce_sum(double value) {
       total += std::any_cast<double>(msg.payload);
       latest = std::max(latest, msg.send_time);
     }
-    clock_.advance_to(latest + depth * per_round);
+    advance_to_comm(latest + depth * per_round, depth * per_round);
     std::any out = broadcast(0, std::any(total), 8);
     return std::any_cast<double>(out);
   }
@@ -193,7 +199,8 @@ std::vector<std::any> Communicator::gather(int root, std::any payload,
                       static_cast<double>(msg.bytes) * model_.byte_cost);
       out[static_cast<std::size_t>(src)] = std::move(msg.payload);
     }
-    clock_.advance_to(latest + depth * model_.latency);
+    advance_to_comm(latest + depth * model_.latency,
+                    depth * model_.latency);
     return out;
   }
   Message msg;
@@ -203,7 +210,7 @@ std::vector<std::any> Communicator::gather(int root, std::any payload,
   msg.bytes = bytes;
   msg.send_time = clock_.now() + model_.latency;
   transport_.deliver(root, std::move(msg));
-  clock_.advance(model_.latency);
+  advance_comm(model_.latency);
   return {};
 }
 
@@ -226,12 +233,16 @@ std::any Communicator::scatter(int root, std::vector<std::any> payloads,
       msg.bytes = 0;  // timing carried in the stamp
       msg.send_time = clock_.now() + per_item;
       transport_.deliver(dst, std::move(msg));
-      clock_.advance(per_item);  // root serializes the sends
+      advance_comm(per_item);  // root serializes the sends
     }
     return std::move(payloads[static_cast<std::size_t>(root)]);
   }
   Message msg = transport_.take(rank_, root, kScatterTag);
-  clock_.advance_to(msg.send_time);
+  // At most this rank's own message is wire time; waiting for the root to
+  // serialize earlier ranks' sends is idle.
+  advance_to_comm(msg.send_time,
+                  model_.latency +
+                      static_cast<double>(bytes_each) * model_.byte_cost);
   return std::move(msg.payload);
 }
 

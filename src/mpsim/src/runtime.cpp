@@ -90,8 +90,11 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
   std::sort(crashed.begin(), crashed.end());
   result.crashed_ranks = std::move(crashed);
   result.rank_times.reserve(static_cast<std::size_t>(p));
+  result.rank_breakdown.reserve(static_cast<std::size_t>(p));
   for (const auto& comm : comms) {
     result.rank_times.push_back(comm->clock().now());
+    result.rank_breakdown.push_back(RankBreakdown{
+        comm->busy_time(), comm->comm_time(), comm->idle_time()});
     result.makespan = std::max(result.makespan, comm->clock().now());
     for (const auto& [key, value] : comm->counters()) {
       result.counters[key] += value;

@@ -6,6 +6,7 @@
 
 #include "pclust/align/predicates.hpp"
 #include "pclust/dsu/union_find.hpp"
+#include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 
 namespace pclust::pace {
@@ -62,6 +63,12 @@ class CcdMaster final : public MasterPolicy {
       return x.front() < y.front();
     });
     return out;
+  }
+
+  /// Publish the master's union–find footprint under the phase prefix.
+  void record_memory(const char* phase_label) const {
+    util::record_memory(uf_.memory_usage(),
+                        phase_label ? phase_label : "ccd");
   }
 
  private:
@@ -122,6 +129,7 @@ ComponentsResult detect_components(const seq::SequenceSet& set,
       set, ids, p, model, params, master,
       [&set, &params] { return std::make_unique<CcdWorker>(set, params); },
       &result.counters, pool, plan);
+  master.record_memory(params.phase_label);
   result.components = master.components();
   return result;
 }
@@ -150,6 +158,7 @@ ComponentsResult detect_components_serial(
 
   result.counters = run_serial(set, ids, params, master, worker, pool,
                                use_hooks ? &hooks : nullptr);
+  master.record_memory(params.phase_label);
   result.components = master.components();
   return result;
 }

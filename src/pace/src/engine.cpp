@@ -9,6 +9,7 @@
 #include "pclust/mpsim/masterworker.hpp"
 #include "pclust/suffix/lcp.hpp"
 #include "pclust/suffix/suffix_array.hpp"
+#include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/trace.hpp"
 
@@ -100,6 +101,16 @@ struct SharedIndex {
         load[w] += buckets[i].weight;
       }
     }
+
+    // Publish the index footprint under the phase prefix (rr/ccd): the GST
+    // replacement (SA + LCP + buckets) must stay linear in the text.
+    util::MemoryBreakdown b("suffix_index");
+    b.add("concat_text", text.memory_usage());
+    b.add("suffix_array", util::vector_bytes(sa));
+    b.add("lcp", util::vector_bytes(lcp));
+    b.add("buckets", util::vector_bytes(buckets));
+    b.add("bucket_owners", util::vector_bytes(bucket_owner));
+    util::record_memory(b, params.phase_label ? params.phase_label : "pace");
   }
 
   static suffix::MaximalMatchParams match_params(const PaceParams& params) {

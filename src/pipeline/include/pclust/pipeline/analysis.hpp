@@ -1,0 +1,83 @@
+// Load-imbalance and critical-path analysis over a run report's
+// `rank_times` section — the paper's scaling narrative (near-linear
+// speedup, CCD master as the bottleneck at high p) as machine-readable
+// verdicts.
+//
+// Definitions (per simulated phase):
+//   imbalance_factor     max busy / mean busy over WORKER ranks (>= 1.0;
+//                        1.0 is a perfectly balanced phase). The master is
+//                        excluded because its job is different by design;
+//                        its saturation has its own diagnosis below.
+//   critical_path        max over ranks of busy + comm — the longest chain
+//                        of non-idle virtual time. makespan minus the
+//                        critical path of the slowest rank is pure waiting.
+//   parallel_efficiency  sum(busy) / (ranks * makespan) in [0, 1].
+//   stragglers           top-k ranks by busy time, descending.
+//   master saturation    rank 0 busy fraction >= saturation_busy while the
+//                        mean worker idle fraction >= saturation_idle: the
+//                        master is the serial bottleneck and extra workers
+//                        would mostly wait (paper §V: CCD limits scaling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pclust/util/json.hpp"
+
+namespace pclust::pipeline {
+
+/// One rank's virtual-time decomposition, as read from `rank_times`.
+struct RankSample {
+  double total = 0.0;
+  double busy = 0.0;
+  double comm = 0.0;
+  double idle = 0.0;
+};
+
+struct AnalysisOptions {
+  std::size_t top_k = 3;           ///< stragglers listed per phase
+  double saturation_busy = 0.6;    ///< master busy fraction threshold
+  double saturation_idle = 0.3;    ///< mean worker idle fraction threshold
+};
+
+struct PhaseAnalysis {
+  std::string phase;
+  int ranks = 0;
+  double makespan = 0.0;
+  double imbalance_factor = 0.0;
+  double critical_path_seconds = 0.0;
+  int critical_rank = -1;          ///< rank attaining the critical path
+  double parallel_efficiency = 0.0;
+  std::vector<int> stragglers;     ///< top-k by busy time, descending
+  double master_busy_fraction = 0.0;
+  double worker_idle_fraction = 0.0;
+  bool master_saturated = false;
+  std::string verdict;             ///< one-line human-readable diagnosis
+};
+
+struct ReportAnalysis {
+  std::vector<PhaseAnalysis> phases;  ///< only phases with >= 1 rank
+
+  /// Worst imbalance factor across analyzed phases (0 when none).
+  [[nodiscard]] double max_imbalance() const;
+  [[nodiscard]] bool any_master_saturated() const;
+};
+
+/// Analyze one phase from its per-rank samples (empty input -> zeroed
+/// result with ranks == 0).
+[[nodiscard]] PhaseAnalysis analyze_phase(const std::string& phase,
+                                          const std::vector<RankSample>& ranks,
+                                          const AnalysisOptions& options = {});
+
+/// Analyze every non-empty phase of a parsed run report's `rank_times`
+/// section. Throws util::JsonError if the section is absent or malformed.
+[[nodiscard]] ReportAnalysis analyze_report(const util::JsonValue& report,
+                                            const AnalysisOptions& options = {});
+
+/// Render as the human-readable text `pclust analyze` prints.
+[[nodiscard]] std::string render_analysis(const ReportAnalysis& analysis);
+
+/// Render as a JSON document (for --json).
+[[nodiscard]] std::string render_analysis_json(const ReportAnalysis& analysis);
+
+}  // namespace pclust::pipeline

@@ -1,0 +1,197 @@
+#include "pclust/pipeline/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace pclust::pipeline {
+
+namespace {
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", s);
+  return buf;
+}
+
+std::string format_ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", r);
+  return buf;
+}
+
+}  // namespace
+
+double ReportAnalysis::max_imbalance() const {
+  double worst = 0.0;
+  for (const PhaseAnalysis& p : phases) {
+    worst = std::max(worst, p.imbalance_factor);
+  }
+  return worst;
+}
+
+bool ReportAnalysis::any_master_saturated() const {
+  return std::any_of(phases.begin(), phases.end(),
+                     [](const PhaseAnalysis& p) { return p.master_saturated; });
+}
+
+PhaseAnalysis analyze_phase(const std::string& phase,
+                            const std::vector<RankSample>& ranks,
+                            const AnalysisOptions& options) {
+  PhaseAnalysis out;
+  out.phase = phase;
+  out.ranks = static_cast<int>(ranks.size());
+  if (ranks.empty()) return out;
+
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    out.makespan = std::max(out.makespan, ranks[r].total);
+    const double path = ranks[r].busy + ranks[r].comm;
+    if (path > out.critical_path_seconds) {
+      out.critical_path_seconds = path;
+      out.critical_rank = static_cast<int>(r);
+    }
+  }
+
+  // Imbalance over worker ranks (all ranks when there is no master/worker
+  // split, i.e. p == 1).
+  const std::size_t first_worker = ranks.size() > 1 ? 1 : 0;
+  double busy_sum_workers = 0.0;
+  double busy_max_workers = 0.0;
+  for (std::size_t r = first_worker; r < ranks.size(); ++r) {
+    busy_sum_workers += ranks[r].busy;
+    busy_max_workers = std::max(busy_max_workers, ranks[r].busy);
+  }
+  const double workers = static_cast<double>(ranks.size() - first_worker);
+  const double busy_mean = workers > 0.0 ? busy_sum_workers / workers : 0.0;
+  out.imbalance_factor = busy_mean > 0.0 ? busy_max_workers / busy_mean : 0.0;
+
+  double busy_sum_all = 0.0;
+  for (const RankSample& r : ranks) busy_sum_all += r.busy;
+  out.parallel_efficiency =
+      out.makespan > 0.0
+          ? busy_sum_all /
+                (static_cast<double>(ranks.size()) * out.makespan)
+          : 0.0;
+
+  std::vector<int> order(ranks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&ranks](int a, int b) {
+    const auto& ra = ranks[static_cast<std::size_t>(a)];
+    const auto& rb = ranks[static_cast<std::size_t>(b)];
+    if (ra.busy != rb.busy) return ra.busy > rb.busy;
+    return a < b;
+  });
+  order.resize(std::min(order.size(), options.top_k));
+  out.stragglers = std::move(order);
+
+  out.master_busy_fraction =
+      ranks[0].total > 0.0 ? ranks[0].busy / ranks[0].total : 0.0;
+  if (ranks.size() > 1) {
+    double idle_frac_sum = 0.0;
+    for (std::size_t r = 1; r < ranks.size(); ++r) {
+      idle_frac_sum += ranks[r].total > 0.0 ? ranks[r].idle / ranks[r].total
+                                            : 0.0;
+    }
+    out.worker_idle_fraction =
+        idle_frac_sum / static_cast<double>(ranks.size() - 1);
+  }
+  out.master_saturated =
+      ranks.size() > 1 &&
+      out.master_busy_fraction >= options.saturation_busy &&
+      out.worker_idle_fraction >= options.saturation_idle;
+
+  if (out.master_saturated) {
+    out.verdict = "master-saturated: rank 0 is busy " +
+                  format_ratio(100.0 * out.master_busy_fraction) +
+                  "% of the phase while workers idle " +
+                  format_ratio(100.0 * out.worker_idle_fraction) +
+                  "% — the master serializes this phase; adding workers "
+                  "will not help (the paper's CCD bottleneck)";
+  } else if (out.imbalance_factor > 1.5) {
+    out.verdict = "imbalanced: the busiest worker does " +
+                  format_ratio(out.imbalance_factor) +
+                  "x the mean work — revisit the task partition";
+  } else {
+    out.verdict = "balanced";
+  }
+  return out;
+}
+
+ReportAnalysis analyze_report(const util::JsonValue& report,
+                              const AnalysisOptions& options) {
+  ReportAnalysis out;
+  const util::JsonValue& rank_times = report.at("rank_times");
+  for (const auto& [phase, ranks] : rank_times.object) {
+    if (!ranks.is_array() || ranks.array.empty()) continue;
+    std::vector<RankSample> samples;
+    samples.reserve(ranks.array.size());
+    for (const util::JsonValue& entry : ranks.array) {
+      RankSample s;
+      s.total = entry.at("total").as_number();
+      s.busy = entry.at("busy").as_number();
+      s.comm = entry.at("comm").as_number();
+      s.idle = entry.at("idle").as_number();
+      samples.push_back(s);
+    }
+    out.phases.push_back(analyze_phase(phase, samples, options));
+  }
+  return out;
+}
+
+std::string render_analysis(const ReportAnalysis& analysis) {
+  std::string out;
+  if (analysis.phases.empty()) {
+    return "no simulated phases in this report (serial run) — nothing to "
+           "analyze\n";
+  }
+  for (const PhaseAnalysis& p : analysis.phases) {
+    out += "phase " + p.phase + " (" + std::to_string(p.ranks) + " ranks)\n";
+    out += "  makespan:            " + format_seconds(p.makespan) + "s\n";
+    out += "  critical path:       " + format_seconds(p.critical_path_seconds) +
+           "s (rank " + std::to_string(p.critical_rank) + ")\n";
+    out += "  imbalance factor:    " + format_ratio(p.imbalance_factor) +
+           " (max/mean worker busy)\n";
+    out += "  parallel efficiency: " + format_ratio(p.parallel_efficiency) +
+           "\n";
+    out += "  master busy / worker idle: " +
+           format_ratio(p.master_busy_fraction) + " / " +
+           format_ratio(p.worker_idle_fraction) + "\n";
+    out += "  stragglers (by busy):";
+    for (const int r : p.stragglers) out += " " + std::to_string(r);
+    out += "\n";
+    out += "  verdict:             " + p.verdict + "\n";
+  }
+  return out;
+}
+
+std::string render_analysis_json(const ReportAnalysis& analysis) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pclust-analysis");
+  w.key("phases").begin_array();
+  for (const PhaseAnalysis& p : analysis.phases) {
+    w.begin_object();
+    w.key("phase").value(p.phase);
+    w.key("ranks").value(p.ranks);
+    w.key("makespan").value(p.makespan);
+    w.key("critical_path_seconds").value(p.critical_path_seconds);
+    w.key("critical_rank").value(p.critical_rank);
+    w.key("imbalance_factor").value(p.imbalance_factor);
+    w.key("parallel_efficiency").value(p.parallel_efficiency);
+    w.key("master_busy_fraction").value(p.master_busy_fraction);
+    w.key("worker_idle_fraction").value(p.worker_idle_fraction);
+    w.key("master_saturated").value(p.master_saturated);
+    w.key("stragglers").begin_array();
+    for (const int r : p.stragglers) w.value(r);
+    w.end_array();
+    w.key("verdict").value(p.verdict);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("max_imbalance").value(analysis.max_imbalance());
+  w.key("any_master_saturated").value(analysis.any_master_saturated());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pclust::pipeline

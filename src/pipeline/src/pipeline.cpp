@@ -10,6 +10,7 @@
 #include "pclust/pipeline/dsd.hpp"
 #include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
+#include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/strings.hpp"
 #include "pclust/util/timer.hpp"
@@ -156,6 +157,15 @@ class Checkpoints {
   std::vector<std::string> recovery_log_;
 };
 
+/// Record the process RSS at a phase boundary as a `mem.rss.<phase>`
+/// gauge; the run report's memory section reads the high-water marks. A
+/// no-op (gauge stays 0) where /proc is unavailable.
+void sample_phase_rss(const char* phase) {
+  util::metrics()
+      .gauge(std::string("mem.rss.") + phase)
+      .set(util::current_rss_bytes());
+}
+
 /// Open a trace timeline for a simulated phase and label its rank lanes;
 /// engine code then emits onto it via trace::current_pid(). No-op when
 /// tracing is off.
@@ -301,6 +311,7 @@ PipelineResult run(const seq::SequenceSet& input,
     }
     log_phase("rr", "computed");
   }
+  sample_phase_rss("rr");
   const std::vector<seq::SeqId> survivors = result.rr.survivors();
   result.non_redundant_sequences = survivors.size();
   PCLUST_INFO << "pipeline: RR kept " << survivors.size() << " of "
@@ -383,6 +394,7 @@ PipelineResult run(const seq::SequenceSet& input,
       sizes.add(component.size());
     }
   }
+  sample_phase_rss("ccd");
   result.components_min_size =
       result.ccd.count_with_min_size(config.min_component);
   PCLUST_INFO << "pipeline: CCD found " << result.components_min_size
@@ -477,6 +489,7 @@ PipelineResult run(const seq::SequenceSet& input,
     result.families.push_back(std::move(family));
   }
   result.bgg_dsd_seconds = dsd_timer.elapsed_seconds();
+  sample_phase_rss("bgg+dsd");
 
   std::sort(result.families.begin(), result.families.end(),
             [](const Family& a, const Family& b) {

@@ -3,7 +3,11 @@
 #include <fstream>
 #include <stdexcept>
 
+#include <cmath>
+#include <map>
+
 #include "pclust/util/json.hpp"
+#include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 
 namespace pclust::pipeline {
@@ -90,6 +94,81 @@ void emit_fault_events(util::JsonWriter& w, const PipelineResult& result) {
     w.value("checkpoint: " + event);
   }
   w.end_array();
+}
+
+/// `memory` section: process RSS plus the per-phase / per-structure peaks
+/// collected from `mem.*` gauges. Gauge keys are `mem.rss.<phase>` (RSS
+/// sampled at a phase boundary) or `mem.<structure...>.<part>` where
+/// `<part>` "total" is the whole structure; `<structure>` may itself carry
+/// a phase prefix ("rr.suffix_index"). The high-water mark (`max`) is what
+/// matters: structures are rebuilt per component, and the report wants the
+/// peak instance.
+void emit_memory(util::JsonWriter& w, const util::MetricsSnapshot& snapshot) {
+  std::map<std::string, std::uint64_t> phases;
+  std::map<std::string, std::uint64_t> totals;
+  std::map<std::string, std::map<std::string, std::uint64_t>> parts;
+  for (const auto& [name, g] : snapshot.gauges) {
+    if (name.rfind("mem.rss.", 0) == 0) {
+      phases[name.substr(8)] = g.max;
+    } else if (name.rfind("mem.", 0) == 0) {
+      const std::size_t dot = name.rfind('.');
+      if (dot <= 4) continue;  // malformed key; skip rather than misfile
+      const std::string structure = name.substr(4, dot - 4);
+      const std::string part = name.substr(dot + 1);
+      if (part == "total") {
+        totals[structure] = g.max;
+      } else {
+        parts[structure][part] = g.max;
+      }
+    }
+  }
+
+  w.begin_object();
+  w.key("rss_current_bytes").value(util::current_rss_bytes());
+  w.key("rss_peak_bytes").value(util::peak_rss_bytes());
+  w.key("phases").begin_object();
+  for (const auto& [phase, bytes] : phases) w.key(phase).value(bytes);
+  w.end_object();
+  w.key("structures").begin_object();
+  for (const auto& [structure, total] : totals) {
+    w.key(structure).begin_object();
+    w.key("peak_total_bytes").value(total);
+    const auto it = parts.find(structure);
+    if (it != parts.end()) {
+      w.key("parts").begin_object();
+      for (const auto& [part, bytes] : it->second) w.key(part).value(bytes);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+/// `rank_times` section: the simulated phases' per-rank virtual-time
+/// decomposition (empty arrays for serial phases). busy + comm + idle ==
+/// total per rank, which report-check asserts.
+void emit_rank_times(util::JsonWriter& w, const PipelineResult& result) {
+  w.begin_object();
+  const auto emit_run = [&w](const char* key, const mpsim::RunResult& run) {
+    w.key(key).begin_array();
+    for (std::size_t r = 0; r < run.rank_times.size(); ++r) {
+      const bool have = r < run.rank_breakdown.size();
+      w.begin_object();
+      w.key("rank").value(static_cast<std::uint64_t>(r));
+      w.key("total").value(run.rank_times[r]);
+      w.key("busy").value(have ? run.rank_breakdown[r].busy : 0.0);
+      w.key("comm").value(have ? run.rank_breakdown[r].comm : 0.0);
+      w.key("idle").value(have ? run.rank_breakdown[r].idle
+                               : run.rank_times[r]);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  emit_run("rr", result.rr.run);
+  emit_run("ccd", result.ccd.run);
+  emit_run("dsd", result.dsd_run);
+  w.end_object();
 }
 
 // ---------------------------------------------------------------------------
@@ -232,6 +311,12 @@ std::string render_report(const PipelineResult& result,
   w.key("dsd_simulated_seconds").value(result.dsd_simulated_seconds);
   w.end_object();
 
+  w.key("memory");
+  emit_memory(w, snapshot);
+
+  w.key("rank_times");
+  emit_rank_times(w, result);
+
   w.key("metrics");
   snapshot.to_json(w);
   w.end_object();
@@ -300,6 +385,83 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
       return fail(error, "resume.phase_log must be an array");
     }
     (void)report.at("table1").at("input_sequences").as_u64();
+
+    // `memory`: non-negative byte counts; a structure's parts, when
+    // itemized, must cover its peak total (part maxima each dominate the
+    // parts of the peak instance, so their sum can only over-count).
+    const util::JsonValue& memory = report.at("memory");
+    if (memory.at("rss_peak_bytes").as_number() < 0.0 ||
+        memory.at("rss_current_bytes").as_number() < 0.0) {
+      return fail(error, "memory: negative RSS");
+    }
+    if (!memory.at("phases").is_object()) {
+      return fail(error, "memory.phases must be an object");
+    }
+    for (const auto& [phase, bytes] : memory.at("phases").object) {
+      if (bytes.as_number() < 0.0) {
+        return fail(error, "memory.phases." + phase + ": negative bytes");
+      }
+    }
+    const util::JsonValue& structures = memory.at("structures");
+    if (!structures.is_object()) {
+      return fail(error, "memory.structures must be an object");
+    }
+    for (const auto& [name, st] : structures.object) {
+      const double total = st.at("peak_total_bytes").as_number();
+      if (total < 0.0) {
+        return fail(error, "memory.structures." + name + ": negative total");
+      }
+      if (const util::JsonValue* pts = st.find("parts")) {
+        if (!pts->is_object()) {
+          return fail(error,
+                      "memory.structures." + name + ".parts not an object");
+        }
+        double sum = 0.0;
+        for (const auto& [part, bytes] : pts->object) {
+          const double b = bytes.as_number();
+          if (b < 0.0) {
+            return fail(error, "memory.structures." + name + ".parts." +
+                                   part + ": negative bytes");
+          }
+          sum += b;
+        }
+        if (sum + 0.5 < total) {
+          return fail(error, "memory.structures." + name +
+                                 ": parts sum below peak_total_bytes");
+        }
+      }
+    }
+
+    // `rank_times`: per-rank virtual-time decomposition. busy + comm +
+    // idle must reproduce the rank's total (small relative epsilon for fp
+    // accumulation order).
+    const util::JsonValue& rank_times = report.at("rank_times");
+    if (!rank_times.is_object()) {
+      return fail(error, "rank_times must be an object");
+    }
+    for (const auto& [phase, ranks] : rank_times.object) {
+      if (!ranks.is_array()) {
+        return fail(error, "rank_times." + phase + " must be an array");
+      }
+      for (const util::JsonValue& entry : ranks.array) {
+        const std::string where =
+            "rank_times." + phase + "[rank " +
+            std::to_string(entry.at("rank").as_u64()) + "]";
+        const double total = entry.at("total").as_number();
+        const double busy = entry.at("busy").as_number();
+        const double comm = entry.at("comm").as_number();
+        const double idle = entry.at("idle").as_number();
+        if (total < 0.0 || busy < 0.0 || comm < 0.0 || idle < 0.0) {
+          return fail(error, where + ": negative time");
+        }
+        const double eps = 1e-9 + 1e-6 * std::abs(total);
+        if (std::abs(busy + comm + idle - total) > eps) {
+          return fail(error,
+                      where + ": busy + comm + idle != total virtual time");
+        }
+      }
+    }
+
     const util::JsonValue& metrics = report.at("metrics");
     if (!metrics.at("counters").is_object() ||
         !metrics.at("gauges").is_object() ||

@@ -7,6 +7,7 @@
 #include "pclust/dsu/union_find.hpp"
 #include "pclust/exec/pool.hpp"
 #include "pclust/shingle/minwise.hpp"
+#include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/timer.hpp"
 
@@ -109,6 +110,24 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
     }
   }
   local.second_level_shingles = s2_first_owner.size();
+
+  // Peak working set of the two-level shingling pass: everything is alive
+  // here. Must scale with V + E of the reduction graph, not |V|^2.
+  {
+    util::MemoryBreakdown b("shingle");
+    b.add("tuples", util::vector_bytes(tuples));
+    std::uint64_t s1_bytes = util::vector_bytes(s1);
+    for (const S1Node& n : s1) s1_bytes += util::vector_bytes(n.producers);
+    b.add("s1_nodes", s1_bytes);
+    std::uint64_t elem_bytes = util::hash_container_bytes(elements_of);
+    for (const auto& [value, elems] : elements_of) {
+      elem_bytes += util::vector_bytes(elems);
+    }
+    b.add("shingle_elements", elem_bytes);
+    b.add("union_find", uf.memory_usage());
+    b.add("s2_owners", util::hash_container_bytes(s2_first_owner));
+    util::record_memory(b, "dsd");
+  }
 
   // ---- Report: components -> (A, B) ------------------------------------
   std::vector<DenseSubgraph> out;

@@ -13,6 +13,7 @@
 
 #include "pclust/seq/alphabet.hpp"
 #include "pclust/seq/sequence_set.hpp"
+#include "pclust/util/memsize.hpp"
 
 namespace pclust::suffix {
 
@@ -55,6 +56,9 @@ class ConcatText {
 
   /// Global start position of the i-th sequence in the subset order.
   [[nodiscard]] std::size_t start_of(std::size_t i) const { return starts_[i]; }
+
+  /// Heap footprint: concatenated residues plus the position maps.
+  [[nodiscard]] util::MemoryBreakdown memory_usage() const;
 
  private:
   void build(const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids);

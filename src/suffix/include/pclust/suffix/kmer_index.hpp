@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "pclust/seq/sequence_set.hpp"
+#include "pclust/util/memsize.hpp"
 
 namespace pclust::suffix {
 
@@ -47,6 +48,9 @@ class KmerIndex {
   [[nodiscard]] std::size_t dropped_high_occurrence() const {
     return dropped_high_occ_;
   }
+
+  /// Heap footprint: packed words plus the CSR membership lists.
+  [[nodiscard]] util::MemoryBreakdown memory_usage() const;
 
  private:
   Params params_;

@@ -67,6 +67,10 @@ class SuffixTree {
   /// for construction work used by the mpsim cost model.
   [[nodiscard]] std::uint64_t total_edge_chars() const;
 
+  /// Heap footprint: internal nodes, child CSR, and leaf-parent map — all
+  /// O(text) for the paper's linear-space GST claim.
+  [[nodiscard]] util::MemoryBreakdown memory_usage() const;
+
  private:
   const ConcatText* text_;
   const std::vector<std::int32_t>* sa_;

@@ -57,4 +57,12 @@ std::uint8_t ConcatText::left_char(std::size_t pos) const {
   return at(pos - 1);  // a separator if pos starts a sequence
 }
 
+util::MemoryBreakdown ConcatText::memory_usage() const {
+  util::MemoryBreakdown b("concat_text");
+  b.add("text", util::string_bytes(text_));
+  b.add("starts", util::vector_bytes(starts_));
+  b.add("original_ids", util::vector_bytes(original_));
+  return b;
+}
+
 }  // namespace pclust::suffix

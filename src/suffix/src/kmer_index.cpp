@@ -82,4 +82,12 @@ std::string KmerIndex::decode_word(std::size_t w_idx) const {
   return out;
 }
 
+util::MemoryBreakdown KmerIndex::memory_usage() const {
+  util::MemoryBreakdown b("kmer_index");
+  b.add("words", util::vector_bytes(words_));
+  b.add("word_offsets", util::vector_bytes(word_offsets_));
+  b.add("members", util::vector_bytes(members_));
+  return b;
+}
+
 }  // namespace pclust::suffix

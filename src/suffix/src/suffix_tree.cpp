@@ -140,4 +140,13 @@ std::uint64_t SuffixTree::total_edge_chars() const {
   return total;
 }
 
+util::MemoryBreakdown SuffixTree::memory_usage() const {
+  util::MemoryBreakdown b("suffix_tree");
+  b.add("nodes", util::vector_bytes(nodes_));
+  b.add("child_offsets", util::vector_bytes(child_offsets_));
+  b.add("child_list", util::vector_bytes(child_list_));
+  b.add("leaf_parents", util::vector_bytes(leaf_parent_));
+  return b;
+}
+
 }  // namespace pclust::suffix

@@ -130,6 +130,27 @@ void MetricsSnapshot::to_json(JsonWriter& w) const {
     w.key("p50").value(h.percentile(50));
     w.key("p90").value(h.percentile(90));
     w.key("p99").value(h.percentile(99));
+    // Self-describing buckets: [lo, hi] value range plus count, non-empty
+    // buckets only. Consumers (perf-diff, compare) can diff distributions
+    // without knowing the power-of-two bucketing scheme.
+    w.key("buckets").begin_array();
+    for (unsigned b = 0; b < SizeHistogram::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      const std::uint64_t lo =
+          b == 0 ? 0
+                 : (b >= 64 ? (std::uint64_t{1} << 63)
+                            : (std::uint64_t{1} << (b - 1)));
+      const std::uint64_t hi =
+          b == 0 ? 0
+                 : (b >= 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << b) - 1);
+      w.begin_object();
+      w.key("lo").value(lo);
+      w.key("hi").value(hi);
+      w.key("count").value(h.buckets[b]);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

@@ -112,6 +112,21 @@ TEST(ScorePath, BandMissingEverythingStillAgrees) {
                    banded_local_align_score(a, b, s, -500, 4), "empty band");
 }
 
+TEST(ScorePath, WideBundleTierMatchesFullMatrix) {
+  // Sequences longer than the packed-bundle tier's 2047-residue limit take
+  // the wide (two-word) bundle storage; both tiers must stay bit-identical
+  // to the full-matrix engine. Banded to keep the full-matrix side cheap.
+  util::Xoshiro256 rng(2048);
+  const std::string a = random_peptide(rng, 2100);
+  const std::string b = mutate(rng, a, 0.15);
+  const ScoringScheme& s = blosum62();
+  expect_identical(banded_local_align(a, b, s, 0, 48),
+                   banded_local_align_score(a, b, s, 0, 48), "wide tier");
+  const std::string short_b = random_peptide(rng, 90);
+  expect_identical(local_align(a, short_b, s),
+                   local_align_score(a, short_b, s), "wide tier mixed len");
+}
+
 TEST(ScorePath, BandedRegionAllocationMatchesFullWhenBandCovers) {
   // A band wide enough to cover the whole matrix must reproduce the
   // unbanded result exactly (both engines).

@@ -91,5 +91,20 @@ TEST(SubgraphDensity, PaperFormula) {
   EXPECT_NEAR(density, mean_subgraph_degree(g, nodes) / 4.0, 1e-12);
 }
 
+TEST(BipartiteGraph, MemoryUsageIsCsrSized) {
+  // CSR storage: offsets (left_count + 1 size_t) + adjacency (one u32 per
+  // deduplicated edge). memory_usage() must cover both and nothing wild.
+  const BipartiteGraph g(3, 4, {{0, 3}, {0, 1}, {2, 0}, {0, 2}});
+  const auto b = g.memory_usage();
+  EXPECT_EQ(b.name, "bigraph");
+  ASSERT_EQ(b.parts.size(), 2u);
+  EXPECT_GE(b.total(), 4u * sizeof(std::size_t) + 4u * sizeof(std::uint32_t));
+
+  // More edges never shrink the footprint.
+  const BipartiteGraph denser(
+      3, 4, {{0, 3}, {0, 1}, {2, 0}, {0, 2}, {1, 1}, {1, 2}, {2, 3}});
+  EXPECT_GE(denser.memory_usage().total(), b.total());
+}
+
 }  // namespace
 }  // namespace pclust::bigraph

@@ -145,5 +145,19 @@ TEST(UnionFind, RestoreRejectsCorruptForests) {
   EXPECT_EQ(uf.set_count(), 1u);
 }
 
+TEST(UnionFind, MemoryUsageIsLinearInElementCount) {
+  UnionFind uf(1000);
+  const auto b = uf.memory_usage();
+  EXPECT_EQ(b.name, "union_find");
+  ASSERT_EQ(b.parts.size(), 2u);
+  // Two u32 vectors of exactly n elements (capacity may round up, never
+  // down), so the total is at least 2 * 4 * n and O(n) overall.
+  EXPECT_GE(b.total(), 2u * sizeof(std::uint32_t) * 1000u);
+  EXPECT_LE(b.total(), 4u * sizeof(std::uint32_t) * 1000u + 1024u);
+
+  // Growth is monotone in n: the linear-space claim's testable core.
+  EXPECT_GT(b.total(), UnionFind(10).memory_usage().total());
+}
+
 }  // namespace
 }  // namespace pclust::dsu

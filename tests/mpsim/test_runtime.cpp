@@ -31,6 +31,39 @@ TEST(Runtime, AllRanksRunExactlyOnce) {
   for (auto& c : per_rank) EXPECT_EQ(c.load(), 1);
 }
 
+TEST(Runtime, BreakdownPartitionsEachRanksVirtualTime) {
+  // busy + comm + idle must equal rank_times per rank, up to fp rounding —
+  // the analyzer and report-check both lean on this identity. Exercise all
+  // three buckets: compute charges, real wire traffic, and barrier waits.
+  const auto r = run(4, MachineModel::bluegene_l(), [](Communicator& comm) {
+    comm.charge_cells(1000u * static_cast<std::uint64_t>(comm.rank() + 1));
+    if (comm.rank() == 0) {
+      for (int dst = 1; dst < comm.size(); ++dst) {
+        comm.send(dst, 7, int{1}, 1 << 16);
+      }
+    } else {
+      (void)comm.recv(0, 7);
+    }
+    comm.barrier();
+  });
+  ASSERT_EQ(r.rank_breakdown.size(), r.rank_times.size());
+  double busy_total = 0.0;
+  for (std::size_t i = 0; i < r.rank_times.size(); ++i) {
+    const RankBreakdown& b = r.rank_breakdown[i];
+    EXPECT_GE(b.busy, 0.0);
+    EXPECT_GE(b.comm, 0.0);
+    EXPECT_GE(b.idle, 0.0);
+    const double total = b.busy + b.comm + b.idle;
+    EXPECT_NEAR(total, r.rank_times[i], 1e-9 + 1e-6 * r.rank_times[i]);
+    busy_total += b.busy;
+  }
+  // Unequal charges -> unequal busy times, and someone actually computed.
+  EXPECT_GT(busy_total, 0.0);
+  EXPECT_LT(r.rank_breakdown[0].busy, r.rank_breakdown[3].busy);
+  // The barrier releases everyone at the same virtual instant.
+  for (const double t : r.rank_times) EXPECT_DOUBLE_EQ(t, r.makespan);
+}
+
 TEST(Runtime, InvalidProcessorCountThrows) {
   EXPECT_THROW(run(0, MachineModel::free(), [](Communicator&) {}),
                std::invalid_argument);

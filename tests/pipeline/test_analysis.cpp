@@ -1,0 +1,160 @@
+#include "pclust/pipeline/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pclust/util/json.hpp"
+
+namespace pclust::pipeline {
+namespace {
+
+RankSample sample(double busy, double comm, double idle) {
+  RankSample s;
+  s.busy = busy;
+  s.comm = comm;
+  s.idle = idle;
+  s.total = busy + comm + idle;
+  return s;
+}
+
+TEST(Analysis, EmptyPhaseYieldsZeroedResult) {
+  const PhaseAnalysis p = analyze_phase("rr", {});
+  EXPECT_EQ(p.ranks, 0);
+  EXPECT_EQ(p.makespan, 0.0);
+  EXPECT_EQ(p.critical_rank, -1);
+  EXPECT_TRUE(p.stragglers.empty());
+}
+
+TEST(Analysis, BalancedWorkersHaveUnitImbalance) {
+  // Master (rank 0) + three identical workers.
+  const std::vector<RankSample> ranks = {
+      sample(1.0, 0.5, 8.5), sample(8.0, 1.0, 1.0), sample(8.0, 1.0, 1.0),
+      sample(8.0, 1.0, 1.0)};
+  const PhaseAnalysis p = analyze_phase("ccd", ranks);
+  EXPECT_EQ(p.ranks, 4);
+  EXPECT_DOUBLE_EQ(p.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(p.imbalance_factor, 1.0);
+  // Critical path: max busy + comm = 9.0, attained first by rank 1.
+  EXPECT_DOUBLE_EQ(p.critical_path_seconds, 9.0);
+  EXPECT_EQ(p.critical_rank, 1);
+  // sum(busy) / (ranks * makespan) = 25 / 40.
+  EXPECT_DOUBLE_EQ(p.parallel_efficiency, 25.0 / 40.0);
+  EXPECT_EQ(p.verdict, "balanced");
+}
+
+TEST(Analysis, ImbalanceIsMaxOverMeanWorkerBusy) {
+  // Workers busy 9, 3, 3 -> mean 5, max 9 -> factor 1.8. The master's busy
+  // time must NOT enter the statistic.
+  const std::vector<RankSample> ranks = {
+      sample(100.0, 0.0, 0.0),  // master deliberately extreme
+      sample(9.0, 0.0, 1.0), sample(3.0, 0.0, 7.0), sample(3.0, 0.0, 7.0)};
+  const PhaseAnalysis p = analyze_phase("rr", ranks);
+  EXPECT_DOUBLE_EQ(p.imbalance_factor, 9.0 / 5.0);
+  // Stragglers ordered by busy descending: master first, then rank 1.
+  ASSERT_GE(p.stragglers.size(), 2u);
+  EXPECT_EQ(p.stragglers[0], 0);
+  EXPECT_EQ(p.stragglers[1], 1);
+
+  // With a quiet master the same worker skew earns the imbalance verdict
+  // (the saturated-master diagnosis above would otherwise take precedence).
+  const std::vector<RankSample> quiet_master = {
+      sample(1.0, 0.0, 9.0), sample(9.0, 0.0, 1.0), sample(3.0, 0.0, 7.0),
+      sample(3.0, 0.0, 7.0)};
+  const PhaseAnalysis q = analyze_phase("rr", quiet_master);
+  EXPECT_DOUBLE_EQ(q.imbalance_factor, 9.0 / 5.0);
+  EXPECT_NE(q.verdict.find("imbalanced"), std::string::npos);
+}
+
+TEST(Analysis, SingleRankUsesItselfAsWorker) {
+  const PhaseAnalysis p = analyze_phase("dsd", {sample(4.0, 1.0, 0.0)});
+  EXPECT_DOUBLE_EQ(p.imbalance_factor, 1.0);
+  EXPECT_FALSE(p.master_saturated);  // no workers to starve
+}
+
+TEST(Analysis, MasterSaturationRequiresBusyMasterAndIdleWorkers) {
+  AnalysisOptions opts;
+  opts.saturation_busy = 0.6;
+  opts.saturation_idle = 0.3;
+  // Master 90 % busy, workers 50 % idle: the CCD bottleneck shape.
+  const std::vector<RankSample> saturated = {
+      sample(9.0, 0.5, 0.5), sample(4.0, 1.0, 5.0), sample(4.0, 1.0, 5.0)};
+  const PhaseAnalysis p = analyze_phase("ccd", saturated, opts);
+  EXPECT_DOUBLE_EQ(p.master_busy_fraction, 0.9);
+  EXPECT_DOUBLE_EQ(p.worker_idle_fraction, 0.5);
+  EXPECT_TRUE(p.master_saturated);
+  EXPECT_NE(p.verdict.find("master-saturated"), std::string::npos);
+
+  // Same master, but workers are kept fed: not saturated.
+  const std::vector<RankSample> fed = {
+      sample(9.0, 0.5, 0.5), sample(8.0, 1.0, 1.0), sample(8.0, 1.0, 1.0)};
+  EXPECT_FALSE(analyze_phase("ccd", fed, opts).master_saturated);
+
+  // Idle workers but a mostly-idle master: waiting on something else.
+  const std::vector<RankSample> idle_master = {
+      sample(2.0, 0.5, 7.5), sample(4.0, 1.0, 5.0), sample(4.0, 1.0, 5.0)};
+  EXPECT_FALSE(analyze_phase("ccd", idle_master, opts).master_saturated);
+}
+
+TEST(Analysis, StragglerListRespectsTopK) {
+  AnalysisOptions opts;
+  opts.top_k = 2;
+  const std::vector<RankSample> ranks = {
+      sample(1.0, 0.0, 9.0), sample(5.0, 0.0, 5.0), sample(7.0, 0.0, 3.0),
+      sample(3.0, 0.0, 7.0)};
+  const PhaseAnalysis p = analyze_phase("rr", ranks, opts);
+  ASSERT_EQ(p.stragglers.size(), 2u);
+  EXPECT_EQ(p.stragglers[0], 2);
+  EXPECT_EQ(p.stragglers[1], 1);
+}
+
+TEST(Analysis, AnalyzeReportReadsRankTimesSection) {
+  const util::JsonValue report = util::parse_json(R"({
+    "schema": "pclust-run-report",
+    "rank_times": {
+      "ccd": [
+        {"total": 10.0, "busy": 9.0, "comm": 0.5, "idle": 0.5},
+        {"total": 10.0, "busy": 4.0, "comm": 1.0, "idle": 5.0},
+        {"total": 10.0, "busy": 4.0, "comm": 1.0, "idle": 5.0}
+      ],
+      "empty_phase": [],
+      "rr": [
+        {"total": 5.0, "busy": 5.0, "comm": 0.0, "idle": 0.0}
+      ]
+    }
+  })");
+  const ReportAnalysis analysis = analyze_report(report);
+  // Empty phases are skipped; map ordering gives ccd before rr.
+  ASSERT_EQ(analysis.phases.size(), 2u);
+  EXPECT_EQ(analysis.phases[0].phase, "ccd");
+  EXPECT_EQ(analysis.phases[0].ranks, 3);
+  EXPECT_EQ(analysis.phases[1].phase, "rr");
+  EXPECT_TRUE(analysis.any_master_saturated());
+  EXPECT_DOUBLE_EQ(analysis.max_imbalance(), 1.0);
+}
+
+TEST(Analysis, AnalyzeReportThrowsWithoutRankTimes) {
+  const util::JsonValue report = util::parse_json(R"({"phases": []})");
+  EXPECT_THROW(analyze_report(report), util::JsonError);
+}
+
+TEST(Analysis, RendersCoverEveryPhase) {
+  const util::JsonValue report = util::parse_json(R"({
+    "rank_times": {
+      "rr": [{"total": 2.0, "busy": 1.0, "comm": 0.5, "idle": 0.5}]
+    }
+  })");
+  const ReportAnalysis analysis = analyze_report(report);
+  const std::string text = render_analysis(analysis);
+  EXPECT_NE(text.find("phase rr"), std::string::npos);
+  EXPECT_NE(text.find("imbalance factor"), std::string::npos);
+  // The JSON render must itself parse and carry the phase.
+  const util::JsonValue round =
+      util::parse_json(render_analysis_json(analysis));
+  ASSERT_TRUE(round.find("phases") != nullptr);
+  EXPECT_EQ(round.at("phases").array.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pclust::pipeline

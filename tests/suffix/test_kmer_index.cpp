@@ -122,5 +122,18 @@ TEST(KmerIndex, MatchesBruteForceOnSynthetic) {
   }
 }
 
+TEST(KmerIndex, MemoryUsageCoversCsrArrays) {
+  seq::SequenceSet set;
+  set.add("a", "WWWDEFGHIKLMWWW");
+  set.add("b", "MMDEFGHIKLMMM");
+  const KmerIndex idx(set, {}, KmerIndex::Params{.w = 8});
+  ASSERT_GT(idx.word_count(), 0u);
+  const auto b = idx.memory_usage();
+  EXPECT_EQ(b.name, "kmer_index");
+  ASSERT_EQ(b.parts.size(), 3u);
+  // One packed u64 per word plus CSR offsets plus member ids.
+  EXPECT_GE(b.total(), idx.word_count() * sizeof(std::uint64_t));
+}
+
 }  // namespace
 }  // namespace pclust::suffix

@@ -178,5 +178,23 @@ TEST(SuffixTree, EmptyTextSafe) {
   EXPECT_EQ(tree.node_count(), 1u);
 }
 
+TEST(SuffixTree, MemoryUsageGrowsWithInput) {
+  // The paper's GST is linear-space; at minimum the breakdown must name
+  // every array, be non-zero on a real tree, and grow with the text.
+  Fixture small({"ACDE", "ACDF"});
+  const auto b = small.tree->memory_usage();
+  EXPECT_EQ(b.name, "suffix_tree");
+  EXPECT_EQ(b.parts.size(), 4u);
+  EXPECT_GT(b.total(), 0u);
+
+  Fixture big({"ACDEFGHIKLMNPQRSTVWY", "ACDEFGHIKLMNPQRSTVWA",
+               "YWVTSRQPNMLKIHGFEDCA"});
+  EXPECT_GT(big.tree->memory_usage().total(), b.total());
+
+  const auto text_mem = small.text->memory_usage();
+  EXPECT_EQ(text_mem.name, "concat_text");
+  EXPECT_GT(text_mem.total(), 0u);
+}
+
 }  // namespace
 }  // namespace pclust::suffix

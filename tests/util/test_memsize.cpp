@@ -1,0 +1,104 @@
+#include "pclust/util/memsize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pclust/util/metrics.hpp"
+
+namespace pclust::util {
+namespace {
+
+TEST(MemSize, BreakdownTotalsItsParts) {
+  MemoryBreakdown b("widget");
+  EXPECT_EQ(b.total(), 0u);
+  b.add("nodes", 128).add("edges", 64);
+  EXPECT_EQ(b.parts.size(), 2u);
+  EXPECT_EQ(b.total(), 192u);
+}
+
+TEST(MemSize, NestedBreakdownFoldsToSinglePart) {
+  MemoryBreakdown inner("inner");
+  inner.add("a", 10).add("b", 30);
+  MemoryBreakdown outer("outer");
+  outer.add("payload", 5).add("inner", inner);
+  EXPECT_EQ(outer.parts.size(), 2u);
+  EXPECT_EQ(outer.total(), 45u);
+}
+
+TEST(MemSize, VectorBytesTracksCapacityNotSize) {
+  std::vector<std::uint64_t> v;
+  EXPECT_EQ(vector_bytes(v), 0u);
+  v.reserve(100);
+  v.push_back(1);
+  // Capacity is what the allocator holds, regardless of size.
+  EXPECT_EQ(vector_bytes(v), v.capacity() * sizeof(std::uint64_t));
+  EXPECT_GE(vector_bytes(v), 100 * sizeof(std::uint64_t));
+}
+
+TEST(MemSize, StringBytesIgnoresSsoButCountsHeap) {
+  // Small strings live in the object; a long one must show heap bytes at
+  // least as large as its capacity.
+  const std::string small = "ab";
+  EXPECT_EQ(string_bytes(small), 0u);
+  const std::string big(4096, 'x');
+  EXPECT_GE(string_bytes(big), big.capacity());
+}
+
+TEST(MemSize, HashContainerBytesScalesWithSizeAndBuckets) {
+  std::unordered_map<std::uint64_t, std::uint64_t> m;
+  const std::uint64_t empty = hash_container_bytes(m);
+  for (std::uint64_t i = 0; i < 1000; ++i) m[i] = i;
+  const std::uint64_t filled = hash_container_bytes(m);
+  // At minimum: one node (two pointers + kv pair) per element beyond the
+  // empty container's bucket array.
+  EXPECT_GE(filled, empty + 1000 * (2 * sizeof(void*) + 16));
+  EXPECT_GE(filled, m.bucket_count() * sizeof(void*));
+}
+
+TEST(MemSize, RssReadsProcAndPeakDominatesCurrent) {
+  const std::uint64_t current = current_rss_bytes();
+  const std::uint64_t peak = peak_rss_bytes();
+  // /proc is present on the platforms we test on; a running process is
+  // at least a page resident.
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak, current);
+}
+
+TEST(MemSize, RecordMemoryPublishesGaugesWithHighWaterMark) {
+  metrics().reset();
+  MemoryBreakdown b("memsize_test_struct");
+  b.add("nodes", 100).add("edges", 50);
+  record_memory(b);
+
+  MetricsSnapshot snap = metrics().snapshot();
+  EXPECT_EQ(snap.gauges.at("mem.memsize_test_struct.nodes").last, 100u);
+  EXPECT_EQ(snap.gauges.at("mem.memsize_test_struct.edges").last, 50u);
+  EXPECT_EQ(snap.gauges.at("mem.memsize_test_struct.total").last, 150u);
+
+  // A smaller second instance must not lower the high-water mark — that is
+  // what makes "one index per component" report the largest instance.
+  MemoryBreakdown smaller("memsize_test_struct");
+  smaller.add("nodes", 10).add("edges", 5);
+  record_memory(smaller);
+  snap = metrics().snapshot();
+  EXPECT_EQ(snap.gauges.at("mem.memsize_test_struct.total").last, 15u);
+  EXPECT_EQ(snap.gauges.at("mem.memsize_test_struct.total").max, 150u);
+  metrics().reset();
+}
+
+TEST(MemSize, RecordMemoryPrefixesGaugeKeys) {
+  metrics().reset();
+  MemoryBreakdown b("memsize_test_struct");
+  b.add("nodes", 7);
+  record_memory(b, "rr");
+  const MetricsSnapshot snap = metrics().snapshot();
+  EXPECT_EQ(snap.gauges.at("mem.rr.memsize_test_struct.nodes").last, 7u);
+  EXPECT_EQ(snap.gauges.at("mem.rr.memsize_test_struct.total").last, 7u);
+  metrics().reset();
+}
+
+}  // namespace
+}  // namespace pclust::util

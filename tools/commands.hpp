@@ -21,4 +21,10 @@ int cmd_report_check(int argc, const char* const* argv);
 /// `pclust chaos` — seeded fault-injection sweep verifying self-healing.
 int cmd_chaos(int argc, const char* const* argv);
 
+/// `pclust analyze` — load-imbalance / critical-path analysis of a report.
+int cmd_analyze(int argc, const char* const* argv);
+
+/// `pclust perf-diff` — perf-regression gate between two bench artifacts.
+int cmd_perf_diff(int argc, const char* const* argv);
+
 }  // namespace pclust::cli

@@ -30,6 +30,10 @@ void print_usage() {
       "  simulate   Replay the RR/CCD phases on the simulated BlueGene/L.\n"
       "  report-check  Validate a run report written by families "
       "--report-out.\n"
+      "  analyze    Load-imbalance / critical-path analysis of a run "
+      "report.\n"
+      "  perf-diff  Compare two BENCH_*.json artifacts; non-zero exit on "
+      "regression.\n"
       "  chaos      Sweep seeded fault plans and verify the pipeline "
       "self-heals.\n"
       "\nRun 'pclust <command> --help' for command options.\n",
@@ -64,6 +68,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(command, "report-check") == 0) {
       return cli::cmd_report_check(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "analyze") == 0) {
+      return cli::cmd_analyze(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "perf-diff") == 0) {
+      return cli::cmd_perf_diff(sub_argc, sub_argv);
     }
     if (std::strcmp(command, "chaos") == 0) {
       return cli::cmd_chaos(sub_argc, sub_argv);
