@@ -21,16 +21,28 @@ cmake --build build-tsan -j --target test_exec test_pace test_mpsim
  ./tests/test_mpsim)
 
 # Memory-error check. The suites that parse untrusted bytes (FASTA,
-# checkpoints) and the self-healing engine run under ASan+UBSan.
+# checkpoints), the self-healing engine, and the SIMD batch kernels (raw
+# pointer lanes + hand-managed scratch) run under ASan+UBSan.
 cmake --preset asan
-cmake --build build-asan -j --target test_util test_seq test_mpsim test_pace \
-  test_pipeline
+cmake --build build-asan -j --target test_util test_seq test_align \
+  test_mpsim test_pace test_pipeline
 (cd build-asan
  ./tests/test_util
  ./tests/test_seq
+ ./tests/test_align --gtest_filter='BatchSimd*:ScorePath*'
  ./tests/test_mpsim
  ./tests/test_pace --gtest_filter='FaultTolerance*'
  ./tests/test_pipeline --gtest_filter='CheckpointResumeTest*')
+
+# simd-matrix: the alignment suites (including the batch bit-identity fuzz
+# tests) must pass at every --simd setting. PCLUST_SIMD is clamped to the
+# host, so on a machine without AVX2 the avx2 leg degenerates to the best
+# available tier rather than failing — the matrix is portable.
+for simd in off sse2 avx2; do
+  PCLUST_SIMD="$simd" build/tests/test_align >/dev/null \
+    || { echo "test_align failed under PCLUST_SIMD=$simd"; exit 1; }
+done
+echo "check.sh: simd-matrix green (off sse2 avx2)"
 
 # CLI fault/checkpoint smoke matrix: crash healing, kill-and-resume, and
 # the documented exit codes.

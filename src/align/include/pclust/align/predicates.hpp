@@ -41,6 +41,20 @@ struct PredicateOutcome {
   AlignmentResult alignment;  // the alignment the decision was based on
 };
 
+/// Decision layer of Definition 1 over a precomputed score-only local
+/// alignment of (inner, outer) — shared by test_containment* and callers
+/// that score pairs through the batched SIMD engine.
+[[nodiscard]] PredicateOutcome containment_outcome(
+    const AlignmentResult& r, std::size_t inner_len,
+    const ContainmentParams& params = {});
+
+/// Decision layer of Definition 2 over a precomputed score-only local
+/// alignment of (a, b).
+[[nodiscard]] PredicateOutcome overlap_outcome(const AlignmentResult& r,
+                                               std::size_t a_len,
+                                               std::size_t b_len,
+                                               const OverlapParams& params = {});
+
 /// Is @p inner contained in @p outer per Definition 1?
 [[nodiscard]] PredicateOutcome test_containment(
     std::string_view inner, std::string_view outer,

@@ -1,0 +1,46 @@
+// Runtime SIMD instruction-set dispatch for the batched alignment kernels.
+//
+// The selected ISA is a process-global knob: `detect_best_isa()` probes the
+// host CPU once (cpuid on x86-64; scalar everywhere else), and
+// `current_isa()` caches the effective choice. The `PCLUST_SIMD` environment
+// variable or `set_isa()` (driven by the CLI's `--simd` flag) can narrow the
+// choice, but never widen it past what the host supports — requesting AVX2
+// on an SSE2-only host silently clamps to SSE2, so test matrices can iterate
+// over every name without crashing.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace pclust::align {
+
+enum class Isa {
+  kScalar = 0,  // no batching: every pair takes the scalar scorer
+  kSse2 = 1,    // 8 pairs per batch, one per 16-bit SSE2 lane
+  kAvx2 = 2,    // 16 pairs per batch, one per 16-bit AVX2 lane
+};
+
+/// Widest ISA the host CPU supports (probed once, then cached).
+Isa detect_best_isa();
+
+/// The ISA the batch engine will actually use. Initialized on first call
+/// from PCLUST_SIMD (auto|off|scalar|sse2|avx2) clamped to the host,
+/// defaulting to detect_best_isa().
+Isa current_isa();
+
+/// Overrides the dispatched ISA; clamped to detect_best_isa(). Returns the
+/// effective ISA after clamping.
+Isa set_isa(Isa isa);
+
+/// Parses a --simd flag value: auto|off|scalar|sse2|avx2 (case-sensitive).
+/// "auto" maps to detect_best_isa(), "off"/"scalar" to Isa::kScalar.
+/// Returns nullopt on an unrecognized name.
+std::optional<Isa> parse_isa(std::string_view name);
+
+/// Lower-case display name: "scalar", "sse2", or "avx2".
+const char* isa_name(Isa isa);
+
+/// Pairs per batch at @p isa (1 for scalar, 8 for SSE2, 16 for AVX2).
+std::size_t isa_lanes(Isa isa);
+
+}  // namespace pclust::align

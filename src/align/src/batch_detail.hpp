@@ -1,0 +1,71 @@
+// Internal interface between the batch driver (batch.cpp) and the per-ISA
+// kernel translation units (batch_sse2.cpp, batch_avx2.cpp). The driver
+// groups jobs into lane-width chunks of compatible geometry; the kernels
+// run one chunk in SIMD lockstep, one pair per 16-bit lane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pclust/align/scoring.hpp"
+
+namespace pclust::align::detail {
+
+/// Hard per-sequence length cap for the 16-bit lanes: indices, begin
+/// coordinates and column counters all stay comfortably inside int16_t.
+/// Longer sequences take the scalar engine (they are far beyond any
+/// metagenomic peptide anyway).
+inline constexpr std::int64_t kBatchMaxLen = 2'047;
+
+/// |diagonal| cap so banded row limits (i - diagonal +- band) stay inside
+/// int16_t together with kBatchMaxLen-sized bands.
+inline constexpr std::int64_t kBatchMaxDiag = 4'095;
+
+/// Sticky lane-overflow guard: any M-state score above this flags the lane
+/// for exact scalar recompute. Every unflagged lane's scores are exact
+/// (int16 saturating arithmetic can only have clamped values that are
+/// already above the guard).
+inline constexpr std::int16_t kOverflowGuard = 29'000;
+
+/// "Never computed" score: far below any reachable value yet with headroom
+/// so saturating subtractions keep it from wrapping.
+inline constexpr std::int16_t kNegInf16 = -30'000;
+
+/// One SIMD lane's job, geometry pre-clamped by the driver:
+///  - m, n in [0, kBatchMaxLen]
+///  - band_eff = min(band, m + n): band_eff == m + n means "no row
+///    clamping" (and diagonal is then 0); otherwise |diagonal| <=
+///    kBatchMaxDiag and the row limits follow BandLayout::row_limits.
+struct LaneJob {
+  const char* a = nullptr;
+  const char* b = nullptr;
+  std::int32_t m = 0, n = 0;
+  std::int32_t diagonal = 0;
+  std::int32_t band_eff = 0;
+};
+
+/// Raw per-lane outcome; the driver turns this into an AlignmentResult
+/// (columns/gap_columns follow from the region geometry).
+struct LaneOut {
+  std::int32_t score = 0;
+  std::int32_t best_i = 0, best_j = 0;
+  std::int32_t a_begin = 0, b_begin = 0;
+  std::int32_t subs = 0, matches = 0, positives = 0;
+  bool overflow = false;
+};
+
+// Per-ISA kernel entry points. @p banded selects the diagonal-window
+// storage layout (every lane then shares @p band as its half-width and has
+// band_eff == band); otherwise rows are stored full-width and band_eff /
+// diagonal clamp rows per lane. @p count <= the ISA's lane width; unused
+// lanes are idle. Only compiled with real bodies on x86-64.
+namespace sse2 {
+void run_batch(const LaneJob* jobs, std::size_t count, bool banded,
+               std::int64_t band, const ScoringScheme& scheme, LaneOut* out);
+}
+namespace avx2 {
+void run_batch(const LaneJob* jobs, std::size_t count, bool banded,
+               std::int64_t band, const ScoringScheme& scheme, LaneOut* out);
+}
+
+}  // namespace pclust::align::detail

@@ -5,11 +5,15 @@
 #include <limits>
 #include <vector>
 
+#include "band_layout.hpp"
+
 namespace pclust::align {
 
 namespace {
 
-constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+using detail::BandLayout;
+using detail::kNegInf;
+using detail::kScoreCellMax;
 
 // Traceback codes. For the M (substitution) state the predecessor is the
 // best of {M, X, Y} at (i-1, j-1), or a fresh local start.
@@ -20,66 +24,6 @@ enum class Mode {
   kGlobal,      // end-to-end in both sequences
   kLocal,       // best positive region (Smith-Waterman)
   kSemiglobal,  // a end-to-end; b's flanks are free ("glocal")
-};
-
-/// Banded matrix geometry. When the band is narrower than the full row,
-/// each row i stores only a window of W = 2*band+3 columns around the band
-/// center (i - diagonal); the extra slots beyond 2*band+1 absorb the j and
-/// j-1 reads into the previous row, whose window is shifted by one. Reads
-/// outside a row's window must go through the defaulting accessors — those
-/// cells were never computed and behave like the untouched (kNegInf/kStart)
-/// cells of a full matrix.
-struct BandLayout {
-  std::size_t m, n, W;
-  std::int64_t diagonal, band;
-  bool banded;
-
-  BandLayout(std::size_t m_, std::size_t n_, std::int64_t diagonal_,
-             std::int64_t band_)
-      : m(m_), n(n_), diagonal(diagonal_), band(band_) {
-    assert(band >= 0 && "band half-width must be non-negative");
-    banded = band < static_cast<std::int64_t>(m + n) &&
-             static_cast<std::size_t>(2 * band + 3) < n + 1;
-    W = banded ? static_cast<std::size_t>(2 * band + 3) : n + 1;
-  }
-
-  /// First column physically stored for row i.
-  [[nodiscard]] std::size_t base(std::size_t i) const {
-    if (!banded) return 0;
-    const std::int64_t lo =
-        static_cast<std::int64_t>(i) - diagonal - band - 1;
-    const auto max_base = static_cast<std::int64_t>(n + 1 - W);
-    return static_cast<std::size_t>(std::clamp<std::int64_t>(lo, 0, max_base));
-  }
-
-  [[nodiscard]] bool in_window(std::size_t i, std::size_t j) const {
-    const std::size_t b = base(i);
-    return j >= b && j < b + W;
-  }
-
-  /// Flat index of (i, j); caller must ensure in_window(i, j).
-  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
-    return i * W + (j - base(i));
-  }
-
-  /// Band limits for row i: [j_lo, j_hi], or empty (j_lo > j_hi).
-  void row_limits(std::size_t i, std::size_t& j_lo, std::size_t& j_hi) const {
-    j_lo = 1;
-    j_hi = n;
-    if (band < static_cast<std::int64_t>(m + n)) {
-      const std::int64_t center = static_cast<std::int64_t>(i) - diagonal;
-      const std::int64_t lo64 = std::max<std::int64_t>(1, center - band);
-      const std::int64_t hi64 =
-          std::min<std::int64_t>(static_cast<std::int64_t>(n), center + band);
-      if (lo64 > hi64) {
-        j_lo = 1;
-        j_hi = 0;  // band misses this row entirely
-        return;
-      }
-      j_lo = static_cast<std::size_t>(lo64);
-      j_hi = static_cast<std::size_t>(hi64);
-    }
-  }
 };
 
 /// Shared DP engine. When `global` is true, borders are initialized with
@@ -367,10 +311,6 @@ AlignmentResult align_impl(std::string_view a, std::string_view b,
 // min(m, n), which is below the lane capacity by construction.
 // ---------------------------------------------------------------------------
 
-// Beyond this the u16-based wide lanes could overflow; such inputs take
-// the full-matrix path instead — far beyond any peptide.
-constexpr std::size_t kScoreCellMax = 32'767;
-
 // Unpacked bundle, used only at extraction and never in the hot loop.
 struct BundleFields {
   std::uint32_t a_begin = 0, b_begin = 0;
@@ -397,6 +337,9 @@ struct PackedBundle {
            static_cast<std::uint64_t>(positive);
   }
   static Bundle add_inc(Bundle b, std::uint64_t inc) { return b + inc; }
+  /// start(i, j + 1) from start(i, j) — keeps the hot loop's fresh/restart
+  /// start values in running registers instead of re-packing every cell.
+  static void bump_j(Bundle& b) { b += std::uint64_t{1} << kBBeginShift; }
   // Mask-arithmetic select: guaranteed branchless regardless of how the
   // compiler if-converts — a data-dependent branch here would mispredict
   // on essentially every cell of real sequence pairs.
@@ -440,6 +383,7 @@ struct WideBundle {
     b.stats += inc;
     return b;
   }
+  static void bump_j(Bundle& b) { b.pos += 1; }
   static Bundle select(bool take_first, Bundle first, Bundle second) {
     const std::uint64_t mask =
         -static_cast<std::uint64_t>(static_cast<unsigned>(take_first));
@@ -460,11 +404,12 @@ struct WideBundle {
   }
 };
 
-template <typename Policy>
+template <typename Policy, Mode mode, bool UseProfile>
 AlignmentResult score_impl_t(std::string_view a, std::string_view b,
-                             const ScoringScheme& scheme, Mode mode,
+                             const ScoringScheme& scheme,
                              std::int64_t diagonal, std::int64_t band) {
   using Bundle = typename Policy::Bundle;
+  constexpr bool local = mode == Mode::kLocal;
   const std::size_t m = a.size();
   const std::size_t n = b.size();
   const std::int32_t open =
@@ -523,7 +468,10 @@ AlignmentResult score_impl_t(std::string_view a, std::string_view b,
   // the M pass reads substitution scores and bundle increment words from
   // two contiguous arrays instead of doing a table lookup and two
   // data-dependent counter updates per cell. Amortized build cost is
-  // O(alphabet * n) per pair.
+  // O(alphabet * n) per pair, which only pays for itself when the window
+  // is wide; narrow-window runs (UseProfile = false, chosen by score_impl)
+  // compute both values inline per cell instead — the same expressions on
+  // the same inputs, so the two variants are bit-identical.
   // Indexed by raw symbol byte, not seq::kAlphabetSize: callers are
   // expected to pass rank-encoded residues, but the engine has never
   // enforced that, so the cache mirrors the substitution table's tolerance
@@ -552,7 +500,6 @@ AlignmentResult score_impl_t(std::string_view a, std::string_view b,
   std::int32_t best_score = 0;
   Bundle best_bundle{};
   std::size_t best_i = 0, best_j = 0;
-  const bool local = mode == Mode::kLocal;
 
   for (std::size_t i = 1; i <= m; ++i) {
     const std::size_t bi = lay.base(i);
@@ -589,9 +536,14 @@ AlignmentResult score_impl_t(std::string_view a, std::string_view b,
     if (j_lo <= j_hi) {
       const auto ai = static_cast<std::uint8_t>(a[i - 1]);
       cells += j_hi - j_lo + 1;
-      const Profile& prof = profile_for(ai);
-      const std::int32_t* prof_sub = prof.sub.data();
-      const std::uint64_t* prof_inc = prof.inc.data();
+      const std::int32_t* prof_sub = nullptr;
+      const std::uint64_t* prof_inc = nullptr;
+      if constexpr (UseProfile) {
+        const Profile& prof = profile_for(ai);
+        prof_sub = prof.sub.data();
+        prof_inc = prof.inc.data();
+      }
+      const auto& sub_row = scheme.substitution[ai];
 
       const std::int32_t* mp_s = m_prev.score.data();
       const Bundle* mp_b = m_prev.bundle.data();
@@ -606,30 +558,33 @@ AlignmentResult score_impl_t(std::string_view a, std::string_view b,
       std::int32_t* yc_s = y_cur.score.data();
       Bundle* yc_b = y_cur.bundle.data();
 
-      // The row is computed in per-state passes rather than one interleaved
-      // loop: X and M depend only on the previous row, so each pass is a
-      // chain-free loop of selects the compiler can unroll and vectorize;
-      // only the Y pass carries a serial dependency, and it is kept to the
-      // bare minimum of work. The interleaved form threads every state's
-      // latency through Y's chain and ran slower than the full-matrix DP.
-
-      // X: gap in b (consume a[i-1]); ties prefer M, as in align_impl.
-      // A pure select — gap statistics fall out of the geometry later.
+      // The row is computed in two passes. X and M depend only on the
+      // previous row, so one fused chain-free pass computes both with full
+      // ILP; the local best update rides along (its branch is taken on a
+      // vanishing fraction of cells, so it predicts well). Only the Y pass
+      // carries a serial dependency, and it runs second, kept to the bare
+      // minimum of work. Threading every state's latency through Y's chain
+      // (fully interleaved) and splitting into one pass per state (the
+      // original form) both ran slower — the former on the exposed chain,
+      // the latter on per-pass loop overhead at banded row widths.
+      // Fresh/restart start values as running registers, bumped per column.
+      Bundle start_prev = Policy::start(i - 1, j_lo - 1);
+      Bundle start_here = Policy::start(i, j_lo);
       for (std::size_t j = j_lo; j <= j_hi; ++j) {
         const std::size_t jp = j - bp;
+        const std::size_t jq = jp - 1;
         const std::size_t jc = j - bi;
+
+        // X: gap in b (consume a[i-1]); ties prefer M, as in align_impl.
+        // A pure select — gap statistics fall out of the geometry later.
         const std::int32_t vm = mp_s[jp] - open;
         const std::int32_t vx = xp_s[jp] - extend;
         const bool take_m = vm >= vx;
         xc_s[jc] = take_m ? vm : vx;
         xc_b[jc] = Policy::select(take_m, mp_b[jp], xp_b[jp]);
-      }
 
-      // M: substitute a[i-1] with b[j-1]; predecessor ties prefer M,
-      // then X, then Y (strict > to switch), as in align_impl.
-      for (std::size_t j = j_lo; j <= j_hi; ++j) {
-        const std::size_t jq = j - 1 - bp;
-        const std::size_t jc = j - bi;
+        // M: substitute a[i-1] with b[j-1]; predecessor ties prefer M,
+        // then X, then Y (strict > to switch), as in align_impl.
         std::int32_t ps = mp_s[jq];
         Bundle pb = mp_b[jq];
         const bool x_beats = xp_s[jq] > ps;
@@ -638,17 +593,44 @@ AlignmentResult score_impl_t(std::string_view a, std::string_view b,
         const bool y_beats = yp_s[jq] > ps;
         ps = y_beats ? yp_s[jq] : ps;
         pb = Policy::select(y_beats, yp_b[jq], pb);
-        // Fresh local start at (i-1, j-1).
-        const bool fresh = local & (ps < 0);
-        pb = Policy::select(fresh, Policy::start(i - 1, j - 1), pb);
-        ps = fresh ? 0 : ps;
-        const std::int32_t value = ps + prof_sub[j - 1];
-        // A local traceback reaching a non-positive M cell stops there:
-        // the bundle restarts empty at (i, j).
-        const bool restart = local & (value <= 0);
+        if constexpr (local) {
+          // Fresh local start at (i-1, j-1).
+          const bool fresh = ps < 0;
+          pb = Policy::select(fresh, start_prev, pb);
+          ps = fresh ? 0 : ps;
+        }
+        std::int32_t subv;
+        std::uint64_t incv;
+        if constexpr (UseProfile) {
+          subv = prof_sub[j - 1];
+          incv = prof_inc[j - 1];
+        } else {
+          const auto bc = static_cast<std::uint8_t>(b[j - 1]);
+          subv = sub_row[bc];
+          incv = Policy::make_inc(ai == bc, subv > 0);
+        }
+        const std::int32_t value = ps + subv;
         mc_s[jc] = value;
-        mc_b[jc] = Policy::select(restart, Policy::start(i, j),
-                                  Policy::add_inc(pb, prof_inc[j - 1]));
+        if constexpr (local) {
+          // A local traceback reaching a non-positive M cell stops there:
+          // the bundle restarts empty at (i, j).
+          const bool restart = value <= 0;
+          mc_b[jc] = Policy::select(restart, start_here,
+                                    Policy::add_inc(pb, incv));
+          // Local best tracking: same scan order as the interleaved loop
+          // (i ascending, then j ascending, strict > to switch), so the
+          // first occurrence of the maximum wins exactly as align_impl's.
+          if (value > best_score) {
+            best_score = value;
+            best_bundle = mc_b[jc];
+            best_i = i;
+            best_j = j;
+          }
+          Policy::bump_j(start_prev);
+          Policy::bump_j(start_here);
+        } else {
+          mc_b[jc] = Policy::add_inc(pb, incv);
+        }
       }
 
       // Y: gap in a (consume b[j-1]); the serial chain, carried in
@@ -665,21 +647,6 @@ AlignmentResult score_impl_t(std::string_view a, std::string_view b,
           y_b = Policy::select(take_m, mc_b[jc - 1], y_b);
           yc_s[jc] = y_s;
           yc_b[jc] = y_b;
-        }
-      }
-
-      // Local best tracking: same scan order as the interleaved loop
-      // (i ascending, then j ascending, strict > to switch), so the first
-      // occurrence of the maximum wins exactly as align_impl's does.
-      if (local) {
-        for (std::size_t j = j_lo; j <= j_hi; ++j) {
-          const std::int32_t v = mc_s[j - bi];
-          if (v > best_score) {
-            best_score = v;
-            best_bundle = mc_b[j - bi];
-            best_i = i;
-            best_j = j;
-          }
         }
       }
     }
@@ -740,6 +707,32 @@ AlignmentResult score_impl_t(std::string_view a, std::string_view b,
   return result;
 }
 
+/// Lift the runtime mode and profile choice to template arguments so the
+/// hot loop specializes per mode (the local fresh/restart selects vanish
+/// from the global and semiglobal instantiations) and per lookup strategy.
+template <typename Policy>
+AlignmentResult score_dispatch(std::string_view a, std::string_view b,
+                               const ScoringScheme& scheme, Mode mode,
+                               std::int64_t diagonal, std::int64_t band,
+                               bool use_profile) {
+  const auto run = [&]<Mode kMode>() {
+    return use_profile
+               ? score_impl_t<Policy, kMode, true>(a, b, scheme, diagonal,
+                                                   band)
+               : score_impl_t<Policy, kMode, false>(a, b, scheme, diagonal,
+                                                    band);
+  };
+  switch (mode) {
+    case Mode::kGlobal:
+      return run.template operator()<Mode::kGlobal>();
+    case Mode::kSemiglobal:
+      return run.template operator()<Mode::kSemiglobal>();
+    case Mode::kLocal:
+      break;
+  }
+  return run.template operator()<Mode::kLocal>();
+}
+
 AlignmentResult score_impl(std::string_view a, std::string_view b,
                            const ScoringScheme& scheme, Mode mode,
                            std::int64_t diagonal, std::int64_t band) {
@@ -748,10 +741,16 @@ AlignmentResult score_impl(std::string_view a, std::string_view b,
   if (m > kScoreCellMax || n > kScoreCellMax) {
     return align_impl(a, b, scheme, mode, diagonal, band);
   }
+  // Narrow windows sweep too few cells to amortize the O(alphabet * n)
+  // profile build; the crossover against the per-cell inline lookup sits
+  // around a window width of ~100–130 columns on current hardware.
+  const bool use_profile = BandLayout(m, n, diagonal, band).W > 128;
   if (m <= PackedBundle::kMaxLen && n <= PackedBundle::kMaxLen) {
-    return score_impl_t<PackedBundle>(a, b, scheme, mode, diagonal, band);
+    return score_dispatch<PackedBundle>(a, b, scheme, mode, diagonal, band,
+                                        use_profile);
   }
-  return score_impl_t<WideBundle>(a, b, scheme, mode, diagonal, band);
+  return score_dispatch<WideBundle>(a, b, scheme, mode, diagonal, band,
+                                    use_profile);
 }
 
 }  // namespace

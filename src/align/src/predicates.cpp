@@ -4,10 +4,9 @@
 
 namespace pclust::align {
 
-namespace {
-
-PredicateOutcome containment_from(AlignmentResult r, std::size_t inner_len,
-                                  const ContainmentParams& params) {
+PredicateOutcome containment_outcome(const AlignmentResult& r,
+                                     std::size_t inner_len,
+                                     const ContainmentParams& params) {
   PredicateOutcome out;
   out.alignment = r;
   out.accepted = r.columns > 0 &&
@@ -16,8 +15,9 @@ PredicateOutcome containment_from(AlignmentResult r, std::size_t inner_len,
   return out;
 }
 
-PredicateOutcome overlap_from(AlignmentResult r, std::size_t a_len,
-                              std::size_t b_len, const OverlapParams& params) {
+PredicateOutcome overlap_outcome(const AlignmentResult& r, std::size_t a_len,
+                                 std::size_t b_len,
+                                 const OverlapParams& params) {
   PredicateOutcome out;
   out.alignment = r;
   const double long_cov =
@@ -28,8 +28,6 @@ PredicateOutcome overlap_from(AlignmentResult r, std::size_t a_len,
   return out;
 }
 
-}  // namespace
-
 PredicateOutcome test_containment(std::string_view inner,
                                   std::string_view outer,
                                   const ScoringScheme& scheme,
@@ -39,13 +37,13 @@ PredicateOutcome test_containment(std::string_view inner,
   const AlignmentResult r = params.semiglobal
                                 ? semiglobal_align_score(inner, outer, scheme)
                                 : local_align_score(inner, outer, scheme);
-  return containment_from(r, inner.size(), params);
+  return containment_outcome(r, inner.size(), params);
 }
 
 PredicateOutcome test_overlap(std::string_view a, std::string_view b,
                               const ScoringScheme& scheme,
                               const OverlapParams& params) {
-  return overlap_from(local_align_score(a, b, scheme), a.size(), b.size(),
+  return overlap_outcome(local_align_score(a, b, scheme), a.size(), b.size(),
                       params);
 }
 
@@ -55,7 +53,7 @@ PredicateOutcome test_containment_banded(std::string_view inner,
                                          std::int64_t diagonal,
                                          std::uint32_t band_halfwidth,
                                          const ContainmentParams& params) {
-  return containment_from(
+  return containment_outcome(
       banded_local_align_score(inner, outer, scheme, diagonal, band_halfwidth),
       inner.size(), params);
 }
@@ -65,7 +63,7 @@ PredicateOutcome test_overlap_banded(std::string_view a, std::string_view b,
                                      std::int64_t diagonal,
                                      std::uint32_t band_halfwidth,
                                      const OverlapParams& params) {
-  return overlap_from(
+  return overlap_outcome(
       banded_local_align_score(a, b, scheme, diagonal, band_halfwidth),
       a.size(), b.size(), params);
 }

@@ -1,0 +1,134 @@
+#include "pclust/align/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(_MSC_VER)
+#include <intrin.h>
+#else
+#include <cpuid.h>
+#endif
+#endif
+
+namespace pclust::align {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+void cpuid(unsigned leaf, unsigned subleaf, unsigned out[4]) {
+#if defined(_MSC_VER)
+  int regs[4];
+  __cpuidex(regs, static_cast<int>(leaf), static_cast<int>(subleaf));
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned>(regs[i]);
+#else
+  __cpuid_count(leaf, subleaf, out[0], out[1], out[2], out[3]);
+#endif
+}
+
+Isa probe_host() {
+  unsigned regs[4] = {0, 0, 0, 0};
+  cpuid(0, 0, regs);
+  const unsigned max_leaf = regs[0];
+  // SSE2 is architectural on x86-64, but check anyway (leaf 1 EDX bit 26).
+  if (max_leaf < 1) return Isa::kScalar;
+  cpuid(1, 0, regs);
+  const bool sse2 = (regs[3] >> 26) & 1u;
+  const bool osxsave = (regs[2] >> 27) & 1u;
+  const bool avx = (regs[2] >> 28) & 1u;
+  if (!sse2) return Isa::kScalar;
+  // AVX2 needs leaf 7 EBX bit 5 plus OS support for YMM state (XCR0
+  // bits 1-2 via xgetbv, gated on OSXSAVE).
+  if (max_leaf >= 7 && osxsave && avx) {
+#if defined(_MSC_VER)
+    const unsigned long long xcr0 = _xgetbv(0);
+#else
+    unsigned eax, edx;
+    __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+    const unsigned long long xcr0 =
+        (static_cast<unsigned long long>(edx) << 32) | eax;
+#endif
+    if ((xcr0 & 0x6) == 0x6) {
+      cpuid(7, 0, regs);
+      if ((regs[1] >> 5) & 1u) return Isa::kAvx2;
+    }
+  }
+  return Isa::kSse2;
+}
+
+#else
+
+Isa probe_host() { return Isa::kScalar; }
+
+#endif
+
+/// Effective ISA, encoded as (Isa value + 1); 0 means "not yet initialized".
+std::atomic<int> g_isa{0};
+
+Isa clamp_to_host(Isa isa) {
+  const Isa best = detect_best_isa();
+  return static_cast<int>(isa) <= static_cast<int>(best) ? isa : best;
+}
+
+Isa init_from_env() {
+  Isa isa = detect_best_isa();
+  if (const char* env = std::getenv("PCLUST_SIMD")) {
+    if (const auto parsed = parse_isa(env)) isa = clamp_to_host(*parsed);
+  }
+  return isa;
+}
+
+}  // namespace
+
+Isa detect_best_isa() {
+  static const Isa best = probe_host();
+  return best;
+}
+
+Isa current_isa() {
+  int cur = g_isa.load(std::memory_order_relaxed);
+  if (cur == 0) {
+    const Isa init = init_from_env();
+    // First caller wins; a concurrent set_isa() is preserved.
+    int expected = 0;
+    g_isa.compare_exchange_strong(expected, static_cast<int>(init) + 1,
+                                  std::memory_order_relaxed);
+    cur = g_isa.load(std::memory_order_relaxed);
+  }
+  return static_cast<Isa>(cur - 1);
+}
+
+Isa set_isa(Isa isa) {
+  const Isa effective = clamp_to_host(isa);
+  g_isa.store(static_cast<int>(effective) + 1, std::memory_order_relaxed);
+  return effective;
+}
+
+std::optional<Isa> parse_isa(std::string_view name) {
+  if (name == "auto") return detect_best_isa();
+  if (name == "off" || name == "scalar") return Isa::kScalar;
+  if (name == "sse2") return Isa::kSse2;
+  if (name == "avx2") return Isa::kAvx2;
+  return std::nullopt;
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kScalar: break;
+  }
+  return "scalar";
+}
+
+std::size_t isa_lanes(Isa isa) {
+  switch (isa) {
+    case Isa::kSse2: return 8;
+    case Isa::kAvx2: return 16;
+    case Isa::kScalar: break;
+  }
+  return 1;
+}
+
+}  // namespace pclust::align

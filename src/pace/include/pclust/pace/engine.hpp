@@ -107,6 +107,19 @@ class WorkerPolicy {
   /// virtual clock serially, in task order, so pooled evaluation leaves the
   /// simulated timing deterministic.
   virtual Verdict evaluate(const PairTask& task, std::uint64_t* cells) = 0;
+
+  /// Evaluate @p count independent pairs, writing verdicts[k] for tasks[k]
+  /// and accumulating each pair's DP cells into cells[k] (cells may be
+  /// null). Verdicts and per-pair cell counts must be bit-identical to
+  /// count calls of evaluate() — the default does exactly that — but
+  /// implementations may batch the underlying alignments into SIMD lanes
+  /// (align_score_batch). Same concurrency contract as evaluate().
+  virtual void evaluate_batch(const PairTask* tasks, std::size_t count,
+                              Verdict* verdicts, std::uint64_t* cells) {
+    for (std::size_t k = 0; k < count; ++k) {
+      verdicts[k] = evaluate(tasks[k], cells ? cells + k : nullptr);
+    }
+  }
 };
 
 struct EngineCounters {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
+#include "pclust/align/batch.hpp"
 #include "pclust/align/predicates.hpp"
 #include "pclust/dsu/union_find.hpp"
 #include "pclust/util/memsize.hpp"
@@ -94,6 +96,31 @@ class CcdWorker final : public WorkerPolicy {
     if (cells) *cells += out.alignment.cells;
     return Verdict{task.a, task.b,
                    static_cast<std::uint8_t>(out.accepted ? 1 : 0)};
+  }
+
+  /// Batched form: one overlap alignment per task, packed into SIMD lanes
+  /// by the pair-batch engine. Bit-identical to per-pair evaluate().
+  void evaluate_batch(const PairTask* tasks, std::size_t count,
+                      Verdict* verdicts, std::uint64_t* cells) override {
+    const std::int64_t band =
+        params_.band > 0 ? static_cast<std::int64_t>(params_.band)
+                         : std::int64_t{-1};
+    std::vector<align::PairJob> jobs;
+    jobs.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      jobs.push_back({set_.residues(tasks[k].a), set_.residues(tasks[k].b),
+                      tasks[k].diagonal(), band});
+    }
+    std::vector<align::AlignmentResult> results(count);
+    align::align_score_batch(jobs.data(), count, params_.scheme(),
+                             results.data());
+    for (std::size_t k = 0; k < count; ++k) {
+      const align::PredicateOutcome out = align::overlap_outcome(
+          results[k], jobs[k].a.size(), jobs[k].b.size(), params_.overlap);
+      if (cells) cells[k] += out.alignment.cells;
+      verdicts[k] = Verdict{tasks[k].a, tasks[k].b,
+                            static_cast<std::uint8_t>(out.accepted ? 1 : 0)};
+    }
   }
 
  private:

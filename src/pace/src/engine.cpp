@@ -179,34 +179,37 @@ struct SharedIndex {
   exec::Pool* pool_ = nullptr;
 };
 
-/// Evaluate one chunk of tasks, pooled when possible. Verdicts come back in
-/// task order and cell charges are folded into @p comm serially (also in
-/// task order), so both the results and the virtual clock are independent
+/// Tasks handed to one evaluate_batch() call. Large enough that the batch
+/// engine can sort the jobs (up to two alignments per task) into
+/// length-uniform lane chunks — lane utilisation rises with pool size —
+/// and small enough to load-balance across pool threads.
+constexpr std::size_t kEvalGrain = 128;
+
+/// Evaluate one chunk of tasks, pooled when possible. The policy sees
+/// lane-width-friendly slices via evaluate_batch(); verdicts land in
+/// index-addressed slots and cell charges are folded into @p comm serially
+/// in task order, so both the results and the virtual clock are independent
 /// of pool scheduling. Policies are invoked concurrently (see WorkerPolicy).
 void evaluate_tasks(const std::vector<PairTask>& tasks, WorkerPolicy& policy,
                     mpsim::Communicator* comm, exec::Pool* pool,
                     std::vector<Verdict>& verdicts) {
-  verdicts.reserve(verdicts.size() + tasks.size());
-  if (pool && pool->size() > 1 && tasks.size() > 1) {
-    std::vector<std::uint64_t> cells(tasks.size(), 0);
-    auto batch = exec::parallel_map<Verdict>(
-        *pool, tasks.size(), 1,
-        [&](std::size_t k) { return policy.evaluate(tasks[k], &cells[k]); });
-    for (std::size_t k = 0; k < tasks.size(); ++k) {
-      verdicts.push_back(batch[k]);
-      if (comm) {
-        comm->charge_cells(cells[k]);
-        comm->count("alignments_computed");
-      }
-    }
+  const std::size_t n = tasks.size();
+  const std::size_t base = verdicts.size();
+  verdicts.resize(base + n);
+  std::vector<std::uint64_t> cells(n, 0);
+  if (pool && pool->size() > 1 && n > 1) {
+    pool->for_range(n, kEvalGrain, [&](std::size_t lo, std::size_t hi) {
+      policy.evaluate_batch(tasks.data() + lo, hi - lo,
+                            verdicts.data() + base + lo, cells.data() + lo);
+    });
   } else {
-    for (const PairTask& task : tasks) {
-      std::uint64_t cells = 0;
-      verdicts.push_back(policy.evaluate(task, &cells));
-      if (comm) {
-        comm->charge_cells(cells);
-        comm->count("alignments_computed");
-      }
+    policy.evaluate_batch(tasks.data(), n, verdicts.data() + base,
+                          cells.data());
+  }
+  if (comm) {
+    for (std::size_t k = 0; k < n; ++k) {
+      comm->charge_cells(cells[k]);
+      comm->count("alignments_computed");
     }
   }
 }

@@ -91,12 +91,24 @@ void diff_kernels(const util::JsonValue& baseline,
     // Absolute gates first: a score-only variant slower than the full
     // kernel is broken whatever the baseline recorded.
     if (ends_with(name, "_score_only")) {
-      for (const char* key : {"speedup_vs_full", "speedup_vs_full_matrix"}) {
+      for (const char* key : {"speedup_vs_full", "speedup_vs_full_matrix",
+                              "speedup_vs_banded_full"}) {
         if (const util::JsonValue* v = cand.find(key); v && v->is_number()) {
           ctx.require_at_least(
               prefix + key, v->as_number(), 1.0,
               "score-only fast path must beat the full-traceback kernel");
         }
+      }
+    }
+    // Likewise a SIMD lane batch slower than feeding the scalar engine one
+    // pair at a time: the batch path would then be pure overhead and the
+    // dispatcher should have stayed scalar.
+    if (name.rfind("batch_align_", 0) == 0 && !ends_with(name, "_scalar")) {
+      if (const util::JsonValue* v = cand.find("speedup_vs_scalar_single");
+          v && v->is_number()) {
+        ctx.require_at_least(
+            prefix + "speedup_vs_scalar_single", v->as_number(), 1.0,
+            "batched SIMD lanes must beat the single-pair scalar engine");
       }
     }
 

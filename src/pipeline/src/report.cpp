@@ -6,6 +6,7 @@
 #include <cmath>
 #include <map>
 
+#include "pclust/align/simd.hpp"
 #include "pclust/util/json.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
@@ -234,6 +235,7 @@ std::string render_report(const PipelineResult& result,
   w.key("min_component").value(config.min_component);
   w.key("checkpoint_dir").value(config.checkpoint_dir);
   w.key("resume").value(config.resume);
+  w.key("simd").value(align::isa_name(align::current_isa()));
   const auto injects = [](const mpsim::FaultPlan* plan) {
     return plan != nullptr && !plan->empty();
   };

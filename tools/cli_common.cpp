@@ -1,8 +1,11 @@
 #include "cli_common.hpp"
 
+#include <cstdio>
+
 #include <filesystem>
 #include <fstream>
 
+#include "pclust/align/simd.hpp"
 #include "pclust/util/strings.hpp"
 
 namespace pclust::cli {
@@ -84,6 +87,24 @@ std::vector<std::pair<int, double>> parse_rank_at(const std::string& text,
     }
   }
   return out;
+}
+
+void define_simd_option(util::Options& options) {
+  options.define("simd", "auto",
+                 "alignment kernel instruction set: auto (widest the host "
+                 "supports), avx2, sse2, or off (scalar)");
+}
+
+void apply_simd_option(const util::Options& options) {
+  const std::string value = options.get("simd");
+  const auto requested = align::parse_isa(value);
+  if (!requested) {
+    throw UsageError("unknown --simd '" + value +
+                     "' (use auto, avx2, sse2, or off)");
+  }
+  const align::Isa effective = align::set_isa(*requested);
+  std::printf("alignment SIMD: %s (%u pairs per batch)\n",
+              align::isa_name(effective), align::isa_lanes(effective));
 }
 
 }  // namespace pclust::cli

@@ -54,4 +54,11 @@ double get_double_in(const util::Options& options, const std::string& name,
 std::vector<std::pair<int, double>> parse_rank_at(const std::string& text,
                                                   const char* flag);
 
+/// Defines the shared --simd option (auto|avx2|sse2|off) on @p options.
+void define_simd_option(util::Options& options);
+
+/// Applies --simd: parses the value (UsageError on junk), clamps to the
+/// host's capability, and logs the ISA the alignment kernels will use.
+void apply_simd_option(const util::Options& options);
+
 }  // namespace pclust::cli

@@ -155,6 +155,7 @@ int cmd_chaos(int argc, const char* const* argv) {
   options.define("workdir", "",
                  "scratch directory for checkpoint scenarios (default: a "
                  "temp dir; removed afterwards unless given explicitly)");
+  define_simd_option(options);
   options.parse(argc, argv);
   if (options.help_requested()) {
     std::fputs(options
@@ -176,6 +177,7 @@ int cmd_chaos(int argc, const char* const* argv) {
       static_cast<int>(get_int_in(options, "dsd-processors", 2, 1 << 10));
   const auto threads =
       static_cast<unsigned>(get_int_in(options, "threads", 0, 1 << 16));
+  apply_simd_option(options);
 
   seq::SequenceSet sequences;
   if (const std::string input = options.get("input"); !input.empty()) {

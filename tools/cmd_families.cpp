@@ -90,6 +90,7 @@ int cmd_families(int argc, const char* const* argv) {
                  "per-phase WALL-clock watchdog in seconds: abort the "
                  "phase with an attributed error instead of hanging "
                  "(0 = off)");
+  define_simd_option(options);
   options.parse(argc, argv);
   if (options.help_requested() || options.positionals().empty()) {
     std::fputs(options
@@ -236,6 +237,8 @@ int cmd_families(int argc, const char* const* argv) {
   if (!report_out.empty()) require_writable(report_out);
   const std::string trace_out = options.get("trace-out");
   if (!trace_out.empty()) require_writable(trace_out);
+
+  apply_simd_option(options);
 
   seq::SequenceSet sequences;
   seq::read_fasta_file(options.positionals()[0], sequences, fasta);

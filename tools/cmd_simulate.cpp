@@ -49,6 +49,7 @@ int cmd_simulate(int argc, const char* const* argv) {
                  "master declares a silent worker dead after this many wall "
                  "seconds (0 = wait forever)");
   options.define("fault-seed", "1", "seed for per-message fault decisions");
+  define_simd_option(options);
   options.parse(argc, argv);
   if (options.help_requested()) {
     std::fputs(options
@@ -60,6 +61,8 @@ int cmd_simulate(int argc, const char* const* argv) {
                stdout);
     return 0;
   }
+
+  apply_simd_option(options);
 
   pace::PaceParams ccd_params;
   ccd_params.psi =
