@@ -102,6 +102,28 @@ grep -q '"crashed_ranks":\[2' "$smoke/faulted.json" \
 "$pclust" analyze "$smoke/faulted.json" >/dev/null
 "$pclust" analyze "$smoke/faulted.json" --json >/dev/null
 
+# hierarchy: the two-level master tree must be a pure optimization. Flat,
+# hierarchical, and sub-master-crash runs produce bit-identical families;
+# the crash run's report records the healed sub-master; and a p=256 run
+# with a 4-wide sub-master tier clears the analyzer's master-saturation
+# verdict (the flat protocol's CCD bottleneck).
+"$pclust" families "$smoke/in.fa" --processors 8 \
+  --out "$smoke/flat.tsv" >/dev/null
+"$pclust" families "$smoke/in.fa" --processors 8 --masters 2 \
+  --out "$smoke/tree.tsv" >/dev/null
+cmp "$smoke/flat.tsv" "$smoke/tree.tsv"
+"$pclust" families "$smoke/in.fa" --processors 8 --masters 2 \
+  --submaster-crash 1@0.001 --out "$smoke/tree-crash.tsv" \
+  --report-out "$smoke/tree-crash.json" >/dev/null
+cmp "$smoke/flat.tsv" "$smoke/tree-crash.tsv"
+grep -q '"submasters_failed":1' "$smoke/tree-crash.json" \
+  || { echo "crash report does not record the healed sub-master"; exit 1; }
+"$pclust" report-check "$smoke/tree-crash.json"
+"$pclust" families "$smoke/in.fa" --processors 256 --masters 4 \
+  --out "$smoke/tree256.tsv" --report-out "$smoke/tree256.json" >/dev/null
+"$pclust" analyze "$smoke/tree256.json" --fail-on-saturation >/dev/null
+echo "check.sh: hierarchy green (bit-identity + saturation clear at p=256)"
+
 # perf: regression gate against the committed baselines. Timings move with
 # the host, so the default tolerance here is deliberately loose — it exists
 # to catch order-of-magnitude kernel regressions and the score-only fast
@@ -120,6 +142,12 @@ else
   (cd "$smoke" && "$repo/build/bench/bench_pipeline" >/dev/null)
   "$pclust" perf-diff --baseline BENCH_pipeline.json \
     --candidate "$smoke/BENCH_pipeline.json" --tolerance "$perf_tolerance"
+  # Hierarchy rows are virtual time (host-independent), so this leg also
+  # gates the absolute floors: tree >= flat speed, saturation clear at
+  # masters >= 4.
+  (cd "$smoke" && "$repo/build/bench/bench_hierarchy" >/dev/null)
+  "$pclust" perf-diff --baseline BENCH_hierarchy.json \
+    --candidate "$smoke/BENCH_hierarchy.json" --tolerance "$perf_tolerance"
 fi
 
 echo "check.sh: all green"

@@ -86,6 +86,12 @@ struct FaultPlan {
             "FaultPlan: crash rank " + std::to_string(c.rank) +
             " out of range for p=" + std::to_string(p));
       }
+      if (c.at_virtual_time < 0.0) {
+        throw std::invalid_argument(
+            "FaultPlan: crash time for rank " + std::to_string(c.rank) +
+            " must be >= 0 virtual seconds (got " +
+            std::to_string(c.at_virtual_time) + ")");
+      }
     }
     if (drop_probability < 0.0 || drop_probability >= 1.0 ||
         duplicate_probability < 0.0 || duplicate_probability >= 1.0) {
@@ -94,6 +100,74 @@ struct FaultPlan {
     }
     if (retransmit_delay < 0.0) {
       throw std::invalid_argument("FaultPlan: retransmit_delay must be >= 0");
+    }
+    for (std::size_t r = 0; r < straggler_factor.size(); ++r) {
+      if (straggler_factor[r] < 0.0) {
+        throw std::invalid_argument(
+            "FaultPlan: straggler factor for rank " + std::to_string(r) +
+            " must be >= 0 (got " + std::to_string(straggler_factor[r]) +
+            ")");
+      }
+    }
+  }
+
+  /// Validate the plan against the master–worker protocol's survivability
+  /// envelope for @p p ranks and @p masters master ranks (1 = flat):
+  /// rejects plans no protocol run can heal — crashing the root/master
+  /// (rank 0), crashing every sub-master, or crashing every worker — up
+  /// front with std::invalid_argument (the CLI's exit-code-2 class)
+  /// instead of letting the simulation die with an unattributable error.
+  void validate_protocol(int p, int masters = 1) const {
+    validate(p);
+    if (masters < 1) {
+      throw std::invalid_argument("FaultPlan: masters must be >= 1");
+    }
+    if (masters > 1 && p < masters + 2) {
+      throw std::invalid_argument(
+          "FaultPlan: p=" + std::to_string(p) + " is too small for " +
+          std::to_string(masters) +
+          " sub-masters; need p >= masters + 2 so at least one worker "
+          "exists");
+    }
+    const int first_worker = masters > 1 ? masters + 1 : 1;
+    std::vector<bool> crashed(static_cast<std::size_t>(p), false);
+    for (const Crash& c : crashes) {
+      if (c.rank == 0) {
+        throw std::invalid_argument(
+            masters > 1
+                ? "FaultPlan: the root (rank 0) must not crash — only "
+                  "sub-master ranks 1.." +
+                      std::to_string(masters) + " and worker ranks " +
+                      std::to_string(first_worker) + ".." +
+                      std::to_string(p - 1) + " can appear in crashes"
+                : "FaultPlan: the master (rank 0) must not crash — only "
+                  "worker ranks 1.." +
+                      std::to_string(p - 1) + " can appear in crashes");
+      }
+      crashed[static_cast<std::size_t>(c.rank)] = true;
+    }
+    if (masters > 1) {
+      bool all_submasters = true;
+      for (int m = 1; m <= masters && all_submasters; ++m) {
+        all_submasters = crashed[static_cast<std::size_t>(m)];
+      }
+      if (all_submasters) {
+        throw std::invalid_argument(
+            "FaultPlan: crashing all " + std::to_string(masters) +
+            " sub-masters is unsurvivable — at least one sub-master rank "
+            "in 1.." +
+            std::to_string(masters) + " must stay alive");
+      }
+    }
+    bool all_workers = true;
+    for (int w = first_worker; w < p && all_workers; ++w) {
+      all_workers = crashed[static_cast<std::size_t>(w)];
+    }
+    if (all_workers) {
+      throw std::invalid_argument(
+          "FaultPlan: crashing all worker ranks " +
+          std::to_string(first_worker) + ".." + std::to_string(p - 1) +
+          " is unsurvivable — at least one worker must stay alive");
     }
   }
 };

@@ -19,10 +19,36 @@
 //   - A wall-clock phase deadline turns a hung phase into an attributed
 //     RankError instead of a silent hang.
 //
+// Hierarchical mode (MwOptions::masters >= 2) adds a two-level master tree
+// that removes the single-master admit bottleneck AND its single point of
+// failure:
+//
+//   rank 0            the ROOT: owns the authoritative result state and an
+//                     append-only event log; folds only the events the
+//                     sub-masters forward.
+//   ranks 1..M        SUB-MASTERS: each runs the full resilient master
+//                     engine over its worker shard, admitting/filtering
+//                     locally against a local state replica, and forwards
+//                     only the verdicts that CHANGED its replica — the
+//                     cross-shard union events — to the root as
+//                     seq-numbered idempotent records (one batch per
+//                     lockstep round).
+//   ranks M+1..p-1    workers, homed round-robin onto the sub-masters.
+//
+//   Sub-masters are FAILABLE. On sub-master death the root re-homes the
+//   shard's orphaned workers onto surviving sub-masters, reroutes every
+//   generation stream the shard owned for a full replay (from index 0 —
+//   safe by idempotence), and replays its forwarded event log onto the
+//   adopting shards through the standing sync channel, so no accepted
+//   union is ever lost and the final result state is bit-identical to the
+//   flat single-master run. A shard that loses every worker surrenders its
+//   streams to the root and stays alive as a quiescent spare that can
+//   adopt future orphans.
+//
 // Verdict APPLICATION order still follows message arrival, so a phase is
 // bit-identical under faults exactly when its apply is confluent (CCD's
-// union-find, DSD's keyed family slots) — see DESIGN.md §11 for the
-// per-phase guarantees.
+// union-find, DSD's keyed family slots) — see DESIGN.md §11/§13 for the
+// per-phase guarantees. Order-dependent phases (RR) must stay flat.
 #pragma once
 
 #include <algorithm>
@@ -33,9 +59,12 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "pclust/mpsim/communicator.hpp"
+#include "pclust/mpsim/fault_plan.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/trace.hpp"
 
@@ -48,11 +77,62 @@ enum class MwAdmit : std::uint8_t {
   kFiltered,    ///< skipped by the phase's cluster filter
 };
 
+/// Rank-tree shape of one protocol run. masters == 1 is the flat layout
+/// (rank 0 the single master); masters >= 2 is the two-level tree (rank 0
+/// the root, ranks 1..masters the sub-masters). Requires p >= masters + 2
+/// in hierarchical mode so at least one worker exists.
+struct MwTopology {
+  int p = 0;
+  int masters = 1;
+
+  [[nodiscard]] bool hierarchical() const { return masters >= 2; }
+  [[nodiscard]] int first_worker() const {
+    return hierarchical() ? masters + 1 : 1;
+  }
+  [[nodiscard]] int worker_count() const { return p - first_worker(); }
+  [[nodiscard]] bool is_submaster(int rank) const {
+    return hierarchical() && rank >= 1 && rank <= masters;
+  }
+  [[nodiscard]] bool is_worker(int rank) const {
+    return rank >= first_worker() && rank < p;
+  }
+  /// The master rank a worker reports to (round-robin homes in a tree).
+  [[nodiscard]] int submaster_of(int worker) const {
+    if (!hierarchical()) return 0;
+    return 1 + (worker - first_worker()) % masters;
+  }
+  /// Worker ranks homed on master rank @p m, ascending.
+  [[nodiscard]] std::vector<int> workers_of(int m) const {
+    std::vector<int> out;
+    if (!hierarchical()) {
+      if (m == 0) {
+        for (int w = 1; w < p; ++w) out.push_back(w);
+      }
+      return out;
+    }
+    for (int w = first_worker(); w < p; ++w) {
+      if (submaster_of(w) == m) out.push_back(w);
+    }
+    return out;
+  }
+  /// Human-readable level of a rank, used by reports and RankError
+  /// attribution ("master"/"worker" flat; "root"/"sub-master"/"worker").
+  [[nodiscard]] const char* level_of(int rank) const {
+    if (!hierarchical()) return rank == 0 ? "master" : "worker";
+    if (rank == 0) return "root";
+    return rank <= masters ? "sub-master" : "worker";
+  }
+};
+
 struct MwOptions {
   /// Phase label for fault events and errors (e.g. "rr", "ccd", "dsd").
   std::string phase = "mw";
   /// Process-metrics key prefix (e.g. "pace" keeps the PR-2 metric names).
   std::string metrics_prefix = "mw";
+  /// Master ranks: 1 = flat single master (the default, byte-identical to
+  /// the pre-hierarchy protocol); >= 2 = two-level master tree (see file
+  /// comment). Workers derive their home sub-master from this.
+  int masters = 1;
   /// Tasks per worker->master submission and per master->worker chunk.
   std::size_t batch_size = 256;
   /// Batches a worker submits per protocol round (>= 1).
@@ -64,13 +144,18 @@ struct MwOptions {
   std::uint32_t heartbeat_retries = 2;
   /// Timeout multiplier per heartbeat retry.
   double heartbeat_backoff = 2.0;
+  /// Ceiling on the backed-off per-retry timeout, wall seconds; 0 leaves
+  /// the exponential growth uncapped (the pre-ceiling behaviour).
+  double heartbeat_max_timeout = 0.0;
   /// Whole-phase WALL-clock watchdog, seconds; 0 disables. On expiry the
   /// master throws PhaseDeadlineExceeded, which surfaces as a RankError
-  /// attributed to this phase.
+  /// attributed to this phase. The deadline is also checked at every
+  /// heartbeat-retry boundary, so a retry ladder cannot overshoot it.
   double deadline_seconds = 0.0;
   /// Wire-size estimates for the virtual clock (bytes per element).
   std::uint64_t task_bytes = 16;
   std::uint64_t verdict_bytes = 8;
+  std::uint64_t event_bytes = 16;   // sub-master -> root union event
   std::uint64_t header_bytes = 25;  // seq + stream ids + flags
 };
 
@@ -81,9 +166,10 @@ class PhaseDeadlineExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Master-side protocol statistics, returned by mw_master_loop. The caller
-/// maps them onto its phase counters (they are protocol-level quantities:
-/// every submitted task is exactly one of duplicate/filtered/dispatched).
+/// Master-side protocol statistics, returned by mw_master_loop and
+/// mw_submaster_loop. The caller maps them onto its phase counters (they
+/// are protocol-level quantities: every submitted task is exactly one of
+/// duplicate/filtered/dispatched).
 struct MwMasterStats {
   std::uint64_t submitted = 0;
   std::uint64_t duplicates = 0;
@@ -112,14 +198,48 @@ struct MwWorker {
       evaluate;
 };
 
+/// Sub-master hooks (hierarchical mode). `admit` triages against the LOCAL
+/// shard replica; `resolve` folds a worker verdict into the replica and
+/// returns true when it changed the state (the verdict is then forwarded
+/// to the root as a union event); `learn` folds a root-synced event from
+/// another shard into the replica. All run on the sub-master rank only.
+template <typename Task, typename Verdict>
+struct MwShard {
+  std::function<MwAdmit(const Task&)> admit;
+  std::function<bool(const Verdict&)> resolve;
+  std::function<void(const Verdict&)> learn;
+};
+
+/// Root hooks (hierarchical mode): folds one forwarded union event into the
+/// authoritative result state. Must be idempotent — event replay after a
+/// sub-master death re-applies records.
+template <typename Verdict>
+struct MwRoot {
+  std::function<void(const Verdict&)> apply;
+};
+
+/// Root-side hierarchy statistics, returned by mw_root_loop.
+struct MwRootStats {
+  std::uint64_t events_applied = 0;    ///< union events folded at the root
+  std::uint64_t events_synced = 0;     ///< event-log records shipped down
+  std::uint64_t submasters_failed = 0;
+  std::uint64_t submasters_timed_out = 0;
+  std::uint64_t workers_rehomed = 0;   ///< orphans moved to a new shard
+  std::uint64_t streams_rerouted = 0;  ///< full-replay stream grants
+};
+
 namespace detail {
 
 constexpr int kMwTagRound = 1;
 constexpr int kMwTagWork = 2;
+constexpr int kMwTagBatch = 3;    // sub-master -> root, one per round
+constexpr int kMwTagControl = 4;  // root -> sub-master reply
+constexpr int kMwTagRehome = 5;   // root -> orphaned worker
 
 /// A generation stream a worker must (re)play after its original owner
 /// died: origin's stream starting at task index @p from (the master's
-/// received watermark).
+/// received watermark; 0 for cross-shard reroutes, whose new shard has no
+/// watermark — the full replay is absorbed by admit dedup).
 struct MwStreamAssign {
   int origin = -1;
   std::uint64_t from = 0;
@@ -144,6 +264,32 @@ struct MwWorkMsg {
   bool done = false;
 };
 
+/// One lockstep round's worth of shard state, sub-master -> root.
+template <typename Verdict>
+struct MwBatchMsg {
+  std::uint64_t seq = 0;  // per-shard batch number, 1-based
+  std::vector<Verdict> events;  // verdicts that changed the shard replica
+  bool quiescent = false;       // shard has no pending/outstanding work
+  std::vector<int> workers_lost;  // ranks observed dead this round
+  std::vector<MwStreamAssign> surrendered;  // streams with no worker left
+};
+
+/// Root -> sub-master reply closing one lockstep round.
+template <typename Verdict>
+struct MwControlMsg {
+  std::uint64_t seq = 0;  // per-shard control number, 1-based
+  bool done = false;
+  std::vector<int> adopt_workers;  // orphans re-homed onto this shard
+  std::vector<MwStreamAssign> adopt_streams;  // streams to replay here
+  std::vector<Verdict> sync;  // event-log records from other shards
+};
+
+/// Root -> orphaned worker: your sub-master died; report to new_master.
+struct MwRehomeMsg {
+  std::uint64_t seq = 0;  // per-worker rehome number, 1-based
+  int new_master = -1;
+};
+
 /// Virtual-time trace instant on the current phase timeline (tid = rank).
 inline void mw_trace_event(const Communicator& comm, std::string_view name,
                            std::string_view cat) {
@@ -152,24 +298,196 @@ inline void mw_trace_event(const Communicator& comm, std::string_view name,
                        comm.clock().now() * 1e6);
 }
 
-}  // namespace detail
-
-/// Run the resilient master loop on rank 0. Returns once every live worker
-/// is exhausted and every dispatched chunk is acknowledged. Throws
-/// std::runtime_error when every worker died, PhaseDeadlineExceeded when
-/// the watchdog fires.
+/// The resilient master engine over one set of worker ranks: receive one
+/// round per live worker (heartbeat retry/backoff, death healing), admit
+/// and queue tasks, apply verdicts, dispatch bounded chunks. Used directly
+/// by the flat master (workers = 1..p-1, no-survivor => error) and by each
+/// sub-master (its shard's workers, no-survivor => surrender the streams
+/// to the root). A faithful extraction of the PR-2 flat loop: the flat
+/// message pattern, charges, notes, and metrics are unchanged.
 template <typename Task, typename Verdict>
-MwMasterStats mw_master_loop(Communicator& comm, const MwOptions& opt,
-                             const MwMaster<Task, Verdict>& hooks) {
-  using RoundMsg = detail::MwRoundMsg<Task, Verdict>;
-  using WorkMsg = detail::MwWorkMsg<Task>;
-  const int p = comm.size();
-  const auto all_dead_error = [&] {
-    return std::runtime_error(opt.phase +
-                              ": all workers failed; cannot complete the "
-                              "phase");
-  };
+class MwMasterEngine {
+ public:
+  using RoundMsg = MwRoundMsg<Task, Verdict>;
+  using WorkMsg = MwWorkMsg<Task>;
 
+  MwMasterEngine(Communicator& comm, const MwOptions& opt,
+                 std::vector<int> workers, bool surrender,
+                 std::function<MwAdmit(const Task&)> admit,
+                 std::function<void(const Verdict&)> apply)
+      : comm_(comm),
+        opt_(opt),
+        surrender_(surrender),
+        admit_(std::move(admit)),
+        apply_(std::move(apply)),
+        ws_(static_cast<std::size_t>(comm.size())),
+        received_(static_cast<std::size_t>(comm.size()), 0),
+        workers_(std::move(workers)),
+        metric_requeued_(
+            util::metrics().counter(opt.metrics_prefix + ".pairs_requeued")),
+        metric_adopted_(
+            util::metrics().counter(opt.metrics_prefix + ".streams_adopted")),
+        metric_surrendered_(util::metrics().counter(opt.metrics_prefix +
+                                                    ".streams_surrendered")),
+        metric_failed_(
+            util::metrics().counter(opt.metrics_prefix + ".workers_failed")),
+        metric_timed_out_(util::metrics().counter(opt.metrics_prefix +
+                                                  ".workers_timed_out")),
+        metric_link_retries_(
+            util::metrics().counter(opt.metrics_prefix + ".link_retries")),
+        queue_depth_(
+            util::metrics().gauge(opt.metrics_prefix + ".master.queue_depth")),
+        batch_sizes_(
+            util::metrics().histogram(opt.metrics_prefix + ".work_batch_size")),
+        wall_start_(std::chrono::steady_clock::now()) {
+    std::sort(workers_.begin(), workers_.end());
+    for (const int w : workers_) {
+      ws_[static_cast<std::size_t>(w)].streams = {w};
+    }
+    alive_ = static_cast<int>(workers_.size());
+  }
+
+  [[nodiscard]] const MwMasterStats& stats() const { return stats_; }
+  [[nodiscard]] bool has_live_worker() const { return alive_ > 0; }
+
+  [[nodiscard]] bool deadline_expired() const {
+    if (opt_.deadline_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - wall_start_;
+    return elapsed.count() > opt_.deadline_seconds;
+  }
+
+  void check_deadline() const {
+    if (!deadline_expired()) return;
+    throw PhaseDeadlineExceeded(
+        opt_.phase + ": phase deadline of " +
+        std::to_string(opt_.deadline_seconds) +
+        "s exceeded (possible hung rank); master virtual time " +
+        std::to_string(comm_.clock().now()) + "s");
+  }
+
+  /// Receive and fold in this round's submissions from live workers (rank
+  /// ascending). Heals observed deaths. Throws when every worker died and
+  /// the engine is not in surrender mode.
+  void receive_rounds() {
+    for (const int w : workers_) {
+      if (ws_[static_cast<std::size_t>(w)].alive) receive_one(w);
+    }
+    if (!surrender_ && alive_ == 0) throw all_dead_error();
+    queue_depth_.set(pending_.size());
+  }
+
+  /// True when no work remains anywhere: empty FIFO, every live worker
+  /// exhausted with nothing outstanding and no pending stream adoption.
+  [[nodiscard]] bool quiescent() const {
+    bool done = pending_.empty();
+    for (std::size_t i = 0; done && i < workers_.size(); ++i) {
+      const WorkerState& state =
+          ws_[static_cast<std::size_t>(workers_[i])];
+      if (!state.alive) continue;
+      done = state.exhausted && state.outstanding_seq == 0 &&
+             state.adopt.empty();
+    }
+    return done;
+  }
+
+  /// Hand out the next chunks (empty + done on the final round).
+  void dispatch(bool done) {
+    for (const int w : workers_) {
+      WorkerState& state = ws_[static_cast<std::size_t>(w)];
+      if (!state.alive) continue;
+      WorkMsg work;
+      work.seq = ++state.work_seq;
+      work.done = done;
+      work.adopt = std::move(state.adopt);
+      state.adopt.clear();
+      if (!done && state.outstanding_seq == 0) {
+        while (!pending_.empty() && work.tasks.size() < opt_.batch_size) {
+          work.tasks.push_back(pending_.front());
+          pending_.pop_front();
+        }
+      }
+      if (!work.tasks.empty()) {
+        state.outstanding = work.tasks;
+        state.outstanding_seq = work.seq;
+        batch_sizes_.add(work.tasks.size());
+      }
+      stats_.dispatched += work.tasks.size();
+      const std::uint64_t bytes =
+          work.tasks.size() * opt_.task_bytes + opt_.header_bytes;
+      comm_.send(w, kMwTagWork, std::any(std::move(work)), bytes);
+    }
+  }
+
+  /// Adopt a re-homed orphan worker (hierarchical failover). The orphan
+  /// joins with no streams — the root reroutes the dead shard's streams
+  /// separately — and fresh protocol sequence state on both sides.
+  void add_worker(int w) {
+    WorkerState& state = ws_[static_cast<std::size_t>(w)];
+    if (state.alive &&
+        std::find(workers_.begin(), workers_.end(), w) != workers_.end()) {
+      return;  // duplicated grant
+    }
+    state = WorkerState{};
+    state.streams.clear();
+    const auto at =
+        std::lower_bound(workers_.begin(), workers_.end(), w);
+    if (at == workers_.end() || *at != w) workers_.insert(at, w);
+    ++alive_;
+    comm_.note(opt_.phase + ": orphan worker rank " + std::to_string(w) +
+               " adopted by sub-master rank " + std::to_string(comm_.rank()) +
+               " at vt=" + std::to_string(comm_.clock().now()) + "s");
+    mw_trace_event(comm_, "worker_adopted", "heal");
+  }
+
+  /// Assign origin's generation stream (replay from @p from) to the
+  /// least-loaded live worker; with no survivor, surrender it to the root
+  /// (surrender mode) or fail the phase (flat mode).
+  void assign_stream(int origin, std::uint64_t from) {
+    int target = -1;
+    for (const int w : workers_) {
+      WorkerState& cand = ws_[static_cast<std::size_t>(w)];
+      if (!cand.alive) continue;
+      if (target < 0 ||
+          cand.streams.size() <
+              ws_[static_cast<std::size_t>(target)].streams.size()) {
+        target = w;
+      }
+    }
+    if (target < 0) {
+      if (!surrender_) throw all_dead_error();
+      surrendered_.push_back(MwStreamAssign{origin, 0});
+      comm_.count("streams_surrendered");
+      metric_surrendered_.add(1);
+      comm_.note(opt_.phase + ": stream of rank " + std::to_string(origin) +
+                 " surrendered to the root (no surviving worker in this "
+                 "shard) at vt=" +
+                 std::to_string(comm_.clock().now()) + "s");
+      mw_trace_event(comm_, "stream_surrendered", "heal");
+      return;
+    }
+    WorkerState& t = ws_[static_cast<std::size_t>(target)];
+    t.streams.push_back(origin);
+    t.adopt.push_back(MwStreamAssign{origin, from});
+    t.exhausted = false;  // new tasks are (potentially) coming
+    comm_.count("streams_adopted");
+    metric_adopted_.add(1);
+    comm_.note(opt_.phase + ": stream of rank " + std::to_string(origin) +
+               " adopted by rank " + std::to_string(target) + " at vt=" +
+               std::to_string(comm_.clock().now()) + "s");
+    mw_trace_event(comm_, "stream_adopted", "heal");
+  }
+
+  /// Ranks observed dead since the last call (for MwBatchMsg reporting).
+  std::vector<int> take_workers_lost() {
+    return std::exchange(workers_lost_, {});
+  }
+  /// Streams surrendered since the last call (no surviving shard worker).
+  std::vector<MwStreamAssign> take_surrendered() {
+    return std::exchange(surrendered_, {});
+  }
+
+ private:
   struct WorkerState {
     bool alive = true;
     bool exhausted = false;
@@ -178,73 +496,329 @@ MwMasterStats mw_master_loop(Communicator& comm, const MwOptions& opt,
     std::uint64_t outstanding_seq = 0;  // unacked chunk's seq (0 = none)
     std::vector<Task> outstanding;      // its tasks, requeued on death
     std::vector<int> streams;           // generation streams assigned here
-    std::vector<detail::MwStreamAssign> adopt;  // ship with next WorkMsg
+    std::vector<MwStreamAssign> adopt;  // ship with next WorkMsg
   };
-  std::vector<WorkerState> ws(static_cast<std::size_t>(p));
-  // received[origin]: tasks [0, received) of origin's stream have reached
-  // the master; a post-crash replay starts here.
-  std::vector<std::uint64_t> received(static_cast<std::size_t>(p), 0);
-  for (int w = 1; w < p; ++w) ws[static_cast<std::size_t>(w)].streams = {w};
-  int alive_workers = p - 1;
 
-  std::deque<Task> pending;
-  MwMasterStats stats;
-  auto& metric_requeued =
-      util::metrics().counter(opt.metrics_prefix + ".pairs_requeued");
-  auto& metric_adopted =
-      util::metrics().counter(opt.metrics_prefix + ".streams_adopted");
-  auto& metric_failed =
-      util::metrics().counter(opt.metrics_prefix + ".workers_failed");
-  auto& metric_timed_out =
-      util::metrics().counter(opt.metrics_prefix + ".workers_timed_out");
-  auto& metric_link_retries =
-      util::metrics().counter(opt.metrics_prefix + ".link_retries");
-  auto& queue_depth =
-      util::metrics().gauge(opt.metrics_prefix + ".master.queue_depth");
-  auto& batch_sizes =
-      util::metrics().histogram(opt.metrics_prefix + ".work_batch_size");
+  [[nodiscard]] std::runtime_error all_dead_error() const {
+    return std::runtime_error(opt_.phase +
+                              ": all workers failed; cannot complete the "
+                              "phase");
+  }
 
   // Self-healing: requeue the dead worker's unacked chunk ahead of the
   // FIFO and hand each of its generation streams to the least-loaded
   // survivor, which replays it from the received watermark. The admit
   // hook's dedup and idempotent verdict application swallow any replay
-  // overlap.
-  const auto reassign = [&](int dead) {
-    WorkerState& d = ws[static_cast<std::size_t>(dead)];
-    comm.count("pairs_requeued", d.outstanding.size());
-    metric_requeued.add(d.outstanding.size());
+  // overlap. With no survivor a surrender-mode engine hands the streams
+  // (and implicitly its dropped FIFO — replay re-derives every queued
+  // task) back to the root.
+  void reassign(int dead) {
+    WorkerState& d = ws_[static_cast<std::size_t>(dead)];
+    comm_.count("pairs_requeued", d.outstanding.size());
+    metric_requeued_.add(d.outstanding.size());
     for (auto it = d.outstanding.rbegin(); it != d.outstanding.rend(); ++it) {
-      pending.push_front(*it);
+      pending_.push_front(*it);
     }
     d.outstanding.clear();
     d.outstanding_seq = 0;
     for (const int origin : d.streams) {
-      int target = -1;
-      for (int w = 1; w < p; ++w) {
-        WorkerState& cand = ws[static_cast<std::size_t>(w)];
-        if (!cand.alive) continue;
-        if (target < 0 ||
-            cand.streams.size() <
-                ws[static_cast<std::size_t>(target)].streams.size()) {
-          target = w;
-        }
-      }
-      if (target < 0) throw all_dead_error();
-      WorkerState& t = ws[static_cast<std::size_t>(target)];
-      t.streams.push_back(origin);
-      t.adopt.push_back(detail::MwStreamAssign{
-          origin, received[static_cast<std::size_t>(origin)]});
-      t.exhausted = false;  // new tasks are (potentially) coming
-      comm.count("streams_adopted");
-      metric_adopted.add(1);
-      comm.note(opt.phase + ": stream of rank " + std::to_string(origin) +
-                " adopted by rank " + std::to_string(target) + " at vt=" +
-                std::to_string(comm.clock().now()) + "s");
-      detail::mw_trace_event(comm, "stream_adopted", "heal");
+      assign_stream(origin, received_[static_cast<std::size_t>(origin)]);
     }
     d.streams.clear();
     d.exhausted = true;  // nothing more expected from it
+    workers_lost_.push_back(dead);
+    if (surrender_ && alive_ == 0 && !pending_.empty()) {
+      comm_.note(opt_.phase + ": dropping " +
+                 std::to_string(pending_.size()) +
+                 " queued tasks; the root re-derives them from the "
+                 "surrendered streams (vt=" +
+                 std::to_string(comm_.clock().now()) + "s)");
+      pending_.clear();
+    }
+  }
+
+  void receive_one(int w) {
+    WorkerState& state = ws_[static_cast<std::size_t>(w)];
+    RoundMsg round;
+    bool have_round = false;
+    for (;;) {
+      mpsim::Message msg;
+      // Bounded retry with exponential backoff (optionally capped) before a
+      // silent worker is declared dead: a timeout may be a transient stall,
+      // not a death.
+      double timeout =
+          opt_.heartbeat_timeout > 0 ? opt_.heartbeat_timeout : -1.0;
+      RecvStatus st = comm_.recv_status(w, kMwTagRound, msg, timeout);
+      for (std::uint32_t attempt = 0;
+           st == RecvStatus::kTimeout && attempt < opt_.heartbeat_retries;
+           ++attempt) {
+        // A retry ladder must not silently overshoot the phase watchdog:
+        // re-check the deadline at every retry boundary so the failure is
+        // attributed to the deadline, not buried in another backoff.
+        if (deadline_expired()) {
+          throw PhaseDeadlineExceeded(
+              opt_.phase + ": phase deadline of " +
+              std::to_string(opt_.deadline_seconds) +
+              "s exceeded at a heartbeat-retry boundary on link " +
+              std::to_string(comm_.rank()) + "<-" + std::to_string(w) +
+              " (after retry " + std::to_string(attempt) + " of " +
+              std::to_string(opt_.heartbeat_retries) +
+              "); master virtual time " +
+              std::to_string(comm_.clock().now()) + "s");
+        }
+        comm_.count("link_timeout_retries");
+        metric_link_retries_.add(1);
+        comm_.note(opt_.phase + ": link " + std::to_string(comm_.rank()) +
+                   "<-" + std::to_string(w) + " timed out after " +
+                   std::to_string(timeout) + "s (retry " +
+                   std::to_string(attempt + 1) + " of " +
+                   std::to_string(opt_.heartbeat_retries) + ", vt=" +
+                   std::to_string(comm_.clock().now()) + "s)");
+        timeout *= opt_.heartbeat_backoff;
+        if (opt_.heartbeat_max_timeout > 0.0) {
+          timeout = std::min(timeout, opt_.heartbeat_max_timeout);
+        }
+        st = comm_.recv_status(w, kMwTagRound, msg, timeout);
+      }
+      if (st == RecvStatus::kOk) {
+        round = msg.take<RoundMsg>();
+        // A duplicated delivery replays an old seq: skip it. The fresh
+        // copy (or the rank-failed mark) is guaranteed to follow.
+        if (round.seq <= state.last_round_seq) continue;
+        state.last_round_seq = round.seq;
+        have_round = true;
+      } else {
+        state.alive = false;
+        --alive_;
+        if (st == RecvStatus::kTimeout) {
+          // The rank may merely be hung; a final done message releases
+          // it if it ever wakes, so the run can still terminate.
+          WorkMsg bye;
+          bye.seq = ++state.work_seq;
+          bye.done = true;
+          comm_.send(w, kMwTagWork, std::any(std::move(bye)),
+                     opt_.header_bytes);
+          comm_.count("workers_timed_out");
+          metric_timed_out_.add(1);
+          comm_.note(opt_.phase + ": worker rank " + std::to_string(w) +
+                     " declared dead after heartbeat timeout on link " +
+                     std::to_string(comm_.rank()) + "<-" +
+                     std::to_string(w) + " (vt=" +
+                     std::to_string(comm_.clock().now()) + "s)");
+          mw_trace_event(comm_, "worker_timed_out", "heal");
+        } else {
+          comm_.count("workers_failed");
+          metric_failed_.add(1);
+          comm_.note(opt_.phase + ": worker rank " + std::to_string(w) +
+                     " failed; requeueing " +
+                     std::to_string(state.outstanding.size()) +
+                     " outstanding tasks (vt=" +
+                     std::to_string(comm_.clock().now()) + "s)");
+          mw_trace_event(comm_, "worker_failed", "heal");
+        }
+        reassign(w);
+      }
+      break;
+    }
+    if (!have_round) return;
+
+    state.exhausted = round.exhausted;
+    if (round.ack_seq != 0 && round.ack_seq == state.outstanding_seq) {
+      state.outstanding.clear();
+      state.outstanding_seq = 0;
+    }
+    for (const Verdict& v : round.verdicts) {
+      comm_.charge_finds(1);
+      apply_(v);
+    }
+    if (round.stream >= 0) {
+      std::uint64_t& mark = received_[static_cast<std::size_t>(round.stream)];
+      mark = std::max(mark, round.start + round.tasks.size());
+    }
+    for (const Task& task : round.tasks) {
+      ++stats_.submitted;
+      comm_.charge_finds(1);
+      switch (admit_(task)) {
+        case MwAdmit::kDuplicate:
+          ++stats_.duplicates;
+          break;
+        case MwAdmit::kFiltered:
+          ++stats_.filtered;
+          break;
+        case MwAdmit::kQueue:
+          pending_.push_back(task);
+          break;
+      }
+    }
+  }
+
+  Communicator& comm_;
+  const MwOptions& opt_;
+  bool surrender_;
+  std::function<MwAdmit(const Task&)> admit_;
+  std::function<void(const Verdict&)> apply_;
+  std::vector<WorkerState> ws_;
+  // received_[origin]: tasks [0, received_) of origin's stream have reached
+  // this master; a post-crash intra-shard replay starts here.
+  std::vector<std::uint64_t> received_;
+  std::vector<int> workers_;  // this engine's worker ranks, ascending
+  int alive_ = 0;
+  std::deque<Task> pending_;
+  MwMasterStats stats_;
+  std::vector<int> workers_lost_;
+  std::vector<MwStreamAssign> surrendered_;
+  util::Counter& metric_requeued_;
+  util::Counter& metric_adopted_;
+  util::Counter& metric_surrendered_;
+  util::Counter& metric_failed_;
+  util::Counter& metric_timed_out_;
+  util::Counter& metric_link_retries_;
+  util::Gauge& queue_depth_;
+  util::SizeHistogram& batch_sizes_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace detail
+
+/// Run the resilient master loop on rank 0 (flat mode, masters == 1).
+/// Returns once every live worker is exhausted and every dispatched chunk
+/// is acknowledged. Throws std::runtime_error when every worker died,
+/// PhaseDeadlineExceeded when the watchdog fires.
+template <typename Task, typename Verdict>
+MwMasterStats mw_master_loop(Communicator& comm, const MwOptions& opt,
+                             const MwMaster<Task, Verdict>& hooks) {
+  std::vector<int> workers;
+  workers.reserve(static_cast<std::size_t>(comm.size() - 1));
+  for (int w = 1; w < comm.size(); ++w) workers.push_back(w);
+  detail::MwMasterEngine<Task, Verdict> engine(
+      comm, opt, std::move(workers), /*surrender=*/false, hooks.admit,
+      hooks.apply);
+  bool done = false;
+  while (!done) {
+    engine.check_deadline();
+    engine.receive_rounds();
+    done = engine.quiescent();
+    engine.dispatch(done);
+  }
+  return engine.stats();
+}
+
+/// Run one sub-master (ranks 1..masters, hierarchical mode): the resilient
+/// master engine over this shard's workers, plus one lockstep batch/control
+/// exchange with the root per round. Returns this shard's protocol stats.
+template <typename Task, typename Verdict>
+MwMasterStats mw_submaster_loop(Communicator& comm, const MwOptions& opt,
+                                const MwTopology& topo,
+                                const MwShard<Task, Verdict>& hooks) {
+  using BatchMsg = detail::MwBatchMsg<Verdict>;
+  using ControlMsg = detail::MwControlMsg<Verdict>;
+  auto& metric_forwarded =
+      util::metrics().counter(opt.metrics_prefix + ".events_forwarded");
+  std::vector<Verdict> outbox;
+  detail::MwMasterEngine<Task, Verdict> engine(
+      comm, opt, topo.workers_of(comm.rank()), /*surrender=*/true,
+      hooks.admit, [&](const Verdict& v) {
+        if (hooks.resolve(v)) outbox.push_back(v);
+      });
+  std::uint64_t batch_seq = 0;
+  std::uint64_t last_control_seq = 0;
+  for (;;) {
+    engine.receive_rounds();
+
+    BatchMsg batch;
+    batch.seq = ++batch_seq;
+    batch.events = std::move(outbox);
+    outbox.clear();
+    batch.quiescent = engine.quiescent();
+    batch.workers_lost = engine.take_workers_lost();
+    batch.surrendered = engine.take_surrendered();
+    comm.count("events_forwarded", batch.events.size());
+    metric_forwarded.add(batch.events.size());
+    const std::uint64_t up_bytes =
+        batch.events.size() * opt.event_bytes + opt.header_bytes;
+    comm.send(0, detail::kMwTagBatch, std::any(std::move(batch)), up_bytes);
+
+    ControlMsg ctl;
+    do {  // skip duplicated deliveries (stale seq)
+      ctl = comm.recv(0, detail::kMwTagControl).template take<ControlMsg>();
+    } while (ctl.seq <= last_control_seq);
+    last_control_seq = ctl.seq;
+
+    for (const Verdict& v : ctl.sync) {
+      comm.charge_finds(1);
+      hooks.learn(v);
+    }
+    for (const int w : ctl.adopt_workers) engine.add_worker(w);
+    for (const detail::MwStreamAssign& a : ctl.adopt_streams) {
+      engine.assign_stream(a.origin, a.from);
+    }
+    engine.dispatch(ctl.done);
+    if (ctl.done) break;
+  }
+  return engine.stats();
+}
+
+/// Run the root loop on rank 0 (hierarchical mode): receive one batch per
+/// live sub-master per round (heartbeat retry/backoff like the worker
+/// links), fold the forwarded union events into the authoritative state
+/// and the append-only event log, heal sub-master deaths (re-home orphans,
+/// reroute streams for full replay, replay the log through the standing
+/// sync channel), and decide global quiescence. Throws std::runtime_error
+/// when every sub-master (or every worker) died, PhaseDeadlineExceeded
+/// when the watchdog fires.
+template <typename Verdict>
+MwRootStats mw_root_loop(Communicator& comm, const MwOptions& opt,
+                         const MwTopology& topo,
+                         const MwRoot<Verdict>& hooks) {
+  using BatchMsg = detail::MwBatchMsg<Verdict>;
+  using ControlMsg = detail::MwControlMsg<Verdict>;
+  const int masters = topo.masters;
+
+  struct Shard {
+    bool alive = true;
+    bool quiescent = false;
+    std::uint64_t last_batch_seq = 0;  // highest BatchMsg seq consumed
+    std::uint64_t control_seq = 0;     // seq of the last ControlMsg sent
+    std::vector<int> members;   // believed-live worker ranks homed here
+    std::vector<int> origins;   // generation-stream origins owned here
+    std::vector<int> grant_workers;  // orphans to announce next control
+    std::vector<detail::MwStreamAssign> grant_streams;
+    std::size_t sync_mark = 0;  // log index already shipped to this shard
   };
+  std::vector<Shard> shards(static_cast<std::size_t>(masters) + 1);
+  for (int m = 1; m <= masters; ++m) {
+    shards[static_cast<std::size_t>(m)].members = topo.workers_of(m);
+    shards[static_cast<std::size_t>(m)].origins = topo.workers_of(m);
+  }
+  int alive_shards = masters;
+
+  // The forwarded-event log: every union event ever applied at the root,
+  // with its origin shard. Replayed (origin-filtered) down the sync
+  // channel so shard replicas converge and adopters inherit the state of
+  // the dead.
+  struct LogEntry {
+    Verdict event;
+    int origin;
+  };
+  std::vector<LogEntry> log;
+  std::vector<std::uint64_t> rehome_seq(
+      static_cast<std::size_t>(comm.size()), 0);
+
+  MwRootStats stats;
+  auto& metric_applied =
+      util::metrics().counter(opt.metrics_prefix + ".events_applied");
+  auto& metric_synced =
+      util::metrics().counter(opt.metrics_prefix + ".events_synced");
+  auto& metric_sm_failed =
+      util::metrics().counter(opt.metrics_prefix + ".submasters_failed");
+  auto& metric_sm_timed_out =
+      util::metrics().counter(opt.metrics_prefix + ".submasters_timed_out");
+  auto& metric_rehomed =
+      util::metrics().counter(opt.metrics_prefix + ".workers_rehomed");
+  auto& metric_rerouted =
+      util::metrics().counter(opt.metrics_prefix + ".streams_rerouted");
+  auto& metric_link_retries =
+      util::metrics().counter(opt.metrics_prefix + ".link_retries");
 
   const auto wall_start = std::chrono::steady_clock::now();
   const auto deadline_expired = [&] {
@@ -252,6 +826,115 @@ MwMasterStats mw_master_loop(Communicator& comm, const MwOptions& opt,
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - wall_start;
     return elapsed.count() > opt.deadline_seconds;
+  };
+
+  // Deterministic round-robin cursors over live shards; stream reroutes
+  // additionally require a shard with at least one believed-live worker
+  // (granting a stream to a workerless spare would only bounce back).
+  int rehome_cursor = 0;
+  int reroute_cursor = 0;
+  const auto next_live_shard = [&](int& cursor, bool need_members) {
+    for (int i = 0; i < masters; ++i) {
+      const int m = 1 + (cursor + i) % masters;
+      const Shard& sh = shards[static_cast<std::size_t>(m)];
+      if (!sh.alive) continue;
+      if (need_members && sh.members.empty()) continue;
+      cursor = m % masters;
+      return m;
+    }
+    return -1;
+  };
+
+  const auto reroute_stream = [&](int origin) {
+    const int t = next_live_shard(reroute_cursor, /*need_members=*/true);
+    if (t < 0) {
+      throw std::runtime_error(
+          opt.phase + ": all workers failed; cannot complete the phase");
+    }
+    Shard& target = shards[static_cast<std::size_t>(t)];
+    // Full replay from index 0: the adopting shard has no received
+    // watermark for this stream; admit dedup and idempotent events absorb
+    // the overlap, and the replay re-derives any task the dead shard still
+    // had queued or outstanding.
+    target.grant_streams.push_back(detail::MwStreamAssign{origin, 0});
+    target.origins.push_back(origin);
+    ++stats.streams_rerouted;
+    comm.count("streams_rerouted");
+    metric_rerouted.add(1);
+    comm.note(opt.phase + ": stream of rank " + std::to_string(origin) +
+              " rerouted to sub-master rank " + std::to_string(t) +
+              " for full replay (vt=" + std::to_string(comm.clock().now()) +
+              "s)");
+    detail::mw_trace_event(comm, "stream_rerouted", "heal");
+  };
+
+  const auto shard_failed = [&](int s, bool timed_out) {
+    Shard& sh = shards[static_cast<std::size_t>(s)];
+    sh.alive = false;
+    --alive_shards;
+    if (timed_out) {
+      // May be merely hung: release it (and, through it, its workers) with
+      // a final done control if it ever wakes. Its workers are NOT
+      // re-homed — they exit with their master — so only the shard's
+      // streams move.
+      ControlMsg bye;
+      bye.seq = ++sh.control_seq;
+      bye.done = true;
+      comm.send(s, detail::kMwTagControl, std::any(std::move(bye)),
+                opt.header_bytes);
+      ++stats.submasters_timed_out;
+      comm.count("submasters_timed_out");
+      metric_sm_timed_out.add(1);
+      comm.note(opt.phase + ": sub-master rank " + std::to_string(s) +
+                " declared dead after heartbeat timeout on link 0<-" +
+                std::to_string(s) + "; releasing its " +
+                std::to_string(sh.members.size()) +
+                " workers and rerouting " + std::to_string(sh.origins.size()) +
+                " streams (vt=" + std::to_string(comm.clock().now()) + "s)");
+      detail::mw_trace_event(comm, "submaster_timed_out", "heal");
+    } else {
+      ++stats.submasters_failed;
+      comm.count("submasters_failed");
+      metric_sm_failed.add(1);
+      comm.note(opt.phase + ": sub-master rank " + std::to_string(s) +
+                " failed; re-homing " + std::to_string(sh.members.size()) +
+                " orphan workers, rerouting " +
+                std::to_string(sh.origins.size()) +
+                " streams, and replaying its event log (" +
+                std::to_string(log.size()) + " records total) (vt=" +
+                std::to_string(comm.clock().now()) + "s)");
+      detail::mw_trace_event(comm, "submaster_failed", "heal");
+    }
+    if (alive_shards == 0) {
+      throw std::runtime_error(
+          opt.phase + ": all sub-masters failed; cannot complete the phase");
+    }
+    if (!timed_out) {
+      for (const int w : sh.members) {
+        const int t = next_live_shard(rehome_cursor, /*need_members=*/false);
+        // t >= 1 is guaranteed: alive_shards > 0 was just checked.
+        detail::MwRehomeMsg go;
+        go.seq = ++rehome_seq[static_cast<std::size_t>(w)];
+        go.new_master = t;
+        comm.send(w, detail::kMwTagRehome, std::any(go), opt.header_bytes);
+        Shard& target = shards[static_cast<std::size_t>(t)];
+        target.grant_workers.push_back(w);
+        target.members.push_back(w);
+        ++stats.workers_rehomed;
+        comm.count("workers_rehomed");
+        metric_rehomed.add(1);
+        comm.note(opt.phase + ": orphan worker rank " + std::to_string(w) +
+                  " re-homed to sub-master rank " + std::to_string(t) +
+                  " (vt=" + std::to_string(comm.clock().now()) + "s)");
+        detail::mw_trace_event(comm, "worker_rehomed", "heal");
+      }
+    }
+    sh.members.clear();
+    sh.grant_workers.clear();
+    sh.grant_streams.clear();
+    const std::vector<int> origins = std::move(sh.origins);
+    sh.origins.clear();
+    for (const int origin : origins) reroute_stream(origin);
   };
 
   bool done = false;
@@ -264,151 +947,136 @@ MwMasterStats mw_master_loop(Communicator& comm, const MwOptions& opt,
           std::to_string(comm.clock().now()) + "s");
     }
 
-    // Receive and fold in this round's submissions from live workers.
-    for (int w = 1; w < p; ++w) {
-      WorkerState& state = ws[static_cast<std::size_t>(w)];
-      if (!state.alive) continue;
-
-      RoundMsg round;
-      bool have_round = false;
+    // Receive one batch per live shard, rank ascending.
+    for (int s = 1; s <= masters; ++s) {
+      Shard& sh = shards[static_cast<std::size_t>(s)];
+      if (!sh.alive) continue;
+      BatchMsg batch;
+      bool have = false;
       for (;;) {
         mpsim::Message msg;
-        // Bounded retry with exponential backoff before a silent worker is
-        // declared dead: a timeout may be a transient stall, not a death.
         double timeout =
             opt.heartbeat_timeout > 0 ? opt.heartbeat_timeout : -1.0;
-        RecvStatus st = comm.recv_status(w, detail::kMwTagRound, msg, timeout);
+        RecvStatus st =
+            comm.recv_status(s, detail::kMwTagBatch, msg, timeout);
         for (std::uint32_t attempt = 0;
              st == RecvStatus::kTimeout && attempt < opt.heartbeat_retries;
              ++attempt) {
+          if (deadline_expired()) {
+            throw PhaseDeadlineExceeded(
+                opt.phase + ": phase deadline of " +
+                std::to_string(opt.deadline_seconds) +
+                "s exceeded at a heartbeat-retry boundary on link 0<-" +
+                std::to_string(s) + " (after retry " +
+                std::to_string(attempt) + " of " +
+                std::to_string(opt.heartbeat_retries) +
+                "); master virtual time " +
+                std::to_string(comm.clock().now()) + "s");
+          }
           comm.count("link_timeout_retries");
           metric_link_retries.add(1);
-          comm.note(opt.phase + ": link 0<-" + std::to_string(w) +
+          comm.note(opt.phase + ": link 0<-" + std::to_string(s) +
                     " timed out after " + std::to_string(timeout) +
                     "s (retry " + std::to_string(attempt + 1) + " of " +
                     std::to_string(opt.heartbeat_retries) + ", vt=" +
                     std::to_string(comm.clock().now()) + "s)");
           timeout *= opt.heartbeat_backoff;
-          st = comm.recv_status(w, detail::kMwTagRound, msg, timeout);
+          if (opt.heartbeat_max_timeout > 0.0) {
+            timeout = std::min(timeout, opt.heartbeat_max_timeout);
+          }
+          st = comm.recv_status(s, detail::kMwTagBatch, msg, timeout);
         }
         if (st == RecvStatus::kOk) {
-          round = msg.take<RoundMsg>();
-          // A duplicated delivery replays an old seq: skip it. The fresh
-          // copy (or the rank-failed mark) is guaranteed to follow.
-          if (round.seq <= state.last_round_seq) continue;
-          state.last_round_seq = round.seq;
-          have_round = true;
+          batch = msg.take<BatchMsg>();
+          if (batch.seq <= sh.last_batch_seq) continue;  // duplicate
+          sh.last_batch_seq = batch.seq;
+          have = true;
         } else {
-          state.alive = false;
-          --alive_workers;
-          if (st == RecvStatus::kTimeout) {
-            // The rank may merely be hung; a final done message releases
-            // it if it ever wakes, so the run can still terminate.
-            WorkMsg bye;
-            bye.seq = ++state.work_seq;
-            bye.done = true;
-            comm.send(w, detail::kMwTagWork, std::any(std::move(bye)),
-                      opt.header_bytes);
-            comm.count("workers_timed_out");
-            metric_timed_out.add(1);
-            comm.note(opt.phase + ": worker rank " + std::to_string(w) +
-                      " declared dead after heartbeat timeout on link 0<-" +
-                      std::to_string(w) + " (vt=" +
-                      std::to_string(comm.clock().now()) + "s)");
-            detail::mw_trace_event(comm, "worker_timed_out", "heal");
-          } else {
-            comm.count("workers_failed");
-            metric_failed.add(1);
-            comm.note(opt.phase + ": worker rank " + std::to_string(w) +
-                      " failed; requeueing " +
-                      std::to_string(state.outstanding.size()) +
-                      " outstanding tasks (vt=" +
-                      std::to_string(comm.clock().now()) + "s)");
-            detail::mw_trace_event(comm, "worker_failed", "heal");
-          }
-          reassign(w);
+          shard_failed(s, st == RecvStatus::kTimeout);
         }
         break;
       }
-      if (!have_round) continue;
+      if (!have) continue;
 
-      state.exhausted = round.exhausted;
-      if (round.ack_seq != 0 && round.ack_seq == state.outstanding_seq) {
-        state.outstanding.clear();
-        state.outstanding_seq = 0;
-      }
-      for (const Verdict& v : round.verdicts) {
+      sh.quiescent = batch.quiescent;
+      for (const Verdict& v : batch.events) {
         comm.charge_finds(1);
         hooks.apply(v);
+        log.push_back(LogEntry{v, s});
+        ++stats.events_applied;
+        comm.count("events_applied");
+        metric_applied.add(1);
       }
-      if (round.stream >= 0) {
-        std::uint64_t& mark = received[static_cast<std::size_t>(round.stream)];
-        mark = std::max(mark, round.start + round.tasks.size());
+      for (const int w : batch.workers_lost) {
+        sh.members.erase(
+            std::remove(sh.members.begin(), sh.members.end(), w),
+            sh.members.end());
       }
-      for (const Task& task : round.tasks) {
-        ++stats.submitted;
-        comm.charge_finds(1);
-        switch (hooks.admit(task)) {
-          case MwAdmit::kDuplicate:
-            ++stats.duplicates;
-            break;
-          case MwAdmit::kFiltered:
-            ++stats.filtered;
-            break;
-          case MwAdmit::kQueue:
-            pending.push_back(task);
-            break;
-        }
+      for (const detail::MwStreamAssign& a : batch.surrendered) {
+        sh.origins.erase(
+            std::remove(sh.origins.begin(), sh.origins.end(), a.origin),
+            sh.origins.end());
+        reroute_stream(a.origin);
       }
     }
 
-    if (alive_workers == 0) throw all_dead_error();
-
-    queue_depth.set(pending.size());
-
-    done = pending.empty();
-    for (int w = 1; done && w < p; ++w) {
-      const WorkerState& state = ws[static_cast<std::size_t>(w)];
-      if (!state.alive) continue;
-      done = state.exhausted && state.outstanding_seq == 0 &&
-             state.adopt.empty();
+    // Global quiescence: every live shard reported done AND no grant is
+    // still in flight (grants issued this round are reflected in the NEXT
+    // round's batches, so deciding before granting is race-free).
+    done = true;
+    for (int s = 1; done && s <= masters; ++s) {
+      const Shard& sh = shards[static_cast<std::size_t>(s)];
+      if (!sh.alive) continue;
+      done = sh.quiescent && sh.grant_workers.empty() &&
+             sh.grant_streams.empty();
     }
 
-    // Hand out the next chunks (empty + done on the final round).
-    for (int w = 1; w < p; ++w) {
-      WorkerState& state = ws[static_cast<std::size_t>(w)];
-      if (!state.alive) continue;
-      WorkMsg work;
-      work.seq = ++state.work_seq;
-      work.done = done;
-      work.adopt = std::move(state.adopt);
-      state.adopt.clear();
-      if (!done && state.outstanding_seq == 0) {
-        while (!pending.empty() && work.tasks.size() < opt.batch_size) {
-          work.tasks.push_back(pending.front());
-          pending.pop_front();
+    // Close the round: one control per live shard with its grants and the
+    // event-log records it has not seen (origin-filtered).
+    for (int s = 1; s <= masters; ++s) {
+      Shard& sh = shards[static_cast<std::size_t>(s)];
+      if (!sh.alive) continue;
+      ControlMsg ctl;
+      ctl.seq = ++sh.control_seq;
+      ctl.done = done;
+      ctl.adopt_workers = std::move(sh.grant_workers);
+      sh.grant_workers.clear();
+      ctl.adopt_streams = std::move(sh.grant_streams);
+      sh.grant_streams.clear();
+      if (!done) {
+        for (std::size_t i = sh.sync_mark; i < log.size(); ++i) {
+          if (log[i].origin == s) continue;
+          ctl.sync.push_back(log[i].event);
         }
+        sh.sync_mark = log.size();
+        stats.events_synced += ctl.sync.size();
+        comm.count("events_synced", ctl.sync.size());
+        metric_synced.add(ctl.sync.size());
       }
-      if (!work.tasks.empty()) {
-        state.outstanding = work.tasks;
-        state.outstanding_seq = work.seq;
-        batch_sizes.add(work.tasks.size());
-      }
-      stats.dispatched += work.tasks.size();
-      const std::uint64_t bytes =
-          work.tasks.size() * opt.task_bytes + opt.header_bytes;
-      comm.send(w, detail::kMwTagWork, std::any(std::move(work)), bytes);
+      const std::uint64_t down_bytes =
+          ctl.sync.size() * opt.event_bytes +
+          ctl.adopt_streams.size() * 12 + ctl.adopt_workers.size() * 4 +
+          opt.header_bytes;
+      comm.send(s, detail::kMwTagControl, std::any(std::move(ctl)),
+                down_bytes);
     }
   }
   return stats;
 }
 
-/// Run the worker loop on ranks 1..p-1 until the master says done.
+/// Run the worker loop until the master says done. Flat mode (masters == 1)
+/// reports to rank 0 and treats a master death as fatal (RankFailedError).
+/// Hierarchical mode reports to the home sub-master; on its death the
+/// worker awaits the root's re-home directive, resets its protocol state,
+/// drops its local streams (the root reroutes the shard's streams for full
+/// replay elsewhere), and joins the new shard fresh.
 template <typename Task, typename Verdict>
 void mw_worker_loop(Communicator& comm, const MwOptions& opt,
                     const MwWorker<Task, Verdict>& hooks) {
   using RoundMsg = detail::MwRoundMsg<Task, Verdict>;
   using WorkMsg = detail::MwWorkMsg<Task>;
+  const MwTopology topo{comm.size(), opt.masters};
+  int master = topo.hierarchical() ? topo.submaster_of(comm.rank()) : 0;
 
   struct Stream {
     int origin;
@@ -446,40 +1114,104 @@ void mw_worker_loop(Communicator& comm, const MwOptions& opt,
 
   std::uint64_t seq_out = 0;
   std::uint64_t last_work_seq = 0;
+  std::uint64_t last_rehome_seq = 0;
   std::uint64_t ack = 0;
   std::vector<Verdict> verdicts;
-  while (true) {
-    RoundMsg round;
-    round.seq = ++seq_out;
-    for (Stream& s : streams) {
-      if (s.next >= s.tasks.size()) continue;
-      const std::size_t take =
-          std::min<std::size_t>(submit_cap, s.tasks.size() - s.next);
-      round.stream = s.origin;
-      round.start = s.next;
-      round.tasks.assign(
-          s.tasks.begin() + static_cast<std::ptrdiff_t>(s.next),
-          s.tasks.begin() + static_cast<std::ptrdiff_t>(s.next + take));
-      s.next += take;
+
+  // Hierarchical failover: the home sub-master died. Block on the root's
+  // re-home directive (skipping duplicated deliveries), then join the new
+  // shard with completely fresh per-link protocol state and no streams.
+  const auto rehome = [&] {
+    for (;;) {
+      mpsim::Message msg;
+      const RecvStatus st =
+          comm.recv_status(0, detail::kMwTagRehome, msg, -1.0);
+      if (st != RecvStatus::kOk) throw RankFailedError(0);
+      const auto go = msg.take<detail::MwRehomeMsg>();
+      if (go.seq <= last_rehome_seq) continue;
+      last_rehome_seq = go.seq;
+      master = go.new_master;
       break;
     }
-    round.exhausted =
-        std::all_of(streams.begin(), streams.end(), [](const Stream& s) {
-          return s.next >= s.tasks.size();
-        });
-    round.verdicts = std::move(verdicts);
-    verdicts.clear();
-    round.ack_seq = ack;
+    seq_out = 0;
+    last_work_seq = 0;
     ack = 0;
-    const std::uint64_t bytes = round.tasks.size() * opt.task_bytes +
-                                round.verdicts.size() * opt.verdict_bytes +
-                                opt.header_bytes;
-    comm.send(0, detail::kMwTagRound, std::any(std::move(round)), bytes);
+    verdicts.clear();
+    streams.clear();
+    comm.count("worker_rehomes");
+    comm.note(opt.phase + ": worker rank " + std::to_string(comm.rank()) +
+              " re-joined under sub-master rank " + std::to_string(master) +
+              " at vt=" + std::to_string(comm.clock().now()) + "s");
+    detail::mw_trace_event(comm, "rehomed", "heal");
+  };
+
+  // After a re-home the worker must NOT send an unprompted round: the new
+  // sub-master dispatches its first work message (carrying any stream
+  // grants) at adoption time, and an unprompted pre-adoption round would
+  // report exhausted=true with no streams — a stale quiescence signal that
+  // could convince the root the phase is done while the regenerated tasks
+  // are still in flight. Waiting for that first work message restores the
+  // flat protocol's lockstep (a round is only ever a response to work).
+  bool skip_round = false;
+  while (true) {
+    if (!skip_round) {
+      RoundMsg round;
+      round.seq = ++seq_out;
+      for (Stream& s : streams) {
+        if (s.next >= s.tasks.size()) continue;
+        const std::size_t take =
+            std::min<std::size_t>(submit_cap, s.tasks.size() - s.next);
+        round.stream = s.origin;
+        round.start = s.next;
+        round.tasks.assign(
+            s.tasks.begin() + static_cast<std::ptrdiff_t>(s.next),
+            s.tasks.begin() + static_cast<std::ptrdiff_t>(s.next + take));
+        s.next += take;
+        break;
+      }
+      round.exhausted =
+          std::all_of(streams.begin(), streams.end(), [](const Stream& s) {
+            return s.next >= s.tasks.size();
+          });
+      round.verdicts = std::move(verdicts);
+      verdicts.clear();
+      round.ack_seq = ack;
+      ack = 0;
+      const std::uint64_t bytes = round.tasks.size() * opt.task_bytes +
+                                  round.verdicts.size() * opt.verdict_bytes +
+                                  opt.header_bytes;
+      comm.send(master, detail::kMwTagRound, std::any(std::move(round)),
+                bytes);
+    }
+    skip_round = false;
 
     WorkMsg work;
-    do {  // skip duplicated deliveries (stale seq)
-      work = comm.recv(0, detail::kMwTagWork).template take<WorkMsg>();
-    } while (work.seq <= last_work_seq);
+    if (!topo.hierarchical()) {
+      do {  // skip duplicated deliveries (stale seq)
+        work = comm.recv(master, detail::kMwTagWork).template take<WorkMsg>();
+      } while (work.seq <= last_work_seq);
+    } else {
+      bool rehomed = false;
+      for (;;) {
+        mpsim::Message msg;
+        const RecvStatus st =
+            comm.recv_status(master, detail::kMwTagWork, msg, -1.0);
+        if (st == RecvStatus::kOk) {
+          work = msg.take<WorkMsg>();
+          if (work.seq <= last_work_seq) continue;  // stale duplicate
+          break;
+        }
+        rehome();
+        rehomed = true;
+        break;
+      }
+      if (rehomed) {
+        // The new sub-master speaks first (its adoption-time dispatch);
+        // answering with a round before hearing it would desync lockstep.
+        skip_round = true;
+        continue;
+      }
+    }
     last_work_seq = work.seq;
     for (const detail::MwStreamAssign& a : work.adopt) {
       add_stream(a.origin, a.from);

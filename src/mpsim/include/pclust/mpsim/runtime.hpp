@@ -22,25 +22,31 @@ namespace pclust::mpsim {
 class RankError : public std::runtime_error {
  public:
   RankError(int rank, const std::string& what, const std::string& phase = "",
-            double virtual_time = -1.0)
+            double virtual_time = -1.0, const std::string& level = "")
       : std::runtime_error(
             "mpsim" + (phase.empty() ? std::string() : "[" + phase + "]") +
-            ": rank " + std::to_string(rank) +
+            ": " + (level.empty() ? std::string() : level + " ") + "rank " +
+            std::to_string(rank) +
             (virtual_time >= 0.0
                  ? " failed at vt=" + std::to_string(virtual_time) + "s: "
                  : " failed: ") +
             what),
         rank_(rank),
         phase_(phase),
+        level_(level),
         virtual_time_(virtual_time) {}
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] const std::string& phase() const { return phase_; }
+  /// Topology level of the failing rank ("root", "sub-master", "worker",
+  /// "master"); "" when the run had no level attribution.
+  [[nodiscard]] const std::string& level() const { return level_; }
   /// Virtual seconds since phase start, or -1 when unknown.
   [[nodiscard]] double virtual_time() const { return virtual_time_; }
 
  private:
   int rank_;
   std::string phase_;
+  std::string level_;
   double virtual_time_;
 };
 
@@ -102,5 +108,14 @@ RunResult run(int p, const MachineModel& model, const FaultPlan& plan,
 RunResult run_phase(const std::string& phase, int p,
                     const MachineModel& model, const FaultPlan* plan,
                     const std::function<void(Communicator&)>& fn);
+
+/// Level-attributed variant: @p level_of maps a rank to its topology level
+/// ("root"/"sub-master"/"worker", or "master"/"worker" flat). Any RankError
+/// and every planned-crash fault event then name the level alongside the
+/// rank, so a sub-master failure reads as such in errors and reports.
+RunResult run_phase(const std::string& phase, int p,
+                    const MachineModel& model, const FaultPlan* plan,
+                    const std::function<void(Communicator&)>& fn,
+                    const std::function<std::string(int)>& level_of);
 
 }  // namespace pclust::mpsim

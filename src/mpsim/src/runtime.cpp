@@ -16,7 +16,8 @@ namespace {
 
 RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
                    const std::function<void(Communicator&)>& fn,
-                   const std::string& phase = "") {
+                   const std::string& phase = "",
+                   const std::function<std::string(int)>& level_of = {}) {
   if (p < 1) throw std::invalid_argument("mpsim::run: p must be >= 1");
   if (plan) plan->validate(p);
 
@@ -61,6 +62,9 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
   const auto rank_vtime = [&](int r) {
     return comms[static_cast<std::size_t>(r)]->clock().now();
   };
+  const auto rank_level = [&](int r) {
+    return level_of ? level_of(r) : std::string();
+  };
   int aborted_rank = -1;
   for (int r = 0; r < p; ++r) {
     const auto& e = errors[static_cast<std::size_t>(r)];
@@ -70,10 +74,11 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
     } catch (const Aborted&) {
       if (aborted_rank < 0) aborted_rank = r;
     } catch (const std::exception& ex) {
-      std::throw_with_nested(RankError(r, ex.what(), phase, rank_vtime(r)));
-    } catch (...) {
       std::throw_with_nested(
-          RankError(r, "unknown exception", phase, rank_vtime(r)));
+          RankError(r, ex.what(), phase, rank_vtime(r), rank_level(r)));
+    } catch (...) {
+      std::throw_with_nested(RankError(r, "unknown exception", phase,
+                                       rank_vtime(r), rank_level(r)));
     }
   }
   if (aborted_rank >= 0) {
@@ -81,7 +86,8 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
       std::rethrow_exception(errors[static_cast<std::size_t>(aborted_rank)]);
     } catch (const std::exception& ex) {
       std::throw_with_nested(RankError(aborted_rank, ex.what(), phase,
-                                       rank_vtime(aborted_rank)));
+                                       rank_vtime(aborted_rank),
+                                       rank_level(aborted_rank)));
     }
   }
 
@@ -101,8 +107,10 @@ RunResult run_impl(int p, const MachineModel& model, const FaultPlan* plan,
     }
   }
   for (const int r : result.crashed_ranks) {
+    const std::string level = rank_level(r);
     result.fault_events.push_back(
-        "rank " + std::to_string(r) + " crashed at vt=" +
+        (level.empty() ? std::string() : level + " ") + "rank " +
+        std::to_string(r) + " crashed at vt=" +
         std::to_string(result.rank_times[static_cast<std::size_t>(r)]) +
         "s (planned fault)");
   }
@@ -130,6 +138,13 @@ RunResult run_phase(const std::string& phase, int p,
                     const MachineModel& model, const FaultPlan* plan,
                     const std::function<void(Communicator&)>& fn) {
   return run_impl(p, model, plan, fn, phase);
+}
+
+RunResult run_phase(const std::string& phase, int p,
+                    const MachineModel& model, const FaultPlan* plan,
+                    const std::function<void(Communicator&)>& fn,
+                    const std::function<std::string(int)>& level_of) {
+  return run_impl(p, model, plan, fn, phase, level_of);
 }
 
 }  // namespace pclust::mpsim

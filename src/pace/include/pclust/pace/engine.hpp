@@ -84,6 +84,21 @@ struct Verdict {
   std::uint8_t code = 0;
 };
 
+/// Sub-master-side policy (hierarchical mode): a local replica of the
+/// master state owned by one sub-master shard. `needs_alignment` filters
+/// against the replica; `absorb` folds a verdict into it and reports
+/// whether the replica CHANGED — changed verdicts are the cross-shard
+/// union events forwarded to the root, unchanged ones are locally final.
+/// Replicas only ever merge state (confluent), so absorbing the same event
+/// twice, or out of order across shards, converges to the same replica.
+class ShardPolicy {
+ public:
+  virtual ~ShardPolicy() = default;
+  virtual bool needs_alignment(const PairTask& task) = 0;
+  /// Fold @p verdict into the replica; true iff the replica changed.
+  virtual bool absorb(const Verdict& verdict) = 0;
+};
+
 /// Master-side policy: decides which pairs still need alignment and folds
 /// verdicts into phase state. Called only from the master rank (or the
 /// serial driver); needs no locking.
@@ -94,6 +109,13 @@ class MasterPolicy {
   /// done by the engine before this is consulted).
   virtual bool needs_alignment(const PairTask& task) = 0;
   virtual void apply(const Verdict& verdict) = 0;
+  /// Build one sub-master shard replica (hierarchical mode; called once per
+  /// sub-master rank). Policies that return nullptr — the default — are
+  /// order-dependent and only support the flat single master
+  /// (PaceParams::masters == 1); run_parallel rejects masters >= 2 for
+  /// them. `apply` must then be confluent AND idempotent (the root replays
+  /// event logs after sub-master deaths).
+  virtual std::unique_ptr<ShardPolicy> make_shard() { return nullptr; }
 };
 
 /// Worker-side policy: computes the verdict for one pair. evaluate() may be
@@ -140,6 +162,13 @@ struct EngineCounters {
 /// state matches the fault-free run bit for bit. Throws
 /// std::invalid_argument if the plan crashes rank 0 (the master), and
 /// RankError (nested std::runtime_error) if every worker dies.
+///
+/// With PaceParams::masters >= 2 the protocol runs as a two-level master
+/// tree (ranks 1..masters are failable sub-masters holding ShardPolicy
+/// replicas; see mpsim/masterworker.hpp): the master policy must provide
+/// make_shard(), plans may crash sub-masters (the root heals them by event
+/// log replay + orphan re-homing), and the final master-policy state is
+/// still bit-identical to the flat fault-free run.
 mpsim::RunResult run_parallel(
     const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids, int p,
     const mpsim::MachineModel& model, const PaceParams& params,

@@ -45,6 +45,19 @@ struct PaceParams {
   /// transient stall does not trigger a (correct but wasteful) reassignment.
   std::uint32_t heartbeat_retries = 2;
   double heartbeat_backoff = 2.0;
+  /// Ceiling on the backed-off per-retry timeout, wall seconds (0 = grow
+  /// unbounded). With many retries an uncapped exponential ladder waits far
+  /// past any useful point; the ceiling bounds each wait while keeping the
+  /// retry count intact.
+  double heartbeat_max_timeout = 0.0;
+
+  /// Master ranks for the simulated protocol: 1 (default) is the paper's
+  /// flat single master; >= 2 enables the two-level master tree (rank 0 the
+  /// root, ranks 1..masters failable sub-masters owning union-find shards)
+  /// that removes the single-master admit bottleneck. Requires
+  /// p >= masters + 2. Only confluent phases (CCD, DSD) may run
+  /// hierarchical; RR is order-dependent and always runs flat.
+  int masters = 1;
 
   /// Whole-phase WALL-clock watchdog, seconds (0 = off): if the master loop
   /// runs longer than this, the phase aborts with an attributed RankError

@@ -15,6 +15,36 @@ namespace pclust::pace {
 
 namespace {
 
+class CcdMaster;
+
+/// One sub-master's replica of the CCD state: its own union–find over the
+/// same dense id universe, fed by the shard's verdicts plus the root's
+/// synced events. Union–find merge is confluent AND idempotent, so shard
+/// replicas may lag or replay events in any order and still converge to
+/// (a refinement consistent with) the root's authoritative forest —
+/// a replica only ever filters pairs its shard has PROVEN connected,
+/// which keeps filtering sound while cross-shard merges are in flight.
+class CcdShard final : public ShardPolicy {
+ public:
+  CcdShard(const std::unordered_map<seq::SeqId, std::uint32_t>& dense,
+           std::size_t universe)
+      : dense_(dense) {
+    uf_.reset(universe);
+  }
+
+  bool needs_alignment(const PairTask& task) override {
+    return !uf_.same(dense_.at(task.a), dense_.at(task.b));
+  }
+
+  bool absorb(const Verdict& v) override {
+    return v.code == 1 && uf_.merge(dense_.at(v.a), dense_.at(v.b));
+  }
+
+ private:
+  const std::unordered_map<seq::SeqId, std::uint32_t>& dense_;
+  dsu::UnionFind uf_;
+};
+
 class CcdMaster final : public MasterPolicy {
  public:
   explicit CcdMaster(const std::vector<seq::SeqId>& ids) : ids_(ids) {
@@ -31,6 +61,15 @@ class CcdMaster final : public MasterPolicy {
     if (v.code == 1 && uf_.merge(dense_.at(v.a), dense_.at(v.b))) {
       util::metrics().counter("ccd.uf_merges").add(1);
     }
+  }
+
+  /// CCD supports hierarchical masters: apply is a union–find merge —
+  /// confluent and idempotent — so shard replicas and root event replay
+  /// are sound. Shards share the read-only dense_ map (the root's apply
+  /// only mutates uf_, a different member, so concurrent shard reads of
+  /// dense_ are race-free).
+  std::unique_ptr<ShardPolicy> make_shard() override {
+    return std::make_unique<CcdShard>(dense_, ids_.size());
   }
 
   /// Snapshot the union–find forest for checkpointing.

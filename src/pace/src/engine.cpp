@@ -41,14 +41,17 @@ mpsim::MwOptions mw_options(const PaceParams& params) {
   mpsim::MwOptions opt;
   opt.phase = params.phase_label ? params.phase_label : "pace";
   opt.metrics_prefix = "pace";
+  opt.masters = std::max(1, params.masters);
   opt.batch_size = params.batch_size;
   opt.generation_batches = params.generation_batches;
   opt.heartbeat_timeout = params.heartbeat_timeout;
   opt.heartbeat_retries = params.heartbeat_retries;
   opt.heartbeat_backoff = params.heartbeat_backoff;
+  opt.heartbeat_max_timeout = params.heartbeat_max_timeout;
   opt.deadline_seconds = params.phase_deadline;
   opt.task_bytes = kPairBytes;
   opt.verdict_bytes = kVerdictBytes;
+  opt.event_bytes = kVerdictBytes;  // forwarded union events ARE verdicts
   opt.header_bytes = kHeaderBytes;
   return opt;
 }
@@ -59,11 +62,14 @@ struct SharedIndex {
   std::vector<std::int32_t> sa;
   std::vector<std::int32_t> lcp;
   std::vector<suffix::MaximalMatchEnumerator::Bucket> buckets;
-  std::vector<int> bucket_owner;  // worker rank (1..p-1) per bucket
+  std::vector<int> bucket_owner;  // owning worker rank per bucket
 
+  /// @p first_worker is the lowest worker rank (1 flat, masters+1 in the
+  /// hierarchical tree); the @p workers worker ranks are consecutive from
+  /// there.
   SharedIndex(const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
               const PaceParams& params, int workers,
-              exec::Pool* pool = nullptr)
+              exec::Pool* pool = nullptr, int first_worker = 1)
       : text(set, ids), mp(match_params(params)), pool_(pool) {
     if (params.bucket_prefix > params.psi) {
       throw std::invalid_argument(
@@ -83,7 +89,7 @@ struct SharedIndex {
     }
 
     // Longest-processing-time assignment of buckets to workers.
-    bucket_owner.assign(buckets.size(), 1);
+    bucket_owner.assign(buckets.size(), first_worker);
     if (workers > 1) {
       std::vector<std::size_t> order(buckets.size());
       for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -97,7 +103,7 @@ struct SharedIndex {
       for (std::size_t i : order) {
         const auto w = static_cast<std::size_t>(
             std::min_element(load.begin(), load.end()) - load.begin());
-        bucket_owner[i] = static_cast<int>(w) + 1;
+        bucket_owner[i] = static_cast<int>(w) + first_worker;
         load[w] += buckets[i].weight;
       }
     }
@@ -245,6 +251,58 @@ void master_loop(mpsim::Communicator& comm, const PaceParams& params,
   record_engine_counters(c);
 }
 
+/// One pace sub-master (hierarchical mode): the full resilient master
+/// engine over its worker shard, with the pair seen-set and the cluster
+/// filter evaluated against the shard's LOCAL replica. Verdicts that
+/// change the replica are forwarded to the root as union events; synced
+/// events from other shards are absorbed into the replica so the filter
+/// keeps pace with cross-shard merges. Each shard contributes its own
+/// share of the engine counters (they sum across ranks in the RunResult).
+void submaster_loop(mpsim::Communicator& comm, const PaceParams& params,
+                    MasterPolicy& policy) {
+  const std::unique_ptr<ShardPolicy> shard = policy.make_shard();
+  std::unordered_set<std::uint64_t> seen;
+  mpsim::MwShard<PairTask, Verdict> hooks;
+  hooks.admit = [&](const PairTask& task) {
+    if (!seen.insert(task.pair_key()).second) {
+      return mpsim::MwAdmit::kDuplicate;
+    }
+    if (!shard->needs_alignment(task)) return mpsim::MwAdmit::kFiltered;
+    return mpsim::MwAdmit::kQueue;
+  };
+  hooks.resolve = [&](const Verdict& v) { return shard->absorb(v); };
+  hooks.learn = [&](const Verdict& v) { shard->absorb(v); };
+
+  const mpsim::MwOptions opt = mw_options(params);
+  const mpsim::MwTopology topo{comm.size(), opt.masters};
+  const mpsim::MwMasterStats stats =
+      mw_submaster_loop(comm, opt, topo, hooks);
+
+  EngineCounters c;
+  c.promising_pairs = stats.submitted;
+  c.duplicate_pairs = stats.duplicates;
+  c.filtered_pairs = stats.filtered;
+  c.aligned_pairs = stats.dispatched;
+  comm.count("promising_pairs", c.promising_pairs);
+  comm.count("duplicate_pairs", c.duplicate_pairs);
+  comm.count("filtered_pairs", c.filtered_pairs);
+  comm.count("aligned_pairs", c.aligned_pairs);
+  record_engine_counters(c);
+}
+
+/// The pace root (hierarchical mode): folds the forwarded union events
+/// into the authoritative master policy and heals sub-master deaths. The
+/// policy's apply is idempotent (CCD union-find merges), which the event
+/// replay relies on.
+void root_loop(mpsim::Communicator& comm, const PaceParams& params,
+               MasterPolicy& policy) {
+  mpsim::MwRoot<Verdict> hooks;
+  hooks.apply = [&](const Verdict& v) { policy.apply(v); };
+  const mpsim::MwOptions opt = mw_options(params);
+  const mpsim::MwTopology topo{comm.size(), opt.masters};
+  mw_root_loop(comm, opt, topo, hooks);
+}
+
 /// The pace worker on the shared protocol: generation replays a bucket
 /// share (index-build chars + pair enumeration charged virtually), and
 /// evaluation is the pooled alignment batch.
@@ -274,25 +332,43 @@ mpsim::RunResult run_parallel(
     MasterPolicy& master_policy,
     const std::function<std::unique_ptr<WorkerPolicy>()>& make_worker_policy,
     EngineCounters* counters, exec::Pool* pool, const mpsim::FaultPlan* plan) {
+  const int masters = std::max(1, params.masters);
+  const mpsim::MwTopology topo{p, masters};
   if (p < 2) {
     throw std::invalid_argument(
         "pace::run_parallel needs p >= 2 (master + worker); use run_serial");
   }
-  if (plan) {
-    for (const auto& crash : plan->crashes) {
-      if (crash.rank == 0) {
-        throw std::invalid_argument(
-            "pace::run_parallel: the master (rank 0) must not crash — only "
-            "worker ranks 1..p-1 can appear in FaultPlan::crashes");
-      }
+  if (topo.hierarchical()) {
+    if (p < masters + 2) {
+      throw std::invalid_argument(
+          "pace::run_parallel: p=" + std::to_string(p) +
+          " is too small for masters=" + std::to_string(masters) +
+          "; need p >= masters + 2 so at least one worker exists");
+    }
+    if (!master_policy.make_shard()) {
+      throw std::invalid_argument(
+          std::string("pace::run_parallel: this phase (") +
+          (params.phase_label ? params.phase_label : "pace") +
+          ") applies verdicts order-dependently and does not support "
+          "hierarchical masters; use masters=1");
     }
   }
+  // Reject unsurvivable plans up front (exit-code-2 class at the CLI):
+  // crashing rank 0, every sub-master, or every worker.
+  if (plan) plan->validate_protocol(p, masters);
 
-  SharedIndex index(set, ids, params, p - 1, pool);
+  SharedIndex index(set, ids, params, topo.worker_count(), pool,
+                    topo.first_worker());
 
   const auto rank_fn = [&](mpsim::Communicator& comm) {
     if (comm.rank() == 0) {
-      master_loop(comm, params, master_policy);
+      if (topo.hierarchical()) {
+        root_loop(comm, params, master_policy);
+      } else {
+        master_loop(comm, params, master_policy);
+      }
+    } else if (topo.is_submaster(comm.rank())) {
+      submaster_loop(comm, params, master_policy);
     } else {
       const auto policy = make_worker_policy();
       worker_loop(comm, index, params, *policy, pool);
@@ -300,7 +376,7 @@ mpsim::RunResult run_parallel(
   };
   mpsim::RunResult result = mpsim::run_phase(
       params.phase_label ? params.phase_label : "pace", p, model, plan,
-      rank_fn);
+      rank_fn, [topo](int r) { return std::string(topo.level_of(r)); });
 
   if (counters) {
     counters->promising_pairs = result.counter("promising_pairs");

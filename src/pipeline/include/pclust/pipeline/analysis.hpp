@@ -32,6 +32,10 @@ struct RankSample {
   double busy = 0.0;
   double comm = 0.0;
   double idle = 0.0;
+  /// Hierarchy level from the report ("master", "root", "sub-master",
+  /// "worker"); empty for reports predating the level field, in which
+  /// case rank 0 is the master and everyone else a worker.
+  std::string level;
 };
 
 struct AnalysisOptions {
@@ -43,6 +47,12 @@ struct AnalysisOptions {
 struct PhaseAnalysis {
   std::string phase;
   int ranks = 0;
+  /// Sub-master ranks in this phase (0 for a flat run). Sub-masters are
+  /// excluded from the worker imbalance/idle aggregates — like the root,
+  /// their job is coordination, and folding their idle-heavy profiles into
+  /// the worker means would mask genuine worker imbalance.
+  int submasters = 0;
+  double submaster_busy_fraction = 0.0;  ///< mean over sub-master ranks
   double makespan = 0.0;
   double imbalance_factor = 0.0;
   double critical_path_seconds = 0.0;

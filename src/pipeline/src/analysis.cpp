@@ -52,18 +52,47 @@ PhaseAnalysis analyze_phase(const std::string& phase,
     }
   }
 
-  // Imbalance over worker ranks (all ranks when there is no master/worker
-  // split, i.e. p == 1).
-  const std::size_t first_worker = ranks.size() > 1 ? 1 : 0;
+  // Rank classification. Reports carrying per-rank `level` labels
+  // distinguish sub-masters from workers; unlabeled (older) reports fall
+  // back to the flat convention — rank 0 is the master, everyone else a
+  // worker (all ranks when p == 1).
+  const bool labeled =
+      std::any_of(ranks.begin(), ranks.end(),
+                  [](const RankSample& s) { return !s.level.empty(); });
+  const auto is_worker = [&](std::size_t r) {
+    if (labeled) return ranks[r].level == "worker";
+    return ranks.size() > 1 ? r >= 1 : true;
+  };
+  const auto is_submaster = [&](std::size_t r) {
+    return labeled && ranks[r].level == "sub-master";
+  };
+
+  // Imbalance over worker ranks only: coordinators (master/root and
+  // sub-masters) do a different job by design, so their profiles are kept
+  // out of the worker aggregates.
   double busy_sum_workers = 0.0;
   double busy_max_workers = 0.0;
-  for (std::size_t r = first_worker; r < ranks.size(); ++r) {
+  double workers = 0.0;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    if (!is_worker(r)) continue;
+    workers += 1.0;
     busy_sum_workers += ranks[r].busy;
     busy_max_workers = std::max(busy_max_workers, ranks[r].busy);
   }
-  const double workers = static_cast<double>(ranks.size() - first_worker);
   const double busy_mean = workers > 0.0 ? busy_sum_workers / workers : 0.0;
   out.imbalance_factor = busy_mean > 0.0 ? busy_max_workers / busy_mean : 0.0;
+
+  double submaster_busy_frac_sum = 0.0;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    if (!is_submaster(r)) continue;
+    ++out.submasters;
+    submaster_busy_frac_sum +=
+        ranks[r].total > 0.0 ? ranks[r].busy / ranks[r].total : 0.0;
+  }
+  out.submaster_busy_fraction =
+      out.submasters > 0
+          ? submaster_busy_frac_sum / static_cast<double>(out.submasters)
+          : 0.0;
 
   double busy_sum_all = 0.0;
   for (const RankSample& r : ranks) busy_sum_all += r.busy;
@@ -86,14 +115,14 @@ PhaseAnalysis analyze_phase(const std::string& phase,
 
   out.master_busy_fraction =
       ranks[0].total > 0.0 ? ranks[0].busy / ranks[0].total : 0.0;
-  if (ranks.size() > 1) {
+  if (ranks.size() > 1 && workers > 0.0) {
     double idle_frac_sum = 0.0;
-    for (std::size_t r = 1; r < ranks.size(); ++r) {
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      if (!is_worker(r)) continue;
       idle_frac_sum += ranks[r].total > 0.0 ? ranks[r].idle / ranks[r].total
                                             : 0.0;
     }
-    out.worker_idle_fraction =
-        idle_frac_sum / static_cast<double>(ranks.size() - 1);
+    out.worker_idle_fraction = idle_frac_sum / workers;
   }
   out.master_saturated =
       ranks.size() > 1 &&
@@ -107,6 +136,10 @@ PhaseAnalysis analyze_phase(const std::string& phase,
                   format_ratio(100.0 * out.worker_idle_fraction) +
                   "% — the master serializes this phase; adding workers "
                   "will not help (the paper's CCD bottleneck)";
+    if (out.submasters == 0) {
+      out.verdict +=
+          "; raise --masters to split admission across a sub-master tier";
+    }
   } else if (out.imbalance_factor > 1.5) {
     out.verdict = "imbalanced: the busiest worker does " +
                   format_ratio(out.imbalance_factor) +
@@ -131,6 +164,9 @@ ReportAnalysis analyze_report(const util::JsonValue& report,
       s.busy = entry.at("busy").as_number();
       s.comm = entry.at("comm").as_number();
       s.idle = entry.at("idle").as_number();
+      if (const util::JsonValue* level = entry.find("level")) {
+        s.level = level->as_string();
+      }
       samples.push_back(s);
     }
     out.phases.push_back(analyze_phase(phase, samples, options));
@@ -156,6 +192,11 @@ std::string render_analysis(const ReportAnalysis& analysis) {
     out += "  master busy / worker idle: " +
            format_ratio(p.master_busy_fraction) + " / " +
            format_ratio(p.worker_idle_fraction) + "\n";
+    if (p.submasters > 0) {
+      out += "  sub-masters:         " + std::to_string(p.submasters) +
+             " (mean busy " + format_ratio(p.submaster_busy_fraction) +
+             ")\n";
+    }
     out += "  stragglers (by busy):";
     for (const int r : p.stragglers) out += " " + std::to_string(r);
     out += "\n";
@@ -180,6 +221,8 @@ std::string render_analysis_json(const ReportAnalysis& analysis) {
     w.key("parallel_efficiency").value(p.parallel_efficiency);
     w.key("master_busy_fraction").value(p.master_busy_fraction);
     w.key("worker_idle_fraction").value(p.worker_idle_fraction);
+    w.key("submasters").value(p.submasters);
+    w.key("submaster_busy_fraction").value(p.submaster_busy_fraction);
     w.key("master_saturated").value(p.master_saturated);
     w.key("stragglers").begin_array();
     for (const int r : p.stragglers) w.value(r);

@@ -28,6 +28,7 @@ mpsim::MwOptions dsd_options(const pace::PaceParams& engine) {
   mpsim::MwOptions opt;
   opt.phase = "dsd";
   opt.metrics_prefix = "dsd";
+  opt.masters = std::max(1, engine.masters);
   // One graph per chunk: components vary wildly in Shingle cost, so
   // demand-driven single-graph dispatch is the LPT analogue of the paper's
   // batched distribution.
@@ -36,17 +37,20 @@ mpsim::MwOptions dsd_options(const pace::PaceParams& engine) {
   opt.heartbeat_timeout = engine.heartbeat_timeout;
   opt.heartbeat_retries = engine.heartbeat_retries;
   opt.heartbeat_backoff = engine.heartbeat_backoff;
+  opt.heartbeat_max_timeout = engine.heartbeat_max_timeout;
   opt.deadline_seconds = engine.phase_deadline;
   opt.task_bytes = 4;       // one graph id
   opt.verdict_bytes = 96;   // family descriptor estimate
+  opt.event_bytes = 96;     // forwarded events carry the family lists
   return opt;
 }
 
-/// LPT over the WORKER ranks (1..p-1) on the estimated Shingle cost
-/// (~ edges x c1 hash-and-select operations); each worker's share is its
-/// generation stream, kept in ascending graph order for determinism.
+/// LPT over the WORKER ranks ([first_worker, p)) on the estimated Shingle
+/// cost (~ edges x c1 hash-and-select operations); each worker's share is
+/// its generation stream, kept in ascending graph order for determinism.
 std::vector<std::vector<std::uint32_t>> assign_streams(
-    const std::vector<bigraph::ComponentGraph>& graphs, int p) {
+    const std::vector<bigraph::ComponentGraph>& graphs, int p,
+    int first_worker) {
   std::vector<std::vector<std::uint32_t>> owned(static_cast<std::size_t>(p));
   std::vector<std::uint32_t> order(graphs.size());
   std::iota(order.begin(), order.end(), 0u);
@@ -59,8 +63,8 @@ std::vector<std::vector<std::uint32_t>> assign_streams(
             });
   std::vector<double> load(static_cast<std::size_t>(p), 0.0);
   for (const std::uint32_t g : order) {
-    int target = 1;
-    for (int w = 2; w < p; ++w) {
+    int target = first_worker;
+    for (int w = first_worker + 1; w < p; ++w) {
       if (load[static_cast<std::size_t>(w)] <
           load[static_cast<std::size_t>(target)]) {
         target = w;
@@ -81,83 +85,128 @@ DsdParallelResult run_dsd_parallel(
     const shingle::ShingleParams& params, int p,
     const mpsim::MachineModel& model, const pace::PaceParams& engine,
     exec::Pool* pool, const mpsim::FaultPlan* plan) {
+  const mpsim::MwOptions opt = dsd_options(engine);
+  const mpsim::MwTopology topo{p, opt.masters};
   if (p < 2) {
     throw std::invalid_argument("run_dsd_parallel: need >= 2 ranks");
   }
-  if (plan && plan->crash_time(0) <
-                  std::numeric_limits<double>::infinity()) {
+  if (topo.hierarchical() && p < topo.masters + 2) {
     throw std::invalid_argument(
-        "run_dsd_parallel: the master (rank 0) cannot be crash-faulted");
+        "run_dsd_parallel: p=" + std::to_string(p) +
+        " is too small for masters=" + std::to_string(topo.masters) +
+        "; need p >= masters + 2 so at least one worker exists");
   }
+  // Reject unsurvivable plans up front (crashing rank 0, every sub-master,
+  // or every worker) with the CLI's exit-code-2 error class.
+  if (plan) plan->validate_protocol(p, topo.masters);
 
-  const mpsim::MwOptions opt = dsd_options(engine);
-  const auto owned = assign_streams(graphs, p);
+  const auto owned = assign_streams(graphs, p, topo.first_worker());
 
   DsdParallelResult out;
   out.families_per_graph.resize(graphs.size());
-  // Graph-keyed verdict slots: replays after healing (or duplicated
-  // deliveries) re-fill a slot with the same deterministic value, so the
-  // first application wins and ordering never matters.
+  // Graph-keyed verdict slots on the authoritative rank (flat master or
+  // hierarchical root): replays after healing (or duplicated deliveries)
+  // re-fill a slot with the same deterministic value, so the first
+  // application wins and ordering never matters.
   std::vector<char> seen(graphs.size(), 0);
   std::vector<char> applied(graphs.size(), 0);
 
+  const auto worker_fn = [&](mpsim::Communicator& comm) {
+    mpsim::MwWorker<DsdTask, DsdVerdict> worker;
+    // Stream (re)generation virtually re-pays the bipartite-graph
+    // construction of the origin's share — BGG is simulated work too,
+    // so adopting a dead rank's components costs the adopter what the
+    // dead rank had paid.
+    worker.generate = [&](mpsim::Communicator& comm_, int origin) {
+      std::vector<DsdTask> tasks;
+      const auto& stream = owned[static_cast<std::size_t>(origin)];
+      tasks.reserve(stream.size());
+      for (const std::uint32_t g : stream) {
+        comm_.charge_cells(graphs[g].alignment_cells);
+        comm_.charge_pairs(graphs[g].candidate_pairs);
+        tasks.push_back(DsdTask{g});
+      }
+      return tasks;
+    };
+    worker.evaluate = [&](mpsim::Communicator& comm_,
+                          const std::vector<DsdTask>& tasks,
+                          std::vector<DsdVerdict>& verdicts) {
+      for (const DsdTask& t : tasks) {
+        const std::uint32_t g = t.graph;
+        const double t0 = comm_.clock().now();
+        comm_.charge_hashes(graphs[g].graph.edge_count() * params.c1);
+        DsdVerdict v;
+        v.graph = g;
+        v.families = shingle::report_families(graphs[g], params,
+                                              nullptr, pool);
+        comm_.count("components_processed");
+        if (util::trace::enabled()) {
+          util::trace::complete(
+              util::trace::current_pid(), comm_.rank(),
+              "shingle:component-" + std::to_string(g), "dsd", t0 * 1e6,
+              (comm_.clock().now() - t0) * 1e6);
+        }
+        verdicts.push_back(std::move(v));
+      }
+    };
+    mpsim::mw_worker_loop(comm, opt, worker);
+  };
+
   out.run = mpsim::run_phase(
-      opt.phase, p, model, plan, [&](mpsim::Communicator& comm) {
+      opt.phase, p, model, plan,
+      [&](mpsim::Communicator& comm) {
         if (comm.rank() == 0) {
-          mpsim::MwMaster<DsdTask, DsdVerdict> master;
-          master.admit = [&](const DsdTask& t) {
-            if (seen[t.graph]) return mpsim::MwAdmit::kDuplicate;
-            seen[t.graph] = 1;
-            return mpsim::MwAdmit::kQueue;
-          };
-          master.apply = [&](const DsdVerdict& v) {
-            if (applied[v.graph]) return;
+          if (!topo.hierarchical()) {
+            mpsim::MwMaster<DsdTask, DsdVerdict> master;
+            master.admit = [&](const DsdTask& t) {
+              if (seen[t.graph]) return mpsim::MwAdmit::kDuplicate;
+              seen[t.graph] = 1;
+              return mpsim::MwAdmit::kQueue;
+            };
+            master.apply = [&](const DsdVerdict& v) {
+              if (applied[v.graph]) return;
+              applied[v.graph] = 1;
+              out.families_per_graph[v.graph] = v.families;
+            };
+            mpsim::mw_master_loop(comm, opt, master);
+            return;
+          }
+          mpsim::MwRoot<DsdVerdict> root;
+          root.apply = [&](const DsdVerdict& v) {
+            if (applied[v.graph]) return;  // event replay: first wins
             applied[v.graph] = 1;
             out.families_per_graph[v.graph] = v.families;
           };
-          mpsim::mw_master_loop(comm, opt, master);
+          mpsim::mw_root_loop(comm, opt, topo, root);
           return;
         }
-        mpsim::MwWorker<DsdTask, DsdVerdict> worker;
-        // Stream (re)generation virtually re-pays the bipartite-graph
-        // construction of the origin's share — BGG is simulated work too,
-        // so adopting a dead rank's components costs the adopter what the
-        // dead rank had paid.
-        worker.generate = [&](mpsim::Communicator& comm_,
-                              int origin) {
-          std::vector<DsdTask> tasks;
-          const auto& stream = owned[static_cast<std::size_t>(origin)];
-          tasks.reserve(stream.size());
-          for (const std::uint32_t g : stream) {
-            comm_.charge_cells(graphs[g].alignment_cells);
-            comm_.charge_pairs(graphs[g].candidate_pairs);
-            tasks.push_back(DsdTask{g});
-          }
-          return tasks;
-        };
-        worker.evaluate = [&](mpsim::Communicator& comm_,
-                              const std::vector<DsdTask>& tasks,
-                              std::vector<DsdVerdict>& verdicts) {
-          for (const DsdTask& t : tasks) {
-            const std::uint32_t g = t.graph;
-            const double t0 = comm_.clock().now();
-            comm_.charge_hashes(graphs[g].graph.edge_count() * params.c1);
-            DsdVerdict v;
-            v.graph = g;
-            v.families = shingle::report_families(graphs[g], params,
-                                                  nullptr, pool);
-            comm_.count("components_processed");
-            if (util::trace::enabled()) {
-              util::trace::complete(
-                  util::trace::current_pid(), comm_.rank(),
-                  "shingle:component-" + std::to_string(g), "dsd", t0 * 1e6,
-                  (comm_.clock().now() - t0) * 1e6);
-            }
-            verdicts.push_back(std::move(v));
-          }
-        };
-        mpsim::mw_worker_loop(comm, opt, worker);
-      });
+        if (topo.is_submaster(comm.rank())) {
+          // Shard replica: per-graph seen/resolved flags. Every first
+          // verdict for a graph changes the replica and is forwarded to
+          // the root; synced events from other shards mark graphs
+          // resolved so post-reroute replays are filtered locally.
+          std::vector<char> shard_seen(graphs.size(), 0);
+          std::vector<char> shard_done(graphs.size(), 0);
+          mpsim::MwShard<DsdTask, DsdVerdict> shard;
+          shard.admit = [&shard_seen](const DsdTask& t) {
+            if (shard_seen[t.graph]) return mpsim::MwAdmit::kDuplicate;
+            shard_seen[t.graph] = 1;
+            return mpsim::MwAdmit::kQueue;
+          };
+          shard.resolve = [&shard_done](const DsdVerdict& v) {
+            if (shard_done[v.graph]) return false;
+            shard_done[v.graph] = 1;
+            return true;
+          };
+          shard.learn = [&shard_done](const DsdVerdict& v) {
+            shard_done[v.graph] = 1;
+          };
+          mpsim::mw_submaster_loop(comm, opt, topo, shard);
+          return;
+        }
+        worker_fn(comm);
+      },
+      [topo](int r) { return std::string(topo.level_of(r)); });
   return out;
 }
 

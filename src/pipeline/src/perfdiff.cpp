@@ -77,6 +77,12 @@ bool is_run_report(const util::JsonValue& doc) {
          schema->as_string() == "pclust-run-report";
 }
 
+bool is_hierarchy_doc(const util::JsonValue& doc) {
+  const util::JsonValue* schema = doc.find("schema");
+  return schema != nullptr && schema->is_string() &&
+         schema->as_string() == "pclust-hierarchy-bench";
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -191,6 +197,60 @@ void diff_reports(const util::JsonValue& baseline,
   }
 }
 
+const util::JsonValue* find_hierarchy_row(const util::JsonValue& doc, int p,
+                                          int masters) {
+  for (const util::JsonValue& row : doc.at("rows").array) {
+    if (static_cast<int>(row.at("p").as_number()) == p &&
+        static_cast<int>(row.at("masters").as_number()) == masters) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+void diff_hierarchy(const util::JsonValue& baseline,
+                    const util::JsonValue& candidate, DiffContext& ctx) {
+  // Hierarchy-bench rows carry VIRTUAL seconds — pure functions of workload
+  // and machine model, bit-stable across hosts — so unlike wall-clock rows
+  // every comparison here is meaningfully gated.
+  for (const util::JsonValue& cand : candidate.at("rows").array) {
+    const int p = static_cast<int>(cand.at("p").as_number());
+    const int masters = static_cast<int>(cand.at("masters").as_number());
+    char label[64];
+    std::snprintf(label, sizeof label, "hierarchy.p%d.m%d.", p, masters);
+    const std::string prefix = label;
+
+    // Absolute gates: the master tree must never be slower than the flat
+    // protocol it replaces, and a wide-enough tree must clear the
+    // analyzer's master-saturation verdict (the whole point of the tier).
+    if (masters > 1) {
+      ctx.require_at_least(
+          prefix + "speedup_vs_flat_floor",
+          cand.at("speedup_vs_flat").as_number(), 1.0,
+          "the sub-master tree must not run slower than the flat master");
+    }
+    if (masters >= 4) {
+      ctx.require_at_least(
+          prefix + "saturation_clear",
+          cand.at("saturated").bool_value ? 0.0 : 1.0, 1.0,
+          "masters >= 4 must clear the master-saturation verdict");
+    }
+
+    const util::JsonValue* base = find_hierarchy_row(baseline, p, masters);
+    if (!base) continue;  // new configuration: absolute gates still apply
+    ctx.compare(prefix + "ccd_virtual_seconds",
+                base->at("ccd_virtual_seconds").as_number(),
+                cand.at("ccd_virtual_seconds").as_number(),
+                Direction::kHigherIsWorse);
+    if (masters > 1) {
+      ctx.compare(prefix + "speedup_vs_flat",
+                  base->at("speedup_vs_flat").as_number(),
+                  cand.at("speedup_vs_flat").as_number(),
+                  Direction::kLowerIsWorse);
+    }
+  }
+}
+
 }  // namespace
 
 PerfDiffResult perf_diff(const util::JsonValue& baseline,
@@ -199,12 +259,16 @@ PerfDiffResult perf_diff(const util::JsonValue& baseline,
   DiffContext ctx{options, {}};
   if (is_run_report(baseline) && is_run_report(candidate)) {
     diff_reports(baseline, candidate, ctx);
+  } else if (is_hierarchy_doc(baseline) && is_hierarchy_doc(candidate)) {
+    diff_hierarchy(baseline, candidate, ctx);
   } else if (is_kernel_doc(baseline) && is_kernel_doc(candidate)) {
     diff_kernels(baseline, candidate, ctx);
   } else {
     throw std::invalid_argument(
         "perf-diff: baseline and candidate must both be run reports "
-        "(pclust-run-report) or both kernel documents (kernels array)");
+        "(pclust-run-report), both hierarchy benches "
+        "(pclust-hierarchy-bench), or both kernel documents (kernels "
+        "array)");
   }
   return ctx.result;
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "pclust/exec/pool.hpp"
+#include "pclust/mpsim/masterworker.hpp"
 #include "pclust/pipeline/dsd.hpp"
 #include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
@@ -25,11 +26,15 @@ constexpr std::uint32_t kTagRr = 1;
 constexpr std::uint32_t kTagCcdPartial = 2;
 constexpr std::uint32_t kTagCcd = 3;
 constexpr std::uint32_t kTagFamilies = 4;
-// Payload V2 = fingerprint u64, phase duration f64 (seconds the phase cost
-// when it was computed; running total for partial checkpoints), then the
-// phase data. V1 lacked the duration; V1 files are treated as absent so the
-// phase recomputes rather than resuming with an unknown cost.
-constexpr std::uint32_t kPayloadV2 = 2;
+// Payload V3 = fingerprint u64, phase duration f64 (seconds the phase cost
+// when it was computed; running total for partial checkpoints), protocol
+// master count u32 (provenance: how many masters the writing run used —
+// informational only, results are bit-identical across master counts so it
+// is deliberately NOT part of the fingerprint), then the phase data. V1
+// lacked the duration, V2 the master count; older versions are treated as
+// absent so the phase recomputes rather than resuming with unknown
+// provenance.
+constexpr std::uint32_t kPayloadV3 = 3;
 
 /// Fingerprint of the input set plus every configuration field that can
 /// change phase RESULTS (simulation/threading knobs are excluded — they
@@ -85,7 +90,10 @@ std::uint64_t fingerprint(const seq::SequenceSet& set,
 class Checkpoints {
  public:
   Checkpoints(const PipelineConfig& cfg, std::uint64_t fp)
-      : dir_(cfg.checkpoint_dir), resume_(cfg.resume), fp_(fp) {
+      : dir_(cfg.checkpoint_dir),
+        resume_(cfg.resume),
+        fp_(fp),
+        masters_(static_cast<std::uint32_t>(std::max(1, cfg.pace.masters))) {
     if (!dir_.empty()) std::filesystem::create_directories(dir_);
   }
 
@@ -101,7 +109,7 @@ class Checkpoints {
   void write(const char* name, std::uint32_t tag,
              const util::CheckpointWriter& payload) const {
     if (enabled()) {
-      write_checkpoint(path(name), tag, kPayloadV2, payload,
+      write_checkpoint(path(name), tag, kPayloadV3, payload,
                        /*keep_previous=*/true);
     }
   }
@@ -120,12 +128,12 @@ class Checkpoints {
       bool* from_backup = nullptr) {
     if (!resuming()) return std::nullopt;
     util::CheckpointRecovery rec =
-        util::recover_checkpoint(path(name), tag, kPayloadV2);
+        util::recover_checkpoint(path(name), tag, kPayloadV3);
     for (const std::string& event : rec.events) {
       PCLUST_WARN << "pipeline: " << name << ": " << event;
       recovery_log_.push_back(std::string(name) + ": " + event);
     }
-    if (!rec.reader || rec.payload_version != kPayloadV2) return std::nullopt;
+    if (!rec.reader || rec.payload_version != kPayloadV3) return std::nullopt;
     if (rec.reader->u64() != fp_) {
       throw util::CheckpointError(
           "checkpoint fingerprint mismatch (input or configuration "
@@ -133,6 +141,17 @@ class Checkpoints {
           path(name).string());
     }
     const double seconds = rec.reader->f64();
+    // Provenance: the master-tree width of the run that wrote this
+    // checkpoint. Results are bit-identical across master counts, so a
+    // mismatch with the current run is fine — surface it for operators.
+    const std::uint32_t written_by = rec.reader->u32();
+    if (written_by != masters_) {
+      PCLUST_WARN << "pipeline: " << name << ": checkpoint written by a run "
+                  << "with masters=" << written_by << " (this run uses "
+                  << masters_ << "); results are bit-identical, resuming";
+      recovery_log_.push_back(std::string(name) + ": provenance masters=" +
+                              std::to_string(written_by));
+    }
     if (seconds_out) *seconds_out = seconds;
     if (from_backup) *from_backup = rec.from_backup;
     return std::move(rec.reader);
@@ -142,11 +161,13 @@ class Checkpoints {
     return recovery_log_;
   }
 
-  /// Payload prefix: fingerprint + the phase duration being recorded.
+  /// Payload prefix: fingerprint, the phase duration being recorded, and
+  /// the writing run's protocol master count (provenance).
   [[nodiscard]] util::CheckpointWriter payload(double seconds) const {
     util::CheckpointWriter w;
     w.u64(fp_);
     w.f64(seconds);
+    w.u32(masters_);
     return w;
   }
 
@@ -154,6 +175,7 @@ class Checkpoints {
   std::string dir_;
   bool resume_;
   std::uint64_t fp_;
+  std::uint32_t masters_ = 1;
   std::vector<std::string> recovery_log_;
 };
 
@@ -168,13 +190,16 @@ void sample_phase_rss(const char* phase) {
 
 /// Open a trace timeline for a simulated phase and label its rank lanes;
 /// engine code then emits onto it via trace::current_pid(). No-op when
-/// tracing is off.
-void trace_sim_phase(const char* name, int ranks) {
+/// tracing is off. With masters >= 2 the lanes carry the hierarchy levels
+/// (root / sub-master-N / worker-N) instead of the flat master/worker pair.
+void trace_sim_phase(const char* name, int ranks, int masters = 1) {
   if (!util::trace::enabled()) return;
   const int pid = util::trace::begin_process(name);
+  const mpsim::MwTopology topo{ranks, std::max(1, masters)};
   for (int r = 0; r < ranks; ++r) {
-    util::trace::name_thread(
-        pid, r, r == 0 ? "master" : "worker-" + std::to_string(r));
+    std::string label{topo.level_of(r)};
+    if (r != 0) label += "-" + std::to_string(r);
+    util::trace::name_thread(pid, r, label);
   }
 }
 
@@ -294,6 +319,10 @@ PipelineResult run(const seq::SequenceSet& input,
     pace::PaceParams rr_params = config.pace;
     rr_params.band = config.rr_band;
     rr_params.phase_label = "rr";
+    // RR applies containment verdicts order-dependently (removed/container
+    // bookkeeping is not confluent), so it always runs flat regardless of
+    // the configured master count; only CCD and DSD go hierarchical.
+    rr_params.masters = 1;
     result.rr = parallel
                     ? pace::remove_redundant(set, config.processors,
                                              config.model, rr_params, pool_arg,
@@ -332,7 +361,10 @@ PipelineResult run(const seq::SequenceSet& input,
     log_phase("ccd", from_backup ? "resumed-backup" : "resumed");
   } else {
     const util::trace::WallSpan span("ccd");
-    if (parallel) trace_sim_phase("sim:ccd", config.processors);
+    if (parallel) {
+      trace_sim_phase("sim:ccd", config.processors,
+                      std::max(1, ccd_params.masters));
+    }
     util::Timer timer;
     // Mid-stream progress snapshots (serial path only: the pair stream
     // index is only a meaningful watermark there). `prior_seconds` carries
@@ -448,10 +480,23 @@ PipelineResult run(const seq::SequenceSet& input,
     // and replays its generation stream on a survivor, and the graph-keyed
     // verdict slots keep the family output bit-identical to the serial
     // path under any fault plan. See pipeline/dsd.hpp.
-    trace_sim_phase("sim:dsd", config.dsd_processors);
+    // DSD may run on a different rank count than CCD; when it is too
+    // narrow to host the configured master tree (needs >= masters + 2
+    // ranks), fall back to the flat protocol for this stage only rather
+    // than failing the whole run — results are bit-identical either way.
+    pace::PaceParams dsd_engine = config.pace;
+    if (dsd_engine.masters > 1 &&
+        config.dsd_processors < dsd_engine.masters + 2) {
+      PCLUST_WARN << "pipeline: dsd: " << config.dsd_processors
+                  << " ranks cannot host masters=" << dsd_engine.masters
+                  << " (need >= masters + 2); running the DSD stage flat";
+      dsd_engine.masters = 1;
+    }
+    trace_sim_phase("sim:dsd", config.dsd_processors,
+                    std::max(1, dsd_engine.masters));
     DsdParallelResult dsd = run_dsd_parallel(
         graphs, config.shingle, config.dsd_processors, config.dsd_model,
-        config.pace, pool_arg, config.dsd_fault_plan);
+        dsd_engine, pool_arg, config.dsd_fault_plan);
     result.dsd_simulated_seconds = dsd.run.makespan;
     trace_sim_result(dsd.run);
     result.dsd_run = std::move(dsd.run);

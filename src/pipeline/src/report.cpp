@@ -1,5 +1,6 @@
 #include "pclust/pipeline/report.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -7,6 +8,7 @@
 #include <map>
 
 #include "pclust/align/simd.hpp"
+#include "pclust/mpsim/masterworker.hpp"
 #include "pclust/util/json.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
@@ -148,15 +150,22 @@ void emit_memory(util::JsonWriter& w, const util::MetricsSnapshot& snapshot) {
 
 /// `rank_times` section: the simulated phases' per-rank virtual-time
 /// decomposition (empty arrays for serial phases). busy + comm + idle ==
-/// total per rank, which report-check asserts.
-void emit_rank_times(util::JsonWriter& w, const PipelineResult& result) {
+/// total per rank, which report-check asserts. Each entry names its
+/// topology level ("master"/"worker" flat; "root"/"sub-master"/"worker"
+/// hierarchical) so the analyzer can separate admit load from align load.
+void emit_rank_times(util::JsonWriter& w, const PipelineResult& result,
+                     const PipelineConfig& config) {
   w.begin_object();
-  const auto emit_run = [&w](const char* key, const mpsim::RunResult& run) {
+  const auto emit_run = [&w](const char* key, const mpsim::RunResult& run,
+                             int masters) {
+    const mpsim::MwTopology topo{static_cast<int>(run.rank_times.size()),
+                                 masters};
     w.key(key).begin_array();
     for (std::size_t r = 0; r < run.rank_times.size(); ++r) {
       const bool have = r < run.rank_breakdown.size();
       w.begin_object();
       w.key("rank").value(static_cast<std::uint64_t>(r));
+      w.key("level").value(topo.level_of(static_cast<int>(r)));
       w.key("total").value(run.rank_times[r]);
       w.key("busy").value(have ? run.rank_breakdown[r].busy : 0.0);
       w.key("comm").value(have ? run.rank_breakdown[r].comm : 0.0);
@@ -166,9 +175,34 @@ void emit_rank_times(util::JsonWriter& w, const PipelineResult& result) {
     }
     w.end_array();
   };
-  emit_run("rr", result.rr.run);
-  emit_run("ccd", result.ccd.run);
-  emit_run("dsd", result.dsd_run);
+  const int masters = std::max(1, config.pace.masters);
+  emit_run("rr", result.rr.run, 1);  // RR is order-dependent: always flat
+  emit_run("ccd", result.ccd.run, masters);
+  emit_run("dsd", result.dsd_run, masters);
+  w.end_object();
+}
+
+/// `hierarchy` section: the two-level master tree's shape and its
+/// protocol/healing counters (all zero in flat runs, where the section
+/// still appears so consumers need no presence checks).
+void emit_hierarchy(util::JsonWriter& w, const PipelineConfig& config,
+                    const util::MetricsSnapshot& snapshot) {
+  const int masters = std::max(1, config.pace.masters);
+  const auto both = [&](const char* key) {
+    return snapshot.counter(std::string("pace.") + key) +
+           snapshot.counter(std::string("dsd.") + key);
+  };
+  w.begin_object();
+  w.key("masters").value(masters);
+  w.key("hierarchical").value(masters >= 2);
+  w.key("events_forwarded").value(both("events_forwarded"));
+  w.key("events_applied").value(both("events_applied"));
+  w.key("events_synced").value(both("events_synced"));
+  w.key("submasters_failed").value(both("submasters_failed"));
+  w.key("submasters_timed_out").value(both("submasters_timed_out"));
+  w.key("workers_rehomed").value(both("workers_rehomed"));
+  w.key("streams_rerouted").value(both("streams_rerouted"));
+  w.key("streams_surrendered").value(both("streams_surrendered"));
   w.end_object();
 }
 
@@ -229,6 +263,7 @@ std::string render_report(const PipelineResult& result,
   w.key("processors").value(config.processors);
   w.key("threads").value(config.threads);
   w.key("dsd_processors").value(config.dsd_processors);
+  w.key("masters").value(std::max(1, config.pace.masters));
   w.key("psi").value(config.pace.psi);
   w.key("band").value(config.pace.band);
   w.key("rr_band").value(config.rr_band);
@@ -316,8 +351,11 @@ std::string render_report(const PipelineResult& result,
   w.key("memory");
   emit_memory(w, snapshot);
 
+  w.key("hierarchy");
+  emit_hierarchy(w, config, snapshot);
+
   w.key("rank_times");
-  emit_rank_times(w, result);
+  emit_rank_times(w, result, config);
 
   w.key("metrics");
   snapshot.to_json(w);
@@ -449,6 +487,13 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
         const std::string where =
             "rank_times." + phase + "[rank " +
             std::to_string(entry.at("rank").as_u64()) + "]";
+        if (const util::JsonValue* level = entry.find("level")) {
+          const std::string& l = level->as_string();
+          if (l != "master" && l != "root" && l != "sub-master" &&
+              l != "worker") {
+            return fail(error, where + ": unknown level " + l);
+          }
+        }
         const double total = entry.at("total").as_number();
         const double busy = entry.at("busy").as_number();
         const double comm = entry.at("comm").as_number();
@@ -460,6 +505,29 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
         if (std::abs(busy + comm + idle - total) > eps) {
           return fail(error,
                       where + ": busy + comm + idle != total virtual time");
+        }
+      }
+    }
+
+    // `hierarchy` (optional for pre-hierarchy reports): shape sanity and
+    // non-negative protocol counters.
+    if (const util::JsonValue* hierarchy = report.find("hierarchy")) {
+      if (!hierarchy->is_object()) {
+        return fail(error, "hierarchy must be an object");
+      }
+      const double masters = hierarchy->at("masters").as_number();
+      if (masters < 1.0) {
+        return fail(error, "hierarchy.masters must be >= 1");
+      }
+      for (const char* key :
+           {"events_forwarded", "events_applied", "events_synced",
+            "submasters_failed", "submasters_timed_out", "workers_rehomed",
+            "streams_rerouted", "streams_surrendered"}) {
+        if (const util::JsonValue* v = hierarchy->find(key)) {
+          if (v->as_number() < 0.0) {
+            return fail(error, std::string("hierarchy.") + key +
+                                   ": negative count");
+          }
         }
       }
     }

@@ -226,6 +226,80 @@ TEST(MasterWorker, HeartbeatTimeoutDeclaresHungWorkerDeadAndHeals) {
   EXPECT_TRUE(timeout_noted);
 }
 
+TEST(MasterWorker, HeartbeatBackoffCeilingBoundsTheRetryLadder) {
+  // Uncapped, the exponential ladder 0.05 * (1 + 3 + 9 + 27 + 81 + 243)
+  // would wait ~18 wall seconds — far longer than the 1.2s hang, so the
+  // worker would recover mid-ladder. The 0.06s ceiling clamps every retry,
+  // shrinking the whole budget to ~0.35s, and it is exactly that clamp
+  // which lets the timeout fire while the worker is still hung.
+  MwOptions opt = toy_options();
+  opt.heartbeat_timeout = 0.05;
+  opt.heartbeat_retries = 5;
+  opt.heartbeat_backoff = 3.0;
+  opt.heartbeat_max_timeout = 0.06;
+  const auto hang = [](int rank, std::uint64_t call) {
+    if (rank == 1 && call == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    }
+  };
+  const auto out = run_toy(3, nullptr, opt, hang);
+  expect_complete(out, 3);  // rank 2 adopted and replayed rank 1's stream
+  EXPECT_EQ(out.run.counter("workers_timed_out"), 1u);
+  // Retry-count accounting: the hung link exhausts its full retry budget
+  // exactly once; the healthy link never times out.
+  EXPECT_EQ(out.run.counter("link_timeout_retries"), 5u);
+  EXPECT_EQ(out.run.counter("streams_adopted"), 1u);
+}
+
+TEST(MasterWorker, UncappedBackoffOutlastsTheHangAndNobodyDies) {
+  // Companion to the ceiling test: the SAME ladder without the ceiling
+  // outwaits the hang, so the worker wakes inside a retry window, submits,
+  // and is never declared dead. The ceiling is the only difference.
+  MwOptions opt = toy_options();
+  opt.heartbeat_timeout = 0.05;
+  opt.heartbeat_retries = 5;
+  opt.heartbeat_backoff = 3.0;
+  opt.heartbeat_max_timeout = 0.0;  // uncapped
+  const auto hang = [](int rank, std::uint64_t call) {
+    if (rank == 1 && call == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    }
+  };
+  const auto out = run_toy(3, nullptr, opt, hang);
+  expect_complete(out, 3);
+  EXPECT_EQ(out.run.counter("workers_timed_out"), 0u);
+  EXPECT_EQ(out.run.counter("streams_adopted"), 0u);
+  EXPECT_GE(out.run.counter("link_timeout_retries"), 1u);
+}
+
+TEST(MasterWorker, DeadlineAtHeartbeatRetryBoundaryIsAttributed) {
+  // The retry ladder re-checks the phase watchdog at every boundary: with a
+  // 0.15s deadline and a 0.1 -> 0.2 -> ... ladder, the second boundary
+  // lands past the deadline and must surface as the deadline (with the
+  // retry boundary named), not disappear into another backoff.
+  MwOptions opt = toy_options();
+  opt.deadline_seconds = 0.15;
+  opt.heartbeat_timeout = 0.1;
+  opt.heartbeat_retries = 5;
+  opt.heartbeat_backoff = 2.0;
+  const auto hang = [](int rank, std::uint64_t call) {
+    if (rank == 1 && call == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+    }
+  };
+  try {
+    run_toy(2, nullptr, opt, hang);
+    FAIL() << "expected RankError from the deadline at a retry boundary";
+  } catch (const RankError& e) {
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.phase(), "toy");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("phase deadline"), std::string::npos) << what;
+    EXPECT_NE(what.find("heartbeat-retry boundary"), std::string::npos)
+        << what;
+  }
+}
+
 TEST(MasterWorker, MetricsUseThePhasePrefix) {
   util::metrics().reset();
   const auto out = run_toy(4, nullptr, toy_options());

@@ -142,7 +142,10 @@ TEST(FaultTolerance, RrHealsWorkerCrashIntoValidRemoval) {
   EXPECT_GE(r.removed_count() + 5, golden.removed_count());
 }
 
-TEST(FaultTolerance, AllWorkersCrashedThrows) {
+TEST(FaultTolerance, AllWorkersCrashedRejectedUpFront) {
+  // An unsurvivable plan (every worker crashes) is now rejected statically
+  // by FaultPlan::validate_protocol — the CLI's exit-code-2 class — rather
+  // than surfacing mid-run as an unattributable runtime error.
   const auto d = make_data(46, 60);
   const auto survivors = remove_redundant_serial(d.sequences).survivors();
   mpsim::FaultPlan plan;
@@ -151,7 +154,17 @@ TEST(FaultTolerance, AllWorkersCrashedThrows) {
   EXPECT_THROW(detect_components(d.sequences, survivors, 3,
                                  mpsim::MachineModel::bluegene_l(), {},
                                  nullptr, &plan),
-               std::runtime_error);
+               std::invalid_argument);
+}
+
+TEST(FaultTolerance, NegativeCrashTimeRejected) {
+  const auto d = make_data(46, 60);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto plan = worker_crash(1, -0.5);
+  EXPECT_THROW(detect_components(d.sequences, survivors, 3,
+                                 mpsim::MachineModel::bluegene_l(), {},
+                                 nullptr, &plan),
+               std::invalid_argument);
 }
 
 TEST(FaultTolerance, MasterCrashPlanRejected) {

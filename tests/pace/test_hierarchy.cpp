@@ -1,0 +1,190 @@
+// Two-level master-tree protocol: sub-masters shard the union–find, resolve
+// intra-shard merges locally, and forward only cross-shard union events to
+// the root as idempotent seq-numbered records. The contract under test: the
+// component partition is bit-identical to the flat single-master run under
+// ANY topology and ANY survivable fault plan — including sub-master deaths,
+// which the root heals by replaying the dead shard's event log and
+// re-homing its orphaned workers onto survivors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "pclust/pace/components.hpp"
+#include "pclust/pace/redundancy.hpp"
+#include "pclust/synth/generator.hpp"
+
+namespace pclust::pace {
+namespace {
+
+synth::Dataset make_data(std::uint64_t seed, std::uint32_t n = 140) {
+  synth::DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = n;
+  spec.num_families = 5;
+  spec.mean_length = 70;
+  spec.redundant_fraction = 0.15;
+  spec.noise_fraction = 0.15;
+  return synth::generate(spec);
+}
+
+PaceParams with_masters(int masters) {
+  PaceParams params;
+  params.masters = masters;
+  return params;
+}
+
+TEST(Hierarchy, FaultFreeMatchesFlatBitIdentical) {
+  const auto d = make_data(61);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto flat = detect_components(d.sequences, survivors, 8, model);
+
+  for (const int masters : {2, 3, 4}) {
+    const auto hier = detect_components(d.sequences, survivors, 8, model,
+                                        with_masters(masters));
+    EXPECT_EQ(hier.components, flat.components) << "masters=" << masters;
+    EXPECT_TRUE(hier.run.crashed_ranks.empty());
+    EXPECT_EQ(hier.run.counter("submasters_failed"), 0u);
+    EXPECT_EQ(hier.run.counter("workers_rehomed"), 0u);
+  }
+}
+
+TEST(Hierarchy, SubMasterCrashReplaysShardLogBitIdentical) {
+  const auto d = make_data(62);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto flat = detect_components(d.sequences, survivors, 7, model);
+  const auto golden = detect_components(d.sequences, survivors, 7, model,
+                                        with_masters(2));
+  ASSERT_EQ(golden.components, flat.components);
+
+  // Kill sub-master 1 at several points in its fault-free virtual lifetime:
+  // before it has admitted anything, mid-shard, and late (most of its event
+  // log already forwarded). Every variant must replay to the same partition.
+  const double lifetime = golden.run.rank_times[1];
+  ASSERT_GT(lifetime, 0.0);
+  for (const double fraction : {0.0, 0.3, 0.7}) {
+    mpsim::FaultPlan plan;
+    plan.crashes.push_back({1, fraction * lifetime});
+    const auto r = detect_components(d.sequences, survivors, 7, model,
+                                     with_masters(2), nullptr, &plan);
+    EXPECT_EQ(r.run.crashed_ranks, (std::vector<int>{1}))
+        << "fraction=" << fraction;
+    EXPECT_EQ(r.components, flat.components) << "fraction=" << fraction;
+    EXPECT_EQ(r.run.counter("submasters_failed"), 1u);
+    EXPECT_GE(r.run.counter("workers_rehomed"), 1u)
+        << "fraction=" << fraction;
+  }
+}
+
+TEST(Hierarchy, EmptyInitialShardCrashRegression) {
+  // p=4 with masters=2 homes the single worker (rank 3) on sub-master 1 and
+  // leaves shard 2 initially EMPTY. Crashing sub-master 1 at vt=0 re-homes
+  // the worker onto shard 2, whose first dispatch carries the adoption
+  // grant. Regression guard: the re-homed worker must wait for that
+  // dispatch instead of sending an unprompted "exhausted" round — the stale
+  // quiescence signal once convinced the root the phase was done while the
+  // replayed stream was still in flight, losing most of the partition.
+  const auto d = make_data(63);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto flat = detect_components(d.sequences, survivors, 4, model);
+
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({1, 0.0});
+  const auto r = detect_components(d.sequences, survivors, 4, model,
+                                   with_masters(2), nullptr, &plan);
+  EXPECT_EQ(r.components, flat.components);
+  EXPECT_EQ(r.run.counter("submasters_failed"), 1u);
+  EXPECT_EQ(r.run.counter("workers_rehomed"), 1u);
+  EXPECT_GE(r.run.counter("streams_rerouted"), 1u);
+}
+
+TEST(Hierarchy, SubMasterStragglerOnlySlowsVirtualTime) {
+  const auto d = make_data(64);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto golden = detect_components(d.sequences, survivors, 7, model,
+                                        with_masters(2));
+
+  mpsim::FaultPlan plan;
+  plan.straggler_factor = {1.0, 6.0};  // sub-master 1 computes 6x slower
+  const auto r = detect_components(d.sequences, survivors, 7, model,
+                                   with_masters(2), nullptr, &plan);
+  EXPECT_EQ(r.components, golden.components);
+  EXPECT_TRUE(r.run.crashed_ranks.empty());
+  EXPECT_EQ(r.run.counter("submasters_failed"), 0u);
+  EXPECT_GE(r.run.makespan, golden.run.makespan);
+}
+
+TEST(Hierarchy, FullChaosSweepIsDeterministicAndFlatIdentical) {
+  // Everything at once: lossy duplicating links, a straggling sub-master, a
+  // worker crash AND a sub-master crash. Two runs of the same plan must
+  // agree with each other (virtual-time determinism) and with the flat
+  // fault-free partition (confluence).
+  const auto d = make_data(65);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  const auto model = mpsim::MachineModel::bluegene_l();
+  const auto flat = detect_components(d.sequences, survivors, 8, model);
+  const auto golden = detect_components(d.sequences, survivors, 8, model,
+                                        with_masters(3));
+
+  mpsim::FaultPlan plan;
+  plan.seed = 17;
+  plan.drop_probability = 0.2;
+  plan.duplicate_probability = 0.2;
+  plan.straggler_factor = {1.0, 1.0, 4.0};
+  plan.crashes.push_back({2, 0.1 * golden.run.rank_times[2]});   // sub-master
+  plan.crashes.push_back({5, 0.25 * golden.run.rank_times[5]});  // worker
+  const auto a = detect_components(d.sequences, survivors, 8, model,
+                                   with_masters(3), nullptr, &plan);
+  const auto b = detect_components(d.sequences, survivors, 8, model,
+                                   with_masters(3), nullptr, &plan);
+  EXPECT_EQ(a.components, flat.components);
+  EXPECT_EQ(a.components, b.components);
+  EXPECT_EQ(a.run.crashed_ranks, b.run.crashed_ranks);
+  EXPECT_DOUBLE_EQ(a.run.makespan, b.run.makespan);
+  EXPECT_EQ(a.run.counter("submasters_failed"), 1u);
+}
+
+TEST(Hierarchy, AllSubMastersCrashedRejectedUpFront) {
+  const auto d = make_data(66, 60);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({1, 0.5});
+  plan.crashes.push_back({2, 1.5});
+  EXPECT_THROW(detect_components(d.sequences, survivors, 6,
+                                 mpsim::MachineModel::bluegene_l(),
+                                 with_masters(2), nullptr, &plan),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, TooFewRanksForMasterTreeRejected) {
+  // masters=3 needs p >= 5 (root + 3 sub-masters + >= 1 worker); rejected
+  // statically even with no fault plan.
+  const auto d = make_data(66, 60);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  EXPECT_THROW(detect_components(d.sequences, survivors, 4,
+                                 mpsim::MachineModel::bluegene_l(),
+                                 with_masters(3)),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, RootCrashPlanNamesTheLevel) {
+  const auto d = make_data(67, 60);
+  const auto survivors = remove_redundant_serial(d.sequences).survivors();
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({0, 1.0});
+  try {
+    detect_components(d.sequences, survivors, 6,
+                      mpsim::MachineModel::bluegene_l(), with_masters(2),
+                      nullptr, &plan);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("root"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pclust::pace

@@ -126,10 +126,11 @@ TEST_F(CheckpointResumeTest, PartialCcdCheckpointResumesMidStream) {
   // so reconstruct one the same way the pipeline writes it — capture an
   // early union–find snapshot from the serial CCD hook and store it under
   // the pipeline's partial tag with the fingerprint rr.ckpt carries.
-  // Payload V2: fingerprint, elapsed-seconds, then the phase data.
+  // Payload V3: fingerprint, elapsed-seconds, protocol master count, then
+  // the phase data.
   util::CheckpointReader rr_reader =
       util::read_checkpoint(dir_ / "rr.ckpt", /*phase_tag=*/1,
-                            /*max_payload_version=*/2);
+                            /*max_payload_version=*/3);
   const std::uint64_t fingerprint = rr_reader.u64();
 
   pace::CcdProgress snapshot;
@@ -147,10 +148,11 @@ TEST_F(CheckpointResumeTest, PartialCcdCheckpointResumesMidStream) {
   util::CheckpointWriter partial;
   partial.u64(fingerprint);
   partial.f64(0.25);  // elapsed seconds before the simulated crash
+  partial.u32(1);     // provenance: written by a flat (masters=1) run
   partial.u32_vec(snapshot.parents);
   partial.u64(snapshot.next_pair);
   util::write_checkpoint(dir_ / "ccd_partial.ckpt", /*phase_tag=*/2,
-                         /*payload_version=*/2, partial);
+                         /*payload_version=*/3, partial);
   fs::remove(dir_ / "ccd.ckpt");
   fs::remove(dir_ / "families.ckpt");
 
@@ -265,7 +267,7 @@ TEST_F(CheckpointResumeTest, TruncatedCheckpointIsQuarantinedAndRecomputed) {
   EXPECT_TRUE(fs::exists(util::checkpoint_quarantine_path(dir_ / "ccd.ckpt")));
   // The recomputed phase wrote a fresh, valid checkpoint back.
   EXPECT_TRUE(util::checkpoint_valid(dir_ / "ccd.ckpt", /*phase_tag=*/3,
-                                     /*max_payload_version=*/2));
+                                     /*max_payload_version=*/3));
 }
 
 TEST_F(CheckpointResumeTest, ResumeWithoutCheckpointsJustComputes) {

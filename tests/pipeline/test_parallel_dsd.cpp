@@ -156,6 +156,37 @@ TEST(ParallelDsd, DropDuplicateStragglerLinksBitIdentical) {
   EXPECT_TRUE(faulted.dsd_run.crashed_ranks.empty());
 }
 
+TEST(ParallelDsd, HierarchicalMastersMatchFlatFamilies) {
+  const auto d = dsd_data(111);
+  const auto serial = run(d.sequences, dsd_config(0));
+
+  PipelineConfig config = dsd_config(6);
+  config.pace.masters = 2;  // root + 2 sub-masters + 3 workers
+  const auto hier = run(d.sequences, config);
+  expect_identical_families(hier, serial);
+  EXPECT_EQ(hier.dsd_run.counter("submasters_failed"), 0u);
+}
+
+TEST(ParallelDsd, SubMasterCrashHealsBitIdentically) {
+  // DSD slot assignment is graph-keyed and first-wins, so replaying a dead
+  // sub-master's event log and re-homing its workers must reproduce the
+  // serial families exactly — same contract as the CCD union–find.
+  const auto d = dsd_data(112);
+  const auto serial = run(d.sequences, dsd_config(0));
+
+  mpsim::FaultPlan plan;
+  plan.crashes.push_back({1, 0.0});  // sub-master 1 dies immediately
+  PipelineConfig config = dsd_config(6);
+  config.pace.masters = 2;
+  config.dsd_fault_plan = &plan;
+  const auto healed = run(d.sequences, config);
+
+  expect_identical_families(healed, serial);
+  EXPECT_EQ(healed.dsd_run.crashed_ranks, std::vector<int>{1});
+  EXPECT_EQ(healed.dsd_run.counter("submasters_failed"), 1u);
+  EXPECT_GE(healed.dsd_run.counter("workers_rehomed"), 1u);
+}
+
 TEST(ParallelDsd, MasterCrashPlanIsRejected) {
   const auto d = dsd_data(110);
   mpsim::FaultPlan plan;

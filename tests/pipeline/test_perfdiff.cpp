@@ -144,6 +144,58 @@ TEST(PerfDiff, RatioNormalizationMakesWorseAlwaysAboveOne) {
   EXPECT_TRUE(r.findings[0].regression);
 }
 
+util::JsonValue hierarchy_doc(double flat_seconds, double tree_seconds,
+                              bool tree_saturated) {
+  const double speedup = flat_seconds / tree_seconds;
+  return util::parse_json(R"({
+    "schema": "pclust-hierarchy-bench",
+    "rows": [
+      {"p": 1024, "masters": 1, "ccd_virtual_seconds": )" +
+                          std::to_string(flat_seconds) +
+                          R"(, "speedup_vs_flat": 1.0, "saturated": true},
+      {"p": 1024, "masters": 4, "ccd_virtual_seconds": )" +
+                          std::to_string(tree_seconds) +
+                          R"(, "speedup_vs_flat": )" +
+                          std::to_string(speedup) + R"(,
+       "saturated": )" + (tree_saturated ? "true" : "false") + R"(}
+    ]})");
+}
+
+TEST(PerfDiff, HierarchySelfComparisonPasses) {
+  const util::JsonValue doc = hierarchy_doc(2.4, 1.1, false);
+  const PerfDiffResult r = perf_diff(doc, doc);
+  EXPECT_FALSE(r.has_regression());
+}
+
+TEST(PerfDiff, HierarchySpeedupRegressionFails) {
+  // The tree's virtual makespan doubling (speedup 2.2x -> 1.0x) must gate.
+  const PerfDiffResult r =
+      perf_diff(hierarchy_doc(2.4, 1.1, false), hierarchy_doc(2.4, 2.3, false));
+  EXPECT_TRUE(r.has_regression());
+  EXPECT_TRUE(metric_regressed(r, "hierarchy.p1024.m4.ccd_virtual_seconds"));
+  EXPECT_TRUE(metric_regressed(r, "hierarchy.p1024.m4.speedup_vs_flat"));
+}
+
+TEST(PerfDiff, HierarchyTreeSlowerThanFlatFailsAbsolutely) {
+  // speedup_vs_flat < 1 is rejected even with no matching baseline row:
+  // the sub-master tier must be a pure optimization.
+  const util::JsonValue cand = hierarchy_doc(2.4, 2.6, false);
+  const PerfDiffResult r = perf_diff(hierarchy_doc(9.9, 9.8, false), cand);
+  EXPECT_TRUE(metric_regressed(r, "hierarchy.p1024.m4.speedup_vs_flat_floor"));
+}
+
+TEST(PerfDiff, HierarchySaturatedWideTreeFails) {
+  const PerfDiffResult r =
+      perf_diff(hierarchy_doc(2.4, 1.1, false), hierarchy_doc(2.4, 1.1, true));
+  EXPECT_TRUE(metric_regressed(r, "hierarchy.p1024.m4.saturation_clear"));
+}
+
+TEST(PerfDiff, HierarchyAndReportDocsDoNotMix) {
+  EXPECT_THROW(
+      perf_diff(hierarchy_doc(2.4, 1.1, false), report_doc(10.0, 0.999, 1e9)),
+      std::invalid_argument);
+}
+
 TEST(PerfDiff, RenderListsEveryFinding) {
   const PerfDiffResult r =
       perf_diff(kernels_doc(5.0, 2.0), kernels_doc(10.0, 2.0));

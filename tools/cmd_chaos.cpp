@@ -19,6 +19,16 @@
 //            the fault-free serial output.
 //   class 4  checkpoint corruption: a seeded bit flip anywhere in the file
 //            — same contract as class 3, and never an abort.
+//   class 5  requeue storm: every worker but one crashes at the SAME
+//            virtual instant (one heartbeat window) in both CCD and DSD —
+//            the master requeues everything at once onto the lone
+//            survivor; families and the alignment-work identity must match
+//            the fault-free run bit for bit.
+//   class 6  sub-master crash under the hierarchical protocol
+//            (--masters >= 2, needs p >= masters + 2): the root replays
+//            the dead shard's forwarded event log and re-homes its
+//            workers; output must still equal the fault-free run (which is
+//            itself bit-identical to the flat protocol's output).
 //
 // Exits 0 when every seed upholds its contract, 1 otherwise.
 #include <cstdio>
@@ -150,6 +160,9 @@ int cmd_chaos(int argc, const char* const* argv) {
   options.define("dsd-processors", "3",
                  "simulated ranks for batched DSD (>= 3 enables DSD "
                  "crashes)");
+  options.define("masters", "2",
+                 "sub-master count for the hierarchical crash class "
+                 "(skipped when --processors < masters + 2)");
   options.define("threads", "1",
                  "real worker threads for every run (0 = all cores)");
   options.define("workdir", "",
@@ -175,6 +188,8 @@ int cmd_chaos(int argc, const char* const* argv) {
       static_cast<int>(get_int_in(options, "processors", 3, 1 << 10));
   const int dsd_processors =
       static_cast<int>(get_int_in(options, "dsd-processors", 2, 1 << 10));
+  const int masters =
+      static_cast<int>(get_int_in(options, "masters", 2, 1 << 10));
   const auto threads =
       static_cast<unsigned>(get_int_in(options, "threads", 0, 1 << 16));
   apply_simd_option(options);
@@ -228,9 +243,108 @@ int cmd_chaos(int argc, const char* const* argv) {
   };
 
   for (std::uint64_t seed = 0; seed < seeds; ++seed) {
-    const int klass = static_cast<int>(seed % 5);
+    const int klass = static_cast<int>(seed % 7);
     std::string why;
     util::metrics().reset();
+
+    if (klass == 5) {
+      // Requeue storm: all workers but the last crash at the same virtual
+      // instant — one heartbeat window — in CCD and (when wide enough)
+      // DSD. The master absorbs the simultaneous failure burst, requeues
+      // every outstanding pair onto the lone survivor, and the confluent
+      // phases still land bit-identically.
+      mpsim::FaultPlan ccd_plan;
+      ccd_plan.seed = seed;
+      const double at = static_cast<double>(seed % 3) * 1e-3;
+      for (int w = 1; w < processors - 1; ++w) {
+        ccd_plan.crashes.push_back({w, at});
+      }
+      mpsim::FaultPlan dsd_plan;
+      dsd_plan.seed = seed;
+      if (dsd_processors >= 3) {
+        for (int w = 1; w < dsd_processors - 1; ++w) {
+          dsd_plan.crashes.push_back({w, 0.0});
+        }
+      } else {
+        dsd_plan.duplicate_probability = 0.3;
+      }
+      pipeline::PipelineConfig cfg = parallel_config;
+      cfg.ccd_fault_plan = &ccd_plan;
+      cfg.dsd_fault_plan = &dsd_plan;
+      const pipeline::PipelineResult result = pipeline::run(sequences, cfg);
+      if (!same_families(result.families, golden_parallel.families)) {
+        report_failure(seed, "requeue-storm",
+                       "families differ from the fault-free run at p=" +
+                           std::to_string(processors));
+      } else if (!work_identity(result.rr.counters, &why) ||
+                 !work_identity(result.ccd.counters, &why) ||
+                 !report_validates(result, cfg, &why)) {
+        report_failure(seed, "requeue-storm", why);
+      } else if (result.ccd.run.crashed_ranks.size() !=
+                 static_cast<std::size_t>(processors - 2)) {
+        report_failure(seed, "requeue-storm",
+                       "expected " + std::to_string(processors - 2) +
+                           " simultaneous CCD crashes, saw " +
+                           std::to_string(result.ccd.run.crashed_ranks.size()));
+      } else {
+        std::printf("chaos: seed %llu (requeue-storm): ok, %d simultaneous "
+                    "crashes healed bit-identically (%llu pairs requeued)\n",
+                    static_cast<unsigned long long>(seed), processors - 2,
+                    static_cast<unsigned long long>(
+                        result.ccd.run.counter("pairs_requeued")));
+      }
+      continue;
+    }
+    if (klass == 6) {
+      if (processors < masters + 2) {
+        std::printf("chaos: seed %llu (submaster-crash): skipped "
+                    "(--processors %d < masters %d + 2)\n",
+                    static_cast<unsigned long long>(seed), processors,
+                    masters);
+        continue;
+      }
+      // Hierarchical protocol with a sub-master death: the root replays
+      // the dead shard's forwarded events and re-homes its orphans. The
+      // hierarchical fault-free output equals the flat golden, so the
+      // healed run must match it bit for bit too.
+      pipeline::PipelineConfig cfg = parallel_config;
+      cfg.pace.masters = masters;
+      mpsim::FaultPlan ccd_plan;
+      ccd_plan.seed = seed;
+      ccd_plan.crashes.push_back(
+          {1 + static_cast<int>(seed % masters),
+           static_cast<double>(seed % 3) * 1e-3});
+      cfg.ccd_fault_plan = &ccd_plan;
+      mpsim::FaultPlan dsd_plan;
+      dsd_plan.seed = seed;
+      if (dsd_processors >= masters + 2) {
+        dsd_plan.crashes.push_back({1 + static_cast<int>(seed % masters),
+                                    0.0});
+      } else {
+        dsd_plan.duplicate_probability = 0.3;
+      }
+      cfg.dsd_fault_plan = &dsd_plan;
+      const pipeline::PipelineResult result = pipeline::run(sequences, cfg);
+      if (!same_families(result.families, golden_parallel.families)) {
+        report_failure(seed, "submaster-crash",
+                       "families differ from the fault-free flat run at p=" +
+                           std::to_string(processors));
+      } else if (!work_identity(result.rr.counters, &why) ||
+                 !work_identity(result.ccd.counters, &why) ||
+                 !report_validates(result, cfg, &why)) {
+        report_failure(seed, "submaster-crash", why);
+      } else if (result.ccd.run.counter("submasters_failed") == 0) {
+        report_failure(seed, "submaster-crash",
+                       "no sub-master failure was recorded in the CCD run");
+      } else {
+        std::printf("chaos: seed %llu (submaster-crash): ok, root replayed "
+                    "the shard log (%llu workers re-homed)\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(
+                        result.ccd.run.counter("workers_rehomed")));
+      }
+      continue;
+    }
 
     if (klass == 0) {
       // Order-preserving faults on every phase at p = 2: the protocol's

@@ -35,6 +35,11 @@ int cmd_families(int argc, const char* const* argv) {
                  "default; >0 trades exactness for speed)");
   options.define("processors", "0",
                  "simulated BG/L ranks for RR+CCD (0 = serial)");
+  options.define("masters", "1",
+                 "master-tree width for simulated CCD/DSD: 1 = the flat "
+                 "single-master protocol; N >= 2 adds N sub-masters (ranks "
+                 "1..N) under the root, requires --processors >= N + 2 "
+                 "(RR always runs flat; results are bit-identical)");
   options.define("dsd-processors", "0",
                  "simulated Xeon ranks for batched DSD (0 = serial)");
   options.define("threads", "1",
@@ -64,6 +69,14 @@ int cmd_families(int argc, const char* const* argv) {
   options.define("straggle", "",
                  "fault injection: comma-separated rank@slowdown compute "
                  "multipliers, e.g. 2@4 (requires --processors >= 2)");
+  options.define("submaster-crash", "",
+                 "fault injection: crash sub-master i (1-based, i <= "
+                 "--masters) at a virtual time, e.g. 1@5,2@20 — the root "
+                 "replays its event log and re-homes its workers "
+                 "(requires --masters >= 2)");
+  options.define("submaster-straggle", "",
+                 "fault injection: slow down sub-master i by a compute "
+                 "multiplier, e.g. 1@4 (requires --masters >= 2)");
   options.define("drop", "0",
                  "fault injection: per-message drop probability in [0, 1) "
                  "for RR/CCD (each drop costs a retransmission delay)");
@@ -86,6 +99,9 @@ int cmd_families(int argc, const char* const* argv) {
   options.define("heartbeat-retries", "2",
                  "timed-out receives tolerated before declaring a worker "
                  "dead");
+  options.define("heartbeat-max-timeout", "0",
+                 "ceiling in WALL seconds on the exponential heartbeat "
+                 "backoff (0 = uncapped)");
   options.define("phase-deadline", "0",
                  "per-phase WALL-clock watchdog in seconds: abort the "
                  "phase with an attributed error instead of hanging "
@@ -125,6 +141,16 @@ int cmd_families(int argc, const char* const* argv) {
         "--processors 1 is not a valid simulation (master + no workers); "
         "use 0 for the serial path or >= 2 for simulated ranks");
   }
+  config.pace.masters =
+      static_cast<int>(get_int_in(options, "masters", 1, 1 << 12));
+  if (config.pace.masters > 1 &&
+      config.processors < config.pace.masters + 2) {
+    throw UsageError(
+        "--masters " + std::to_string(config.pace.masters) +
+        " requires --processors >= " +
+        std::to_string(config.pace.masters + 2) +
+        " (root + sub-masters + at least one worker)");
+  }
   config.mask_low_complexity = options.get_flag("mask");
   config.dsd_processors = static_cast<int>(
       get_int_in(options, "dsd-processors", 0, 1 << 16));
@@ -158,6 +184,7 @@ int cmd_families(int argc, const char* const* argv) {
     throw UsageError("--resume requires --checkpoint-dir");
   }
 
+  const int masters = config.pace.masters;
   mpsim::FaultPlan plan;
   for (const auto& [rank, at] : parse_rank_at(options.get("crash"), "crash")) {
     if (rank == 0) {
@@ -165,8 +192,47 @@ int cmd_families(int argc, const char* const* argv) {
           "--crash: rank 0 is the master; crashing it is unrecoverable "
           "(use --checkpoint-dir / --resume for master failures)");
     }
+    if (masters > 1 && rank <= masters) {
+      throw UsageError(
+          "--crash: rank " + std::to_string(rank) +
+          " is a sub-master under --masters " + std::to_string(masters) +
+          "; use --submaster-crash " + std::to_string(rank) + "@t instead");
+    }
     if (at < 0.0) throw UsageError("--crash: time must be >= 0");
     plan.crashes.push_back({rank, at});
+  }
+  for (const auto& [rank, at] :
+       parse_rank_at(options.get("submaster-crash"), "submaster-crash")) {
+    if (masters < 2) {
+      throw UsageError(
+          "--submaster-crash requires --masters >= 2 (there are no "
+          "sub-masters in the flat protocol)");
+    }
+    if (rank < 1 || rank > masters) {
+      throw UsageError(
+          "--submaster-crash: sub-master index must be in [1, " +
+          std::to_string(masters) + "], got " + std::to_string(rank));
+    }
+    if (at < 0.0) throw UsageError("--submaster-crash: time must be >= 0");
+    plan.crashes.push_back({rank, at});
+  }
+  for (const auto& [rank, factor] : parse_rank_at(
+           options.get("submaster-straggle"), "submaster-straggle")) {
+    if (masters < 2) {
+      throw UsageError("--submaster-straggle requires --masters >= 2");
+    }
+    if (rank < 1 || rank > masters) {
+      throw UsageError(
+          "--submaster-straggle: sub-master index must be in [1, " +
+          std::to_string(masters) + "], got " + std::to_string(rank));
+    }
+    if (factor < 1.0) {
+      throw UsageError("--submaster-straggle: factor must be >= 1");
+    }
+    if (plan.straggler_factor.size() <= static_cast<std::size_t>(rank)) {
+      plan.straggler_factor.resize(static_cast<std::size_t>(rank) + 1, 1.0);
+    }
+    plan.straggler_factor[static_cast<std::size_t>(rank)] = factor;
   }
   for (const auto& [rank, factor] :
        parse_rank_at(options.get("straggle"), "straggle")) {
@@ -187,7 +253,7 @@ int cmd_families(int argc, const char* const* argv) {
           "--crash/--straggle/--drop/--dup inject faults into the "
           "simulated machine; they require --processors >= 2");
     }
-    plan.validate(config.processors);
+    plan.validate_protocol(config.processors, masters);
     config.fault_plan = &plan;
   }
 
@@ -226,6 +292,8 @@ int cmd_families(int argc, const char* const* argv) {
       get_double_in(options, "heartbeat", 0.0, 3600.0);
   config.pace.heartbeat_retries = static_cast<std::uint32_t>(
       get_int_in(options, "heartbeat-retries", 0, 100));
+  config.pace.heartbeat_max_timeout =
+      get_double_in(options, "heartbeat-max-timeout", 0.0, 3600.0);
   config.pace.phase_deadline =
       get_double_in(options, "phase-deadline", 0.0, 86'400.0);
 

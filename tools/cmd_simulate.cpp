@@ -28,6 +28,11 @@ int cmd_simulate(int argc, const char* const* argv) {
                  "comma-separated simulated rank counts");
   options.define("machine", "bluegene",
                  "machine model: bluegene or xeon");
+  options.define("masters", "1",
+                 "master-tree width for the CCD phase: 1 = flat single "
+                 "master; N >= 2 adds N sub-masters (ranks 1..N) under the "
+                 "root — every simulated rank count must be >= N + 2 (RR "
+                 "always runs flat; results are bit-identical)");
   options.define("psi", "10", "min exact-match length");
   options.define("band", "32", "CCD band (RR always runs full DP)");
   options.define("seed", "42", "workload seed");
@@ -45,6 +50,13 @@ int cmd_simulate(int argc, const char* const* argv) {
   options.define("straggle", "",
                  "fault injection: comma-separated rank@slowdown compute "
                  "multipliers, e.g. 2@4");
+  options.define("submaster-crash", "",
+                 "fault injection: crash sub-master i (1-based, i <= "
+                 "--masters) at a virtual time, e.g. 1@5 (requires "
+                 "--masters >= 2; CCD phase only — RR runs flat)");
+  options.define("submaster-straggle", "",
+                 "fault injection: slow down sub-master i by a compute "
+                 "multiplier, e.g. 1@4 (requires --masters >= 2)");
   options.define("heartbeat", "0",
                  "master declares a silent worker dead after this many wall "
                  "seconds (0 = wait forever)");
@@ -71,8 +83,14 @@ int cmd_simulate(int argc, const char* const* argv) {
       static_cast<std::uint32_t>(get_int_in(options, "band", 0, 1 << 20));
   ccd_params.heartbeat_timeout =
       get_double_in(options, "heartbeat", 0.0, 86'400.0);
+  ccd_params.masters =
+      static_cast<int>(get_int_in(options, "masters", 1, 1 << 12));
+  const int masters = ccd_params.masters;
   pace::PaceParams rr_params = ccd_params;
   rr_params.band = 0;
+  // RR applies verdicts order-dependently and always runs flat; only the
+  // CCD phase hosts the sub-master tier.
+  rr_params.masters = 1;
 
   mpsim::FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(
@@ -85,8 +103,47 @@ int cmd_simulate(int argc, const char* const* argv) {
           "--crash: rank 0 is the master; crashing it is unrecoverable "
           "(use --checkpoint-dir / --resume for master failures)");
     }
+    if (masters > 1 && rank <= masters) {
+      throw UsageError(
+          "--crash: rank " + std::to_string(rank) +
+          " is a sub-master under --masters " + std::to_string(masters) +
+          "; use --submaster-crash " + std::to_string(rank) + "@t instead");
+    }
     if (at < 0.0) throw UsageError("--crash: time must be >= 0");
     plan.crashes.push_back({rank, at});
+  }
+  for (const auto& [rank, at] :
+       parse_rank_at(options.get("submaster-crash"), "submaster-crash")) {
+    if (masters < 2) {
+      throw UsageError(
+          "--submaster-crash requires --masters >= 2 (there are no "
+          "sub-masters in the flat protocol)");
+    }
+    if (rank < 1 || rank > masters) {
+      throw UsageError(
+          "--submaster-crash: sub-master index must be in [1, " +
+          std::to_string(masters) + "], got " + std::to_string(rank));
+    }
+    if (at < 0.0) throw UsageError("--submaster-crash: time must be >= 0");
+    plan.crashes.push_back({rank, at});
+  }
+  for (const auto& [rank, factor] : parse_rank_at(
+           options.get("submaster-straggle"), "submaster-straggle")) {
+    if (masters < 2) {
+      throw UsageError("--submaster-straggle requires --masters >= 2");
+    }
+    if (rank < 1 || rank > masters) {
+      throw UsageError(
+          "--submaster-straggle: sub-master index must be in [1, " +
+          std::to_string(masters) + "], got " + std::to_string(rank));
+    }
+    if (factor < 1.0) {
+      throw UsageError("--submaster-straggle: factor must be >= 1");
+    }
+    if (plan.straggler_factor.size() <= static_cast<std::size_t>(rank)) {
+      plan.straggler_factor.resize(static_cast<std::size_t>(rank) + 1, 1.0);
+    }
+    plan.straggler_factor[static_cast<std::size_t>(rank)] = factor;
   }
   for (const auto& [rank, factor] :
        parse_rank_at(options.get("straggle"), "straggle")) {
@@ -141,7 +198,12 @@ int cmd_simulate(int argc, const char* const* argv) {
       throw UsageError("--processors: each rank count must be >= 2 (master "
                        "plus at least one worker), got " + std::to_string(p));
     }
-    if (plan_arg) plan.validate(p);
+    if (masters > 1 && p < masters + 2) {
+      throw UsageError("--processors: rank count " + std::to_string(p) +
+                       " cannot host --masters " + std::to_string(masters) +
+                       " (need >= masters + 2)");
+    }
+    if (plan_arg) plan.validate_protocol(p, masters);
     const auto rr = pace::remove_redundant(sequences, p, model, rr_params,
                                            pool_arg, plan_arg);
     const auto ccd = pace::detect_components(sequences, rr.survivors(), p,
