@@ -5,10 +5,12 @@
 // (timing.*), the alignment-work identity, and the full metrics-registry
 // snapshot per PR.
 #include <cstdio>
+#include <cstdlib>
 
 #include "common.hpp"
 #include "pclust/pipeline/report.hpp"
 #include "pclust/util/metrics.hpp"
+#include "pclust/util/telemetry.hpp"
 
 int main() {
   using namespace pclust;
@@ -20,11 +22,28 @@ int main() {
   config.shingle = bench_shingle_params();
   config.min_component = config.shingle.min_size;
 
+  // PCLUST_TELEMETRY_OUT streams telemetry during the bench — the overhead
+  // gate in check.sh diffs this run's wall time against a plain run.
+  const char* telemetry_out = std::getenv("PCLUST_TELEMETRY_OUT");
+  if (telemetry_out && *telemetry_out) {
+    util::telemetry::TelemetryConfig telemetry;
+    telemetry.path = telemetry_out;
+    telemetry.command = "bench_pipeline";
+    if (const char* iv = std::getenv("PCLUST_TELEMETRY_INTERVAL");
+        iv && *iv) {
+      telemetry.interval = std::atof(iv);
+    } else {
+      telemetry.interval = 0.5;
+    }
+    util::telemetry::enable(telemetry);
+  }
+
   util::metrics().reset();
   const pipeline::PipelineResult result = pipeline::run(data.sequences, config);
 
   pipeline::write_report("BENCH_pipeline.json", result, config,
                          {"bench_pipeline", "synth:paper_160k-analog"});
+  if (telemetry_out && *telemetry_out) util::telemetry::disable();
   std::fprintf(stderr, "wrote BENCH_pipeline.json\n");
   std::printf(
       "pipeline bench: n=%zu  RR %.3fs  CCD %.3fs  BGG+DSD %.3fs  "

@@ -124,6 +124,33 @@ grep -q '"submasters_failed":1' "$smoke/tree-crash.json" \
 "$pclust" analyze "$smoke/tree256.json" --fail-on-saturation >/dev/null
 echo "check.sh: hierarchy green (bit-identity + saturation clear at p=256)"
 
+# telemetry: the live stream must observe without perturbing. A healthy
+# p=8 run produces a well-formed stream (start + end records) that
+# `monitor --fail-on-stall` accepts, and its families are bit-identical
+# to the earlier un-instrumented flat run. A seeded 200x straggler at a
+# threshold 10x a healthy run's worst virtual progress gap (~3 vs ~490
+# on this workload) must trip the deterministic stall watchdog and turn
+# the same monitor gate red.
+"$pclust" families "$smoke/in.fa" --processors 8 \
+  --telemetry-out "$smoke/healthy.tele.jsonl" --telemetry-interval 0.1 \
+  --out "$smoke/tele-on.tsv" >/dev/null
+cmp "$smoke/flat.tsv" "$smoke/tele-on.tsv"
+grep -q '"type":"start".*"schema":"pclust-telemetry"' \
+  "$smoke/healthy.tele.jsonl" \
+  || { echo "telemetry stream lacks a start record"; exit 1; }
+grep -q '"type":"end"' "$smoke/healthy.tele.jsonl" \
+  || { echo "telemetry stream lacks an end record"; exit 1; }
+"$pclust" monitor "$smoke/healthy.tele.jsonl" --fail-on-stall >/dev/null
+"$pclust" monitor "$smoke/healthy.tele.jsonl" --json >/dev/null
+"$pclust" families "$smoke/in.fa" --processors 4 --straggle 2@200 \
+  --telemetry-out "$smoke/straggler.tele.jsonl" --telemetry-stall 30 \
+  >/dev/null
+rc=0; "$pclust" monitor "$smoke/straggler.tele.jsonl" --fail-on-stall \
+  >/dev/null || rc=$?
+[ "$rc" -ne 0 ] \
+  || { echo "monitor --fail-on-stall missed the seeded straggler"; exit 1; }
+echo "check.sh: telemetry green (bit-identity + stall gate)"
+
 # perf: regression gate against the committed baselines. Timings move with
 # the host, so the default tolerance here is deliberately loose — it exists
 # to catch order-of-magnitude kernel regressions and the score-only fast
@@ -142,6 +169,24 @@ else
   (cd "$smoke" && "$repo/build/bench/bench_pipeline" >/dev/null)
   "$pclust" perf-diff --baseline BENCH_pipeline.json \
     --candidate "$smoke/BENCH_pipeline.json" --tolerance "$perf_tolerance"
+  # Telemetry overhead budget: re-run the pipeline bench with the stream
+  # enabled and diff it against the plain run just above. Back-to-back
+  # runs on one host keep the noise correlated, so the default gate is
+  # tight (<= 2%); PCLUST_TELEMETRY_TOLERANCE loosens it (or "skip").
+  telemetry_tolerance="${PCLUST_TELEMETRY_TOLERANCE:-0.02}"
+  if [ "$telemetry_tolerance" = "skip" ]; then
+    echo "check.sh: telemetry overhead gate skipped"
+  else
+    mkdir -p "$smoke/tele-bench"
+    (cd "$smoke/tele-bench" &&
+       PCLUST_TELEMETRY_OUT="$smoke/tele-bench/bench.tele.jsonl" \
+       PCLUST_TELEMETRY_INTERVAL=1 \
+       "$repo/build/bench/bench_pipeline" >/dev/null)
+    "$pclust" perf-diff --baseline "$smoke/BENCH_pipeline.json" \
+      --candidate "$smoke/tele-bench/BENCH_pipeline.json" \
+      --tolerance "$telemetry_tolerance"
+    echo "check.sh: telemetry overhead within ${telemetry_tolerance}"
+  fi
   # Hierarchy rows are virtual time (host-independent), so this leg also
   # gates the absolute floors: tree >= flat speed, saturation clear at
   # masters >= 4.

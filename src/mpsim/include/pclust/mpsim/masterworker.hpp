@@ -66,6 +66,7 @@
 #include "pclust/mpsim/communicator.hpp"
 #include "pclust/mpsim/fault_plan.hpp"
 #include "pclust/util/metrics.hpp"
+#include "pclust/util/telemetry.hpp"
 #include "pclust/util/trace.hpp"
 
 namespace pclust::mpsim {
@@ -254,6 +255,12 @@ struct MwRoundMsg {
   std::vector<Verdict> verdicts;  // answer the work chunk with seq ack_seq
   std::uint64_t ack_seq = 0;      // 0 = no chunk answered this round
   bool exhausted = false;         // all assigned streams fully submitted
+  // Telemetry piggyback: the sender's cumulative virtual-clock
+  // decomposition at send time. The declared wire bytes are unchanged, so
+  // carrying these does not perturb the virtual clocks or the results.
+  double busy = 0.0;
+  double comm = 0.0;
+  double idle = 0.0;
 };
 
 template <typename Task>
@@ -272,6 +279,11 @@ struct MwBatchMsg {
   bool quiescent = false;       // shard has no pending/outstanding work
   std::vector<int> workers_lost;  // ranks observed dead this round
   std::vector<MwStreamAssign> surrendered;  // streams with no worker left
+  // Telemetry piggyback (see MwRoundMsg): the sub-master's cumulative
+  // virtual-clock decomposition at send time.
+  double busy = 0.0;
+  double comm = 0.0;
+  double idle = 0.0;
 };
 
 /// Root -> sub-master reply closing one lockstep round.
@@ -339,6 +351,8 @@ class MwMasterEngine {
             util::metrics().gauge(opt.metrics_prefix + ".master.queue_depth")),
         batch_sizes_(
             util::metrics().histogram(opt.metrics_prefix + ".work_batch_size")),
+        round_trips_(
+            util::metrics().histogram(opt.metrics_prefix + ".round_trip_us")),
         wall_start_(std::chrono::steady_clock::now()) {
     std::sort(workers_.begin(), workers_.end());
     for (const int w : workers_) {
@@ -410,6 +424,7 @@ class MwMasterEngine {
       if (!work.tasks.empty()) {
         state.outstanding = work.tasks;
         state.outstanding_seq = work.seq;
+        state.dispatch_vt = comm_.clock().now();
         batch_sizes_.add(work.tasks.size());
       }
       stats_.dispatched += work.tasks.size();
@@ -494,6 +509,7 @@ class MwMasterEngine {
     std::uint64_t last_round_seq = 0;  // highest RoundMsg seq consumed
     std::uint64_t work_seq = 0;        // seq of the last WorkMsg sent
     std::uint64_t outstanding_seq = 0;  // unacked chunk's seq (0 = none)
+    double dispatch_vt = 0.0;           // master vt when the chunk left
     std::vector<Task> outstanding;      // its tasks, requeued on death
     std::vector<int> streams;           // generation streams assigned here
     std::vector<MwStreamAssign> adopt;  // ship with next WorkMsg
@@ -622,8 +638,15 @@ class MwMasterEngine {
     }
     if (!have_round) return;
 
+    util::telemetry::record_rank(w, "worker", round.busy, round.comm,
+                                 round.idle);
     state.exhausted = round.exhausted;
     if (round.ack_seq != 0 && round.ack_seq == state.outstanding_seq) {
+      // Virtual dispatch->ack latency of the acknowledged chunk, from this
+      // master's clock. Always-on metric; observation only.
+      const double rtt = comm_.clock().now() - state.dispatch_vt;
+      round_trips_.add(static_cast<std::uint64_t>(rtt * 1e6));
+      util::telemetry::record_round_trip(rtt);
       state.outstanding.clear();
       state.outstanding_seq = 0;
     }
@@ -631,10 +654,15 @@ class MwMasterEngine {
       comm_.charge_finds(1);
       apply_(v);
     }
+    if (!round.verdicts.empty()) {
+      util::telemetry::progress_done_virtual(round.verdicts.size(),
+                                             comm_.clock().now());
+    }
     if (round.stream >= 0) {
       std::uint64_t& mark = received_[static_cast<std::size_t>(round.stream)];
       mark = std::max(mark, round.start + round.tasks.size());
     }
+    std::uint64_t queued = 0;
     for (const Task& task : round.tasks) {
       ++stats_.submitted;
       comm_.charge_finds(1);
@@ -647,9 +675,11 @@ class MwMasterEngine {
           break;
         case MwAdmit::kQueue:
           pending_.push_back(task);
+          ++queued;
           break;
       }
     }
+    if (queued > 0) util::telemetry::progress_enqueued(queued);
   }
 
   Communicator& comm_;
@@ -675,6 +705,7 @@ class MwMasterEngine {
   util::Counter& metric_link_retries_;
   util::Gauge& queue_depth_;
   util::SizeHistogram& batch_sizes_;
+  util::SizeHistogram& round_trips_;
   std::chrono::steady_clock::time_point wall_start_;
 };
 
@@ -697,6 +728,7 @@ MwMasterStats mw_master_loop(Communicator& comm, const MwOptions& opt,
   while (!done) {
     engine.check_deadline();
     engine.receive_rounds();
+    util::telemetry::virtual_tick(comm.clock().now());
     done = engine.quiescent();
     engine.dispatch(done);
   }
@@ -732,6 +764,9 @@ MwMasterStats mw_submaster_loop(Communicator& comm, const MwOptions& opt,
     batch.quiescent = engine.quiescent();
     batch.workers_lost = engine.take_workers_lost();
     batch.surrendered = engine.take_surrendered();
+    batch.busy = comm.busy_time();
+    batch.comm = comm.comm_time();
+    batch.idle = comm.idle_time();
     comm.count("events_forwarded", batch.events.size());
     metric_forwarded.add(batch.events.size());
     const std::uint64_t up_bytes =
@@ -999,6 +1034,8 @@ MwRootStats mw_root_loop(Communicator& comm, const MwOptions& opt,
       if (!have) continue;
 
       sh.quiescent = batch.quiescent;
+      util::telemetry::record_rank(s, "sub-master", batch.busy, batch.comm,
+                                   batch.idle);
       for (const Verdict& v : batch.events) {
         comm.charge_finds(1);
         hooks.apply(v);
@@ -1006,6 +1043,9 @@ MwRootStats mw_root_loop(Communicator& comm, const MwOptions& opt,
         ++stats.events_applied;
         comm.count("events_applied");
         metric_applied.add(1);
+      }
+      if (!batch.events.empty()) {
+        util::telemetry::progress_merges(batch.events.size());
       }
       for (const int w : batch.workers_lost) {
         sh.members.erase(
@@ -1019,6 +1059,8 @@ MwRootStats mw_root_loop(Communicator& comm, const MwOptions& opt,
         reroute_stream(a.origin);
       }
     }
+
+    util::telemetry::virtual_tick(comm.clock().now());
 
     // Global quiescence: every live shard reported done AND no grant is
     // still in flight (grants issued this round are reflected in the NEXT
@@ -1177,6 +1219,9 @@ void mw_worker_loop(Communicator& comm, const MwOptions& opt,
       verdicts.clear();
       round.ack_seq = ack;
       ack = 0;
+      round.busy = comm.busy_time();
+      round.comm = comm.comm_time();
+      round.idle = comm.idle_time();
       const std::uint64_t bytes = round.tasks.size() * opt.task_bytes +
                                   round.verdicts.size() * opt.verdict_bytes +
                                   opt.header_bytes;

@@ -11,6 +11,7 @@
 #include "pclust/suffix/suffix_array.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
+#include "pclust/util/telemetry.hpp"
 #include "pclust/util/trace.hpp"
 
 namespace pclust::pace {
@@ -406,6 +407,21 @@ EngineCounters run_serial(const seq::SequenceSet& set,
     last_ckpt = next_pair;
   };
 
+  // Telemetry: serial progress is pairs INSPECTED over the full stream
+  // (dup/filtered pairs advance it too), reported at batch granularity so
+  // the per-pair cost stays one relaxed load. poll_deadline() runs on this
+  // (the orchestrating) thread — the only place the watchdog may throw.
+  if (pairs.size() > start) {
+    util::telemetry::progress_enqueued(pairs.size() - start);
+  }
+  std::uint64_t reported = start;
+  const auto report_progress = [&](std::uint64_t next_pair) {
+    if (next_pair <= reported) return;
+    util::telemetry::progress_done(next_pair - reported);
+    reported = next_pair;
+    util::telemetry::poll_deadline();
+  };
+
   EngineCounters c;
   std::unordered_set<std::uint64_t> seen;
 
@@ -427,6 +443,7 @@ EngineCounters run_serial(const seq::SequenceSet& set,
     };
     for (std::uint64_t i = 0; i < pairs.size(); ++i) {
       if (i < start) continue;  // already folded into the resumed state
+      if ((i & 1023u) == 0) report_progress(i);  // filtered streaks count
       const PairTask& task = pairs[static_cast<std::size_t>(i)];
       ++c.promising_pairs;
       if (!seen.insert(task.pair_key()).second) {
@@ -441,16 +458,19 @@ EngineCounters run_serial(const seq::SequenceSet& set,
       batch.push_back(task);
       if (batch.size() >= params.batch_size) {
         flush();
+        report_progress(i + 1);
         maybe_checkpoint(i + 1);
       }
     }
     flush();
+    report_progress(pairs.size());
     record_engine_counters(c);
     return c;
   }
 
   for (std::uint64_t i = 0; i < pairs.size(); ++i) {
     if (i < start) continue;  // already folded into the resumed state
+    if ((i & 1023u) == 0) report_progress(i);  // filtered streaks count
     const PairTask& task = pairs[static_cast<std::size_t>(i)];
     ++c.promising_pairs;
     if (!seen.insert(task.pair_key()).second) {
@@ -464,8 +484,10 @@ EngineCounters run_serial(const seq::SequenceSet& set,
     ++c.aligned_pairs;
     std::uint64_t cells = 0;
     master_policy.apply(worker_policy.evaluate(task, &cells));
+    if (((i + 1) & 255u) == 0) report_progress(i + 1);
     maybe_checkpoint(i + 1);
   }
+  report_progress(pairs.size());
   record_engine_counters(c);
   return c;
 }

@@ -19,6 +19,7 @@
 //                        would mostly wait (paper §V: CCD limits scaling).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -65,8 +66,23 @@ struct PhaseAnalysis {
   std::string verdict;             ///< one-line human-readable diagnosis
 };
 
+/// Percentile summary of one metrics size-histogram, as read from the
+/// report's `metrics.histograms` section (bucket-upper-bound resolution).
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
 struct ReportAnalysis {
   std::vector<PhaseAnalysis> phases;  ///< only phases with >= 1 rank
+  /// Non-empty metrics histograms, report order (e.g. family sizes,
+  /// component sizes, protocol round-trip latencies).
+  std::vector<HistogramSummary> histograms;
 
   /// Worst imbalance factor across analyzed phases (0 when none).
   [[nodiscard]] double max_imbalance() const;

@@ -171,14 +171,64 @@ ReportAnalysis analyze_report(const util::JsonValue& report,
     }
     out.phases.push_back(analyze_phase(phase, samples, options));
   }
+
+  // Size-distribution summaries from `metrics.histograms`. The section is
+  // optional (reports from runs without metrics, or predating it).
+  if (const util::JsonValue* metrics = report.find("metrics")) {
+    if (const util::JsonValue* histograms = metrics->find("histograms")) {
+      for (const auto& [name, h] : histograms->object) {
+        if (!h.is_object()) continue;
+        HistogramSummary s;
+        s.name = name;
+        const auto u64_of = [&h](const char* key) -> std::uint64_t {
+          const util::JsonValue* v = h.find(key);
+          return v && v->is_number() ? v->as_u64() : 0;
+        };
+        s.count = u64_of("count");
+        if (s.count == 0) continue;
+        if (const util::JsonValue* mean = h.find("mean")) {
+          s.mean = mean->as_number();
+        }
+        s.p50 = u64_of("p50");
+        s.p95 = u64_of("p95");
+        s.p99 = u64_of("p99");
+        s.max = u64_of("max");
+        out.histograms.push_back(std::move(s));
+      }
+    }
+  }
   return out;
 }
+
+namespace {
+
+std::string render_histograms(const ReportAnalysis& analysis) {
+  std::string out;
+  if (analysis.histograms.empty()) return out;
+  out += "size distributions (bucket-upper-bound percentiles)\n";
+  for (const HistogramSummary& h : analysis.histograms) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "  %-28s n=%llu  mean=%.2f  p50=%llu  p95=%llu  p99=%llu"
+                  "  max=%llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean, static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p95),
+                  static_cast<unsigned long long>(h.p99),
+                  static_cast<unsigned long long>(h.max));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string render_analysis(const ReportAnalysis& analysis) {
   std::string out;
   if (analysis.phases.empty()) {
-    return "no simulated phases in this report (serial run) — nothing to "
-           "analyze\n";
+    out = "no simulated phases in this report (serial run) — nothing to "
+          "analyze\n";
+    return out + render_histograms(analysis);
   }
   for (const PhaseAnalysis& p : analysis.phases) {
     out += "phase " + p.phase + " (" + std::to_string(p.ranks) + " ranks)\n";
@@ -202,6 +252,7 @@ std::string render_analysis(const ReportAnalysis& analysis) {
     out += "\n";
     out += "  verdict:             " + p.verdict + "\n";
   }
+  out += render_histograms(analysis);
   return out;
 }
 
@@ -228,6 +279,19 @@ std::string render_analysis_json(const ReportAnalysis& analysis) {
     for (const int r : p.stragglers) w.value(r);
     w.end_array();
     w.key("verdict").value(p.verdict);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const HistogramSummary& h : analysis.histograms) {
+    w.begin_object();
+    w.key("name").value(h.name);
+    w.key("count").value(static_cast<double>(h.count));
+    w.key("mean").value(h.mean);
+    w.key("p50").value(static_cast<double>(h.p50));
+    w.key("p95").value(static_cast<double>(h.p95));
+    w.key("p99").value(static_cast<double>(h.p99));
+    w.key("max").value(static_cast<double>(h.max));
     w.end_object();
   }
   w.end_array();

@@ -14,6 +14,7 @@
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/strings.hpp"
+#include "pclust/util/telemetry.hpp"
 #include "pclust/util/timer.hpp"
 #include "pclust/util/trace.hpp"
 
@@ -315,6 +316,9 @@ PipelineResult run(const seq::SequenceSet& input,
   } else {
     const util::trace::WallSpan span("rr");
     if (parallel) trace_sim_phase("sim:rr", config.processors);
+    // RR always runs flat (see below), so masters is 1 either way.
+    util::telemetry::phase_begin("rr", parallel,
+                                 parallel ? config.processors : 1, 1);
     util::Timer timer;
     pace::PaceParams rr_params = config.pace;
     rr_params.band = config.rr_band;
@@ -330,6 +334,7 @@ PipelineResult run(const seq::SequenceSet& input,
                     : pace::remove_redundant_serial(set, rr_params, pool_arg);
     result.rr_seconds =
         parallel ? result.rr.run.makespan : timer.elapsed_seconds();
+    util::telemetry::phase_end("rr", result.rr_seconds);
     if (parallel) trace_sim_result(result.rr.run);
     if (ckpt.enabled()) {
       util::CheckpointWriter payload = ckpt.payload(result.rr_seconds);
@@ -341,6 +346,7 @@ PipelineResult run(const seq::SequenceSet& input,
     log_phase("rr", "computed");
   }
   sample_phase_rss("rr");
+  util::telemetry::poll_deadline();
   const std::vector<seq::SeqId> survivors = result.rr.survivors();
   result.non_redundant_sequences = survivors.size();
   PCLUST_INFO << "pipeline: RR kept " << survivors.size() << " of "
@@ -365,6 +371,10 @@ PipelineResult run(const seq::SequenceSet& input,
       trace_sim_phase("sim:ccd", config.processors,
                       std::max(1, ccd_params.masters));
     }
+    util::telemetry::phase_begin("ccd", parallel,
+                                 parallel ? config.processors : 1,
+                                 parallel ? std::max(1, ccd_params.masters)
+                                          : 1);
     util::Timer timer;
     // Mid-stream progress snapshots (serial path only: the pair stream
     // index is only a meaningful watermark there). `prior_seconds` carries
@@ -403,6 +413,7 @@ PipelineResult run(const seq::SequenceSet& input,
                              : std::function<void(const pace::CcdProgress&)>());
     result.ccd_seconds = parallel ? result.ccd.run.makespan
                                   : prior_seconds + timer.elapsed_seconds();
+    util::telemetry::phase_end("ccd", result.ccd_seconds);
     if (parallel) trace_sim_result(result.ccd.run);
     if (ckpt.enabled()) {
       util::CheckpointWriter payload = ckpt.payload(result.ccd_seconds);
@@ -427,6 +438,7 @@ PipelineResult run(const seq::SequenceSet& input,
     }
   }
   sample_phase_rss("ccd");
+  util::telemetry::poll_deadline();
   result.components_min_size =
       result.ccd.count_with_min_size(config.min_component);
   PCLUST_INFO << "pipeline: CCD found " << result.components_min_size
@@ -453,6 +465,23 @@ PipelineResult run(const seq::SequenceSet& input,
 
   // ---- Phase 3: bipartite graph generation --------------------------------
   const util::trace::WallSpan bgg_dsd_span("bgg+dsd");
+  std::size_t qualifying = 0;
+  for (const auto& component : result.ccd.components) {
+    if (component.size() >= config.min_component) ++qualifying;
+  }
+  const bool dsd_parallel = config.dsd_processors >= 2 && qualifying > 0;
+  int dsd_masters = 1;
+  if (dsd_parallel) {
+    // Mirrors the narrow-topology fallback below so the phase record names
+    // the master count the protocol will actually run with.
+    dsd_masters = std::max(1, config.pace.masters);
+    if (dsd_masters > 1 && config.dsd_processors < dsd_masters + 2) {
+      dsd_masters = 1;
+    }
+  }
+  util::telemetry::phase_begin("bgg+dsd", dsd_parallel,
+                               dsd_parallel ? config.dsd_processors : 1,
+                               dsd_masters);
   util::Timer dsd_timer;
   std::vector<bigraph::ComponentGraph> graphs;
   for (const auto& component : result.ccd.components) {
@@ -506,11 +535,16 @@ PipelineResult run(const seq::SequenceSet& input,
       }
     }
   } else {
+    // Serial DSD: one progress unit per component graph, the same
+    // granularity the protocol path reports via its verdict stream.
+    util::telemetry::progress_enqueued(graphs.size());
     for (std::size_t g = 0; g < graphs.size(); ++g) {
       for (auto& members : shingle::report_families(graphs[g], config.shingle,
                                                     nullptr, pool_arg)) {
         raw.push_back(RawFamily{g, std::move(members)});
       }
+      util::telemetry::progress_done(1);
+      util::telemetry::poll_deadline();
     }
   }
 
@@ -534,7 +568,9 @@ PipelineResult run(const seq::SequenceSet& input,
     result.families.push_back(std::move(family));
   }
   result.bgg_dsd_seconds = dsd_timer.elapsed_seconds();
+  util::telemetry::phase_end("bgg+dsd", result.bgg_dsd_seconds);
   sample_phase_rss("bgg+dsd");
+  util::telemetry::poll_deadline();
 
   std::sort(result.families.begin(), result.families.end(),
             [](const Family& a, const Family& b) {

@@ -12,6 +12,7 @@
 #include "pclust/util/json.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
+#include "pclust/util/telemetry.hpp"
 
 namespace pclust::pipeline {
 
@@ -348,6 +349,22 @@ std::string render_report(const PipelineResult& result,
   w.key("dsd_simulated_seconds").value(result.dsd_simulated_seconds);
   w.end_object();
 
+  // `telemetry` provenance: present only when a stream was active while
+  // the report was rendered, so a report can say "this run also produced
+  // telemetry at <path>" and how much of it.
+  if (const util::telemetry::TelemetryStatus tele = util::telemetry::status();
+      tele.enabled) {
+    w.key("telemetry").begin_object();
+    w.key("path").value(tele.path);
+    w.key("interval").value(tele.interval);
+    w.key("records").value(tele.records);
+    w.key("samples").value(tele.samples);
+    w.key("warnings").value(tele.warnings);
+    w.key("stalls").value(tele.stalls);
+    w.key("fatal").value(tele.fatal);
+    w.end_object();
+  }
+
   w.key("memory");
   emit_memory(w, snapshot);
 
@@ -528,6 +545,21 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
             return fail(error, std::string("hierarchy.") + key +
                                    ": negative count");
           }
+        }
+      }
+    }
+
+    // `telemetry` (optional — present when a stream was live): a readable
+    // path string and non-negative stream counters.
+    if (const util::JsonValue* tele = report.find("telemetry")) {
+      if (!tele->is_object()) {
+        return fail(error, "telemetry must be an object");
+      }
+      (void)tele->at("path").as_string();
+      for (const char* key : {"records", "samples", "warnings", "stalls"}) {
+        if (tele->at(key).as_number() < 0.0) {
+          return fail(error, std::string("telemetry.") + key +
+                                 ": negative count");
         }
       }
     }

@@ -127,6 +127,15 @@ struct MetricsSnapshot {
     return it == counters.end() ? 0 : it->second;
   }
 
+  /// What happened between @p prev and this snapshot: counters and
+  /// histogram counts/sums/buckets subtract (clamped at zero, so a
+  /// registry reset between the two snapshots degrades to this snapshot's
+  /// absolute values rather than wrapping); gauges keep their current
+  /// last/max (a gauge delta has no meaning). Metrics absent from @p prev
+  /// are treated as previously zero. Feeds interval-sampling consumers
+  /// (the telemetry stream's per-window counter deltas).
+  [[nodiscard]] MetricsSnapshot delta_since(const MetricsSnapshot& prev) const;
+
   /// Serialize as {"counters":{...},"gauges":{...},"histograms":{...}}.
   void to_json(JsonWriter& w) const;
 };

@@ -1,6 +1,7 @@
 #include "pclust/util/log.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -25,11 +26,16 @@ const char* level_tag(LogLevel level) {
 
 // Optional append sink named by PCLUST_LOG_FILE; resolved once, on the
 // first log line (under g_mutex). nullptr when unset or unopenable.
+// Line-buffered so live consumers (`tail -f`, `pclust monitor`) see each
+// record as soon as it is written — every log_line additionally flushes,
+// making the per-record delivery guarantee independent of libc buffering.
 std::FILE* log_file() {
   static std::FILE* file = []() -> std::FILE* {
     const char* path = std::getenv("PCLUST_LOG_FILE");
     if (!path || !*path) return nullptr;
-    return std::fopen(path, "a");
+    std::FILE* f = std::fopen(path, "a");
+    if (f) std::setvbuf(f, nullptr, _IOLBF, 0);
+    return f;
   }();
   return file;
 }
@@ -58,10 +64,16 @@ void log_line(LogLevel level, std::string_view msg) {
   char ts[32];
   format_timestamp(ts, sizeof(ts));
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s pclust %s] %.*s\n", ts, level_tag(level),
+  // Monotonic per-process sequence after the second-resolution timestamp:
+  // lines sharing one timestamp stay totally ordered for stream consumers.
+  static std::uint64_t sequence = 0;
+  const std::uint64_t seq = ++sequence;
+  std::fprintf(stderr, "[%s#%06llu pclust %s] %.*s\n", ts,
+               static_cast<unsigned long long>(seq), level_tag(level),
                static_cast<int>(msg.size()), msg.data());
   if (std::FILE* f = log_file()) {
-    std::fprintf(f, "[%s pclust %s] %.*s\n", ts, level_tag(level),
+    std::fprintf(f, "[%s#%06llu pclust %s] %.*s\n", ts,
+                 static_cast<unsigned long long>(seq), level_tag(level),
                  static_cast<int>(msg.size()), msg.data());
     std::fflush(f);
   }

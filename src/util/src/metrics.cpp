@@ -105,6 +105,33 @@ void SizeHistogram::reset() noexcept {
 // MetricsSnapshot
 // ---------------------------------------------------------------------------
 
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& prev)
+    const {
+  const auto sub = [](std::uint64_t cur, std::uint64_t old) {
+    return cur >= old ? cur - old : cur;  // reset between snapshots
+  };
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = prev.counters.find(name);
+    out.counters[name] =
+        sub(value, it == prev.counters.end() ? 0 : it->second);
+  }
+  out.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    SizeHistogram::Snapshot d = h;
+    const auto it = prev.histograms.find(name);
+    if (it != prev.histograms.end() && it->second.count <= h.count) {
+      d.count = h.count - it->second.count;
+      d.sum = sub(h.sum, it->second.sum);
+      for (unsigned b = 0; b < SizeHistogram::kBuckets; ++b) {
+        d.buckets[b] = sub(h.buckets[b], it->second.buckets[b]);
+      }
+    }
+    out.histograms[name] = d;
+  }
+  return out;
+}
+
 void MetricsSnapshot::to_json(JsonWriter& w) const {
   w.begin_object();
   w.key("counters").begin_object();
@@ -129,6 +156,7 @@ void MetricsSnapshot::to_json(JsonWriter& w) const {
     w.key("mean").value(h.mean());
     w.key("p50").value(h.percentile(50));
     w.key("p90").value(h.percentile(90));
+    w.key("p95").value(h.percentile(95));
     w.key("p99").value(h.percentile(99));
     // Self-describing buckets: [lo, hi] value range plus count, non-empty
     // buckets only. Consumers (perf-diff, compare) can diff distributions

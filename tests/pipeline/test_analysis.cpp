@@ -156,5 +156,41 @@ TEST(Analysis, RendersCoverEveryPhase) {
   EXPECT_EQ(round.at("phases").array.size(), 1u);
 }
 
+TEST(Analysis, AnalyzeReportSummarizesMetricsHistograms) {
+  const util::JsonValue report = util::parse_json(R"({
+    "rank_times": {},
+    "metrics": {
+      "histograms": {
+        "families.family_size":
+          {"count": 8, "sum": 205, "mean": 25.6, "max": 81,
+           "p50": 15, "p90": 63, "p95": 81, "p99": 81},
+        "pace.round_trip_us":
+          {"count": 0, "sum": 0, "mean": 0.0, "max": 0,
+           "p50": 0, "p90": 0, "p95": 0, "p99": 0}
+      }
+    }
+  })");
+  const ReportAnalysis analysis = analyze_report(report);
+  // Empty histograms are dropped.
+  ASSERT_EQ(analysis.histograms.size(), 1u);
+  const HistogramSummary& h = analysis.histograms[0];
+  EXPECT_EQ(h.name, "families.family_size");
+  EXPECT_EQ(h.count, 8u);
+  EXPECT_DOUBLE_EQ(h.mean, 25.6);
+  EXPECT_EQ(h.p50, 15u);
+  EXPECT_EQ(h.p95, 81u);
+  EXPECT_EQ(h.p99, 81u);
+  EXPECT_EQ(h.max, 81u);
+
+  // Both renders surface the percentile ladder.
+  const std::string text = render_analysis(analysis);
+  EXPECT_NE(text.find("size distributions"), std::string::npos);
+  EXPECT_NE(text.find("families.family_size"), std::string::npos);
+  const util::JsonValue round =
+      util::parse_json(render_analysis_json(analysis));
+  ASSERT_EQ(round.at("histograms").array.size(), 1u);
+  EXPECT_EQ(round.at("histograms").array[0].at("p95").as_u64(), 81u);
+}
+
 }  // namespace
 }  // namespace pclust::pipeline

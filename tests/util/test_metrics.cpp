@@ -99,6 +99,35 @@ TEST(MetricsRegistry, ResetZeroesInPlace) {
   EXPECT_EQ(h.snapshot().count, 0u);
 }
 
+TEST(MetricsSnapshot, DeltaSinceSubtractsPerName) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("work.done");
+  SizeHistogram& h = reg.histogram("batch");
+  c.add(10);
+  h.add(4);
+  const MetricsSnapshot before = reg.snapshot();
+  c.add(5);
+  reg.counter("late.arrival").add(7);  // absent from `before`
+  h.add(4);
+  h.add(100);
+  const MetricsSnapshot delta = reg.snapshot().delta_since(before);
+  EXPECT_EQ(delta.counter("work.done"), 5u);
+  EXPECT_EQ(delta.counter("late.arrival"), 7u);  // full value when new
+  const auto hist = delta.histograms.at("batch");
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_EQ(hist.sum, 104u);
+}
+
+TEST(MetricsSnapshot, DeltaSinceToleratesResets) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(100);
+  const MetricsSnapshot before = reg.snapshot();
+  reg.reset();
+  c.add(3);  // counter restarted below its previous value
+  EXPECT_EQ(reg.snapshot().delta_since(before).counter("c"), 3u);
+}
+
 TEST(MetricsSnapshot, ToJsonIsParseableAndComplete) {
   MetricsRegistry reg;
   reg.counter("pace.alignments_attempted").add(12);
@@ -114,6 +143,10 @@ TEST(MetricsSnapshot, ToJsonIsParseableAndComplete) {
       v.at("histograms").at("pace.work_batch_size");
   EXPECT_EQ(hist.at("count").as_u64(), 1u);
   EXPECT_EQ(hist.at("max").as_u64(), 200u);
+  // Percentile ladder for telemetry/analyze consumers: p50/p90/p95/p99.
+  for (const char* p : {"p50", "p90", "p95", "p99"}) {
+    EXPECT_NE(hist.find(p), nullptr) << p;
+  }
 }
 
 TEST(Metrics, ProcessRegistryIsASingleton) {

@@ -1,0 +1,374 @@
+#include "pclust/util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pclust/util/json.hpp"
+#include "pclust/util/log.hpp"
+
+namespace pclust::util::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WatchdogPolicy: pure heuristics, deterministic inputs.
+
+WatchdogInputs at(double t, double last_progress, std::uint64_t done = 1) {
+  WatchdogInputs in;
+  in.t = t;
+  in.phase_active = true;
+  in.phase_started = 0.0;
+  in.done = done;
+  in.last_progress = last_progress;
+  in.rss_kb = 1000;
+  return in;
+}
+
+TEST(WatchdogPolicy, StallWarnsOncePerEpisodeAndRearms) {
+  WatchdogLimits limits;
+  limits.stall_seconds = 10.0;
+  WatchdogPolicy dog(limits);
+
+  EXPECT_TRUE(dog.observe(at(5.0, 0.0)).empty());
+  auto warns = dog.observe(at(15.0, 0.0));
+  ASSERT_EQ(warns.size(), 1u);
+  EXPECT_EQ(warns[0].kind, "stall");
+  EXPECT_DOUBLE_EQ(warns[0].stalled_seconds, 15.0);
+  EXPECT_TRUE(dog.stalled());
+  // Episode continues: no repeat warning.
+  EXPECT_TRUE(dog.observe(at(25.0, 0.0)).empty());
+  // Progress resumes: re-armed...
+  EXPECT_TRUE(dog.observe(at(26.0, 25.5, 2)).empty());
+  EXPECT_FALSE(dog.stalled());
+  // ...so a second episode warns again.
+  warns = dog.observe(at(40.0, 25.5, 2));
+  ASSERT_EQ(warns.size(), 1u);
+  EXPECT_EQ(warns[0].kind, "stall");
+}
+
+TEST(WatchdogPolicy, StallMeasuresFromPhaseStartBeforeFirstProgress) {
+  WatchdogLimits limits;
+  limits.stall_seconds = 10.0;
+  WatchdogPolicy dog(limits);
+  WatchdogInputs in = at(8.0, 0.0, 0);
+  in.phase_started = 5.0;  // phase began at t=5, so only 3s elapsed
+  EXPECT_DOUBLE_EQ(dog.stalled_seconds(in), 3.0);
+  EXPECT_TRUE(dog.observe(in).empty());
+  in.phase_active = false;
+  EXPECT_DOUBLE_EQ(dog.stalled_seconds(in), 0.0);
+}
+
+TEST(WatchdogPolicy, RetrySpikeComparesAgainstPreviousObservation) {
+  WatchdogLimits limits;
+  limits.retry_spike = 4;
+  WatchdogPolicy dog(limits);
+
+  // First observation only sets the baseline, however large.
+  WatchdogInputs in = at(1.0, 0.5);
+  in.link_retries = 100;
+  EXPECT_TRUE(dog.observe(in).empty());
+  // +3 within one window: below threshold.
+  in.t = 2.0;
+  in.last_progress = 1.5;
+  in.link_retries = 103;
+  EXPECT_TRUE(dog.observe(in).empty());
+  // +4: spike.
+  in.t = 3.0;
+  in.last_progress = 2.5;
+  in.link_retries = 107;
+  auto warns = dog.observe(in);
+  ASSERT_EQ(warns.size(), 1u);
+  EXPECT_EQ(warns[0].kind, "heartbeat_retries");
+}
+
+TEST(WatchdogPolicy, RssGrowthWarnsOncePerPhase) {
+  WatchdogLimits limits;
+  limits.rss_growth_factor = 1.5;
+  limits.rss_window = 3;
+  WatchdogPolicy dog(limits);
+
+  const auto feed = [&](std::uint64_t rss_kb) {
+    WatchdogInputs in = at(1.0, 0.5);
+    in.rss_kb = rss_kb;
+    return dog.observe(in);
+  };
+  EXPECT_TRUE(feed(1000).empty());  // window not yet full
+  EXPECT_TRUE(feed(1400).empty());
+  // Window {1000,1400,2000}: monotone, ratio 2.0 > 1.5.
+  auto warns = feed(2000);
+  ASSERT_EQ(warns.size(), 1u);
+  EXPECT_EQ(warns[0].kind, "rss_growth");
+  // Once per phase.
+  EXPECT_TRUE(feed(4000).empty());
+  // phase_reset re-arms and clears the history.
+  dog.phase_reset();
+  EXPECT_TRUE(feed(5000).empty());
+  EXPECT_TRUE(feed(8000).empty());
+  EXPECT_EQ(feed(9000).size(), 1u);
+}
+
+TEST(WatchdogPolicy, NonMonotoneRssDoesNotWarn) {
+  WatchdogLimits limits;
+  limits.rss_growth_factor = 1.5;
+  limits.rss_window = 3;
+  WatchdogPolicy dog(limits);
+  const auto feed = [&](std::uint64_t rss_kb) {
+    WatchdogInputs in = at(1.0, 0.5);
+    in.rss_kb = rss_kb;
+    return dog.observe(in);
+  };
+  EXPECT_TRUE(feed(1000).empty());
+  EXPECT_TRUE(feed(900).empty());  // dip breaks monotonicity
+  EXPECT_TRUE(feed(2000).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stream-level tests: enable to a temp file, drive the hooks, parse JSONL.
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Zero the "seq" field so streams with different interleaved wall samples
+/// compare equal on their deterministic records.
+std::string strip_seq(std::string line) {
+  const auto pos = line.find("\"seq\":");
+  if (pos == std::string::npos) return line;
+  auto end = pos + 6;
+  while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end]))) {
+    ++end;
+  }
+  return line.substr(0, pos + 6) + "0" + line.substr(end);
+}
+
+/// enable() per test with a long wall interval (no wall samples interfere),
+/// disable() on exit — the stream is process-global.
+class TelemetryStreamTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disable(); }
+
+  TelemetryConfig config(const std::string& name) const {
+    TelemetryConfig c;
+    c.path = ::testing::TempDir() + name;
+    c.command = "test_telemetry";
+    c.interval = 3600.0;       // park the wall sampler
+    c.virtual_interval = 1.0;  // deterministic virtual cadence
+    return c;
+  }
+};
+
+TEST_F(TelemetryStreamTest, EmitsSchemaValidJsonl) {
+  const TelemetryConfig cfg = config("stream_schema.jsonl");
+  enable(cfg);
+  EXPECT_TRUE(enabled());
+  phase_begin("rr", /*virtual_time=*/false, 1, 1);
+  progress_enqueued(10);
+  progress_done(4);
+  progress_merges(2);
+  poll_deadline();  // no deadline configured: must not throw
+  phase_end("rr", 0.5);
+  disable();
+  EXPECT_FALSE(enabled());
+
+  const std::vector<std::string> lines = read_lines(cfg.path);
+  ASSERT_EQ(lines.size(), 4u);  // start, phase begin, phase end, end
+
+  const JsonValue start = parse_json(lines[0]);
+  EXPECT_EQ(start.at("type").as_string(), "start");
+  EXPECT_EQ(start.at("schema").as_string(), "pclust-telemetry");
+  EXPECT_EQ(start.at("version").as_u64(), 1u);
+  EXPECT_EQ(start.at("command").as_string(), "test_telemetry");
+  EXPECT_GT(start.at("watchdog").at("wall_stall_seconds").as_number(), 0.0);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const JsonValue v = parse_json(lines[i]);
+    EXPECT_EQ(v.at("seq").as_u64(), i) << lines[i];
+    // All four records here are wall-domain: t + ISO-8601 ts present.
+    EXPECT_GE(v.at("t").as_number(), 0.0);
+    EXPECT_EQ(v.at("ts").as_string().size(), 20u);
+  }
+
+  const JsonValue begin = parse_json(lines[1]);
+  EXPECT_EQ(begin.at("type").as_string(), "phase");
+  EXPECT_EQ(begin.at("event").as_string(), "begin");
+  EXPECT_EQ(begin.at("phase").as_string(), "rr");
+  EXPECT_EQ(begin.at("mode").as_string(), "wall");
+  EXPECT_EQ(begin.at("ranks").as_u64(), 1u);
+
+  const JsonValue end_phase = parse_json(lines[2]);
+  EXPECT_EQ(end_phase.at("event").as_string(), "end");
+  EXPECT_DOUBLE_EQ(end_phase.at("seconds").as_number(), 0.5);
+  EXPECT_EQ(end_phase.at("progress").at("enqueued").as_u64(), 10u);
+  EXPECT_EQ(end_phase.at("progress").at("done").as_u64(), 4u);
+  EXPECT_EQ(end_phase.at("progress").at("merges").as_u64(), 2u);
+  EXPECT_GE(end_phase.at("max_progress_gap").at("wall").as_number(), 0.0);
+
+  const JsonValue end = parse_json(lines[3]);
+  EXPECT_EQ(end.at("type").as_string(), "end");
+  EXPECT_EQ(end.at("warnings").as_u64(), 0u);
+  EXPECT_EQ(end.at("stalls").as_u64(), 0u);
+}
+
+/// One scripted virtual phase; returns the mode:"virtual" sample lines.
+std::vector<std::string> scripted_virtual_run(const TelemetryConfig& cfg) {
+  enable(cfg);
+  phase_begin("ccd", /*virtual_time=*/true, 3, 1);
+  progress_enqueued(100);
+  record_rank(0, "master", 0.1, 0.4, 0.0);
+  record_rank(1, "worker", 0.8, 0.1, 0.1);
+  record_rank(2, "worker", 0.7, 0.2, 0.1);
+  record_round_trip(0.25);
+  progress_done_virtual(10, 0.9);
+  virtual_tick(1.2);  // crosses vt=1.0
+  record_rank(1, "worker", 1.6, 0.2, 0.2);
+  record_round_trip(0.5);
+  progress_done_virtual(20, 2.1);
+  virtual_tick(2.6);  // crosses vt=2.0
+  virtual_tick(2.9);  // no crossing: no sample
+  phase_end("ccd", 2.9);
+  disable();
+
+  std::vector<std::string> samples;
+  for (const std::string& line : read_lines(cfg.path)) {
+    // phase-begin records carry mode:"virtual" too; samples only here.
+    if (line.find("\"type\":\"sample\"") != std::string::npos &&
+        line.find("\"mode\":\"virtual\"") != std::string::npos) {
+      samples.push_back(strip_seq(line));
+    }
+  }
+  return samples;
+}
+
+TEST_F(TelemetryStreamTest, VirtualSamplesAreByteIdenticalAcrossRuns) {
+  const auto first = scripted_virtual_run(config("virtual_a.jsonl"));
+  const auto second = scripted_virtual_run(config("virtual_b.jsonl"));
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first, second);
+
+  // Virtual-domain records carry no wall-clock fields.
+  for (const std::string& line : first) {
+    EXPECT_EQ(line.find("\"t\":"), std::string::npos) << line;
+    EXPECT_EQ(line.find("\"ts\":"), std::string::npos) << line;
+  }
+
+  const JsonValue s0 = parse_json(first[0]);
+  EXPECT_EQ(s0.at("type").as_string(), "sample");
+  EXPECT_DOUBLE_EQ(s0.at("vt").as_number(), 1.2);
+  EXPECT_EQ(s0.at("progress").at("done").as_u64(), 10u);
+  // rate = 10 done / 1.2 virtual seconds; ETA covers the remaining 90.
+  EXPECT_NEAR(s0.at("rate").as_number(), 10.0 / 1.2, 1e-9);
+  EXPECT_NEAR(s0.at("eta_seconds").as_number(), 90.0 / (10.0 / 1.2), 1e-9);
+  ASSERT_EQ(s0.at("ranks").array.size(), 3u);
+  EXPECT_EQ(s0.at("ranks").array[1].at("level").as_string(), "worker");
+  EXPECT_DOUBLE_EQ(s0.at("ranks").array[1].at("busy").as_number(), 0.8);
+
+  // Second sample: per-rank figures are deltas against the first.
+  const JsonValue s1 = parse_json(first[1]);
+  EXPECT_DOUBLE_EQ(s1.at("ranks").array[1].at("busy").as_number(),
+                   1.6 - 0.8);
+  EXPECT_DOUBLE_EQ(s1.at("ranks").array[0].at("busy").as_number(), 0.0);
+  EXPECT_EQ(s1.at("round_trip_us").at("count").as_u64(), 2u);
+}
+
+TEST_F(TelemetryStreamTest, VirtualStallWarnsDeterministically) {
+  TelemetryConfig cfg = config("virtual_stall.jsonl");
+  cfg.virtual_stall_seconds = 1.0;
+  enable(cfg);
+  phase_begin("rr", /*virtual_time=*/true, 2, 1);
+  progress_done_virtual(1, 0.5);
+  progress_done_virtual(1, 5.0);  // 4.5 virtual seconds of silence
+  const TelemetryStatus mid = status();
+  EXPECT_EQ(mid.warnings, 1u);
+  EXPECT_EQ(mid.stalls, 1u);
+  progress_done_virtual(1, 12.0);  // already warned this phase: no repeat
+  EXPECT_EQ(status().warnings, 1u);
+  phase_end("rr", 12.0);
+  disable();
+
+  std::vector<JsonValue> warnings;
+  JsonValue phase_end_record;
+  for (const std::string& line : read_lines(cfg.path)) {
+    const JsonValue v = parse_json(line);
+    if (v.at("type").as_string() == "warning") warnings.push_back(v);
+    if (v.at("type").as_string() == "phase" &&
+        v.at("event").as_string() == "end") {
+      phase_end_record = v;
+    }
+  }
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].at("kind").as_string(), "stall");
+  EXPECT_EQ(warnings[0].at("mode").as_string(), "virtual");
+  EXPECT_DOUBLE_EQ(warnings[0].at("stalled_seconds").as_number(), 4.5);
+  EXPECT_DOUBLE_EQ(warnings[0].at("vt").as_number(), 5.0);
+  // The phase-end gap ledger records the worst observed gap (7.0 from the
+  // second silence), the calibration basis for --telemetry-stall.
+  EXPECT_DOUBLE_EQ(
+      phase_end_record.at("max_progress_gap").at("virtual").as_number(), 7.0);
+}
+
+TEST_F(TelemetryStreamTest, DisabledHooksAreNoOps) {
+  ASSERT_FALSE(enabled());
+  phase_begin("rr", true, 4, 1);
+  progress_enqueued(5);
+  progress_done(5);
+  record_rank(1, "worker", 1.0, 0.0, 0.0);
+  virtual_tick(10.0);
+  poll_deadline();
+  phase_end("rr", 1.0);
+  const TelemetryStatus s = status();
+  EXPECT_FALSE(s.enabled);
+  EXPECT_EQ(s.records, 0u);
+}
+
+TEST_F(TelemetryStreamTest, StatusReflectsLiveStream) {
+  const TelemetryConfig cfg = config("status.jsonl");
+  enable(cfg);
+  phase_begin("rr", false, 1, 1);
+  const TelemetryStatus s = status();
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.path, cfg.path);
+  EXPECT_DOUBLE_EQ(s.interval, 3600.0);
+  EXPECT_EQ(s.records, 2u);  // start + phase begin
+  EXPECT_FALSE(s.fatal);
+}
+
+// ---------------------------------------------------------------------------
+// Log-line format: ISO-8601 timestamp, then a monotonic sequence number so
+// stream consumers can totally order lines within one second.
+
+TEST(LogLine, CarriesTimestampAndMonotonicSequence) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  PCLUST_INFO << "telemetry-log-probe-one";
+  PCLUST_INFO << "telemetry-log-probe-two";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  set_log_level(saved);
+
+  // Expected shape: [2026-08-08T12:34:56Z#000123 pclust INFO ] msg
+  const auto seq_of = [&err](const std::string& probe) -> long {
+    const auto msg = err.find(probe);
+    if (msg == std::string::npos) return -1;
+    const auto open = err.rfind('[', msg);
+    const auto hash = err.find('#', open);
+    EXPECT_EQ(hash - open, 21u);  // '[' + 20-char ISO-8601 timestamp
+    EXPECT_EQ(err[open + 11], 'T');
+    EXPECT_EQ(err[hash - 1], 'Z');
+    EXPECT_EQ(err.substr(hash + 7, 13), " pclust INFO ");
+    return std::stol(err.substr(hash + 1, 6));
+  };
+  const long first = seq_of("telemetry-log-probe-one");
+  const long second = seq_of("telemetry-log-probe-two");
+  ASSERT_GT(first, 0);
+  EXPECT_EQ(second, first + 1);
+}
+
+}  // namespace
+}  // namespace pclust::util::telemetry

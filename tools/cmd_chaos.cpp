@@ -50,6 +50,7 @@
 #include "pclust/util/json.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/options.hpp"
+#include "pclust/util/telemetry.hpp"
 
 namespace pclust::cli {
 
@@ -168,6 +169,12 @@ int cmd_chaos(int argc, const char* const* argv) {
   options.define("workdir", "",
                  "scratch directory for checkpoint scenarios (default: a "
                  "temp dir; removed afterwards unless given explicitly)");
+  options.define("telemetry-out", "",
+                 "stream JSONL run telemetry for the whole sweep to this "
+                 "path; every per-seed pipeline run contributes its phase "
+                 "records (inspect with `pclust monitor`)");
+  options.define("telemetry-interval", "1",
+                 "wall seconds between telemetry samples");
   define_simd_option(options);
   options.parse(argc, argv);
   if (options.help_requested()) {
@@ -211,6 +218,15 @@ int cmd_chaos(int argc, const char* const* argv) {
   std::printf("chaos: %zu sequences, %llu seeds, rr/ccd p=%d, dsd p=%d\n",
               sequences.size(), static_cast<unsigned long long>(seeds),
               processors, dsd_processors);
+
+  util::telemetry::TelemetryConfig telemetry;
+  telemetry.path = options.get("telemetry-out");
+  telemetry.command = "chaos";
+  telemetry.interval = get_double_in(options, "telemetry-interval", 0.01, 3600.0);
+  if (!telemetry.path.empty()) {
+    require_writable(telemetry.path);
+    util::telemetry::enable(telemetry);
+  }
 
   const bool own_workdir = options.get("workdir").empty();
   const std::filesystem::path workdir =
@@ -503,6 +519,10 @@ int cmd_chaos(int argc, const char* const* argv) {
   if (own_workdir) {
     std::error_code ec;
     std::filesystem::remove_all(workdir, ec);
+  }
+  if (!telemetry.path.empty()) {
+    util::telemetry::disable();
+    std::printf("wrote telemetry to %s\n", telemetry.path.c_str());
   }
   if (failures != 0) {
     std::fprintf(stderr, "chaos: %llu of %llu seeds FAILED\n",

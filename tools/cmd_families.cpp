@@ -14,6 +14,7 @@
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/options.hpp"
 #include "pclust/util/strings.hpp"
+#include "pclust/util/telemetry.hpp"
 #include "pclust/util/trace.hpp"
 
 namespace pclust::cli {
@@ -62,6 +63,24 @@ int cmd_families(int argc, const char* const* argv) {
   options.define("trace-out", "",
                  "write a Chrome trace-event JSON timeline (load in "
                  "Perfetto / chrome://tracing) to this path");
+  options.define("telemetry-out", "",
+                 "stream JSONL run telemetry to this path while the "
+                 "pipeline executes: periodic samples (metrics deltas, "
+                 "RSS, progress/ETA, per-rank busy/comm/idle), watchdog "
+                 "warnings, and phase records; inspect live or after the "
+                 "run with `pclust monitor`");
+  options.define("telemetry-interval", "1",
+                 "wall seconds between telemetry samples (also the "
+                 "virtual-domain sampling interval of simulated phases)");
+  options.define("telemetry-stall", "0",
+                 "VIRTUAL-seconds no-progress window that emits a "
+                 "deterministic stall warning during simulated phases "
+                 "(0 = off; calibrate against a healthy run's "
+                 "max_progress_gap)");
+  options.define("watchdog-deadline", "0",
+                 "WALL-seconds no-progress window after which the run "
+                 "aborts with a `fatal` telemetry record and exit 1 "
+                 "(0 = off; requires --telemetry-out)");
   options.define("crash", "",
                  "fault injection for simulated RR/CCD: comma-separated "
                  "rank@virtual-seconds crash schedule, e.g. 1@5,3@20 "
@@ -305,6 +324,18 @@ int cmd_families(int argc, const char* const* argv) {
   if (!report_out.empty()) require_writable(report_out);
   const std::string trace_out = options.get("trace-out");
   if (!trace_out.empty()) require_writable(trace_out);
+  util::telemetry::TelemetryConfig telemetry;
+  telemetry.path = options.get("telemetry-out");
+  telemetry.command = "families " + options.positionals()[0];
+  telemetry.interval = get_double_in(options, "telemetry-interval", 0.01, 3600.0);
+  telemetry.virtual_stall_seconds =
+      get_double_in(options, "telemetry-stall", 0.0, 1e9);
+  telemetry.watchdog_deadline =
+      get_double_in(options, "watchdog-deadline", 0.0, 86'400.0);
+  if (telemetry.path.empty() && telemetry.watchdog_deadline > 0.0) {
+    throw UsageError("--watchdog-deadline requires --telemetry-out");
+  }
+  if (!telemetry.path.empty()) require_writable(telemetry.path);
 
   apply_simd_option(options);
 
@@ -317,13 +348,20 @@ int cmd_families(int argc, const char* const* argv) {
   // run only (the registry is process-wide).
   util::metrics().reset();
   if (!trace_out.empty()) util::trace::enable();
+  if (!telemetry.path.empty()) util::telemetry::enable(telemetry);
 
   const pipeline::PipelineResult result = pipeline::run(sequences, config);
 
   if (!report_out.empty()) {
+    // While the stream is still open, so the report's telemetry section
+    // reflects the live status.
     pipeline::write_report(report_out, result, config,
                            {"families", options.positionals()[0]});
     std::printf("wrote run report to %s\n", report_out.c_str());
+  }
+  if (!telemetry.path.empty()) {
+    util::telemetry::disable();
+    std::printf("wrote telemetry to %s\n", telemetry.path.c_str());
   }
   if (!trace_out.empty()) {
     util::trace::write_file(trace_out);

@@ -1,0 +1,417 @@
+// `pclust monitor` — summarize (or follow) a telemetry JSONL stream
+// produced by `--telemetry-out` on families/simulate/chaos.
+//
+// Reads the stream (tolerating a partial trailing line while the producer
+// is mid-write), folds it into per-phase state, and prints a phase table
+// (progress, rate, ETA, duration), warning counts by kind, and the top
+// stragglers by cumulative busy virtual-time. With --follow it polls the
+// file until the `end` record arrives. With --fail-on-stall it exits 1
+// when the stream contains any stall warning or a fatal record — the CI
+// gate over a seeded-straggler run.
+#include <cstdio>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "commands.hpp"
+#include "pclust/util/json.hpp"
+#include "pclust/util/options.hpp"
+#include "pclust/util/strings.hpp"
+#include "pclust/util/table.hpp"
+
+namespace pclust::cli {
+
+namespace {
+
+struct PhaseState {
+  std::string mode;  // "virtual" | "wall"
+  int ranks = 1;
+  int masters = 1;
+  bool ended = false;
+  double seconds = 0.0;
+  std::uint64_t enqueued = 0, done = 0, merges = 0;
+  double rate = 0.0;
+  double eta_seconds = -1.0;  // < 0: unknown
+  double max_gap_wall = 0.0, max_gap_virtual = 0.0;
+  double rt_p50 = 0.0, rt_p99 = 0.0;
+  std::uint64_t rt_count = 0;
+  std::uint64_t warnings = 0;
+};
+
+struct RankTotals {
+  std::string level;
+  double busy = 0.0, comm = 0.0, idle = 0.0;
+};
+
+struct StreamSummary {
+  bool have_start = false;
+  std::string command;
+  double interval = 0.0;
+  bool finished = false;  // `end` record seen
+  bool fatal = false;
+  std::string fatal_message;
+  std::uint64_t records = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t stalls = 0;
+  std::vector<std::string> phase_order;
+  std::map<std::string, PhaseState> phases;
+  std::map<std::string, std::uint64_t> warning_counts;  // by kind
+  std::vector<std::string> warning_lines;               // "kind phase: msg"
+  std::map<int, RankTotals> rank_totals;  // cumulative over all samples
+  std::uint64_t last_rss_kb = 0, hwm_kb = 0;
+};
+
+double num_or(const util::JsonValue& obj, const char* name, double fallback) {
+  const util::JsonValue* v = obj.find(name);
+  return v && v->is_number() ? v->number : fallback;
+}
+
+std::string str_or(const util::JsonValue& obj, const char* name) {
+  const util::JsonValue* v = obj.find(name);
+  return v && v->is_string() ? v->string_value : std::string();
+}
+
+void fold_progress(const util::JsonValue& rec, PhaseState& ph) {
+  if (const util::JsonValue* p = rec.find("progress"); p && p->is_object()) {
+    ph.enqueued = static_cast<std::uint64_t>(num_or(*p, "enqueued", 0.0));
+    ph.done = static_cast<std::uint64_t>(num_or(*p, "done", 0.0));
+    ph.merges = static_cast<std::uint64_t>(num_or(*p, "merges", 0.0));
+  }
+}
+
+void fold_record(const util::JsonValue& rec, StreamSummary& s) {
+  ++s.records;
+  const std::string type = str_or(rec, "type");
+  const auto phase_of = [&](const util::JsonValue& r) -> PhaseState* {
+    const std::string name = str_or(r, "phase");
+    if (name.empty()) return nullptr;
+    auto it = s.phases.find(name);
+    if (it == s.phases.end()) {
+      s.phase_order.push_back(name);
+      it = s.phases.emplace(name, PhaseState{}).first;
+    }
+    return &it->second;
+  };
+
+  if (type == "start") {
+    s.have_start = true;
+    s.command = str_or(rec, "command");
+    s.interval = num_or(rec, "interval", 0.0);
+  } else if (type == "phase") {
+    PhaseState* ph = phase_of(rec);
+    if (!ph) return;
+    const std::string event = str_or(rec, "event");
+    if (event == "begin") {
+      ph->mode = str_or(rec, "mode");
+      ph->ranks = static_cast<int>(num_or(rec, "ranks", 1.0));
+      ph->masters = static_cast<int>(num_or(rec, "masters", 1.0));
+    } else if (event == "end") {
+      ph->ended = true;
+      ph->seconds = num_or(rec, "seconds", 0.0);
+      fold_progress(rec, *ph);
+      if (const util::JsonValue* gap = rec.find("max_progress_gap");
+          gap && gap->is_object()) {
+        ph->max_gap_wall = num_or(*gap, "wall", 0.0);
+        ph->max_gap_virtual = num_or(*gap, "virtual", 0.0);
+      }
+      if (const util::JsonValue* rt = rec.find("round_trip_us");
+          rt && rt->is_object()) {
+        ph->rt_count = static_cast<std::uint64_t>(num_or(*rt, "count", 0.0));
+        ph->rt_p50 = num_or(*rt, "p50", 0.0);
+        ph->rt_p99 = num_or(*rt, "p99", 0.0);
+      }
+    }
+  } else if (type == "sample") {
+    ++s.samples;
+    if (const util::JsonValue* rss = rec.find("rss_kb");
+        rss && rss->is_number()) {
+      s.last_rss_kb = static_cast<std::uint64_t>(rss->number);
+    }
+    if (const util::JsonValue* hwm = rec.find("hwm_kb");
+        hwm && hwm->is_number()) {
+      s.hwm_kb = std::max(
+          s.hwm_kb, static_cast<std::uint64_t>(hwm->number));
+    }
+    if (PhaseState* ph = phase_of(rec)) {
+      if (!ph->ended) {
+        fold_progress(rec, *ph);
+        ph->rate = num_or(rec, "rate", ph->rate);
+        ph->eta_seconds = num_or(rec, "eta_seconds", -1.0);
+      }
+    }
+    if (const util::JsonValue* ranks = rec.find("ranks");
+        ranks && ranks->is_array()) {
+      for (const util::JsonValue& r : ranks->array) {
+        if (!r.is_object()) continue;
+        RankTotals& t =
+            s.rank_totals[static_cast<int>(num_or(r, "rank", 0.0))];
+        if (t.level.empty()) t.level = str_or(r, "level");
+        t.busy += num_or(r, "busy", 0.0);
+        t.comm += num_or(r, "comm", 0.0);
+        t.idle += num_or(r, "idle", 0.0);
+      }
+    }
+  } else if (type == "warning") {
+    const std::string kind = str_or(rec, "kind");
+    ++s.warning_counts[kind];
+    if (kind == "stall") ++s.stalls;
+    if (PhaseState* ph = phase_of(rec)) ++ph->warnings;
+    const std::string phase = str_or(rec, "phase");
+    s.warning_lines.push_back(kind + (phase.empty() ? "" : " [" + phase + "]") +
+                              ": " + str_or(rec, "message"));
+  } else if (type == "fatal") {
+    s.fatal = true;
+    s.fatal_message = str_or(rec, "message");
+  } else if (type == "end") {
+    s.finished = true;
+  }
+}
+
+/// Parse the stream file. A partial trailing line (producer mid-write) is
+/// skipped silently; malformed interior lines are counted, not fatal.
+StreamSummary read_stream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open telemetry stream: " + path);
+  StreamSummary s;
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  const bool ends_with_newline = [&] {
+    in.clear();
+    in.seekg(0, std::ios::end);
+    if (in.tellg() == std::streamoff(0)) return true;
+    in.seekg(-1, std::ios::end);
+    return in.get() == '\n';
+  }();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (util::trim(lines[i]).empty()) continue;
+    try {
+      fold_record(util::parse_json(lines[i]), s);
+    } catch (const util::JsonError&) {
+      if (i + 1 == lines.size() && !ends_with_newline) continue;  // partial
+      ++s.malformed;
+    }
+  }
+  return s;
+}
+
+std::string fmt_duration(double seconds) {
+  return seconds < 0.0 ? "-" : util::format("%.2fs", seconds);
+}
+
+std::string fmt_progress(const PhaseState& ph) {
+  if (ph.enqueued == 0 && ph.done == 0) return "-";
+  std::string out = util::with_commas(static_cast<long long>(ph.done)) + "/" +
+                    util::with_commas(static_cast<long long>(ph.enqueued));
+  if (ph.enqueued > 0) {
+    out += util::format(" (%.0f%%)", 100.0 * static_cast<double>(ph.done) /
+                                         static_cast<double>(ph.enqueued));
+  }
+  return out;
+}
+
+void render_text(const StreamSummary& s, const std::string& path,
+                 int stragglers) {
+  std::printf("telemetry %s — %s%s: %llu records, %llu samples, %llu "
+              "warnings (%llu stalls)%s\n",
+              path.c_str(), s.command.empty() ? "?" : s.command.c_str(),
+              s.finished ? "" : " [RUNNING]",
+              static_cast<unsigned long long>(s.records),
+              static_cast<unsigned long long>(s.samples),
+              static_cast<unsigned long long>(
+                  [&] {
+                    std::uint64_t n = 0;
+                    for (const auto& [k, v] : s.warning_counts) n += v;
+                    return n;
+                  }()),
+              static_cast<unsigned long long>(s.stalls),
+              s.fatal ? " FATAL" : "");
+  if (s.malformed > 0) {
+    std::printf("  (%llu malformed lines skipped)\n",
+                static_cast<unsigned long long>(s.malformed));
+  }
+  if (s.hwm_kb > 0) {
+    std::printf("memory: rss %llu kB, high-water %llu kB\n",
+                static_cast<unsigned long long>(s.last_rss_kb),
+                static_cast<unsigned long long>(s.hwm_kb));
+  }
+
+  util::Table table({"phase", "mode", "p", "status", "progress", "merges",
+                     "rate/s", "eta", "seconds", "rt p50/p99 us"});
+  for (const std::string& name : s.phase_order) {
+    const PhaseState& ph = s.phases.at(name);
+    table.add_row(
+        {name, ph.mode.empty() ? "?" : ph.mode,
+         ph.masters > 1 ? util::format("%d(m=%d)", ph.ranks, ph.masters)
+                        : std::to_string(ph.ranks),
+         ph.ended ? "done" : "running", fmt_progress(ph),
+         ph.merges > 0 ? util::with_commas(static_cast<long long>(ph.merges))
+                       : "-",
+         ph.ended || ph.rate <= 0.0 ? "-" : util::format("%.0f", ph.rate),
+         ph.ended ? "-" : fmt_duration(ph.eta_seconds),
+         ph.ended ? util::format("%.2f", ph.seconds) : "-",
+         ph.rt_count > 0
+             ? util::format("%.0f/%.0f", ph.rt_p50, ph.rt_p99)
+             : "-"});
+  }
+  if (!s.phase_order.empty()) std::fputs(table.to_string().c_str(), stdout);
+
+  if (!s.warning_lines.empty()) {
+    std::printf("warnings:\n");
+    for (const std::string& line : s.warning_lines) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+  if (s.fatal) std::printf("FATAL: %s\n", s.fatal_message.c_str());
+
+  if (!s.rank_totals.empty() && stragglers > 0) {
+    std::vector<std::pair<int, RankTotals>> order(s.rank_totals.begin(),
+                                                  s.rank_totals.end());
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.busy > b.second.busy;
+              });
+    util::Table top({"rank", "level", "busy (vs)", "comm (vs)", "idle (vs)"});
+    top.set_title("top stragglers by cumulative busy virtual-time");
+    const auto n = std::min<std::size_t>(order.size(),
+                                         static_cast<std::size_t>(stragglers));
+    for (std::size_t i = 0; i < n; ++i) {
+      top.add_row({std::to_string(order[i].first), order[i].second.level,
+                   util::format("%.3f", order[i].second.busy),
+                   util::format("%.3f", order[i].second.comm),
+                   util::format("%.3f", order[i].second.idle)});
+    }
+    std::fputs(top.to_string().c_str(), stdout);
+  }
+}
+
+void render_json(const StreamSummary& s) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("command").value(s.command);
+  w.key("finished").value(s.finished);
+  w.key("fatal").value(s.fatal);
+  w.key("records").value(s.records);
+  w.key("samples").value(s.samples);
+  w.key("stalls").value(s.stalls);
+  w.key("malformed").value(s.malformed);
+  w.key("warnings").begin_object();
+  for (const auto& [kind, count] : s.warning_counts) {
+    w.key(kind).value(count);
+  }
+  w.end_object();
+  w.key("phases").begin_array();
+  for (const std::string& name : s.phase_order) {
+    const PhaseState& ph = s.phases.at(name);
+    w.begin_object();
+    w.key("phase").value(name);
+    w.key("mode").value(ph.mode);
+    w.key("ranks").value(std::int64_t{ph.ranks});
+    w.key("masters").value(std::int64_t{ph.masters});
+    w.key("done").value(ph.ended);
+    w.key("enqueued").value(ph.enqueued);
+    w.key("completed").value(ph.done);
+    w.key("merges").value(ph.merges);
+    if (ph.ended) w.key("seconds").value(ph.seconds);
+    if (!ph.ended && ph.eta_seconds >= 0.0) {
+      w.key("eta_seconds").value(ph.eta_seconds);
+    }
+    w.key("max_progress_gap").begin_object();
+    w.key("wall").value(ph.max_gap_wall);
+    w.key("virtual").value(ph.max_gap_virtual);
+    w.end_object();
+    w.key("warnings").value(ph.warnings);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+}
+
+}  // namespace
+
+int cmd_monitor(int argc, const char* const* argv) {
+  util::Options options;
+  options.define_flag("follow",
+                      "poll the stream until its `end` record arrives "
+                      "(or --follow-timeout), then summarize");
+  options.define("follow-timeout", "0",
+                 "give up following after this many wall seconds without "
+                 "the file growing (0 = wait forever)");
+  options.define_flag("fail-on-stall",
+                      "exit 1 when the stream contains any stall warning "
+                      "or a fatal watchdog record (CI gate)");
+  options.define_flag("json", "emit the summary as one JSON object");
+  options.define("stragglers", "3",
+                 "rows in the top-stragglers table (0 = omit)");
+  options.parse(argc, argv);
+  if (options.help_requested() || options.positionals().empty()) {
+    std::fputs(options
+                   .usage("pclust monitor <telemetry.jsonl>",
+                          "Summarize a --telemetry-out JSONL stream: phase "
+                          "progress/ETA, warnings, and per-rank straggler "
+                          "totals; optionally follow a live stream and "
+                          "gate on stalls.")
+                   .c_str(),
+               stdout);
+    return options.help_requested() ? 0 : 2;
+  }
+  const std::string path = options.positionals()[0];
+  require_readable(path);
+  const int stragglers =
+      static_cast<int>(get_int_in(options, "stragglers", 0, 1 << 16));
+  const double follow_timeout =
+      get_double_in(options, "follow-timeout", 0.0, 86'400.0);
+
+  StreamSummary s = read_stream(path);
+  if (options.get_flag("follow")) {
+    double stagnant = 0.0;
+    std::uint64_t last_records = s.records;
+    while (!s.finished) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      s = read_stream(path);
+      if (s.records == last_records) {
+        stagnant += 0.25;
+        if (follow_timeout > 0.0 && stagnant >= follow_timeout) {
+          std::fprintf(stderr,
+                       "monitor: stream idle for %.0fs without an end "
+                       "record; giving up\n",
+                       stagnant);
+          break;
+        }
+      } else {
+        stagnant = 0.0;
+        last_records = s.records;
+      }
+    }
+  }
+
+  if (!s.have_start) {
+    throw IoError(path + " is not a pclust telemetry stream (no start record)");
+  }
+  if (options.get_flag("json")) {
+    render_json(s);
+  } else {
+    render_text(s, path, stragglers);
+  }
+
+  if (options.get_flag("fail-on-stall") && (s.stalls > 0 || s.fatal)) {
+    std::fprintf(stderr,
+                 "monitor: FAIL — %llu stall warning(s)%s in %s\n",
+                 static_cast<unsigned long long>(s.stalls),
+                 s.fatal ? " and a fatal watchdog record" : "",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace pclust::cli

@@ -1,5 +1,6 @@
 #include <cstdio>
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -18,6 +19,7 @@
 #include "pclust/util/options.hpp"
 #include "pclust/util/strings.hpp"
 #include "pclust/util/table.hpp"
+#include "pclust/util/telemetry.hpp"
 
 namespace pclust::cli {
 
@@ -61,6 +63,13 @@ int cmd_simulate(int argc, const char* const* argv) {
                  "master declares a silent worker dead after this many wall "
                  "seconds (0 = wait forever)");
   options.define("fault-seed", "1", "seed for per-message fault decisions");
+  options.define("telemetry-out", "",
+                 "stream JSONL run telemetry for the whole sweep to this "
+                 "path (one phase record pair per p/phase combination); "
+                 "inspect with `pclust monitor`");
+  options.define("telemetry-interval", "1",
+                 "wall seconds between telemetry samples (also the "
+                 "virtual-domain sampling interval)");
   define_simd_option(options);
   options.parse(argc, argv);
   if (options.help_requested()) {
@@ -180,6 +189,15 @@ int cmd_simulate(int argc, const char* const* argv) {
       static_cast<unsigned>(get_int_in(options, "threads", 0, 1 << 16)));
   exec::Pool* pool_arg = pool.size() > 1 ? &pool : nullptr;
 
+  util::telemetry::TelemetryConfig telemetry;
+  telemetry.path = options.get("telemetry-out");
+  telemetry.command = "simulate";
+  telemetry.interval = get_double_in(options, "telemetry-interval", 0.01, 3600.0);
+  if (!telemetry.path.empty()) {
+    require_writable(telemetry.path);
+    util::telemetry::enable(telemetry);
+  }
+
   util::Table table({"p", "RR (s)", "CCD (s)", "total (s)", "RR share",
                      "aligned pairs"});
   table.set_title(util::format("Simulated %s, n = %zu%s", model.name.c_str(),
@@ -204,11 +222,18 @@ int cmd_simulate(int argc, const char* const* argv) {
                        " (need >= masters + 2)");
     }
     if (plan_arg) plan.validate_protocol(p, masters);
+    // Phase names carry the rank count so one stream covers the sweep.
+    const std::string rr_phase = "rr@p=" + std::to_string(p);
+    util::telemetry::phase_begin(rr_phase, true, p, 1);
     const auto rr = pace::remove_redundant(sequences, p, model, rr_params,
                                            pool_arg, plan_arg);
+    util::telemetry::phase_end(rr_phase, rr.run.makespan);
+    const std::string ccd_phase = "ccd@p=" + std::to_string(p);
+    util::telemetry::phase_begin(ccd_phase, true, p, std::max(1, masters));
     const auto ccd = pace::detect_components(sequences, rr.survivors(), p,
                                              model, ccd_params, pool_arg,
                                              plan_arg);
+    util::telemetry::phase_end(ccd_phase, ccd.run.makespan);
     const double total = rr.run.makespan + ccd.run.makespan;
     table.add_row(
         {std::to_string(p), util::format("%.2f", rr.run.makespan),
@@ -239,6 +264,10 @@ int cmd_simulate(int argc, const char* const* argv) {
     std::fprintf(stderr, "  [p=%d done]\n", p);
   }
   std::fputs(table.to_string().c_str(), stdout);
+  if (!telemetry.path.empty()) {
+    util::telemetry::disable();
+    std::printf("wrote telemetry to %s\n", telemetry.path.c_str());
+  }
   return 0;
 }
 

@@ -24,6 +24,9 @@ int cmd_chaos(int argc, const char* const* argv);
 /// `pclust analyze` — load-imbalance / critical-path analysis of a report.
 int cmd_analyze(int argc, const char* const* argv);
 
+/// `pclust monitor` — summarize/follow a --telemetry-out JSONL stream.
+int cmd_monitor(int argc, const char* const* argv);
+
 /// `pclust perf-diff` — perf-regression gate between two bench artifacts.
 int cmd_perf_diff(int argc, const char* const* argv);
 

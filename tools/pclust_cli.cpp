@@ -13,6 +13,7 @@
 #include "commands.hpp"
 #include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
+#include "pclust/util/telemetry.hpp"
 
 namespace {
 
@@ -32,6 +33,8 @@ void print_usage() {
       "--report-out.\n"
       "  analyze    Load-imbalance / critical-path analysis of a run "
       "report.\n"
+      "  monitor    Summarize (or follow) a --telemetry-out JSONL stream:\n"
+      "             phase table, ETA, warnings, top stragglers.\n"
       "  perf-diff  Compare two BENCH_*.json artifacts; non-zero exit on "
       "regression.\n"
       "  chaos      Sweep seeded fault plans and verify the pipeline "
@@ -72,6 +75,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(command, "analyze") == 0) {
       return cli::cmd_analyze(sub_argc, sub_argv);
     }
+    if (std::strcmp(command, "monitor") == 0) {
+      return cli::cmd_monitor(sub_argc, sub_argv);
+    }
     if (std::strcmp(command, "perf-diff") == 0) {
       return cli::cmd_perf_diff(sub_argc, sub_argv);
     }
@@ -91,9 +97,11 @@ int main(int argc, char** argv) {
     return cli::kExitUsage;
   } catch (const cli::IoError& e) {
     std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    util::telemetry::disable();
     return cli::kExitIo;
   } catch (const util::CheckpointError& e) {
     std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    util::telemetry::disable();
     return cli::kExitCheckpoint;
   } catch (const std::invalid_argument& e) {
     // Parameter validation from the option parser or the library — a usage
@@ -101,7 +109,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
     return cli::kExitUsage;
   } catch (const std::exception& e) {
+    // Covers WatchdogDeadlineExceeded and protocol deadline aborts: close
+    // the telemetry stream so the file still ends with a parseable `end`
+    // record (disable() is a no-op when telemetry never started).
     std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    util::telemetry::disable();
     return 1;
   }
 }
