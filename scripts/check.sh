@@ -32,7 +32,8 @@ cmake --build build-asan -j --target test_util test_seq test_align \
  ./tests/test_align --gtest_filter='BatchSimd*:ScorePath*'
  ./tests/test_mpsim
  ./tests/test_pace --gtest_filter='FaultTolerance*'
- ./tests/test_pipeline --gtest_filter='CheckpointResumeTest*')
+ ./tests/test_pipeline \
+   --gtest_filter='CheckpointResumeTest*:ResourcePipelineTest*')
 
 # simd-matrix: the alignment suites (including the batch bit-identity fuzz
 # tests) must pass at every --simd setting. PCLUST_SIMD is clamped to the
@@ -71,10 +72,41 @@ rc=0; "$pclust" generate --n 300 --families 5 --seed 8 --out "$smoke/other.fa" >
 
 # chaos: seeded fault-plan sweep over the whole pipeline — order-preserving
 # links at p=2 must be bit-identical to serial, CCD/DSD crashes must heal
-# bit-identically, RR crashes must heal to a valid clustering, and damaged
+# bit-identically, RR crashes must heal to a valid clustering, damaged
 # checkpoints (kill-mid-write truncation, bit flips) must be quarantined
-# and rolled back or recomputed — a --resume abort is a failure.
+# and rolled back or recomputed — a --resume abort is a failure — and the
+# resource classes (artifact I/O storms, squeezed --mem-budget) must
+# degrade without touching the family output. 10 seeds = one pass over
+# all 9 classes.
 "$pclust" chaos --seeds 10 --n 200 --workdir "$smoke/chaos"
+
+# io-chaos: the injectable I/O layer at the CLI. A sticky disk-full storm
+# on every checkpoint write must not change the output (roll back and
+# continue), and a clean --resume afterwards still lands bit-identically;
+# a storm on the families artifact itself must exit 3 with the artifact
+# class in the message; an impossible --mem-budget must exit 5
+# (structured resource exhaustion), and a workable one must reproduce the
+# unconstrained output bit for bit.
+"$pclust" families "$smoke/in.fa" --checkpoint-dir "$smoke/ioc" \
+  --io-fault checkpoint:enospc@1:sticky --out "$smoke/ioc-storm.tsv" \
+  >/dev/null 2>&1
+cmp "$smoke/a.tsv" "$smoke/ioc-storm.tsv"
+"$pclust" families "$smoke/in.fa" --checkpoint-dir "$smoke/ioc" --resume \
+  --out "$smoke/ioc-resume.tsv" >/dev/null
+cmp "$smoke/a.tsv" "$smoke/ioc-resume.tsv"
+rc=0; "$pclust" families "$smoke/in.fa" \
+  --io-fault families:enospc@1:sticky --out "$smoke/ioc-fatal.tsv" \
+  >/dev/null 2>"$smoke/ioc-fatal.err" || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 for a families storm, got $rc"; exit 1; }
+grep -q 'io\[families\]' "$smoke/ioc-fatal.err" \
+  || { echo "families storm error lacks the artifact class"; exit 1; }
+rc=0; "$pclust" families "$smoke/in.fa" --mem-budget 16k \
+  --out "$smoke/ioc-oom.tsv" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 5 ] || { echo "expected exit 5 for --mem-budget 16k, got $rc"; exit 1; }
+"$pclust" families "$smoke/in.fa" --mem-budget 2g \
+  --out "$smoke/ioc-budget.tsv" >/dev/null
+cmp "$smoke/a.tsv" "$smoke/ioc-budget.tsv"
+echo "check.sh: io-chaos green (storms, exit codes, budget bit-identity)"
 
 # metrics-smoke: run reports + traces end to end. A serial run on a dense
 # single-family workload must validate against the report schema AND show
@@ -142,6 +174,14 @@ grep -q '"type":"end"' "$smoke/healthy.tele.jsonl" \
   || { echo "telemetry stream lacks an end record"; exit 1; }
 "$pclust" monitor "$smoke/healthy.tele.jsonl" --fail-on-stall >/dev/null
 "$pclust" monitor "$smoke/healthy.tele.jsonl" --json >/dev/null
+# A stream torn mid-record (producer killed) must still summarize: the
+# incremental tail reader buffers the partial line instead of counting it
+# malformed or crashing.
+head -c "$(( $(wc -c < "$smoke/healthy.tele.jsonl") - 20 ))" \
+  "$smoke/healthy.tele.jsonl" > "$smoke/torn.tele.jsonl"
+"$pclust" monitor "$smoke/torn.tele.jsonl" --json \
+  | grep -q '"finished":false' \
+  || { echo "monitor mishandled a torn telemetry stream"; exit 1; }
 "$pclust" families "$smoke/in.fa" --processors 4 --straggle 2@200 \
   --telemetry-out "$smoke/straggler.tele.jsonl" --telemetry-stall 30 \
   >/dev/null

@@ -9,6 +9,7 @@
 #include "pclust/mpsim/masterworker.hpp"
 #include "pclust/suffix/lcp.hpp"
 #include "pclust/suffix/suffix_array.hpp"
+#include "pclust/util/memgov.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/telemetry.hpp"
@@ -118,6 +119,10 @@ struct SharedIndex {
     b.add("buckets", util::vector_bytes(buckets));
     b.add("bucket_owners", util::vector_bytes(bucket_owner));
     util::record_memory(b, params.phase_label ? params.phase_label : "pace");
+    // The index dominates the RR/CCD footprint; charging it is what puts
+    // the governor under pressure (and shrinks evaluation grains) while
+    // the phase runs. Released with the index by ~MemoryCharge.
+    charge_.add("suffix_index", b.total());
   }
 
   static suffix::MaximalMatchParams match_params(const PaceParams& params) {
@@ -184,6 +189,7 @@ struct SharedIndex {
 
   suffix::MaximalMatchParams mp;
   exec::Pool* pool_ = nullptr;
+  util::MemoryCharge charge_;
 };
 
 /// Tasks handed to one evaluate_batch() call. Large enough that the batch
@@ -205,7 +211,11 @@ void evaluate_tasks(const std::vector<PairTask>& tasks, WorkerPolicy& policy,
   verdicts.resize(base + n);
   std::vector<std::uint64_t> cells(n, 0);
   if (pool && pool->size() > 1 && n > 1) {
-    pool->for_range(n, kEvalGrain, [&](std::size_t lo, std::size_t hi) {
+    // Grain only sizes the pooled slices; verdict slots are index-addressed,
+    // so the governor shrinking it under memory pressure cannot change the
+    // output — only the transient footprint of in-flight batch scratch.
+    const std::size_t grain = util::governor().recommend_grain(kEvalGrain);
+    pool->for_range(n, grain, [&](std::size_t lo, std::size_t hi) {
       policy.evaluate_batch(tasks.data() + lo, hi - lo,
                             verdicts.data() + base + lo, cells.data() + lo);
     });
@@ -456,7 +466,10 @@ EngineCounters run_serial(const seq::SequenceSet& set,
       }
       ++c.aligned_pairs;
       batch.push_back(task);
-      if (batch.size() >= params.batch_size) {
+      // Flush threshold, not grouping: verdicts apply in task order at any
+      // batch size (PR6 guarantee), so the governor shrinking the batch
+      // under memory pressure trades throughput for footprint only.
+      if (batch.size() >= util::governor().recommend_batch(params.batch_size)) {
         flush();
         report_progress(i + 1);
         maybe_checkpoint(i + 1);

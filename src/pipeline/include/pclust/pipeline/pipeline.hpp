@@ -83,6 +83,17 @@ struct PipelineConfig {
   /// 0 disables partials, leaving only whole-phase checkpoints).
   std::uint64_t ccd_checkpoint_stride = 100'000;
 
+  /// Memory budget in bytes for the capacity ledger (util/memgov);
+  /// 0 = unlimited. Under pressure the run degrades along
+  /// output-invariant levers only (smaller evaluation grains/batches,
+  /// streaming BGG, shingle-table spill), so the family output stays
+  /// bit-identical to an unconstrained run; a run that exceeds twice the
+  /// budget despite degradation exits structured at the next phase
+  /// boundary (MemoryBudgetExceeded), resumable when checkpointing is on.
+  /// Not part of the checkpoint fingerprint: like thread count, the
+  /// budget never changes results.
+  std::uint64_t mem_budget_bytes = 0;
+
   /// Fault injection for the simulated RR and CCD phases (ignored when
   /// processors < 2). The engine self-heals worker crashes; see
   /// pace/engine.hpp for the guarantees per phase.

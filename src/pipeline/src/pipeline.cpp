@@ -11,6 +11,7 @@
 #include "pclust/pipeline/dsd.hpp"
 #include "pclust/util/checkpoint.hpp"
 #include "pclust/util/log.hpp"
+#include "pclust/util/memgov.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/strings.hpp"
@@ -268,6 +269,11 @@ PipelineResult run(const seq::SequenceSet& input,
   result.input_sequences = input.size();
   const bool parallel = config.processors >= 2;
 
+  // Install the memory budget (0 = unlimited) and reset the capacity
+  // ledger; accounting runs either way so an unconstrained run's
+  // high_water() can calibrate a later budgeted one.
+  util::governor().configure(config.mem_budget_bytes);
+
   // One pool for the whole run; every phase borrows it. threads == 1 never
   // spawns a thread and is the exact serial path.
   exec::Pool pool(config.threads);
@@ -301,6 +307,7 @@ PipelineResult run(const seq::SequenceSet& input,
   };
 
   // ---- Phase 1: redundancy removal --------------------------------------
+  util::governor().set_phase("rr");
   bool from_backup = false;
   if (auto reader =
           ckpt.open("rr.ckpt", kTagRr, &result.rr_seconds, &from_backup)) {
@@ -346,6 +353,9 @@ PipelineResult run(const seq::SequenceSet& input,
     log_phase("rr", "computed");
   }
   sample_phase_rss("rr");
+  // Past this point the rr checkpoint (if any) is flushed: a hopelessly
+  // over-budget run exits structured and resumable here, not OOM-killed.
+  util::governor().check_phase_boundary("rr", ckpt.enabled());
   util::telemetry::poll_deadline();
   const std::vector<seq::SeqId> survivors = result.rr.survivors();
   result.non_redundant_sequences = survivors.size();
@@ -354,6 +364,7 @@ PipelineResult run(const seq::SequenceSet& input,
               << ")";
 
   // ---- Phase 2: connected components -------------------------------------
+  util::governor().set_phase("ccd");
   pace::PaceParams ccd_params = config.pace;
   ccd_params.phase_label = "ccd";
   if (auto reader =
@@ -438,6 +449,7 @@ PipelineResult run(const seq::SequenceSet& input,
     }
   }
   sample_phase_rss("ccd");
+  util::governor().check_phase_boundary("ccd", ckpt.enabled());
   util::telemetry::poll_deadline();
   result.components_min_size =
       result.ccd.count_with_min_size(config.min_component);
@@ -483,26 +495,55 @@ PipelineResult run(const seq::SequenceSet& input,
                                dsd_parallel ? config.dsd_processors : 1,
                                dsd_masters);
   util::Timer dsd_timer;
-  std::vector<bigraph::ComponentGraph> graphs;
-  for (const auto& component : result.ccd.components) {
-    if (component.size() < config.min_component) continue;
+  util::governor().set_phase("bgg+dsd");
+
+  const auto build_graph =
+      [&](const std::vector<seq::SeqId>& component) -> bigraph::ComponentGraph {
     if (config.reduction == bigraph::Reduction::kDuplicate) {
       bigraph::BdParams bd;
       bd.pace = config.pace;
-      graphs.push_back(bigraph::build_bd(set, component, bd));
-    } else {
-      graphs.push_back(bigraph::build_bm(set, component, config.bm));
+      return bigraph::build_bd(set, component, bd);
     }
-  }
+    return bigraph::build_bm(set, component, config.bm);
+  };
+  const auto graph_bytes = [](const bigraph::ComponentGraph& g) {
+    return g.graph.memory_usage().total() + util::vector_bytes(g.members) +
+           util::vector_bytes(g.words);
+  };
+  // Density report (duplicate reduction only: left index == right index).
+  // Folding a family needs only ITS component graph, which is what lets
+  // the serial path below drop each graph as soon as it is processed.
+  const auto fold_family = [&](const bigraph::ComponentGraph& graph,
+                               std::vector<seq::SeqId> members) {
+    Family family;
+    family.members = std::move(members);
+    if (config.reduction == bigraph::Reduction::kDuplicate) {
+      std::unordered_map<seq::SeqId, std::uint32_t> dense;
+      dense.reserve(graph.members.size());
+      for (std::uint32_t i = 0; i < graph.members.size(); ++i) {
+        dense[graph.members[i]] = i;
+      }
+      std::vector<std::uint32_t> nodes;
+      nodes.reserve(family.members.size());
+      for (seq::SeqId id : family.members) nodes.push_back(dense.at(id));
+      family.mean_degree = bigraph::mean_subgraph_degree(graph.graph, nodes);
+      family.density = bigraph::subgraph_density(graph.graph, nodes);
+    }
+    result.families.push_back(std::move(family));
+  };
 
   // ---- Phase 4: dense subgraph detection ----------------------------------
-  struct RawFamily {
-    std::size_t graph;
-    std::vector<seq::SeqId> members;
-  };
-  std::vector<RawFamily> raw;
-
-  if (config.dsd_processors >= 2 && !graphs.empty()) {
+  if (dsd_parallel) {
+    // LPT distribution needs every graph's cost estimate up front, so the
+    // protocol path always materializes; the memory charge still makes the
+    // footprint visible to the governor and the budget-exceeded exit.
+    std::vector<bigraph::ComponentGraph> graphs;
+    util::MemoryCharge graphs_charge;
+    for (const auto& component : result.ccd.components) {
+      if (component.size() < config.min_component) continue;
+      graphs.push_back(build_graph(component));
+      graphs_charge.add("bgg.graphs", graph_bytes(graphs.back()));
+    }
     // The paper's batched distribution (LPT on the estimated shingle cost,
     // ~ edges x c1 hash-and-select operations) on the resilient
     // master-worker protocol: a rank death mid-phase requeues its graphs
@@ -531,41 +572,41 @@ PipelineResult run(const seq::SequenceSet& input,
     result.dsd_run = std::move(dsd.run);
     for (std::size_t g = 0; g < graphs.size(); ++g) {
       for (auto& members : dsd.families_per_graph[g]) {
-        raw.push_back(RawFamily{g, std::move(members)});
+        fold_family(graphs[g], std::move(members));
       }
     }
   } else {
     // Serial DSD: one progress unit per component graph, the same
     // granularity the protocol path reports via its verdict stream.
-    util::telemetry::progress_enqueued(graphs.size());
-    for (std::size_t g = 0; g < graphs.size(); ++g) {
-      for (auto& members : shingle::report_families(graphs[g], config.shingle,
-                                                    nullptr, pool_arg)) {
-        raw.push_back(RawFamily{g, std::move(members)});
+    // Graphs are built, processed, and folded strictly in component order,
+    // so the family output is bit-identical whether every graph is
+    // materialized first (fault-free default) or the governor switches to
+    // streaming mid-build (each pending graph drained and dropped as soon
+    // as pressure crosses the threshold).
+    util::telemetry::progress_enqueued(qualifying);
+    std::vector<bigraph::ComponentGraph> pending;
+    util::MemoryCharge pending_charge;
+    bool streaming = false;
+    const auto drain = [&] {
+      for (bigraph::ComponentGraph& graph : pending) {
+        for (auto& members : shingle::report_families(graph, config.shingle,
+                                                      nullptr, pool_arg)) {
+          fold_family(graph, std::move(members));
+        }
+        util::telemetry::progress_done(1);
+        util::telemetry::poll_deadline();
       }
-      util::telemetry::progress_done(1);
-      util::telemetry::poll_deadline();
+      pending.clear();
+      pending_charge.reset();
+    };
+    for (const auto& component : result.ccd.components) {
+      if (component.size() < config.min_component) continue;
+      pending.push_back(build_graph(component));
+      pending_charge.add("bgg.graphs", graph_bytes(pending.back()));
+      if (!streaming) streaming = util::governor().should_stream("bgg+dsd");
+      if (streaming) drain();
     }
-  }
-
-  // Density report (duplicate reduction only: left index == right index).
-  for (auto& entry : raw) {
-    const bigraph::ComponentGraph& graph = graphs[entry.graph];
-    Family family;
-    family.members = std::move(entry.members);
-    if (config.reduction == bigraph::Reduction::kDuplicate) {
-      std::unordered_map<seq::SeqId, std::uint32_t> dense;
-      dense.reserve(graph.members.size());
-      for (std::uint32_t i = 0; i < graph.members.size(); ++i) {
-        dense[graph.members[i]] = i;
-      }
-      std::vector<std::uint32_t> nodes;
-      nodes.reserve(family.members.size());
-      for (seq::SeqId id : family.members) nodes.push_back(dense.at(id));
-      family.mean_degree = bigraph::mean_subgraph_degree(graph.graph, nodes);
-      family.density = bigraph::subgraph_density(graph.graph, nodes);
-    }
-    result.families.push_back(std::move(family));
+    drain();
   }
   result.bgg_dsd_seconds = dsd_timer.elapsed_seconds();
   util::telemetry::phase_end("bgg+dsd", result.bgg_dsd_seconds);

@@ -9,7 +9,9 @@
 
 #include "pclust/align/simd.hpp"
 #include "pclust/mpsim/masterworker.hpp"
+#include "pclust/util/io.hpp"
 #include "pclust/util/json.hpp"
+#include "pclust/util/memgov.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/telemetry.hpp"
@@ -368,6 +370,25 @@ std::string render_report(const PipelineResult& result,
   w.key("memory");
   emit_memory(w, snapshot);
 
+  // `degradation`: what the memory governor gave up to stay inside
+  // --mem-budget. Present only for budgeted runs; an empty events array
+  // means the budget was never under pressure.
+  if (util::governor().budgeted()) {
+    w.key("degradation").begin_object();
+    w.key("budget_bytes").value(util::governor().budget());
+    w.key("high_water_bytes").value(util::governor().high_water());
+    w.key("events").begin_array();
+    for (const util::DegradationEvent& e : util::governor().degradation_log()) {
+      w.begin_object();
+      w.key("phase").value(e.phase);
+      w.key("action").value(e.action);
+      w.key("detail").value(e.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.key("hierarchy");
   emit_hierarchy(w, config, snapshot);
 
@@ -384,14 +405,10 @@ void write_report(const std::filesystem::path& path,
                   const PipelineResult& result, const PipelineConfig& config,
                   const ReportInfo& info) {
   const std::string doc = render_report(result, config, info);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("report: cannot open " + path.string() +
-                             " for writing");
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.put('\n');
-  if (!out) throw std::runtime_error("report: write failed: " + path.string());
+  // The operator asked for the report explicitly; losing it is fatal
+  // (util::io::IoError, class "report") after the atomic-commit retries.
+  util::io::io().commit_file(util::io::ArtifactClass::kReport, path,
+                             doc + "\n");
 }
 
 bool validate_report(const util::JsonValue& report, std::string* error) {
@@ -560,6 +577,33 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
         if (tele->at(key).as_number() < 0.0) {
           return fail(error, std::string("telemetry.") + key +
                                  ": negative count");
+        }
+      }
+    }
+
+    // `degradation` (optional — present for --mem-budget runs): a positive
+    // budget and well-formed phase/action/detail event entries.
+    if (const util::JsonValue* degr = report.find("degradation")) {
+      if (!degr->is_object()) {
+        return fail(error, "degradation must be an object");
+      }
+      if (degr->at("budget_bytes").as_number() <= 0.0) {
+        return fail(error, "degradation.budget_bytes must be positive");
+      }
+      if (degr->at("high_water_bytes").as_number() < 0.0) {
+        return fail(error, "degradation.high_water_bytes: negative");
+      }
+      const util::JsonValue& events = degr->at("events");
+      if (!events.is_array()) {
+        return fail(error, "degradation.events must be an array");
+      }
+      for (const util::JsonValue& e : events.array) {
+        for (const char* key : {"phase", "action", "detail"}) {
+          if (e.at(key).as_string().empty() &&
+              std::string_view(key) != "detail") {
+            return fail(error, std::string("degradation.events.") + key +
+                                   ": empty");
+          }
         }
       }
     }

@@ -5,9 +5,11 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "pclust/util/io.hpp"
 #include "pclust/util/strings.hpp"
 
 namespace pclust::quality {
@@ -25,9 +27,13 @@ void write_clustering(std::ostream& out, const Clustering& clustering,
 void write_clustering_file(const std::string& path,
                            const Clustering& clustering,
                            const seq::SequenceSet& set) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  // The family table is the product of the whole run; it goes through the
+  // IoEnv's atomic commit (tmp + fsync + rename) and a persistent failure
+  // is fatal (util::io::IoError with class "families").
+  std::ostringstream out;
   write_clustering(out, clustering, set);
+  util::io::io().commit_file(util::io::ArtifactClass::kFamilies, path,
+                             out.str());
 }
 
 Clustering read_clustering(std::istream& in, const seq::SequenceSet& set) {

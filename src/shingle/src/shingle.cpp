@@ -1,12 +1,17 @@
 #include "pclust/shingle/shingle.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "pclust/dsu/union_find.hpp"
 #include "pclust/exec/pool.hpp"
 #include "pclust/shingle/minwise.hpp"
+#include "pclust/util/io.hpp"
+#include "pclust/util/log.hpp"
+#include "pclust/util/memgov.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/timer.hpp"
@@ -81,6 +86,51 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
   }
   local.first_level_shingles = s1.size();
 
+  // Charge the Pass I working set as soon as it exists, so the spill
+  // decision below sees the pressure this table actually creates (both
+  // charges fold into the whole-stage charge once the peak breakdown is
+  // taken after Pass II).
+  util::MemoryCharge tuples_charge("shingle.tuples",
+                                   util::vector_bytes(tuples));
+  util::MemoryCharge elements_charge;
+  {
+    std::uint64_t bytes = util::hash_container_bytes(elements_of);
+    for (const auto& [value, elems] : elements_of) {
+      bytes += util::vector_bytes(elems);
+    }
+    elements_charge.add("shingle.elements", bytes);
+  }
+
+  // The element table is cold through all of Pass II — only Pass I fills
+  // it and the report phase reads it back — so under memory pressure the
+  // governor spills it through the IoEnv (ArtifactClass::kSpill) and the
+  // report reloads it. A spill I/O failure just keeps the table in memory:
+  // spilling is an optimization, losing spilled data would not be. The
+  // reload reconstructs the same key -> elements mapping, so the reported
+  // families are bit-identical either way.
+  std::unique_ptr<util::io::SpillFile> spill;
+  if (!elements_of.empty() && util::governor().should_spill("dsd")) {
+    try {
+      auto file = std::make_unique<util::io::SpillFile>("shingle-elements");
+      for (const auto& [value, elems] : elements_of) {
+        const std::uint64_t v = value;
+        const auto n = static_cast<std::uint32_t>(elems.size());
+        file->write(&v, sizeof v);
+        file->write(&n, sizeof n);
+        file->write(elems.data(), n * sizeof(std::uint32_t));
+      }
+      file->finish();
+      spill = std::move(file);
+      std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>().swap(
+          elements_of);
+      elements_charge.reset();  // the table now lives on disk
+    } catch (const util::io::IoError& err) {
+      PCLUST_WARN << "shingle: spill failed, keeping element table in "
+                     "memory: "
+                  << err.what();
+    }
+  }
+
   // ---- Pass II: (s2, c2)-shingles of each first-level shingle ----------
   // First-level shingles sharing a second-level shingle are linked; the
   // S2->S1 connected components are extracted with union-find.
@@ -111,8 +161,10 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
   }
   local.second_level_shingles = s2_first_owner.size();
 
-  // Peak working set of the two-level shingling pass: everything is alive
-  // here. Must scale with V + E of the reduction graph, not |V|^2.
+  // Peak working set of the two-level shingling pass: everything (except
+  // a spilled element table) is alive here. Must scale with V + E of the
+  // reduction graph, not |V|^2.
+  util::MemoryCharge shingle_charge;
   {
     util::MemoryBreakdown b("shingle");
     b.add("tuples", util::vector_bytes(tuples));
@@ -127,6 +179,31 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
     b.add("union_find", uf.memory_usage());
     b.add("s2_owners", util::hash_container_bytes(s2_first_owner));
     util::record_memory(b, "dsd");
+    // Fold the Pass I charges into the whole-stage charge (b already
+    // counts tuples and the — possibly spilled-to-zero — element table).
+    tuples_charge.reset();
+    elements_charge.reset();
+    shingle_charge.add("shingle", b.total());
+  }
+
+  // Reload a spilled element table for the report phase.
+  if (spill) {
+    const std::vector<std::uint8_t> bytes = spill->read_all();
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      std::uint64_t value = 0;
+      std::uint32_t n = 0;
+      std::memcpy(&value, bytes.data() + pos, sizeof value);
+      pos += sizeof value;
+      std::memcpy(&n, bytes.data() + pos, sizeof n);
+      pos += sizeof n;
+      std::vector<std::uint32_t> elems(n);
+      std::memcpy(elems.data(), bytes.data() + pos,
+                  n * sizeof(std::uint32_t));
+      pos += n * sizeof(std::uint32_t);
+      elements_of.emplace(value, std::move(elems));
+    }
+    spill.reset();
   }
 
   // ---- Report: components -> (A, B) ------------------------------------

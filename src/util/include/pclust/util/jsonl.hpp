@@ -1,0 +1,46 @@
+// Incremental JSONL tail reader for live streams (pclust monitor --follow).
+//
+// A telemetry writer appends one record per line and may be killed
+// mid-record, leaving a torn final line with no trailing newline. Readers
+// must treat such a tail as "not written yet": buffer it, surface only
+// complete lines, and splice the remainder in when the writer (or a
+// restarted writer) finishes the line. poll() reads from the last
+// consumed offset, so following a growing file is O(new bytes), not
+// O(file size) per sample.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pclust::util {
+
+class JsonlTailReader {
+ public:
+  explicit JsonlTailReader(std::string path) : path_(std::move(path)) {}
+
+  /// Append the complete lines written since the last poll to @p lines
+  /// (blank lines are skipped). A trailing partial line is buffered, not
+  /// returned. Returns false when the file cannot be opened (not an
+  /// error while following — the writer may not have started yet). A
+  /// file that shrank below the consumed offset (truncate/rotate) resets
+  /// the reader to the start.
+  bool poll(std::vector<std::string>& lines);
+
+  /// Bytes consumed so far (start of the buffered partial tail, if any).
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+  /// True when the last poll left an unterminated final line buffered.
+  [[nodiscard]] bool has_partial_tail() const { return !tail_.empty(); }
+  [[nodiscard]] const std::string& partial_tail() const { return tail_; }
+
+  void reset() {
+    offset_ = 0;
+    tail_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::string tail_;
+};
+
+}  // namespace pclust::util

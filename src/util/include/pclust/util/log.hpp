@@ -6,7 +6,9 @@
 // Each line carries a UTC ISO-8601 timestamp. If the environment variable
 // PCLUST_LOG_FILE names a writable path at the time of the first log line,
 // lines are appended there as well as to stderr; each sink still receives
-// the line as one atomic write.
+// the line as one atomic write. An unwritable path falls back to
+// stderr-only with a single warning line (never a silent loss); the sink
+// is opened through the IoEnv, so log-sink failures are fault-injectable.
 #pragma once
 
 #include <sstream>
@@ -23,6 +25,21 @@ LogLevel log_level();
 
 /// Emit one log line (thread-safe; one atomic write per line).
 void log_line(LogLevel level, std::string_view msg);
+
+/// Where the PCLUST_LOG_FILE sink landed.
+enum class LogSinkStatus {
+  kUnresolved = 0,  // no log line emitted yet; the env var is still unread
+  kNone,            // PCLUST_LOG_FILE unset — stderr only, by design
+  kFile,            // appending to the named file (plus stderr)
+  kFallback,        // the named path was unwritable — stderr only, warned
+};
+
+[[nodiscard]] LogSinkStatus log_sink_status();
+
+/// Close any open sink and re-resolve PCLUST_LOG_FILE from the current
+/// environment. Mainly for tests and long-lived embedders whose
+/// environment changes; normal callers never need it.
+LogSinkStatus refresh_log_sink();
 
 namespace detail {
 

@@ -1,0 +1,151 @@
+// MemoryGovernor — the --mem-budget enforcement layer.
+//
+// Built on util/memsize capacity accounting: the structures that dominate
+// a run's footprint (suffix indexes, component graphs, shingle tables)
+// charge their heap bytes into a process-wide ledger and release them when
+// freed. The ledger is a pure function of the input and configuration
+// (capacities, not RSS), so every decision the governor makes is
+// host-independent and reproducible.
+//
+// Phases consult the governor at allocation decision points and degrade
+// along OUTPUT-INVARIANT levers only — the bit-identity contract
+// (chaos class 8: a budgeted run's families equal the unconstrained
+// run's) restricts which knobs may move:
+//
+//   pressure >= 0.70  evaluation grains and serial batch sizes shrink
+//                     (verdict order is batch-size independent by the
+//                     batched-engine guarantee)
+//   pressure >= 0.50  the BGG stage streams component graphs one at a
+//                     time instead of materializing all of them
+//   pressure >= 0.70  the shingle pass spills its cold element table to a
+//                     temp file through the IoEnv between passes
+//
+// Every lever taken is recorded as a DegradationEvent; the run report's
+// `degradation` section is assembled from this log. When the ledger
+// exceeds TWICE the budget despite degradation, the situation is
+// hopeless: the pipeline throws MemoryBudgetExceeded at the next phase
+// boundary — after that phase's checkpoint is flushed — so the run exits
+// structured and `--resume` can pick up where it stopped.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pclust::util {
+
+/// The ledger stayed above twice the budget through every degradation
+/// lever. Thrown at a phase boundary (checkpoints already flushed), so a
+/// checkpointed run is resumable. The CLI maps this to exit code 5.
+class MemoryBudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One degradation action taken under memory pressure.
+struct DegradationEvent {
+  std::string phase;
+  std::string action;
+  std::string detail;
+};
+
+class MemoryGovernor {
+ public:
+  static MemoryGovernor& instance();
+
+  /// Install a budget (0 = unlimited) and reset the ledger, high-water,
+  /// degradation log, and hard-exceeded flag. Accounting always runs —
+  /// even unbudgeted, so a golden run's high_water() can calibrate a
+  /// later budgeted run (chaos class 8 budgets 60 % of it).
+  void configure(std::uint64_t budget_bytes);
+
+  [[nodiscard]] std::uint64_t budget() const;
+  [[nodiscard]] bool budgeted() const { return budget() > 0; }
+
+  /// The phase label used for degradation events from callees that do not
+  /// know which phase they run in (the alignment engine's grain choice).
+  void set_phase(std::string_view phase);
+
+  void charge(std::string_view what, std::uint64_t bytes);
+  void release(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t ledger() const;
+  [[nodiscard]] std::uint64_t high_water() const;
+  /// ledger / budget; 0 when unbudgeted.
+  [[nodiscard]] double pressure() const;
+
+  /// Shrunken evaluation grain / batch size under pressure (>= 0.70
+  /// halves, >= 0.95 quarters, floor 8). Returns @p normal unbudgeted.
+  /// Records a DegradationEvent the first time it shrinks in a phase.
+  [[nodiscard]] std::size_t recommend_grain(std::size_t normal);
+  [[nodiscard]] std::size_t recommend_batch(std::size_t normal);
+
+  /// True when the BGG stage should stream component graphs one at a time
+  /// (pressure >= 0.50); records a DegradationEvent when taken.
+  [[nodiscard]] bool should_stream(std::string_view phase);
+  /// True when a cold table should spill through the IoEnv
+  /// (pressure >= 0.70); records a DegradationEvent when taken.
+  [[nodiscard]] bool should_spill(std::string_view phase);
+
+  void note_degradation(std::string_view phase, std::string_view action,
+                        std::string_view detail);
+  [[nodiscard]] std::vector<DegradationEvent> degradation_log() const;
+
+  /// Set once a charge pushes the ledger above 2x the budget — past the
+  /// point degradation can save the run.
+  [[nodiscard]] bool hard_exceeded() const;
+
+  /// Phase-boundary check: throws MemoryBudgetExceeded when
+  /// hard_exceeded(). @p resumable selects the operator guidance in the
+  /// message (resume vs. re-run with a larger budget).
+  void check_phase_boundary(std::string_view phase, bool resumable) const;
+
+ private:
+  MemoryGovernor() = default;
+
+  [[nodiscard]] std::size_t shrink(std::size_t normal, const char* action);
+
+  mutable std::mutex mu_;
+  std::uint64_t budget_ = 0;
+  std::uint64_t ledger_ = 0;
+  std::uint64_t high_water_ = 0;
+  bool hard_exceeded_ = false;
+  std::string phase_ = "run";
+  std::vector<DegradationEvent> log_;
+};
+
+/// Shorthand for MemoryGovernor::instance().
+[[nodiscard]] MemoryGovernor& governor();
+
+/// RAII ledger charge: charges on construction (or via add()), releases
+/// the accumulated total on destruction. Move-only.
+class MemoryCharge {
+ public:
+  MemoryCharge() = default;
+  MemoryCharge(std::string_view what, std::uint64_t bytes) { add(what, bytes); }
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : bytes_(std::exchange(other.bytes_, 0)) {}
+  MemoryCharge& operator=(MemoryCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      bytes_ = std::exchange(other.bytes_, 0);
+    }
+    return *this;
+  }
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+  ~MemoryCharge() { reset(); }
+
+  void add(std::string_view what, std::uint64_t bytes);
+  void reset();
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace pclust::util

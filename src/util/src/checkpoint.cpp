@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "pclust/util/io.hpp"
+#include "pclust/util/log.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/retry.hpp"
 
@@ -194,30 +196,32 @@ void write_checkpoint(const std::filesystem::path& path,
     }
   }
 
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  with_retry(RetryPolicy{}, "write checkpoint " + path.string(), [&] {
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) {
-        throw CheckpointError("cannot open checkpoint for writing: " +
-                              tmp.string());
-      }
-      out.write(reinterpret_cast<const char*>(header.data()),
-                static_cast<std::streamsize>(header.size()));
-      out.write(reinterpret_cast<const char*>(body.data()),
-                static_cast<std::streamsize>(body.size()));
-      out.flush();
-      if (!out) {
-        throw CheckpointError("short write to checkpoint: " + tmp.string());
+  std::string bytes;
+  bytes.reserve(header.size() + body.size());
+  bytes.append(reinterpret_cast<const char*>(header.data()), header.size());
+  bytes.append(reinterpret_cast<const char*>(body.data()), body.size());
+  try {
+    io::io().commit_file(io::ArtifactClass::kCheckpoint, path, bytes);
+  } catch (const io::IoError& err) {
+    // Checkpointing is an optimization: a persistent write failure (disk
+    // full, dead device) must not kill a run that would otherwise finish.
+    // Restore the rotated previous generation so --resume still has a
+    // consistent (older) state to fall back to, then carry on.
+    metrics().counter("checkpoint.write_failures").add(1);
+    if (keep_previous) {
+      const std::filesystem::path backup = checkpoint_backup_path(path);
+      std::error_code ec;
+      if (std::filesystem::exists(backup, ec) && !ec &&
+          !std::filesystem::exists(path, ec)) {
+        std::filesystem::rename(backup, path, ec);
+        if (!ec) metrics().counter("checkpoint.rollbacks").add(1);
       }
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-      throw CheckpointError("cannot move checkpoint into place: " +
-                            path.string() + ": " + ec.message());
-    }
-  });
+    log_line(LogLevel::kWarn,
+             std::string("checkpoint write failed, continuing without it: ") +
+                 err.what());
+    return;
+  }
   metrics().counter("checkpoint.files_written").add(1);
   metrics().counter("checkpoint.bytes_written").add(header.size() +
                                                     body.size());

@@ -1,0 +1,48 @@
+#include "pclust/util/jsonl.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace pclust::util {
+
+bool JsonlTailReader::poll(std::vector<std::string>& lines) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec) return false;
+  if (size < offset_) reset();  // truncated or rotated underneath us
+  if (size == offset_) return true;
+
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) return false;
+  if (offset_ > 0 &&
+      std::fseek(in, static_cast<long>(offset_), SEEK_SET) != 0) {
+    std::fclose(in);
+    reset();
+    return true;
+  }
+
+  // offset_ points at the START of any buffered partial tail, so seeking
+  // there re-reads the torn bytes from the file — no in-memory carry, and
+  // a writer that rewrites the torn line differently is handled too.
+  std::string pending;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, in)) > 0) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      if (buf[i] != '\n') continue;
+      pending.append(buf + start, i - start);
+      start = i + 1;
+      offset_ += pending.size() + 1;
+      if (!pending.empty()) lines.push_back(std::move(pending));
+      pending.clear();
+    }
+    pending.append(buf + start, got - start);
+  }
+  std::fclose(in);
+  tail_ = std::move(pending);
+  return true;
+}
+
+}  // namespace pclust::util

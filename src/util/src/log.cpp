@@ -6,12 +6,24 @@
 #include <cstdlib>
 #include <ctime>
 #include <mutex>
+#include <string>
+
+#include "pclust/util/io.hpp"
 
 namespace pclust::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+
+// Optional append sink named by PCLUST_LOG_FILE, opened through the IoEnv
+// (ArtifactClass::kLog) so sink failures are injectable and observable.
+// g_sink_state claims resolution BEFORE the open runs: any log line emitted
+// from inside the open path (e.g. the IoEnv counting a dropped open) sees a
+// resolved-null sink and goes to stderr, instead of recursing into the
+// resolver while g_mutex or the claim is held.
+std::atomic<int> g_sink_state{static_cast<int>(LogSinkStatus::kUnresolved)};
+std::atomic<std::FILE*> g_sink{nullptr};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,20 +36,35 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
-// Optional append sink named by PCLUST_LOG_FILE; resolved once, on the
-// first log line (under g_mutex). nullptr when unset or unopenable.
-// Line-buffered so live consumers (`tail -f`, `pclust monitor`) see each
-// record as soon as it is written — every log_line additionally flushes,
-// making the per-record delivery guarantee independent of libc buffering.
-std::FILE* log_file() {
-  static std::FILE* file = []() -> std::FILE* {
-    const char* path = std::getenv("PCLUST_LOG_FILE");
-    if (!path || !*path) return nullptr;
-    std::FILE* f = std::fopen(path, "a");
-    if (f) std::setvbuf(f, nullptr, _IOLBF, 0);
-    return f;
-  }();
-  return file;
+LogSinkStatus resolve_log_sink() {
+  int expected = static_cast<int>(LogSinkStatus::kUnresolved);
+  if (!g_sink_state.compare_exchange_strong(
+          expected, static_cast<int>(LogSinkStatus::kNone))) {
+    // Another thread resolved (or is resolving) — stderr still gets this
+    // line either way.
+    return static_cast<LogSinkStatus>(expected);
+  }
+  const char* path = std::getenv("PCLUST_LOG_FILE");
+  if (!path || !*path) return LogSinkStatus::kNone;
+  std::FILE* f = io::io().open_stream(io::ArtifactClass::kLog, path, "a");
+  if (!f) {
+    // Satellite fix: an unwritable PCLUST_LOG_FILE used to lose the file
+    // sink silently. Fall back to stderr-only with one visible warning.
+    g_sink_state.store(static_cast<int>(LogSinkStatus::kFallback),
+                       std::memory_order_release);
+    log_line(LogLevel::kWarn,
+             std::string("PCLUST_LOG_FILE is not writable, logging to "
+                         "stderr only: ") +
+                 path);
+    return LogSinkStatus::kFallback;
+  }
+  // Line-buffered so live consumers (`tail -f`, `pclust monitor`) see each
+  // record as soon as it is written; log_line additionally flushes.
+  std::setvbuf(f, nullptr, _IOLBF, 0);
+  g_sink.store(f, std::memory_order_release);
+  g_sink_state.store(static_cast<int>(LogSinkStatus::kFile),
+                     std::memory_order_release);
+  return LogSinkStatus::kFile;
 }
 
 // UTC ISO-8601 timestamp like 2026-08-06T12:34:56Z into @p buf.
@@ -59,8 +86,28 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+LogSinkStatus log_sink_status() {
+  return static_cast<LogSinkStatus>(
+      g_sink_state.load(std::memory_order_acquire));
+}
+
+LogSinkStatus refresh_log_sink() {
+  std::FILE* old = g_sink.exchange(nullptr, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    std::lock_guard<std::mutex> lock(g_mutex);  // no line mid-close
+    std::fclose(old);
+  }
+  g_sink_state.store(static_cast<int>(LogSinkStatus::kUnresolved),
+                     std::memory_order_release);
+  return resolve_log_sink();
+}
+
 void log_line(LogLevel level, std::string_view msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (g_sink_state.load(std::memory_order_acquire) ==
+      static_cast<int>(LogSinkStatus::kUnresolved)) {
+    resolve_log_sink();
+  }
   char ts[32];
   format_timestamp(ts, sizeof(ts));
   std::lock_guard<std::mutex> lock(g_mutex);
@@ -71,7 +118,7 @@ void log_line(LogLevel level, std::string_view msg) {
   std::fprintf(stderr, "[%s#%06llu pclust %s] %.*s\n", ts,
                static_cast<unsigned long long>(seq), level_tag(level),
                static_cast<int>(msg.size()), msg.data());
-  if (std::FILE* f = log_file()) {
+  if (std::FILE* f = g_sink.load(std::memory_order_acquire)) {
     std::fprintf(f, "[%s#%06llu pclust %s] %.*s\n", ts,
                  static_cast<unsigned long long>(seq), level_tag(level),
                  static_cast<int>(msg.size()), msg.data());

@@ -1,0 +1,229 @@
+#include "pclust/util/memgov.hpp"
+
+#include <algorithm>
+
+#include "pclust/util/log.hpp"
+#include "pclust/util/metrics.hpp"
+#include "pclust/util/strings.hpp"
+
+namespace pclust::util {
+namespace {
+
+constexpr double kHardExceedFactor = 2.0;
+constexpr double kGrainPressure = 0.70;
+constexpr double kGrainQuarterPressure = 0.95;
+constexpr double kStreamPressure = 0.50;
+constexpr double kSpillPressure = 0.70;
+constexpr std::size_t kGrainFloor = 8;
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= 1024ull * 1024ull * 1024ull) {
+    return format("%.2f GiB", static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  if (bytes >= 1024ull * 1024ull) {
+    return format("%.2f MiB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  }
+  return format("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+}  // namespace
+
+MemoryGovernor& MemoryGovernor::instance() {
+  static MemoryGovernor env;
+  return env;
+}
+
+MemoryGovernor& governor() { return MemoryGovernor::instance(); }
+
+void MemoryGovernor::configure(std::uint64_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = budget_bytes;
+  ledger_ = 0;
+  high_water_ = 0;
+  hard_exceeded_ = false;
+  phase_ = "run";
+  log_.clear();
+  if (budget_ > 0) {
+    log_line(LogLevel::kInfo, format("memgov: budget %s", format_bytes(budget_).c_str()));
+  }
+}
+
+std::uint64_t MemoryGovernor::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+void MemoryGovernor::set_phase(std::string_view phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_.assign(phase);
+}
+
+void MemoryGovernor::charge(std::string_view what, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_ += bytes;
+  high_water_ = std::max(high_water_, ledger_);
+  metrics().gauge("memgov.high_water_bytes").set(high_water_);
+  if (budget_ > 0 && !hard_exceeded_ &&
+      static_cast<double>(ledger_) >
+          kHardExceedFactor * static_cast<double>(budget_)) {
+    hard_exceeded_ = true;
+    log_line(LogLevel::kWarn, format("memgov: ledger %s exceeds 2x budget %s after "
+                         "charging %s for %.*s",
+                         format_bytes(ledger_).c_str(),
+                         format_bytes(budget_).c_str(),
+                         format_bytes(bytes).c_str(),
+                         static_cast<int>(what.size()), what.data()));
+  }
+}
+
+void MemoryGovernor::release(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_ = bytes > ledger_ ? 0 : ledger_ - bytes;
+}
+
+std::uint64_t MemoryGovernor::ledger() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_;
+}
+
+std::uint64_t MemoryGovernor::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+double MemoryGovernor::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ == 0) return 0.0;
+  return static_cast<double>(ledger_) / static_cast<double>(budget_);
+}
+
+std::size_t MemoryGovernor::shrink(std::size_t normal, const char* action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ == 0 || normal <= kGrainFloor) return normal;
+  const double p =
+      static_cast<double>(ledger_) / static_cast<double>(budget_);
+  std::size_t shrunk = normal;
+  if (p >= kGrainQuarterPressure) {
+    shrunk = std::max(kGrainFloor, normal / 4);
+  } else if (p >= kGrainPressure) {
+    shrunk = std::max(kGrainFloor, normal / 2);
+  }
+  if (shrunk != normal) {
+    const std::string detail =
+        format("%zu -> %zu at pressure %.2f", normal, shrunk, p);
+    bool seen = false;
+    for (const auto& e : log_) {
+      if (e.phase == phase_ && e.action == action) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      log_.push_back({phase_, action, detail});
+      metrics().counter("memgov.degradations").add(1);
+      log_line(LogLevel::kInfo,
+               format("memgov: %s %s (%s)", phase_.c_str(), action,
+                      detail.c_str()));
+    }
+  }
+  return shrunk;
+}
+
+std::size_t MemoryGovernor::recommend_grain(std::size_t normal) {
+  return shrink(normal, "shrink-grain");
+}
+
+std::size_t MemoryGovernor::recommend_batch(std::size_t normal) {
+  return shrink(normal, "shrink-batch");
+}
+
+bool MemoryGovernor::should_stream(std::string_view phase) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_ == 0) return false;
+    const double p =
+        static_cast<double>(ledger_) / static_cast<double>(budget_);
+    if (p < kStreamPressure) return false;
+  }
+  note_degradation(phase, "stream", "materialization replaced by streaming");
+  return true;
+}
+
+bool MemoryGovernor::should_spill(std::string_view phase) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_ == 0) return false;
+    const double p =
+        static_cast<double>(ledger_) / static_cast<double>(budget_);
+    if (p < kSpillPressure) return false;
+  }
+  note_degradation(phase, "spill", "cold table spilled to temp file");
+  return true;
+}
+
+void MemoryGovernor::note_degradation(std::string_view phase,
+                                      std::string_view action,
+                                      std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : log_) {
+    if (e.phase == phase && e.action == action) return;
+  }
+  DegradationEvent event;
+  event.phase.assign(phase);
+  event.action.assign(action);
+  event.detail.assign(detail);
+  log_.push_back(std::move(event));
+  metrics().counter("memgov.degradations").add(1);
+  log_line(LogLevel::kInfo, format("memgov: %.*s %.*s (%.*s)",
+                       static_cast<int>(phase.size()), phase.data(),
+                       static_cast<int>(action.size()), action.data(),
+                       static_cast<int>(detail.size()), detail.data()));
+}
+
+std::vector<DegradationEvent> MemoryGovernor::degradation_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+bool MemoryGovernor::hard_exceeded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hard_exceeded_;
+}
+
+void MemoryGovernor::check_phase_boundary(std::string_view phase,
+                                          bool resumable) const {
+  std::uint64_t ledger;
+  std::uint64_t budget;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!hard_exceeded_) return;
+    ledger = ledger_;
+    budget = budget_;
+  }
+  const char* guidance =
+      resumable ? "checkpoints are flushed; re-run with --resume and a "
+                  "larger --mem-budget"
+                : "re-run with a larger --mem-budget (or --checkpoint-dir "
+                  "to make the run resumable)";
+  throw MemoryBudgetExceeded(
+      format("memory budget exceeded after phase %.*s: ledger %s > 2x "
+             "budget %s despite degradation; %s",
+             static_cast<int>(phase.size()), phase.data(),
+             format_bytes(ledger).c_str(), format_bytes(budget).c_str(),
+             guidance));
+}
+
+void MemoryCharge::add(std::string_view what, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  governor().charge(what, bytes);
+  bytes_ += bytes;
+}
+
+void MemoryCharge::reset() {
+  if (bytes_ > 0) {
+    governor().release(bytes_);
+    bytes_ = 0;
+  }
+}
+
+}  // namespace pclust::util

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <thread>
 
+#include "pclust/util/io.hpp"
 #include "pclust/util/json.hpp"
 #include "pclust/util/memsize.hpp"
 #include "pclust/util/metrics.hpp"
@@ -57,7 +58,8 @@ class State {
 
   void enable(const TelemetryConfig& config) {
     disable();
-    std::FILE* out = std::fopen(config.path.c_str(), "w");
+    std::FILE* out =
+        io::io().open_stream(io::ArtifactClass::kTelemetry, config.path, "w");
     if (!out) {
       throw std::runtime_error("telemetry: cannot open " + config.path +
                                " for writing");
@@ -68,6 +70,7 @@ class State {
       out_ = out;
       seq_ = 0;
       records_ = samples_ = warnings_ = stalls_ = 0;
+      drop_warning_pending_ = false;
       t0_ = std::chrono::steady_clock::now();
       phase_active_ = false;
       phase_.clear();
@@ -364,6 +367,27 @@ class State {
     }
     fill(w);
     w.end_object();
+    // Every append is gated by the IoEnv: a (real or injected) telemetry
+    // write failure drops this record and counts it — observability loss
+    // must never abort the run or alter the family output. The drop is
+    // surfaced in-band as a warning record on the next healthy append.
+    if (!io::io().admit_append(io::ArtifactClass::kTelemetry)) {
+      io::io().count_dropped(io::ArtifactClass::kTelemetry);
+      drop_warning_pending_ = true;
+      return;
+    }
+    if (drop_warning_pending_) {
+      drop_warning_pending_ = false;
+      JsonWriter warn;
+      warn.begin_object();
+      warn.key("type").value("warning");
+      warn.key("seq").value(seq_++);
+      warn.key("kind").value("io_drop");
+      warn.key("dropped")
+          .value(io::io().dropped(io::ArtifactClass::kTelemetry));
+      warn.end_object();
+      std::fprintf(out_, "%s\n", warn.str().c_str());
+    }
     std::fprintf(out_, "%s\n", w.str().c_str());
     std::fflush(out_);
     ++records_;
@@ -507,6 +531,7 @@ class State {
   std::FILE* out_ = nullptr;
   std::uint64_t seq_ = 0;
   std::uint64_t records_ = 0, samples_ = 0, warnings_ = 0, stalls_ = 0;
+  bool drop_warning_pending_ = false;
   std::chrono::steady_clock::time_point t0_{};
   std::string phase_;
   bool phase_active_ = false;

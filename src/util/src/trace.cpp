@@ -10,6 +10,8 @@
 #include <tuple>
 #include <vector>
 
+#include "pclust/util/io.hpp"
+
 #include "pclust/util/json.hpp"
 
 namespace pclust::util::trace {
@@ -189,15 +191,9 @@ std::string render_json() {
 }
 
 void write_file(const std::filesystem::path& path) {
-  const std::string doc = render_json();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("trace: cannot open " + path.string() +
-                             " for writing");
-  }
-  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
-  out.put('\n');
-  if (!out) throw std::runtime_error("trace: write failed: " + path.string());
+  // Drop-and-count class: a failed trace write loses the timeline, never
+  // the run (commit_file logs the drop and bumps io.dropped.trace).
+  io::io().commit_file(io::ArtifactClass::kTrace, path, render_json() + "\n");
 }
 
 WallSpan::WallSpan(std::string name, std::string cat)

@@ -270,6 +270,41 @@ TEST_F(CheckpointResumeTest, TruncatedCheckpointIsQuarantinedAndRecomputed) {
                                      /*max_payload_version=*/3));
 }
 
+TEST_F(CheckpointResumeTest, DoubleFaultBothGenerationsDamagedRecomputes) {
+  const auto d = make_data(73);
+  PipelineConfig config;
+  config.checkpoint_dir = dir_.string();
+  const auto fresh = run(d.sequences, config);
+  (void)run(d.sequences, config);  // rotates generation 1 to rr.ckpt.1
+  ASSERT_TRUE(fs::exists(util::checkpoint_backup_path(dir_ / "rr.ckpt")));
+
+  // Damage BOTH generations: corrupt the primary and truncate the
+  // last-good backup. Rollback has nowhere to go — the phase must fall
+  // all the way back to recomputation, never abort.
+  {
+    std::fstream f(dir_ / "rr.ckpt",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  fs::resize_file(util::checkpoint_backup_path(dir_ / "rr.ckpt"), 10);
+
+  config.resume = true;
+  const auto resumed = run(d.sequences, config);
+  EXPECT_EQ(resumed.phase_log[0], "rr:computed");
+  expect_same_result(fresh, resumed);
+  EXPECT_FALSE(resumed.recovery_log.empty());
+  // The damaged primary is still preserved for inspection.
+  EXPECT_TRUE(fs::exists(util::checkpoint_quarantine_path(dir_ / "rr.ckpt")));
+  // The recomputed phase wrote a fresh, valid generation back.
+  EXPECT_TRUE(util::checkpoint_valid(dir_ / "rr.ckpt", /*phase_tag=*/1,
+                                     /*max_payload_version=*/3));
+}
+
 TEST_F(CheckpointResumeTest, ResumeWithoutCheckpointsJustComputes) {
   const auto d = make_data(68);
   PipelineConfig config;

@@ -1,0 +1,116 @@
+// --mem-budget at the pipeline level: a generous budget changes nothing,
+// a squeezed budget degrades along output-invariant levers only (same
+// families, populated degradation log), and a hopeless budget exits
+// structured at a phase boundary with flushed checkpoints so --resume
+// with a larger budget completes bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pclust/pipeline/pipeline.hpp"
+#include "pclust/synth/generator.hpp"
+#include "pclust/util/memgov.hpp"
+#include "pclust/util/metrics.hpp"
+
+namespace pclust::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+synth::Dataset make_data(std::uint64_t seed, std::uint32_t n = 150) {
+  synth::DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_sequences = n;
+  spec.num_families = 5;
+  spec.mean_length = 70;
+  spec.redundant_fraction = 0.15;
+  spec.noise_fraction = 0.15;
+  return synth::generate(spec);
+}
+
+void expect_same_families(const PipelineResult& a, const PipelineResult& b) {
+  ASSERT_EQ(a.families.size(), b.families.size());
+  for (std::size_t i = 0; i < a.families.size(); ++i) {
+    EXPECT_EQ(a.families[i].members, b.families[i].members) << "family " << i;
+    EXPECT_DOUBLE_EQ(a.families[i].mean_degree, b.families[i].mean_degree);
+    EXPECT_DOUBLE_EQ(a.families[i].density, b.families[i].density);
+  }
+}
+
+TEST(ResourcePipelineTest, GenerousBudgetChangesNothing) {
+  const auto d = make_data(81);
+  PipelineConfig plain;
+  const auto golden = run(d.sequences, plain);
+
+  PipelineConfig budgeted = plain;
+  budgeted.mem_budget_bytes = 8ull << 30;  // far above any test peak
+  const auto result = run(d.sequences, budgeted);
+  expect_same_families(golden, result);
+  EXPECT_TRUE(util::governor().degradation_log().empty());
+}
+
+TEST(ResourcePipelineTest, SqueezedBudgetDegradesBitIdentically) {
+  const auto d = make_data(82);
+  PipelineConfig plain;
+  const auto golden = run(d.sequences, plain);
+  const std::uint64_t peak = util::governor().high_water();
+  ASSERT_GT(peak, 0u);
+
+  PipelineConfig budgeted = plain;
+  budgeted.mem_budget_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(peak) * 0.6);
+  const auto result = run(d.sequences, budgeted);
+  expect_same_families(golden, result);
+  const auto events = util::governor().degradation_log();
+  EXPECT_FALSE(events.empty())
+      << "a run squeezed to 60% of its peak must take at least one lever";
+  for (const auto& e : events) {
+    EXPECT_FALSE(e.phase.empty());
+    EXPECT_FALSE(e.action.empty());
+  }
+}
+
+TEST(ResourcePipelineTest, HopelessBudgetExitsStructuredAndResumes) {
+  const auto d = make_data(83);
+  PipelineConfig plain;
+  const auto golden = run(d.sequences, plain);
+
+  const fs::path dir =
+      fs::temp_directory_path() / "pclust_resource_test_resume";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  PipelineConfig tiny = plain;
+  tiny.checkpoint_dir = dir.string();
+  tiny.mem_budget_bytes = 16 << 10;  // 16 KiB: no lever can save this
+  EXPECT_THROW((void)run(d.sequences, tiny), util::MemoryBudgetExceeded);
+  // The boundary that threw flushed its checkpoint first.
+  EXPECT_TRUE(fs::exists(dir / "rr.ckpt"));
+
+  // The operator re-runs with --resume and a workable budget; checkpoints
+  // are fingerprint-compatible (the budget is a tuning knob, not part of
+  // the result) and the finished run matches the unconstrained one.
+  PipelineConfig retry = plain;
+  retry.checkpoint_dir = dir.string();
+  retry.resume = true;
+  const auto resumed = run(d.sequences, retry);
+  EXPECT_EQ(resumed.phase_log[0], "rr:resumed");
+  expect_same_families(golden, resumed);
+  fs::remove_all(dir, ec);
+}
+
+TEST(ResourcePipelineTest, AccountingRunsEvenUnbudgeted) {
+  const auto d = make_data(84);
+  PipelineConfig plain;
+  (void)run(d.sequences, plain);
+  // The capacity ledger always runs so a golden run's peak can calibrate
+  // a later budgeted run (chaos class 8).
+  EXPECT_GT(util::governor().high_water(), 0u);
+  EXPECT_GT(util::metrics().gauge("memgov.high_water_bytes").max(), 0u);
+}
+
+}  // namespace
+}  // namespace pclust::pipeline

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "pclust/align/simd.hpp"
 #include "pclust/util/strings.hpp"
@@ -60,6 +61,42 @@ double get_double_in(const util::Options& options, const std::string& name,
                      util::format("%g", value));
   }
   return value;
+}
+
+std::uint64_t parse_mem_size(const std::string& text, const char* flag) {
+  const std::string entry(util::trim(text));
+  const auto bad = [&] {
+    return UsageError(std::string("--") + flag +
+                      ": expected a size like 512m, 2g, or 1048576, got '" +
+                      entry + "'");
+  };
+  if (entry.empty()) throw bad();
+  std::uint64_t multiplier = 1;
+  std::string digits = entry;
+  switch (entry.back()) {
+    case 'k': case 'K': multiplier = 1ull << 10; break;
+    case 'm': case 'M': multiplier = 1ull << 20; break;
+    case 'g': case 'G': multiplier = 1ull << 30; break;
+    default:
+      if (entry.back() < '0' || entry.back() > '9') throw bad();
+  }
+  if (multiplier > 1) digits.pop_back();
+  if (digits.empty()) throw bad();
+  std::uint64_t value = 0;
+  try {
+    std::size_t used = 0;
+    value = std::stoull(digits, &used);
+    if (used != digits.size()) throw bad();
+  } catch (const UsageError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw bad();
+  }
+  if (value == 0 || value > std::numeric_limits<std::uint64_t>::max() /
+                                multiplier) {
+    throw bad();
+  }
+  return value * multiplier;
 }
 
 std::vector<std::pair<int, double>> parse_rank_at(const std::string& text,

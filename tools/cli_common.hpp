@@ -4,10 +4,12 @@
 //   0  success
 //   1  unexpected runtime failure
 //   2  usage error (bad flag value, missing argument)
-//   3  I/O error (missing input, unwritable output)
+//   3  I/O error (missing input, unwritable output, artifact write failure)
 //   4  checkpoint mismatch (fingerprint/corruption on --resume)
+//   5  resource exhaustion (--mem-budget exceeded despite degradation)
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -20,6 +22,7 @@ namespace pclust::cli {
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitIo = 3;
 inline constexpr int kExitCheckpoint = 4;
+inline constexpr int kExitResource = 5;
 
 /// A command-line value failed validation; main() maps this to exit 2.
 class UsageError : public std::runtime_error {
@@ -47,6 +50,11 @@ long long get_int_in(const util::Options& options, const std::string& name,
 /// --name as a double in [min, max]; throws UsageError otherwise.
 double get_double_in(const util::Options& options, const std::string& name,
                      double min, double max);
+
+/// Parses a byte size with an optional k/m/g suffix (binary units), e.g.
+/// "512m" -> 536870912, "2g", "1048576". Throws UsageError (naming
+/// --@p flag) on junk or a zero/negative size.
+std::uint64_t parse_mem_size(const std::string& text, const char* flag);
 
 /// Parses "rank@value" pairs from a comma-separated list, e.g.
 /// "1@5.0,3@12" -> {(1, 5.0), (3, 12.0)}. Empty input -> empty list.

@@ -29,13 +29,26 @@
 //            the dead shard's forwarded event log and re-homes its
 //            workers; output must still equal the fault-free run (which is
 //            itself bit-identical to the flat protocol's output).
+//   class 7  artifact I/O storm: seeded ENOSPC/EIO faults at the IoEnv
+//            layer, cycling over artifact classes. Checkpoint storms and
+//            telemetry storms must leave families bit-identical (drop /
+//            roll-back-and-continue policies); a sticky families or
+//            report storm must fail with a structured, class-attributed
+//            IoError and leave no torn artifact behind; transient faults
+//            must heal through the retry layer (io.retries > 0).
+//   class 8  memory-budget degradation: --mem-budget at 55–65 % of the
+//            unconstrained serial peak — the run must complete
+//            bit-identically through output-invariant levers only, with a
+//            populated degradation log and a validating report.
 //
 // Exits 0 when every seed upholds its contract, 1 otherwise.
 #include <cstdio>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -44,10 +57,13 @@
 #include "pclust/mpsim/fault_plan.hpp"
 #include "pclust/pipeline/pipeline.hpp"
 #include "pclust/pipeline/report.hpp"
+#include "pclust/quality/cluster_io.hpp"
 #include "pclust/seq/fasta.hpp"
 #include "pclust/synth/generator.hpp"
 #include "pclust/util/checkpoint.hpp"
+#include "pclust/util/io.hpp"
 #include "pclust/util/json.hpp"
+#include "pclust/util/memgov.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/options.hpp"
 #include "pclust/util/telemetry.hpp"
@@ -240,6 +256,9 @@ int cmd_chaos(int argc, const char* const* argv) {
   // Fault-free goldens: the serial reference and the sweep topology.
   util::metrics().reset();
   const pipeline::PipelineResult golden_serial = pipeline::run(sequences, base);
+  // The unconstrained capacity peak calibrates the memory-budget class:
+  // class 8 budgets a fraction of this and must still land bit-identically.
+  const std::uint64_t golden_high_water = util::governor().high_water();
   pipeline::PipelineConfig parallel_config = base;
   parallel_config.processors = processors;
   parallel_config.dsd_processors = dsd_processors;
@@ -259,7 +278,7 @@ int cmd_chaos(int argc, const char* const* argv) {
   };
 
   for (std::uint64_t seed = 0; seed < seeds; ++seed) {
-    const int klass = static_cast<int>(seed % 7);
+    const int klass = static_cast<int>(seed % 9);
     std::string why;
     util::metrics().reset();
 
@@ -358,6 +377,264 @@ int cmd_chaos(int argc, const char* const* argv) {
                     static_cast<unsigned long long>(seed),
                     static_cast<unsigned long long>(
                         result.ccd.run.counter("workers_rehomed")));
+      }
+      continue;
+    }
+    if (klass == 7) {
+      // Artifact I/O storm at the IoEnv layer. The scenario cycles over
+      // artifact classes and sticky/transient faults; the per-class
+      // degradation policy decides the contract for each.
+      const std::uint64_t idx = seed / 9;
+      static const struct {
+        util::io::ArtifactClass cls;
+        const char* name;
+      } kTargets[] = {
+          {util::io::ArtifactClass::kCheckpoint, "checkpoint"},
+          {util::io::ArtifactClass::kTelemetry, "telemetry"},
+          {util::io::ArtifactClass::kFamilies, "families"},
+          {util::io::ArtifactClass::kReport, "report"},
+      };
+      const auto& target = kTargets[idx % 4];
+      const bool sticky = (idx / 4) % 2 == 0;
+      const std::string spec = std::string(target.name) +
+                               (seed % 2 == 0 ? ":enospc@1" : ":eio@1") +
+                               (sticky ? ":sticky" : "");
+      const util::io::IoFaultPlan plan = util::io::IoFaultPlan::parse(spec);
+      const std::string label = "io-storm[" + spec + "]";
+      const std::filesystem::path dir =
+          workdir / ("seed-" + std::to_string(seed));
+      std::filesystem::remove_all(dir);
+      std::filesystem::create_directories(dir);
+
+      if (target.cls == util::io::ArtifactClass::kCheckpoint) {
+        // Checkpoint writes roll back and continue: even a sticky storm
+        // must not change the families, and a clean --resume afterwards
+        // (no checkpoints survived) recomputes the same output.
+        pipeline::PipelineConfig cfg = base;
+        cfg.checkpoint_dir = dir.string();
+        util::io::io().configure(plan);
+        try {
+          const pipeline::PipelineResult result =
+              pipeline::run(sequences, cfg);
+          util::io::io().reset();
+          const std::uint64_t write_failures =
+              util::metrics().counter("checkpoint.write_failures").value();
+          const std::uint64_t retries =
+              util::metrics().counter("io.retries").value();
+          if (!same_families(result.families, golden_serial.families)) {
+            report_failure(seed, label.c_str(),
+                           "families differ under a checkpoint storm");
+          } else if (sticky && write_failures == 0) {
+            report_failure(seed, label.c_str(),
+                           "sticky storm recorded no checkpoint write "
+                           "failures");
+          } else if (!sticky && (write_failures != 0 || retries == 0)) {
+            report_failure(seed, label.c_str(),
+                           "transient fault did not heal through the retry "
+                           "layer");
+          } else {
+            util::metrics().reset();
+            cfg.resume = true;
+            const pipeline::PipelineResult resumed =
+                pipeline::run(sequences, cfg);
+            if (!same_families(resumed.families, golden_serial.families)) {
+              report_failure(seed, label.c_str(),
+                             "post-storm --resume diverged from the serial "
+                             "run");
+            } else {
+              std::printf("chaos: seed %llu (%s): ok, run + resume "
+                          "bit-identical (%llu checkpoint writes failed)\n",
+                          static_cast<unsigned long long>(seed),
+                          label.c_str(),
+                          static_cast<unsigned long long>(write_failures));
+            }
+          }
+        } catch (const std::exception& e) {
+          util::io::io().reset();
+          report_failure(seed, label.c_str(),
+                         std::string("checkpoint storm aborted the run: ") +
+                             e.what());
+        }
+        continue;
+      }
+
+      if (target.cls == util::io::ArtifactClass::kTelemetry) {
+        if (!telemetry.path.empty()) {
+          std::printf("chaos: seed %llu (%s): skipped (global "
+                      "--telemetry-out stream is active)\n",
+                      static_cast<unsigned long long>(seed), label.c_str());
+          continue;
+        }
+        // Telemetry appends are drop-and-count: a storm must never touch
+        // the families, only the stream.
+        util::telemetry::TelemetryConfig tc;
+        tc.path = (dir / "telemetry.jsonl").string();
+        tc.command = "chaos";
+        tc.interval = 3600.0;
+        util::io::io().configure(plan);
+        util::telemetry::enable(tc);
+        try {
+          const pipeline::PipelineResult result =
+              pipeline::run(sequences, base);
+          util::telemetry::disable();
+          util::io::io().reset();
+          const std::uint64_t dropped =
+              util::metrics().counter("io.dropped.telemetry").value();
+          if (!same_families(result.families, golden_serial.families)) {
+            report_failure(seed, label.c_str(),
+                           "families differ under a telemetry storm");
+          } else if (dropped == 0) {
+            report_failure(seed, label.c_str(),
+                           "storm on the telemetry stream dropped no "
+                           "records");
+          } else {
+            std::printf("chaos: seed %llu (%s): ok, %llu records dropped, "
+                        "families untouched\n",
+                        static_cast<unsigned long long>(seed), label.c_str(),
+                        static_cast<unsigned long long>(dropped));
+          }
+        } catch (const std::exception& e) {
+          util::telemetry::disable();
+          util::io::io().reset();
+          report_failure(seed, label.c_str(),
+                         std::string("telemetry storm aborted the run: ") +
+                             e.what());
+        }
+        continue;
+      }
+
+      // Families / report: primary artifacts are fatal-on-failure. A
+      // sticky storm must surface a class-attributed IoError and leave no
+      // torn file; a transient fault must heal through the retry layer.
+      const pipeline::PipelineResult result = pipeline::run(sequences, base);
+      const bool is_report = target.cls == util::io::ArtifactClass::kReport;
+      const std::filesystem::path out =
+          dir / (is_report ? "report.json" : "families.tsv");
+      const pipeline::ReportInfo info{"chaos", "<synthetic>"};
+      const auto write_artifact = [&](const std::filesystem::path& path) {
+        if (is_report) {
+          pipeline::write_report(path, result, base, info);
+        } else {
+          quality::write_clustering_file(path.string(),
+                                         result.family_clustering(),
+                                         sequences);
+        }
+      };
+      util::io::io().configure(plan);
+      if (sticky) {
+        std::string message;
+        try {
+          write_artifact(out);
+        } catch (const util::io::IoError& e) {
+          message = e.what();
+        }
+        util::io::io().reset();
+        const std::string want = std::string("io[") + target.name + "]";
+        if (message.empty()) {
+          report_failure(seed, label.c_str(),
+                         "sticky storm did not fail the write");
+        } else if (message.find(want) == std::string::npos) {
+          report_failure(seed, label.c_str(),
+                         "error lacks the artifact class: " + message);
+        } else if (std::filesystem::exists(out)) {
+          report_failure(seed, label.c_str(),
+                         "failed commit left a torn artifact behind");
+        } else {
+          write_artifact(out);  // fault-free retry by the operator
+          std::printf("chaos: seed %llu (%s): ok, structured failure "
+                      "(%s), clean rewrite succeeded\n",
+                      static_cast<unsigned long long>(seed), label.c_str(),
+                      want.c_str());
+        }
+      } else {
+        try {
+          write_artifact(out);
+          util::io::io().reset();
+          const std::uint64_t retries =
+              util::metrics().counter("io.retries").value();
+          // Verify the healed artifact is whole. The report embeds the
+          // live metrics registry (including the retry just recorded), so
+          // a byte-compare against a re-render is only valid for the
+          // families file; the report is checked semantically instead.
+          bool whole = true;
+          std::string defect;
+          if (is_report) {
+            std::ifstream in(out, std::ios::binary);
+            const std::string doc((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+            whole = pipeline::validate_report(util::parse_json(doc), &defect);
+          } else {
+            const std::filesystem::path clean = out.string() + ".clean";
+            write_artifact(clean);
+            std::ifstream a(out, std::ios::binary);
+            std::ifstream b(clean, std::ios::binary);
+            const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                                      std::istreambuf_iterator<char>());
+            const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                                      std::istreambuf_iterator<char>());
+            whole = bytes_a == bytes_b;
+            defect = "healed artifact differs from a clean write";
+          }
+          if (retries == 0) {
+            report_failure(seed, label.c_str(),
+                           "transient fault healed without a recorded "
+                           "retry");
+          } else if (!whole) {
+            report_failure(seed, label.c_str(), defect);
+          } else {
+            std::printf("chaos: seed %llu (%s): ok, transient fault healed "
+                        "(%llu retries), artifact verified whole\n",
+                        static_cast<unsigned long long>(seed), label.c_str(),
+                        static_cast<unsigned long long>(retries));
+          }
+        } catch (const std::exception& e) {
+          util::io::io().reset();
+          report_failure(seed, label.c_str(),
+                         std::string("transient fault was not healed: ") +
+                             e.what());
+        }
+      }
+      continue;
+    }
+    if (klass == 8) {
+      // Memory-budget degradation: 55–65 % of the unconstrained serial
+      // peak. Output-invariant levers must absorb the squeeze — same
+      // families, a populated degradation log, a validating report.
+      const double frac = 0.55 + 0.05 * static_cast<double>((seed / 9) % 3);
+      pipeline::PipelineConfig cfg = base;
+      cfg.mem_budget_bytes = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 static_cast<double>(golden_high_water) * frac));
+      const std::string label =
+          "mem-budget[" + std::to_string(static_cast<int>(frac * 100)) +
+          "%]";
+      try {
+        const pipeline::PipelineResult result = pipeline::run(sequences, cfg);
+        const auto events = util::governor().degradation_log();
+        if (!same_families(result.families, golden_serial.families)) {
+          report_failure(seed, label.c_str(),
+                         "budgeted families differ from the unconstrained "
+                         "run");
+        } else if (events.empty()) {
+          report_failure(seed, label.c_str(),
+                         "run under a 2x-exceedable budget recorded no "
+                         "degradation events");
+        } else if (!report_validates(result, cfg, &why)) {
+          report_failure(seed, label.c_str(), why);
+        } else {
+          std::printf("chaos: seed %llu (%s): ok, bit-identical through %zu "
+                      "degradation action(s), peak %llu / budget %llu\n",
+                      static_cast<unsigned long long>(seed), label.c_str(),
+                      events.size(),
+                      static_cast<unsigned long long>(
+                          util::governor().high_water()),
+                      static_cast<unsigned long long>(cfg.mem_budget_bytes));
+        }
+      } catch (const util::MemoryBudgetExceeded& e) {
+        report_failure(seed, label.c_str(),
+                       std::string("degradation failed to keep the run "
+                                   "under budget: ") +
+                           e.what());
       }
       continue;
     }

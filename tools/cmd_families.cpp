@@ -11,6 +11,7 @@
 #include "pclust/pipeline/report.hpp"
 #include "pclust/quality/cluster_io.hpp"
 #include "pclust/seq/fasta.hpp"
+#include "pclust/util/io.hpp"
 #include "pclust/util/metrics.hpp"
 #include "pclust/util/options.hpp"
 #include "pclust/util/strings.hpp"
@@ -125,6 +126,15 @@ int cmd_families(int argc, const char* const* argv) {
                  "per-phase WALL-clock watchdog in seconds: abort the "
                  "phase with an attributed error instead of hanging "
                  "(0 = off)");
+  options.define("mem-budget", "",
+                 "memory budget for the capacity ledger (e.g. 512m, 2g); "
+                 "the run degrades along output-invariant levers under "
+                 "pressure and exits resumable (code 5) past 2x budget");
+  options.define("io-fault", "",
+                 "seeded I/O fault plan, comma-separated "
+                 "class:kind@N[:sticky] entries (classes families/"
+                 "checkpoint/report/telemetry/trace/log/spill; kinds "
+                 "enospc/eio/short/fsync; N=0 targets stream opens)");
   define_simd_option(options);
   options.parse(argc, argv);
   if (options.help_requested() || options.positionals().empty()) {
@@ -315,6 +325,21 @@ int cmd_families(int argc, const char* const* argv) {
       get_double_in(options, "heartbeat-max-timeout", 0.0, 3600.0);
   config.pace.phase_deadline =
       get_double_in(options, "phase-deadline", 0.0, 86'400.0);
+
+  if (const std::string budget = options.get("mem-budget"); !budget.empty()) {
+    config.mem_budget_bytes = parse_mem_size(budget, "mem-budget");
+  }
+  util::io::IoFaultPlan io_plan;
+  if (const std::string spec = options.get("io-fault"); !spec.empty()) {
+    try {
+      io_plan = util::io::IoFaultPlan::parse(spec);
+    } catch (const std::invalid_argument& err) {
+      throw UsageError(std::string("--io-fault: ") + err.what());
+    }
+  }
+  // Installed even when empty: resets per-class ordinals and drop counters
+  // so each run's injection schedule starts from write 1.
+  util::io::io().configure(io_plan);
 
   require_readable(options.positionals()[0]);
   if (const std::string out = options.get("out"); !out.empty()) {

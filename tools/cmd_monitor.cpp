@@ -12,7 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <fstream>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <string>
@@ -22,6 +22,7 @@
 #include "cli_common.hpp"
 #include "commands.hpp"
 #include "pclust/util/json.hpp"
+#include "pclust/util/jsonl.hpp"
 #include "pclust/util/options.hpp"
 #include "pclust/util/strings.hpp"
 #include "pclust/util/table.hpp"
@@ -175,32 +176,25 @@ void fold_record(const util::JsonValue& rec, StreamSummary& s) {
   }
 }
 
-/// Parse the stream file. A partial trailing line (producer mid-write) is
-/// skipped silently; malformed interior lines are counted, not fatal.
-StreamSummary read_stream(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open telemetry stream: " + path);
-  StreamSummary s;
-  std::string line;
+/// Fold every complete line the reader can surface into @p s. A torn
+/// trailing line — the producer was killed or is mid-write — stays
+/// buffered inside the reader and is never parsed; when the writer later
+/// finishes the line, the next drain consumes it whole. Malformed
+/// interior lines are counted, not fatal. Returns the number of lines
+/// consumed; sets @p readable false when the file cannot be opened.
+std::size_t drain_stream(util::JsonlTailReader& reader, StreamSummary& s,
+                         bool* readable) {
   std::vector<std::string> lines;
-  while (std::getline(in, line)) lines.push_back(line);
-  const bool ends_with_newline = [&] {
-    in.clear();
-    in.seekg(0, std::ios::end);
-    if (in.tellg() == std::streamoff(0)) return true;
-    in.seekg(-1, std::ios::end);
-    return in.get() == '\n';
-  }();
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (util::trim(lines[i]).empty()) continue;
+  const bool ok = reader.poll(lines);
+  if (readable) *readable = ok;
+  for (const std::string& line : lines) {
     try {
-      fold_record(util::parse_json(lines[i]), s);
+      fold_record(util::parse_json(line), s);
     } catch (const util::JsonError&) {
-      if (i + 1 == lines.size() && !ends_with_newline) continue;  // partial
       ++s.malformed;
     }
   }
-  return s;
+  return lines.size();
 }
 
 std::string fmt_duration(double seconds) {
@@ -371,14 +365,21 @@ int cmd_monitor(int argc, const char* const* argv) {
   const double follow_timeout =
       get_double_in(options, "follow-timeout", 0.0, 86'400.0);
 
-  StreamSummary s = read_stream(path);
+  util::JsonlTailReader reader(path);
+  StreamSummary s;
+  bool readable = true;
+  drain_stream(reader, s, &readable);
+  if (!readable) throw IoError("cannot open telemetry stream: " + path);
   if (options.get_flag("follow")) {
     double stagnant = 0.0;
-    std::uint64_t last_records = s.records;
     while (!s.finished) {
       std::this_thread::sleep_for(std::chrono::milliseconds(250));
-      s = read_stream(path);
-      if (s.records == last_records) {
+      // A rotated/truncated stream resets the reader to the start; the
+      // folded state must restart with it or records double-count.
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(path, ec);
+      if (!ec && size < reader.offset()) s = StreamSummary{};
+      if (drain_stream(reader, s, nullptr) == 0) {
         stagnant += 0.25;
         if (follow_timeout > 0.0 && stagnant >= follow_timeout) {
           std::fprintf(stderr,
@@ -389,7 +390,6 @@ int cmd_monitor(int argc, const char* const* argv) {
         }
       } else {
         stagnant = 0.0;
-        last_records = s.records;
       }
     }
   }

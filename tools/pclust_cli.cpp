@@ -12,7 +12,9 @@
 #include "cli_common.hpp"
 #include "commands.hpp"
 #include "pclust/util/checkpoint.hpp"
+#include "pclust/util/io.hpp"
 #include "pclust/util/log.hpp"
+#include "pclust/util/memgov.hpp"
 #include "pclust/util/telemetry.hpp"
 
 namespace {
@@ -99,6 +101,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
     util::telemetry::disable();
     return cli::kExitIo;
+  } catch (const util::io::IoError& e) {
+    // A persistent artifact write failure (real or injected): the message
+    // carries the artifact class and path, so the operator knows exactly
+    // which output was lost and whether --resume applies.
+    std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    util::telemetry::disable();
+    return cli::kExitIo;
+  } catch (const util::MemoryBudgetExceeded& e) {
+    // Structured resource exit: checkpoints (if any) were flushed at the
+    // phase boundary that threw, so the message's --resume guidance holds.
+    std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
+    util::telemetry::disable();
+    return cli::kExitResource;
   } catch (const util::CheckpointError& e) {
     std::fprintf(stderr, "pclust %s: %s\n", command, e.what());
     util::telemetry::disable();
