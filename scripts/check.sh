@@ -2,7 +2,8 @@
 # Tier-1 verification: full build + ctest, then the real-thread execution
 # layer (exec pool, pooled pace drivers, fault-injected runtime) under
 # ThreadSanitizer, the memory-facing suites under ASan+UBSan, a CLI
-# fault/checkpoint smoke matrix, and the seeded chaos sweep.
+# fault/checkpoint smoke matrix, the seeded chaos sweep, and the
+# merge-provenance ledger / `pclust explain` determinism stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,15 +26,16 @@ cmake --build build-tsan -j --target test_exec test_pace test_mpsim
 # pointer lanes + hand-managed scratch) run under ASan+UBSan.
 cmake --preset asan
 cmake --build build-asan -j --target test_util test_seq test_align \
-  test_mpsim test_pace test_pipeline
+  test_mpsim test_pace test_prov test_pipeline
 (cd build-asan
  ./tests/test_util
  ./tests/test_seq
  ./tests/test_align --gtest_filter='BatchSimd*:ScorePath*'
  ./tests/test_mpsim
  ./tests/test_pace --gtest_filter='FaultTolerance*'
+ ./tests/test_prov
  ./tests/test_pipeline \
-   --gtest_filter='CheckpointResumeTest*:ResourcePipelineTest*')
+   --gtest_filter='CheckpointResumeTest*:ResourcePipelineTest*:PipelineProvenance*:ProvenanceResumeTest*')
 
 # simd-matrix: the alignment suites (including the batch bit-identity fuzz
 # tests) must pass at every --simd setting. PCLUST_SIMD is clamped to the
@@ -191,6 +193,64 @@ rc=0; "$pclust" monitor "$smoke/straggler.tele.jsonl" --fail-on-stall \
   || { echo "monitor --fail-on-stall missed the seeded straggler"; exit 1; }
 echo "check.sh: telemetry green (bit-identity + stall gate)"
 
+# explain: merge-provenance ledger + decision-level audit. The ledger is a
+# canonical derivation, so its bytes must be identical across real threads,
+# a simulated hierarchical topology, and a checkpoint --resume (sidecar
+# splicing); capturing it must not change the families; the report's
+# provenance section must validate (merge identity enforced); and
+# `pclust explain` must answer pair and family queries deterministically,
+# with weak links ranked ascending by alignment score.
+"$pclust" families "$smoke/in.fa" --provenance-out "$smoke/prov.jsonl" \
+  --out "$smoke/prov-fams.tsv" --report-out "$smoke/prov-report.json" \
+  >/dev/null
+cmp "$smoke/a.tsv" "$smoke/prov-fams.tsv"
+"$pclust" report-check "$smoke/prov-report.json" \
+  | grep -q 'provenance section valid' \
+  || { echo "report lacks a valid provenance section"; exit 1; }
+"$pclust" families "$smoke/in.fa" --threads 4 \
+  --provenance-out "$smoke/prov-t4.jsonl" --out "$smoke/prov-t4.tsv" \
+  >/dev/null
+cmp "$smoke/prov.jsonl" "$smoke/prov-t4.jsonl"
+"$pclust" families "$smoke/in.fa" --processors 8 --masters 2 \
+  --provenance-out "$smoke/prov-tree.jsonl" --out "$smoke/prov-tree.tsv" \
+  >/dev/null
+cmp "$smoke/prov.jsonl" "$smoke/prov-tree.jsonl"
+"$pclust" families "$smoke/in.fa" --checkpoint-dir "$smoke/provck" \
+  --provenance-out "$smoke/prov-ck.jsonl" --out "$smoke/prov-ck.tsv" \
+  >/dev/null
+"$pclust" families "$smoke/in.fa" --checkpoint-dir "$smoke/provck" \
+  --resume --provenance-out "$smoke/prov-resume.jsonl" \
+  --out "$smoke/prov-resume.tsv" >/dev/null
+cmp "$smoke/prov.jsonl" "$smoke/prov-resume.jsonl"
+# Audit queries: a pair from the largest family and the family itself.
+# fams.tsv starts with a '#' header; members are "<label>\t<name>" rows.
+fam="$(awk -F'\t' '!/^#/{print $1; exit}' "$smoke/prov-fams.tsv")"
+pair_a="$(awk -F'\t' -v f="$fam" '!/^#/ && $1==f{print $2}' \
+  "$smoke/prov-fams.tsv" | sed -n 1p)"
+pair_b="$(awk -F'\t' -v f="$fam" '!/^#/ && $1==f{print $2}' \
+  "$smoke/prov-fams.tsv" | sed -n 2p)"
+"$pclust" explain "$smoke/in.fa" "$smoke/prov.jsonl" \
+  --pair "$pair_a,$pair_b" > "$smoke/explain-pair.1.txt"
+"$pclust" explain "$smoke/in.fa" "$smoke/prov.jsonl" \
+  --pair "$pair_a,$pair_b" > "$smoke/explain-pair.2.txt"
+cmp "$smoke/explain-pair.1.txt" "$smoke/explain-pair.2.txt"
+grep -q 'merge chain' "$smoke/explain-pair.1.txt" \
+  || { echo "explain --pair found no merge chain for $pair_a,$pair_b"; exit 1; }
+"$pclust" explain "$smoke/in.fa" "$smoke/prov.jsonl" --family 1 \
+  --clusters "$smoke/prov-fams.tsv" > "$smoke/explain-fam.1.txt"
+"$pclust" explain "$smoke/in.fa" "$smoke/prov.jsonl" --family 1 \
+  --clusters "$smoke/prov-fams.tsv" > "$smoke/explain-fam.2.txt"
+cmp "$smoke/explain-fam.1.txt" "$smoke/explain-fam.2.txt"
+# Weak links are ranked weakest first: the score column of that section
+# must be non-decreasing.
+sed -n '/weak links/,/hubs/p' "$smoke/explain-fam.1.txt" \
+  | grep -o 'score=-\{0,1\}[0-9]*' | cut -d= -f2 | sort -n -C \
+  || { echo "explain weak links are not sorted ascending by score"; exit 1; }
+"$pclust" explain "$smoke/in.fa" "$smoke/prov.jsonl" --family 1 \
+  --clusters "$smoke/prov-fams.tsv" --json | grep -q '"weak_links"' \
+  || { echo "explain --json lacks weak_links"; exit 1; }
+echo "check.sh: explain green (ledger bit-identity + deterministic audits)"
+
 # perf: regression gate against the committed baselines. Timings move with
 # the host, so the default tolerance here is deliberately loose — it exists
 # to catch order-of-magnitude kernel regressions and the score-only fast
@@ -226,6 +286,37 @@ else
       --candidate "$smoke/tele-bench/BENCH_pipeline.json" \
       --tolerance "$telemetry_tolerance"
     echo "check.sh: telemetry overhead within ${telemetry_tolerance}"
+  fi
+  # Provenance overhead budget: capturing the merge ledger must cost <= 3%
+  # wall time on the dense workload (serial CCD captures at decision time;
+  # RR/DSD derivation is linear in the evidence). Best-of-3 back-to-back
+  # runs keep host noise correlated; PCLUST_PROVENANCE_TOLERANCE loosens
+  # the gate (or "skip").
+  provenance_tolerance="${PCLUST_PROVENANCE_TOLERANCE:-0.03}"
+  if [ "$provenance_tolerance" = "skip" ]; then
+    echo "check.sh: provenance overhead gate skipped"
+  else
+    best_families_ns() {  # best-of-3 wall time of a families run, ns
+      local best="" t0 t1 dt i
+      for i in 1 2 3; do
+        t0=$(date +%s%N)
+        "$pclust" families "$smoke/dense.fa" --rr-band 32 \
+          --out "$smoke/prov-bench.tsv" "$@" >/dev/null
+        t1=$(date +%s%N)
+        dt=$((t1 - t0))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+      done
+      echo "$best"
+    }
+    plain_ns="$(best_families_ns)"
+    prov_ns="$(best_families_ns --provenance-out "$smoke/prov-bench.jsonl")"
+    awk -v plain="$plain_ns" -v prov="$prov_ns" -v tol="$provenance_tolerance" \
+      'BEGIN { exit !(prov <= plain * (1 + tol)) }' \
+      || { echo "provenance overhead $(awk -v a="$prov_ns" -v b="$plain_ns" \
+             'BEGIN{printf "%.1f%%", (a/b - 1) * 100}') exceeds ${provenance_tolerance}"; \
+           exit 1; }
+    echo "check.sh: provenance overhead within ${provenance_tolerance}" \
+      "($(awk -v a="$prov_ns" -v b="$plain_ns" 'BEGIN{printf "%+.1f%%", (a/b - 1) * 100}'))"
   fi
   # Hierarchy rows are virtual time (host-independent), so this leg also
   # gates the absolute floors: tree >= flat speed, saturation clear at

@@ -61,10 +61,17 @@ struct CcdProgress {
 /// @p checkpoint_stride > 0 invokes @p on_checkpoint with a fresh snapshot
 /// roughly every that many pairs. The resumed partition is bit-identical
 /// to an uninterrupted run.
+/// @p on_merge (optional) is the merge-provenance recorder: invoked exactly
+/// once per SURVIVING union–find merge, with the accepting verdict, in the
+/// order the master applied them. Only meaningful on a from-scratch run
+/// (resume == nullptr): a resumed run replays a stream suffix, so its
+/// recorder would miss merges folded before the checkpoint — callers use
+/// the canonical replay (pace/provenance.hpp) there instead.
 ComponentsResult detect_components_serial(
     const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
     const PaceParams& params = {}, exec::Pool* pool = nullptr,
     const CcdProgress* resume = nullptr, std::uint64_t checkpoint_stride = 0,
-    const std::function<void(const CcdProgress&)>& on_checkpoint = nullptr);
+    const std::function<void(const CcdProgress&)>& on_checkpoint = nullptr,
+    const std::function<void(const Verdict&)>& on_merge = nullptr);
 
 }  // namespace pclust::pace

@@ -82,6 +82,16 @@ struct Verdict {
   /// Phase-specific code. CCD: 1 = overlap accepted. RR: 1 = a contained in
   /// b, 2 = b contained in a, 3 = mutually contained. 0 = rejected.
   std::uint8_t code = 0;
+  // Alignment evidence behind the code, consumed by the merge-provenance
+  // recorder. Deliberately EXCLUDED from the simulated wire-size estimate
+  // (kVerdictBytes): provenance capture must not perturb virtual time, and
+  // a real implementation would ship these fields only when the ledger is
+  // requested.
+  std::int32_t score = 0;
+  std::uint32_t matches = 0;
+  std::uint32_t columns = 0;
+  std::uint32_t a_span = 0;
+  std::uint32_t b_span = 0;
 };
 
 /// Sub-master-side policy (hierarchical mode): a local replica of the
@@ -210,5 +220,17 @@ EngineCounters run_serial(const seq::SequenceSet& set,
                           WorkerPolicy& worker_policy,
                           exec::Pool* pool = nullptr,
                           const SerialHooks* hooks = nullptr);
+
+/// The canonical promising-pair stream over @p ids: exactly the pairs the
+/// serial driver inspects, in its exact order (global decreasing match
+/// length; ties keep the deterministic bucket-append order). A pure
+/// function of (set, ids, params) — independent of thread count, master
+/// topology, faults, and resume points — which is what lets the
+/// merge-provenance replay (pace/provenance.hpp) reconstruct the serial
+/// decision sequence after ANY run. A pool only parallelizes index
+/// construction; the returned stream is bit-identical without one.
+[[nodiscard]] std::vector<PairTask> canonical_pairs(
+    const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
+    const PaceParams& params, exec::Pool* pool = nullptr);
 
 }  // namespace pclust::pace

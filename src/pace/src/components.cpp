@@ -60,7 +60,17 @@ class CcdMaster final : public MasterPolicy {
   void apply(const Verdict& v) override {
     if (v.code == 1 && uf_.merge(dense_.at(v.a), dense_.at(v.b))) {
       util::metrics().counter("ccd.uf_merges").add(1);
+      if (on_merge_) on_merge_(v);
     }
+  }
+
+  /// Merge-provenance recorder: fired exactly once per SURVIVING union—find
+  /// merge, at the moment of decision, with the verdict that caused it.
+  /// Sound for the serial driver (one authoritative state, in stream
+  /// order); the parallel/hierarchical engines instead derive provenance
+  /// by canonical replay (pace/provenance.hpp).
+  void set_merge_recorder(std::function<void(const Verdict&)> recorder) {
+    on_merge_ = std::move(recorder);
   }
 
   /// CCD supports hierarchical masters: apply is a union–find merge —
@@ -116,6 +126,7 @@ class CcdMaster final : public MasterPolicy {
   const std::vector<seq::SeqId>& ids_;
   std::unordered_map<seq::SeqId, std::uint32_t> dense_;
   dsu::UnionFind uf_;
+  std::function<void(const Verdict&)> on_merge_;
 };
 
 class CcdWorker final : public WorkerPolicy {
@@ -133,8 +144,7 @@ class CcdWorker final : public WorkerPolicy {
                                          params_.overlap)
             : align::test_overlap(a, b, params_.scheme(), params_.overlap);
     if (cells) *cells += out.alignment.cells;
-    return Verdict{task.a, task.b,
-                   static_cast<std::uint8_t>(out.accepted ? 1 : 0)};
+    return make_verdict(task, out);
   }
 
   /// Batched form: one overlap alignment per task, packed into SIMD lanes
@@ -157,12 +167,25 @@ class CcdWorker final : public WorkerPolicy {
       const align::PredicateOutcome out = align::overlap_outcome(
           results[k], jobs[k].a.size(), jobs[k].b.size(), params_.overlap);
       if (cells) cells[k] += out.alignment.cells;
-      verdicts[k] = Verdict{tasks[k].a, tasks[k].b,
-                            static_cast<std::uint8_t>(out.accepted ? 1 : 0)};
+      verdicts[k] = make_verdict(tasks[k], out);
     }
   }
 
  private:
+  static Verdict make_verdict(const PairTask& task,
+                              const align::PredicateOutcome& out) {
+    Verdict v;
+    v.a = task.a;
+    v.b = task.b;
+    v.code = static_cast<std::uint8_t>(out.accepted ? 1 : 0);
+    v.score = out.alignment.score;
+    v.matches = out.alignment.matches;
+    v.columns = out.alignment.columns;
+    v.a_span = out.alignment.a_end - out.alignment.a_begin;
+    v.b_span = out.alignment.b_end - out.alignment.b_begin;
+    return v;
+  }
+
   const seq::SequenceSet& set_;
   const PaceParams& params_;
 };
@@ -204,10 +227,12 @@ ComponentsResult detect_components_serial(
     const seq::SequenceSet& set, const std::vector<seq::SeqId>& ids,
     const PaceParams& params, exec::Pool* pool, const CcdProgress* resume,
     std::uint64_t checkpoint_stride,
-    const std::function<void(const CcdProgress&)>& on_checkpoint) {
+    const std::function<void(const CcdProgress&)>& on_checkpoint,
+    const std::function<void(const Verdict&)>& on_merge) {
   ComponentsResult result;
   CcdMaster master(ids);
   CcdWorker worker(set, params);
+  if (on_merge) master.set_merge_recorder(on_merge);
 
   SerialHooks hooks;
   if (resume) {

@@ -31,7 +31,10 @@ void record_engine_counters(const EngineCounters& c) {
   m.counter("pace.alignments_attempted").add(c.aligned_pairs);
 }
 
-// Wire-size estimates for the virtual clock (bytes per element).
+// Wire-size estimates for the virtual clock (bytes per element). The
+// verdict estimate stays at the {a, b, code} wire size even though
+// Verdict carries optional provenance stats — those ride only when a
+// ledger is requested, and virtual time must not depend on that choice.
 constexpr std::uint64_t kPairBytes = 20;
 constexpr std::uint64_t kVerdictBytes = 9;
 constexpr std::uint64_t kHeaderBytes = 25;  // seq + stream ids + flags
@@ -396,6 +399,14 @@ mpsim::RunResult run_parallel(
     counters->aligned_pairs = result.counter("aligned_pairs");
   }
   return result;
+}
+
+std::vector<PairTask> canonical_pairs(const seq::SequenceSet& set,
+                                      const std::vector<seq::SeqId>& ids,
+                                      const PaceParams& params,
+                                      exec::Pool* pool) {
+  SharedIndex index(set, ids, params, /*workers=*/1, pool);
+  return index.worker_pairs(1);
 }
 
 EngineCounters run_serial(const seq::SequenceSet& set,

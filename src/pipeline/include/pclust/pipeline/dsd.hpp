@@ -31,6 +31,15 @@ struct DsdParallelResult {
   /// families_per_graph[g] == shingle::report_families(graphs[g], ...) —
   /// one slot per component graph, filled exactly once.
   std::vector<std::vector<std::vector<seq::SeqId>>> families_per_graph;
+  /// Per-graph surviving Pass II merges (capture_merges only; endpoints
+  /// already lifted to sequence ids). First-application-wins like the
+  /// family slots, so replays and duplicated deliveries never duplicate
+  /// provenance.
+  std::vector<std::vector<shingle::ShingleMerge>> merges_per_graph;
+  /// Per-graph Shingle tallies (always filled): the derivation-side merge
+  /// identity is sum over graphs of s1_nodes - raw_components.
+  std::vector<std::uint64_t> s1_nodes_per_graph;
+  std::vector<std::uint64_t> raw_components_per_graph;
   mpsim::RunResult run;
 };
 
@@ -39,10 +48,13 @@ struct DsdParallelResult {
 /// generation streams). @p engine supplies the resilience knobs
 /// (heartbeat, retries, phase deadline). Throws std::invalid_argument when
 /// @p plan crashes rank 0 (the master is the phase's single coordinator).
+/// @p capture_merges additionally records each graph's surviving Pass II
+/// merges (merge provenance); virtual time is unaffected.
 [[nodiscard]] DsdParallelResult run_dsd_parallel(
     const std::vector<bigraph::ComponentGraph>& graphs,
     const shingle::ShingleParams& params, int p,
     const mpsim::MachineModel& model, const pace::PaceParams& engine,
-    exec::Pool* pool, const mpsim::FaultPlan* plan);
+    exec::Pool* pool, const mpsim::FaultPlan* plan,
+    bool capture_merges = false);
 
 }  // namespace pclust::pipeline

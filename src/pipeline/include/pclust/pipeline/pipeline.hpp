@@ -19,6 +19,7 @@
 #include "pclust/pace/components.hpp"
 #include "pclust/pace/params.hpp"
 #include "pclust/pace/redundancy.hpp"
+#include "pclust/prov/ledger.hpp"
 #include "pclust/seq/complexity.hpp"
 #include "pclust/seq/sequence_set.hpp"
 #include "pclust/shingle/shingle.hpp"
@@ -94,6 +95,20 @@ struct PipelineConfig {
   /// budget never changes results.
   std::uint64_t mem_budget_bytes = 0;
 
+  /// Capture merge provenance: every union–find merge that survives into
+  /// the final partition is recorded as one evidence edge (sequence pair,
+  /// phase, rule, alignment/shingle evidence) in PipelineResult::
+  /// provenance. The ledger is a CANONICAL DERIVATION — a pure function of
+  /// (input, final phase results, parameters) — so its bytes are identical
+  /// across thread counts, master topologies, checkpoint resume, and any
+  /// fault plan under which the family output itself is invariant (see
+  /// pace/provenance.hpp and DESIGN.md §16). The serial CCD path captures
+  /// at decision time for free; parallel/resumed runs derive by canonical
+  /// replay. With checkpointing enabled, per-phase provenance sidecars
+  /// (<phase>.prov.jsonl in checkpoint_dir) let `--resume` splice already-
+  /// derived evidence instead of re-deriving it.
+  bool provenance = false;
+
   /// Fault injection for the simulated RR and CCD phases (ignored when
   /// processors < 2). The engine self-heals worker crashes; see
   /// pace/engine.hpp for the guarantees per phase.
@@ -153,6 +168,12 @@ struct PipelineResult {
   /// Checkpoint-recovery events from this run (quarantined files,
   /// rollbacks to a backup generation). Empty when nothing was damaged.
   std::vector<std::string> recovery_log;
+
+  /// Merge-provenance ledger (PipelineConfig::provenance): evidence edges
+  /// in canonical derivation order plus per-phase/per-rule tallies and the
+  /// expected union–find merge counts. Default-constructed (sequences ==
+  /// 0, no edges) when capture was off.
+  prov::Ledger provenance;
 
   [[nodiscard]] std::vector<std::vector<seq::SeqId>> family_clustering() const;
 };

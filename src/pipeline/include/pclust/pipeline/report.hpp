@@ -30,6 +30,10 @@ namespace pclust::pipeline {
 struct ReportInfo {
   std::string command;  // CLI subcommand, e.g. "families"
   std::string input;    // input path (or description)
+  /// Where the merge-provenance ledger was written (--provenance-out);
+  /// empty when no ledger file was requested. The report's `provenance`
+  /// section appears whenever capture ran, with or without a file.
+  std::string provenance_path;
 };
 
 /// Render the report document for a finished run. Reads the process-wide

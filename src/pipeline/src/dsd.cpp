@@ -22,6 +22,13 @@ struct DsdTask {
 struct DsdVerdict {
   std::uint32_t graph = 0;
   std::vector<std::vector<seq::SeqId>> families;
+  // Merge provenance: surviving Pass II merges (capture only) plus the
+  // Shingle tallies behind the derivation-side merge identity. Carried on
+  // the verdict so healing replays stay first-application-wins; the
+  // simulated wire size (verdict_bytes) deliberately ignores them.
+  std::vector<shingle::ShingleMerge> merges;
+  std::uint64_t s1_nodes = 0;
+  std::uint64_t raw_components = 0;
 };
 
 mpsim::MwOptions dsd_options(const pace::PaceParams& engine) {
@@ -84,7 +91,7 @@ DsdParallelResult run_dsd_parallel(
     const std::vector<bigraph::ComponentGraph>& graphs,
     const shingle::ShingleParams& params, int p,
     const mpsim::MachineModel& model, const pace::PaceParams& engine,
-    exec::Pool* pool, const mpsim::FaultPlan* plan) {
+    exec::Pool* pool, const mpsim::FaultPlan* plan, bool capture_merges) {
   const mpsim::MwOptions opt = dsd_options(engine);
   const mpsim::MwTopology topo{p, opt.masters};
   if (p < 2) {
@@ -104,6 +111,9 @@ DsdParallelResult run_dsd_parallel(
 
   DsdParallelResult out;
   out.families_per_graph.resize(graphs.size());
+  out.merges_per_graph.resize(graphs.size());
+  out.s1_nodes_per_graph.assign(graphs.size(), 0);
+  out.raw_components_per_graph.assign(graphs.size(), 0);
   // Graph-keyed verdict slots on the authoritative rank (flat master or
   // hierarchical root): replays after healing (or duplicated deliveries)
   // re-fill a slot with the same deterministic value, so the first
@@ -137,8 +147,12 @@ DsdParallelResult run_dsd_parallel(
         comm_.charge_hashes(graphs[g].graph.edge_count() * params.c1);
         DsdVerdict v;
         v.graph = g;
-        v.families = shingle::report_families(graphs[g], params,
-                                              nullptr, pool);
+        shingle::DsdStats st;
+        v.families = shingle::report_families(
+            graphs[g], params, &st, pool,
+            capture_merges ? &v.merges : nullptr);
+        v.s1_nodes = st.first_level_shingles;
+        v.raw_components = st.raw_components;
         comm_.count("components_processed");
         if (util::trace::enabled()) {
           util::trace::complete(
@@ -167,6 +181,9 @@ DsdParallelResult run_dsd_parallel(
               if (applied[v.graph]) return;
               applied[v.graph] = 1;
               out.families_per_graph[v.graph] = v.families;
+              out.merges_per_graph[v.graph] = v.merges;
+              out.s1_nodes_per_graph[v.graph] = v.s1_nodes;
+              out.raw_components_per_graph[v.graph] = v.raw_components;
             };
             mpsim::mw_master_loop(comm, opt, master);
             return;
@@ -176,6 +193,9 @@ DsdParallelResult run_dsd_parallel(
             if (applied[v.graph]) return;  // event replay: first wins
             applied[v.graph] = 1;
             out.families_per_graph[v.graph] = v.families;
+            out.merges_per_graph[v.graph] = v.merges;
+            out.s1_nodes_per_graph[v.graph] = v.s1_nodes;
+            out.raw_components_per_graph[v.graph] = v.raw_components;
           };
           mpsim::mw_root_loop(comm, opt, topo, root);
           return;

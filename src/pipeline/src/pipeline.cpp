@@ -1,15 +1,21 @@
 #include "pclust/pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 
 #include "pclust/exec/pool.hpp"
 #include "pclust/mpsim/masterworker.hpp"
+#include "pclust/pace/provenance.hpp"
 #include "pclust/pipeline/dsd.hpp"
 #include "pclust/util/checkpoint.hpp"
+#include "pclust/util/io.hpp"
+#include "pclust/util/json.hpp"
 #include "pclust/util/log.hpp"
 #include "pclust/util/memgov.hpp"
 #include "pclust/util/memsize.hpp"
@@ -181,6 +187,138 @@ class Checkpoints {
   std::vector<std::string> recovery_log_;
 };
 
+// ---- Merge-provenance sidecars ------------------------------------------
+//
+// With checkpointing enabled, every phase that contributed evidence edges
+// also commits a `<phase>.prov.jsonl` sidecar next to its checkpoint:
+//   line 1   {"schema":"pclust-provenance-sidecar","version":1,"phase":...,
+//             "fingerprint":<hex>,"result":<hex>,"merges":N,"edges":M}
+//   lines 2..M+1   prov::render_edge lines (the ledger's edge format)
+// A sidecar is loaded ONLY when its phase was resumed from the matching
+// checkpoint (same run fingerprint AND same phase-result hash) — a healed
+// parallel RR can legitimately produce a different, equally valid removal
+// set for the same fingerprint, and stale evidence must never splice onto
+// it. Any mismatch or damage silently falls back to canonical re-derivation:
+// sidecars are a resume optimization, never a source of truth.
+constexpr std::string_view kSidecarSchema = "pclust-provenance-sidecar";
+constexpr int kSidecarVersion = 1;
+
+/// Hex rendering for the u64 hashes in sidecar meta lines (JSON numbers
+/// are doubles — a full-range u64 would lose precision).
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+/// FNV-1a accumulator for phase-result hashes.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+};
+
+std::uint64_t rr_result_hash(const pace::RedundancyResult& rr) {
+  Fnv f;
+  f.mix(rr.removed.size());
+  for (const std::uint8_t r : rr.removed) f.mix(r);
+  for (const seq::SeqId c : rr.container) f.mix(c);
+  return f.h;
+}
+
+std::uint64_t components_hash(
+    const std::vector<std::vector<seq::SeqId>>& components) {
+  Fnv f;
+  f.mix(components.size());
+  for (const auto& component : components) {
+    f.mix(component.size());
+    for (const seq::SeqId m : component) f.mix(m);
+  }
+  return f.h;
+}
+
+std::string render_sidecar(std::string_view phase, std::uint64_t fp,
+                           std::uint64_t result_hash, std::uint64_t merges,
+                           const std::vector<prov::Edge>& edges) {
+  util::JsonWriter w;
+  w.begin_object()
+      .key("schema").value(kSidecarSchema)
+      .key("version").value(kSidecarVersion)
+      .key("phase").value(phase)
+      .key("fingerprint").value(hex_u64(fp))
+      .key("result").value(hex_u64(result_hash))
+      .key("merges").value(merges)
+      .key("edges").value(static_cast<std::uint64_t>(edges.size()))
+      .end_object();
+  std::string out = w.str();
+  out += '\n';
+  for (const prov::Edge& e : edges) {
+    out += prov::render_edge(e);
+    out += '\n';
+  }
+  return out;
+}
+
+/// Load a render_sidecar file. nullopt (never a throw) when the file is
+/// missing, damaged, truncated, or bound to a different fingerprint or
+/// phase result — the caller re-derives. On success @p merges_out (if
+/// given) receives the stored expected-merge count.
+std::optional<std::vector<prov::Edge>> load_sidecar(
+    const std::filesystem::path& path, std::string_view phase,
+    std::uint64_t fp, std::uint64_t result_hash,
+    std::uint64_t* merges_out = nullptr) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  try {
+    std::string line;
+    if (!std::getline(in, line)) return std::nullopt;
+    const util::JsonValue meta = util::parse_json(line);
+    const util::JsonValue* schema = meta.find("schema");
+    if (!schema || !schema->is_string() ||
+        schema->as_string() != kSidecarSchema) {
+      return std::nullopt;
+    }
+    if (static_cast<int>(meta.at("version").as_number()) != kSidecarVersion ||
+        meta.at("phase").as_string() != phase ||
+        meta.at("fingerprint").as_string() != hex_u64(fp) ||
+        meta.at("result").as_string() != hex_u64(result_hash)) {
+      return std::nullopt;
+    }
+    const std::uint64_t declared = meta.at("edges").as_u64();
+    std::vector<prov::Edge> edges;
+    edges.reserve(static_cast<std::size_t>(declared));
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      edges.push_back(prov::parse_edge(line));
+    }
+    if (edges.size() != declared) return std::nullopt;
+    if (merges_out) *merges_out = meta.at("merges").as_u64();
+    return edges;
+  } catch (const std::exception& err) {
+    PCLUST_WARN << "pipeline: damaged provenance sidecar " << path.string()
+                << ": " << err.what() << " (re-deriving)";
+    return std::nullopt;
+  }
+}
+
+/// Commit a sidecar through the IoEnv. Failures warn and continue: the
+/// requested audit artifact is the FINAL ledger (whose write is fatal,
+/// see prov::write_ledger) — sidecars only make `--resume` cheaper.
+void commit_sidecar(const std::filesystem::path& path,
+                    const std::string& bytes) {
+  try {
+    util::io::io().commit_file(util::io::ArtifactClass::kProvenance, path,
+                               bytes);
+  } catch (const util::io::IoError& err) {
+    PCLUST_WARN << "pipeline: provenance sidecar " << path.string()
+                << " not written (" << err.what()
+                << "); a resumed run will re-derive";
+  }
+}
+
 /// Record the process RSS at a phase boundary as a `mem.rss.<phase>`
 /// gauge; the run report's memory section reads the high-water marks. A
 /// no-op (gauge stays 0) where /proc is unavailable.
@@ -293,9 +431,9 @@ PipelineResult run(const seq::SequenceSet& input,
   }
   const seq::SequenceSet& set = config.mask_low_complexity ? masked : input;
 
-  Checkpoints ckpt(config, config.checkpoint_dir.empty()
-                               ? 0
-                               : fingerprint(set, config));
+  const std::uint64_t fp =
+      config.checkpoint_dir.empty() ? 0 : fingerprint(set, config);
+  Checkpoints ckpt(config, fp);
   const mpsim::FaultPlan* rr_plan =
       config.rr_fault_plan ? config.rr_fault_plan : config.fault_plan;
   const mpsim::FaultPlan* ccd_plan =
@@ -306,9 +444,37 @@ PipelineResult run(const seq::SequenceSet& input,
     PCLUST_INFO << "pipeline: phase " << phase << " " << how;
   };
 
+  // Merge-provenance capture state. Edges accumulate per phase and are
+  // assembled into result.provenance at every function exit; the ledger is
+  // a canonical derivation (see pace/provenance.hpp), so these vectors end
+  // up bit-identical however each phase actually executed.
+  const bool want_prov = config.provenance;
+  std::vector<prov::Edge> rr_edges;
+  std::vector<prov::Edge> ccd_edges;
+  std::vector<prov::Edge> dsd_edges;
+  std::uint64_t dsd_expected_merges = 0;
+  const prov::Rule dsd_rule = config.reduction == bigraph::Reduction::kDuplicate
+                                  ? prov::Rule::kBd
+                                  : prov::Rule::kBm;
+  const auto append_dsd_edges =
+      [&](const std::vector<shingle::ShingleMerge>& merges) {
+        for (const shingle::ShingleMerge& m : merges) {
+          prov::Edge e;
+          e.a = m.a;
+          e.b = m.b;
+          e.phase = prov::Phase::kDsd;
+          e.rule = dsd_rule;
+          e.score = static_cast<std::int32_t>(m.matches);
+          e.matches = m.matches;
+          e.columns = m.columns;
+          dsd_edges.push_back(e);
+        }
+      };
+
   // ---- Phase 1: redundancy removal --------------------------------------
   util::governor().set_phase("rr");
   bool from_backup = false;
+  bool rr_resumed = false;
   if (auto reader =
           ckpt.open("rr.ckpt", kTagRr, &result.rr_seconds, &from_backup)) {
     result.rr.removed = reader->u8_vec();
@@ -320,6 +486,7 @@ PipelineResult run(const seq::SequenceSet& input,
           "rr.ckpt does not cover the current input set");
     }
     log_phase("rr", from_backup ? "resumed-backup" : "resumed");
+    rr_resumed = true;
   } else {
     const util::trace::WallSpan span("rr");
     if (parallel) trace_sim_phase("sim:rr", config.processors);
@@ -352,6 +519,26 @@ PipelineResult run(const seq::SequenceSet& input,
     }
     log_phase("rr", "computed");
   }
+  if (want_prov) {
+    // RR evidence: re-derived from the removal result (full-DP containment
+    // stats, canonical ascending order — see pace/provenance.hpp). Resumed
+    // phases splice the sidecar written by the run that computed them.
+    const std::uint64_t rr_hash = rr_result_hash(result.rr);
+    std::optional<std::vector<prov::Edge>> loaded;
+    if (rr_resumed && ckpt.enabled()) {
+      loaded = load_sidecar(ckpt.path("rr.prov.jsonl"), "rr", fp, rr_hash);
+    }
+    if (loaded) {
+      rr_edges = std::move(*loaded);
+    } else {
+      rr_edges = pace::derive_rr_provenance(set, result.rr, config.pace);
+      if (ckpt.enabled()) {
+        commit_sidecar(ckpt.path("rr.prov.jsonl"),
+                       render_sidecar("rr", fp, rr_hash,
+                                      result.rr.removed_count(), rr_edges));
+      }
+    }
+  }
   sample_phase_rss("rr");
   // Past this point the rr checkpoint (if any) is flushed: a hopelessly
   // over-budget run exits structured and resumable here, not OOM-killed.
@@ -367,6 +554,11 @@ PipelineResult run(const seq::SequenceSet& input,
   util::governor().set_phase("ccd");
   pace::PaceParams ccd_params = config.pace;
   ccd_params.phase_label = "ccd";
+  bool ccd_resumed = false;
+  // True when the serial CCD path recorded its merges at decision time
+  // (from-scratch runs only — a partial resume replays instead, because
+  // the merges before the watermark happened in an earlier process).
+  bool ccd_captured = false;
   if (auto reader =
           ckpt.open("ccd.ckpt", kTagCcd, &result.ccd_seconds, &from_backup)) {
     const std::uint64_t count = reader->u64();
@@ -376,6 +568,7 @@ PipelineResult run(const seq::SequenceSet& input,
       result.ccd.components.emplace_back(members.begin(), members.end());
     }
     log_phase("ccd", from_backup ? "resumed-backup" : "resumed");
+    ccd_resumed = true;
   } else {
     const util::trace::WallSpan span("ccd");
     if (parallel) {
@@ -412,6 +605,17 @@ PipelineResult run(const seq::SequenceSet& input,
     };
     const std::uint64_t stride =
         ckpt.enabled() && !parallel ? config.ccd_checkpoint_stride : 0;
+    // From-scratch serial CCD captures its evidence at the point of
+    // decision for free (the recorder fires on every successful union-find
+    // merge); the parallel and partially-resumed paths re-derive by
+    // canonical replay below, provably yielding the same edges.
+    ccd_captured = want_prov && !parallel && !have_partial;
+    std::function<void(const pace::Verdict&)> on_merge;
+    if (ccd_captured) {
+      on_merge = [&](const pace::Verdict& v) {
+        ccd_edges.push_back(pace::ccd_edge_from_verdict(v));
+      };
+    }
     result.ccd =
         parallel
             ? pace::detect_components(set, survivors, config.processors,
@@ -421,7 +625,8 @@ PipelineResult run(const seq::SequenceSet& input,
                   set, survivors, ccd_params, pool_arg,
                   have_partial ? &partial : nullptr, stride,
                   stride > 0 ? on_checkpoint
-                             : std::function<void(const pace::CcdProgress&)>());
+                             : std::function<void(const pace::CcdProgress&)>(),
+                  on_merge);
     result.ccd_seconds = parallel ? result.ccd.run.makespan
                                   : prior_seconds + timer.elapsed_seconds();
     util::telemetry::phase_end("ccd", result.ccd_seconds);
@@ -441,6 +646,28 @@ PipelineResult run(const seq::SequenceSet& input,
     }
     log_phase("ccd", have_partial ? "resumed-partial" : "computed");
   }
+  if (want_prov) {
+    const std::uint64_t ccd_hash = components_hash(result.ccd.components);
+    std::optional<std::vector<prov::Edge>> loaded;
+    if (ccd_resumed && ckpt.enabled()) {
+      loaded = load_sidecar(ckpt.path("ccd.prov.jsonl"), "ccd", fp, ccd_hash);
+    }
+    if (loaded) {
+      ccd_edges = std::move(*loaded);
+    } else {
+      if (!ccd_captured) {
+        ccd_edges = pace::derive_ccd_provenance(
+            set, survivors, ccd_params, result.ccd.components, pool_arg);
+      }
+      if (ckpt.enabled()) {
+        commit_sidecar(
+            ckpt.path("ccd.prov.jsonl"),
+            render_sidecar("ccd", fp, ccd_hash,
+                           survivors.size() - result.ccd.components.size(),
+                           ccd_edges));
+      }
+    }
+  }
   {
     static util::SizeHistogram& sizes =
         util::metrics().histogram("ccd.component_size");
@@ -457,6 +684,44 @@ PipelineResult run(const seq::SequenceSet& input,
               << " components of size >= " << config.min_component << " ("
               << util::format_duration(result.ccd_seconds) << ")";
 
+  const auto build_graph =
+      [&](const std::vector<seq::SeqId>& component) -> bigraph::ComponentGraph {
+    if (config.reduction == bigraph::Reduction::kDuplicate) {
+      bigraph::BdParams bd;
+      bd.pace = config.pace;
+      return bigraph::build_bd(set, component, bd);
+    }
+    return bigraph::build_bm(set, component, config.bm);
+  };
+
+  // Assemble the final ledger (phase order rr, ccd, dsd; counts from the
+  // phase results, NOT from the edge lists — that is what makes the
+  // summary's `complete` flag a real coverage check).
+  const auto assemble_provenance = [&] {
+    if (!want_prov) return;
+    prov::Ledger& ledger = result.provenance;
+    ledger.sequences = set.size();
+    ledger.edges.reserve(rr_edges.size() + ccd_edges.size() +
+                         dsd_edges.size());
+    ledger.edges.insert(ledger.edges.end(), rr_edges.begin(), rr_edges.end());
+    ledger.edges.insert(ledger.edges.end(), ccd_edges.begin(),
+                        ccd_edges.end());
+    ledger.edges.insert(ledger.edges.end(), dsd_edges.begin(),
+                        dsd_edges.end());
+    ledger.recount();
+    ledger.counts.rr_merges = result.rr.removed_count();
+    ledger.counts.ccd_merges =
+        survivors.size() - result.ccd.components.size();
+    ledger.counts.dsd_merges = dsd_expected_merges;
+    if (!ledger.counts.identity_holds()) {
+      PCLUST_WARN << "pipeline: provenance merge identity violated (edges "
+                  << ledger.counts.total_edges() << ", expected merges "
+                  << (ledger.counts.rr_merges + ledger.counts.ccd_merges +
+                      ledger.counts.dsd_merges)
+                  << ") — the ledger's summary records complete=false";
+    }
+  };
+
   // ---- Phases 3 + 4: bipartite graphs + dense subgraphs -------------------
   if (auto reader = ckpt.open("families.ckpt", kTagFamilies,
                               &result.bgg_dsd_seconds, &from_backup)) {
@@ -471,6 +736,43 @@ PipelineResult run(const seq::SequenceSet& input,
       result.families.push_back(std::move(family));
     }
     log_phase("families", from_backup ? "resumed-backup" : "resumed");
+    if (want_prov) {
+      // The DSD phase itself is skipped, so its evidence comes from the
+      // sidecar (bound to the CCD partition it was derived from) or, when
+      // that is missing, from re-running Shingle capture per qualifying
+      // component — families are already final, so the re-run's family
+      // output is discarded and only the merge evidence kept.
+      const std::uint64_t ccd_hash = components_hash(result.ccd.components);
+      std::optional<std::vector<prov::Edge>> loaded;
+      if (ckpt.enabled()) {
+        loaded = load_sidecar(ckpt.path("dsd.prov.jsonl"), "dsd", fp,
+                              ccd_hash, &dsd_expected_merges);
+      }
+      if (loaded) {
+        dsd_edges = std::move(*loaded);
+      } else {
+        std::uint64_t s1 = 0;
+        std::uint64_t raw = 0;
+        for (const auto& component : result.ccd.components) {
+          if (component.size() < config.min_component) continue;
+          const bigraph::ComponentGraph graph = build_graph(component);
+          shingle::DsdStats stats;
+          std::vector<shingle::ShingleMerge> merges;
+          (void)shingle::report_families(graph, config.shingle, &stats,
+                                         pool_arg, &merges);
+          s1 += stats.first_level_shingles;
+          raw += stats.raw_components;
+          append_dsd_edges(merges);
+        }
+        dsd_expected_merges = s1 - raw;
+        if (ckpt.enabled()) {
+          commit_sidecar(ckpt.path("dsd.prov.jsonl"),
+                         render_sidecar("dsd", fp, ccd_hash,
+                                        dsd_expected_merges, dsd_edges));
+        }
+      }
+      assemble_provenance();
+    }
     result.recovery_log = ckpt.recovery_log();
     return finalize(std::move(result));
   }
@@ -497,15 +799,6 @@ PipelineResult run(const seq::SequenceSet& input,
   util::Timer dsd_timer;
   util::governor().set_phase("bgg+dsd");
 
-  const auto build_graph =
-      [&](const std::vector<seq::SeqId>& component) -> bigraph::ComponentGraph {
-    if (config.reduction == bigraph::Reduction::kDuplicate) {
-      bigraph::BdParams bd;
-      bd.pace = config.pace;
-      return bigraph::build_bd(set, component, bd);
-    }
-    return bigraph::build_bm(set, component, config.bm);
-  };
   const auto graph_bytes = [](const bigraph::ComponentGraph& g) {
     return g.graph.memory_usage().total() + util::vector_bytes(g.members) +
            util::vector_bytes(g.words);
@@ -533,6 +826,8 @@ PipelineResult run(const seq::SequenceSet& input,
   };
 
   // ---- Phase 4: dense subgraph detection ----------------------------------
+  std::uint64_t dsd_s1 = 0;
+  std::uint64_t dsd_raw = 0;
   if (dsd_parallel) {
     // LPT distribution needs every graph's cost estimate up front, so the
     // protocol path always materializes; the memory charge still makes the
@@ -566,13 +861,23 @@ PipelineResult run(const seq::SequenceSet& input,
                     std::max(1, dsd_engine.masters));
     DsdParallelResult dsd = run_dsd_parallel(
         graphs, config.shingle, config.dsd_processors, config.dsd_model,
-        dsd_engine, pool_arg, config.dsd_fault_plan);
+        dsd_engine, pool_arg, config.dsd_fault_plan, want_prov);
     result.dsd_simulated_seconds = dsd.run.makespan;
     trace_sim_result(dsd.run);
     result.dsd_run = std::move(dsd.run);
     for (std::size_t g = 0; g < graphs.size(); ++g) {
       for (auto& members : dsd.families_per_graph[g]) {
         fold_family(graphs[g], std::move(members));
+      }
+    }
+    if (want_prov) {
+      // Graph order == component order, so the concatenated evidence is
+      // bit-identical to the serial drain's regardless of which rank
+      // evaluated which graph.
+      for (std::size_t g = 0; g < graphs.size(); ++g) {
+        dsd_s1 += dsd.s1_nodes_per_graph[g];
+        dsd_raw += dsd.raw_components_per_graph[g];
+        append_dsd_edges(dsd.merges_per_graph[g]);
       }
     }
   } else {
@@ -589,9 +894,17 @@ PipelineResult run(const seq::SequenceSet& input,
     bool streaming = false;
     const auto drain = [&] {
       for (bigraph::ComponentGraph& graph : pending) {
-        for (auto& members : shingle::report_families(graph, config.shingle,
-                                                      nullptr, pool_arg)) {
+        shingle::DsdStats stats;
+        std::vector<shingle::ShingleMerge> merges;
+        for (auto& members : shingle::report_families(
+                 graph, config.shingle, want_prov ? &stats : nullptr,
+                 pool_arg, want_prov ? &merges : nullptr)) {
           fold_family(graph, std::move(members));
+        }
+        if (want_prov) {
+          dsd_s1 += stats.first_level_shingles;
+          dsd_raw += stats.raw_components;
+          append_dsd_edges(merges);
         }
         util::telemetry::progress_done(1);
         util::telemetry::poll_deadline();
@@ -612,6 +925,15 @@ PipelineResult run(const seq::SequenceSet& input,
   util::telemetry::phase_end("bgg+dsd", result.bgg_dsd_seconds);
   sample_phase_rss("bgg+dsd");
   util::telemetry::poll_deadline();
+  if (want_prov) {
+    dsd_expected_merges = dsd_s1 - dsd_raw;
+    if (ckpt.enabled()) {
+      commit_sidecar(ckpt.path("dsd.prov.jsonl"),
+                     render_sidecar("dsd", fp,
+                                    components_hash(result.ccd.components),
+                                    dsd_expected_merges, dsd_edges));
+    }
+  }
 
   std::sort(result.families.begin(), result.families.end(),
             [](const Family& a, const Family& b) {
@@ -633,6 +955,7 @@ PipelineResult run(const seq::SequenceSet& input,
     ckpt.write("families.ckpt", kTagFamilies, payload);
   }
   log_phase("families", "computed");
+  assemble_provenance();
   result.recovery_log = ckpt.recovery_log();
   return finalize(std::move(result));
 }

@@ -389,6 +389,38 @@ std::string render_report(const PipelineResult& result,
     w.end_object();
   }
 
+  // `provenance`: the merge-provenance ledger's tallies (--provenance).
+  // `complete` is the merge identity — every union-find merge that survived
+  // into the final partition is covered by exactly one evidence edge —
+  // and validate_report treats a false value as a validation failure.
+  if (config.provenance) {
+    const prov::LedgerCounts& c = result.provenance.counts;
+    w.key("provenance").begin_object();
+    if (!info.provenance_path.empty()) {
+      w.key("path").value(info.provenance_path);
+    }
+    w.key("sequences").value(result.provenance.sequences);
+    w.key("edges").begin_object()
+        .key("rr").value(c.rr_edges)
+        .key("ccd").value(c.ccd_edges)
+        .key("dsd").value(c.dsd_edges)
+        .key("total").value(c.total_edges())
+        .end_object();
+    w.key("rules").begin_object()
+        .key("containment").value(c.rule_containment)
+        .key("overlap").value(c.rule_overlap)
+        .key("B_d").value(c.rule_bd)
+        .key("B_m").value(c.rule_bm)
+        .end_object();
+    w.key("merges").begin_object()
+        .key("rr").value(c.rr_merges)
+        .key("ccd").value(c.ccd_merges)
+        .key("dsd").value(c.dsd_merges)
+        .end_object();
+    w.key("complete").value(c.identity_holds());
+    w.end_object();
+  }
+
   w.key("hierarchy");
   emit_hierarchy(w, config, snapshot);
 
@@ -582,7 +614,10 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
     }
 
     // `degradation` (optional — present for --mem-budget runs): a positive
-    // budget and well-formed phase/action/detail event entries.
+    // budget and well-formed events. Each event must name one of the
+    // governor's output-invariant levers and a real pipeline phase — an
+    // unknown action in a report means either schema drift or a lever that
+    // was never vetted for output invariance, both worth failing loudly.
     if (const util::JsonValue* degr = report.find("degradation")) {
       if (!degr->is_object()) {
         return fail(error, "degradation must be an object");
@@ -598,13 +633,62 @@ bool validate_report(const util::JsonValue& report, std::string* error) {
         return fail(error, "degradation.events must be an array");
       }
       for (const util::JsonValue& e : events.array) {
-        for (const char* key : {"phase", "action", "detail"}) {
-          if (e.at(key).as_string().empty() &&
-              std::string_view(key) != "detail") {
-            return fail(error, std::string("degradation.events.") + key +
-                                   ": empty");
-          }
+        const std::string& action = e.at("action").as_string();
+        if (action != "shrink-grain" && action != "shrink-batch" &&
+            action != "stream" && action != "spill") {
+          return fail(error, "degradation.events: unknown action '" + action +
+                                 "' (levers: shrink-grain, shrink-batch, "
+                                 "stream, spill)");
         }
+        const std::string& phase = e.at("phase").as_string();
+        if (phase != "rr" && phase != "ccd" && phase != "bgg+dsd" &&
+            phase != "dsd") {
+          return fail(error, "degradation.events: unknown phase '" + phase +
+                                 "' (expected rr, ccd, bgg+dsd, or dsd)");
+        }
+        (void)e.at("detail").as_string();
+      }
+    }
+
+    // `provenance` (optional — present for --provenance runs): per-phase
+    // edge/rule/merge tallies that must be internally consistent, and the
+    // merge identity itself is ENFORCED: a ledger whose edges do not cover
+    // the final partition's union-find merges one-for-one is evidence of a
+    // capture bug, not a cosmetic mismatch.
+    if (const util::JsonValue* prov_section = report.find("provenance")) {
+      if (!prov_section->is_object()) {
+        return fail(error, "provenance must be an object");
+      }
+      const util::JsonValue& edges = prov_section->at("edges");
+      const util::JsonValue& rules = prov_section->at("rules");
+      const util::JsonValue& merges = prov_section->at("merges");
+      const std::uint64_t rr = edges.at("rr").as_u64();
+      const std::uint64_t ccd = edges.at("ccd").as_u64();
+      const std::uint64_t dsd = edges.at("dsd").as_u64();
+      if (edges.at("total").as_u64() != rr + ccd + dsd) {
+        return fail(error, "provenance.edges: total != rr + ccd + dsd");
+      }
+      const std::uint64_t rule_sum = rules.at("containment").as_u64() +
+                                     rules.at("overlap").as_u64() +
+                                     rules.at("B_d").as_u64() +
+                                     rules.at("B_m").as_u64();
+      if (rule_sum != rr + ccd + dsd) {
+        return fail(error,
+                    "provenance.rules: rule tallies do not sum to the edge "
+                    "total");
+      }
+      const util::JsonValue& complete = prov_section->at("complete");
+      if (complete.type != util::JsonValue::Type::kBool ||
+          !complete.bool_value) {
+        return fail(error,
+                    "provenance.complete is not true: the evidence edges do "
+                    "not cover the final partition's merges one-for-one");
+      }
+      if (rr != merges.at("rr").as_u64() || ccd != merges.at("ccd").as_u64() ||
+          dsd != merges.at("dsd").as_u64()) {
+        return fail(error,
+                    "provenance: per-phase edge counts differ from the "
+                    "expected union-find merge counts");
       }
     }
 

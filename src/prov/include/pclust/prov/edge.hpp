@@ -1,0 +1,65 @@
+// Merge-provenance evidence edges (decision-level observability).
+//
+// Every union-find merge that survives into the final partition is
+// representable as one evidence edge: which two sequences were joined, in
+// which phase, under which rule, and with what alignment (or shingle
+// overlap) evidence. The edge set is a CANONICAL DERIVATION of the final
+// partition — a pure function of (input set, final phase results,
+// parameters) — so the ledger is bit-identical across thread counts,
+// master-tree topologies, checkpoint resume, and any healed fault plan
+// (see pace/provenance.hpp for the derivation argument, DESIGN.md §16 for
+// the determinism discussion). Schedule-dependent attribution (virtual
+// time, owning rank) deliberately lives in the run report, NOT on edges.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pclust::prov {
+
+/// Pipeline phase that performed the merge.
+enum class Phase : std::uint8_t {
+  kRr = 0,   // redundancy removal: removed sequence -> its container
+  kCcd,      // connected-component detection: overlap-accepted union
+  kDsd,      // dense-subgraph detection: Shingle S1-node union
+};
+
+/// Decision rule the merge was accepted under.
+enum class Rule : std::uint8_t {
+  kContainment = 0,  // Definition 1 (RR)
+  kOverlap,          // Definition 2 (CCD)
+  kBd,               // duplicate reduction (DSD over B_d)
+  kBm,               // match-based reduction (DSD over B_m)
+};
+
+[[nodiscard]] std::string_view phase_name(Phase phase);
+[[nodiscard]] std::string_view rule_name(Rule rule);
+/// Throw std::invalid_argument for unknown names.
+[[nodiscard]] Phase phase_from_name(std::string_view name);
+[[nodiscard]] Rule rule_from_name(std::string_view name);
+
+/// One evidence edge. For RR/CCD edges the evidence is the canonical
+/// alignment of (a, b): score, identical columns `matches` over alignment
+/// `columns`, and the aligned span in each sequence. For DSD edges the
+/// evidence is the Shingle producer-set overlap witnessed by the merged
+/// S1 nodes: `matches` = |producers(a-node) ∩ producers(b-node)|,
+/// `columns` = |union|, score mirrors `matches`, spans are 0; a and b are
+/// the smallest producer of each merged node (a == b is legal — two
+/// shingle nodes of the same vertex). Edge ORDER inside a ledger is the
+/// canonical derivation order; the line number is the implicit ordinal.
+struct Edge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  Phase phase = Phase::kCcd;
+  Rule rule = Rule::kOverlap;
+  std::int32_t score = 0;
+  std::uint32_t matches = 0;
+  std::uint32_t columns = 0;
+  std::uint32_t a_span = 0;
+  std::uint32_t b_span = 0;
+
+  [[nodiscard]] bool operator==(const Edge& o) const = default;
+};
+
+}  // namespace pclust::prov

@@ -1,0 +1,93 @@
+// Explain algorithms over the evidence forest (`pclust explain`).
+//
+// The RR + CCD edges of a ledger form a FOREST over sequence ids: every
+// removed sequence has exactly one containment edge to its (then-present)
+// container — removal chains are acyclic because a container must still be
+// present when cited — and the CCD edges are exactly the successful
+// union-find merges over survivors (|component| - 1 edges per component).
+// Hence:
+//   - the merge chain between two co-family sequences is the UNIQUE forest
+//     path between them (--pair);
+//   - a family's spanning evidence is the Steiner subtree of the forest
+//     connecting its members (--family), on which weak links (lowest
+//     alignment score first — the likeliest spurious bridges) and hubs
+//     (vertices whose removal disconnects the members — the fusion
+//     signature plm-cluster warns about) are ranked.
+// DSD edges are not part of the forest (they merge shingle nodes, not
+// sequences); they corroborate a family as `dsd_support`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pclust/prov/ledger.hpp"
+
+namespace pclust::prov {
+
+/// The RR + CCD evidence forest of a ledger, indexed for path queries.
+/// Construction throws std::invalid_argument if the edges do not form a
+/// forest (a cycle would mean the ledger double-covers a merge).
+class EvidenceForest {
+ public:
+  explicit EvidenceForest(const Ledger& ledger);
+
+  [[nodiscard]] std::uint64_t sequences() const { return sequences_; }
+
+  [[nodiscard]] bool connected(std::uint32_t a, std::uint32_t b) const;
+
+  /// The unique forest path a -> b as ordered indices into this forest's
+  /// edge list (see edge(); each consecutive edge shares a vertex with the
+  /// previous one, starting at a). Empty when a == b or when the two are
+  /// in different trees (check connected() to distinguish).
+  [[nodiscard]] std::vector<std::uint32_t> path(std::uint32_t a,
+                                                std::uint32_t b) const;
+
+  [[nodiscard]] const Edge& edge(std::uint32_t index) const {
+    return edges_[index];
+  }
+
+ private:
+  std::uint64_t sequences_ = 0;
+  std::vector<Edge> edges_;  // RR + CCD edges only, ledger order
+  /// Rooted-forest encoding: parent vertex and the connecting edge index
+  /// per vertex (parent_[v] == v at roots).
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> parent_edge_;
+  std::vector<std::uint32_t> root_;   // canonical root per vertex
+  std::vector<std::uint32_t> depth_;
+};
+
+/// One hub candidate: removing `seq` splits the family members into
+/// `parts` member-bearing groups, the smallest holding `min_part` members.
+struct Hub {
+  std::uint32_t seq = 0;
+  std::uint32_t parts = 0;
+  std::uint32_t min_part = 0;
+};
+
+/// The spanning evidence of one family.
+struct FamilyAudit {
+  std::vector<std::uint32_t> members;      // as given, sorted
+  /// Steiner-tree edges (indices into the forest's edge list) ranked
+  /// weakest first: ascending score, then ascending (min id, max id) —
+  /// the deterministic weak-link order.
+  std::vector<std::uint32_t> weak_links;
+  /// Steiner vertices that are NOT members (bridging intermediates).
+  std::vector<std::uint32_t> steiner_vertices;
+  /// Hubs ranked most-fragmenting first: descending parts, descending
+  /// min_part, ascending seq.
+  std::vector<Hub> hubs;
+  /// DSD edges with both endpoints inside the family (corroboration).
+  std::uint64_t dsd_support = 0;
+  /// False when some members sit in different evidence trees (a ledger /
+  /// clustering mismatch — should not happen for a matching pair).
+  bool connected = true;
+};
+
+/// Audit @p members (one family) against @p ledger via @p forest. Throws
+/// std::invalid_argument when members is empty.
+[[nodiscard]] FamilyAudit audit_family(const EvidenceForest& forest,
+                                       const Ledger& ledger,
+                                       std::vector<std::uint32_t> members);
+
+}  // namespace pclust::prov

@@ -1,0 +1,239 @@
+#include "pclust/prov/explain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pclust/dsu/union_find.hpp"
+
+namespace pclust::prov {
+
+namespace {
+
+constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+
+}  // namespace
+
+EvidenceForest::EvidenceForest(const Ledger& ledger)
+    : sequences_(ledger.sequences) {
+  for (const Edge& e : ledger.edges) {
+    if (e.phase == Phase::kDsd) continue;
+    if (e.a >= sequences_ || e.b >= sequences_) {
+      throw std::invalid_argument(
+          "evidence forest: edge endpoint exceeds the ledger's sequence "
+          "universe");
+    }
+    if (e.a == e.b) {
+      throw std::invalid_argument(
+          "evidence forest: self-edge (a merge cannot join a sequence to "
+          "itself)");
+    }
+    edges_.push_back(e);
+  }
+
+  // Forest check: every RR/CCD edge must join two previously disconnected
+  // vertices (each is one surviving union-find merge).
+  dsu::UnionFind uf(sequences_);
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj(
+      sequences_);
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (!uf.merge(e.a, e.b)) {
+      throw std::invalid_argument(
+          "evidence forest: cycle — a merge is covered by more than one "
+          "evidence edge");
+    }
+    adj[e.a].emplace_back(e.b, i);
+    adj[e.b].emplace_back(e.a, i);
+  }
+  for (auto& neighbors : adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+
+  // Root every tree at its smallest vertex; BFS assigns parent pointers,
+  // depths, and canonical roots deterministically.
+  parent_.assign(sequences_, kUnset);
+  parent_edge_.assign(sequences_, kUnset);
+  root_.assign(sequences_, kUnset);
+  depth_.assign(sequences_, 0);
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t v = 0; v < sequences_; ++v) {
+    if (root_[v] != kUnset) continue;
+    root_[v] = v;
+    parent_[v] = v;
+    queue.assign(1, v);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t u = queue[head];
+      for (const auto& [w, edge_idx] : adj[u]) {
+        if (root_[w] != kUnset) continue;
+        root_[w] = v;
+        parent_[w] = u;
+        parent_edge_[w] = edge_idx;
+        depth_[w] = depth_[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+bool EvidenceForest::connected(std::uint32_t a, std::uint32_t b) const {
+  if (a >= sequences_ || b >= sequences_) {
+    throw std::invalid_argument(
+        "evidence forest: sequence id out of range");
+  }
+  return root_[a] == root_[b];
+}
+
+std::vector<std::uint32_t> EvidenceForest::path(std::uint32_t a,
+                                                std::uint32_t b) const {
+  if (!connected(a, b) || a == b) return {};
+  // Lift the deeper endpoint to the common depth, then lift both until
+  // they meet; the meeting point is the unique path's apex.
+  std::vector<std::uint32_t> down;  // edges a -> apex, in walk order
+  std::vector<std::uint32_t> up;    // edges b -> apex, in walk order
+  std::uint32_t x = a;
+  std::uint32_t y = b;
+  while (depth_[x] > depth_[y]) {
+    down.push_back(parent_edge_[x]);
+    x = parent_[x];
+  }
+  while (depth_[y] > depth_[x]) {
+    up.push_back(parent_edge_[y]);
+    y = parent_[y];
+  }
+  while (x != y) {
+    down.push_back(parent_edge_[x]);
+    up.push_back(parent_edge_[y]);
+    x = parent_[x];
+    y = parent_[y];
+  }
+  down.insert(down.end(), up.rbegin(), up.rend());
+  return down;
+}
+
+FamilyAudit audit_family(const EvidenceForest& forest, const Ledger& ledger,
+                         std::vector<std::uint32_t> members) {
+  if (members.empty()) {
+    throw std::invalid_argument("audit_family: empty member list");
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
+  FamilyAudit audit;
+  audit.members = members;
+
+  // Steiner subtree = union of the forest paths member -> members[0]
+  // (every vertex on such a path lies on a member-to-member path).
+  const std::uint32_t anchor = members[0];
+  std::unordered_set<std::uint32_t> tree_edges;
+  std::unordered_set<std::uint32_t> tree_vertices;
+  tree_vertices.insert(anchor);
+  for (const std::uint32_t m : members) {
+    if (m == anchor) continue;
+    if (!forest.connected(anchor, m)) {
+      audit.connected = false;
+      continue;
+    }
+    for (const std::uint32_t e : forest.path(anchor, m)) {
+      if (tree_edges.insert(e).second) {
+        tree_vertices.insert(forest.edge(e).a);
+        tree_vertices.insert(forest.edge(e).b);
+      }
+    }
+  }
+
+  // Weak links: ascending score (the likeliest spurious bridges first),
+  // ties on ascending (min id, max id).
+  audit.weak_links.assign(tree_edges.begin(), tree_edges.end());
+  std::sort(audit.weak_links.begin(), audit.weak_links.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              const Edge& ex = forest.edge(x);
+              const Edge& ey = forest.edge(y);
+              if (ex.score != ey.score) return ex.score < ey.score;
+              const auto kx = std::minmax(ex.a, ex.b);
+              const auto ky = std::minmax(ey.a, ey.b);
+              if (kx.first != ky.first) return kx.first < ky.first;
+              return kx.second < ky.second;
+            });
+
+  const std::unordered_set<std::uint32_t> member_set(members.begin(),
+                                                     members.end());
+  for (const std::uint32_t v : tree_vertices) {
+    if (!member_set.count(v)) audit.steiner_vertices.push_back(v);
+  }
+  std::sort(audit.steiner_vertices.begin(), audit.steiner_vertices.end());
+
+  // Hub detection on the Steiner tree: a vertex whose removal leaves the
+  // members in >= 2 disconnected member-bearing groups. Root the tree at
+  // the anchor, count members per subtree, and evaluate each vertex from
+  // its children's counts plus the "everything above" remainder.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> tadj;
+  for (const std::uint32_t e : tree_edges) {
+    tadj[forest.edge(e).a].push_back(forest.edge(e).b);
+    tadj[forest.edge(e).b].push_back(forest.edge(e).a);
+  }
+  for (auto& [v, neighbors] : tadj) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  std::uint32_t reachable_members = 0;
+  for (const std::uint32_t m : members) {
+    if (m == anchor || (forest.connected(anchor, m))) ++reachable_members;
+  }
+  // Iterative DFS order (parents before children), then a reverse sweep
+  // accumulates subtree member counts.
+  std::vector<std::uint32_t> order;
+  std::unordered_map<std::uint32_t, std::uint32_t> tparent;
+  order.push_back(anchor);
+  tparent[anchor] = anchor;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const std::uint32_t u = order[head];
+    for (const std::uint32_t w : tadj[u]) {
+      if (tparent.count(w)) continue;
+      tparent[w] = u;
+      order.push_back(w);
+    }
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> subtree_members;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::uint32_t v = *it;
+    std::uint32_t count = member_set.count(v) ? 1u : 0u;
+    count += subtree_members[v];  // children already accumulated
+    subtree_members[v] = count;
+    if (v != anchor) subtree_members[tparent[v]] += count;
+  }
+  for (const std::uint32_t v : order) {
+    std::uint32_t parts = 0;
+    std::uint32_t min_part = 0xFFFFFFFFu;
+    for (const std::uint32_t w : tadj[v]) {
+      if (tparent[w] != v) continue;  // child edges only
+      const std::uint32_t count = subtree_members[w];
+      if (count == 0) continue;
+      ++parts;
+      min_part = std::min(min_part, count);
+    }
+    // v's own membership belongs to no group: it is the removed vertex.
+    const std::uint32_t above = reachable_members - subtree_members[v];
+    if (above > 0) {
+      ++parts;
+      min_part = std::min(min_part, above);
+    }
+    if (parts >= 2) {
+      audit.hubs.push_back(Hub{v, parts, min_part});
+    }
+  }
+  std::sort(audit.hubs.begin(), audit.hubs.end(),
+            [](const Hub& x, const Hub& y) {
+              if (x.parts != y.parts) return x.parts > y.parts;
+              if (x.min_part != y.min_part) return x.min_part > y.min_part;
+              return x.seq < y.seq;
+            });
+
+  for (const Edge& e : ledger.edges) {
+    if (e.phase != Phase::kDsd) continue;
+    if (member_set.count(e.a) && member_set.count(e.b)) ++audit.dsd_support;
+  }
+  return audit;
+}
+
+}  // namespace pclust::prov

@@ -63,20 +63,47 @@ struct DsdStats {
   double elapsed_seconds = 0.0;             // measured wall time (Fig. 7b)
 };
 
+/// One SURVIVING Pass II union–find merge, reported at decision time (the
+/// merge-provenance sink; shingle stays free of the prov library — callers
+/// convert these to evidence edges). Evidence: the two merged first-level
+/// shingle nodes shared a second-level shingle, witnessed by their
+/// producer-set overlap (`matches` = |∩|, `columns` = |∪| — counts, so
+/// they are meaningful under both reductions even though B_m producers
+/// are words). Endpoints are each node's smallest shingle ELEMENT — a
+/// right vertex under both reductions, hence always mappable to a
+/// sequence; a == b is legal (two shingle nodes of the same vertex).
+/// From dense_subgraphs the endpoints are right-universe vertex indices;
+/// report_families maps them through ComponentGraph::members to SeqIds.
+/// The list is a pure function of (graph, params) — the Pass II fold is
+/// serial in node order for every pool size — and its length always
+/// equals first_level_shingles - raw_components.
+struct ShingleMerge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t matches = 0;
+  std::uint32_t columns = 0;
+};
+
 /// Run the two-pass algorithm on a bipartite graph. Returns RAW candidates
 /// (possibly overlapping), largest (|A|+|B|) first; disjointness and the
 /// min-size / τ rules are applied by report_families. Deterministic in
 /// params.seed. With a pool, Pass I shingles vertices and Pass II hashes
 /// first-level shingles on pool threads; both folds happen serially in
 /// index order, so the output is identical for every pool size.
+/// @p merges (optional) receives the surviving Pass II merges in decision
+/// order (appended; endpoints in the right-vertex universe).
 [[nodiscard]] std::vector<DenseSubgraph> dense_subgraphs(
     const bigraph::BipartiteGraph& graph, const ShingleParams& params,
-    DsdStats* stats = nullptr, exec::Pool* pool = nullptr);
+    DsdStats* stats = nullptr, exec::Pool* pool = nullptr,
+    std::vector<ShingleMerge>* merges = nullptr);
 
 /// Apply the reduction-specific reporting rule and map vertices back to
 /// sequence ids: each returned vector is one protein family (sorted SeqIds).
+/// @p merges (optional) receives the surviving Pass II merges in decision
+/// order with endpoints mapped to sequence ids (appended).
 [[nodiscard]] std::vector<std::vector<seq::SeqId>> report_families(
     const bigraph::ComponentGraph& component, const ShingleParams& params,
-    DsdStats* stats = nullptr, exec::Pool* pool = nullptr);
+    DsdStats* stats = nullptr, exec::Pool* pool = nullptr,
+    std::vector<ShingleMerge>* merges = nullptr);
 
 }  // namespace pclust::shingle

@@ -30,7 +30,8 @@ void canonicalize(std::vector<std::uint32_t>& v) {
 
 std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
                                            const ShingleParams& params,
-                                           DsdStats* stats, exec::Pool* pool) {
+                                           DsdStats* stats, exec::Pool* pool,
+                                           std::vector<ShingleMerge>* merges) {
   util::Timer timer;
   DsdStats local;
   const bool pooled = pool && pool->size() > 1;
@@ -137,6 +138,16 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
   dsu::UnionFind uf(s1.size());
   std::unordered_map<std::uint64_t, std::uint32_t> s2_first_owner;
   const std::uint64_t seed2 = params.seed ^ 0xD5DEADBEEF00ULL;
+  // Provenance sink: surviving merges recorded as node-index pairs at
+  // decision time; resolved to ShingleMerge after the (possibly spilled)
+  // element table is back in memory.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> merged_nodes;
+  const auto fold = [&](std::uint32_t i, std::uint64_t value) {
+    const auto [it, inserted] = s2_first_owner.try_emplace(value, i);
+    if (!inserted && uf.merge(i, it->second) && merges) {
+      merged_nodes.emplace_back(i, it->second);
+    }
+  };
   if (pooled && s1.size() > 1) {
     // Hash concurrently, merge serially in node order: union-find state
     // evolves exactly as in the serial loop.
@@ -145,17 +156,13 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
           return shingle_values(s1[i].producers, params.s2, params.c2, seed2);
         });
     for (std::uint32_t i = 0; i < s1.size(); ++i) {
-      for (std::uint64_t value : per_node[i]) {
-        const auto [it, inserted] = s2_first_owner.try_emplace(value, i);
-        if (!inserted) uf.merge(i, it->second);
-      }
+      for (std::uint64_t value : per_node[i]) fold(i, value);
     }
   } else {
     for (std::uint32_t i = 0; i < s1.size(); ++i) {
       for (std::uint64_t value :
            shingle_values(s1[i].producers, params.s2, params.c2, seed2)) {
-        const auto [it, inserted] = s2_first_owner.try_emplace(value, i);
-        if (!inserted) uf.merge(i, it->second);
+        fold(i, value);
       }
     }
   }
@@ -206,6 +213,34 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
     spill.reset();
   }
 
+  // Resolve the recorded merge decisions now that the element table is
+  // guaranteed in memory: producer-overlap counts as evidence, each node's
+  // smallest element (shingle elements are sorted) as the endpoint.
+  if (merges) {
+    merges->reserve(merges->size() + merged_nodes.size());
+    for (const auto& [i, j] : merged_nodes) {
+      const auto& pa = s1[i].producers;
+      const auto& pb = s1[j].producers;
+      std::uint32_t inter = 0;
+      for (std::size_t x = 0, y = 0; x < pa.size() && y < pb.size();) {
+        if (pa[x] < pb[y]) {
+          ++x;
+        } else if (pb[y] < pa[x]) {
+          ++y;
+        } else {
+          ++inter, ++x, ++y;
+        }
+      }
+      ShingleMerge m;
+      m.a = elements_of.at(s1[i].value).front();
+      m.b = elements_of.at(s1[j].value).front();
+      m.matches = inter;
+      m.columns =
+          static_cast<std::uint32_t>(pa.size() + pb.size()) - inter;
+      merges->push_back(m);
+    }
+  }
+
   // ---- Report: components -> (A, B) ------------------------------------
   std::vector<DenseSubgraph> out;
   for (auto& members : uf.extract_sets()) {
@@ -245,8 +280,17 @@ std::vector<DenseSubgraph> dense_subgraphs(const bigraph::BipartiteGraph& graph,
 
 std::vector<std::vector<seq::SeqId>> report_families(
     const bigraph::ComponentGraph& component, const ShingleParams& params,
-    DsdStats* stats, exec::Pool* pool) {
-  const auto candidates = dense_subgraphs(component.graph, params, stats, pool);
+    DsdStats* stats, exec::Pool* pool, std::vector<ShingleMerge>* merges) {
+  const std::size_t first_merge = merges ? merges->size() : 0;
+  const auto candidates =
+      dense_subgraphs(component.graph, params, stats, pool, merges);
+  // Lift merge endpoints from right-universe vertices to sequence ids.
+  if (merges) {
+    for (std::size_t k = first_merge; k < merges->size(); ++k) {
+      (*merges)[k].a = component.members[(*merges)[k].a];
+      (*merges)[k].b = component.members[(*merges)[k].b];
+    }
+  }
 
   std::vector<std::vector<seq::SeqId>> families;
   std::unordered_set<std::uint32_t> claimed;  // right-vertex universe

@@ -51,8 +51,11 @@ enum class ArtifactClass : int {
   kTrace,         // trace-event timeline — drop-and-count
   kLog,           // PCLUST_LOG_FILE sink — drop-and-count (stderr remains)
   kSpill,         // memory-governor spill files — throw; caller keeps RAM
+  kProvenance,    // merge-provenance ledgers/sidecars — fatal (an audit
+                  // artifact the operator asked for; silently losing the
+                  // evidence trail would defeat its purpose)
 };
-inline constexpr int kArtifactClassCount = 7;
+inline constexpr int kArtifactClassCount = 8;
 
 [[nodiscard]] std::string_view class_name(ArtifactClass cls);
 /// Throws std::invalid_argument for an unknown name.

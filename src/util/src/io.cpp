@@ -18,7 +18,8 @@ namespace pclust::util::io {
 namespace {
 
 constexpr std::string_view kClassNames[kArtifactClassCount] = {
-    "families", "checkpoint", "report", "telemetry", "trace", "log", "spill"};
+    "families",  "checkpoint", "report", "telemetry",
+    "trace",     "log",        "spill",  "provenance"};
 
 constexpr std::string_view kKindNames[] = {"enospc", "eio", "short", "fsync"};
 
@@ -113,7 +114,8 @@ ArtifactClass class_from_name(std::string_view name) {
   }
   throw std::invalid_argument("unknown artifact class '" + std::string(name) +
                               "' (use families, checkpoint, report, "
-                              "telemetry, trace, log, or spill)");
+                              "telemetry, trace, log, spill, or "
+                              "provenance)");
 }
 
 std::string_view kind_name(FaultKind kind) {

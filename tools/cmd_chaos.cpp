@@ -41,6 +41,12 @@
 //            bit-identically through output-invariant levers only, with a
 //            populated degradation log and a validating report.
 //
+// Every run also captures the merge-provenance ledger. Wherever the family
+// contract is bit-identity (classes 0, 1, 3–8), the rendered ledger must
+// equal the fault-free golden's byte for byte — the canonical-derivation
+// claim under fire; where healing may change the output (class 2), the
+// ledger must still cover every final-partition merge exactly once.
+//
 // Exits 0 when every seed upholds its contract, 1 otherwise.
 #include <cstdio>
 
@@ -57,6 +63,7 @@
 #include "pclust/mpsim/fault_plan.hpp"
 #include "pclust/pipeline/pipeline.hpp"
 #include "pclust/pipeline/report.hpp"
+#include "pclust/prov/ledger.hpp"
 #include "pclust/quality/cluster_io.hpp"
 #include "pclust/seq/fasta.hpp"
 #include "pclust/synth/generator.hpp"
@@ -121,6 +128,22 @@ bool families_well_formed(const std::vector<pipeline::Family>& families,
       }
       used[id] = 1;
     }
+  }
+  return true;
+}
+
+/// The healed run's provenance must (a) cover every final-partition merge
+/// exactly once and (b) — since its family output equals the golden's —
+/// render to the golden ledger's exact bytes.
+bool ledger_matches(const pipeline::PipelineResult& result,
+                    const std::string& golden_ledger, std::string* why) {
+  if (!result.provenance.counts.identity_holds()) {
+    *why = "provenance merge identity violated under faults";
+    return false;
+  }
+  if (prov::render_ledger(result.provenance) != golden_ledger) {
+    *why = "provenance ledger differs from the fault-free golden's bytes";
+    return false;
   }
   return true;
 }
@@ -252,6 +275,9 @@ int cmd_chaos(int argc, const char* const* argv) {
 
   pipeline::PipelineConfig base;
   base.threads = threads;
+  // Capture merge provenance on every run: the sweep doubles as the
+  // ledger's determinism gauntlet (byte-equality wherever families are).
+  base.provenance = true;
 
   // Fault-free goldens: the serial reference and the sweep topology.
   util::metrics().reset();
@@ -265,9 +291,24 @@ int cmd_chaos(int argc, const char* const* argv) {
   util::metrics().reset();
   const pipeline::PipelineResult golden_parallel =
       pipeline::run(sequences, parallel_config);
-  std::printf("chaos: goldens computed (serial: %zu families, p=%d: %zu)\n",
+  const std::string golden_serial_ledger =
+      prov::render_ledger(golden_serial.provenance);
+  const std::string golden_parallel_ledger =
+      prov::render_ledger(golden_parallel.provenance);
+  std::printf("chaos: goldens computed (serial: %zu families, p=%d: %zu; "
+              "ledgers %s)\n",
               golden_serial.families.size(), processors,
-              golden_parallel.families.size());
+              golden_parallel.families.size(),
+              golden_serial_ledger == golden_parallel_ledger
+                  ? "identical across topologies"
+                  : "DIFFER across topologies");
+  if (golden_serial_ledger != golden_parallel_ledger) {
+    std::fprintf(stderr,
+                 "chaos: fault-free provenance ledgers differ between "
+                 "serial and p=%d — canonical derivation is broken\n",
+                 processors);
+    return 1;
+  }
 
   std::uint64_t failures = 0;
   const auto report_failure = [&](std::uint64_t seed, const char* label,
@@ -313,6 +354,7 @@ int cmd_chaos(int argc, const char* const* argv) {
                            std::to_string(processors));
       } else if (!work_identity(result.rr.counters, &why) ||
                  !work_identity(result.ccd.counters, &why) ||
+                 !ledger_matches(result, golden_parallel_ledger, &why) ||
                  !report_validates(result, cfg, &why)) {
         report_failure(seed, "requeue-storm", why);
       } else if (result.ccd.run.crashed_ranks.size() !=
@@ -366,6 +408,7 @@ int cmd_chaos(int argc, const char* const* argv) {
                            std::to_string(processors));
       } else if (!work_identity(result.rr.counters, &why) ||
                  !work_identity(result.ccd.counters, &why) ||
+                 !ledger_matches(result, golden_parallel_ledger, &why) ||
                  !report_validates(result, cfg, &why)) {
         report_failure(seed, "submaster-crash", why);
       } else if (result.ccd.run.counter("submasters_failed") == 0) {
@@ -424,6 +467,8 @@ int cmd_chaos(int argc, const char* const* argv) {
           if (!same_families(result.families, golden_serial.families)) {
             report_failure(seed, label.c_str(),
                            "families differ under a checkpoint storm");
+          } else if (!ledger_matches(result, golden_serial_ledger, &why)) {
+            report_failure(seed, label.c_str(), why);
           } else if (sticky && write_failures == 0) {
             report_failure(seed, label.c_str(),
                            "sticky storm recorded no checkpoint write "
@@ -441,6 +486,10 @@ int cmd_chaos(int argc, const char* const* argv) {
               report_failure(seed, label.c_str(),
                              "post-storm --resume diverged from the serial "
                              "run");
+            } else if (!ledger_matches(resumed, golden_serial_ledger,
+                                       &why)) {
+              report_failure(seed, label.c_str(),
+                             "post-storm --resume: " + why);
             } else {
               std::printf("chaos: seed %llu (%s): ok, run + resume "
                           "bit-identical (%llu checkpoint writes failed)\n",
@@ -619,7 +668,8 @@ int cmd_chaos(int argc, const char* const* argv) {
           report_failure(seed, label.c_str(),
                          "run under a 2x-exceedable budget recorded no "
                          "degradation events");
-        } else if (!report_validates(result, cfg, &why)) {
+        } else if (!ledger_matches(result, golden_serial_ledger, &why) ||
+                   !report_validates(result, cfg, &why)) {
           report_failure(seed, label.c_str(), why);
         } else {
           std::printf("chaos: seed %llu (%s): ok, bit-identical through %zu "
@@ -661,6 +711,7 @@ int cmd_chaos(int argc, const char* const* argv) {
                        "families differ from the fault-free serial run");
       } else if (!work_identity(result.rr.counters, &why) ||
                  !work_identity(result.ccd.counters, &why) ||
+                 !ledger_matches(result, golden_serial_ledger, &why) ||
                  !report_validates(result, cfg, &why)) {
         report_failure(seed, "order-preserving@p2", why);
       } else {
@@ -697,6 +748,7 @@ int cmd_chaos(int argc, const char* const* argv) {
                            std::to_string(processors));
       } else if (!work_identity(result.rr.counters, &why) ||
                  !work_identity(result.ccd.counters, &why) ||
+                 !ledger_matches(result, golden_parallel_ledger, &why) ||
                  !report_validates(result, cfg, &why)) {
         report_failure(seed, "ccd+dsd-crash", why);
       } else {
@@ -726,6 +778,12 @@ int cmd_chaos(int argc, const char* const* argv) {
                  !families_well_formed(result.families, &why) ||
                  !report_validates(result, cfg, &why)) {
         report_failure(seed, "rr-crash", why);
+      } else if (!result.provenance.counts.identity_holds()) {
+        // RR healing may change the partition, so no golden to compare —
+        // but whatever partition emerged must still be fully evidenced.
+        report_failure(seed, "rr-crash",
+                       "provenance merge identity violated on the healed "
+                       "partition");
       } else {
         std::printf("chaos: seed %llu (rr-crash): ok, healed to a valid "
                     "clustering (%zu families)\n",
@@ -777,7 +835,8 @@ int cmd_chaos(int argc, const char* const* argv) {
           report_failure(seed, label,
                          "expected " + phase +
                              ":resumed-backup in the phase log");
-        } else if (!report_validates(result, cfg, &why)) {
+        } else if (!ledger_matches(result, golden_serial_ledger, &why) ||
+                   !report_validates(result, cfg, &why)) {
           report_failure(seed, label, why);
         } else {
           std::printf("chaos: seed %llu (%s): ok, %s quarantined and "

@@ -61,6 +61,12 @@ int cmd_families(int argc, const char* const* argv) {
   options.define("report-out", "",
                  "write a structured JSON run report (phase times, "
                  "alignment-work identity, faults, metrics) to this path");
+  options.define("provenance-out", "",
+                 "write the merge-provenance ledger to this path: one "
+                 "JSONL evidence edge per union-find merge that survived "
+                 "into the final families (phase, rule, alignment/shingle "
+                 "evidence), byte-identical across --threads/--masters/"
+                 "--resume; inspect with `pclust explain`");
   options.define("trace-out", "",
                  "write a Chrome trace-event JSON timeline (load in "
                  "Perfetto / chrome://tracing) to this path");
@@ -347,6 +353,9 @@ int cmd_families(int argc, const char* const* argv) {
   }
   const std::string report_out = options.get("report-out");
   if (!report_out.empty()) require_writable(report_out);
+  const std::string provenance_out = options.get("provenance-out");
+  if (!provenance_out.empty()) require_writable(provenance_out);
+  config.provenance = !provenance_out.empty();
   const std::string trace_out = options.get("trace-out");
   if (!trace_out.empty()) require_writable(trace_out);
   util::telemetry::TelemetryConfig telemetry;
@@ -377,11 +386,27 @@ int cmd_families(int argc, const char* const* argv) {
 
   const pipeline::PipelineResult result = pipeline::run(sequences, config);
 
+  if (!provenance_out.empty()) {
+    // The operator asked for the audit trail; losing it is fatal (exit 3),
+    // same policy as a report.
+    prov::write_ledger(provenance_out, result.provenance);
+    const prov::LedgerCounts& c = result.provenance.counts;
+    std::printf(
+        "wrote provenance ledger to %s (%llu edges: %llu rr, %llu ccd, "
+        "%llu dsd; complete=%s)\n",
+        provenance_out.c_str(),
+        static_cast<unsigned long long>(c.total_edges()),
+        static_cast<unsigned long long>(c.rr_edges),
+        static_cast<unsigned long long>(c.ccd_edges),
+        static_cast<unsigned long long>(c.dsd_edges),
+        c.identity_holds() ? "yes" : "NO");
+  }
   if (!report_out.empty()) {
     // While the stream is still open, so the report's telemetry section
     // reflects the live status.
-    pipeline::write_report(report_out, result, config,
-                           {"families", options.positionals()[0]});
+    pipeline::write_report(
+        report_out, result, config,
+        {"families", options.positionals()[0], provenance_out});
     std::printf("wrote run report to %s\n", report_out.c_str());
   }
   if (!telemetry.path.empty()) {

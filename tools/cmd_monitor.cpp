@@ -371,16 +371,26 @@ int cmd_monitor(int argc, const char* const* argv) {
   drain_stream(reader, s, &readable);
   if (!readable) throw IoError("cannot open telemetry stream: " + path);
   if (options.get_flag("follow")) {
+    // Capped exponential backoff: a chatty stream is polled every 50 ms
+    // (sub-interval latency for a live dashboard), a quiet one decays to
+    // one poll per 2 s so following an hours-long run costs no measurable
+    // CPU. Any new data snaps the delay back to the floor. Stagnation
+    // accounting uses the ACTUAL slept time, so --follow-timeout means the
+    // same wall seconds at every backoff level.
+    constexpr double kMinPoll = 0.05;
+    constexpr double kMaxPoll = 2.0;
+    double poll = kMinPoll;
     double stagnant = 0.0;
     while (!s.finished) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      std::this_thread::sleep_for(std::chrono::duration<double>(poll));
       // A rotated/truncated stream resets the reader to the start; the
       // folded state must restart with it or records double-count.
       std::error_code ec;
       const auto size = std::filesystem::file_size(path, ec);
       if (!ec && size < reader.offset()) s = StreamSummary{};
       if (drain_stream(reader, s, nullptr) == 0) {
-        stagnant += 0.25;
+        stagnant += poll;
+        poll = std::min(poll * 2.0, kMaxPoll);
         if (follow_timeout > 0.0 && stagnant >= follow_timeout) {
           std::fprintf(stderr,
                        "monitor: stream idle for %.0fs without an end "
@@ -390,6 +400,7 @@ int cmd_monitor(int argc, const char* const* argv) {
         }
       } else {
         stagnant = 0.0;
+        poll = kMinPoll;
       }
     }
   }

@@ -23,9 +23,12 @@ int cmd_report_check(int argc, const char* const* argv) {
     std::fputs(options
                    .usage("pclust report-check <report.json>",
                           "Validate a structured run report (from families "
-                          "--report-out): schema, phase provenance, and the "
+                          "--report-out): schema, phase provenance, the "
                           "alignment-work identity attempted + "
-                          "skipped_by_cluster_filter == candidate_pairs.")
+                          "skipped_by_cluster_filter == candidate_pairs, "
+                          "degradation levers (action/phase enums), and the "
+                          "merge-provenance identity (edges cover the final "
+                          "partition's merges one-for-one).")
                    .c_str(),
                stdout);
     return options.help_requested() ? 0 : 2;
@@ -86,6 +89,21 @@ int cmd_report_check(int argc, const char* const* argv) {
       static_cast<unsigned long long>(
           alignment.at("skipped_by_cluster_filter").as_u64()),
       alignment.at("skip_ratio").as_number());
+  if (const util::JsonValue* degr = report.find("degradation")) {
+    std::printf(
+        "%s: degradation section valid (%zu lever event(s) within budget "
+        "%llu bytes)\n",
+        path.c_str(), degr->at("events").array.size(),
+        static_cast<unsigned long long>(degr->at("budget_bytes").as_u64()));
+  }
+  if (const util::JsonValue* prov = report.find("provenance")) {
+    std::printf(
+        "%s: provenance section valid (%llu evidence edge(s), merge "
+        "identity holds)\n",
+        path.c_str(),
+        static_cast<unsigned long long>(
+            prov->at("edges").at("total").as_u64()));
+  }
   return 0;
 }
 

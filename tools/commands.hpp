@@ -27,6 +27,9 @@ int cmd_analyze(int argc, const char* const* argv);
 /// `pclust monitor` — summarize/follow a --telemetry-out JSONL stream.
 int cmd_monitor(int argc, const char* const* argv);
 
+/// `pclust explain` — audit family formation from a provenance ledger.
+int cmd_explain(int argc, const char* const* argv);
+
 /// `pclust perf-diff` — perf-regression gate between two bench artifacts.
 int cmd_perf_diff(int argc, const char* const* argv);
 

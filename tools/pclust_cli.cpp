@@ -37,6 +37,10 @@ void print_usage() {
       "report.\n"
       "  monitor    Summarize (or follow) a --telemetry-out JSONL stream:\n"
       "             phase table, ETA, warnings, top stragglers.\n"
+      "  explain    Audit family formation from a families "
+      "--provenance-out\n"
+      "             ledger: merge chains (--pair), spanning evidence with\n"
+      "             weak links and fusion hubs (--family).\n"
       "  perf-diff  Compare two BENCH_*.json artifacts; non-zero exit on "
       "regression.\n"
       "  chaos      Sweep seeded fault plans and verify the pipeline "
@@ -79,6 +83,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(command, "monitor") == 0) {
       return cli::cmd_monitor(sub_argc, sub_argv);
+    }
+    if (std::strcmp(command, "explain") == 0) {
+      return cli::cmd_explain(sub_argc, sub_argv);
     }
     if (std::strcmp(command, "perf-diff") == 0) {
       return cli::cmd_perf_diff(sub_argc, sub_argv);
